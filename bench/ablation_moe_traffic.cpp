@@ -1,0 +1,51 @@
+// Ablation 4 (DESIGN.md §6): MoE expert-activation traffic model.
+// The unique-experts-touched model is what makes Mixtral behave like a
+// ~14B model at small batch; forcing all-experts traffic collapses its
+// advantage over the dense 70B models.
+
+#include "common.h"
+#include "models/costs.h"
+
+int main() {
+  using namespace llmib;
+  models::CostOptions opt;
+  const models::CostModel mixtral(
+      models::ModelRegistry::builtin().get("Mixtral-8x7B"), opt);
+  const models::CostModel dense70(
+      models::ModelRegistry::builtin().get("LLaMA-2-70B"), opt);
+
+  report::Table t({"batch", "experts touched", "Mixtral bytes/step (GB)",
+                   "all-experts bytes (GB)", "LLaMA-2-70B bytes (GB)"});
+  std::map<std::int64_t, double> touched_frac;
+  for (std::int64_t bs : {1, 4, 16, 64}) {
+    const double touched = mixtral.expected_experts_touched(bs);
+    touched_frac[bs] = touched / 8.0;
+    t.add_numeric_row(std::to_string(bs),
+                      {touched, mixtral.weight_bytes_touched(bs) / 1e9,
+                       mixtral.weight_bytes() / 1e9,
+                       dense70.weight_bytes_touched(bs) / 1e9},
+                      2);
+  }
+
+  report::ShapeReport shapes("Ablation: MoE traffic");
+  shapes.check_ratio("experts touched at batch 1", 8.0 * touched_frac[1], 2.0, 0.01);
+  shapes.check_claim("batch 64 touches essentially all experts",
+                     touched_frac[64] > 0.95);
+  shapes.check_claim("touched-expert traffic << dense-70B traffic at batch 1",
+                     mixtral.weight_bytes_touched(1) <
+                         0.35 * dense70.weight_bytes_touched(1));
+  shapes.check_claim("all-experts model would erase most of the advantage",
+                     mixtral.weight_bytes() > 0.6 * dense70.weight_bytes());
+  // End-to-end: the sim's Mixtral advantage shrinks as batch grows (the
+  // traffic model in action).
+  const double adv1 = bench::tput(bench::point("Mixtral-8x7B", "H100", "vLLM", 1, 512, 4)) /
+                      bench::tput(bench::point("LLaMA-2-70B", "H100", "vLLM", 1, 512, 4));
+  const double adv64 =
+      bench::tput(bench::point("Mixtral-8x7B", "H100", "vLLM", 64, 512, 4)) /
+      bench::tput(bench::point("LLaMA-2-70B", "H100", "vLLM", 64, 512, 4));
+  shapes.check_claim("Mixtral advantage largest at batch 1", adv1 > adv64);
+  shapes.note("Mixtral/70B advantage at bs1", adv1);
+  shapes.note("Mixtral/70B advantage at bs64", adv64);
+  return bench::finish("ablation_moe_traffic", "MoE expert-activation traffic model",
+                       t, shapes);
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction binaries. Each binary:
+//   1. runs the simulator over the figure's axes,
+//   2. prints the same rows/series the paper reports (report::Table),
+//   3. prints a report::ShapeReport comparing the measured relations
+//      against the paper's stated values (DESIGN.md §4),
+//   4. writes a CSV artifact next to the binary (bench_results/<id>.csv).
+//
+// Exit code is 0 even on shape deviations — deviations are results, and
+// EXPERIMENTS.md documents them; a non-zero exit is reserved for crashes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <vector>
+#include <fstream>
+#include <string>
+
+#include "core/suite.h"
+#include "util/units.h"
+#include "report/shape_check.h"
+#include "report/table.h"
+#include "sim/simulator.h"
+
+namespace llmib::bench {
+
+inline const sim::InferenceSimulator& simulator() {
+  static const sim::InferenceSimulator s;
+  return s;
+}
+
+/// Throughput of one point; 0.0 for OOM/unsupported (matches how the paper
+/// plots missing bars).
+inline double tput(const sim::SimConfig& cfg) {
+  const auto r = simulator().run(cfg);
+  return r.ok() ? r.throughput_tps : 0.0;
+}
+
+inline sim::SimConfig point(const std::string& model, const std::string& hw,
+                            const std::string& fw, std::int64_t batch,
+                            std::int64_t io_len, int tp = 1) {
+  sim::SimConfig c;
+  c.model = model;
+  c.accelerator = hw;
+  c.framework = fw;
+  c.batch_size = batch;
+  c.input_tokens = io_len;
+  c.output_tokens = io_len;
+  c.plan.tp = tp;
+  return c;
+}
+
+/// Write the CSV artifact for this experiment id.
+inline void write_csv(const std::string& experiment_id, const report::Table& table) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/" + experiment_id + ".csv");
+  if (out) out << table.to_csv();
+}
+
+/// Standard epilogue: print table, shape summary, write artifact.
+inline int finish(const std::string& experiment_id, const std::string& title,
+                  const report::Table& table, const report::ShapeReport& shapes) {
+  std::printf("== %s — %s ==\n\n%s\n%s\n", experiment_id.c_str(), title.c_str(),
+              table.to_text().c_str(), shapes.summary().c_str());
+  write_csv(experiment_id, table);
+  return 0;
+}
+
+}  // namespace llmib::bench

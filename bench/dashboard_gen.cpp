@@ -1,0 +1,57 @@
+// Generates the interactive LLM-Inference-Bench dashboard (paper
+// contribution #2): a self-contained HTML file over a broad sweep of
+// models x accelerators x frameworks x batch sizes x lengths.
+
+#include <fstream>
+
+#include "common.h"
+#include "core/insights.h"
+#include "report/dashboard.h"
+
+int main() {
+  using namespace llmib;
+  core::BenchmarkRunner runner;
+  core::SweepAxes axes;
+  axes.models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B", "Qwen2-7B",
+                 "LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B", "Mixtral-8x7B"};
+  axes.accelerators = {"A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2",
+                       "SN40L"};
+  axes.frameworks = {"TensorRT-LLM", "vLLM", "DeepSpeed-MII", "llama.cpp",
+                     "SambaFlow"};
+  axes.batch_sizes = {1, 16, 32, 64};
+  axes.io_lengths = {128, 1024};
+  const auto set = runner.run_sweep(axes);
+
+  report::DashboardBuilder dash;
+  for (const auto& record : set.dashboard_records()) dash.add(record);
+  const std::string html = dash.render_html("LLM-Inference-Bench Dashboard");
+  std::ofstream("llm_inference_bench_dashboard.html") << html;
+
+  report::Table t({"metric", "value"});
+  t.add_row({"benchmark points", std::to_string(set.size())});
+  std::size_t ok = 0, oom = 0, unsupported = 0;
+  for (const auto& row : set.rows()) {
+    switch (row.result.status) {
+      case sim::RunStatus::kOk: ++ok; break;
+      case sim::RunStatus::kOom: ++oom; break;
+      case sim::RunStatus::kUnsupported: ++unsupported; break;
+    }
+  }
+  t.add_row({"ok", std::to_string(ok)});
+  t.add_row({"oom", std::to_string(oom)});
+  t.add_row({"unsupported", std::to_string(unsupported)});
+  t.add_row({"html bytes", std::to_string(html.size())});
+
+  std::printf("-- extracted insights --\n");
+  for (const auto& insight : core::extract_insights(set))
+    std::printf("  [%s] %s\n", insight.category.c_str(), insight.text.c_str());
+
+  report::ShapeReport shapes("Dashboard");
+  shapes.check_claim("full grid present",
+                     set.size() == axes.models.size() * axes.accelerators.size() *
+                                       axes.frameworks.size() * 4 * 2);
+  shapes.check_claim("majority of supported cells ran", ok > oom);
+  shapes.check_claim("dashboard written",
+                     html.size() > 10000 && html.find("const DATA") != std::string::npos);
+  return bench::finish("dashboard", "Interactive dashboard generation", t, shapes);
+}

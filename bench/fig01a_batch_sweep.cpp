@@ -1,0 +1,37 @@
+// Fig. 1a: vLLM batch size vs input/output length, LLaMA-3-8B on one A100.
+// Paper: throughput rises with batch; at length 2048 batch 64 is ~26.6x batch 1.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  using bench::point;
+  using bench::tput;
+
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+  const std::vector<std::int64_t> lengths = {128, 256, 512, 1024, 2048};
+
+  report::Table t({"batch", "len 128", "len 256", "len 512", "len 1024", "len 2048"});
+  std::map<std::pair<std::int64_t, std::int64_t>, double> grid;
+  for (auto b : batches) {
+    std::vector<double> row;
+    for (auto len : lengths) {
+      const double v = tput(point("LLaMA-3-8B", "A100", "vLLM", b, len));
+      grid[{b, len}] = v;
+      row.push_back(v);
+    }
+    t.add_numeric_row("bs " + std::to_string(b), row, 0);
+  }
+
+  report::ShapeReport shapes("Fig. 1a");
+  shapes.check_ratio("bs64 / bs1 at length 2048", grid[{64, 2048}] / grid[{1, 2048}],
+                     26.6, 0.40);
+  bool monotone = true;
+  for (auto len : lengths)
+    for (std::size_t i = 1; i < batches.size(); ++i)
+      monotone &= grid[{batches[i], len}] > grid[{batches[i - 1], len}];
+  shapes.check_claim("throughput increases with batch at every length", monotone);
+  shapes.note("bs64 tput at len 2048 (tok/s)", grid[{64, 2048}]);
+  return bench::finish("fig01a", "vLLM batch-size scaling on A100 (LLaMA-3-8B)", t,
+                       shapes);
+}

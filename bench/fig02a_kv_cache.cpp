@@ -1,0 +1,31 @@
+// Fig. 2a: KV-cache on/off for a 70B model on Gaudi2 (8 HPUs).
+// Paper: ~2x speedup at length 128, ~7x at length 1024.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::int64_t> lens = {128, 256, 512, 1024};
+
+  report::Table t({"length", "KV cache on (tok/s)", "KV cache off (tok/s)", "speedup"});
+  std::map<std::int64_t, double> ratio;
+  for (auto len : lens) {
+    sim::SimConfig c = bench::point("LLaMA-2-70B", "Gaudi2", "vLLM", 1, len, 8);
+    c.kv_cache_enabled = true;
+    const double on = bench::tput(c);
+    c.kv_cache_enabled = false;
+    const double off = bench::tput(c);
+    ratio[len] = on / off;
+    t.add_numeric_row(std::to_string(len), {on, off, on / off}, 2);
+  }
+
+  report::ShapeReport shapes("Fig. 2a");
+  shapes.check_ratio("KV-cache speedup at length 128", ratio[128], 2.0, 0.45);
+  shapes.check_ratio("KV-cache speedup at length 1024", ratio[1024], 7.0, 0.45);
+  bool growing = true;
+  for (std::size_t i = 1; i < lens.size(); ++i)
+    growing &= ratio[lens[i]] > ratio[lens[i - 1]];
+  shapes.check_claim("speedup grows with sequence length", growing);
+  return bench::finish("fig02a", "KV cache on/off, LLaMA-2-70B on Gaudi2 x8", t,
+                       shapes);
+}

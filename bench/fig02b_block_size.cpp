@@ -1,0 +1,33 @@
+// Fig. 2b: paged-KV block-size sweep on A100 (vLLM, LLaMA-3-8B).
+// Paper: any block size >= 16 is optimal; block 16 is ~1.27x block 8 at bs 64.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::uint32_t> blocks = {1, 2, 4, 8, 16, 32, 64, 128};
+  const std::vector<std::int64_t> batches = {16, 32, 64};
+
+  report::Table t({"block size", "bs 16", "bs 32", "bs 64"});
+  std::map<std::pair<std::uint32_t, std::int64_t>, double> grid;
+  for (auto blk : blocks) {
+    std::vector<double> row;
+    for (auto bs : batches) {
+      sim::SimConfig c = bench::point("LLaMA-3-8B", "A100", "vLLM", bs, 1024);
+      c.kv_block_override = blk;
+      const double v = bench::tput(c);
+      grid[{blk, bs}] = v;
+      row.push_back(v);
+    }
+    t.add_numeric_row(std::to_string(blk), row, 0);
+  }
+
+  report::ShapeReport shapes("Fig. 2b");
+  shapes.check_ratio("block 16 / block 8 at batch 64",
+                     grid[{16, 64}] / grid[{8, 64}], 1.27, 0.25);
+  shapes.check_claim("block >= 16 within 6% of block 128",
+                     grid[{16, 64}] / grid[{128, 64}] > 0.94);
+  shapes.check_claim("tiny blocks (<= 4) hurt badly",
+                     grid[{4, 64}] < 0.8 * grid[{16, 64}]);
+  return bench::finish("fig02b", "Paged-KV block-size sweep on A100", t, shapes);
+}

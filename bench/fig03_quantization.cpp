@@ -1,0 +1,51 @@
+// Fig. 3: FP16 / FP8 / INT8 quantization on A100 and H100 (vLLM, TRT-LLM).
+// Paper: FP8 on H100 and INT8 on A100 beat FP16; A100 has no FP8 at all.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  using hw::Precision;
+  struct Cell {
+    const char* hw;
+    const char* fw;
+  };
+  const std::vector<Cell> cells = {{"A100", "vLLM"},
+                                   {"A100", "TensorRT-LLM"},
+                                   {"H100", "vLLM"},
+                                   {"H100", "TensorRT-LLM"}};
+  const std::vector<std::pair<const char*, Precision>> precisions = {
+      {"fp16", Precision::kFP16}, {"fp8", Precision::kFP8}, {"int8", Precision::kINT8}};
+
+  report::Table t({"hw + framework", "fp16", "fp8", "int8"});
+  std::map<std::string, std::map<std::string, double>> grid;
+  for (const auto& cell : cells) {
+    std::vector<double> row;
+    for (const auto& [pname, prec] : precisions) {
+      sim::SimConfig c = bench::point("LLaMA-3-8B", cell.hw, cell.fw, 32, 1024);
+      c.precision = prec;
+      c.kv_precision = prec;
+      const double v = bench::tput(c);
+      grid[std::string(cell.hw) + "+" + cell.fw][pname] = v;
+      row.push_back(v);
+    }
+    t.add_numeric_row(std::string(cell.hw) + " " + cell.fw, row, 0);
+  }
+
+  report::ShapeReport shapes("Fig. 3");
+  shapes.check_claim("FP8 unsupported on A100 (plotted as 0)",
+                     grid["A100+vLLM"]["fp8"] == 0.0 &&
+                         grid["A100+TensorRT-LLM"]["fp8"] == 0.0);
+  shapes.check_claim("INT8 beats FP16 on A100",
+                     grid["A100+vLLM"]["int8"] > grid["A100+vLLM"]["fp16"] &&
+                         grid["A100+TensorRT-LLM"]["int8"] >
+                             grid["A100+TensorRT-LLM"]["fp16"]);
+  shapes.check_claim("FP8 beats FP16 on H100",
+                     grid["H100+vLLM"]["fp8"] > grid["H100+vLLM"]["fp16"] &&
+                         grid["H100+TensorRT-LLM"]["fp8"] >
+                             grid["H100+TensorRT-LLM"]["fp16"]);
+  shapes.check_ratio("H100 TRT-LLM fp8/fp16 gain",
+                     grid["H100+TensorRT-LLM"]["fp8"] / grid["H100+TensorRT-LLM"]["fp16"],
+                     1.6, 0.40);
+  return bench::finish("fig03", "LLaMA-3-8B quantization benchmarking", t, shapes);
+}

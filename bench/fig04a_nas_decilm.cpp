@@ -1,0 +1,39 @@
+// Fig. 4a: NAS-optimized DeciLM-7B vs LLaMA-3-8B vs Mistral-7B on A100 + H100.
+// Paper: DeciLM's per-layer KV-head search (67 total KV heads vs 256) gives it
+// the highest throughput of the 7B class.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"DeciLM-7B", "LLaMA-3-8B", "Mistral-7B"};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"model", "hw", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, double> at64;
+  for (const auto* hw : {"A100", "H100"}) {
+    for (const auto& m : models) {
+      std::vector<double> row;
+      for (auto bs : batches) {
+        const double v = bench::tput(bench::point(m, hw, "vLLM", bs, 1024));
+        if (bs == 64) at64[m + std::string("+") + hw] = v;
+        row.push_back(v);
+      }
+      std::vector<std::string> cells = {m, hw};
+      for (double v : row) cells.push_back(util::format_fixed(v, 0));
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 4a");
+  shapes.check_claim("DeciLM-7B fastest on A100 at batch 64",
+                     at64["DeciLM-7B+A100"] > at64["LLaMA-3-8B+A100"] &&
+                         at64["DeciLM-7B+A100"] > at64["Mistral-7B+A100"]);
+  shapes.check_claim("DeciLM-7B fastest on H100 at batch 64",
+                     at64["DeciLM-7B+H100"] > at64["LLaMA-3-8B+H100"] &&
+                         at64["DeciLM-7B+H100"] > at64["Mistral-7B+H100"]);
+  shapes.note("DeciLM/Mistral A100 ratio",
+              at64["DeciLM-7B+A100"] / at64["Mistral-7B+A100"]);
+  return bench::finish("fig04a", "NAS (DeciLM-7B) vs hand-designed 7B models", t,
+                       shapes);
+}

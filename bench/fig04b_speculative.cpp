@@ -1,0 +1,40 @@
+// Fig. 4b: speculative decoding with a LLaMA-68M draft on A100.
+// Paper: SD speeds up LLaMA-2-7B but not Mixtral-8x7B, and the benefit
+// shrinks as sequence length grows.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::int64_t> lens = {128, 256, 512, 1024, 2048};
+
+  report::Table t({"model", "length", "plain (tok/s)", "speculative (tok/s)",
+                   "SD speedup"});
+  std::map<std::pair<std::string, std::int64_t>, double> speedup;
+  for (const auto* model : {"LLaMA-2-7B", "Mixtral-8x7B"}) {
+    for (auto len : lens) {
+      const int tp = std::string(model) == "Mixtral-8x7B" ? 4 : 1;
+      sim::SimConfig c = bench::point(model, "A100", "vLLM", 1, len, tp);
+      const double plain = bench::tput(c);
+      c.speculative = sim::SpeculativeConfig{};  // LLaMA-68M draft, auto alpha
+      const auto r = bench::simulator().run(c);
+      const double spec = r.ok() ? r.throughput_tps : 0.0;
+      speedup[{model, len}] = plain > 0 ? spec / plain : 0.0;
+      t.add_row({model, std::to_string(len), util::format_fixed(plain, 1),
+                 util::format_fixed(spec, 1),
+                 util::format_fixed(speedup[{model, len}], 2)});
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 4b");
+  shapes.check_claim("SD clearly helps LLaMA-2-7B at short lengths",
+                     speedup[{"LLaMA-2-7B", 128}] > 1.4);
+  shapes.check_claim("SD does not help Mixtral-8x7B",
+                     speedup[{"Mixtral-8x7B", 256}] < 1.15);
+  shapes.check_claim("7B benefit shrinks with length",
+                     speedup[{"LLaMA-2-7B", 2048}] < speedup[{"LLaMA-2-7B", 128}]);
+  shapes.note("7B speedup at 128", speedup[{"LLaMA-2-7B", 128}]);
+  shapes.note("Mixtral speedup at 256", speedup[{"Mixtral-8x7B", 256}]);
+  return bench::finish("fig04b", "Speculative decoding (draft: LLaMA-68M)", t,
+                       shapes);
+}

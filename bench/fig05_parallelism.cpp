@@ -1,0 +1,42 @@
+// Fig. 5: TP vs PP vs hybrid (LLaMA-3-8B) and TP/PP/EP (Mixtral-8x7B) on a
+// 4xA100 node. Paper: TP is 1.94x faster than PP and 1.30x faster than the
+// TP=2,PP=2 hybrid; for Mixtral, TP still leads EP.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  using parallel::ParallelPlan;
+
+  report::Table t({"model", "plan", "devices", "tput (tok/s)"});
+  auto run = [&](const char* model, ParallelPlan plan) {
+    sim::SimConfig c = bench::point(model, "A100", "vLLM", 16, 1024);
+    c.plan = plan;
+    const double v = bench::tput(c);
+    t.add_row({model, plan.to_string(), std::to_string(plan.devices()),
+               util::format_fixed(v, 0)});
+    return v;
+  };
+
+  // (a) LLaMA-3-8B on 1, 2, 4 GPUs.
+  const double one = run("LLaMA-3-8B", {1, 1, 1});
+  const double tp2 = run("LLaMA-3-8B", {2, 1, 1});
+  const double tp4 = run("LLaMA-3-8B", {4, 1, 1});
+  const double pp4 = run("LLaMA-3-8B", {1, 4, 1});
+  const double hybrid = run("LLaMA-3-8B", {2, 2, 1});
+
+  // (b) Mixtral-8x7B: TP vs EP vs hybrid within the node.
+  const double mx_tp4 = run("Mixtral-8x7B", {4, 1, 1});
+  const double mx_ep4 = run("Mixtral-8x7B", {1, 1, 4});
+  const double mx_tp2ep2 = run("Mixtral-8x7B", {2, 1, 2});
+
+  report::ShapeReport shapes("Fig. 5");
+  shapes.check_ratio("TP4 / PP4 (LLaMA-3-8B)", tp4 / pp4, 1.94, 0.40);
+  shapes.check_ratio("TP4 / hybrid(TP2,PP2)", tp4 / hybrid, 1.30, 0.40);
+  shapes.check_claim("TP scales with device count", tp4 > tp2 && tp2 > one);
+  shapes.check_claim("Mixtral: TP4 beats EP4 (less comm, better utilization)",
+                     mx_tp4 > mx_ep4);
+  shapes.check_claim("Mixtral hybrid sits between TP and EP",
+                     mx_tp2ep2 <= mx_tp4 && mx_tp2ep2 >= mx_ep4 * 0.9);
+  return bench::finish("fig05", "Parallelism comparison within a node", t, shapes);
+}

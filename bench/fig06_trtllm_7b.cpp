@@ -1,0 +1,39 @@
+// Fig. 6: 7B models with TensorRT-LLM on GH200 / H100 / A100 (single device).
+// Paper: newer GPUs win; GQA models (Mistral-7B, LLaMA-3-8B) are ~1.9x (H100)
+// and ~2.79x (A100) faster than LLaMA-2-7B at batch 64; Mistral edges out
+// LLaMA-3-8B thanks to its 4x smaller vocabulary.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"};
+  const std::vector<std::string> hws = {"A100", "H100", "GH200"};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"model", "hw", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, double> at64;
+  for (const auto& hw : hws) {
+    for (const auto& m : models) {
+      std::vector<std::string> cells = {m, hw};
+      for (auto bs : batches) {
+        const double v = bench::tput(bench::point(m, hw, "TensorRT-LLM", bs, 1024));
+        if (bs == 64) at64[m + "+" + hw] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 6");
+  shapes.check_ratio("GQA (Mistral) / MHSA (LLaMA-2-7B) on H100 @ bs64",
+                     at64["Mistral-7B+H100"] / at64["LLaMA-2-7B+H100"], 1.9, 0.40);
+  shapes.check_ratio("GQA / MHSA on A100 @ bs64",
+                     at64["Mistral-7B+A100"] / at64["LLaMA-2-7B+A100"], 2.79, 0.40);
+  shapes.check_claim("generation ordering GH200 > H100 > A100 (Mistral @ bs64)",
+                     at64["Mistral-7B+GH200"] > at64["Mistral-7B+H100"] &&
+                         at64["Mistral-7B+H100"] > at64["Mistral-7B+A100"]);
+  shapes.check_claim("Mistral-7B >= LLaMA-3-8B (smaller vocab)",
+                     at64["Mistral-7B+H100"] >= at64["LLaMA-3-8B+H100"]);
+  return bench::finish("fig06", "7B models with TensorRT-LLM", t, shapes);
+}

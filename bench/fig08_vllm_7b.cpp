@@ -1,0 +1,52 @@
+// Fig. 8: 7B models with vLLM on GH200 / H100 / A100 / MI250.
+// Paper: GH200 consistently highest, H100 second; A100 and MI250 comparable
+// with A100 marginally ahead at larger batch; Qwen2-7B on GH200 is the
+// fastest 7B point overall (smallest hidden/layers).
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B",
+                                           "Qwen2-7B"};
+  const std::vector<std::string> hws = {"GH200", "H100", "A100", "MI250"};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"model", "hw", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, std::map<std::int64_t, double>> grid;
+  for (const auto& m : models) {
+    for (const auto& hw : hws) {
+      std::vector<std::string> cells = {m, hw};
+      for (auto bs : batches) {
+        const double v = bench::tput(bench::point(m, hw, "vLLM", bs, 1024));
+        grid[m + "+" + hw][bs] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 8");
+  bool gh200_best = true, h100_second = true;
+  for (const auto& m : models) {
+    gh200_best &= grid[m + "+GH200"][16] > grid[m + "+H100"][16];
+    h100_second &= grid[m + "+H100"][16] > grid[m + "+A100"][16];
+  }
+  shapes.check_claim("GH200 highest across all models", gh200_best);
+  shapes.check_claim("H100 second", h100_second);
+  shapes.check_claim("Qwen2-7B on GH200 is the fastest 7B point", [&] {
+    const double q = grid["Qwen2-7B+GH200"][64];
+    for (const auto& m : models)
+      for (const auto& hw : hws)
+        if (grid[m + "+" + hw][64] > q) return false;
+    return true;
+  }());
+  shapes.check_claim("LLaMA-3-8B beats LLaMA-2-7B at large batch (GQA)",
+                     grid["LLaMA-3-8B+A100"][64] > grid["LLaMA-2-7B+A100"][64]);
+  shapes.check_claim("A100 and MI250 comparable at bs16 (within 2x)", [&] {
+    const double a = grid["LLaMA-3-8B+A100"][16];
+    const double m = grid["LLaMA-3-8B+MI250"][16];
+    return a / m < 2.0 && m / a < 2.0;
+  }());
+  return bench::finish("fig08", "7B models with vLLM across accelerators", t, shapes);
+}

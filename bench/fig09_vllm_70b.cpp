@@ -1,0 +1,37 @@
+// Fig. 9: 70B models with vLLM (TP=4 within a node).
+// Paper: same trend as TRT-LLM — LLaMA-2-70B > LLaMA-3-70B ~ Qwen2-72B, and
+// Mixtral-8x7B beats all dense 70B models.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"Mixtral-8x7B", "LLaMA-2-70B",
+                                           "LLaMA-3-70B", "Qwen2-72B"};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"model", "hw", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, double> at16;
+  for (const auto* hw : {"A100", "H100"}) {
+    for (const auto& m : models) {
+      std::vector<std::string> cells = {m, hw};
+      for (auto bs : batches) {
+        const double v = bench::tput(bench::point(m, hw, "vLLM", bs, 1024, 4));
+        if (bs == 16) at16[m + "+" + hw] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 9");
+  shapes.check_claim("Mixtral beats every dense 70B model (H100)",
+                     at16["Mixtral-8x7B+H100"] > at16["LLaMA-2-70B+H100"] &&
+                         at16["Mixtral-8x7B+H100"] > at16["Qwen2-72B+H100"]);
+  shapes.check_claim("LLaMA-2-70B > LLaMA-3-70B (H100 and A100)",
+                     at16["LLaMA-2-70B+H100"] > at16["LLaMA-3-70B+H100"] &&
+                         at16["LLaMA-2-70B+A100"] > at16["LLaMA-3-70B+A100"]);
+  shapes.check_claim("LLaMA-2-70B > Qwen2-72B (vocab + FFN size)",
+                     at16["LLaMA-2-70B+H100"] > at16["Qwen2-72B+H100"]);
+  return bench::finish("fig09", "70B models with vLLM (TP=4)", t, shapes);
+}

@@ -1,0 +1,46 @@
+// Fig. 10: perplexity vs A100 throughput scatter for the ~7B model zoo
+// (LongBench-substitute estimator; see DESIGN.md). Paper: LLaMA-2-7B best
+// perplexity; Mistral-7B +0.09 with a strong throughput tradeoff; DeciLM-7B
+// highest throughput; Gemma-7B lowest throughput.
+
+#include "common.h"
+#include "eval/arch_estimator.h"
+#include "models/config.h"
+
+int main() {
+  using namespace llmib;
+  const eval::ArchPerplexityEstimator est;
+  const auto& reg = models::ModelRegistry::builtin();
+
+  report::Table t({"model", "perplexity (est.)", "A100 tput @ bs32 (tok/s)"});
+  std::map<std::string, double> ppl, tput;
+  for (const auto& name : models::ModelRegistry::perplexity_zoo_names()) {
+    ppl[name] = est.estimate(reg.get(name));
+    tput[name] = bench::tput(bench::point(name, "A100", "vLLM", 32, 1024));
+    t.add_row({name, util::format_fixed(ppl[name], 2),
+               util::format_fixed(tput[name], 0)});
+  }
+
+  report::ShapeReport shapes("Fig. 10");
+  shapes.check_claim("LLaMA-2-7B has the best (lowest) perplexity", [&] {
+    for (const auto& [name, p] : ppl)
+      if (name != "LLaMA-2-7B" && p <= ppl["LLaMA-2-7B"]) return false;
+    return true;
+  }());
+  shapes.check_ratio("Mistral perplexity gap over LLaMA-2-7B",
+                     ppl["Mistral-7B"] - ppl["LLaMA-2-7B"], 0.09, 0.55);
+  shapes.check_claim("DeciLM-7B has the highest throughput", [&] {
+    for (const auto& [name, v] : tput)
+      if (name != "DeciLM-7B" && v >= tput["DeciLM-7B"]) return false;
+    return true;
+  }());
+  shapes.check_claim("Gemma-7B has the lowest throughput", [&] {
+    for (const auto& [name, v] : tput)
+      if (name != "Gemma-7B" && v <= tput["Gemma-7B"]) return false;
+    return true;
+  }());
+  shapes.check_claim("legacy models (OPT/GPT-J/Bloom) clearly worse perplexity",
+                     ppl["OPT-6.7B"] > ppl["Mistral-7B"] + 1.0 &&
+                         ppl["Bloom-7.1B"] > ppl["Mistral-7B"] + 1.0);
+  return bench::finish("fig10", "Perplexity vs A100 throughput (~7B zoo)", t, shapes);
+}

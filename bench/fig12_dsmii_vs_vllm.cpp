@@ -1,0 +1,37 @@
+// Fig. 12: Mixtral-8x7B, DeepSpeed-MII vs vLLM on A100 (TP=4).
+// Paper: DS-MII overtakes vLLM for large batch + long sequences (1.04x at
+// batch 64 / length 2048); at small batch vLLM is clearly ahead.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+  const std::vector<std::int64_t> lens = {128, 1024, 2048};
+
+  report::Table t({"framework", "length", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, double> cell;
+  for (const auto* fw : {"vLLM", "DeepSpeed-MII"}) {
+    for (auto len : lens) {
+      std::vector<std::string> cells = {fw, std::to_string(len)};
+      for (auto bs : batches) {
+        const double v = bench::tput(bench::point("Mixtral-8x7B", "A100", fw, bs, len, 4));
+        cell[std::string(fw) + "/" + std::to_string(len) + "/" + std::to_string(bs)] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  const double ratio_big = cell["DeepSpeed-MII/2048/64"] / cell["vLLM/2048/64"];
+  const double ratio_small = cell["DeepSpeed-MII/128/1"] / cell["vLLM/128/1"];
+
+  report::ShapeReport shapes("Fig. 12");
+  shapes.check_ratio("DS-MII / vLLM at bs64, len 2048 (paper 1.04)", ratio_big, 1.04,
+                     0.20);
+  shapes.check_claim("vLLM ahead at small batch/short length", ratio_small < 1.0);
+  shapes.check_claim("DS-MII's relative position improves with scale",
+                     ratio_big > ratio_small);
+  return bench::finish("fig12", "Mixtral-8x7B: DeepSpeed-MII vs vLLM on A100", t,
+                       shapes);
+}

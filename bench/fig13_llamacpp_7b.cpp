@@ -1,0 +1,43 @@
+// Fig. 13: 7B models with llama.cpp across platforms and GPU counts.
+// Paper: llama.cpp shows only marginal gains from more GPUs (layer-split
+// execution, no tensor parallelism) and is far below the tuned frameworks.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"};
+  const std::vector<int> device_counts = {1, 2, 4};
+
+  report::Table t({"model", "hw", "1 GPU", "2 GPUs", "4 GPUs"});
+  std::map<std::string, std::map<int, double>> scale;
+  for (const auto* hw : {"A100", "H100", "MI250"}) {
+    for (const auto& m : models) {
+      std::vector<std::string> cells = {m, hw};
+      for (int d : device_counts) {
+        sim::SimConfig c = bench::point(m, hw, "llama.cpp", 16, 512);
+        c.plan.tp = 1;
+        c.plan.pp = d;  // llama.cpp splits layers across GPUs
+        const double v = bench::tput(c);
+        scale[m + std::string("+") + hw][d] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 13");
+  shapes.check_claim("marginal multi-GPU benefit (< 1.3x from 1 to 4 GPUs)", [&] {
+    for (const auto& [key, per_dev] : scale) {
+      const double gain = per_dev.at(4) / per_dev.at(1);
+      if (gain > 1.3) return false;
+    }
+    return true;
+  }());
+  shapes.check_claim("llama.cpp well below vLLM on the same A100", [&] {
+    const double lcpp = scale["LLaMA-3-8B+A100"][1];
+    const double vllm = bench::tput(bench::point("LLaMA-3-8B", "A100", "vLLM", 16, 512));
+    return lcpp < 0.6 * vllm;
+  }());
+  return bench::finish("fig13", "7B models with llama.cpp (layer split)", t, shapes);
+}

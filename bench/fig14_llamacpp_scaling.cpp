@@ -1,0 +1,47 @@
+// Fig. 14: llama.cpp 7B weak scaling over batch and GPU count.
+// Paper: LLaMA-2-7B (MHSA) outperforms both GQA models, Mistral-7B beats
+// LLaMA-3-8B, and batch scaling is weak compared to tuned frameworks.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "Mistral-7B", "LLaMA-3-8B"};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"model", "gpus", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, std::map<std::int64_t, double>> grid;
+  for (const auto& m : models) {
+    for (int gpus : {1, 4}) {
+      std::vector<std::string> cells = {m, std::to_string(gpus)};
+      for (auto bs : batches) {
+        sim::SimConfig c = bench::point(m, "A100", "llama.cpp", bs, 256);
+        c.plan.pp = gpus;
+        const double v = bench::tput(c);
+        if (gpus == 1) grid[m][bs] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 14");
+  shapes.check_claim("LLaMA-2-7B (MHSA) fastest under llama.cpp at every batch", [&] {
+    for (auto bs : batches)
+      if (grid["LLaMA-2-7B"][bs] < grid["Mistral-7B"][bs] ||
+          grid["LLaMA-2-7B"][bs] < grid["LLaMA-3-8B"][bs])
+        return false;
+    return true;
+  }());
+  shapes.check_claim("Mistral-7B > LLaMA-3-8B (vocab) under llama.cpp",
+                     grid["Mistral-7B"][64] > grid["LLaMA-3-8B"][64]);
+  const double lcpp_scaling = grid["LLaMA-2-7B"][64] / grid["LLaMA-2-7B"][1];
+  const double vllm_scaling =
+      bench::tput(bench::point("LLaMA-2-7B", "A100", "vLLM", 64, 256)) /
+      bench::tput(bench::point("LLaMA-2-7B", "A100", "vLLM", 1, 256));
+  shapes.check_claim("llama.cpp batch scaling far weaker than vLLM's",
+                     lcpp_scaling < 0.5 * vllm_scaling);
+  shapes.note("llama.cpp bs1->64 scaling", lcpp_scaling);
+  shapes.note("vLLM bs1->64 scaling", vllm_scaling);
+  return bench::finish("fig14", "llama.cpp 7B weak scaling", t, shapes);
+}

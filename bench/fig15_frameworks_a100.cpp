@@ -1,0 +1,46 @@
+// Fig. 15: all four frameworks, 7B models, single A100.
+// Paper: TRT-LLM > vLLM > DS-MII > llama.cpp; Mistral-7B > LLaMA-3-8B under
+// the GQA-aware frameworks.
+
+#include "common.h"
+#include "core/insights.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B",
+                                           "Qwen2-7B"};
+  const std::vector<std::string> fws = {"TensorRT-LLM", "vLLM", "DeepSpeed-MII",
+                                        "llama.cpp"};
+
+  core::BenchmarkRunner runner;
+  core::SweepAxes axes;
+  axes.models = models;
+  axes.accelerators = {"A100"};
+  axes.frameworks = fws;
+  axes.batch_sizes = {16, 32, 64};
+  axes.io_lengths = {1024};
+  const auto set = runner.run_sweep(axes);
+
+  report::Table t({"model", "framework", "bs 16", "bs 32", "bs 64"});
+  for (const auto& m : models) {
+    for (const auto& fw : fws) {
+      t.add_row({m, fw,
+                 util::format_fixed(set.throughput(m, "A100", fw, 16, 1024), 0),
+                 util::format_fixed(set.throughput(m, "A100", fw, 32, 1024), 0),
+                 util::format_fixed(set.throughput(m, "A100", fw, 64, 1024), 0)});
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 15");
+  const auto ranking = core::rank_frameworks(set, "LLaMA-3-8B", "A100");
+  shapes.check_claim("TRT-LLM fastest on A100", !ranking.empty() &&
+                                                    ranking.front() == "TensorRT-LLM");
+  shapes.check_claim("llama.cpp slowest on A100",
+                     !ranking.empty() && ranking.back() == "llama.cpp");
+  shapes.check_claim("vLLM second",
+                     ranking.size() >= 2 && ranking[1] == "vLLM");
+  shapes.check_claim("Mistral-7B > LLaMA-3-8B under TRT-LLM (vocab)",
+                     set.throughput("Mistral-7B", "A100", "TensorRT-LLM", 64, 1024) >
+                         set.throughput("LLaMA-3-8B", "A100", "TensorRT-LLM", 64, 1024));
+  return bench::finish("fig15", "Framework comparison on A100 (7B models)", t, shapes);
+}

@@ -1,0 +1,55 @@
+// Fig. 16: power consumption and throughput-per-watt for LLaMA-2-7B and
+// LLaMA-3-8B on A100/H100/GH200 with vLLM and TRT-LLM.
+// Paper: TRT-LLM draws more power than vLLM but delivers better perf/W;
+// LLaMA-3-8B's perf/W beats LLaMA-2-7B's on the same setup.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  report::Table t({"model", "hw", "framework", "tput (tok/s)", "power (W)",
+                   "tok/s/W"});
+  struct Key {
+    std::string s;
+  };
+  std::map<std::string, sim::SimResult> results;
+  for (const auto* m : {"LLaMA-2-7B", "LLaMA-3-8B"}) {
+    for (const auto* hw : {"A100", "H100", "GH200"}) {
+      for (const auto* fw : {"vLLM", "TensorRT-LLM"}) {
+        const auto r = bench::simulator().run(bench::point(m, hw, fw, 32, 1024));
+        results[std::string(m) + "+" + hw + "+" + fw] = r;
+        t.add_row({m, hw, fw, util::format_fixed(r.throughput_tps, 0),
+                   util::format_fixed(r.average_power_w, 0),
+                   util::format_fixed(r.tokens_per_sec_per_watt, 2)});
+      }
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 16");
+  bool trt_more_power = true, trt_better_ppw = true;
+  for (const auto* m : {"LLaMA-2-7B", "LLaMA-3-8B"}) {
+    for (const auto* hw : {"A100", "H100", "GH200"}) {
+      const auto& v = results[std::string(m) + "+" + hw + "+vLLM"];
+      const auto& trt = results[std::string(m) + "+" + hw + "+TensorRT-LLM"];
+      trt_more_power &= trt.average_power_w >= v.average_power_w * 0.97;
+      trt_better_ppw &= trt.tokens_per_sec_per_watt > v.tokens_per_sec_per_watt;
+    }
+  }
+  shapes.check_claim("TRT-LLM draws >= vLLM power (higher utilization)",
+                     trt_more_power);
+  shapes.check_claim("TRT-LLM better perf/W everywhere", trt_better_ppw);
+  bool l3_better_ppw = true;
+  for (const auto* hw : {"A100", "H100", "GH200"}) {
+    for (const auto* fw : {"vLLM", "TensorRT-LLM"}) {
+      l3_better_ppw &=
+          results[std::string("LLaMA-3-8B+") + hw + "+" + fw].tokens_per_sec_per_watt >
+          results[std::string("LLaMA-2-7B+") + hw + "+" + fw].tokens_per_sec_per_watt;
+    }
+  }
+  shapes.check_claim("LLaMA-3-8B perf/W > LLaMA-2-7B everywhere", l3_better_ppw);
+  shapes.check_claim("H100 best perf/W across GPUs (paper conclusion)", [&] {
+    const double h = results["LLaMA-3-8B+H100+TensorRT-LLM"].tokens_per_sec_per_watt;
+    return h > results["LLaMA-3-8B+A100+TensorRT-LLM"].tokens_per_sec_per_watt;
+  }());
+  return bench::finish("fig16", "Power and throughput-per-watt", t, shapes);
+}

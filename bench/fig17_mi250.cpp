@@ -1,0 +1,40 @@
+// Fig. 17: LLaMA-3-8B with vLLM on a single MI250 — early saturation.
+// Paper: MI250 saturates faster than A100; throughput drops past batch 32,
+// and the drop worsens as input/output length grows.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+  const std::vector<std::int64_t> lens = {128, 512, 1024, 2048};
+
+  report::Table t({"batch", "len 128", "len 512", "len 1024", "len 2048"});
+  std::map<std::pair<std::int64_t, std::int64_t>, double> grid;
+  for (auto bs : batches) {
+    std::vector<double> row;
+    for (auto len : lens) {
+      const double v = bench::tput(bench::point("LLaMA-3-8B", "MI250", "vLLM", bs, len));
+      grid[{bs, len}] = v;
+      row.push_back(v);
+    }
+    t.add_numeric_row("bs " + std::to_string(bs), row, 0);
+  }
+
+  report::ShapeReport shapes("Fig. 17");
+  shapes.check_claim("throughput declines past batch 32 at length >= 1024",
+                     grid[{64, 1024}] < grid[{32, 1024}] &&
+                         grid[{64, 2048}] < grid[{32, 2048}]);
+  shapes.check_claim("A100 does NOT decline at the same point", [&] {
+    const double a32 = bench::tput(bench::point("LLaMA-3-8B", "A100", "vLLM", 32, 1024));
+    const double a64 = bench::tput(bench::point("LLaMA-3-8B", "A100", "vLLM", 64, 1024));
+    return a64 > a32;
+  }());
+  shapes.check_claim("decline worsens with length", [&] {
+    const double drop_1024 = grid[{64, 1024}] / grid[{32, 1024}];
+    const double drop_128 = grid[{64, 128}] / grid[{32, 128}];
+    return drop_1024 <= drop_128;
+  }());
+  return bench::finish("fig17", "MI250 early saturation (LLaMA-3-8B, vLLM)", t,
+                       shapes);
+}

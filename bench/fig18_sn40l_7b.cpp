@@ -1,0 +1,49 @@
+// Fig. 18: 7B models on 8 SN40L RDUs vs 4xH100 and 4xA100.
+// Paper: SN40L (vendor stack, whole-decoder fusion) beats both GPU setups;
+// uniquely, its throughput RISES with input/output length up to ~512 because
+// the fixed graph-dispatch latency amortizes over longer sequences.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::int64_t> lens = {128, 256, 512, 1024};
+
+  report::Table t({"model", "setup", "len 128", "len 256", "len 512", "len 1024"});
+  std::map<std::string, std::map<std::int64_t, double>> grid;
+  for (const auto* m : {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"}) {
+    struct Setup {
+      const char* label;
+      const char* hw;
+      const char* fw;
+      int tp;
+    };
+    for (const Setup& s : {Setup{"SN40L x8", "SN40L", "SambaFlow", 8},
+                           Setup{"H100 x4", "H100", "TensorRT-LLM", 4},
+                           Setup{"A100 x4", "A100", "TensorRT-LLM", 4}}) {
+      std::vector<std::string> cells = {m, s.label};
+      for (auto len : lens) {
+        const double v = bench::tput(bench::point(m, s.hw, s.fw, 16, len, s.tp));
+        grid[std::string(m) + "+" + s.label][len] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 18");
+  shapes.check_claim("SN40L x8 beats 4xH100 and 4xA100 (LLaMA-3-8B, len 512)",
+                     grid["LLaMA-3-8B+SN40L x8"][512] > grid["LLaMA-3-8B+H100 x4"][512] &&
+                         grid["LLaMA-3-8B+SN40L x8"][512] >
+                             grid["LLaMA-3-8B+A100 x4"][512]);
+  shapes.check_claim("SN40L throughput rises with length up to 512",
+                     grid["LLaMA-3-8B+SN40L x8"][512] >
+                         grid["LLaMA-3-8B+SN40L x8"][128]);
+  shapes.check_claim("GPUs show the usual decline with length instead",
+                     grid["LLaMA-3-8B+H100 x4"][512] <
+                         grid["LLaMA-3-8B+H100 x4"][128]);
+  shapes.check_claim("GQA models beat LLaMA-2-7B on SN40L (compiler gap, paper)",
+                     grid["LLaMA-3-8B+SN40L x8"][512] >
+                         grid["LLaMA-2-7B+SN40L x8"][512]);
+  return bench::finish("fig18", "7B models: SN40L x8 vs GPU nodes", t, shapes);
+}

@@ -1,0 +1,40 @@
+// Fig. 19: LLaMA-2-70B on 8 SN40L RDUs vs 4xA100 / 4xH100.
+// Paper: the tiered-memory dataflow machine stays ahead of 4xA100 and is
+// competitive with 4xH100 for the 70B model at moderate batch.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::int64_t> batches = {1, 8, 16};
+
+  report::Table t({"setup", "bs 1", "bs 8", "bs 16"});
+  std::map<std::string, std::map<std::int64_t, double>> grid;
+  struct Setup {
+    const char* label;
+    const char* hw;
+    const char* fw;
+    int tp;
+  };
+  for (const Setup& s : {Setup{"SN40L x8", "SN40L", "SambaFlow", 8},
+                         Setup{"H100 x4", "H100", "TensorRT-LLM", 4},
+                         Setup{"A100 x4", "A100", "TensorRT-LLM", 4}}) {
+    std::vector<double> row;
+    for (auto bs : batches) {
+      const double v = bench::tput(bench::point("LLaMA-2-70B", s.hw, s.fw, bs, 512, s.tp));
+      grid[s.label][bs] = v;
+      row.push_back(v);
+    }
+    t.add_numeric_row(s.label, row, 0);
+  }
+
+  report::ShapeReport shapes("Fig. 19");
+  shapes.check_claim("SN40L x8 beats 4xA100 for the 70B model",
+                     grid["SN40L x8"][8] > grid["A100 x4"][8]);
+  shapes.check_claim("SN40L within 2x of 4xH100",
+                     grid["SN40L x8"][8] > 0.5 * grid["H100 x4"][8]);
+  shapes.check_claim("all setups scale from bs1 to bs16",
+                     grid["SN40L x8"][16] > grid["SN40L x8"][1] &&
+                         grid["H100 x4"][16] > grid["H100 x4"][1]);
+  return bench::finish("fig19", "LLaMA-2-70B: SN40L x8 vs GPU nodes", t, shapes);
+}

@@ -1,0 +1,43 @@
+// Fig. 20: 7B models on Gaudi2 vs H100 vs A100 (single device, vLLM-class
+// stacks). Paper: Gaudi2 beats A100 (MME/TPC overlap, multiple small matrix
+// engines) but trails H100, and hits OOM at batch 32/64 in several long
+// configurations (static-shape KV).
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"model", "hw", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, double> at16;
+  int gaudi_ooms = 0;
+  for (const auto& m : models) {
+    for (const auto* hw : {"A100", "Gaudi2", "H100"}) {
+      std::vector<std::string> cells = {m, hw};
+      for (auto bs : batches) {
+        sim::SimConfig c = bench::point(m, hw, "vLLM", bs, 2048);
+        const auto r = bench::simulator().run(c);
+        if (bs == 16 && r.ok()) at16[m + "+" + hw] = r.throughput_tps;
+        if (std::string(hw) == "Gaudi2" && r.status == sim::RunStatus::kOom)
+          ++gaudi_ooms;
+        cells.push_back(r.ok() ? util::format_fixed(r.throughput_tps, 0)
+                               : sim::run_status_name(r.status));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 20");
+  bool between = true;
+  for (const auto& m : models) {
+    between &= at16[m + "+Gaudi2"] > at16[m + "+A100"] &&
+               at16[m + "+Gaudi2"] < at16[m + "+H100"];
+  }
+  shapes.check_claim("Gaudi2 between A100 and H100 for every 7B model", between);
+  shapes.check_claim("Gaudi2 OOMs at large batch x long length (paper footnote 1)",
+                     gaudi_ooms > 0);
+  shapes.note("Gaudi2 OOM cells in this sweep", gaudi_ooms);
+  return bench::finish("fig20", "Gaudi2 vs H100 vs A100 (7B models)", t, shapes);
+}

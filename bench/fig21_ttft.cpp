@@ -1,0 +1,49 @@
+// Fig. 21: Time to First Token across accelerators (bs 1, out 1 per the
+// paper's TTFT protocol). Paper: SN40L has the highest TTFT (graph
+// dispatch); LLaMA-2-7B has the lowest TTFT of the 7B models (small FFN).
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"};
+  struct Setup {
+    const char* label;
+    const char* hw;
+    const char* fw;
+    int tp;
+  };
+  const std::vector<Setup> setups = {{"A100", "A100", "vLLM", 1},
+                                     {"H100", "H100", "vLLM", 1},
+                                     {"GH200", "GH200", "vLLM", 1},
+                                     {"MI250", "MI250", "vLLM", 1},
+                                     {"Gaudi2", "Gaudi2", "vLLM", 1},
+                                     {"SN40L x8", "SN40L", "SambaFlow", 8}};
+
+  report::Table t({"model", "hw", "TTFT (ms)"});
+  std::map<std::string, double> ttft;
+  for (const auto& m : models) {
+    for (const auto& s : setups) {
+      sim::SimConfig c = bench::point(m, s.hw, s.fw, 1, 1024, s.tp);
+      c.output_tokens = 1;  // paper: measure TTFT with max output = 1
+      const auto r = bench::simulator().run(c);
+      ttft[m + "+" + s.label] = r.ok() ? r.ttft_s : 0.0;
+      t.add_row({m, s.label, util::format_fixed(r.ttft_s * 1e3, 1)});
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 21");
+  shapes.check_claim("SN40L has the highest TTFT of all setups", [&] {
+    const double sn = ttft["LLaMA-3-8B+SN40L x8"];
+    for (const auto& s : setups)
+      if (std::string(s.label) != "SN40L x8" && ttft["LLaMA-3-8B+" + std::string(s.label)] >= sn)
+        return false;
+    return true;
+  }());
+  shapes.check_claim("LLaMA-2-7B lowest TTFT of the 7B models on A100",
+                     ttft["LLaMA-2-7B+A100"] < ttft["LLaMA-3-8B+A100"] &&
+                         ttft["LLaMA-2-7B+A100"] < ttft["Mistral-7B+A100"]);
+  shapes.check_claim("H100 TTFT below A100 TTFT",
+                     ttft["LLaMA-3-8B+H100"] < ttft["LLaMA-3-8B+A100"]);
+  return bench::finish("fig21", "Time to First Token across accelerators", t, shapes);
+}

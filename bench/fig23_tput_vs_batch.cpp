@@ -1,0 +1,54 @@
+// Fig. 23: LLaMA-3-8B throughput vs batch size across ALL accelerators
+// (vendor-preferred stacks). Paper: SN40L best up to batch 32; NVIDIA keeps
+// scaling past it; MI250 declines; Gaudi2 eventually OOMs.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  struct Setup {
+    const char* label;
+    const char* hw;
+    const char* fw;
+    int tp;
+  };
+  const std::vector<Setup> setups = {{"A100", "A100", "TensorRT-LLM", 1},
+                                     {"H100", "H100", "TensorRT-LLM", 1},
+                                     {"GH200", "GH200", "TensorRT-LLM", 1},
+                                     {"MI250", "MI250", "vLLM", 1},
+                                     {"MI300X", "MI300X", "vLLM", 1},
+                                     {"Gaudi2", "Gaudi2", "vLLM", 1},
+                                     {"SN40L x8", "SN40L", "SambaFlow", 8}};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"hw", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, std::map<std::int64_t, double>> grid;
+  for (const auto& s : setups) {
+    std::vector<std::string> cells = {s.label};
+    for (auto bs : batches) {
+      const auto r =
+          bench::simulator().run(bench::point("LLaMA-3-8B", s.hw, s.fw, bs, 1024, s.tp));
+      grid[s.label][bs] = r.ok() ? r.throughput_tps : 0.0;
+      cells.push_back(r.ok() ? util::format_fixed(r.throughput_tps, 0)
+                             : sim::run_status_name(r.status));
+    }
+    t.add_row(cells);
+  }
+
+  report::ShapeReport shapes("Fig. 23");
+  shapes.check_claim("SN40L best at batch <= 32", [&] {
+    for (auto bs : {1l, 16l, 32l}) {
+      const double sn = grid["SN40L x8"][bs];
+      for (const auto& s : setups)
+        if (std::string(s.label) != "SN40L x8" && grid[s.label][bs] >= sn) return false;
+    }
+    return true;
+  }());
+  shapes.check_claim("H100/GH200 keep scaling to batch 64",
+                     grid["H100"][64] > grid["H100"][32] &&
+                         grid["GH200"][64] > grid["GH200"][32]);
+  shapes.check_claim("MI250 declines past batch 32",
+                     grid["MI250"][64] < grid["MI250"][32]);
+  return bench::finish("fig23", "Throughput vs batch size (all accelerators)", t,
+                       shapes);
+}

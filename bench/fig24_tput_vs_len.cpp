@@ -1,0 +1,52 @@
+// Fig. 24: LLaMA-3-8B throughput vs input/output length across accelerators
+// (batch 16). Paper: GPUs decline monotonically with length; SN40L first
+// rises (dispatch amortization) then declines.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  struct Setup {
+    const char* label;
+    const char* hw;
+    const char* fw;
+    int tp;
+  };
+  const std::vector<Setup> setups = {{"A100", "A100", "TensorRT-LLM", 1},
+                                     {"H100", "H100", "TensorRT-LLM", 1},
+                                     {"GH200", "GH200", "TensorRT-LLM", 1},
+                                     {"MI250", "MI250", "vLLM", 1},
+                                     {"Gaudi2", "Gaudi2", "vLLM", 1},
+                                     {"SN40L x8", "SN40L", "SambaFlow", 8}};
+  const std::vector<std::int64_t> lens = {128, 256, 512, 1024, 2048};
+
+  report::Table t({"hw", "128", "256", "512", "1024", "2048"});
+  std::map<std::string, std::map<std::int64_t, double>> grid;
+  for (const auto& s : setups) {
+    std::vector<std::string> cells = {s.label};
+    for (auto len : lens) {
+      const auto r =
+          bench::simulator().run(bench::point("LLaMA-3-8B", s.hw, s.fw, 16, len, s.tp));
+      grid[s.label][len] = r.ok() ? r.throughput_tps : 0.0;
+      cells.push_back(r.ok() ? util::format_fixed(r.throughput_tps, 0)
+                             : sim::run_status_name(r.status));
+    }
+    t.add_row(cells);
+  }
+
+  report::ShapeReport shapes("Fig. 24");
+  bool gpus_decline = true;
+  for (const auto* label : {"A100", "H100", "GH200"})
+    gpus_decline &= grid[label][2048] < grid[label][128];
+  shapes.check_claim("GPU throughput declines with length", gpus_decline);
+  shapes.check_claim("SN40L rises from 128 to 512 before declining",
+                     grid["SN40L x8"][512] > grid["SN40L x8"][128]);
+  shapes.check_claim("GH200 > H100 > A100 at every length", [&] {
+    for (auto len : lens)
+      if (!(grid["GH200"][len] > grid["H100"][len] &&
+            grid["H100"][len] > grid["A100"][len]))
+        return false;
+    return true;
+  }());
+  return bench::finish("fig24", "Throughput vs input/output length", t, shapes);
+}

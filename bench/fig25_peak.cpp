@@ -1,0 +1,46 @@
+// Fig. 25: peak throughput of 7B models per accelerator (best framework and
+// batch per platform — the paper's closing comparison, with footnote 1's
+// caveats reproduced: MI250 peaks early, Gaudi2 loses cells to OOM).
+
+#include "common.h"
+#include "core/insights.h"
+#include "util/ascii_plot.h"
+
+int main() {
+  using namespace llmib;
+  core::BenchmarkRunner runner;
+  core::SweepAxes axes;
+  axes.models = {"LLaMA-3-8B"};
+  axes.accelerators = {"A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2", "SN40L"};
+  axes.frameworks = {"TensorRT-LLM", "vLLM", "DeepSpeed-MII", "llama.cpp",
+                     "SambaFlow"};
+  axes.batch_sizes = {1, 16, 32, 64};
+  axes.io_lengths = {1024};
+  axes.devices = 0;  // auto plan per platform
+  const auto set = runner.run_sweep(axes);
+
+  const auto peaks = core::peak_performance(set, "LLaMA-3-8B");
+  report::Table t({"accelerator", "peak tput (tok/s)", "at batch", "framework"});
+  std::vector<std::pair<std::string, double>> bars;
+  std::map<std::string, core::PeakEntry> by_hw;
+  for (const auto& p : peaks) {
+    t.add_row({p.accelerator, util::format_fixed(p.throughput_tps, 0),
+               std::to_string(p.batch), p.framework});
+    bars.push_back({p.accelerator, p.throughput_tps});
+    by_hw[p.accelerator] = p;
+  }
+  std::printf("%s\n", util::bar_chart(bars).c_str());
+
+  report::ShapeReport shapes("Fig. 25");
+  shapes.check_claim("every platform produced a peak entry", peaks.size() == 7);
+  shapes.check_claim("vendor stacks win on their hardware",
+                     by_hw["A100"].framework == "TensorRT-LLM" &&
+                         by_hw["SN40L"].framework == "SambaFlow");
+  shapes.check_claim("MI250 peaks below batch 64 (footnote 1)",
+                     by_hw["MI250"].batch < 64);
+  shapes.check_claim("NVIDIA peaks land at batch 64",
+                     by_hw["H100"].batch == 64 && by_hw["GH200"].batch == 64);
+  shapes.check_claim("Gaudi2 above A100 at peak",
+                     by_hw["Gaudi2"].throughput_tps > by_hw["A100"].throughput_tps);
+  return bench::finish("fig25", "Peak 7B throughput per accelerator", t, shapes);
+}

@@ -1,0 +1,38 @@
+// Fig. 29 (Appendix D): perplexity vs H100 throughput scatter for the ~7B
+// zoo. Paper: LLaMA-2-7B best perplexity but lower throughput than
+// LLaMA-3-8B; DeciLM-7B highest throughput (~5.5k tok/s class).
+
+#include "common.h"
+#include "eval/arch_estimator.h"
+#include "models/config.h"
+
+int main() {
+  using namespace llmib;
+  const eval::ArchPerplexityEstimator est;
+  const auto& reg = models::ModelRegistry::builtin();
+
+  report::Table t({"model", "perplexity (est.)", "H100 tput @ bs32 (tok/s)"});
+  std::map<std::string, double> ppl, tput;
+  for (const auto& name : models::ModelRegistry::perplexity_zoo_names()) {
+    ppl[name] = est.estimate(reg.get(name));
+    tput[name] = bench::tput(bench::point(name, "H100", "vLLM", 32, 1024));
+    t.add_row({name, util::format_fixed(ppl[name], 2),
+               util::format_fixed(tput[name], 0)});
+  }
+
+  report::ShapeReport shapes("Fig. 29");
+  shapes.check_claim("LLaMA-2-7B best perplexity, lower throughput than LLaMA-3-8B",
+                     ppl["LLaMA-2-7B"] < ppl["LLaMA-3-8B"] &&
+                         tput["LLaMA-2-7B"] < tput["LLaMA-3-8B"]);
+  shapes.check_claim("DeciLM-7B highest throughput", [&] {
+    for (const auto& [name, v] : tput)
+      if (name != "DeciLM-7B" && v >= tput["DeciLM-7B"]) return false;
+    return true;
+  }());
+  shapes.check_claim("H100 throughputs exceed the A100 scatter's", [&] {
+    return tput["DeciLM-7B"] >
+           bench::tput(bench::point("DeciLM-7B", "A100", "vLLM", 32, 1024));
+  }());
+  shapes.note("DeciLM-7B H100 tput", tput["DeciLM-7B"]);
+  return bench::finish("fig29", "Perplexity vs H100 throughput (~7B zoo)", t, shapes);
+}

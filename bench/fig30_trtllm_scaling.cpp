@@ -1,0 +1,43 @@
+// Fig. 30 (Appendix E): TRT-LLM 7B models on 1, 2, 4 A100 GPUs.
+// Paper: throughput rises with batch and with GPU count; LLaMA-2-7B
+// saturates with fewer GPUs; Mistral-7B > LLaMA-3-8B throughout.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"};
+  const std::vector<int> gpus = {1, 2, 4};
+  const std::vector<std::int64_t> batches = {1, 16, 32, 64};
+
+  report::Table t({"model", "gpus", "bs 1", "bs 16", "bs 32", "bs 64"});
+  std::map<std::string, std::map<int, double>> at64;
+  for (const auto& m : models) {
+    for (int g : gpus) {
+      std::vector<std::string> cells = {m, std::to_string(g)};
+      for (auto bs : batches) {
+        const double v =
+            bench::tput(bench::point(m, "A100", "TensorRT-LLM", bs, 1024, g));
+        if (bs == 64) at64[m][g] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 30");
+  shapes.check_claim("every model gains from more GPUs at batch 64", [&] {
+    for (const auto& m : models)
+      if (!(at64[m][4] > at64[m][2] && at64[m][2] > at64[m][1])) return false;
+    return true;
+  }());
+  shapes.check_claim("Mistral-7B > LLaMA-3-8B at every GPU count", [&] {
+    for (int g : gpus)
+      if (at64["Mistral-7B"][g] <= at64["LLaMA-3-8B"][g]) return false;
+    return true;
+  }());
+  shapes.check_claim("LLaMA-2-7B gains the most from extra GPUs (KV relief)",
+                     at64["LLaMA-2-7B"][4] / at64["LLaMA-2-7B"][1] >=
+                         at64["Mistral-7B"][4] / at64["Mistral-7B"][1] * 0.9);
+  return bench::finish("fig30", "TRT-LLM 7B scaling over A100 count", t, shapes);
+}

@@ -1,0 +1,42 @@
+// Fig. 31 (Appendix E): vLLM 7B models on 1, 2, 4 H100 / A100 / MI250 GPUs.
+// Paper: H100 systems consistently highest across models and device counts.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"};
+  const std::vector<std::string> hws = {"H100", "A100", "MI250"};
+  const std::vector<int> gpus = {1, 2, 4};
+
+  report::Table t({"model", "hw", "1 GPU", "2 GPUs", "4 GPUs"});
+  std::map<std::string, std::map<int, double>> grid;
+  for (const auto& m : models) {
+    for (const auto& hw : hws) {
+      std::vector<std::string> cells = {m, hw};
+      for (int g : gpus) {
+        const double v = bench::tput(bench::point(m, hw, "vLLM", 32, 1024, g));
+        grid[m + "+" + hw][g] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 31");
+  shapes.check_claim("H100 highest for every model and GPU count", [&] {
+    for (const auto& m : models)
+      for (int g : gpus)
+        if (grid[m + "+H100"][g] <= grid[m + "+A100"][g] ||
+            grid[m + "+H100"][g] <= grid[m + "+MI250"][g])
+          return false;
+    return true;
+  }());
+  shapes.check_claim("all platforms scale with GPU count", [&] {
+    for (const auto& m : models)
+      for (const auto& hw : hws)
+        if (grid[m + "+" + hw][4] <= grid[m + "+" + hw][1]) return false;
+    return true;
+  }());
+  return bench::finish("fig31", "vLLM 7B scaling across platforms", t, shapes);
+}

@@ -1,0 +1,42 @@
+// Fig. 32 (Appendix E): llama.cpp 70B models on 4xH100 and 4xMI250.
+// Paper: A100 is excluded (40GB/device cannot hold a 70B shard); H100 beats
+// MI250; Mixtral-8x7B beats the dense 70B models (sparse experts).
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"Mixtral-8x7B", "LLaMA-2-70B",
+                                           "LLaMA-3-70B"};
+  const std::vector<std::int64_t> batches = {1, 16, 32};
+
+  report::Table t({"model", "hw", "bs 1", "bs 16", "bs 32"});
+  std::map<std::string, double> at16;
+  for (const auto& m : models) {
+    for (const auto* hw : {"H100", "MI250"}) {
+      std::vector<std::string> cells = {m, hw};
+      for (auto bs : batches) {
+        sim::SimConfig c = bench::point(m, hw, "llama.cpp", bs, 512);
+        c.plan.pp = 4;  // layer split across 4 devices
+        const double v = bench::tput(c);
+        if (bs == 16) at16[m + "+" + hw] = v;
+        cells.push_back(util::format_fixed(v, 0));
+      }
+      t.add_row(cells);
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 32");
+  shapes.check_claim("70B does NOT fit 4x A100-40GB under llama.cpp", [&] {
+    sim::SimConfig c = bench::point("LLaMA-2-70B", "A100", "llama.cpp", 1, 512);
+    c.plan.pp = 4;
+    return bench::simulator().run(c).status == sim::RunStatus::kOom;
+  }());
+  shapes.check_claim("H100 beats MI250 for every model",
+                     at16["LLaMA-2-70B+H100"] > at16["LLaMA-2-70B+MI250"] &&
+                         at16["Mixtral-8x7B+H100"] > at16["Mixtral-8x7B+MI250"]);
+  shapes.check_claim("Mixtral beats the dense 70B models",
+                     at16["Mixtral-8x7B+H100"] > at16["LLaMA-2-70B+H100"] &&
+                         at16["Mixtral-8x7B+H100"] > at16["LLaMA-3-70B+H100"]);
+  return bench::finish("fig32", "llama.cpp 70B models on 4 GPUs", t, shapes);
+}

@@ -1,0 +1,44 @@
+// Fig. 33 (Appendix E): 7B model x framework comparison on H100 at
+// input/output length 1024. Paper: Qwen2-7B with TRT-LLM attains the
+// highest throughput; Qwen2-7B with vLLM is the runner-up.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B",
+                                           "Qwen2-7B"};
+  const std::vector<std::string> fws = {"TensorRT-LLM", "vLLM", "llama.cpp"};
+
+  report::Table t({"model", "framework", "tput @ bs64 len1024 (tok/s)"});
+  std::map<std::string, double> grid;
+  for (const auto& m : models) {
+    for (const auto& fw : fws) {
+      const double v = bench::tput(bench::point(m, "H100", fw, 64, 1024));
+      grid[m + "+" + fw] = v;
+      t.add_row({m, fw, util::format_fixed(v, 0)});
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 33");
+  shapes.check_claim("Qwen2-7B + TRT-LLM is the single best cell", [&] {
+    const double best = grid["Qwen2-7B+TensorRT-LLM"];
+    for (const auto& [key, v] : grid)
+      if (key != "Qwen2-7B+TensorRT-LLM" && v >= best) return false;
+    return true;
+  }());
+  shapes.check_claim("Qwen2-7B + vLLM is the runner-up", [&] {
+    const double second = grid["Qwen2-7B+vLLM"];
+    for (const auto& [key, v] : grid)
+      if (key != "Qwen2-7B+TensorRT-LLM" && key != "Qwen2-7B+vLLM" && v >= second)
+        return false;
+    return true;
+  }());
+  shapes.check_claim("llama.cpp last for every model", [&] {
+    for (const auto& m : models)
+      if (grid[m + "+llama.cpp"] >= grid[m + "+vLLM"]) return false;
+    return true;
+  }());
+  return bench::finish("fig33", "7B framework comparison on H100 (len 1024)", t,
+                       shapes);
+}

@@ -1,0 +1,46 @@
+// Fig. 34 (Appendix E): ~70B models with TRT-LLM and vLLM on A100 and H100.
+// Paper: Mixtral wins by a wide margin; LLaMA-2-70B slightly ahead of
+// LLaMA-3-70B with both frameworks on both GPUs.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"Mixtral-8x7B", "LLaMA-2-70B",
+                                           "LLaMA-3-70B"};
+
+  report::Table t({"model", "hw", "framework", "tput @ bs32 len1024 (tok/s)"});
+  std::map<std::string, double> grid;
+  for (const auto& m : models) {
+    for (const auto* hw : {"A100", "H100"}) {
+      for (const auto* fw : {"TensorRT-LLM", "vLLM"}) {
+        const double v = bench::tput(bench::point(m, hw, fw, 32, 1024, 4));
+        grid[m + "+" + hw + "+" + fw] = v;
+        t.add_row({m, hw, fw, util::format_fixed(v, 0)});
+      }
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 34");
+  shapes.check_claim("Mixtral leads by a considerable margin (>= 1.4x)", [&] {
+    for (const auto* hw : {"A100", "H100"})
+      for (const auto* fw : {"TensorRT-LLM", "vLLM"})
+        if (grid[std::string("Mixtral-8x7B+") + hw + "+" + fw] <
+            1.4 * grid[std::string("LLaMA-2-70B+") + hw + "+" + fw])
+          return false;
+    return true;
+  }());
+  shapes.check_claim("LLaMA-2-70B >= LLaMA-3-70B under every (hw, fw)", [&] {
+    for (const auto* hw : {"A100", "H100"})
+      for (const auto* fw : {"TensorRT-LLM", "vLLM"})
+        if (grid[std::string("LLaMA-2-70B+") + hw + "+" + fw] <
+            grid[std::string("LLaMA-3-70B+") + hw + "+" + fw])
+          return false;
+    return true;
+  }());
+  shapes.check_claim("TRT-LLM ahead of vLLM for the dense 70B models on H100",
+                     grid["LLaMA-2-70B+H100+TensorRT-LLM"] >
+                         grid["LLaMA-2-70B+H100+vLLM"]);
+  return bench::finish("fig34", "70B models: TRT-LLM vs vLLM on A100/H100", t,
+                       shapes);
+}

@@ -1,0 +1,38 @@
+// Fig. 37 (Appendix E): 70B/MoE models with vLLM on 4 MI250 GPUs.
+// Paper: Mixtral-8x7B again highest; all models scale with GPU count.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"Mixtral-8x7B", "LLaMA-2-70B",
+                                           "LLaMA-3-70B", "Qwen2-72B"};
+  const std::vector<int> gpus = {2, 4};
+
+  report::Table t({"model", "gpus", "tput @ bs16 len1024 (tok/s)"});
+  std::map<std::string, std::map<int, double>> grid;
+  for (const auto& m : models) {
+    for (int g : gpus) {
+      const auto r = bench::simulator().run(bench::point(m, "MI250", "vLLM", 16, 1024, g));
+      grid[m][g] = r.ok() ? r.throughput_tps : 0.0;
+      t.add_row({m, std::to_string(g),
+                 r.ok() ? util::format_fixed(r.throughput_tps, 0)
+                        : sim::run_status_name(r.status)});
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 37");
+  shapes.check_claim("Mixtral highest on 4 MI250s", [&] {
+    for (const auto& m : models)
+      if (m != "Mixtral-8x7B" && grid[m][4] >= grid["Mixtral-8x7B"][4]) return false;
+    return true;
+  }());
+  shapes.check_claim("all models scale from 2 to 4 GPUs", [&] {
+    for (const auto& m : models)
+      if (grid[m][4] <= grid[m][2]) return false;
+    return true;
+  }());
+  shapes.check_claim("LLaMA-2-70B >= LLaMA-3-70B on MI250 too",
+                     grid["LLaMA-2-70B"][4] >= grid["LLaMA-3-70B"][4]);
+  return bench::finish("fig37", "vLLM 70B/MoE models on MI250", t, shapes);
+}

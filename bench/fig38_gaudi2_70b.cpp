@@ -1,0 +1,43 @@
+// Fig. 38 (Appendix F): 70B models on Gaudi2 vs H100 vs A100 (node-level,
+// comparable device counts). Paper: Gaudi2 sits between A100 and H100 for
+// every 70B model.
+
+#include "common.h"
+
+int main() {
+  using namespace llmib;
+  const std::vector<std::string> models = {"LLaMA-2-70B", "LLaMA-3-70B",
+                                           "Qwen2-72B"};
+  struct Setup {
+    const char* label;
+    const char* hw;
+    const char* fw;
+    int tp;
+  };
+  // Same device count (4) for an apples-to-apples node slice.
+  const std::vector<Setup> setups = {{"A100 x4", "A100", "vLLM", 4},
+                                     {"Gaudi2 x4", "Gaudi2", "vLLM", 4},
+                                     {"H100 x4", "H100", "vLLM", 4}};
+
+  report::Table t({"model", "setup", "tput @ bs16 len1024 (tok/s)"});
+  std::map<std::string, double> grid;
+  for (const auto& m : models) {
+    for (const auto& s : setups) {
+      const double v = bench::tput(bench::point(m, s.hw, s.fw, 16, 1024, s.tp));
+      grid[m + "+" + s.label] = v;
+      t.add_row({m, s.label, util::format_fixed(v, 0)});
+    }
+  }
+
+  report::ShapeReport shapes("Fig. 38");
+  bool between = true;
+  for (const auto& m : models) {
+    between &= grid[m + "+Gaudi2 x4"] > grid[m + "+A100 x4"] &&
+               grid[m + "+Gaudi2 x4"] < grid[m + "+H100 x4"];
+  }
+  shapes.check_claim("Gaudi2 between A100 and H100 for every 70B model", between);
+  shapes.check_claim("LLaMA-2-70B fastest of the dense 70B trio on Gaudi2",
+                     grid["LLaMA-2-70B+Gaudi2 x4"] > grid["LLaMA-3-70B+Gaudi2 x4"] &&
+                         grid["LLaMA-2-70B+Gaudi2 x4"] > grid["Qwen2-72B+Gaudi2 x4"]);
+  return bench::finish("fig38", "Gaudi2 vs H100 vs A100 (70B models)", t, shapes);
+}

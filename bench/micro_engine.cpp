@@ -1,0 +1,159 @@
+// Google-benchmark microbenchmarks of the real engine substrate: attention
+// kernel, paged vs contiguous KV access, int8 vs fp32 GEMV, scheduler step,
+// and paged-allocator churn. These measure the actual C++ implementation
+// (not the analytical model).
+
+#include <benchmark/benchmark.h>
+
+#include "engine/generator.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/weights.h"
+#include "kv/paged_allocator.h"
+#include "quant/int8.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib;
+
+models::ModelConfig bench_config() {
+  models::ModelConfig m;
+  m.name = "bench";
+  m.n_layers = 4;
+  m.hidden_size = 128;
+  m.attention = models::AttentionKind::kGQA;
+  m.n_heads = 8;
+  m.n_kv_heads = 2;
+  m.ffn_intermediate = 256;
+  m.max_seq_len = 4096;
+  m.vocab_size = 512;
+  return m;
+}
+
+const engine::TransformerWeights& weights() {
+  static const auto w = engine::TransformerWeights::random(bench_config(), 7);
+  return w;
+}
+
+void BM_DecodeStep_Contiguous(benchmark::State& state) {
+  const engine::MiniTransformer model(weights());
+  const auto prefix = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::ContiguousKvStore kv(model.kv_dims());
+    for (std::size_t i = 0; i < prefix; ++i) model.forward(1, kv);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.forward(2, kv));
+  }
+  state.SetLabel("decode @ ctx " + std::to_string(prefix));
+}
+BENCHMARK(BM_DecodeStep_Contiguous)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DecodeStep_Paged(benchmark::State& state) {
+  const engine::MiniTransformer model(weights());
+  const auto prefix = static_cast<std::size_t>(state.range(0));
+  const auto block = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::PagedKvPool pool(512, block, model.kv_dims());
+    engine::PagedKvStore kv(pool, 1);
+    for (std::size_t i = 0; i < prefix; ++i) model.forward(1, kv);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.forward(2, kv));
+  }
+  state.SetLabel("paged block " + std::to_string(block));
+}
+BENCHMARK(BM_DecodeStep_Paged)->Args({64, 4})->Args({64, 16})->Args({64, 64});
+
+void BM_NoCacheStep(benchmark::State& state) {
+  const engine::MiniTransformer model(weights());
+  const auto prefix = static_cast<std::size_t>(state.range(0));
+  std::vector<engine::TokenId> ctx(prefix, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward_nocache(ctx));
+  }
+  state.SetLabel("full recompute @ ctx " + std::to_string(prefix));
+}
+BENCHMARK(BM_NoCacheStep)->Arg(16)->Arg(64);
+
+void BM_GemvFp32(benchmark::State& state) {
+  util::Rng rng(3);
+  const std::size_t n = 512;
+  std::vector<float> w(n * n), x(n), y(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < n; ++r) {
+      float acc = 0;
+      for (std::size_t c = 0; c < n; ++c) acc += w[r * n + c] * x[c];
+      y[r] = acc;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * 4);
+}
+BENCHMARK(BM_GemvFp32);
+
+void BM_GemvInt8(benchmark::State& state) {
+  util::Rng rng(3);
+  const std::size_t n = 512;
+  std::vector<float> w(n * n), x(n), y(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  const auto q = quant::Int8Matrix::quantize(w, n, n);
+  for (auto _ : state) {
+    q.gemv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_GemvInt8);
+
+void BM_PagedAllocatorChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    kv::PagedKvAllocator alloc(1024, 16);
+    for (kv::SeqId id = 0; id < 64; ++id) {
+      alloc.create_sequence(id);
+      alloc.append_tokens(id, 200);
+    }
+    for (kv::SeqId id = 0; id < 64; ++id) alloc.free_sequence(id);
+    benchmark::DoNotOptimize(alloc.free_blocks());
+  }
+}
+BENCHMARK(BM_PagedAllocatorChurn);
+
+void BM_SchedulerIteration(benchmark::State& state) {
+  for (auto _ : state) {
+    sched::Scheduler::Config cfg;
+    cfg.max_batch = 32;
+    cfg.kv_capacity_tokens = 100000;
+    sched::Scheduler s(cfg);
+    for (sched::RequestId i = 0; i < 64; ++i) s.submit({i, 128, 32, 0.0});
+    while (!s.all_done()) {
+      const auto plan = s.plan_step();
+      for (auto id : plan.prefills) s.complete_decode_token(id);
+      for (auto id : plan.decodes) s.complete_decode_token(id);
+    }
+    benchmark::DoNotOptimize(s.waves());
+  }
+}
+BENCHMARK(BM_SchedulerIteration);
+
+void BM_ServingEngineStep(benchmark::State& state) {
+  const engine::MiniTransformer model(weights());
+  for (auto _ : state) {
+    engine::ServingEngine::Config cfg;
+    cfg.max_batch = 4;
+    engine::ServingEngine eng(model, cfg);
+    for (int i = 0; i < 8; ++i) eng.submit({static_cast<engine::TokenId>(i)}, 4);
+    eng.run_to_completion();
+    benchmark::DoNotOptimize(eng.iterations());
+  }
+}
+BENCHMARK(BM_ServingEngineStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Roofline analysis report (extension): for each accelerator, compare the
+// arithmetic intensity (FLOPs/byte) of prefill and decode against the
+// device's compute/bandwidth ridge point. This explains mechanically WHY
+// the paper's results look the way they do: prefill sits right of every
+// ridge (compute-bound), decode far left of it (bandwidth-bound) — the
+// asymmetry behind Figs. 1b, 21, 22.
+
+#include "common.h"
+#include "hw/device_model.h"
+#include "models/costs.h"
+
+int main() {
+  using namespace llmib;
+  const auto& model = models::ModelRegistry::builtin().get("LLaMA-3-8B");
+  models::CostOptions copt;  // fp16
+  const models::CostModel costs(model, copt);
+
+  // Arithmetic intensity of the two phases at representative operating
+  // points (batch 16, length 1024).
+  const double prefill_ai =
+      16.0 * costs.prefill_flops(1024) / costs.prefill_bytes(16, 1024);
+  const double decode_ai = costs.decode_flops(16, 1024) / costs.decode_bytes(16, 1024);
+  const double decode_ai_b1 = costs.decode_flops(1, 1024) / costs.decode_bytes(1, 1024);
+
+  report::Table t({"accelerator", "ridge (FLOP/B)", "prefill AI", "decode AI bs16",
+                   "decode AI bs1", "prefill regime", "decode regime"});
+  report::ShapeReport shapes("Roofline analysis (extension)");
+  bool prefill_always_compute = true, decode_always_memory = true;
+  for (const auto& name : hw::AcceleratorRegistry::builtin().names()) {
+    const auto& spec = hw::AcceleratorRegistry::builtin().get(name);
+    const auto prec = spec.supports(hw::Precision::kFP16) ? hw::Precision::kFP16
+                                                          : hw::Precision::kBF16;
+    const hw::DeviceModel dev(spec, prec);
+    const double ridge = dev.peak_flops() / dev.peak_bandwidth_bytes();
+    const bool prefill_compute = prefill_ai > ridge;
+    const bool decode_memory = decode_ai < ridge;
+    prefill_always_compute &= prefill_compute;
+    decode_always_memory &= decode_memory;
+    t.add_row({name, util::format_fixed(ridge, 0), util::format_fixed(prefill_ai, 0),
+               util::format_fixed(decode_ai, 1), util::format_fixed(decode_ai_b1, 2),
+               prefill_compute ? "compute-bound" : "memory-bound",
+               decode_memory ? "memory-bound" : "compute-bound"});
+  }
+
+  shapes.check_claim("prefill is compute-bound on every accelerator",
+                     prefill_always_compute);
+  shapes.check_claim("decode (bs16) is memory-bound on every accelerator",
+                     decode_always_memory);
+  shapes.check_claim("decode intensity collapses toward ~1 FLOP/byte at bs1",
+                     decode_ai_b1 < 4.0);
+  shapes.check_claim("batching raises decode intensity (the Fig. 1a mechanism)",
+                     decode_ai > 2.0 * decode_ai_b1);
+  shapes.note("prefill arithmetic intensity (FLOP/B)", prefill_ai);
+  shapes.note("decode arithmetic intensity at bs16", decode_ai);
+  return bench::finish("roofline", "Prefill/decode roofline placement", t, shapes);
+}

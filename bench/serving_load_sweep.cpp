@@ -1,0 +1,74 @@
+// Online-serving extension study: latency vs offered load for the chat
+// workload the paper's §VII motivates. Not a paper figure — this is the
+// serving-curve experiment the paper's continuous-batching discussion
+// implies, included as a forward-looking extension (DESIGN.md process
+// step 5). Sweeps Poisson arrival rates on A100/vLLM and H100/TRT-LLM.
+
+#include "common.h"
+#include "sim/serving.h"
+
+int main() {
+  using namespace llmib;
+  const sim::ServingSimulator serving(bench::simulator());
+
+  auto cfg = [](const char* hw, const char* fw) {
+    sim::SimConfig c;
+    c.model = "LLaMA-3-8B";
+    c.accelerator = hw;
+    c.framework = fw;
+    c.max_concurrent = 32;
+    return c;
+  };
+  const std::vector<double> loads = {0.5, 2, 8, 16, 32};
+
+  report::Table t({"setup", "offered rps", "achieved rps", "p50 TTFT (s)",
+                   "p95 TTFT (s)", "p95 e2e (s)", "saturated"});
+  std::map<std::string, std::map<double, sim::ServingMetrics>> grid;
+  for (const auto& [label, c] : {std::pair<std::string, sim::SimConfig>{
+                                     "A100+vLLM", cfg("A100", "vLLM")},
+                                 {"H100+TRT", cfg("H100", "TensorRT-LLM")}}) {
+    for (double rps : loads) {
+      sim::ServingWorkload wl;
+      wl.arrival_rate_rps = rps;
+      wl.num_requests = 48;
+      wl.prompt_min = 64;
+      wl.prompt_max = 512;
+      wl.output_min = 32;
+      wl.output_max = 256;
+      const auto r = serving.run(c, wl);
+      if (!r.ok()) continue;
+      grid[label][rps] = r.metrics;
+      t.add_row({label, util::format_fixed(rps, 1),
+                 util::format_fixed(r.metrics.achieved_rps, 2),
+                 util::format_fixed(r.metrics.ttft_p50_s, 3),
+                 util::format_fixed(r.metrics.ttft_p95_s, 3),
+                 util::format_fixed(r.metrics.e2e_p95_s, 2),
+                 r.metrics.saturated ? "yes" : "no"});
+    }
+  }
+
+  report::ShapeReport shapes("Serving load sweep (extension)");
+  shapes.check_claim("A100 tail latency explodes past its knee",
+                     grid["A100+vLLM"][32].ttft_p95_s >
+                         5.0 * grid["A100+vLLM"][0.5].ttft_p95_s);
+  shapes.check_claim("H100 sustains more load before saturating", [&] {
+    for (double rps : loads) {
+      if (grid["A100+vLLM"][rps].saturated && !grid["H100+TRT"][rps].saturated)
+        return true;
+      if (grid["H100+TRT"][rps].saturated && !grid["A100+vLLM"][rps].saturated)
+        return false;
+    }
+    // Never diverged: compare tail latency at the top load instead.
+    return grid["H100+TRT"][32].ttft_p95_s < grid["A100+vLLM"][32].ttft_p95_s;
+  }());
+  shapes.check_claim("achieved rate tracks offered rate below the knee",
+                     std::abs(grid["A100+vLLM"][0.5].achieved_rps - 0.5) < 0.25 &&
+                         std::abs(grid["A100+vLLM"][2].achieved_rps - 2.0) < 1.0);
+  shapes.check_claim("throughput at saturation approaches the offline peak", [&] {
+    const double offline =
+        bench::tput(bench::point("LLaMA-3-8B", "A100", "vLLM", 32, 256));
+    return grid["A100+vLLM"][32].throughput_tps > 0.3 * offline;
+  }());
+  return bench::finish("serving_load", "Online serving: latency vs offered load", t,
+                       shapes);
+}

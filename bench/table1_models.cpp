@@ -1,0 +1,37 @@
+// Table I: LLaMA model family summary.
+
+#include "common.h"
+#include "models/config.h"
+#include "util/units.h"
+
+int main() {
+  using namespace llmib;
+  report::Table t({"Model", "#Layers", "Hidden", "Attention", "#Heads", "#KV Heads",
+                   "FFN", "#Experts", "FFN Inter", "Max Seq", "Vocab", "Params"});
+  const auto& reg = models::ModelRegistry::builtin();
+  for (const auto& name : models::ModelRegistry::table1_names()) {
+    const auto& m = reg.get(name);
+    t.add_row({m.name, std::to_string(m.n_layers), std::to_string(m.hidden_size),
+               models::attention_name(m.attention), std::to_string(m.n_heads),
+               std::to_string(m.n_kv_heads), models::ffn_name(m.ffn),
+               std::to_string(m.n_experts), std::to_string(m.ffn_intermediate),
+               std::to_string(m.max_seq_len), std::to_string(m.vocab_size),
+               util::format_compact(static_cast<double>(m.total_params()))});
+  }
+
+  report::ShapeReport shapes("Table I");
+  shapes.check_claim("8 primary models registered", t.rows() == 8);
+  shapes.check_claim("LLaMA-2-7B is the only MHSA model",
+                     reg.get("LLaMA-2-7B").attention == models::AttentionKind::kMHSA &&
+                         reg.get("LLaMA-3-8B").attention == models::AttentionKind::kGQA);
+  shapes.check_ratio("LLaMA-2-7B parameter count (B)",
+                     static_cast<double>(reg.get("LLaMA-2-7B").total_params()) / 1e9,
+                     6.74, 0.05);
+  shapes.check_ratio("Mixtral total params (B)",
+                     static_cast<double>(reg.get("Mixtral-8x7B").total_params()) / 1e9,
+                     46.7, 0.10);
+  shapes.check_ratio("Mixtral active params ~ 14B-class model",
+                     static_cast<double>(reg.get("Mixtral-8x7B").active_params()) / 1e9,
+                     13.0, 0.15);
+  return llmib::bench::finish("table1", "LLaMA model family summary", t, shapes);
+}

@@ -1,0 +1,58 @@
+// Table II: features of the evaluated AI accelerators.
+
+#include "common.h"
+#include "hw/accelerator.h"
+#include "util/units.h"
+
+int main() {
+  using namespace llmib;
+  report::Table t({"Feature", "A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2",
+                   "SN40L"});
+  const auto& reg = hw::AcceleratorRegistry::builtin();
+  const std::vector<std::string> order = {"A100", "H100", "GH200", "MI250",
+                                          "MI300X", "Gaudi2", "SN40L"};
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& name : order) cells.push_back(getter(reg.get(name)));
+    t.add_row(cells);
+  };
+  row("# Devices", [](const hw::AcceleratorSpec& s) {
+    return std::to_string(s.devices_per_node);
+  });
+  row("Memory (/device)", [](const hw::AcceleratorSpec& s) {
+    return util::format_fixed(s.memory_gb, 0) + " GB";
+  });
+  row("Memory (/node)", [](const hw::AcceleratorSpec& s) {
+    return util::format_fixed(s.node_memory_gb(), 0) + " GB";
+  });
+  row("HBM BW (GB/s)", [](const hw::AcceleratorSpec& s) {
+    return util::format_fixed(s.hbm_bandwidth_gbs, 0);
+  });
+  row("Peak 16-bit TFLOPS", [](const hw::AcceleratorSpec& s) {
+    return util::format_fixed(s.peak_for(s.supports(hw::Precision::kFP16)
+                                             ? hw::Precision::kFP16
+                                             : hw::Precision::kBF16),
+                              0);
+  });
+  row("Interconnect", [](const hw::AcceleratorSpec& s) {
+    return hw::interconnect_name(s.interconnect);
+  });
+  row("TDP (W)", [](const hw::AcceleratorSpec& s) {
+    return util::format_fixed(s.tdp_watts, 0);
+  });
+  row("FP8", [](const hw::AcceleratorSpec& s) {
+    return s.supports(hw::Precision::kFP8) ? "yes" : "no";
+  });
+
+  report::ShapeReport shapes("Table II");
+  shapes.check_claim("all seven platforms present", reg.names().size() == 7);
+  shapes.check_claim("node memory: A100 160 / H100 320 / MI300X 1536 GB",
+                     reg.get("A100").node_memory_gb() == 160 &&
+                         reg.get("H100").node_memory_gb() == 320 &&
+                         reg.get("MI300X").node_memory_gb() == 1536);
+  shapes.check_claim("A100 lacks FP8, H100/Gaudi2/MI300X have it",
+                     !reg.get("A100").supports(hw::Precision::kFP8) &&
+                         reg.get("H100").supports(hw::Precision::kFP8) &&
+                         reg.get("Gaudi2").supports(hw::Precision::kFP8));
+  return llmib::bench::finish("table2", "Accelerator features", t, shapes);
+}

@@ -1,0 +1,39 @@
+// Table III: framework x accelerator support matrix.
+
+#include "common.h"
+#include "frameworks/traits.h"
+
+int main() {
+  using namespace llmib;
+  const auto& reg = frameworks::FrameworkRegistry::builtin();
+  const std::vector<std::string> hw_order = {"A100", "H100", "GH200", "MI250",
+                                             "MI300X", "Gaudi2", "SN40L"};
+  report::Table t({"Framework", "A100", "H100", "GH200", "MI250", "MI300X",
+                   "Gaudi2", "SN40L"});
+  std::vector<std::string> fw_order = frameworks::FrameworkRegistry::paper_framework_names();
+  fw_order.push_back("SambaFlow");
+  for (const auto& fw : fw_order) {
+    std::vector<std::string> cells = {fw};
+    for (const auto& hw : hw_order)
+      cells.push_back(reg.get(fw).supports_hw(hw) ? "Yes" : "N/A");
+    t.add_row(cells);
+  }
+
+  report::ShapeReport shapes("Table III");
+  shapes.check_claim("vLLM: widest support among the four paper frameworks", [&] {
+    std::size_t best = 0;
+    for (const auto& fw : frameworks::FrameworkRegistry::paper_framework_names())
+      best = std::max(best, reg.get(fw).supported_hw.size());
+    return reg.get("vLLM").supported_hw.size() == best;
+  }());
+  shapes.check_claim("TensorRT-LLM limited to NVIDIA",
+                     !reg.get("TensorRT-LLM").supports_hw("MI250") &&
+                         !reg.get("TensorRT-LLM").supports_hw("Gaudi2"));
+  shapes.check_claim("DeepSpeed-MII: A100 yes, H100 no (paper row)",
+                     reg.get("DeepSpeed-MII").supports_hw("A100") &&
+                         !reg.get("DeepSpeed-MII").supports_hw("H100"));
+  shapes.check_claim("llama.cpp: no Gaudi2 backend",
+                     !reg.get("llama.cpp").supports_hw("Gaudi2"));
+  return llmib::bench::finish("table3", "Inference framework support matrix", t,
+                              shapes);
+}

@@ -1,0 +1,82 @@
+// Accelerator advisor: the paper's dashboard use case as a CLI — given a
+// model and a workload shape, sweep every (accelerator, framework) pair and
+// recommend the best configuration by throughput, latency, or efficiency.
+//
+//   $ ./example_accelerator_advisor Mixtral-8x7B 32 1024
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/insights.h"
+#include "core/suite.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace llmib;
+  const std::string model = argc > 1 ? argv[1] : "LLaMA-3-8B";
+  const std::int64_t batch = argc > 2 ? std::atol(argv[2]) : 32;
+  const std::int64_t len = argc > 3 ? std::atol(argv[3]) : 1024;
+
+  core::BenchmarkRunner runner;
+  core::SweepAxes axes;
+  axes.models = {model};
+  axes.accelerators = {"A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2",
+                       "SN40L"};
+  axes.frameworks = {"TensorRT-LLM", "vLLM", "DeepSpeed-MII", "llama.cpp",
+                     "SambaFlow"};
+  axes.batch_sizes = {batch};
+  axes.io_lengths = {len};
+  const auto set = runner.run_sweep(axes);
+
+  std::printf("Accelerator advisor — %s, batch %lld, length %lld\n\n",
+              model.c_str(), static_cast<long long>(batch),
+              static_cast<long long>(len));
+  std::printf("%s\n", set.to_table().to_text().c_str());
+
+  // Rank the viable configurations three ways.
+  std::vector<const core::ResultRow*> ok_rows;
+  for (const auto& row : set.rows())
+    if (row.result.ok()) ok_rows.push_back(&row);
+  if (ok_rows.empty()) {
+    std::printf("No configuration can run this workload on a single node.\n");
+    return 0;
+  }
+
+  auto pick = [&](auto metric, bool maximize) {
+    return *std::max_element(ok_rows.begin(), ok_rows.end(),
+                             [&](const auto* a, const auto* b) {
+                               return maximize ? metric(a) < metric(b)
+                                               : metric(a) > metric(b);
+                             });
+  };
+  const auto* best_tput =
+      pick([](const core::ResultRow* r) { return r->result.throughput_tps; }, true);
+  const auto* best_ttft =
+      pick([](const core::ResultRow* r) { return r->result.ttft_s; }, false);
+  const auto* best_eff = pick(
+      [](const core::ResultRow* r) { return r->result.tokens_per_sec_per_watt; },
+      true);
+
+  std::printf("Recommendations:\n");
+  std::printf("  max throughput : %s + %s (%s)  %.0f tok/s\n",
+              best_tput->config.accelerator.c_str(),
+              best_tput->config.framework.c_str(),
+              best_tput->config.plan.to_string().c_str(),
+              best_tput->result.throughput_tps);
+  std::printf("  min TTFT       : %s + %s  %s\n",
+              best_ttft->config.accelerator.c_str(),
+              best_ttft->config.framework.c_str(),
+              util::format_duration(best_ttft->result.ttft_s).c_str());
+  std::printf("  max efficiency : %s + %s  %.2f tok/s/W\n",
+              best_eff->config.accelerator.c_str(),
+              best_eff->config.framework.c_str(),
+              best_eff->result.tokens_per_sec_per_watt);
+
+  std::printf("\nAutomatic insights:\n");
+  for (const auto& insight : core::extract_insights(set))
+    std::printf("  [%s] %s\n", insight.category.c_str(), insight.text.c_str());
+  return 0;
+}

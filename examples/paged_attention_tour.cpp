@@ -1,0 +1,104 @@
+// A guided tour of the paged-KV machinery on the REAL engine: block
+// allocation, prefix sharing via copy-on-write forks, preemption under
+// memory pressure, and what each buys — the mechanics behind the paper's
+// §IV-B.2 (PagedAttention) made tangible.
+
+#include <cstdio>
+
+#include "engine/generator.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/weights.h"
+
+namespace {
+
+llmib::models::ModelConfig tour_model() {
+  llmib::models::ModelConfig m;
+  m.name = "tour";
+  m.n_layers = 2;
+  m.hidden_size = 48;
+  m.attention = llmib::models::AttentionKind::kGQA;
+  m.n_heads = 6;
+  m.n_kv_heads = 2;
+  m.ffn_intermediate = 96;
+  m.max_seq_len = 256;
+  m.vocab_size = 128;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace llmib;
+  const auto weights = engine::TransformerWeights::random(tour_model(), 7);
+  const engine::MiniTransformer model(weights);
+
+  std::printf("== 1. blocks allocate on demand ==\n");
+  engine::PagedKvPool pool(32, 4, model.kv_dims());
+  {
+    engine::PagedKvStore seq(pool, 1);
+    for (engine::TokenId t = 0; t < 10; ++t) model.forward(t, seq);
+    const auto& table = pool.allocator().block_table(1);
+    std::printf("  10 tokens -> %zu blocks of 4 (last block %zu/4 full)\n",
+                table.size(), 10 % 4 == 0 ? std::size_t{4} : std::size_t{10 % 4});
+    const auto stats = pool.allocator().stats();
+    std::printf("  pool: %llu stored / %llu reserved tokens (%llu wasted)\n",
+                static_cast<unsigned long long>(stats.stored_tokens),
+                static_cast<unsigned long long>(stats.reserved_tokens),
+                static_cast<unsigned long long>(stats.wasted_tokens()));
+  }
+
+  std::printf("\n== 2. prefix sharing: fork a common prompt ==\n");
+  {
+    engine::PagedKvStore root(pool, 10);
+    for (engine::TokenId t = 0; t < 12; ++t) model.forward(t, root);
+    std::printf("  root holds 12 tokens in %u physical blocks\n",
+                pool.allocator().physical_blocks_used());
+    engine::PagedKvStore fork_a(pool, 11, root);
+    engine::PagedKvStore fork_b(pool, 12, root);
+    std::printf("  after 2 forks: still %u physical blocks (all shared)\n",
+                pool.allocator().physical_blocks_used());
+    model.forward(100, fork_a);  // copy-on-write kicks in here
+    std::printf("  fork A appended one token -> %u blocks (one COW copy)\n",
+                pool.allocator().physical_blocks_used());
+    const auto a = model.forward(101, fork_a);
+    const auto b = model.forward(101, fork_b);
+    std::printf("  forks diverge independently; logits differ: %s\n",
+                a != b ? "yes" : "no");
+  }
+
+  std::printf("\n== 3. preemption under memory pressure ==\n");
+  {
+    engine::ServingEngine::Config cfg;
+    cfg.pool_blocks = 12;
+    cfg.block_size = 2;  // 24 KV slots total
+    cfg.max_batch = 3;
+    cfg.allow_preemption = true;
+    engine::ServingEngine server(model, cfg);
+    std::vector<llmib::sched::RequestId> ids;
+    for (engine::TokenId t : {10, 20, 30}) ids.push_back(server.submit({t, t + 1}, 10));
+    server.run_to_completion();
+    std::printf("  3 requests x 12 tokens into 24 slots:\n");
+    std::printf("  completed with %lld preemption(s), %lld token(s) recomputed\n",
+                static_cast<long long>(server.preemptions()),
+                static_cast<long long>(server.recomputed_tokens()));
+    std::printf("  outputs identical to an unconstrained pool: ");
+    engine::ServingEngine::Config big = cfg;
+    big.pool_blocks = 256;
+    engine::ServingEngine reference(model, big);
+    std::vector<llmib::sched::RequestId> ref_ids;
+    for (engine::TokenId t : {10, 20, 30}) ref_ids.push_back(reference.submit({t, t + 1}, 10));
+    reference.run_to_completion();
+    bool same = true;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      same &= server.output(ids[i]) == reference.output(ref_ids[i]);
+    std::printf("%s\n", same ? "yes" : "NO");
+  }
+
+  std::printf("\n== 4. why block size matters (paper Fig. 2b) ==\n");
+  for (std::uint32_t block : {1u, 8u, 16u, 64u}) {
+    std::printf("  block %3u: modeled gather efficiency %.2f\n", block,
+                kv::paged_attention_bw_efficiency(block));
+  }
+  return 0;
+}

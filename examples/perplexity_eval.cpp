@@ -1,0 +1,67 @@
+// Perplexity evaluation (paper §III-5a / Figs. 10, 29): run the REAL
+// perplexity machinery on the mini engine over the synthetic corpus, then
+// print the calibrated architecture-based estimates for the paper's ~7B zoo
+// next to their simulated A100 throughput — the tradeoff scatter as a table.
+
+#include <cstdio>
+
+#include "engine/weights.h"
+#include "eval/arch_estimator.h"
+#include "eval/perplexity.h"
+#include "eval/synthetic_corpus.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace llmib;
+
+  // ---- Part 1: measured perplexity on the mini engine --------------------
+  std::printf("== measured perplexity (mini engine, synthetic corpus) ==\n");
+  eval::CorpusOptions copt;
+  copt.vocab_size = 128;
+  copt.sequences = 6;
+  copt.tokens_per_sequence = 48;
+  const auto corpus = eval::make_synthetic_corpus(copt);
+
+  models::ModelConfig mini;
+  mini.name = "mini";
+  mini.n_layers = 2;
+  mini.hidden_size = 48;
+  mini.attention = models::AttentionKind::kGQA;
+  mini.n_heads = 4;
+  mini.n_kv_heads = 2;
+  mini.ffn_intermediate = 96;
+  mini.max_seq_len = 128;
+  mini.vocab_size = 128;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto w = engine::TransformerWeights::random(mini, seed);
+    const engine::MiniTransformer model(w);
+    std::printf("  random init (seed %llu): ppl = %.1f  (|V| = %lld)\n",
+                static_cast<unsigned long long>(seed),
+                eval::perplexity(model, corpus),
+                static_cast<long long>(copt.vocab_size));
+  }
+  std::printf("  (untrained models sit near vocabulary-size perplexity, as"
+              " they should)\n\n");
+
+  // ---- Part 2: the Fig. 10 scatter as a table -----------------------------
+  std::printf("== estimated perplexity vs simulated A100 throughput ==\n");
+  std::printf("  %-12s %12s %16s\n", "model", "ppl (est.)", "tput bs32 tok/s");
+  const eval::ArchPerplexityEstimator est;
+  const sim::InferenceSimulator simulator;
+  for (const auto& name : models::ModelRegistry::perplexity_zoo_names()) {
+    const auto& cfg = models::ModelRegistry::builtin().get(name);
+    sim::SimConfig c;
+    c.model = name;
+    c.accelerator = "A100";
+    c.framework = "vLLM";
+    c.batch_size = 32;
+    c.input_tokens = c.output_tokens = 1024;
+    const auto r = simulator.run(c);
+    std::printf("  %-12s %12.2f %16.0f\n", name.c_str(), est.estimate(cfg),
+                r.ok() ? r.throughput_tps : 0.0);
+  }
+  std::printf("\n  LLaMA-2-7B anchors the best-perplexity corner; DeciLM-7B\n"
+              "  the best-throughput corner; Mistral-7B is the paper's\n"
+              "  recommended tradeoff (+0.09 ppl for near-DeciLM speed).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: benchmark one LLM inference configuration and read the
+// paper's metrics off the result.
+//
+//   $ ./example_quickstart [model] [accelerator] [framework] [batch] [len]
+//
+// Defaults reproduce a single point of Fig. 8: LLaMA-3-8B + vLLM + A100.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/suite.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace llmib;
+
+  sim::SimConfig cfg;
+  cfg.model = argc > 1 ? argv[1] : "LLaMA-3-8B";
+  cfg.accelerator = argc > 2 ? argv[2] : "A100";
+  cfg.framework = argc > 3 ? argv[3] : "vLLM";
+  cfg.batch_size = argc > 4 ? std::atol(argv[4]) : 16;
+  cfg.input_tokens = cfg.output_tokens = argc > 5 ? std::atol(argv[5]) : 1024;
+
+  core::BenchmarkRunner runner;
+  // Let the suite pick the smallest parallel plan that fits the weights.
+  if (const auto plan = runner.auto_plan(cfg.model, cfg.accelerator, cfg.framework,
+                                         cfg.precision)) {
+    cfg.plan = *plan;
+  }
+
+  const auto row = runner.run_point(cfg);
+  const auto& r = row.result;
+
+  std::printf("LLM-Inference-Bench quickstart\n");
+  std::printf("  model        : %s\n", cfg.model.c_str());
+  std::printf("  accelerator  : %s  (plan %s)\n", cfg.accelerator.c_str(),
+              cfg.plan.to_string().c_str());
+  std::printf("  framework    : %s\n", cfg.framework.c_str());
+  std::printf("  batch / len  : %lld / %lld\n",
+              static_cast<long long>(cfg.batch_size),
+              static_cast<long long>(cfg.input_tokens));
+  if (!r.ok()) {
+    std::printf("  status       : %s (%s)\n", sim::run_status_name(r.status).c_str(),
+                r.status_detail.c_str());
+    return 0;
+  }
+  std::printf("  throughput   : %.0f tok/s (paper eq. 2)\n", r.throughput_tps);
+  std::printf("  TTFT         : %s\n", util::format_duration(r.ttft_s).c_str());
+  std::printf("  ITL          : %s (paper eq. 1)\n",
+              util::format_duration(r.itl_s).c_str());
+  std::printf("  e2e latency  : %s\n", util::format_duration(r.e2e_latency_s).c_str());
+  std::printf("  power        : %.0f W   (%.2f tok/s/W)\n", r.average_power_w,
+              r.tokens_per_sec_per_watt);
+  std::printf("  weights/dev  : %s\n",
+              util::format_bytes(r.weight_bytes_per_device).c_str());
+  std::printf("  admission    : %lld wave(s)\n", static_cast<long long>(r.waves));
+  return 0;
+}

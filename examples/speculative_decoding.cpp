@@ -1,0 +1,86 @@
+// Speculative decoding end-to-end (paper §IV-B.5 / Fig. 4b) on the REAL
+// mini engine: a small draft model proposes tokens, the target verifies.
+// Demonstrates the two facts the paper reports:
+//   1. the output is exactly the target model's own greedy output, and
+//   2. the win depends on the acceptance rate, which collapses when the
+//      draft is a poor match for the target.
+
+#include <cstdio>
+#include <vector>
+
+#include "engine/generator.h"
+#include "engine/speculative.h"
+#include "engine/weights.h"
+#include "sim/simulator.h"
+
+namespace {
+
+llmib::models::ModelConfig make_model(const char* name, int layers, int hidden,
+                                      int heads, int kv_heads, int inter) {
+  llmib::models::ModelConfig m;
+  m.name = name;
+  m.n_layers = layers;
+  m.hidden_size = hidden;
+  m.attention = kv_heads == heads ? llmib::models::AttentionKind::kMHSA
+                                  : llmib::models::AttentionKind::kGQA;
+  m.n_heads = heads;
+  m.n_kv_heads = kv_heads;
+  m.ffn_intermediate = inter;
+  m.max_seq_len = 256;
+  m.vocab_size = 256;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace llmib;
+  const auto target_w =
+      engine::TransformerWeights::random(make_model("target", 4, 96, 8, 2, 192), 1);
+  const auto good_draft_w =
+      engine::TransformerWeights::random(make_model("draft-good", 4, 96, 8, 2, 192), 1);
+  const auto poor_draft_w =
+      engine::TransformerWeights::random(make_model("draft-poor", 1, 32, 4, 4, 48), 99);
+
+  const engine::MiniTransformer target(target_w);
+  const engine::MiniTransformer good_draft(good_draft_w);  // same seed: identical
+  const engine::MiniTransformer poor_draft(poor_draft_w);
+
+  const std::vector<engine::TokenId> prompt = {11, 42, 7, 128};
+  const std::int64_t budget = 32;
+
+  engine::GenerateOptions opts;
+  opts.max_new_tokens = budget;
+  const auto plain = generate(target, prompt, opts);
+
+  std::printf("Speculative decoding on the mini engine (%lld tokens)\n\n",
+              static_cast<long long>(budget));
+  for (const auto& [label, draft] :
+       {std::pair<const char*, const engine::MiniTransformer&>{"well-matched draft",
+                                                               good_draft},
+        {"poor draft", poor_draft}}) {
+    const auto spec = engine::speculative_generate(target, draft, prompt, budget, 4);
+    std::printf("  %-18s acceptance %.0f%%  cycles %zu  exact output match: %s\n",
+                label, spec.stats.acceptance_rate() * 100, spec.stats.cycles,
+                spec.tokens == plain.tokens ? "yes" : "NO");
+  }
+
+  std::printf("\nAnalytical prediction for the paper's setup (LLaMA-68M draft):\n");
+  const sim::InferenceSimulator simulator;
+  for (const auto* model : {"LLaMA-2-7B", "Mixtral-8x7B"}) {
+    sim::SimConfig c;
+    c.model = model;
+    c.accelerator = "A100";
+    c.framework = "vLLM";
+    if (std::string(model) == "Mixtral-8x7B") c.plan.tp = 4;
+    c.input_tokens = c.output_tokens = 256;
+    const double base = simulator.run(c).throughput_tps;
+    c.speculative = sim::SpeculativeConfig{};
+    const auto r = simulator.run(c);
+    std::printf("  %-14s speedup %.2fx  (%s)\n", model,
+                r.throughput_tps / base,
+                r.throughput_tps / base > 1.15 ? "SD pays off"
+                                               : "SD benefit vanishes — Fig. 4b");
+  }
+  return 0;
+}

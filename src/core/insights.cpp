@@ -1,0 +1,113 @@
+#include "core/insights.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/units.h"
+
+namespace llmib::core {
+
+std::vector<std::string> rank_frameworks(const ResultSet& results,
+                                         const std::string& model,
+                                         const std::string& accelerator) {
+  std::map<std::string, double> peak;
+  for (const auto& row : results.rows()) {
+    if (row.config.model != model || row.config.accelerator != accelerator) continue;
+    if (!row.result.ok()) continue;
+    auto& v = peak[row.config.framework];
+    v = std::max(v, row.result.throughput_tps);
+  }
+  std::vector<std::string> order;
+  order.reserve(peak.size());
+  for (const auto& [fw, tput] : peak) order.push_back(fw);
+  std::sort(order.begin(), order.end(),
+            [&](const std::string& a, const std::string& b) { return peak[a] > peak[b]; });
+  return order;
+}
+
+std::vector<PeakEntry> peak_performance(const ResultSet& results,
+                                        const std::string& model) {
+  std::map<std::string, PeakEntry> best;
+  for (const auto& row : results.rows()) {
+    if (row.config.model != model || !row.result.ok()) continue;
+    auto& entry = best[row.config.accelerator];
+    if (row.result.throughput_tps > entry.throughput_tps) {
+      entry.accelerator = row.config.accelerator;
+      entry.throughput_tps = row.result.throughput_tps;
+      entry.batch = row.config.batch_size;
+      entry.framework = row.config.framework;
+    }
+  }
+  std::vector<PeakEntry> out;
+  out.reserve(best.size());
+  for (auto& [hw, entry] : best) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const PeakEntry& a, const PeakEntry& b) {
+    return a.throughput_tps > b.throughput_tps;
+  });
+  return out;
+}
+
+std::vector<Insight> extract_insights(const ResultSet& results) {
+  std::vector<Insight> out;
+
+  // Framework ranking per accelerator (across all models seen).
+  std::set<std::string> accels, models;
+  for (const auto& row : results.rows()) {
+    accels.insert(row.config.accelerator);
+    models.insert(row.config.model);
+  }
+  for (const auto& hw : accels) {
+    std::map<std::string, double> peak;
+    for (const auto& row : results.rows()) {
+      if (row.config.accelerator != hw || !row.result.ok()) continue;
+      auto& v = peak[row.config.framework];
+      v = std::max(v, row.result.throughput_tps);
+    }
+    if (peak.size() < 2) continue;
+    const auto best = std::max_element(
+        peak.begin(), peak.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    out.push_back({"framework", best->first + " delivers the highest throughput on " +
+                                    hw + " (" +
+                                    util::format_compact(best->second) + " tok/s peak)"});
+  }
+
+  // OOM / saturation observations per accelerator.
+  for (const auto& hw : accels) {
+    std::int64_t oom_count = 0, total = 0;
+    for (const auto& row : results.rows()) {
+      if (row.config.accelerator != hw) continue;
+      ++total;
+      if (row.result.status == sim::RunStatus::kOom) ++oom_count;
+    }
+    if (oom_count > 0) {
+      out.push_back({"accelerator",
+                     hw + " hits out-of-memory on " + std::to_string(oom_count) + "/" +
+                         std::to_string(total) + " configurations in this sweep"});
+    }
+  }
+
+  // Per-accelerator saturation: does throughput decline from batch 32 -> 64?
+  for (const auto& hw : accels) {
+    for (const auto& model : models) {
+      double t32 = 0, t64 = 0;
+      for (const auto& row : results.rows()) {
+        if (row.config.accelerator != hw || row.config.model != model) continue;
+        if (!row.result.ok()) continue;
+        if (row.config.batch_size == 32)
+          t32 = std::max(t32, row.result.throughput_tps);
+        if (row.config.batch_size == 64)
+          t64 = std::max(t64, row.result.throughput_tps);
+      }
+      if (t32 > 0 && t64 > 0 && t64 < t32 * 0.98) {
+        out.push_back({"accelerator", hw + " saturates early: " + model +
+                                          " throughput declines past batch 32"});
+        break;  // one note per accelerator suffices
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace llmib::core

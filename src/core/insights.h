@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/suite.h"
+
+namespace llmib::core {
+
+/// One extracted finding (paper §VII style takeaway).
+struct Insight {
+  std::string category;  ///< "framework" | "accelerator" | "model"
+  std::string text;
+};
+
+/// Framework ranking on one accelerator for one model (Fig. 15 analysis):
+/// frameworks ordered by peak throughput, unsupported ones omitted.
+std::vector<std::string> rank_frameworks(const ResultSet& results,
+                                         const std::string& model,
+                                         const std::string& accelerator);
+
+/// Peak throughput per accelerator for a model (Fig. 25): returns
+/// (accelerator, best throughput, batch at which it peaked).
+struct PeakEntry {
+  std::string accelerator;
+  double throughput_tps = 0.0;
+  std::int64_t batch = 0;
+  std::string framework;
+};
+std::vector<PeakEntry> peak_performance(const ResultSet& results,
+                                        const std::string& model);
+
+/// Generate §VII-style narrative takeaways from a result set: which
+/// framework wins where, which accelerators hit OOM or saturation, whether
+/// GQA models beat MHSA per framework.
+std::vector<Insight> extract_insights(const ResultSet& results);
+
+}  // namespace llmib::core

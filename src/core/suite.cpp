@@ -1,0 +1,183 @@
+#include "core/suite.h"
+
+#include <algorithm>
+
+#include "frameworks/traits.h"
+#include "hw/device_model.h"
+#include "models/costs.h"
+#include "util/check.h"
+#include "util/units.h"
+
+namespace llmib::core {
+
+using util::require;
+
+std::vector<const ResultRow*> ResultSet::where(
+    const std::optional<std::string>& model,
+    const std::optional<std::string>& accelerator,
+    const std::optional<std::string>& framework, std::optional<std::int64_t> batch,
+    std::optional<std::int64_t> io_length) const {
+  std::vector<const ResultRow*> out;
+  for (const auto& row : rows_) {
+    if (model && row.config.model != *model) continue;
+    if (accelerator && row.config.accelerator != *accelerator) continue;
+    if (framework && row.config.framework != *framework) continue;
+    if (batch && row.config.batch_size != *batch) continue;
+    if (io_length && row.config.input_tokens != *io_length) continue;
+    out.push_back(&row);
+  }
+  return out;
+}
+
+const ResultRow* ResultSet::best(const std::optional<std::string>& model,
+                                 const std::optional<std::string>& accelerator,
+                                 const std::optional<std::string>& framework) const {
+  const ResultRow* best_row = nullptr;
+  for (const auto* row : where(model, accelerator, framework)) {
+    if (!row->result.ok()) continue;
+    if (!best_row || row->result.throughput_tps > best_row->result.throughput_tps)
+      best_row = row;
+  }
+  return best_row;
+}
+
+double ResultSet::throughput(const std::string& model, const std::string& accelerator,
+                             const std::string& framework, std::int64_t batch,
+                             std::int64_t io_length) const {
+  const auto rows = where(model, accelerator, framework, batch, io_length);
+  if (rows.empty() || !rows.front()->result.ok()) return 0.0;
+  return rows.front()->result.throughput_tps;
+}
+
+std::vector<report::DashboardRecord> ResultSet::dashboard_records() const {
+  std::vector<report::DashboardRecord> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    report::DashboardRecord r;
+    r.model = row.config.model;
+    r.accelerator = row.config.accelerator;
+    r.framework = row.config.framework;
+    r.batch = row.config.batch_size;
+    r.input_tokens = row.config.input_tokens;
+    r.output_tokens = row.config.output_tokens;
+    r.throughput_tps = row.result.throughput_tps;
+    r.ttft_s = row.result.ttft_s;
+    r.itl_s = row.result.itl_s;
+    r.power_w = row.result.average_power_w;
+    r.status = sim::run_status_name(row.result.status);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+report::Table ResultSet::to_table() const {
+  report::Table t({"model", "hw", "framework", "devices", "batch", "in", "out",
+                   "tput tok/s", "ttft ms", "itl ms", "power W", "status"});
+  for (const auto& row : rows_) {
+    t.add_row({row.config.model, row.config.accelerator, row.config.framework,
+               std::to_string(row.config.plan.devices()),
+               std::to_string(row.config.batch_size),
+               std::to_string(row.config.input_tokens),
+               std::to_string(row.config.output_tokens),
+               util::format_fixed(row.result.throughput_tps, 1),
+               util::format_fixed(row.result.ttft_s * 1e3, 1),
+               util::format_fixed(row.result.itl_s * 1e3, 2),
+               util::format_fixed(row.result.average_power_w, 0),
+               sim::run_status_name(row.result.status)});
+  }
+  return t;
+}
+
+BenchmarkRunner::BenchmarkRunner() = default;
+
+std::optional<parallel::ParallelPlan> BenchmarkRunner::auto_plan(
+    const std::string& model, const std::string& accelerator,
+    const std::string& framework, hw::Precision precision) const {
+  const auto& m = models::ModelRegistry::builtin().get(model);
+  const auto& a = hw::AcceleratorRegistry::builtin().get(accelerator);
+  const auto& f = frameworks::FrameworkRegistry::builtin().get(framework);
+  if (!a.supports(precision)) return std::nullopt;
+
+  models::CostOptions copt;
+  copt.weight_bytes_per_param = hw::bytes_per_element(precision);
+  const models::CostModel costs(m, copt);
+  const hw::DeviceModel device(a, precision);
+  const double usable = device.usable_memory_bytes() * (1.0 - f.workspace_frac);
+
+  for (int d = 1; d <= a.devices_per_node; d *= 2) {
+    parallel::ParallelPlan plan;
+    if (f.tensor_parallel_supported) {
+      plan.tp = d;
+    } else {
+      plan.pp = d;
+    }
+    if (plan.tp > 1 && m.n_heads % plan.tp != 0) continue;
+    if (plan.pp > 1 && m.n_layers % plan.pp != 0) continue;
+    const double per_device = costs.weight_bytes() * parallel::weight_shard_fraction(plan);
+    // Weights must fit with a sliver left for KV, or spill into tier-3.
+    const bool fits = per_device < usable * 0.97 ||
+                      (device.tier3_memory_bytes() > 0 &&
+                       per_device - usable * 0.8 < device.tier3_memory_bytes());
+    if (fits) return plan;
+  }
+  return std::nullopt;
+}
+
+ResultRow BenchmarkRunner::run_point(const sim::SimConfig& cfg) const {
+  return {cfg, sim_.run(cfg)};
+}
+
+ResultSet BenchmarkRunner::run_sweep(const SweepAxes& axes) const {
+  require(!axes.models.empty(), "run_sweep: need at least one model");
+  require(!axes.accelerators.empty(), "run_sweep: need at least one accelerator");
+  require(!axes.frameworks.empty(), "run_sweep: need at least one framework");
+  ResultSet set;
+  for (const auto& model : axes.models) {
+    for (const auto& accel : axes.accelerators) {
+      for (const auto& fw : axes.frameworks) {
+        // Resolve a plan once per (model, hw, fw).
+        std::optional<parallel::ParallelPlan> plan;
+        const auto& traits = frameworks::FrameworkRegistry::builtin().get(fw);
+        if (traits.supports_hw(accel)) {
+          if (axes.devices > 0) {
+            plan.emplace();
+            if (traits.tensor_parallel_supported) {
+              plan->tp = axes.devices;
+            } else {
+              plan->pp = axes.devices;
+            }
+          } else {
+            plan = auto_plan(model, accel, fw, axes.precision);
+          }
+        }
+        for (std::int64_t batch : axes.batch_sizes) {
+          for (std::int64_t len : axes.io_lengths) {
+            sim::SimConfig cfg;
+            cfg.model = model;
+            cfg.accelerator = accel;
+            cfg.framework = fw;
+            cfg.precision = axes.precision;
+            cfg.batch_size = batch;
+            cfg.input_tokens = len;
+            cfg.output_tokens = len;
+            if (plan) cfg.plan = *plan;
+            sim::SimResult res;
+            if (!traits.supports_hw(accel)) {
+              res.status = sim::RunStatus::kUnsupported;
+              res.status_detail = fw + " does not run on " + accel;
+            } else if (!plan) {
+              res.status = sim::RunStatus::kOom;
+              res.status_detail = "no parallel plan fits " + model + " on " + accel;
+            } else {
+              res = sim_.run(cfg);
+            }
+            set.add({cfg, res});
+          }
+        }
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace llmib::core

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/dashboard.h"
+#include "report/table.h"
+#include "sim/simulator.h"
+
+namespace llmib::core {
+
+/// Cartesian sweep over the paper's benchmark axes. Empty axes default to
+/// the paper's grid (§III-2: lengths 128..2048, batches 1/16/32/64).
+struct SweepAxes {
+  std::vector<std::string> models;
+  std::vector<std::string> accelerators;
+  std::vector<std::string> frameworks;
+  std::vector<std::int64_t> batch_sizes = {1, 16, 32, 64};
+  /// input == output length per point (the paper's default protocol).
+  std::vector<std::int64_t> io_lengths = {128, 256, 512, 1024, 2048};
+  hw::Precision precision = hw::Precision::kFP16;
+  /// Devices to use per point; 0 => pick automatically (smallest TP shard
+  /// count that fits the weights; PP for frameworks without TP).
+  int devices = 0;
+};
+
+/// One completed benchmark point.
+struct ResultRow {
+  sim::SimConfig config;
+  sim::SimResult result;
+};
+
+/// Collection of benchmark points with the query helpers the figures need.
+class ResultSet {
+ public:
+  void add(ResultRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<ResultRow>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// Rows matching all the given (optional) criteria.
+  std::vector<const ResultRow*> where(
+      const std::optional<std::string>& model = std::nullopt,
+      const std::optional<std::string>& accelerator = std::nullopt,
+      const std::optional<std::string>& framework = std::nullopt,
+      std::optional<std::int64_t> batch = std::nullopt,
+      std::optional<std::int64_t> io_length = std::nullopt) const;
+
+  /// Highest-throughput OK row matching the criteria, or nullptr.
+  const ResultRow* best(
+      const std::optional<std::string>& model = std::nullopt,
+      const std::optional<std::string>& accelerator = std::nullopt,
+      const std::optional<std::string>& framework = std::nullopt) const;
+
+  /// Throughput of the single row matching exactly, 0 if missing/not-ok.
+  double throughput(const std::string& model, const std::string& accelerator,
+                    const std::string& framework, std::int64_t batch,
+                    std::int64_t io_length) const;
+
+  /// Flatten into dashboard records.
+  std::vector<report::DashboardRecord> dashboard_records() const;
+
+  /// Render as a table: one row per point.
+  report::Table to_table() const;
+
+ private:
+  std::vector<ResultRow> rows_;
+};
+
+/// Top-level benchmark driver (the LLM-Inference-Bench public entry point).
+class BenchmarkRunner {
+ public:
+  BenchmarkRunner();
+
+  /// Pick a parallel plan for (model, accelerator, framework, precision):
+  /// the smallest power-of-two device count whose per-device share of the
+  /// weights fits, using TP where the framework supports it and PP
+  /// otherwise. Returns nullopt if nothing fits in the node.
+  std::optional<parallel::ParallelPlan> auto_plan(const std::string& model,
+                                                  const std::string& accelerator,
+                                                  const std::string& framework,
+                                                  hw::Precision precision) const;
+
+  /// Run a full sweep; unsupported/OOM points are recorded, not skipped.
+  ResultSet run_sweep(const SweepAxes& axes) const;
+
+  /// Run one explicit point.
+  ResultRow run_point(const sim::SimConfig& cfg) const;
+
+  const sim::InferenceSimulator& simulator() const { return sim_; }
+
+ private:
+  sim::InferenceSimulator sim_;
+};
+
+}  // namespace llmib::core

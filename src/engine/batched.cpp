@@ -1,0 +1,219 @@
+#include "engine/batched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "engine/tensor_ops.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+using util::require;
+
+void batched_matmul(std::span<const float> w, std::span<const float> x,
+                    std::span<float> y, std::size_t rows, std::size_t cols,
+                    std::size_t batch) {
+  require(w.size() == rows * cols, "batched_matmul: weight shape mismatch");
+  require(x.size() == batch * cols, "batched_matmul: input shape mismatch");
+  require(y.size() == batch * rows, "batched_matmul: output shape mismatch");
+  std::vector<float> acc(batch);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    const float* wrow = w.data() + r * cols;
+    // Weight-stationary: each w element is loaded once and applied to the
+    // whole batch — the traffic amortization decode batching is about.
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float wv = wrow[c];
+      for (std::size_t b = 0; b < batch; ++b) acc[b] += wv * x[b * cols + c];
+    }
+    for (std::size_t b = 0; b < batch; ++b) y[b * rows + r] = acc[b];
+  }
+}
+
+BatchedTransformer::BatchedTransformer(const TransformerWeights& weights)
+    : weights_(weights) {}
+
+std::vector<std::vector<float>> BatchedTransformer::forward_batch(
+    std::span<const TokenId> tokens, std::span<KvStore* const> kvs) const {
+  const auto& cfg = weights_.config;
+  require(!tokens.empty(), "forward_batch: empty batch");
+  require(tokens.size() == kvs.size(), "forward_batch: tokens/kvs size mismatch");
+  const std::size_t batch = tokens.size();
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto n_heads = static_cast<std::size_t>(cfg.n_heads);
+  const std::size_t q_dim = n_heads * head_dim;
+  const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
+
+  // Residual stream, [batch x hidden].
+  std::vector<float> x(batch * hidden);
+  for (std::size_t b = 0; b < batch; ++b) {
+    require(tokens[b] >= 0 && tokens[b] < cfg.vocab_size,
+            "forward_batch: token out of range");
+    require(static_cast<std::int64_t>(kvs[b]->size()) < cfg.max_seq_len,
+            "forward_batch: context exceeds max_seq_len");
+    std::copy_n(weights_.embedding.begin() +
+                    static_cast<std::ptrdiff_t>(static_cast<std::size_t>(tokens[b]) * hidden),
+                hidden, x.begin() + static_cast<std::ptrdiff_t>(b * hidden));
+  }
+
+  std::vector<float> normed(batch * hidden);
+  std::vector<float> q(batch * q_dim), attn_out(batch * q_dim);
+  std::vector<float> proj(batch * hidden);
+
+  for (int layer = 0; layer < cfg.n_layers; ++layer) {
+    const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+    const std::size_t kv_dim = lw.wk.size() / hidden;
+    const std::size_t n_kv_heads = kv_dim / head_dim;
+    const std::size_t group = n_heads / n_kv_heads;
+
+    // ---- attention ------------------------------------------------------
+    for (std::size_t b = 0; b < batch; ++b) {
+      rmsnorm(std::span<const float>(x).subspan(b * hidden, hidden), lw.attn_norm,
+              std::span<float>(normed).subspan(b * hidden, hidden));
+    }
+    std::vector<float> k(batch * kv_dim), v(batch * kv_dim);
+    batched_matmul(lw.wq, normed, q, q_dim, hidden, batch);
+    batched_matmul(lw.wk, normed, k, kv_dim, hidden, batch);
+    batched_matmul(lw.wv, normed, v, kv_dim, hidden, batch);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      KvStore& kv = *kvs[b];
+      const std::size_t pos = kv.size();
+      auto q_b = std::span<float>(q).subspan(b * q_dim, q_dim);
+      auto k_b = std::span<float>(k).subspan(b * kv_dim, kv_dim);
+      for (std::size_t h = 0; h < n_heads; ++h)
+        rope(q_b.subspan(h * head_dim, head_dim), pos);
+      for (std::size_t h = 0; h < n_kv_heads; ++h)
+        rope(k_b.subspan(h * head_dim, head_dim), pos);
+      require(kv.append(layer, k_b, std::span<const float>(v).subspan(b * kv_dim, kv_dim)),
+              "forward_batch: KV pool exhausted");
+
+      const std::size_t len = pos + 1;
+      const std::size_t first =
+          cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
+              ? len - static_cast<std::size_t>(cfg.sliding_window)
+              : 0;
+      const std::size_t span = len - first;
+      const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+      auto o_b = std::span<float>(attn_out).subspan(b * q_dim, q_dim);
+      std::fill(o_b.begin(), o_b.end(), 0.0f);
+      std::vector<float> scores(span);
+      for (std::size_t h = 0; h < n_heads; ++h) {
+        const std::size_t kv_h = h / group;
+        const auto q_head =
+            std::span<const float>(q).subspan(b * q_dim + h * head_dim, head_dim);
+        for (std::size_t t = 0; t < span; ++t)
+          scores[t] = dot(q_head, kv.key(layer, first + t).subspan(kv_h * head_dim,
+                                                                   head_dim)) *
+                      scale;
+        softmax(scores);
+        auto o_head = o_b.subspan(h * head_dim, head_dim);
+        for (std::size_t t = 0; t < span; ++t) {
+          const auto v_t =
+              kv.value(layer, first + t).subspan(kv_h * head_dim, head_dim);
+          for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += scores[t] * v_t[d];
+        }
+      }
+    }
+    batched_matmul(lw.wo, attn_out, proj, hidden, q_dim, batch);
+    for (std::size_t i = 0; i < batch * hidden; ++i) x[i] += proj[i];
+
+    // ---- FFN --------------------------------------------------------------
+    for (std::size_t b = 0; b < batch; ++b) {
+      rmsnorm(std::span<const float>(x).subspan(b * hidden, hidden), lw.ffn_norm,
+              std::span<float>(normed).subspan(b * hidden, hidden));
+    }
+
+    if (cfg.ffn == models::FfnKind::kDense) {
+      std::vector<float> gate(batch * inter), up(batch * inter);
+      batched_matmul(lw.w_gate[0], normed, gate, inter, hidden, batch);
+      batched_matmul(lw.w_up[0], normed, up, inter, hidden, batch);
+      silu(gate);
+      for (std::size_t i = 0; i < batch * inter; ++i) gate[i] *= up[i];
+      batched_matmul(lw.w_down[0], gate, proj, hidden, inter, batch);
+      for (std::size_t i = 0; i < batch * hidden; ++i) x[i] += proj[i];
+    } else {
+      // MoE: route per sequence, then batch the sequences routed to each
+      // expert so every touched expert streams its weights once.
+      const auto n_experts = static_cast<std::size_t>(cfg.n_experts);
+      const auto top_k = static_cast<std::size_t>(cfg.experts_active);
+      struct Route {
+        std::vector<std::size_t> experts;  // in per-sequence score order
+        std::vector<float> gains;
+      };
+      std::vector<Route> routes(batch);
+      std::map<std::size_t, std::vector<std::size_t>> expert_members;
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::vector<float> scores(n_experts);
+        matvec(lw.router, std::span<const float>(normed).subspan(b * hidden, hidden),
+               scores, n_experts, hidden);
+        std::vector<std::size_t> order(n_experts);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+          return scores[a] > scores[c];
+        });
+        std::vector<float> top(top_k);
+        for (std::size_t i = 0; i < top_k; ++i) top[i] = scores[order[i]];
+        softmax(top);
+        for (std::size_t i = 0; i < top_k; ++i) {
+          routes[b].experts.push_back(order[i]);
+          routes[b].gains.push_back(top[i]);
+          expert_members[order[i]].push_back(b);
+        }
+      }
+      // Per expert: batched FFN over its member sequences.
+      std::map<std::pair<std::size_t, std::size_t>, std::vector<float>> outputs;
+      for (const auto& [e, members] : expert_members) {
+        const std::size_t m = members.size();
+        std::vector<float> xin(m * hidden);
+        for (std::size_t i = 0; i < m; ++i)
+          std::copy_n(normed.begin() + static_cast<std::ptrdiff_t>(members[i] * hidden),
+                      hidden, xin.begin() + static_cast<std::ptrdiff_t>(i * hidden));
+        std::vector<float> gate(m * inter), up(m * inter), down(m * hidden);
+        batched_matmul(lw.w_gate[e], xin, gate, inter, hidden, m);
+        batched_matmul(lw.w_up[e], xin, up, inter, hidden, m);
+        silu(gate);
+        for (std::size_t i = 0; i < m * inter; ++i) gate[i] *= up[i];
+        batched_matmul(lw.w_down[e], gate, down, hidden, inter, m);
+        for (std::size_t i = 0; i < m; ++i) {
+          outputs[{members[i], e}].assign(
+              down.begin() + static_cast<std::ptrdiff_t>(i * hidden),
+              down.begin() + static_cast<std::ptrdiff_t>((i + 1) * hidden));
+        }
+      }
+      // Accumulate per sequence IN ITS OWN ROUTING ORDER so the float sums
+      // match MiniTransformer bit for bit.
+      for (std::size_t b = 0; b < batch; ++b) {
+        auto x_b = std::span<float>(x).subspan(b * hidden, hidden);
+        std::vector<float> delta(hidden, 0.0f);
+        for (std::size_t slot = 0; slot < routes[b].experts.size(); ++slot) {
+          const auto& out = outputs.at({b, routes[b].experts[slot]});
+          const float gain = routes[b].gains[slot];
+          for (std::size_t i = 0; i < hidden; ++i) delta[i] += gain * out[i];
+        }
+        for (std::size_t i = 0; i < hidden; ++i) x_b[i] += delta[i];
+      }
+      continue;  // residual already applied
+    }
+  }
+
+  // ---- head ------------------------------------------------------------------
+  for (std::size_t b = 0; b < batch; ++b) {
+    rmsnorm(std::span<const float>(x).subspan(b * hidden, hidden), weights_.final_norm,
+            std::span<float>(normed).subspan(b * hidden, hidden));
+  }
+  const auto vocab = static_cast<std::size_t>(cfg.vocab_size);
+  std::vector<float> logits(batch * vocab);
+  batched_matmul(weights_.lm_head, normed, logits, vocab, hidden, batch);
+  std::vector<std::vector<float>> out(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    out[b].assign(logits.begin() + static_cast<std::ptrdiff_t>(b * vocab),
+                  logits.begin() + static_cast<std::ptrdiff_t>((b + 1) * vocab));
+  }
+  return out;
+}
+
+}  // namespace llmib::engine

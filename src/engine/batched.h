@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/model.h"
+
+namespace llmib::engine {
+
+/// Truly batched decode over the mini transformer: one iteration advances
+/// every sequence by one token, with all linear projections executed as
+/// weight-stationary matrix-matrix products (each weight row is read ONCE
+/// and applied to the whole batch). This is the actual mechanism behind
+/// the paper's Fig. 1a — decode is weight-bandwidth-bound, and batching
+/// amortizes the weight traffic — made measurable on the CPU engine
+/// (`bench/engine_batch_scaling`).
+///
+/// Numerics: the per-(row, sequence) accumulation order is identical to
+/// MiniTransformer's GEMV, so batched logits are BIT-IDENTICAL to running
+/// each sequence through MiniTransformer::forward — the equivalence the
+/// tests pin down. Attention runs per sequence (contexts differ); MoE
+/// sequences are grouped by routed expert so each touched expert's weights
+/// stream once per step (the E_touched(B) effect of DESIGN.md).
+class BatchedTransformer {
+ public:
+  explicit BatchedTransformer(const TransformerWeights& weights);
+
+  const models::ModelConfig& config() const { return weights_.config; }
+
+  /// Advance each sequence i by token tokens[i] (appending to kvs[i]) and
+  /// return each sequence's next-token logits. tokens.size() must equal
+  /// kvs.size() and be >= 1. KV stores may be at different lengths.
+  std::vector<std::vector<float>> forward_batch(std::span<const TokenId> tokens,
+                                                std::span<KvStore* const> kvs) const;
+
+ private:
+  const TransformerWeights& weights_;
+};
+
+/// y[r][b] = sum_c w[r*cols+c] * x[b][c], with the c-loop innermost per
+/// (r, b) so the accumulation order matches matvec() exactly. x is one
+/// contiguous row-major [batch x cols]; y is [batch x rows].
+void batched_matmul(std::span<const float> w, std::span<const float> x,
+                    std::span<float> y, std::size_t rows, std::size_t cols,
+                    std::size_t batch);
+
+}  // namespace llmib::engine

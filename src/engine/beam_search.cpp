@@ -1,0 +1,119 @@
+#include "engine/beam_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "engine/tensor_ops.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+using util::require;
+
+namespace {
+
+/// Log-softmax values for the top `k` logits, as (token, logp) pairs.
+std::vector<std::pair<TokenId, double>> top_log_probs(std::span<const float> logits,
+                                                      int k) {
+  float max_v = logits[0];
+  for (float v : logits) max_v = std::max(max_v, v);
+  double lse = 0.0;
+  for (float v : logits) lse += std::exp(static_cast<double>(v) - max_v);
+  const double log_z = std::log(lse) + max_v;
+
+  std::vector<std::size_t> order(logits.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto kth = std::min<std::size_t>(static_cast<std::size_t>(k), order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(kth),
+                    order.end(),
+                    [&](std::size_t a, std::size_t b) { return logits[a] > logits[b]; });
+  std::vector<std::pair<TokenId, double>> out;
+  out.reserve(kth);
+  for (std::size_t i = 0; i < kth; ++i) {
+    out.emplace_back(static_cast<TokenId>(order[i]),
+                     static_cast<double>(logits[order[i]]) - log_z);
+  }
+  return out;
+}
+
+struct Beam {
+  std::vector<TokenId> tokens;
+  double log_prob = 0.0;
+  std::unique_ptr<ContiguousKvStore> kv;
+  std::vector<float> logits;  ///< logits after the last fed token
+};
+
+}  // namespace
+
+BeamSearchResult beam_search(const MiniTransformer& model,
+                             std::span<const TokenId> prompt,
+                             std::int64_t max_new_tokens, int beam_width) {
+  require(!prompt.empty(), "beam_search: empty prompt");
+  require(max_new_tokens > 0, "beam_search: max_new_tokens must be positive");
+  require(beam_width >= 1, "beam_search: beam width must be >= 1");
+
+  // Seed beam: run the prompt once.
+  std::vector<Beam> beams;
+  {
+    Beam b;
+    b.kv = std::make_unique<ContiguousKvStore>(model.kv_dims());
+    for (TokenId t : prompt) b.logits = model.forward(t, *b.kv);
+    beams.push_back(std::move(b));
+  }
+
+  for (std::int64_t step = 0; step < max_new_tokens; ++step) {
+    // Expand every live beam by its top-k continuations.
+    struct Candidate {
+      std::size_t parent;
+      TokenId token;
+      double log_prob;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < beams.size(); ++i) {
+      for (const auto& [token, logp] : top_log_probs(beams[i].logits, beam_width)) {
+        candidates.push_back({i, token, beams[i].log_prob + logp});
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.log_prob > b.log_prob;
+                     });
+    candidates.resize(
+        std::min<std::size_t>(candidates.size(), static_cast<std::size_t>(beam_width)));
+
+    // Materialize the surviving beams. KV caches are rebuilt by replay
+    // when a parent spawns more than one survivor.
+    std::vector<Beam> next;
+    std::vector<bool> parent_consumed(beams.size(), false);
+    for (const Candidate& c : candidates) {
+      Beam nb;
+      nb.tokens = beams[c.parent].tokens;
+      nb.tokens.push_back(c.token);
+      nb.log_prob = c.log_prob;
+      if (!parent_consumed[c.parent]) {
+        // First child steals the parent's cache (cheap path).
+        parent_consumed[c.parent] = true;
+        nb.kv = std::move(beams[c.parent].kv);
+      } else {
+        nb.kv = std::make_unique<ContiguousKvStore>(model.kv_dims());
+        for (TokenId t : prompt) model.forward(t, *nb.kv);
+        for (std::size_t i = 0; i + 1 < nb.tokens.size(); ++i)
+          model.forward(nb.tokens[i], *nb.kv);
+      }
+      nb.logits = model.forward(c.token, *nb.kv);
+      next.push_back(std::move(nb));
+    }
+    beams = std::move(next);
+  }
+
+  BeamSearchResult res;
+  for (auto& b : beams) res.hypotheses.push_back({std::move(b.tokens), b.log_prob});
+  std::stable_sort(res.hypotheses.begin(), res.hypotheses.end(),
+                   [](const BeamHypothesis& a, const BeamHypothesis& b) {
+                     return a.log_prob > b.log_prob;
+                   });
+  return res;
+}
+
+}  // namespace llmib::engine

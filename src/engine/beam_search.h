@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/model.h"
+
+namespace llmib::engine {
+
+/// One finished beam-search hypothesis.
+struct BeamHypothesis {
+  std::vector<TokenId> tokens;   ///< generated tokens (no prompt)
+  double log_prob = 0.0;         ///< sum of log-softmax of chosen tokens
+};
+
+struct BeamSearchResult {
+  /// All kept hypotheses, best (highest log_prob) first.
+  std::vector<BeamHypothesis> hypotheses;
+  const BeamHypothesis& best() const { return hypotheses.front(); }
+};
+
+/// Deterministic beam search (TensorRT-LLM ships this as a first-class
+/// sampling mode; paper Appendix C). Expands `beam_width` hypotheses per
+/// step, scoring by cumulative log-probability. With beam_width == 1 it is
+/// exactly greedy decoding — the invariant the tests pin down; with larger
+/// widths the best hypothesis's log-probability can only improve.
+///
+/// Each live hypothesis keeps its own KV cache rebuilt via fork-free
+/// replay; the implementation favors clarity over speed (the engine is a
+/// correctness substrate, not a performance one).
+BeamSearchResult beam_search(const MiniTransformer& model,
+                             std::span<const TokenId> prompt,
+                             std::int64_t max_new_tokens, int beam_width);
+
+}  // namespace llmib::engine

@@ -1,0 +1,166 @@
+#include "engine/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace llmib::engine::checkpoint {
+
+using util::require;
+
+namespace {
+
+void write_i64(std::ostream& out, std::int64_t v) {
+  // Little-endian, byte by byte (portable regardless of host endianness).
+  for (int i = 0; i < 8; ++i)
+    out.put(static_cast<char>((static_cast<std::uint64_t>(v) >> (8 * i)) & 0xFF));
+}
+
+std::int64_t read_i64(std::istream& in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int c = in.get();
+    require(c != EOF, "checkpoint: truncated integer");
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << (8 * i);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void write_floats(std::ostream& out, const std::vector<float>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  static_assert(sizeof(float) == 4);
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * 4));
+}
+
+std::vector<float> read_floats(std::istream& in, std::size_t expected) {
+  const auto n = static_cast<std::size_t>(read_i64(in));
+  require(n == expected, "checkpoint: tensor size mismatch (expected " +
+                             std::to_string(expected) + ", got " + std::to_string(n) +
+                             ")");
+  std::vector<float> v(n);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * 4));
+  require(static_cast<std::size_t>(in.gcount()) == n * 4,
+          "checkpoint: truncated tensor data");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_i64(out, static_cast<std::int64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = static_cast<std::size_t>(read_i64(in));
+  require(n < (1u << 20), "checkpoint: implausible string length");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  require(static_cast<std::size_t>(in.gcount()) == n,
+          "checkpoint: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void save(const TransformerWeights& w, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const auto& c = w.config;
+  write_string(out, c.name);
+  for (std::int64_t v :
+       {static_cast<std::int64_t>(c.n_layers), static_cast<std::int64_t>(c.hidden_size),
+        static_cast<std::int64_t>(c.attention == models::AttentionKind::kGQA ? 1 : 0),
+        static_cast<std::int64_t>(c.n_heads), static_cast<std::int64_t>(c.n_kv_heads),
+        static_cast<std::int64_t>(c.ffn == models::FfnKind::kMoE ? 1 : 0),
+        static_cast<std::int64_t>(c.n_experts),
+        static_cast<std::int64_t>(c.experts_active), c.ffn_intermediate,
+        static_cast<std::int64_t>(c.ffn_matrices), c.max_seq_len, c.vocab_size,
+        c.sliding_window, static_cast<std::int64_t>(c.head_dim_override)}) {
+    write_i64(out, v);
+  }
+  write_i64(out, static_cast<std::int64_t>(c.kv_heads_per_layer.size()));
+  for (int h : c.kv_heads_per_layer) write_i64(out, h);
+
+  write_floats(out, w.embedding);
+  write_floats(out, w.final_norm);
+  write_floats(out, w.lm_head);
+  for (const auto& l : w.layers) {
+    write_floats(out, l.attn_norm);
+    write_floats(out, l.wq);
+    write_floats(out, l.wk);
+    write_floats(out, l.wv);
+    write_floats(out, l.wo);
+    write_floats(out, l.ffn_norm);
+    for (const auto& m : l.w_gate) write_floats(out, m);
+    for (const auto& m : l.w_up) write_floats(out, m);
+    for (const auto& m : l.w_down) write_floats(out, m);
+    write_floats(out, l.router);
+  }
+  require(out.good(), "checkpoint: write failure");
+}
+
+void save_file(const TransformerWeights& w, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.is_open(), "checkpoint: cannot open " + path + " for writing");
+  save(w, out);
+}
+
+TransformerWeights load(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  require(in.gcount() == sizeof(magic) && std::memcmp(magic, kMagic, sizeof(magic)) == 0,
+          "checkpoint: bad magic (not an llmib checkpoint?)");
+
+  models::ModelConfig c;
+  c.name = read_string(in);
+  c.n_layers = static_cast<int>(read_i64(in));
+  c.hidden_size = static_cast<int>(read_i64(in));
+  c.attention = read_i64(in) ? models::AttentionKind::kGQA
+                             : models::AttentionKind::kMHSA;
+  c.n_heads = static_cast<int>(read_i64(in));
+  c.n_kv_heads = static_cast<int>(read_i64(in));
+  c.ffn = read_i64(in) ? models::FfnKind::kMoE : models::FfnKind::kDense;
+  c.n_experts = static_cast<int>(read_i64(in));
+  c.experts_active = static_cast<int>(read_i64(in));
+  c.ffn_intermediate = read_i64(in);
+  c.ffn_matrices = static_cast<int>(read_i64(in));
+  c.max_seq_len = read_i64(in);
+  c.vocab_size = read_i64(in);
+  c.sliding_window = read_i64(in);
+  c.head_dim_override = static_cast<int>(read_i64(in));
+  const auto per_layer = static_cast<std::size_t>(read_i64(in));
+  require(per_layer == 0 || per_layer == static_cast<std::size_t>(c.n_layers),
+          "checkpoint: bad per-layer kv-head table");
+  for (std::size_t i = 0; i < per_layer; ++i)
+    c.kv_heads_per_layer.push_back(static_cast<int>(read_i64(in)));
+  c.validate();
+
+  // Rebuild the expected tensor shapes from the config, then fill them.
+  TransformerWeights w = TransformerWeights::random(c, 0);
+  w.embedding = read_floats(in, w.embedding.size());
+  w.final_norm = read_floats(in, w.final_norm.size());
+  w.lm_head = read_floats(in, w.lm_head.size());
+  for (auto& l : w.layers) {
+    l.attn_norm = read_floats(in, l.attn_norm.size());
+    l.wq = read_floats(in, l.wq.size());
+    l.wk = read_floats(in, l.wk.size());
+    l.wv = read_floats(in, l.wv.size());
+    l.wo = read_floats(in, l.wo.size());
+    l.ffn_norm = read_floats(in, l.ffn_norm.size());
+    for (auto& m : l.w_gate) m = read_floats(in, m.size());
+    for (auto& m : l.w_up) m = read_floats(in, m.size());
+    for (auto& m : l.w_down) m = read_floats(in, m.size());
+    l.router = read_floats(in, l.router.size());
+  }
+  return w;
+}
+
+TransformerWeights load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.is_open(), "checkpoint: cannot open " + path);
+  return load(in);
+}
+
+}  // namespace llmib::engine::checkpoint

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/weights.h"
+
+namespace llmib::engine {
+
+/// Binary checkpoint format for mini-engine weights (a GGUF-in-spirit
+/// single-file container): magic + version + the full ModelConfig followed
+/// by every tensor as little-endian fp32. Lets examples and the CLI persist
+/// a seeded model and reload it bit-exactly — the engine-side analogue of
+/// the HF-weights/GGUF conversions the paper's frameworks require
+/// (Appendix C's "convert HF weights to ... GGUF format").
+namespace checkpoint {
+
+inline constexpr char kMagic[8] = {'L', 'L', 'M', 'I', 'B', 'C', 'K', '1'};
+
+/// Serialize to a binary stream. Throws util::ContractViolation on I/O
+/// failure.
+void save(const TransformerWeights& weights, std::ostream& out);
+void save_file(const TransformerWeights& weights, const std::string& path);
+
+/// Deserialize; validates magic, version, config invariants and tensor
+/// sizes. Throws util::ContractViolation on any mismatch or truncation.
+TransformerWeights load(std::istream& in);
+TransformerWeights load_file(const std::string& path);
+
+}  // namespace checkpoint
+
+}  // namespace llmib::engine

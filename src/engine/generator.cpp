@@ -1,0 +1,284 @@
+#include "engine/batched.h"
+#include "engine/generator.h"
+
+#include <cstring>
+
+#include "engine/tensor_ops.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+using util::require;
+
+GenerateResult generate(const MiniTransformer& model, std::span<const TokenId> prompt,
+                        const GenerateOptions& opts) {
+  require(!prompt.empty(), "generate: empty prompt");
+  require(opts.max_new_tokens > 0, "generate: max_new_tokens must be positive");
+  Sampler sampler(opts.temperature, opts.sampler_seed);
+  GenerateResult res;
+
+  if (opts.use_kv_cache) {
+    ContiguousKvStore kv(model.kv_dims());
+    std::vector<float> logits;
+    for (TokenId t : prompt) {
+      logits = model.forward(t, kv);
+      ++res.forward_passes;
+    }
+    for (std::int64_t i = 0; i < opts.max_new_tokens; ++i) {
+      const TokenId next = sampler.sample(logits);
+      res.tokens.push_back(next);
+      if (i + 1 == opts.max_new_tokens) break;
+      logits = model.forward(next, kv);
+      ++res.forward_passes;
+    }
+    return res;
+  }
+
+  // No-cache path: every step re-runs the model over the full prefix.
+  std::vector<TokenId> context(prompt.begin(), prompt.end());
+  for (std::int64_t i = 0; i < opts.max_new_tokens; ++i) {
+    const std::vector<float> logits = model.forward_nocache(context);
+    res.forward_passes += 1;
+    res.recomputed_tokens += context.size();
+    const TokenId next = sampler.sample(logits);
+    res.tokens.push_back(next);
+    context.push_back(next);
+  }
+  return res;
+}
+
+namespace {
+
+bool is_pool_exhaustion(const util::ContractViolation& e) {
+  return std::strstr(e.what(), "KV pool exhausted") != nullptr;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const MiniTransformer& model, Config cfg)
+    : model_(model),
+      cfg_(cfg),
+      pool_(cfg.pool_blocks, cfg.block_size, model.kv_dims()),
+      scheduler_([&] {
+        sched::Scheduler::Config sc;
+        sc.policy = cfg.policy;
+        sc.max_batch = cfg.max_batch;
+        if (cfg.allow_preemption) {
+          // Optimistic admission: pool pressure is handled by eviction +
+          // recompute, not by conservative reservations.
+          sc.kv_capacity_tokens = 0;
+        } else {
+          // Discount the worst-case last-block slack per live sequence so
+          // the admission decision never lets a forward hit an empty pool.
+          sc.kv_capacity_tokens =
+              static_cast<std::int64_t>(cfg.pool_blocks) * cfg.block_size -
+              cfg.max_batch * (static_cast<std::int64_t>(cfg.block_size) - 1);
+        }
+        return sc;
+      }()),
+      sampler_(cfg.temperature) {
+  require(cfg.prefill_chunk > 0, "ServingEngine: prefill_chunk must be positive");
+  require(!(cfg.batched_decode && cfg.allow_preemption),
+          "ServingEngine: batched_decode cannot be combined with preemption");
+}
+
+sched::RequestId ServingEngine::submit(std::vector<TokenId> prompt,
+                                       std::int64_t max_new_tokens) {
+  require(!prompt.empty(), "ServingEngine: empty prompt");
+  const sched::RequestId id = next_id_++;
+  scheduler_.submit({id, static_cast<std::int64_t>(prompt.size()), max_new_tokens, 0.0});
+  prompts_.emplace(id, std::move(prompt));
+  return id;
+}
+
+void ServingEngine::preempt(sched::RequestId id, Live& live) {
+  (void)id;
+  require(live.kv != nullptr, "ServingEngine: preempting an evicted sequence");
+  live.kv.reset();  // frees every block of this sequence
+  live.preempted = true;
+  ++preemptions_;
+}
+
+bool ServingEngine::try_restore(sched::RequestId id, Live& live) {
+  (void)id;
+  // Tokens actually fed so far: the prefilled prompt portion plus every
+  // generated token except the pending (unfed) next_input.
+  std::vector<TokenId> fed(live.prompt.begin(),
+                           live.prompt.begin() + static_cast<std::ptrdiff_t>(live.prompt_fed));
+  if (!live.generated.empty())
+    fed.insert(fed.end(), live.generated.begin(), live.generated.end() - 1);
+
+  auto kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
+  try {
+    for (TokenId t : fed) model_.forward(t, *kv);
+  } catch (const util::ContractViolation& e) {
+    if (!is_pool_exhaustion(e)) throw;
+    return false;  // still under pressure; stay preempted
+  }
+  recomputed_tokens_ += static_cast<std::int64_t>(fed.size());
+  live.kv = std::move(kv);
+  live.preempted = false;
+  return true;
+}
+
+std::vector<float> ServingEngine::forward_with_preemption(sched::RequestId id,
+                                                          Live& live, TokenId token) {
+  for (;;) {
+    try {
+      return model_.forward(token, *live.kv);
+    } catch (const util::ContractViolation& e) {
+      if (!cfg_.allow_preemption || !is_pool_exhaustion(e)) throw;
+      // Evict the youngest OTHER resident sequence (vLLM's policy);
+      // if this sequence is the only resident one, evict it instead.
+      auto victim = live_.end();
+      for (auto it = live_.begin(); it != live_.end(); ++it) {
+        if (it->first != id && it->second.kv != nullptr) victim = it;
+      }
+      if (victim == live_.end()) {
+        preempt(id, live);
+        return {};
+      }
+      preempt(victim->first, victim->second);
+    }
+  }
+}
+
+bool ServingEngine::step() {
+  if (scheduler_.all_done()) return false;
+  const sched::StepPlan plan = scheduler_.plan_step();
+  if (plan.empty()) return false;
+  ++iterations_;
+
+  // Helper: feed prompt tokens (respecting chunking); returns true when the
+  // prompt is complete and the first token has been sampled.
+  auto feed_prompt = [&](sched::RequestId id, Live& live) -> bool {
+    const std::size_t budget =
+        cfg_.chunked_prefill ? static_cast<std::size_t>(cfg_.prefill_chunk)
+                             : live.prompt.size();
+    std::vector<float> logits;
+    std::size_t fed_now = 0;
+    while (live.prompt_fed < live.prompt.size() && fed_now < budget) {
+      logits = forward_with_preemption(id, live, live.prompt[live.prompt_fed]);
+      if (logits.empty()) return false;  // self-preempted mid-prefill
+      ++live.prompt_fed;
+      ++fed_now;
+    }
+    if (live.prompt_fed < live.prompt.size()) return false;  // more chunks needed
+    if (live.generated.empty() && !logits.empty()) {
+      const TokenId first = sampler_.sample(logits);
+      live.generated.push_back(first);
+      live.next_input = first;
+      return true;
+    }
+    return false;
+  };
+
+  for (sched::RequestId id : plan.prefills) {
+    Live live;
+    live.prompt = prompts_.at(id);
+    live.kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
+    const bool produced_first = feed_prompt(id, live);
+    if (produced_first) {
+      const bool done = scheduler_.complete_decode_token(id);
+      if (done) {
+        finished_.emplace(id, live.generated);
+        continue;
+      }
+    }
+    live_.emplace(id, std::move(live));
+  }
+
+  // Batched decode: one weight-stationary pass for every plain decode
+  // (bit-identical to the per-sequence loop; see BatchedTransformer).
+  if (cfg_.batched_decode) {
+    std::vector<sched::RequestId> plain;
+    std::vector<TokenId> toks;
+    std::vector<KvStore*> kv_ptrs;
+    for (sched::RequestId id : plan.decodes) {
+      auto it = live_.find(id);
+      if (it == live_.end()) continue;
+      Live& live = it->second;
+      if (live.prompt_fed < live.prompt.size() || live.generated.empty()) continue;
+      plain.push_back(id);
+      toks.push_back(live.next_input);
+      kv_ptrs.push_back(live.kv.get());
+    }
+    if (!plain.empty()) {
+      const BatchedTransformer batched(model_.weights());
+      const auto logits = batched.forward_batch(toks, kv_ptrs);
+      for (std::size_t i = 0; i < plain.size(); ++i) {
+        Live& live = live_.at(plain[i]);
+        const TokenId next = sampler_.sample(logits[i]);
+        live.generated.push_back(next);
+        live.next_input = next;
+        if (scheduler_.complete_decode_token(plain[i])) {
+          finished_.emplace(plain[i], live.generated);
+          live_.erase(plain[i]);
+        }
+      }
+    }
+    // Any remaining decode entries (mid-chunked-prefill) fall through to
+    // the per-sequence loop below, which skips the ones just handled.
+  }
+
+  for (sched::RequestId id : plan.decodes) {
+    auto it = live_.find(id);
+    if (it == live_.end()) continue;  // finished during its prefill iteration
+    Live& live = it->second;
+
+    if (live.preempted && !try_restore(id, live)) continue;
+
+    // Chunked prefill still in flight: feed the next chunk instead of
+    // decoding this iteration.
+    if (live.prompt_fed < live.prompt.size() || live.generated.empty()) {
+      // (reached both with and without batched_decode)
+      const bool produced_first = feed_prompt(id, live);
+      if (!produced_first) continue;
+      const bool done = scheduler_.complete_decode_token(id);
+      if (done) {
+        finished_.emplace(id, live.generated);
+        live_.erase(it);
+      }
+      continue;
+    }
+    if (cfg_.batched_decode) continue;  // plain decodes already advanced above
+
+    const std::vector<float> logits = forward_with_preemption(id, live, live.next_input);
+    if (logits.empty()) continue;  // self-preempted; retry next iteration
+    const TokenId next = sampler_.sample(logits);
+    live.generated.push_back(next);
+    live.next_input = next;
+    const bool done = scheduler_.complete_decode_token(id);
+    if (done) {
+      finished_.emplace(id, live.generated);
+      live_.erase(it);  // frees the paged blocks for waiting requests
+    }
+  }
+  return true;
+}
+
+void ServingEngine::run_to_completion() {
+  std::int64_t stall_guard = 0;
+  while (!scheduler_.all_done()) {
+    const std::int64_t before = iterations_;
+    const std::size_t finished_before = finished_.size();
+    if (!step()) break;
+    const bool progressed =
+        finished_.size() > finished_before || iterations_ == before;
+    stall_guard = progressed ? 0 : stall_guard + 1;
+    require(stall_guard < 100000, "ServingEngine: no forward progress");
+  }
+  require(scheduler_.all_done(), "ServingEngine: stalled before completion");
+}
+
+bool ServingEngine::finished(sched::RequestId id) const {
+  return finished_.count(id) > 0;
+}
+
+const std::vector<TokenId>& ServingEngine::output(sched::RequestId id) const {
+  auto it = finished_.find(id);
+  require(it != finished_.end(), "ServingEngine: request not finished");
+  return it->second;
+}
+
+}  // namespace llmib::engine

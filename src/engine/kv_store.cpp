@@ -1,0 +1,180 @@
+#include "engine/kv_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace llmib::engine {
+
+using util::require;
+
+// ---------------------------------------------------------------- contiguous
+
+ContiguousKvStore::ContiguousKvStore(std::vector<std::size_t> kv_dims)
+    : kv_dims_(std::move(kv_dims)), keys_(kv_dims_.size()), values_(kv_dims_.size()) {
+  require(!kv_dims_.empty(), "ContiguousKvStore: need at least one layer");
+}
+
+bool ContiguousKvStore::append(int layer, std::span<const float> k,
+                               std::span<const float> v) {
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "ContiguousKvStore: bad layer");
+  require(layer == appended_layers_, "ContiguousKvStore: layers must append in order");
+  require(k.size() == kv_dims_[l] && v.size() == kv_dims_[l],
+          "ContiguousKvStore: kv dim mismatch");
+  keys_[l].insert(keys_[l].end(), k.begin(), k.end());
+  values_[l].insert(values_[l].end(), v.begin(), v.end());
+  if (++appended_layers_ == static_cast<int>(kv_dims_.size())) {
+    appended_layers_ = 0;
+    ++tokens_;
+  }
+  return true;
+}
+
+std::span<const float> ContiguousKvStore::key(int layer, std::size_t pos) const {
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "ContiguousKvStore: bad layer");
+  // During a token's layer-by-layer append, already-appended layers hold
+  // one more entry than tokens_ reports.
+  require(pos < keys_[l].size() / kv_dims_[l], "ContiguousKvStore: bad access");
+  return {keys_[l].data() + pos * kv_dims_[l], kv_dims_[l]};
+}
+
+std::span<const float> ContiguousKvStore::value(int layer, std::size_t pos) const {
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "ContiguousKvStore: bad layer");
+  require(pos < values_[l].size() / kv_dims_[l], "ContiguousKvStore: bad access");
+  return {values_[l].data() + pos * kv_dims_[l], kv_dims_[l]};
+}
+
+// --------------------------------------------------------------------- pool
+
+PagedKvPool::PagedKvPool(std::uint32_t total_blocks, std::uint32_t block_size,
+                         std::vector<std::size_t> kv_dims)
+    : alloc_(total_blocks, block_size),
+      block_size_(block_size),
+      kv_dims_(std::move(kv_dims)) {
+  require(!kv_dims_.empty(), "PagedKvPool: need at least one layer");
+  keys_.resize(kv_dims_.size());
+  values_.resize(kv_dims_.size());
+  for (std::size_t l = 0; l < kv_dims_.size(); ++l) {
+    const std::size_t n =
+        static_cast<std::size_t>(total_blocks) * block_size * kv_dims_[l];
+    keys_[l].assign(n, 0.0f);
+    values_[l].assign(n, 0.0f);
+  }
+}
+
+std::span<float> PagedKvPool::key_slot(int layer, kv::BlockId block,
+                                       std::uint32_t offset) {
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {keys_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+std::span<float> PagedKvPool::value_slot(int layer, kv::BlockId block,
+                                         std::uint32_t offset) {
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {values_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+std::span<const float> PagedKvPool::key_slot(int layer, kv::BlockId block,
+                                             std::uint32_t offset) const {
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {keys_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+std::span<const float> PagedKvPool::value_slot(int layer, kv::BlockId block,
+                                               std::uint32_t offset) const {
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {values_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+void PagedKvPool::copy_block(kv::BlockId src, kv::BlockId dst) {
+  for (std::size_t l = 0; l < kv_dims_.size(); ++l) {
+    const std::size_t dim = kv_dims_[l];
+    const std::size_t span = static_cast<std::size_t>(block_size_) * dim;
+    std::copy_n(keys_[l].data() + static_cast<std::size_t>(src) * span, span,
+                keys_[l].data() + static_cast<std::size_t>(dst) * span);
+    std::copy_n(values_[l].data() + static_cast<std::size_t>(src) * span, span,
+                values_[l].data() + static_cast<std::size_t>(dst) * span);
+  }
+}
+
+// -------------------------------------------------------------------- paged
+
+PagedKvStore::PagedKvStore(PagedKvPool& pool, kv::SeqId id) : pool_(pool), id_(id) {
+  pool_.allocator().create_sequence(id_);
+}
+
+PagedKvStore::PagedKvStore(PagedKvPool& pool, kv::SeqId id,
+                           const PagedKvStore& parent)
+    : pool_(pool), id_(id), tokens_(parent.tokens_) {
+  require(&pool == &parent.pool_, "PagedKvStore: fork must stay in one pool");
+  require(parent.appended_layers_ == 0,
+          "PagedKvStore: cannot fork mid-token append");
+  pool_.allocator().fork_sequence(parent.id_, id_);
+}
+
+PagedKvStore::~PagedKvStore() { pool_.allocator().free_sequence(id_); }
+
+bool PagedKvStore::append(int layer, std::span<const float> k,
+                          std::span<const float> v) {
+  const auto& dims = pool_.kv_dims();
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < dims.size(), "PagedKvStore: bad layer");
+  require(layer == appended_layers_, "PagedKvStore: layers must append in order");
+  require(k.size() == dims[l] && v.size() == dims[l], "PagedKvStore: kv dim mismatch");
+
+  // Blocks are claimed when layer 0 of a new token arrives; later layers
+  // reuse the same (block, offset) since token count advances only after
+  // the last layer.
+  if (layer == 0) {
+    std::vector<kv::CowCopy> cow;
+    if (!pool_.allocator().append_tokens(id_, 1, &cow)) return false;
+    for (const auto& c : cow) pool_.copy_block(c.src, c.dst);
+  }
+  const auto& table = pool_.allocator().block_table(id_);
+  const std::size_t pos = tokens_;
+  const kv::BlockId block = table[pos / pool_.block_size()];
+  const auto offset = static_cast<std::uint32_t>(pos % pool_.block_size());
+  auto kdst = pool_.key_slot(layer, block, offset);
+  auto vdst = pool_.value_slot(layer, block, offset);
+  std::copy(k.begin(), k.end(), kdst.begin());
+  std::copy(v.begin(), v.end(), vdst.begin());
+  if (++appended_layers_ == static_cast<int>(dims.size())) {
+    appended_layers_ = 0;
+    ++tokens_;
+  }
+  return true;
+}
+
+std::size_t PagedKvStore::tokens_visible(int layer) const {
+  return tokens_ + (layer < appended_layers_ ? 1 : 0);
+}
+
+std::span<const float> PagedKvStore::key(int layer, std::size_t pos) const {
+  require(pos < tokens_visible(layer), "PagedKvStore: bad position");
+  const auto& table = pool_.allocator().block_table(id_);
+  const kv::BlockId block = table[pos / pool_.block_size()];
+  const auto offset = static_cast<std::uint32_t>(pos % pool_.block_size());
+  return pool_.key_slot(layer, block, offset);
+}
+
+std::span<const float> PagedKvStore::value(int layer, std::size_t pos) const {
+  require(pos < tokens_visible(layer), "PagedKvStore: bad position");
+  const auto& table = pool_.allocator().block_table(id_);
+  const kv::BlockId block = table[pos / pool_.block_size()];
+  const auto offset = static_cast<std::uint32_t>(pos % pool_.block_size());
+  return pool_.value_slot(layer, block, offset);
+}
+
+}  // namespace llmib::engine

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kv/paged_allocator.h"
+
+namespace llmib::engine {
+
+/// Abstract per-sequence KV storage for the mini engine. One instance holds
+/// the cache for ONE sequence across all layers. Both implementations must
+/// produce byte-identical reads — the paged/contiguous equivalence test in
+/// tests/engine is the paper's Fig. 2b correctness premise.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Append one token's K and V vectors for `layer`. K and V each have
+  /// kv_dim(layer) floats. Returns false if the backing pool is exhausted.
+  virtual bool append(int layer, std::span<const float> k,
+                      std::span<const float> v) = 0;
+
+  /// Cached K (resp. V) for `layer` at token position `pos`.
+  virtual std::span<const float> key(int layer, std::size_t pos) const = 0;
+  virtual std::span<const float> value(int layer, std::size_t pos) const = 0;
+
+  /// Tokens cached so far (same for every layer by construction).
+  virtual std::size_t size() const = 0;
+};
+
+/// Contiguous growable storage (the "traditional monolithic" KV cache).
+class ContiguousKvStore final : public KvStore {
+ public:
+  /// `kv_dims[l]` = kv_heads(l) * head_dim for each layer.
+  explicit ContiguousKvStore(std::vector<std::size_t> kv_dims);
+
+  bool append(int layer, std::span<const float> k, std::span<const float> v) override;
+  std::span<const float> key(int layer, std::size_t pos) const override;
+  std::span<const float> value(int layer, std::size_t pos) const override;
+  std::size_t size() const override { return tokens_; }
+
+ private:
+  std::vector<std::size_t> kv_dims_;
+  std::vector<std::vector<float>> keys_, values_;  // per layer, flat
+  std::size_t tokens_ = 0;
+  int appended_layers_ = 0;  // tracks within-token append progress
+};
+
+/// Shared block pool behind paged stores (vLLM-style). Owns the float
+/// storage; PagedKvAllocator owns the block bookkeeping.
+class PagedKvPool {
+ public:
+  PagedKvPool(std::uint32_t total_blocks, std::uint32_t block_size,
+              std::vector<std::size_t> kv_dims);
+
+  kv::PagedKvAllocator& allocator() { return alloc_; }
+  std::uint32_t block_size() const { return block_size_; }
+  const std::vector<std::size_t>& kv_dims() const { return kv_dims_; }
+
+  /// Copy one block's payload (all layers, K and V planes) from src to dst
+  /// — the data half of a copy-on-write relocation.
+  void copy_block(kv::BlockId src, kv::BlockId dst);
+
+  /// Raw slot for (layer, block, offset-in-block); K and V planes.
+  std::span<float> key_slot(int layer, kv::BlockId block, std::uint32_t offset);
+  std::span<float> value_slot(int layer, kv::BlockId block, std::uint32_t offset);
+  std::span<const float> key_slot(int layer, kv::BlockId block,
+                                  std::uint32_t offset) const;
+  std::span<const float> value_slot(int layer, kv::BlockId block,
+                                    std::uint32_t offset) const;
+
+ private:
+  kv::PagedKvAllocator alloc_;
+  std::uint32_t block_size_;
+  std::vector<std::size_t> kv_dims_;
+  // Per layer: [total_blocks * block_size * kv_dim] floats.
+  std::vector<std::vector<float>> keys_, values_;
+};
+
+/// Paged view of one sequence: block-table indirection on every access.
+class PagedKvStore final : public KvStore {
+ public:
+  /// Registers a new sequence in the pool. The pool must outlive the store.
+  PagedKvStore(PagedKvPool& pool, kv::SeqId id);
+  /// Fork constructor: the new sequence shares `parent`'s cached prefix
+  /// copy-on-write (vLLM prefix sharing). Both stores may keep appending;
+  /// shared tail blocks are relocated transparently.
+  PagedKvStore(PagedKvPool& pool, kv::SeqId id, const PagedKvStore& parent);
+  ~PagedKvStore() override;
+
+  PagedKvStore(const PagedKvStore&) = delete;
+  PagedKvStore& operator=(const PagedKvStore&) = delete;
+
+  bool append(int layer, std::span<const float> k, std::span<const float> v) override;
+  std::span<const float> key(int layer, std::size_t pos) const override;
+  std::span<const float> value(int layer, std::size_t pos) const override;
+  std::size_t size() const override { return tokens_; }
+
+ private:
+  std::size_t tokens_visible(int layer) const;
+
+  PagedKvPool& pool_;
+  kv::SeqId id_;
+  std::size_t tokens_ = 0;
+  int appended_layers_ = 0;
+};
+
+}  // namespace llmib::engine

@@ -1,0 +1,191 @@
+#include "engine/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "engine/tensor_ops.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+using util::require;
+
+MiniTransformer::MiniTransformer(const TransformerWeights& weights)
+    : weights_(weights) {}
+
+MiniTransformer::MiniTransformer(const TransformerWeights& weights,
+                                 const QuantizedWeights& quantized)
+    : weights_(weights), quantized_(&quantized) {
+  require(quantized.layers.size() == weights.layers.size(),
+          "MiniTransformer: quantized/fp32 layer count mismatch");
+}
+
+std::vector<std::size_t> MiniTransformer::kv_dims() const {
+  const auto hidden = static_cast<std::size_t>(weights_.config.hidden_size);
+  std::vector<std::size_t> dims;
+  dims.reserve(weights_.layers.size());
+  for (const auto& l : weights_.layers) dims.push_back(l.wk.size() / hidden);
+  return dims;
+}
+
+void MiniTransformer::project(std::span<const float> w, const quant::Int8Matrix* qw,
+                              std::span<const float> x, std::span<float> y,
+                              std::size_t rows, std::size_t cols) const {
+  if (qw != nullptr) {
+    qw->gemv(x, y);
+  } else {
+    matvec(w, x, y, rows, cols);
+  }
+}
+
+void MiniTransformer::attention(int layer, std::span<const float> normed,
+                                std::span<float> out, KvStore& kv) const {
+  const auto& cfg = weights_.config;
+  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+  const QuantizedLayerWeights* ql =
+      quantized_ ? &quantized_->layers[static_cast<std::size_t>(layer)] : nullptr;
+
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto n_heads = static_cast<std::size_t>(cfg.n_heads);
+  const std::size_t q_dim = n_heads * head_dim;
+  const std::size_t kv_dim = lw.wk.size() / hidden;
+  const std::size_t n_kv_heads = kv_dim / head_dim;
+  const std::size_t group = n_heads / n_kv_heads;
+
+  std::vector<float> q(q_dim), k(kv_dim), v(kv_dim);
+  project(lw.wq, ql ? &ql->wq : nullptr, normed, q, q_dim, hidden);
+  project(lw.wk, ql ? &ql->wk : nullptr, normed, k, kv_dim, hidden);
+  project(lw.wv, ql ? &ql->wv : nullptr, normed, v, kv_dim, hidden);
+
+  const std::size_t pos = kv.size();
+  for (std::size_t h = 0; h < n_heads; ++h)
+    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos);
+  for (std::size_t h = 0; h < n_kv_heads; ++h)
+    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos);
+
+  require(kv.append(layer, k, v), "MiniTransformer: KV pool exhausted");
+  const std::size_t len = pos + 1;
+  // Sliding-window attention (Mistral, paper Appendix A): attend only to
+  // the most recent `sliding_window` positions.
+  const std::size_t first =
+      cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
+          ? len - static_cast<std::size_t>(cfg.sliding_window)
+          : 0;
+  const std::size_t span = len - first;
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::vector<float> attn_out(q_dim, 0.0f);
+  std::vector<float> scores(span);
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    const std::size_t kv_h = h / group;
+    const auto q_head = std::span<const float>(q).subspan(h * head_dim, head_dim);
+    for (std::size_t t = 0; t < span; ++t) {
+      const auto k_t = kv.key(layer, first + t).subspan(kv_h * head_dim, head_dim);
+      scores[t] = dot(q_head, k_t) * scale;
+    }
+    softmax(scores);
+    auto o_head = std::span<float>(attn_out).subspan(h * head_dim, head_dim);
+    for (std::size_t t = 0; t < span; ++t) {
+      const auto v_t = kv.value(layer, first + t).subspan(kv_h * head_dim, head_dim);
+      const float w = scores[t];
+      for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += w * v_t[d];
+    }
+  }
+
+  if (ql != nullptr) {
+    ql->wo.gemv(attn_out, out);
+  } else {
+    matvec(lw.wo, attn_out, out, hidden, q_dim);
+  }
+}
+
+void MiniTransformer::ffn(int layer, std::span<const float> normed,
+                          std::span<float> out) const {
+  const auto& cfg = weights_.config;
+  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+  const QuantizedLayerWeights* ql =
+      quantized_ ? &quantized_->layers[static_cast<std::size_t>(layer)] : nullptr;
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
+
+  auto run_expert = [&](std::size_t e, float weight, std::span<float> acc) {
+    std::vector<float> gate(inter), up(inter), down(hidden);
+    project(lw.w_gate[e], ql ? &ql->w_gate[e] : nullptr, normed, gate, inter, hidden);
+    project(lw.w_up[e], ql ? &ql->w_up[e] : nullptr, normed, up, inter, hidden);
+    silu(gate);
+    for (std::size_t i = 0; i < inter; ++i) gate[i] *= up[i];
+    project(lw.w_down[e], ql ? &ql->w_down[e] : nullptr, gate, down, hidden, inter);
+    for (std::size_t i = 0; i < hidden; ++i) acc[i] += weight * down[i];
+  };
+
+  std::fill(out.begin(), out.end(), 0.0f);
+  if (cfg.ffn == models::FfnKind::kDense) {
+    run_expert(0, 1.0f, out);
+    return;
+  }
+
+  // MoE: route to the top experts_active experts by router score, weight by
+  // the softmax over the selected scores (Mixtral-style).
+  const auto n_experts = static_cast<std::size_t>(cfg.n_experts);
+  std::vector<float> router_scores(n_experts);
+  matvec(lw.router, normed, router_scores, n_experts, hidden);
+  std::vector<std::size_t> order(n_experts);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return router_scores[a] > router_scores[b];
+  });
+  const auto k = static_cast<std::size_t>(cfg.experts_active);
+  std::vector<float> top_scores(k);
+  for (std::size_t i = 0; i < k; ++i) top_scores[i] = router_scores[order[i]];
+  softmax(top_scores);
+  last_experts_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    last_experts_.push_back(static_cast<int>(order[i]));
+    run_expert(order[i], top_scores[i], out);
+  }
+}
+
+std::vector<float> MiniTransformer::forward(TokenId token, KvStore& kv) const {
+  const auto& cfg = weights_.config;
+  require(token >= 0 && token < cfg.vocab_size, "MiniTransformer: token out of range");
+  require(static_cast<std::int64_t>(kv.size()) < cfg.max_seq_len,
+          "MiniTransformer: context exceeds max_seq_len");
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+
+  std::vector<float> x(weights_.embedding.begin() + static_cast<std::ptrdiff_t>(
+                                                        static_cast<std::size_t>(token) * hidden),
+                       weights_.embedding.begin() + static_cast<std::ptrdiff_t>(
+                                                        (static_cast<std::size_t>(token) + 1) * hidden));
+  std::vector<float> normed(hidden), delta(hidden);
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    const auto& lw = weights_.layers[static_cast<std::size_t>(l)];
+    rmsnorm(x, lw.attn_norm, normed);
+    attention(l, normed, delta, kv);
+    for (std::size_t i = 0; i < hidden; ++i) x[i] += delta[i];
+    rmsnorm(x, lw.ffn_norm, normed);
+    ffn(l, normed, delta);
+    for (std::size_t i = 0; i < hidden; ++i) x[i] += delta[i];
+  }
+  rmsnorm(x, weights_.final_norm, normed);
+  std::vector<float> logits(static_cast<std::size_t>(cfg.vocab_size));
+  if (quantized_ != nullptr) {
+    quantized_->lm_head.gemv(normed, logits);
+  } else {
+    matvec(weights_.lm_head, normed, logits,
+           static_cast<std::size_t>(cfg.vocab_size), hidden);
+  }
+  return logits;
+}
+
+std::vector<float> MiniTransformer::forward_nocache(
+    std::span<const TokenId> tokens) const {
+  require(!tokens.empty(), "forward_nocache: empty prefix");
+  ContiguousKvStore scratch(kv_dims());
+  std::vector<float> logits;
+  for (TokenId t : tokens) logits = forward(t, scratch);
+  return logits;
+}
+
+}  // namespace llmib::engine

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/kv_store.h"
+#include "engine/weights.h"
+
+namespace llmib::engine {
+
+using TokenId = std::int32_t;
+
+/// Forward-pass executor for the mini transformer (LLaMA-style decoder:
+/// RMSNorm -> GQA attention with RoPE -> residual -> RMSNorm -> SwiGLU FFN
+/// (dense or top-k MoE) -> residual; final norm; LM head).
+///
+/// The executor borrows the weights; one weight set can back many
+/// executors/sequences concurrently (they are read-only).
+class MiniTransformer {
+ public:
+  explicit MiniTransformer(const TransformerWeights& weights);
+  /// Int8 inference path: projections run per-channel W8 GEMV against
+  /// `quantized`, everything else stays fp32. Both weight sets must come
+  /// from the same model.
+  MiniTransformer(const TransformerWeights& weights, const QuantizedWeights& quantized);
+
+  const models::ModelConfig& config() const { return weights_.config; }
+  /// The borrowed weight set (e.g. to construct a BatchedTransformer view).
+  const TransformerWeights& weights() const { return weights_; }
+
+  /// KV vector width per layer (kv_heads(l) * head_dim), for constructing
+  /// KvStores.
+  std::vector<std::size_t> kv_dims() const;
+
+  /// Process one token at position kv.size(), append its K/V to the cache,
+  /// and return the logits for the next-token distribution.
+  /// Throws if the KV store cannot accept the token (pool exhausted).
+  std::vector<float> forward(TokenId token, KvStore& kv) const;
+
+  /// Autoregressive forward WITHOUT a KV cache: recomputes attention state
+  /// for the entire `tokens` prefix and returns the last position's logits.
+  /// Numerically identical to the cached path (the Fig. 2a equivalence).
+  std::vector<float> forward_nocache(std::span<const TokenId> tokens) const;
+
+  /// Expert indices chosen for the last forward's final layer (MoE
+  /// observability for tests; empty for dense models).
+  const std::vector<int>& last_expert_choices() const { return last_experts_; }
+
+ private:
+  void attention(int layer, std::span<const float> normed, std::span<float> out,
+                 KvStore& kv) const;
+  void ffn(int layer, std::span<const float> normed, std::span<float> out) const;
+  void project(std::span<const float> w, const quant::Int8Matrix* qw,
+               std::span<const float> x, std::span<float> y, std::size_t rows,
+               std::size_t cols) const;
+
+  const TransformerWeights& weights_;
+  const QuantizedWeights* quantized_ = nullptr;
+  mutable std::vector<int> last_experts_;
+};
+
+}  // namespace llmib::engine

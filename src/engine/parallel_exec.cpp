@@ -1,0 +1,269 @@
+#include "engine/parallel_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "engine/tensor_ops.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+using util::require;
+
+ShardedTransformer::ShardedTransformer(const TransformerWeights& weights, int tp,
+                                       int ep)
+    : weights_(weights), tp_(tp), ep_(ep) {
+  const auto& cfg = weights.config;
+  require(tp >= 1 && ep >= 1, "ShardedTransformer: degrees must be >= 1");
+  require(tp == 1 || ep == 1, "ShardedTransformer: combine tp or ep, not both");
+  if (tp > 1) {
+    require(cfg.ffn == models::FfnKind::kDense,
+            "ShardedTransformer: tp > 1 supports dense models (use ep for MoE)");
+    require(cfg.n_heads % tp == 0, "ShardedTransformer: tp must divide heads");
+    require(cfg.n_kv_heads % tp == 0, "ShardedTransformer: tp must divide KV heads");
+    require(cfg.ffn_intermediate % tp == 0,
+            "ShardedTransformer: tp must divide ffn_intermediate");
+    require(cfg.kv_heads_per_layer.empty(),
+            "ShardedTransformer: variable-GQA models unsupported with tp");
+  }
+  if (ep > 1) {
+    require(cfg.ffn == models::FfnKind::kMoE, "ShardedTransformer: ep requires MoE");
+    require(cfg.n_experts % ep == 0, "ShardedTransformer: ep must divide experts");
+  }
+
+  const int shards = tp_ * ep_;
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  for (int s = 0; s < shards; ++s) {
+    std::vector<std::size_t> dims;
+    for (const auto& l : weights.layers) {
+      const std::size_t full = l.wk.size() / hidden;
+      // TP shards KV heads; EP replicates attention (and therefore KV) but
+      // only shard 0 materializes it to avoid redundant storage here.
+      if (tp_ > 1) {
+        dims.push_back(full / static_cast<std::size_t>(tp_));
+      } else {
+        dims.push_back(s == 0 ? full : 1);  // dummy dims for non-owners
+      }
+    }
+    shard_kv_.push_back(std::make_unique<ContiguousKvStore>(dims));
+  }
+}
+
+void ShardedTransformer::reset() {
+  const auto& cfg = weights_.config;
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  for (std::size_t s = 0; s < shard_kv_.size(); ++s) {
+    std::vector<std::size_t> dims;
+    for (const auto& l : weights_.layers) {
+      const std::size_t full = l.wk.size() / hidden;
+      if (tp_ > 1) {
+        dims.push_back(full / static_cast<std::size_t>(tp_));
+      } else {
+        dims.push_back(s == 0 ? full : 1);
+      }
+    }
+    shard_kv_[s] = std::make_unique<ContiguousKvStore>(dims);
+  }
+  tokens_ = 0;
+}
+
+std::size_t ShardedTransformer::context_size() const { return tokens_; }
+
+std::vector<std::size_t> ShardedTransformer::kv_floats_per_shard() const {
+  std::vector<std::size_t> out;
+  const auto hidden = static_cast<std::size_t>(weights_.config.hidden_size);
+  for (std::size_t s = 0; s < shard_kv_.size(); ++s) {
+    std::size_t floats = 0;
+    for (std::size_t l = 0; l < weights_.layers.size(); ++l) {
+      const std::size_t full = weights_.layers[l].wk.size() / hidden;
+      const std::size_t dim =
+          tp_ > 1 ? full / static_cast<std::size_t>(tp_) : (s == 0 ? full : 0);
+      floats += 2 * dim * tokens_;
+    }
+    out.push_back(floats);
+  }
+  return out;
+}
+
+void ShardedTransformer::attention_shard(int layer, std::size_t s,
+                                         std::span<const float> normed,
+                                         std::span<float> partial) {
+  const auto& cfg = weights_.config;
+  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto n_heads_total = static_cast<std::size_t>(cfg.n_heads);
+  const std::size_t q_dim_total = n_heads_total * head_dim;
+
+  // EP replicates attention: only shard 0 computes it (the others
+  // contribute zeros to the all-reduce).
+  if (ep_ > 1 && s != 0) {
+    std::fill(partial.begin(), partial.end(), 0.0f);
+    return;
+  }
+  const std::size_t shards = tp_ > 1 ? static_cast<std::size_t>(tp_) : 1;
+  const std::size_t heads = n_heads_total / shards;
+  const std::size_t kv_dim_total = lw.wk.size() / hidden;
+  const std::size_t kv_heads = kv_dim_total / head_dim / shards;
+  const std::size_t group = heads / kv_heads;
+
+  const std::size_t q_rows = heads * head_dim;
+  const std::size_t kv_rows = kv_heads * head_dim;
+  const std::size_t q_off = s * q_rows;
+  const std::size_t kv_off = s * kv_rows;
+
+  std::vector<float> q(q_rows), k(kv_rows), v(kv_rows);
+  matvec(std::span<const float>(lw.wq).subspan(q_off * hidden, q_rows * hidden),
+         normed, q, q_rows, hidden);
+  matvec(std::span<const float>(lw.wk).subspan(kv_off * hidden, kv_rows * hidden),
+         normed, k, kv_rows, hidden);
+  matvec(std::span<const float>(lw.wv).subspan(kv_off * hidden, kv_rows * hidden),
+         normed, v, kv_rows, hidden);
+
+  const std::size_t pos = tokens_;
+  for (std::size_t h = 0; h < heads; ++h)
+    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos);
+  for (std::size_t h = 0; h < kv_heads; ++h)
+    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos);
+
+  KvStore& kv = *shard_kv_[s];
+  require(kv.append(layer, k, v), "ShardedTransformer: KV append failed");
+  const std::size_t len = pos + 1;
+  // Same sliding-window rule as the serial engine (equivalence invariant).
+  const std::size_t first =
+      cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
+          ? len - static_cast<std::size_t>(cfg.sliding_window)
+          : 0;
+  const std::size_t span_len = len - first;
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::vector<float> attn(q_rows, 0.0f);
+  std::vector<float> scores(span_len);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const std::size_t kv_h = h / group;
+    const auto q_head = std::span<const float>(q).subspan(h * head_dim, head_dim);
+    for (std::size_t t = 0; t < span_len; ++t)
+      scores[t] =
+          dot(q_head, kv.key(layer, first + t).subspan(kv_h * head_dim, head_dim)) *
+          scale;
+    softmax(scores);
+    auto o_head = std::span<float>(attn).subspan(h * head_dim, head_dim);
+    for (std::size_t t = 0; t < span_len; ++t) {
+      const auto v_t = kv.value(layer, first + t).subspan(kv_h * head_dim, head_dim);
+      for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += scores[t] * v_t[d];
+    }
+  }
+
+  // Output projection: this shard's columns of Wo.
+  std::fill(partial.begin(), partial.end(), 0.0f);
+  for (std::size_t r = 0; r < hidden; ++r) {
+    const float* row = lw.wo.data() + r * q_dim_total + q_off;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < q_rows; ++c) acc += row[c] * attn[c];
+    partial[r] = acc;
+  }
+}
+
+void ShardedTransformer::ffn_shard(int layer, std::size_t s,
+                                   std::span<const float> normed,
+                                   std::span<float> partial) {
+  const auto& cfg = weights_.config;
+  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto inter_total = static_cast<std::size_t>(cfg.ffn_intermediate);
+  std::fill(partial.begin(), partial.end(), 0.0f);
+
+  auto expert_rows = [&](std::size_t e, std::size_t row_off, std::size_t rows,
+                         float weight) {
+    std::vector<float> gate(rows), up(rows);
+    matvec(std::span<const float>(lw.w_gate[e]).subspan(row_off * hidden, rows * hidden),
+           normed, gate, rows, hidden);
+    matvec(std::span<const float>(lw.w_up[e]).subspan(row_off * hidden, rows * hidden),
+           normed, up, rows, hidden);
+    silu(gate);
+    for (std::size_t i = 0; i < rows; ++i) gate[i] *= up[i];
+    // Down projection: the matching columns of w_down.
+    for (std::size_t r = 0; r < hidden; ++r) {
+      const float* row = lw.w_down[e].data() + r * inter_total + row_off;
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < rows; ++c) acc += row[c] * gate[c];
+      partial[r] += weight * acc;
+    }
+  };
+
+  if (cfg.ffn == models::FfnKind::kDense) {
+    const auto shards = static_cast<std::size_t>(tp_);
+    const std::size_t rows = inter_total / shards;
+    expert_rows(0, s * rows, rows, 1.0f);
+    return;
+  }
+
+  // MoE with EP: router everywhere (cheap), each shard computes only the
+  // selected experts it owns.
+  const auto n_experts = static_cast<std::size_t>(cfg.n_experts);
+  std::vector<float> router_scores(n_experts);
+  matvec(lw.router, normed, router_scores, n_experts, hidden);
+  std::vector<std::size_t> order(n_experts);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return router_scores[a] > router_scores[b];
+  });
+  const auto k = static_cast<std::size_t>(cfg.experts_active);
+  std::vector<float> top(k);
+  for (std::size_t i = 0; i < k; ++i) top[i] = router_scores[order[i]];
+  softmax(top);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t owner = order[i] % static_cast<std::size_t>(ep_);
+    if (owner != s) continue;
+    expert_rows(order[i], 0, inter_total, top[i]);
+  }
+}
+
+std::vector<float> ShardedTransformer::forward(TokenId token) {
+  const auto& cfg = weights_.config;
+  require(token >= 0 && token < cfg.vocab_size, "ShardedTransformer: token out of range");
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto shards = static_cast<std::size_t>(tp_ * ep_);
+
+  std::vector<float> x(
+      weights_.embedding.begin() +
+          static_cast<std::ptrdiff_t>(static_cast<std::size_t>(token) * hidden),
+      weights_.embedding.begin() +
+          static_cast<std::ptrdiff_t>((static_cast<std::size_t>(token) + 1) * hidden));
+  std::vector<float> normed(hidden);
+  std::vector<std::vector<float>> partials(shards, std::vector<float>(hidden));
+
+  auto run_parallel = [&](auto&& fn) {
+    // One thread per simulated device; the all-reduce is the join + sum.
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+      workers.emplace_back([&, s] { fn(s, std::span<float>(partials[s])); });
+    for (auto& w : workers) w.join();
+    // Fixed-order reduction keeps results bitwise reproducible.
+    for (std::size_t s = 0; s < shards; ++s)
+      for (std::size_t i = 0; i < hidden; ++i) x[i] += partials[s][i];
+  };
+
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    const auto& lw = weights_.layers[static_cast<std::size_t>(l)];
+    rmsnorm(x, lw.attn_norm, normed);
+    run_parallel([&](std::size_t s, std::span<float> out) {
+      attention_shard(l, s, normed, out);
+    });
+    rmsnorm(x, lw.ffn_norm, normed);
+    run_parallel(
+        [&](std::size_t s, std::span<float> out) { ffn_shard(l, s, normed, out); });
+  }
+  ++tokens_;
+
+  rmsnorm(x, weights_.final_norm, normed);
+  std::vector<float> logits(static_cast<std::size_t>(cfg.vocab_size));
+  matvec(weights_.lm_head, normed, logits, static_cast<std::size_t>(cfg.vocab_size),
+         hidden);
+  return logits;
+}
+
+}  // namespace llmib::engine

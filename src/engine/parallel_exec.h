@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/kv_store.h"
+#include "engine/model.h"
+
+namespace llmib::engine {
+
+/// Multi-device execution of the mini transformer on simulated devices
+/// (one thread per shard), implementing the parallelism schemes of paper
+/// §IV-C on real tensors:
+///
+///  - Tensor parallelism (tp > 1): attention heads and FFN intermediate
+///    rows are sharded; every layer ends in an all-reduce (sum of shard
+///    partials). Each shard holds only its own KV heads.
+///  - Expert parallelism (ep > 1, MoE models): experts are sharded
+///    round-robin; the router runs everywhere, each shard computes only
+///    the selected experts it owns, partials are all-reduced.
+///
+/// The executor produces logits bitwise-reproducible across runs and
+/// numerically equal (within fp32 reduction tolerance) to the serial
+/// MiniTransformer — the equivalence the tests pin down.
+class ShardedTransformer {
+ public:
+  /// Dense models: tp in {1,2,4,...} dividing n_heads, n_kv_heads and
+  /// ffn_intermediate. MoE models: ep dividing n_experts (tp must be 1).
+  ShardedTransformer(const TransformerWeights& weights, int tp, int ep);
+
+  const models::ModelConfig& config() const { return weights_.config; }
+  int tp() const { return tp_; }
+  int ep() const { return ep_; }
+
+  /// Forward one token at the current cache position; grows each shard's
+  /// KV store. Returns full logits.
+  std::vector<float> forward(TokenId token);
+
+  /// Drop all cached state (start a new sequence).
+  void reset();
+
+  /// Tokens currently cached.
+  std::size_t context_size() const;
+
+  /// Bytes of KV held per shard (sums of shard store sizes) — shows the
+  /// TP memory-sharding benefit in tests.
+  std::vector<std::size_t> kv_floats_per_shard() const;
+
+ private:
+  struct Shard;
+
+  void attention_shard(int layer, std::size_t s, std::span<const float> normed,
+                       std::span<float> partial);
+  void ffn_shard(int layer, std::size_t s, std::span<const float> normed,
+                 std::span<float> partial);
+
+  const TransformerWeights& weights_;
+  int tp_;
+  int ep_;
+  std::vector<std::unique_ptr<ContiguousKvStore>> shard_kv_;  // size tp*ep
+  std::size_t tokens_ = 0;
+};
+
+}  // namespace llmib::engine

@@ -1,0 +1,39 @@
+#include "engine/quantized_kv.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace llmib::engine {
+
+QuantizedKvStore::QuantizedKvStore(std::unique_ptr<KvStore> inner,
+                                   CachePrecision precision)
+    : inner_(std::move(inner)), precision_(precision) {
+  util::require(inner_ != nullptr, "QuantizedKvStore: needs a backing store");
+}
+
+bool QuantizedKvStore::append(int layer, std::span<const float> k,
+                              std::span<const float> v) {
+  std::vector<float> kq(k.begin(), k.end());
+  std::vector<float> vq(v.begin(), v.end());
+  if (precision_ == CachePrecision::kFP8) {
+    quant::round_span_fp8(kq);
+    quant::round_span_fp8(vq);
+  } else {
+    quant::round_span_fp16(kq);
+    quant::round_span_fp16(vq);
+  }
+  return inner_->append(layer, kq, vq);
+}
+
+std::span<const float> QuantizedKvStore::key(int layer, std::size_t pos) const {
+  return inner_->key(layer, pos);
+}
+
+std::span<const float> QuantizedKvStore::value(int layer, std::size_t pos) const {
+  return inner_->value(layer, pos);
+}
+
+std::size_t QuantizedKvStore::size() const { return inner_->size(); }
+
+}  // namespace llmib::engine

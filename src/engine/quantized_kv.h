@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+
+#include "engine/kv_store.h"
+#include "quant/numeric.h"
+
+namespace llmib::engine {
+
+/// Decorator that rounds K/V vectors through a reduced precision on append
+/// (FP8 E4M3 by default) before handing them to the wrapped store — the
+/// "FP8 KV cache" feature vLLM/TRT-LLM expose (paper §IV-B.3). Reads pass
+/// through untouched: the cache simply holds lossy values, exactly like a
+/// narrow on-device cache would.
+class QuantizedKvStore final : public KvStore {
+ public:
+  enum class CachePrecision { kFP8, kFP16 };
+
+  QuantizedKvStore(std::unique_ptr<KvStore> inner, CachePrecision precision);
+
+  bool append(int layer, std::span<const float> k, std::span<const float> v) override;
+  std::span<const float> key(int layer, std::size_t pos) const override;
+  std::span<const float> value(int layer, std::size_t pos) const override;
+  std::size_t size() const override;
+
+  CachePrecision precision() const { return precision_; }
+
+ private:
+  std::unique_ptr<KvStore> inner_;
+  CachePrecision precision_;
+};
+
+}  // namespace llmib::engine

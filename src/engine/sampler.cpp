@@ -1,0 +1,58 @@
+#include "engine/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "engine/tensor_ops.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+Sampler::Sampler(Options opts) : opts_(opts), rng_(opts.seed) {
+  util::require(opts.temperature >= 0.0, "Sampler: temperature must be >= 0");
+  util::require(opts.top_k >= 0, "Sampler: top_k must be >= 0");
+  util::require(opts.top_p > 0.0 && opts.top_p <= 1.0,
+                "Sampler: top_p must be in (0, 1]");
+}
+
+Sampler::Sampler(double temperature, std::uint64_t seed)
+    : Sampler(Options{temperature, 0, 1.0, seed}) {}
+
+TokenId Sampler::sample(std::span<const float> logits) {
+  util::require(!logits.empty(), "Sampler: empty logits");
+  if (opts_.temperature == 0.0) return static_cast<TokenId>(argmax(logits));
+
+  std::vector<float> scaled(logits.begin(), logits.end());
+  const auto inv_t = static_cast<float>(1.0 / opts_.temperature);
+  for (float& v : scaled) v *= inv_t;
+  softmax(scaled);
+
+  // Candidate set, most probable first.
+  std::vector<std::size_t> order(scaled.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scaled[a] > scaled[b];
+  });
+
+  std::size_t keep = order.size();
+  if (opts_.top_k > 0)
+    keep = std::min<std::size_t>(keep, static_cast<std::size_t>(opts_.top_k));
+  if (opts_.top_p < 1.0) {
+    double mass = 0.0;
+    std::size_t nucleus = 0;
+    while (nucleus < keep) {
+      mass += scaled[order[nucleus]];
+      ++nucleus;
+      if (mass >= opts_.top_p) break;
+    }
+    keep = std::max<std::size_t>(1, nucleus);
+  }
+
+  std::vector<double> weights(keep);
+  for (std::size_t i = 0; i < keep; ++i) weights[i] = scaled[order[i]];
+  return static_cast<TokenId>(order[rng_.categorical(weights)]);
+}
+
+}  // namespace llmib::engine

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+
+#include "engine/model.h"
+#include "util/rng.h"
+
+namespace llmib::engine {
+
+/// Token sampling strategies over a logits vector: greedy, temperature,
+/// top-k truncation and top-p (nucleus) truncation — the "extensive
+/// sampling functionalities" the paper's frameworks ship (Appendix C).
+class Sampler {
+ public:
+  struct Options {
+    /// 0 -> greedy (deterministic argmax); otherwise softmax temperature.
+    double temperature = 0.0;
+    /// Keep only the k most likely tokens before sampling (0 = off).
+    int top_k = 0;
+    /// Keep the smallest prefix of tokens whose probability mass reaches p
+    /// (1.0 = off). Applied after top_k.
+    double top_p = 1.0;
+    std::uint64_t seed = 1234;
+  };
+
+  explicit Sampler(Options opts);
+  /// Back-compat convenience: temperature-only sampler.
+  explicit Sampler(double temperature = 0.0, std::uint64_t seed = 1234);
+
+  TokenId sample(std::span<const float> logits);
+
+  double temperature() const { return opts_.temperature; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  util::Rng rng_;
+};
+
+}  // namespace llmib::engine

@@ -1,0 +1,94 @@
+#include "engine/speculative.h"
+
+#include "engine/tensor_ops.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+using util::require;
+
+SpeculativeResult speculative_generate(const MiniTransformer& target,
+                                       const MiniTransformer& draft,
+                                       std::span<const TokenId> prompt,
+                                       std::int64_t max_new_tokens, int lookahead) {
+  require(!prompt.empty(), "speculative_generate: empty prompt");
+  require(max_new_tokens > 0, "speculative_generate: max_new_tokens must be positive");
+  require(lookahead >= 1, "speculative_generate: lookahead must be >= 1");
+  require(target.config().vocab_size == draft.config().vocab_size,
+          "speculative_generate: draft/target vocabularies differ");
+
+  SpeculativeResult res;
+  // The committed context; both models' caches are rebuilt from it whenever
+  // a draft token is rejected (simple but exact — production engines roll
+  // back the cache instead).
+  std::vector<TokenId> context(prompt.begin(), prompt.end());
+  const std::size_t target_len =
+      prompt.size() + static_cast<std::size_t>(max_new_tokens);
+
+  auto target_greedy = [&](std::span<const TokenId> ctx) {
+    ContiguousKvStore kv(target.kv_dims());
+    std::vector<float> logits;
+    for (TokenId t : ctx) {
+      logits = target.forward(t, kv);
+      ++res.stats.target_forwards;
+    }
+    return static_cast<TokenId>(argmax(logits));
+  };
+
+  while (context.size() < target_len) {
+    ++res.stats.cycles;
+    // --- Draft proposes up to `lookahead` tokens greedily. ---------------
+    std::vector<TokenId> proposal;
+    {
+      ContiguousKvStore kv(draft.kv_dims());
+      std::vector<float> logits;
+      for (TokenId t : context) logits = draft.forward(t, kv);
+      for (int i = 0; i < lookahead &&
+                      context.size() + proposal.size() + 1 < target_len;
+           ++i) {
+        const auto next = static_cast<TokenId>(argmax(logits));
+        proposal.push_back(next);
+        logits = draft.forward(next, kv);
+      }
+    }
+    res.stats.proposed += proposal.size();
+
+    // --- Target verifies the proposal token by token. ---------------------
+    // (On real hardware this is ONE batched forward over all proposed
+    // positions; token-equivalence is what we verify here.)
+    std::vector<TokenId> verify_ctx = context;
+    std::size_t accepted_here = 0;
+    TokenId correction = 0;
+    bool have_correction = false;
+    for (TokenId proposed : proposal) {
+      const TokenId truth = target_greedy(verify_ctx);
+      if (truth == proposed) {
+        verify_ctx.push_back(proposed);
+        ++accepted_here;
+      } else {
+        correction = truth;
+        have_correction = true;
+        break;
+      }
+    }
+    res.stats.accepted += accepted_here;
+
+    for (std::size_t i = 0; i < accepted_here; ++i) {
+      res.tokens.push_back(proposal[i]);
+      context.push_back(proposal[i]);
+    }
+    if (context.size() >= target_len) break;
+    // Either the correction token (rejection) or the target's bonus token
+    // after a fully accepted proposal.
+    const TokenId next = have_correction ? correction : target_greedy(context);
+    res.tokens.push_back(next);
+    context.push_back(next);
+  }
+
+  if (res.tokens.size() > static_cast<std::size_t>(max_new_tokens)) {
+    res.tokens.resize(static_cast<std::size_t>(max_new_tokens));
+  }
+  return res;
+}
+
+}  // namespace llmib::engine

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/model.h"
+
+namespace llmib::engine {
+
+/// Statistics from a speculative-decoding run.
+struct SpeculativeStats {
+  std::size_t cycles = 0;            ///< draft-propose/target-verify rounds
+  std::size_t proposed = 0;          ///< draft tokens proposed
+  std::size_t accepted = 0;          ///< draft tokens accepted by the target
+  std::size_t target_forwards = 0;   ///< target model token-forwards executed
+  double acceptance_rate() const {
+    return proposed ? static_cast<double>(accepted) / static_cast<double>(proposed) : 0.0;
+  }
+};
+
+struct SpeculativeResult {
+  std::vector<TokenId> tokens;
+  SpeculativeStats stats;
+};
+
+/// Greedy speculative decoding (paper §IV-B.5, Fig. 4b): the draft model
+/// proposes `lookahead` tokens per cycle; the target verifies them and
+/// commits the agreeing prefix plus its own next token. With greedy
+/// sampling the output is EXACTLY the target model's own greedy output —
+/// the correctness invariant the tests pin down. The win is that each
+/// verified-and-accepted draft token costs a target forward that could
+/// have been batched (on real hardware, one batched verify pass); the
+/// stats expose the acceptance rate that the analytical model consumes.
+SpeculativeResult speculative_generate(const MiniTransformer& target,
+                                       const MiniTransformer& draft,
+                                       std::span<const TokenId> prompt,
+                                       std::int64_t max_new_tokens,
+                                       int lookahead = 4);
+
+}  // namespace llmib::engine

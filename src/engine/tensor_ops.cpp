@@ -1,0 +1,96 @@
+#include "engine/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace llmib::engine {
+
+void matvec(std::span<const float> w, std::span<const float> x, std::span<float> y,
+            std::size_t rows, std::size_t cols) {
+  if (w.size() != rows * cols || x.size() != cols || y.size() != rows)
+    throw std::invalid_argument("matvec: shape mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w.data() + r * cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void matvec_add(std::span<const float> w, std::span<const float> x,
+                std::span<float> y, std::size_t rows, std::size_t cols) {
+  if (w.size() != rows * cols || x.size() != cols || y.size() != rows)
+    throw std::invalid_argument("matvec_add: shape mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w.data() + r * cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+void rmsnorm(std::span<const float> x, std::span<const float> gain,
+             std::span<float> out, float eps) {
+  if (x.size() != gain.size() || x.size() != out.size())
+    throw std::invalid_argument("rmsnorm: shape mismatch");
+  double ss = 0.0;
+  for (float v : x) ss += static_cast<double>(v) * v;
+  const float inv_rms =
+      1.0f / std::sqrt(static_cast<float>(ss / static_cast<double>(x.size())) + eps);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * inv_rms * gain[i];
+}
+
+void softmax(std::span<float> x) {
+  if (x.empty()) throw std::invalid_argument("softmax: empty input");
+  const float max_v = *std::max_element(x.begin(), x.end());
+  double sum = 0.0;
+  for (float& v : x) {
+    v = std::exp(v - max_v);
+    sum += v;
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (float& v : x) v *= inv;
+}
+
+void silu(std::span<float> x) {
+  for (float& v : x) v = v / (1.0f + std::exp(-v));
+}
+
+void rope(std::span<float> v, std::size_t pos, double theta_base) {
+  if (v.size() % 2 != 0) throw std::invalid_argument("rope: dim must be even");
+  const std::size_t half = v.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const double freq =
+        std::pow(theta_base, -2.0 * static_cast<double>(i) / static_cast<double>(v.size()));
+    const double angle = static_cast<double>(pos) * freq;
+    const auto c = static_cast<float>(std::cos(angle));
+    const auto s = static_cast<float>(std::sin(angle));
+    const float a = v[2 * i], b = v[2 * i + 1];
+    v[2 * i] = a * c - b * s;
+    v[2 * i + 1] = a * s + b * c;
+  }
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  if (a.size() != b.size() || a.size() != out.size())
+    throw std::invalid_argument("add: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+std::size_t argmax(std::span<const float> x) {
+  if (x.empty()) throw std::invalid_argument("argmax: empty input");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (x[i] > x[best]) best = i;
+  return best;
+}
+
+}  // namespace llmib::engine

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace llmib::engine {
+
+/// Dense fp32 kernels for the mini engine. Everything is row-major and
+/// operates on caller-provided spans; no hidden allocation in the hot path.
+
+/// y = W x, W is rows x cols row-major, x has cols elements, y rows.
+void matvec(std::span<const float> w, std::span<const float> x, std::span<float> y,
+            std::size_t rows, std::size_t cols);
+
+/// y += W x.
+void matvec_add(std::span<const float> w, std::span<const float> x,
+                std::span<float> y, std::size_t rows, std::size_t cols);
+
+/// RMSNorm: out[i] = x[i] / rms(x) * gain[i].
+void rmsnorm(std::span<const float> x, std::span<const float> gain,
+             std::span<float> out, float eps = 1e-5f);
+
+/// In-place numerically-stable softmax.
+void softmax(std::span<float> x);
+
+/// SiLU (swish) activation, in place.
+void silu(std::span<float> x);
+
+/// Rotary position embedding applied in-place to one head's q or k vector
+/// (dim must be even); `pos` is the absolute token position.
+void rope(std::span<float> v, std::size_t pos, double theta_base = 10000.0);
+
+/// Dot product.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// out = a + b (elementwise); sizes must match.
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out);
+
+/// argmax index; ties resolved to the lowest index. Requires non-empty.
+std::size_t argmax(std::span<const float> x);
+
+}  // namespace llmib::engine

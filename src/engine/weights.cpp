@@ -1,0 +1,107 @@
+#include "engine/weights.h"
+
+#include <cmath>
+
+namespace llmib::engine {
+
+namespace {
+
+std::vector<float> gaussian(util::Rng& rng, std::size_t n, double stddev) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, stddev));
+  return v;
+}
+
+std::vector<float> ones(std::size_t n) { return std::vector<float>(n, 1.0f); }
+
+}  // namespace
+
+TransformerWeights TransformerWeights::random(const models::ModelConfig& cfg,
+                                              std::uint64_t seed) {
+  cfg.validate();
+  util::Rng rng(seed);
+  TransformerWeights w;
+  w.config = cfg;
+
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto q_dim = static_cast<std::size_t>(cfg.n_heads) * head_dim;
+  const auto vocab = static_cast<std::size_t>(cfg.vocab_size);
+  const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
+  const double init = 1.0 / std::sqrt(static_cast<double>(hidden));
+
+  w.embedding = gaussian(rng, vocab * hidden, init);
+  w.final_norm = ones(hidden);
+  w.lm_head = gaussian(rng, vocab * hidden, init);
+
+  w.layers.resize(static_cast<std::size_t>(cfg.n_layers));
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
+    const int kv_heads = cfg.kv_heads_per_layer.empty()
+                             ? cfg.n_kv_heads
+                             : cfg.kv_heads_per_layer[static_cast<std::size_t>(l)];
+    const auto kv_dim = static_cast<std::size_t>(kv_heads) * head_dim;
+    lw.attn_norm = ones(hidden);
+    lw.wq = gaussian(rng, q_dim * hidden, init);
+    lw.wk = gaussian(rng, kv_dim * hidden, init);
+    lw.wv = gaussian(rng, kv_dim * hidden, init);
+    lw.wo = gaussian(rng, hidden * q_dim, init);
+    lw.ffn_norm = ones(hidden);
+    const auto n_experts = static_cast<std::size_t>(cfg.n_experts);
+    lw.w_gate.reserve(n_experts);
+    lw.w_up.reserve(n_experts);
+    lw.w_down.reserve(n_experts);
+    for (std::size_t e = 0; e < n_experts; ++e) {
+      lw.w_gate.push_back(gaussian(rng, inter * hidden, init));
+      lw.w_up.push_back(gaussian(rng, inter * hidden, init));
+      lw.w_down.push_back(gaussian(rng, hidden * inter,
+                                   1.0 / std::sqrt(static_cast<double>(inter))));
+    }
+    if (cfg.ffn == models::FfnKind::kMoE) {
+      lw.router = gaussian(rng, n_experts * hidden, init);
+    }
+  }
+  return w;
+}
+
+std::size_t TransformerWeights::parameter_count() const {
+  std::size_t n = embedding.size() + final_norm.size() + lm_head.size();
+  for (const auto& l : layers) {
+    n += l.attn_norm.size() + l.wq.size() + l.wk.size() + l.wv.size() + l.wo.size() +
+         l.ffn_norm.size() + l.router.size();
+    for (const auto& m : l.w_gate) n += m.size();
+    for (const auto& m : l.w_up) n += m.size();
+    for (const auto& m : l.w_down) n += m.size();
+  }
+  return n;
+}
+
+QuantizedWeights QuantizedWeights::from(const TransformerWeights& w) {
+  QuantizedWeights q;
+  const auto& cfg = w.config;
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto q_dim = static_cast<std::size_t>(cfg.n_heads) * head_dim;
+  const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
+  q.layers.reserve(w.layers.size());
+  for (std::size_t l = 0; l < w.layers.size(); ++l) {
+    const auto& lw = w.layers[l];
+    const std::size_t kv_dim = lw.wk.size() / hidden;
+    QuantizedLayerWeights ql;
+    ql.wq = quant::Int8Matrix::quantize(lw.wq, q_dim, hidden);
+    ql.wk = quant::Int8Matrix::quantize(lw.wk, kv_dim, hidden);
+    ql.wv = quant::Int8Matrix::quantize(lw.wv, kv_dim, hidden);
+    ql.wo = quant::Int8Matrix::quantize(lw.wo, hidden, q_dim);
+    for (std::size_t e = 0; e < lw.w_gate.size(); ++e) {
+      ql.w_gate.push_back(quant::Int8Matrix::quantize(lw.w_gate[e], inter, hidden));
+      ql.w_up.push_back(quant::Int8Matrix::quantize(lw.w_up[e], inter, hidden));
+      ql.w_down.push_back(quant::Int8Matrix::quantize(lw.w_down[e], hidden, inter));
+    }
+    q.layers.push_back(std::move(ql));
+  }
+  q.lm_head = quant::Int8Matrix::quantize(
+      w.lm_head, static_cast<std::size_t>(cfg.vocab_size), hidden);
+  return q;
+}
+
+}  // namespace llmib::engine

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/config.h"
+#include "quant/int8.h"
+#include "util/rng.h"
+
+namespace llmib::engine {
+
+/// Weights for one transformer layer (LLaMA-style: RMSNorm, GQA attention
+/// with RoPE, SwiGLU FFN; MoE layers carry one FFN set per expert plus a
+/// router).
+struct LayerWeights {
+  std::vector<float> attn_norm;   // [hidden]
+  std::vector<float> wq;          // [heads*head_dim x hidden]
+  std::vector<float> wk;          // [kv_heads*head_dim x hidden]
+  std::vector<float> wv;          // [kv_heads*head_dim x hidden]
+  std::vector<float> wo;          // [hidden x heads*head_dim]
+  std::vector<float> ffn_norm;    // [hidden]
+  // One entry per expert (dense models have exactly one).
+  std::vector<std::vector<float>> w_gate;  // [inter x hidden]
+  std::vector<std::vector<float>> w_up;    // [inter x hidden]
+  std::vector<std::vector<float>> w_down;  // [hidden x inter]
+  std::vector<float> router;      // [n_experts x hidden], empty for dense
+};
+
+/// Full model weights, seeded-random (substitute for HF checkpoints: the
+/// suite benchmarks architecture shape, not learned values — DESIGN.md).
+struct TransformerWeights {
+  models::ModelConfig config;
+  std::vector<float> embedding;   // [vocab x hidden]
+  std::vector<LayerWeights> layers;
+  std::vector<float> final_norm;  // [hidden]
+  std::vector<float> lm_head;     // [vocab x hidden]
+
+  /// Initialize with scaled Gaussian weights from a deterministic seed.
+  static TransformerWeights random(const models::ModelConfig& cfg,
+                                   std::uint64_t seed);
+
+  /// Total fp32 parameter count actually materialized.
+  std::size_t parameter_count() const;
+};
+
+/// Per-channel int8-quantized copies of all projection matrices, used by
+/// the engine's W8 inference path (paper Fig. 3 substrate).
+struct QuantizedLayerWeights {
+  quant::Int8Matrix wq, wk, wv, wo;
+  std::vector<quant::Int8Matrix> w_gate, w_up, w_down;
+};
+
+struct QuantizedWeights {
+  std::vector<QuantizedLayerWeights> layers;
+  quant::Int8Matrix lm_head;
+
+  static QuantizedWeights from(const TransformerWeights& w);
+};
+
+}  // namespace llmib::engine

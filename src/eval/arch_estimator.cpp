@@ -1,0 +1,36 @@
+#include "eval/arch_estimator.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace llmib::eval {
+
+double ArchPerplexityEstimator::data_quality(const std::string& model_name) {
+  // Fitted constants (see header): 1.0 = LLaMA-2-class training data on the
+  // LongBench-style mixture; larger = worse validation quality.
+  static const std::map<std::string, double> table = {
+      {"LLaMA-2-7B", 1.000}, {"LLaMA-3-8B", 1.010}, {"Mistral-7B", 1.015},
+      {"DeciLM-7B", 1.050},  {"LLaMA-7B", 1.060},   {"Qwen1.5-7B", 1.090},
+      {"Gemma-7B", 1.100},   {"Aquila-7B", 1.220},  {"GPT-J-6B", 1.300},
+      {"OPT-6.7B", 1.420},   {"Bloom-7.1B", 1.480}, {"Qwen2-7B", 1.020},
+      {"LLaMA-2-70B", 0.820}, {"LLaMA-3-70B", 0.835}, {"Qwen2-72B", 0.840},
+      {"Mixtral-8x7B", 0.930}};
+  auto it = table.find(model_name);
+  util::require(it != table.end(),
+                "ArchPerplexityEstimator: no data-quality entry for " + model_name);
+  return it->second;
+}
+
+double ArchPerplexityEstimator::estimate(const models::ModelConfig& cfg) const {
+  const double active_nonembed =
+      static_cast<double>(cfg.active_params() - cfg.embedding_params());
+  util::require(active_nonembed > 0, "estimate: model has no non-embedding params");
+  const double capacity = std::pow(8e9 / active_nonembed, kScalingExponent);
+  const double attn =
+      cfg.attention == models::AttentionKind::kGQA ? kGqaPenalty : 1.0;
+  return kBaseScale * capacity * attn * data_quality(cfg.name);
+}
+
+}  // namespace llmib::eval

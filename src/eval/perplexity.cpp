@@ -1,0 +1,43 @@
+#include "eval/perplexity.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llmib::eval {
+
+using util::require;
+
+double sequence_nll(const engine::MiniTransformer& model,
+                    std::span<const engine::TokenId> tokens) {
+  require(tokens.size() >= 2, "sequence_nll: need at least two tokens");
+  engine::ContiguousKvStore kv(model.kv_dims());
+  double nll = 0.0;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const std::vector<float> logits = model.forward(tokens[i], kv);
+    // log-softmax at the true next token, numerically stable.
+    float max_v = logits[0];
+    for (float v : logits) max_v = std::max(max_v, v);
+    double lse = 0.0;
+    for (float v : logits) lse += std::exp(static_cast<double>(v) - max_v);
+    const double log_z = std::log(lse) + max_v;
+    const auto next = static_cast<std::size_t>(tokens[i + 1]);
+    require(next < logits.size(), "sequence_nll: token out of vocab");
+    nll += log_z - static_cast<double>(logits[next]);
+  }
+  return nll;
+}
+
+double perplexity(const engine::MiniTransformer& model,
+                  std::span<const std::vector<engine::TokenId>> corpus) {
+  require(!corpus.empty(), "perplexity: empty corpus");
+  double nll = 0.0;
+  std::size_t predicted = 0;
+  for (const auto& seq : corpus) {
+    nll += sequence_nll(model, seq);
+    predicted += seq.size() - 1;
+  }
+  return std::exp(nll / static_cast<double>(predicted));
+}
+
+}  // namespace llmib::eval

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/model.h"
+
+namespace llmib::eval {
+
+/// Total negative log-likelihood (nats) of `tokens[1..]` under the model,
+/// conditioning each position on the true prefix (teacher forcing).
+/// Requires at least two tokens.
+double sequence_nll(const engine::MiniTransformer& model,
+                    std::span<const engine::TokenId> tokens);
+
+/// Corpus perplexity: exp(total NLL / number of predicted tokens). This is
+/// the metric of paper §III-5a, computed for real on the mini engine.
+double perplexity(const engine::MiniTransformer& model,
+                  std::span<const std::vector<engine::TokenId>> corpus);
+
+}  // namespace llmib::eval

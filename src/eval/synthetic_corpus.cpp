@@ -1,0 +1,45 @@
+#include "eval/synthetic_corpus.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace llmib::eval {
+
+std::vector<std::vector<engine::TokenId>> make_synthetic_corpus(
+    const CorpusOptions& opt) {
+  util::require(opt.vocab_size >= 2, "corpus: vocab must be >= 2");
+  util::require(opt.sequences > 0 && opt.tokens_per_sequence >= 2,
+                "corpus: need sequences of at least 2 tokens");
+  util::require(opt.repeat_probability >= 0.0 && opt.repeat_probability < 1.0,
+                "corpus: repeat probability out of range");
+
+  util::Rng rng(opt.seed);
+  // Zipf weights over the vocabulary.
+  std::vector<double> weights(static_cast<std::size_t>(opt.vocab_size));
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), opt.zipf_exponent);
+
+  std::vector<std::vector<engine::TokenId>> corpus;
+  corpus.reserve(opt.sequences);
+  for (std::size_t s = 0; s < opt.sequences; ++s) {
+    std::vector<engine::TokenId> seq;
+    seq.reserve(opt.tokens_per_sequence);
+    for (std::size_t t = 0; t < opt.tokens_per_sequence; ++t) {
+      if (!seq.empty() && rng.bernoulli(opt.repeat_probability)) {
+        // Sticky bigram: repeat a token from the recent window.
+        const std::size_t window = std::min<std::size_t>(seq.size(), 8);
+        const auto back = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(window)));
+        seq.push_back(seq[seq.size() - back]);
+      } else {
+        seq.push_back(static_cast<engine::TokenId>(rng.categorical(weights)));
+      }
+    }
+    corpus.push_back(std::move(seq));
+  }
+  return corpus;
+}
+
+}  // namespace llmib::eval

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/model.h"
+
+namespace llmib::eval {
+
+/// Synthetic stand-in for the LongBench evaluation mixture (DESIGN.md
+/// substitution table): a Zipf-distributed unigram process blended with a
+/// sticky bigram process, which gives the corpus the skewed-frequency,
+/// locally-repetitive structure real text has — enough structure that a
+/// model with more capacity measurably compresses it better.
+struct CorpusOptions {
+  std::int64_t vocab_size = 256;
+  std::size_t sequences = 8;
+  std::size_t tokens_per_sequence = 64;
+  double zipf_exponent = 1.1;
+  double repeat_probability = 0.35;  ///< chance of re-emitting a recent token
+  std::uint64_t seed = 42;
+};
+
+std::vector<std::vector<engine::TokenId>> make_synthetic_corpus(
+    const CorpusOptions& opt);
+
+}  // namespace llmib::eval

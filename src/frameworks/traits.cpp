@@ -1,0 +1,199 @@
+#include "frameworks/traits.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llmib::frameworks {
+
+using hw::Precision;
+using util::require;
+
+double FrameworkTraits::memory_efficiency_at(double batch) const {
+  const double low =
+      memory_efficiency_lowbatch > 0 ? memory_efficiency_lowbatch : memory_efficiency;
+  const double frac = std::clamp(batch / 64.0, 0.0, 1.0);
+  return low + (memory_efficiency - low) * frac;
+}
+
+double FrameworkTraits::kv_inflation(double batch, double ratio) const {
+  require(batch >= 1, "kv_inflation: batch must be >= 1");
+  require(ratio >= 1, "kv_inflation: ratio must be >= 1");
+  if (ratio == 1.0) return 1.0;  // MHSA: nothing to be unaware of
+  double weight;  // fraction of the worst-case expansion actually paid
+  if (gqa_penalty_floor <= 0.0) {
+    weight = 0.0;
+  } else if (!gqa_penalty_decays) {
+    weight = gqa_penalty_floor;
+  } else {
+    // Kernel specialization kicks in at larger batches; never below floor.
+    weight = std::max(gqa_penalty_floor, 1.0 / (1.0 + batch / 8.0));
+  }
+  return 1.0 + (ratio - 1.0) * weight;
+}
+
+namespace {
+
+FrameworkRegistry make_builtin() {
+  FrameworkRegistry reg;
+
+  {
+    FrameworkTraits t;
+    t.name = "TensorRT-LLM";
+    t.supported_hw = {"A100", "H100", "GH200"};
+    t.compute_efficiency = 0.86;  // fused kernels + kernel auto-tuning
+    t.memory_efficiency = 0.92;
+    t.gqa_penalty_floor = 0.0;    // GQA "optimized well in this framework"
+    t.paged_kv = true;
+    t.kv_block_size = 64;
+    t.continuous_batching = true;  // in-flight batching
+    t.per_step_overhead_s = 15e-6;
+    t.per_token_host_s = 4e-6;
+    t.tensor_parallel_supported = true;
+    t.tp_comm_overlap = 0.55;
+    t.tp_sync_s = 20e-6;
+    t.workspace_frac = 0.07;  // engine activation buffers sized for max batch
+    t.conservative_admission = false;  // paged KV + in-flight batching
+    t.supported_precisions = {Precision::kFP32, Precision::kFP16, Precision::kBF16,
+                              Precision::kFP8, Precision::kINT8, Precision::kINT4};
+    reg.register_traits(t);
+  }
+  {
+    FrameworkTraits t;
+    t.name = "vLLM";
+    t.supported_hw = {"A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2"};
+    t.compute_efficiency = 0.76;
+    t.memory_efficiency = 0.85;  // PagedAttention gather vs TRT's fused path
+    t.gqa_penalty_floor = 0.0;
+    t.paged_kv = true;
+    t.kv_block_size = 16;
+    t.continuous_batching = true;
+    t.per_step_overhead_s = 35e-6;  // python scheduler loop
+    t.per_token_host_s = 8e-6;
+    t.tensor_parallel_supported = true;
+    t.tp_comm_overlap = 0.20;
+    t.tp_sync_s = 50e-6;  // python scheduler drives each collective
+    t.workspace_frac = 0.02;
+    t.conservative_admission = false;  // PagedAttention admits optimistically
+    t.supported_precisions = {Precision::kFP32, Precision::kFP16, Precision::kBF16,
+                              Precision::kFP8, Precision::kINT8, Precision::kINT4};
+    reg.register_traits(t);
+  }
+  {
+    FrameworkTraits t;
+    t.name = "DeepSpeed-MII";
+    t.supported_hw = {"A100", "Gaudi2"};  // paper Table III
+    t.compute_efficiency = 0.80;
+    t.memory_efficiency = 0.95;  // Dynamic SplitFuse + deep fusion at scale
+    t.memory_efficiency_lowbatch = 0.66;  // under-saturated at small batch
+    t.gqa_penalty_floor = 0.10;  // kernels specialize at large batch only
+    t.gqa_penalty_decays = true;
+    t.paged_kv = true;           // "blocked KV-caching"
+    t.kv_block_size = 128;
+    t.continuous_batching = true;
+    t.per_step_overhead_s = 40e-6;
+    t.per_token_host_s = 10e-6;
+    t.host_side_sampling = true;  // logits sampled via torch on host
+    t.tensor_parallel_supported = true;
+    t.tp_comm_overlap = 0.45;
+    t.tp_sync_s = 40e-6;
+    t.workspace_frac = 0.03;
+    t.conservative_admission = false;
+    t.supported_precisions = {Precision::kFP32, Precision::kFP16, Precision::kBF16,
+                              Precision::kINT8};
+    reg.register_traits(t);
+  }
+  {
+    FrameworkTraits t;
+    t.name = "llama.cpp";
+    t.supported_hw = {"A100", "H100", "GH200", "MI250", "MI300X"};
+    t.compute_efficiency = 0.32;  // no tensor-core-shaped GEMMs for decode
+    t.memory_efficiency = 0.48;
+    t.gqa_penalty_floor = 1.0;    // "unable to take advantage of GQA"
+    t.gqa_penalty_decays = false;
+    t.paged_kv = false;
+    t.continuous_batching = false;
+    t.per_step_overhead_s = 120e-6;  // ggml graph walk per iteration
+    t.per_token_host_s = 450e-6;     // serialized per-token host work
+    t.host_side_sampling = true;
+    t.cpu_sampling_s_per_vocab = 12e-9;  // full-softmax CPU sampling chain
+    t.serial_subbatch = 8;           // ubatch-serialized decode
+    t.tensor_parallel_supported = false;  // layer-split only
+    t.tp_comm_overlap = 0.0;
+    t.tp_sync_s = 0.0;
+    t.workspace_frac = 0.12;  // per-layer compute buffers + context scratch
+    t.conservative_admission = true;  // static batch
+    t.supported_precisions = {Precision::kFP32, Precision::kFP16, Precision::kBF16,
+                              Precision::kFP8, Precision::kINT8, Precision::kINT4};
+    reg.register_traits(t);
+  }
+  {
+    FrameworkTraits t;
+    t.name = "SambaFlow";
+    t.supported_hw = {"SN40L"};
+    t.compute_efficiency = 0.93;  // whole-decoder kernel fusion
+    t.memory_efficiency = 0.95;
+    t.gqa_penalty_floor = 0.0;
+    t.paged_kv = false;           // static dataflow, tiered memory
+    t.continuous_batching = true;
+    t.per_step_overhead_s = 5e-6;
+    t.per_token_host_s = 2e-6;
+    t.tensor_parallel_supported = true;
+    t.tp_comm_overlap = 0.7;      // dataflow pipelining over inter-RDU links
+    t.tp_sync_s = 8e-6;
+    t.workspace_frac = 0.05;
+    t.conservative_admission = true;  // compiled static dataflow graphs
+    t.supported_precisions = {Precision::kFP32, Precision::kBF16, Precision::kFP16,
+                              Precision::kINT8};
+    reg.register_traits(t);
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const FrameworkRegistry& FrameworkRegistry::builtin() {
+  static const FrameworkRegistry reg = make_builtin();
+  return reg;
+}
+
+const FrameworkTraits& FrameworkRegistry::get(const std::string& name) const {
+  auto it = traits_.find(name);
+  require(it != traits_.end(), "unknown framework: " + name);
+  return it->second;
+}
+
+std::optional<FrameworkTraits> FrameworkRegistry::try_get(const std::string& name) const {
+  auto it = traits_.find(name);
+  if (it == traits_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> FrameworkRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(traits_.size());
+  for (const auto& [name, t] : traits_) out.push_back(name);
+  return out;
+}
+
+void FrameworkRegistry::register_traits(FrameworkTraits traits) {
+  require(!traits.name.empty(), "framework needs a name");
+  require(traits.compute_efficiency > 0 && traits.compute_efficiency <= 1.2,
+          traits.name + ": compute efficiency out of range");
+  require(traits.memory_efficiency > 0 && traits.memory_efficiency <= 1.0,
+          traits.name + ": memory efficiency out of range");
+  require(traits.gqa_penalty_floor >= 0 && traits.gqa_penalty_floor <= 1.0,
+          traits.name + ": gqa penalty floor out of range");
+  require(!traits.supported_hw.empty(), traits.name + ": needs supported hardware");
+  const std::string name = traits.name;
+  const bool inserted = traits_.emplace(name, std::move(traits)).second;
+  require(inserted, "duplicate framework: " + name);
+}
+
+std::vector<std::string> FrameworkRegistry::paper_framework_names() {
+  return {"TensorRT-LLM", "vLLM", "DeepSpeed-MII", "llama.cpp"};
+}
+
+}  // namespace llmib::frameworks

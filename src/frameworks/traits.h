@@ -1,0 +1,123 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.h"
+
+namespace llmib::frameworks {
+
+/// Behavioral model of one inference framework. Every field encodes a
+/// mechanism the paper explicitly attributes differences to (§V, §VII):
+/// kernel quality, GQA-aware attention kernels, paged KV, batching policy,
+/// host overheads, and multi-GPU scaling quality.
+struct FrameworkTraits {
+  std::string name;
+
+  /// Accelerators this framework runs on (paper Table III + SambaFlow).
+  std::set<std::string> supported_hw;
+
+  // ---- Kernel quality ---------------------------------------------------
+  /// Fraction of device peak FLOP/s a tuned GEMM reaches.
+  double compute_efficiency = 0.7;
+  /// Fraction of device peak bandwidth the decode kernels reach at large
+  /// batch (the saturated regime).
+  double memory_efficiency = 0.8;
+  /// Same at batch 1. Defaults to `memory_efficiency` when <= 0. DS-MII's
+  /// Dynamic SplitFuse only saturates the device at scale, so it starts
+  /// lower and catches up (paper Fig. 12).
+  double memory_efficiency_lowbatch = -1.0;
+
+  /// Effective memory efficiency at a given decode batch.
+  double memory_efficiency_at(double batch) const;
+
+  // ---- Attention kernel quality -----------------------------------------
+  /// 0 = fully GQA-aware kernels (KV traffic uses true KV heads).
+  /// 1 = GQA-oblivious (KV expanded to one head per query head, always).
+  /// In between: penalty floor once the batch-dependent decay bottoms out
+  /// (DS-MII specializes kernels at large batch; llama.cpp never does).
+  double gqa_penalty_floor = 0.0;
+  /// Whether the GQA penalty decays with batch (kernel specialization).
+  bool gqa_penalty_decays = true;
+
+  // ---- KV management ------------------------------------------------------
+  bool paged_kv = false;
+  std::uint32_t kv_block_size = 16;
+
+  // ---- Batching -----------------------------------------------------------
+  bool continuous_batching = false;
+  /// > 0: decode processes the batch in serial sub-batches of this size,
+  /// re-streaming the weights per pass (llama.cpp's ubatch execution — the
+  /// mechanism behind its weak batch scaling, paper Fig. 14).
+  int serial_subbatch = 0;
+
+  // ---- Host-side costs ------------------------------------------------------
+  /// Per-iteration scheduler/launch overhead.
+  double per_step_overhead_s = 50e-6;
+  /// Serialized host work per generated token (sampling, detokenize,
+  /// graph interpretation). Dominant for llama.cpp.
+  double per_token_host_s = 0.0;
+  /// Logits leave the device for host-side sampling (DS-MII/llama.cpp);
+  /// vocab_size * batch * 4B crosses PCIe per step when true.
+  bool host_side_sampling = false;
+  /// CPU sampling cost per vocabulary entry per sequence per step
+  /// (llama.cpp's full-softmax sampling chain walks the whole vocab on the
+  /// host — why Qwen2's 152k vocabulary craters under it, Fig. 36).
+  double cpu_sampling_s_per_vocab = 0.0;
+
+  // ---- Multi-device -----------------------------------------------------
+  bool tensor_parallel_supported = true;
+  /// Fraction of TP collective time hidden under compute.
+  double tp_comm_overlap = 0.3;
+  /// Fixed launch/synchronization cost per TP collective (python-driven
+  /// loops pay more than fused C++ runtimes).
+  double tp_sync_s = 25e-6;
+
+  // ---- Memory management ---------------------------------------------------
+  /// Fraction of device memory claimed for activation workspace / engine
+  /// buffers (TRT-LLM engines size these for max batch up front).
+  double workspace_frac = 0.02;
+  /// Conservative admission reserves prompt + max_new_tokens of KV before a
+  /// request starts (TRT-LLM-style). Optimistic admission (vLLM) reserves
+  /// prompt + a fraction of max_new and relies on preemption, achieving
+  /// higher steady-state concurrency.
+  bool conservative_admission = true;
+
+  // ---- Precision support -------------------------------------------------
+  std::set<hw::Precision> supported_precisions;
+
+  bool supports_hw(const std::string& accel_name) const {
+    return supported_hw.count(accel_name) > 0;
+  }
+  bool supports_precision(hw::Precision p) const {
+    return supported_precisions.count(p) > 0;
+  }
+
+  /// KV traffic multiplier for a model whose query:KV head ratio is `ratio`
+  /// when decoding at `batch`. 1.0 for fully GQA-aware kernels or for MHSA
+  /// models (ratio == 1).
+  double kv_inflation(double batch, double ratio) const;
+};
+
+/// Registry of the framework models: TensorRT-LLM, vLLM, DeepSpeed-MII,
+/// llama.cpp, and SambaFlow (the SN40L vendor stack).
+class FrameworkRegistry {
+ public:
+  static const FrameworkRegistry& builtin();
+
+  const FrameworkTraits& get(const std::string& name) const;  ///< throws if unknown
+  std::optional<FrameworkTraits> try_get(const std::string& name) const;
+  std::vector<std::string> names() const;
+  void register_traits(FrameworkTraits traits);  ///< throws on duplicate
+
+  /// Table III: framework -> accelerator support matrix rows.
+  static std::vector<std::string> paper_framework_names();
+
+ private:
+  std::map<std::string, FrameworkTraits> traits_;
+};
+
+}  // namespace llmib::frameworks

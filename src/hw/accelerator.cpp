@@ -1,0 +1,257 @@
+#include "hw/accelerator.h"
+
+#include "util/check.h"
+
+namespace llmib::hw {
+
+using util::require;
+
+double bytes_per_element(Precision p) {
+  switch (p) {
+    case Precision::kFP32:
+    case Precision::kTF32:
+      return 4.0;
+    case Precision::kFP16:
+    case Precision::kBF16:
+      return 2.0;
+    case Precision::kFP8:
+    case Precision::kINT8:
+      return 1.0;
+    case Precision::kINT4:
+      return 0.5;
+  }
+  return 4.0;
+}
+
+std::string precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFP32: return "fp32";
+    case Precision::kTF32: return "tf32";
+    case Precision::kFP16: return "fp16";
+    case Precision::kBF16: return "bf16";
+    case Precision::kFP8:  return "fp8";
+    case Precision::kINT8: return "int8";
+    case Precision::kINT4: return "int4";
+  }
+  return "?";
+}
+
+Precision precision_from_name(const std::string& name) {
+  if (name == "fp32") return Precision::kFP32;
+  if (name == "tf32") return Precision::kTF32;
+  if (name == "fp16") return Precision::kFP16;
+  if (name == "bf16") return Precision::kBF16;
+  if (name == "fp8") return Precision::kFP8;
+  if (name == "int8") return Precision::kINT8;
+  if (name == "int4") return Precision::kINT4;
+  throw util::ContractViolation("unknown precision: " + name);
+}
+
+std::string interconnect_name(InterconnectKind k) {
+  switch (k) {
+    case InterconnectKind::kNVLink: return "NVLink";
+    case InterconnectKind::kNVLinkC2C: return "NVLink-C2C";
+    case InterconnectKind::kInfinityFabric: return "Infinity Fabric";
+    case InterconnectKind::kRoCE: return "RoCE v2";
+    case InterconnectKind::kPCIeRDU: return "PCIe inter-RDU";
+    case InterconnectKind::kNone: return "N/A";
+  }
+  return "?";
+}
+
+double AcceleratorSpec::peak_for(Precision p) const {
+  auto it = peak_tflops.find(p);
+  require(it != peak_tflops.end(),
+          name + " does not support precision " + precision_name(p));
+  return it->second;
+}
+
+namespace {
+
+// Datasheet numbers (vendor whitepapers cited in the paper, Table II), plus
+// the behavioral knobs DESIGN.md §4 calibrates. Peak TFLOP/s are dense
+// (no structured sparsity).
+AcceleratorRegistry make_builtin() {
+  AcceleratorRegistry reg;
+
+  {
+    AcceleratorSpec s;
+    s.name = "A100";
+    s.vendor = "NVIDIA";
+    s.peak_tflops = {{Precision::kFP32, 19.5},  {Precision::kTF32, 156},
+                     {Precision::kFP16, 312},   {Precision::kBF16, 312},
+                     {Precision::kINT8, 624},   {Precision::kINT4, 1248}};
+    s.hbm_bandwidth_gbs = 1555;  // HBM2 40GB SXM
+    s.memory_gb = 40;
+    s.devices_per_node = 4;
+    s.interconnect = InterconnectKind::kNVLink;
+    s.interconnect_gbs = 600;
+    s.idle_watts = 55;
+    s.tdp_watts = 400;
+    s.kernel_quality = 1.0;
+    s.saturation_batch = 56;  // compute saturates near the top of the sweep
+    s.memory_overhead_frac = 0.10;
+    reg.register_spec(s);
+  }
+  {
+    AcceleratorSpec s;
+    s.name = "H100";
+    s.vendor = "NVIDIA";
+    s.peak_tflops = {{Precision::kFP32, 67},    {Precision::kTF32, 494},
+                     {Precision::kFP16, 989},   {Precision::kBF16, 989},
+                     {Precision::kFP8, 1979},   {Precision::kINT8, 1979},
+                     {Precision::kINT4, 3958}};
+    s.hbm_bandwidth_gbs = 3350;  // HBM3 SXM5
+    s.memory_gb = 80;
+    s.devices_per_node = 4;
+    s.interconnect = InterconnectKind::kNVLink;
+    s.interconnect_gbs = 900;
+    s.idle_watts = 75;
+    s.tdp_watts = 700;
+    s.kernel_quality = 1.08;  // transformer engine + 4th-gen tensor cores
+    s.saturation_batch = 160;  // keeps scaling well past batch 64
+    s.memory_overhead_frac = 0.10;
+    reg.register_spec(s);
+  }
+  {
+    AcceleratorSpec s;
+    s.name = "GH200";
+    s.vendor = "NVIDIA";
+    s.peak_tflops = {{Precision::kFP32, 67},    {Precision::kTF32, 494},
+                     {Precision::kFP16, 989},   {Precision::kBF16, 989},
+                     {Precision::kFP8, 1979},   {Precision::kINT8, 1979},
+                     {Precision::kINT4, 3958}};
+    s.hbm_bandwidth_gbs = 4000;  // HBM3 96GB variant
+    s.memory_gb = 96;
+    s.devices_per_node = 1;
+    s.interconnect = InterconnectKind::kNVLinkC2C;
+    s.interconnect_gbs = 900;  // Grace <-> Hopper C2C
+    s.idle_watts = 90;
+    s.tdp_watts = 700;
+    s.kernel_quality = 1.10;  // H100-class + tighter CPU coupling
+    s.saturation_batch = 160;
+    s.memory_overhead_frac = 0.08;  // Grace LPDDR offload shrinks reservations
+    reg.register_spec(s);
+  }
+  {
+    AcceleratorSpec s;
+    s.name = "MI250";
+    s.vendor = "AMD";
+    s.peak_tflops = {{Precision::kFP32, 90.5},  {Precision::kFP16, 362},
+                     {Precision::kBF16, 362},   {Precision::kINT8, 362}};
+    s.hbm_bandwidth_gbs = 3276;  // HBM2e
+    s.memory_gb = 128;
+    s.devices_per_node = 4;
+    s.interconnect = InterconnectKind::kInfinityFabric;
+    s.interconnect_gbs = 800;  // 8 IF links x 100 GB/s
+    s.idle_watts = 90;
+    s.tdp_watts = 560;
+    s.kernel_quality = 0.48;      // out-of-the-box ROCm kernels (paper footnote)
+    s.saturation_batch = 16;      // early saturation (paper Fig. 17)
+    s.saturation_penalty = 0.50;  // NUMA-balancing page-fault stalls past peak
+    s.memory_overhead_frac = 0.12;
+    reg.register_spec(s);
+  }
+  {
+    AcceleratorSpec s;
+    s.name = "MI300X";
+    s.vendor = "AMD";
+    s.peak_tflops = {{Precision::kFP32, 163.4}, {Precision::kFP16, 1307},
+                     {Precision::kBF16, 1307},  {Precision::kFP8, 2615},
+                     {Precision::kINT8, 2615}};
+    s.hbm_bandwidth_gbs = 5300;  // HBM3
+    s.memory_gb = 192;
+    s.devices_per_node = 8;
+    s.interconnect = InterconnectKind::kInfinityFabric;
+    s.interconnect_gbs = 1024;
+    s.idle_watts = 110;
+    s.tdp_watts = 750;
+    s.kernel_quality = 0.58;  // out-of-the-box (paper footnote)
+    s.saturation_batch = 40;
+    s.saturation_penalty = 0.25;
+    s.memory_overhead_frac = 0.12;
+    reg.register_spec(s);
+  }
+  {
+    AcceleratorSpec s;
+    s.name = "Gaudi2";
+    s.vendor = "Intel Habana";
+    s.peak_tflops = {{Precision::kFP32, 11},   {Precision::kFP16, 432},
+                     {Precision::kBF16, 432},  {Precision::kFP8, 865}};
+    s.hbm_bandwidth_gbs = 2450;  // HBM2e
+    s.memory_gb = 96;
+    s.devices_per_node = 8;
+    s.interconnect = InterconnectKind::kRoCE;
+    s.interconnect_gbs = 300;  // 24 x 100 GbE
+    s.idle_watts = 85;
+    s.tdp_watts = 600;
+    s.kernel_quality = 0.92;   // MME+TPC overlap keeps utilization high
+    s.hetero_overlap = 0.45;   // compute/memory overlap (paper §VI.4)
+    s.saturation_batch = 64;
+    s.memory_overhead_frac = 0.45;  // padded static shapes -> early OOM
+    s.static_shape_kv = true;
+    reg.register_spec(s);
+  }
+  {
+    AcceleratorSpec s;
+    s.name = "SN40L";
+    s.vendor = "SambaNova";
+    s.peak_tflops = {{Precision::kFP32, 160},  {Precision::kBF16, 638},
+                     {Precision::kFP16, 638},  {Precision::kINT8, 1276}};
+    s.hbm_bandwidth_gbs = 2000;  // on-package HBM tier
+    s.memory_gb = 64;
+    s.devices_per_node = 8;
+    s.interconnect = InterconnectKind::kPCIeRDU;
+    s.interconnect_gbs = 64;  // PCIe-attached inter-RDU fabric
+    s.idle_watts = 100;
+    s.tdp_watts = 650;
+    s.kernel_quality = 1.18;  // dataflow fusion: whole-decoder single kernel
+    s.saturation_batch = 28;  // serving setup limited past batch 32
+    s.saturation_penalty = 0.30;
+    s.tier3_memory_gb = 192;       // off-package DDR per socket
+    s.tier3_bandwidth_gbs = 100;
+    s.memory_overhead_frac = 0.10;
+    s.fixed_request_latency_s = 0.35;  // graph dispatch: high TTFT, low ITL
+    reg.register_spec(s);
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const AcceleratorRegistry& AcceleratorRegistry::builtin() {
+  static const AcceleratorRegistry reg = make_builtin();
+  return reg;
+}
+
+const AcceleratorSpec& AcceleratorRegistry::get(const std::string& name) const {
+  auto it = specs_.find(name);
+  require(it != specs_.end(), "unknown accelerator: " + name);
+  return it->second;
+}
+
+std::optional<AcceleratorSpec> AcceleratorRegistry::try_get(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> AcceleratorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(name);
+  return out;
+}
+
+void AcceleratorRegistry::register_spec(AcceleratorSpec spec) {
+  require(!spec.name.empty(), "accelerator spec must have a name");
+  require(spec.hbm_bandwidth_gbs > 0, spec.name + ": bandwidth must be positive");
+  require(spec.memory_gb > 0, spec.name + ": memory must be positive");
+  require(spec.devices_per_node >= 1, spec.name + ": devices_per_node must be >= 1");
+  require(!spec.peak_tflops.empty(), spec.name + ": needs at least one precision");
+  const bool inserted = specs_.emplace(spec.name, std::move(spec)).second;
+  require(inserted, "duplicate accelerator spec");
+}
+
+}  // namespace llmib::hw

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llmib::hw {
+
+/// Numeric precisions the suite models. The enum is shared with the quant
+/// module (which owns the arithmetic emulation); hw only needs peak rates.
+enum class Precision { kFP32, kTF32, kFP16, kBF16, kFP8, kINT8, kINT4 };
+
+/// Bytes per element for a storage precision.
+double bytes_per_element(Precision p);
+
+/// Short name ("fp16", "int8", ...).
+std::string precision_name(Precision p);
+
+/// Parse a precision name; throws util::ContractViolation on unknown names.
+Precision precision_from_name(const std::string& name);
+
+/// Interconnect families appearing in Table II of the paper.
+enum class InterconnectKind { kNVLink, kNVLinkC2C, kInfinityFabric, kRoCE, kPCIeRDU, kNone };
+
+std::string interconnect_name(InterconnectKind k);
+
+/// Datasheet description of a single accelerator device plus the node it is
+/// deployed in (Table II in the paper). All rates are *peak* numbers; the
+/// DeviceModel applies efficiency curves on top.
+struct AcceleratorSpec {
+  std::string name;       ///< e.g. "A100"
+  std::string vendor;     ///< "NVIDIA", "AMD", "Intel Habana", "SambaNova"
+
+  /// Peak dense matrix throughput per precision, in TFLOP/s (TOPS for int).
+  /// Missing precision == unsupported on this device.
+  std::map<Precision, double> peak_tflops;
+
+  double hbm_bandwidth_gbs = 0.0;   ///< device memory bandwidth, GB/s
+  double memory_gb = 0.0;           ///< device memory capacity, GB
+  int devices_per_node = 1;         ///< Table II "# Devices"
+
+  InterconnectKind interconnect = InterconnectKind::kNone;
+  double interconnect_gbs = 0.0;    ///< per-device aggregate link bandwidth, GB/s
+
+  double idle_watts = 0.0;          ///< device idle draw
+  double tdp_watts = 0.0;           ///< thermal design power
+
+  // --- Architecture quirks the paper calls out -------------------------
+  /// SN40L: 3-tier memory (SRAM + HBM + DDR). Extra DDR capacity backs long
+  /// sequences; the simulator treats it as overflow capacity at lower BW.
+  double tier3_memory_gb = 0.0;
+  double tier3_bandwidth_gbs = 0.0;
+  /// Gaudi2: MME + TPC heterogeneous overlap; fraction of decode compute
+  /// that can run concurrently with memory traffic.
+  double hetero_overlap = 0.0;
+  /// MI250: NUMA-balancing page-fault stalls; per-step extra latency factor
+  /// that grows once the device saturates (paper: "early saturation").
+  double saturation_penalty = 0.0;
+  /// Batch size at which the compute units are effectively saturated.
+  /// Smaller values mean the device reaches peak utilization earlier
+  /// (and, with saturation_penalty, degrades past it).
+  double saturation_batch = 64.0;
+  /// Fraction of peak a well-tuned kernel reaches on this device (captures
+  /// e.g. H100 transformer engine vs A100; out-of-the-box AMD numbers).
+  double kernel_quality = 1.0;
+  /// Fraction of device memory unusable for weights/KV (runtime reservation,
+  /// padded static shapes). Gaudi2's padded allocation makes this large,
+  /// which is what produces its early OOMs in the paper.
+  double memory_overhead_frac = 0.08;
+  /// Fixed per-request latency added to TTFT (graph dispatch / pipeline
+  /// fill). Dominates SN40L's high TTFT despite its low ITL.
+  double fixed_request_latency_s = 0.0;
+  /// Gaudi2-style static-shape execution: KV for the full batch at maximum
+  /// context is preallocated up front, so oversubscription fails hard (OOM)
+  /// instead of degrading into waves (paper §VI.4 and footnote 1).
+  bool static_shape_kv = false;
+
+  bool supports(Precision p) const { return peak_tflops.count(p) > 0; }
+  double peak_for(Precision p) const;  ///< TFLOP/s; throws if unsupported
+  double node_memory_gb() const { return memory_gb * devices_per_node; }
+};
+
+/// Registry of every platform evaluated in the paper (Table II).
+class AcceleratorRegistry {
+ public:
+  /// Built-in registry with A100, H100, GH200, MI250, MI300X, Gaudi2, SN40L.
+  static const AcceleratorRegistry& builtin();
+
+  const AcceleratorSpec& get(const std::string& name) const;  ///< throws if unknown
+  std::optional<AcceleratorSpec> try_get(const std::string& name) const;
+  std::vector<std::string> names() const;
+  void register_spec(AcceleratorSpec spec);  ///< throws on duplicate name
+
+ private:
+  std::map<std::string, AcceleratorSpec> specs_;
+};
+
+}  // namespace llmib::hw

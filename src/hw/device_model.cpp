@@ -1,0 +1,84 @@
+#include "hw/device_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace llmib::hw {
+
+using util::require;
+
+DeviceModel::DeviceModel(const AcceleratorSpec& spec, Precision precision)
+    : spec_(spec), precision_(precision) {
+  require(spec.supports(precision),
+          spec.name + " does not support " + precision_name(precision));
+  peak_flops_ = spec.peak_for(precision) * util::kTera * spec.kernel_quality;
+  // Out-of-the-box kernels (the paper's AMD/Gaudi numbers, footnote 1) miss
+  // peak bandwidth as well as peak compute; tuned stacks (quality >= 1)
+  // still cannot exceed the datasheet bandwidth.
+  peak_bw_bytes_ = spec.hbm_bandwidth_gbs * 1e9 * std::min(1.0, spec.kernel_quality);
+  // Base overlap of compute under memory traffic; heterogeneous engines
+  // (Gaudi2 MME+TPC) hide more of the smaller component.
+  overlap_ = std::clamp(0.80 + 0.40 * spec.hetero_overlap, 0.0, 0.99);
+}
+
+double DeviceModel::utilization_ramp(double tokens_in_flight) const {
+  if (tokens_in_flight <= 0) return 0.0;
+  const double half = std::max(1.0, spec_.saturation_batch);
+  return tokens_in_flight / (tokens_in_flight + half);
+}
+
+double DeviceModel::saturation_derate(double batch) const {
+  if (spec_.saturation_penalty <= 0) return 1.0;
+  const double sat = std::max(1.0, spec_.saturation_batch);
+  if (batch <= sat) return 1.0;
+  return 1.0 + spec_.saturation_penalty * (batch - sat) / sat;
+}
+
+double DeviceModel::compute_time_s(double flops, const Efficiency& eff,
+                                   double tokens_in_flight) const {
+  require(flops >= 0, "compute_time_s: negative flops");
+  if (flops == 0) return 0.0;
+  const double rate = peak_flops_ * std::clamp(eff.compute, 1e-6, 1.0) *
+                      utilization_ramp(tokens_in_flight);
+  return flops / std::max(rate, 1.0);
+}
+
+double DeviceModel::memory_time_s(double bytes, const Efficiency& eff) const {
+  require(bytes >= 0, "memory_time_s: negative bytes");
+  if (bytes == 0) return 0.0;
+  const double rate = peak_bw_bytes_ * std::clamp(eff.memory, 1e-6, 1.0);
+  return bytes / std::max(rate, 1.0);
+}
+
+double DeviceModel::kernel_time_s(const WorkKernel& k, const Efficiency& eff,
+                                  double tokens_in_flight, double batch) const {
+  const double ct = compute_time_s(k.flops, eff, tokens_in_flight);
+  const double mt = memory_time_s(k.bytes, eff);
+  const double base = std::max(ct, mt) + (1.0 - overlap_) * std::min(ct, mt);
+  return base * saturation_derate(batch);
+}
+
+double DeviceModel::achieved_compute_utilization(const WorkKernel& k,
+                                                 double elapsed_s) const {
+  if (elapsed_s <= 0) return 0.0;
+  return std::clamp(k.flops / elapsed_s / peak_flops_, 0.0, 1.0);
+}
+
+double DeviceModel::achieved_memory_utilization(const WorkKernel& k,
+                                                double elapsed_s) const {
+  if (elapsed_s <= 0) return 0.0;
+  return std::clamp(k.bytes / elapsed_s / peak_bw_bytes_, 0.0, 1.0);
+}
+
+double DeviceModel::usable_memory_bytes() const {
+  return spec_.memory_gb * util::kGiB * (1.0 - spec_.memory_overhead_frac);
+}
+
+double DeviceModel::tier3_memory_bytes() const {
+  return spec_.tier3_memory_gb * util::kGiB;
+}
+
+}  // namespace llmib::hw

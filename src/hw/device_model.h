@@ -1,0 +1,79 @@
+#pragma once
+
+#include "hw/accelerator.h"
+
+namespace llmib::hw {
+
+/// A unit of device work: how many multiply-accumulate FLOPs it performs
+/// and how many bytes it moves through device memory.
+struct WorkKernel {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+/// Efficiency factors applied on top of datasheet peaks. The framework
+/// model produces these; the device model consumes them.
+struct Efficiency {
+  double compute = 1.0;  ///< fraction of peak FLOP/s actually achieved
+  double memory = 1.0;   ///< fraction of peak bandwidth actually achieved
+};
+
+/// Roofline evaluator for a single accelerator at a given math precision.
+///
+/// time(kernel) = max(compute_time, memory_time)
+///                + (1 - overlap) * min(compute_time, memory_time)
+///
+/// where `overlap` captures how well the device hides memory traffic under
+/// compute (Gaudi2's MME/TPC heterogeneous pipeline raises it; see the
+/// paper §VI.4). On top of that, `utilization_ramp` models the fraction of
+/// compute peak reachable given how many tokens are in flight, and
+/// `saturation_derate` models post-saturation degradation (MI250's early
+/// saturation, SN40L's limited batch window).
+class DeviceModel {
+ public:
+  DeviceModel(const AcceleratorSpec& spec, Precision precision);
+
+  const AcceleratorSpec& spec() const { return spec_; }
+  Precision precision() const { return precision_; }
+
+  /// Peak effective FLOP/s for this device+precision including the device's
+  /// intrinsic kernel quality (before framework efficiency).
+  double peak_flops() const { return peak_flops_; }
+  double peak_bandwidth_bytes() const { return peak_bw_bytes_; }
+
+  /// Fraction of compute peak reachable with `tokens_in_flight` tokens being
+  /// processed in parallel (batch for decode; batch*seq_len for prefill).
+  /// Saturating curve: t / (t + half_saturation).
+  double utilization_ramp(double tokens_in_flight) const;
+
+  /// Multiplicative slowdown applied once the device runs past its
+  /// saturation batch (1.0 below it). Models paper Fig. 17 / Fig. 35.
+  double saturation_derate(double batch) const;
+
+  double compute_time_s(double flops, const Efficiency& eff,
+                        double tokens_in_flight) const;
+  double memory_time_s(double bytes, const Efficiency& eff) const;
+
+  /// Full roofline time for one kernel at the given parallelism.
+  double kernel_time_s(const WorkKernel& k, const Efficiency& eff,
+                       double tokens_in_flight, double batch) const;
+
+  /// Compute utilization of the device for a completed kernel (used by the
+  /// power model): achieved_flops_rate / peak.
+  double achieved_compute_utilization(const WorkKernel& k, double elapsed_s) const;
+  double achieved_memory_utilization(const WorkKernel& k, double elapsed_s) const;
+
+  /// Usable device memory in bytes after runtime reservations.
+  double usable_memory_bytes() const;
+  /// Usable overflow (tier-3) memory in bytes, 0 when absent.
+  double tier3_memory_bytes() const;
+
+ private:
+  AcceleratorSpec spec_;
+  Precision precision_;
+  double peak_flops_ = 0.0;
+  double peak_bw_bytes_ = 0.0;
+  double overlap_ = 0.8;
+};
+
+}  // namespace llmib::hw

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+namespace llmib::kv {
+
+/// A copy-on-write relocation performed during an append to a shared
+/// sequence: the storage layer must copy block `src`'s contents into `dst`
+/// before the new token is written (vLLM's prefix-sharing mechanism).
+struct CowCopy {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+}  // namespace llmib::kv

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kv/cow.h"
+
+namespace llmib::kv {
+
+using SeqId = std::uint64_t;
+using BlockId = std::uint32_t;
+
+/// Aggregate occupancy statistics for either allocator.
+struct KvStats {
+  std::uint64_t capacity_tokens = 0;   ///< total tokens the pool can hold
+  std::uint64_t stored_tokens = 0;     ///< tokens actually cached
+  std::uint64_t reserved_tokens = 0;   ///< tokens worth of memory claimed
+  std::uint64_t live_sequences = 0;
+  /// reserved - stored: paged => slack in each sequence's last block
+  /// (internal fragmentation); contiguous => slack in up-front reservations.
+  std::uint64_t wasted_tokens() const { return reserved_tokens - stored_tokens; }
+  double utilization() const {
+    return capacity_tokens ? static_cast<double>(stored_tokens) / capacity_tokens : 0.0;
+  }
+};
+
+/// vLLM-style fixed-size-block KV allocator (paper §IV-B.2, Fig. 2b).
+///
+/// The pool is `total_blocks` blocks of `block_size` tokens each. Sequences
+/// grow one token at a time; a new block is taken from the free list when
+/// the last block fills. Blocks are returned on free in O(blocks).
+class PagedKvAllocator {
+ public:
+  PagedKvAllocator(std::uint32_t total_blocks, std::uint32_t block_size);
+
+  std::uint32_t block_size() const { return block_size_; }
+  std::uint32_t total_blocks() const { return total_blocks_; }
+  std::uint32_t free_blocks() const { return static_cast<std::uint32_t>(free_list_.size()); }
+
+  /// Register an empty sequence. Throws on duplicate id.
+  void create_sequence(SeqId id);
+
+  /// Fork `child` from `parent`: the child shares every one of the
+  /// parent's blocks (reference-counted) and starts at the same length.
+  /// Appends by either side copy-on-write the shared tail block. This is
+  /// vLLM's shared-prompt-prefix mechanism. Throws on unknown parent or
+  /// duplicate child.
+  void fork_sequence(SeqId parent, SeqId child);
+
+  /// Append `n` tokens to sequence `id`, grabbing blocks as needed.
+  /// Returns false (and rolls back nothing — no partial append) if the pool
+  /// cannot supply the blocks. Throws on unknown sequence.
+  ///
+  /// If the sequence's tail block is shared (after a fork), the append
+  /// relocates it copy-on-write; the (src, dst) pairs are appended to
+  /// `cow_out` so the storage layer can copy the payload. Passing nullptr
+  /// while a COW is required throws (the caller would lose data).
+  bool append_tokens(SeqId id, std::uint64_t n,
+                     std::vector<CowCopy>* cow_out = nullptr);
+
+  /// Number of tokens currently cached for `id`. Throws on unknown id.
+  std::uint64_t sequence_length(SeqId id) const;
+
+  /// The sequence's block table, in append order. Throws on unknown id.
+  const std::vector<BlockId>& block_table(SeqId id) const;
+
+  /// Release all blocks of `id`. Throws on unknown id.
+  void free_sequence(SeqId id);
+
+  /// Would a fresh sequence of `n` tokens fit right now?
+  bool can_fit(std::uint64_t n) const;
+
+  /// Reference count of a block (0 if free). Exposed for tests.
+  std::uint32_t block_refcount(BlockId b) const;
+  /// Distinct blocks currently allocated (shared blocks counted once).
+  std::uint32_t physical_blocks_used() const {
+    return total_blocks_ - static_cast<std::uint32_t>(free_list_.size());
+  }
+
+  KvStats stats() const;
+
+ private:
+  struct Sequence {
+    std::uint64_t tokens = 0;
+    std::vector<BlockId> blocks;
+  };
+  std::uint64_t blocks_needed(std::uint64_t tokens) const {
+    return (tokens + block_size_ - 1) / block_size_;
+  }
+
+  BlockId take_free_block();
+
+  std::uint32_t total_blocks_;
+  std::uint32_t block_size_;
+  std::vector<BlockId> free_list_;
+  std::vector<std::uint32_t> refcount_;
+  std::map<SeqId, Sequence> sequences_;
+};
+
+/// Traditional monolithic KV allocator: each sequence reserves a contiguous
+/// region sized for its maximum possible length up-front (paper: "monolithic
+/// and variable-sized, leading to memory fragmentation and reduced
+/// concurrency").
+class ContiguousKvAllocator {
+ public:
+  explicit ContiguousKvAllocator(std::uint64_t capacity_tokens);
+
+  /// Reserve a region of `max_tokens` for sequence `id`. Returns false if
+  /// the remaining capacity is insufficient. Throws on duplicate id.
+  bool reserve(SeqId id, std::uint64_t max_tokens);
+
+  /// Record `n` tokens written into the reservation; throws if it would
+  /// overflow the reservation or the id is unknown.
+  void append_tokens(SeqId id, std::uint64_t n);
+
+  std::uint64_t sequence_length(SeqId id) const;
+  void free_sequence(SeqId id);
+  bool can_fit(std::uint64_t max_tokens) const;
+
+  KvStats stats() const;
+
+ private:
+  struct Sequence {
+    std::uint64_t reserved = 0;
+    std::uint64_t tokens = 0;
+  };
+  std::uint64_t capacity_tokens_;
+  std::uint64_t reserved_tokens_ = 0;
+  std::map<SeqId, Sequence> sequences_;
+};
+
+/// Kernel bandwidth efficiency of paged attention as a function of block
+/// size: gather granularity below ~16 tokens wastes DRAM burst bandwidth
+/// (paper Fig. 2b: block >= 16 optimal; 16 is 1.27x over 8 at batch 64).
+double paged_attention_bw_efficiency(std::uint32_t block_size);
+
+}  // namespace llmib::kv

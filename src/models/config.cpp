@@ -1,0 +1,246 @@
+#include "models/config.h"
+
+#include "util/check.h"
+
+namespace llmib::models {
+
+using util::require;
+
+std::string attention_name(AttentionKind k) {
+  return k == AttentionKind::kMHSA ? "MHSA" : "GQA";
+}
+
+std::string ffn_name(FfnKind k) { return k == FfnKind::kDense ? "Dense" : "MoE"; }
+
+std::int64_t ModelConfig::total_kv_heads() const {
+  if (!kv_heads_per_layer.empty()) {
+    std::int64_t total = 0;
+    for (int h : kv_heads_per_layer) total += h;
+    return total;
+  }
+  return static_cast<std::int64_t>(n_kv_heads) * n_layers;
+}
+
+std::int64_t ModelConfig::embedding_params() const {
+  // Untied input embedding + LM head (LLaMA-style).
+  return 2ll * vocab_size * hidden_size;
+}
+
+std::int64_t ModelConfig::attention_params_per_layer() const {
+  const std::int64_t q = 1ll * hidden_size * n_heads * head_dim();
+  const std::int64_t o = 1ll * n_heads * head_dim() * hidden_size;
+  // Uses the uniform KV head count; variable-GQA models are handled by the
+  // cost calculator which sums per layer.
+  const std::int64_t kv = 2ll * hidden_size * n_kv_heads * head_dim();
+  return q + o + kv;
+}
+
+std::int64_t ModelConfig::ffn_params_per_layer() const {
+  // Gated (3-matrix) or classic (2-matrix) FFN per expert, plus MoE router.
+  const std::int64_t per_expert =
+      static_cast<std::int64_t>(ffn_matrices) * hidden_size * ffn_intermediate;
+  const std::int64_t router =
+      ffn == FfnKind::kMoE ? 1ll * hidden_size * n_experts : 0;
+  return per_expert * n_experts + router;
+}
+
+std::int64_t ModelConfig::total_params() const {
+  std::int64_t layers = 0;
+  if (!kv_heads_per_layer.empty()) {
+    for (int kvh : kv_heads_per_layer) {
+      const std::int64_t q = 1ll * hidden_size * n_heads * head_dim();
+      const std::int64_t o = q;
+      const std::int64_t kv = 2ll * hidden_size * kvh * head_dim();
+      layers += q + o + kv + ffn_params_per_layer();
+    }
+  } else {
+    layers = static_cast<std::int64_t>(n_layers) *
+             (attention_params_per_layer() + ffn_params_per_layer());
+  }
+  return layers + embedding_params();
+}
+
+std::int64_t ModelConfig::active_params() const {
+  if (ffn != FfnKind::kMoE) return total_params();
+  const std::int64_t per_expert =
+      static_cast<std::int64_t>(ffn_matrices) * hidden_size * ffn_intermediate;
+  const std::int64_t inactive =
+      static_cast<std::int64_t>(n_experts - experts_active) * per_expert * n_layers;
+  return total_params() - inactive;
+}
+
+void ModelConfig::validate() const {
+  require(!name.empty(), "model needs a name");
+  require(n_layers > 0, name + ": n_layers must be > 0");
+  require(hidden_size > 0, name + ": hidden_size must be > 0");
+  require(n_heads > 0, name + ": n_heads must be > 0");
+  require(n_kv_heads > 0, name + ": n_kv_heads must be > 0");
+  require(n_kv_heads <= n_heads, name + ": n_kv_heads must be <= n_heads");
+  require(n_heads % n_kv_heads == 0, name + ": n_heads must divide by n_kv_heads");
+  require(attention != AttentionKind::kMHSA || n_kv_heads == n_heads,
+          name + ": MHSA requires n_kv_heads == n_heads");
+  require(ffn_intermediate > 0, name + ": ffn_intermediate must be > 0");
+  require(ffn_matrices == 2 || ffn_matrices == 3,
+          name + ": ffn_matrices must be 2 or 3");
+  require(vocab_size > 0, name + ": vocab_size must be > 0");
+  require(max_seq_len > 0, name + ": max_seq_len must be > 0");
+  require(sliding_window >= 0, name + ": sliding_window must be >= 0");
+  require(n_experts >= 1, name + ": n_experts must be >= 1");
+  require(experts_active >= 1 && experts_active <= n_experts,
+          name + ": experts_active must be in [1, n_experts]");
+  require(ffn != FfnKind::kDense || n_experts == 1,
+          name + ": dense FFN must have exactly one expert");
+  require(kv_heads_per_layer.empty() ||
+              kv_heads_per_layer.size() == static_cast<std::size_t>(n_layers),
+          name + ": kv_heads_per_layer must have n_layers entries");
+  for (int h : kv_heads_per_layer)
+    require(h >= 1 && h <= n_heads, name + ": per-layer kv heads out of range");
+  require(head_dim_override > 0 || hidden_size % n_heads == 0,
+          name + ": hidden_size must divide by n_heads (or set head_dim_override)");
+}
+
+namespace {
+
+ModelConfig dense(std::string name, int layers, int hidden, AttentionKind attn,
+                  int heads, int kv_heads, std::int64_t ffn_inter,
+                  std::int64_t max_seq, std::int64_t vocab) {
+  ModelConfig m;
+  m.name = std::move(name);
+  m.n_layers = layers;
+  m.hidden_size = hidden;
+  m.attention = attn;
+  m.n_heads = heads;
+  m.n_kv_heads = kv_heads;
+  m.ffn = FfnKind::kDense;
+  m.ffn_intermediate = ffn_inter;
+  m.max_seq_len = max_seq;
+  m.vocab_size = vocab;
+  return m;
+}
+
+ModelRegistry make_builtin() {
+  ModelRegistry reg;
+
+  // ---- Table I (paper Appendix C) -------------------------------------
+  reg.register_model(dense("LLaMA-2-7B", 32, 4096, AttentionKind::kMHSA, 32, 32,
+                           11008, 4096, 32000));
+  reg.register_model(dense("LLaMA-3-8B", 32, 4096, AttentionKind::kGQA, 32, 8,
+                           14336, 8192, 128256));
+  {
+    ModelConfig m = dense("Mistral-7B", 32, 4096, AttentionKind::kGQA, 32, 8,
+                          14336, 32768, 32000);
+    m.sliding_window = 4096;  // paper Appendix A: sliding window attention
+    reg.register_model(m);
+  }
+  reg.register_model(dense("Qwen2-7B", 28, 3584, AttentionKind::kGQA, 28, 4,
+                           18944, 131072, 152064));
+  reg.register_model(dense("LLaMA-2-70B", 80, 8192, AttentionKind::kGQA, 64, 8,
+                           28672, 4096, 32000));
+  reg.register_model(dense("LLaMA-3-70B", 80, 8192, AttentionKind::kGQA, 64, 8,
+                           28672, 8192, 128256));
+  reg.register_model(dense("Qwen2-72B", 80, 8192, AttentionKind::kGQA, 64, 8,
+                           29568, 131072, 152064));
+  {
+    ModelConfig m = dense("Mixtral-8x7B", 32, 4096, AttentionKind::kGQA, 32, 8,
+                          14336, 32768, 32000);
+    m.ffn = FfnKind::kMoE;
+    m.n_experts = 8;
+    m.experts_active = 2;
+    reg.register_model(m);
+  }
+
+  // ---- NAS model (Fig. 4a): DeciLM-7B, 67 KV heads across 32 layers ----
+  {
+    ModelConfig m = dense("DeciLM-7B", 32, 4096, AttentionKind::kGQA, 32, 4,
+                          11008, 8192, 32000);
+    // NAS-selected per-layer KV heads from {1,2,4}: 9x4 + 8x2 + 15x1 = 67.
+    m.kv_heads_per_layer.assign(9, 4);
+    m.kv_heads_per_layer.insert(m.kv_heads_per_layer.end(), 8, 2);
+    m.kv_heads_per_layer.insert(m.kv_heads_per_layer.end(), 15, 1);
+    reg.register_model(m);
+  }
+
+  // ---- Perplexity-scatter zoo (Fig. 10 / Fig. 29) ----------------------
+  reg.register_model(dense("LLaMA-7B", 32, 4096, AttentionKind::kMHSA, 32, 32,
+                           11008, 2048, 32000));
+  {
+    ModelConfig m = dense("GPT-J-6B", 28, 4096, AttentionKind::kMHSA, 16, 16,
+                          16384, 2048, 50400);
+    m.ffn_matrices = 2;  // classic GELU MLP
+    reg.register_model(m);
+  }
+  {
+    ModelConfig m = dense("OPT-6.7B", 32, 4096, AttentionKind::kMHSA, 32, 32,
+                          16384, 2048, 50272);
+    m.ffn_matrices = 2;
+    reg.register_model(m);
+  }
+  {
+    ModelConfig m = dense("Gemma-7B", 28, 3072, AttentionKind::kMHSA, 16, 16,
+                          24576, 8192, 256000);
+    m.head_dim_override = 256;  // paper: "larger head and intermediate size"
+    reg.register_model(m);
+  }
+  reg.register_model(dense("Qwen1.5-7B", 32, 4096, AttentionKind::kMHSA, 32, 32,
+                           11008, 32768, 151936));
+  reg.register_model(dense("Aquila-7B", 32, 4096, AttentionKind::kMHSA, 32, 32,
+                           11008, 2048, 100008));
+  {
+    ModelConfig m = dense("Bloom-7.1B", 30, 4096, AttentionKind::kMHSA, 32, 32,
+                          16384, 2048, 250880);
+    m.ffn_matrices = 2;
+    reg.register_model(m);
+  }
+
+  // ---- Speculative-decoding draft model (Fig. 4b) ----------------------
+  reg.register_model(dense("LLaMA-68M", 2, 768, AttentionKind::kMHSA, 12, 12,
+                           3072, 2048, 32000));
+
+  return reg;
+}
+
+}  // namespace
+
+const ModelRegistry& ModelRegistry::builtin() {
+  static const ModelRegistry reg = make_builtin();
+  return reg;
+}
+
+const ModelConfig& ModelRegistry::get(const std::string& name) const {
+  auto it = models_.find(name);
+  require(it != models_.end(), "unknown model: " + name);
+  return it->second;
+}
+
+std::optional<ModelConfig> ModelRegistry::try_get(const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, cfg] : models_) out.push_back(name);
+  return out;
+}
+
+void ModelRegistry::register_model(ModelConfig cfg) {
+  cfg.validate();
+  const std::string name = cfg.name;
+  const bool inserted = models_.emplace(name, std::move(cfg)).second;
+  require(inserted, "duplicate model: " + name);
+}
+
+std::vector<std::string> ModelRegistry::table1_names() {
+  return {"LLaMA-2-7B",  "LLaMA-3-8B",  "Mistral-7B", "Qwen2-7B",
+          "LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B",  "Mixtral-8x7B"};
+}
+
+std::vector<std::string> ModelRegistry::perplexity_zoo_names() {
+  return {"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B", "DeciLM-7B", "GPT-J-6B",
+          "OPT-6.7B",   "Gemma-7B",   "Qwen1.5-7B", "Aquila-7B", "Bloom-7.1B",
+          "LLaMA-7B"};
+}
+
+}  // namespace llmib::models

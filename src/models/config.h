@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llmib::models {
+
+/// Attention family (paper §II-A / Fig. 27).
+enum class AttentionKind { kMHSA, kGQA };
+
+/// Feed-forward family (paper §II-A / Fig. 26).
+enum class FfnKind { kDense, kMoE };
+
+std::string attention_name(AttentionKind k);
+std::string ffn_name(FfnKind k);
+
+/// Neural architecture configuration of one LLM — exactly the columns of
+/// Table I in the paper, plus head_dim (needed for Gemma-style models whose
+/// head_dim != hidden/heads) and an optional per-layer KV-head override
+/// (needed for DeciLM-7B, whose NAS picks KV heads per layer from {1,2,4}).
+struct ModelConfig {
+  std::string name;
+  int n_layers = 0;
+  int hidden_size = 0;
+  AttentionKind attention = AttentionKind::kMHSA;
+  int n_heads = 0;
+  int n_kv_heads = 0;           ///< uniform value; see kv_heads_per_layer
+  FfnKind ffn = FfnKind::kDense;
+  int n_experts = 1;            ///< 1 for dense
+  int experts_active = 1;       ///< experts activated per token (Mixtral: 2)
+  std::int64_t ffn_intermediate = 0;
+  /// Projection matrices per FFN: 3 = gated (SwiGLU/GeGLU, LLaMA-style),
+  /// 2 = classic up/down MLP (GPT-J, OPT, Bloom).
+  int ffn_matrices = 3;
+  std::int64_t max_seq_len = 0;
+  std::int64_t vocab_size = 0;
+  /// Sliding-window attention span (Mistral-7B: 4096); 0 = full attention.
+  std::int64_t sliding_window = 0;
+  int head_dim_override = 0;    ///< 0 => hidden_size / n_heads
+
+  /// DeciLM-style variable GQA: if non-empty, must have n_layers entries and
+  /// overrides n_kv_heads layer-by-layer.
+  std::vector<int> kv_heads_per_layer;
+
+  int head_dim() const {
+    return head_dim_override > 0 ? head_dim_override : hidden_size / n_heads;
+  }
+
+  /// Total KV heads across all layers (Table I discussion: LLaMA-3-8B has
+  /// 8*32 = 256; DeciLM-7B has 67).
+  std::int64_t total_kv_heads() const;
+
+  /// Parameter counts (LLaMA-style SwiGLU FFN, untied embeddings).
+  std::int64_t embedding_params() const;      ///< input embed + LM head
+  std::int64_t attention_params_per_layer() const;
+  std::int64_t ffn_params_per_layer() const;  ///< all experts + router
+  std::int64_t total_params() const;
+  std::int64_t active_params() const;         ///< MoE: only active experts
+
+  /// Validate invariants; throws util::ContractViolation on bad configs.
+  void validate() const;
+};
+
+/// Registry of every model benchmarked in the paper: the eight Table-I
+/// models, the ~7B perplexity-scatter zoo (Fig. 10/29), DeciLM-7B (Fig. 4a)
+/// and the LLaMA-68M speculative-decoding draft (Fig. 4b).
+class ModelRegistry {
+ public:
+  static const ModelRegistry& builtin();
+
+  const ModelConfig& get(const std::string& name) const;  ///< throws if unknown
+  std::optional<ModelConfig> try_get(const std::string& name) const;
+  std::vector<std::string> names() const;
+  void register_model(ModelConfig cfg);  ///< validates; throws on duplicate
+
+  /// The eight primary Table-I models, in the paper's row order.
+  static std::vector<std::string> table1_names();
+  /// The ~7B models of the perplexity scatter plots.
+  static std::vector<std::string> perplexity_zoo_names();
+
+ private:
+  std::map<std::string, ModelConfig> models_;
+};
+
+}  // namespace llmib::models

@@ -1,0 +1,164 @@
+#include "models/costs.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llmib::models {
+
+using util::require;
+
+CostModel::CostModel(const ModelConfig& cfg, CostOptions opt)
+    : cfg_(cfg), opt_(opt) {
+  cfg_.validate();
+  require(opt.weight_bytes_per_param > 0, "weight bytes must be positive");
+  require(opt.kv_bytes_per_elem > 0, "kv bytes must be positive");
+  require(opt.activation_bytes_per_elem > 0, "activation bytes must be positive");
+}
+
+double CostModel::effective_kv_heads_total() const {
+  if (!opt_.gqa_aware) {
+    // GQA-unaware kernels materialize K/V per query head.
+    return static_cast<double>(cfg_.n_heads) * cfg_.n_layers;
+  }
+  return static_cast<double>(cfg_.total_kv_heads());
+}
+
+double CostModel::weight_bytes() const {
+  return static_cast<double>(cfg_.total_params()) * opt_.weight_bytes_per_param;
+}
+
+double CostModel::kv_bytes_per_token() const {
+  // K and V vectors for every (layer, kv-head).
+  return 2.0 * effective_kv_heads_total() * cfg_.head_dim() * opt_.kv_bytes_per_elem;
+}
+
+double CostModel::attention_param_flops_per_token() const {
+  // 2 FLOPs per parameter; uses real (gqa-aware) KV projection sizes — the
+  // projection matmuls are fixed by the checkpoint regardless of kernels.
+  double params = 0;
+  if (!cfg_.kv_heads_per_layer.empty()) {
+    const double qo = 2.0 * cfg_.hidden_size * cfg_.n_heads * cfg_.head_dim();
+    for (int kvh : cfg_.kv_heads_per_layer)
+      params += qo + 2.0 * cfg_.hidden_size * kvh * cfg_.head_dim();
+  } else {
+    params = static_cast<double>(cfg_.attention_params_per_layer()) * cfg_.n_layers;
+  }
+  return 2.0 * params;
+}
+
+double CostModel::linear_flops_per_token() const {
+  const double attn = attention_param_flops_per_token();
+  const double ffn_per_layer = 2.0 * cfg_.ffn_matrices * cfg_.hidden_size *
+                               static_cast<double>(cfg_.ffn_intermediate) *
+                               cfg_.experts_active;
+  return attn + ffn_per_layer * cfg_.n_layers;
+}
+
+double CostModel::effective_ctx(double ctx) const {
+  require(ctx >= 0, "effective_ctx: negative ctx");
+  if (cfg_.sliding_window > 0)
+    return std::min(ctx, static_cast<double>(cfg_.sliding_window));
+  return ctx;
+}
+
+double CostModel::attention_flops_per_token(double ctx) const {
+  require(ctx >= 0, "attention_flops_per_token: negative ctx");
+  // QK^T (2*d per key per head) + attn*V (2*d per key per head), over the
+  // attended window only.
+  return 4.0 * cfg_.n_heads * cfg_.head_dim() * effective_ctx(ctx) * cfg_.n_layers;
+}
+
+double CostModel::lm_head_flops() const {
+  return 2.0 * cfg_.hidden_size * static_cast<double>(cfg_.vocab_size);
+}
+
+double CostModel::prefill_flops(std::int64_t seq_len) const {
+  require(seq_len > 0, "prefill_flops: seq_len must be > 0");
+  const double s = static_cast<double>(seq_len);
+  // Causal attention: token i attends over i keys -> s*(s+1)/2 pairs.
+  const double attn_pairs = s * (s + 1.0) / 2.0;
+  const double attn =
+      4.0 * cfg_.n_heads * cfg_.head_dim() * attn_pairs * cfg_.n_layers;
+  // Only the last position's logits are needed to start generation.
+  return s * linear_flops_per_token() + attn + lm_head_flops();
+}
+
+double CostModel::prefill_bytes(std::int64_t batch, std::int64_t seq_len) const {
+  require(batch > 0, "prefill_bytes: batch must be > 0");
+  require(seq_len > 0, "prefill_bytes: seq_len must be > 0");
+  const double b = static_cast<double>(batch);
+  const double s = static_cast<double>(seq_len);
+  const double weights = weight_bytes_touched(batch);
+  const double kv_write = b * s * kv_bytes_per_token();
+  // Layer inputs/outputs + FFN intermediates streamed through HBM.
+  const double activations =
+      b * s * cfg_.hidden_size * 4.0 * cfg_.n_layers * opt_.activation_bytes_per_elem;
+  return weights + kv_write + activations;
+}
+
+double CostModel::decode_flops(std::int64_t batch, double avg_ctx) const {
+  require(batch > 0, "decode_flops: batch must be > 0");
+  require(avg_ctx >= 0, "decode_flops: negative ctx");
+  double attn = attention_flops_per_token(avg_ctx);
+  if (!opt_.kv_cache_enabled) {
+    // Without a KV cache the K/V of the entire prefix are recomputed each
+    // step: the per-token linear work is paid for every live context token.
+    attn += avg_ctx * linear_flops_per_token();
+  }
+  return static_cast<double>(batch) *
+         (linear_flops_per_token() + attn + lm_head_flops());
+}
+
+double CostModel::decode_bytes(std::int64_t batch, double avg_ctx) const {
+  require(batch > 0, "decode_bytes: batch must be > 0");
+  require(avg_ctx >= 0, "decode_bytes: negative ctx");
+  const double b = static_cast<double>(batch);
+  const double weights = weight_bytes_touched(batch);
+  double kv_traffic;
+  if (opt_.kv_cache_enabled) {
+    // Read the whole cache once per step, append one token.
+    kv_traffic = b * (avg_ctx + 1.0) * kv_bytes_per_token();
+  } else {
+    // Recomputation streams the prefix activations instead of a cache; the
+    // traffic is the activations of every recomputed token.
+    kv_traffic = b * avg_ctx * cfg_.hidden_size * 2.0 * cfg_.n_layers *
+                 opt_.activation_bytes_per_elem;
+  }
+  const double activations =
+      b * cfg_.hidden_size * 4.0 * cfg_.n_layers * opt_.activation_bytes_per_elem;
+  return weights + kv_traffic + activations;
+}
+
+double CostModel::expected_experts_touched(std::int64_t batch) const {
+  if (cfg_.ffn != FfnKind::kMoE) return 1.0;
+  const double e = cfg_.n_experts;
+  const double a = cfg_.experts_active;
+  const double b = static_cast<double>(batch);
+  return e * (1.0 - std::pow(1.0 - a / e, b));
+}
+
+double CostModel::expert_weight_bytes() const {
+  const double expert_params = static_cast<double>(cfg_.ffn_matrices) *
+                               cfg_.hidden_size *
+                               static_cast<double>(cfg_.ffn_intermediate) *
+                               cfg_.n_experts * cfg_.n_layers;
+  return expert_params * opt_.weight_bytes_per_param;
+}
+
+double CostModel::expert_weight_bytes_touched(std::int64_t batch) const {
+  require(batch > 0, "expert_weight_bytes_touched: batch must be > 0");
+  if (cfg_.ffn != FfnKind::kMoE) return expert_weight_bytes();
+  return expert_weight_bytes() * expected_experts_touched(batch) / cfg_.n_experts;
+}
+
+double CostModel::non_expert_weight_bytes() const {
+  return weight_bytes() - expert_weight_bytes();
+}
+
+double CostModel::weight_bytes_touched(std::int64_t batch) const {
+  require(batch > 0, "weight_bytes_touched: batch must be > 0");
+  return non_expert_weight_bytes() + expert_weight_bytes_touched(batch);
+}
+
+}  // namespace llmib::models

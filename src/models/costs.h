@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+
+#include "models/config.h"
+
+namespace llmib::models {
+
+/// Knobs for the FLOPs/bytes calculator. Byte widths are passed in as plain
+/// doubles so this module stays independent of the hw/quant precision enums.
+struct CostOptions {
+  double weight_bytes_per_param = 2.0;  ///< fp16 default
+  double kv_bytes_per_elem = 2.0;
+  double activation_bytes_per_elem = 2.0;
+  /// When false, KV cache traffic and storage are computed as if the model
+  /// had one KV head per query head — how a framework without GQA-aware
+  /// kernels behaves (paper: DS-MII, llama.cpp). MHSA models are unaffected.
+  bool gqa_aware = true;
+  /// When false, the decode path recomputes attention over the whole prefix
+  /// every step instead of reading the KV cache (paper Fig. 2a).
+  bool kv_cache_enabled = true;
+};
+
+/// First-principles FLOPs / byte-traffic calculator for one model.
+///
+/// Conventions: a "FLOP" counts both the multiply and the add of a MAC as
+/// two operations (2 * params per token for linear layers). Decode-step
+/// quantities cover the whole batch for ONE new token per sequence.
+class CostModel {
+ public:
+  CostModel(const ModelConfig& cfg, CostOptions opt);
+
+  const ModelConfig& config() const { return cfg_; }
+  const CostOptions& options() const { return opt_; }
+
+  // ---- Static footprints ----------------------------------------------
+  /// Total resident weight bytes.
+  double weight_bytes() const;
+  /// KV-cache bytes appended per token per sequence (all layers, K and V).
+  double kv_bytes_per_token() const;
+
+  /// Context actually attended over: min(ctx, sliding_window) when the
+  /// model uses windowed attention (Mistral), ctx otherwise.
+  double effective_ctx(double ctx) const;
+
+  // ---- Per-token component FLOPs ----------------------------------------
+  /// QKV/output projections + FFN (active experts only) for one token,
+  /// across all layers. Context-independent.
+  double linear_flops_per_token() const;
+  /// Attention score+value FLOPs for one token attending over `ctx` keys.
+  double attention_flops_per_token(double ctx) const;
+  /// LM-head (hidden x vocab) FLOPs for one logit computation.
+  double lm_head_flops() const;
+
+  // ---- Prefill (processing `seq_len` prompt tokens per sequence) --------
+  /// FLOPs for one sequence's prefill (causal attention: ~s^2/2 term).
+  double prefill_flops(std::int64_t seq_len) const;
+  /// Device-memory traffic for a whole batch's prefill.
+  double prefill_bytes(std::int64_t batch, std::int64_t seq_len) const;
+
+  // ---- Decode (one token per sequence, whole batch) ----------------------
+  /// FLOPs for one decode step with average live context `avg_ctx`.
+  double decode_flops(std::int64_t batch, double avg_ctx) const;
+  /// Device-memory traffic for one decode step.
+  double decode_bytes(std::int64_t batch, double avg_ctx) const;
+
+  // ---- MoE weight-traffic model ----------------------------------------
+  /// Expected number of distinct experts activated per layer by a batch of
+  /// `batch` tokens, assuming uniform routing: E * (1 - (1 - a/E)^batch).
+  double expected_experts_touched(std::int64_t batch) const;
+  /// Weight bytes actually streamed per step: dense weights fully, MoE
+  /// experts only as far as the batch touches them.
+  double weight_bytes_touched(std::int64_t batch) const;
+  /// Bytes of all expert FFN weights (for dense models this is the FFN).
+  double expert_weight_bytes() const;
+  /// Expert bytes actually streamed for a batch (touched experts only).
+  double expert_weight_bytes_touched(std::int64_t batch) const;
+  /// Everything that is NOT expert FFN weights (attention, embeddings,
+  /// router) — replicated under expert parallelism.
+  double non_expert_weight_bytes() const;
+
+ private:
+  double effective_kv_heads_total() const;  ///< honors gqa_aware + per-layer
+  double attention_param_flops_per_token() const;
+
+  ModelConfig cfg_;
+  CostOptions opt_;
+};
+
+}  // namespace llmib::models

@@ -1,0 +1,61 @@
+#include "parallel/comm.h"
+
+#include "util/check.h"
+
+namespace llmib::parallel {
+
+using util::require;
+
+namespace {
+
+double latency_for(hw::InterconnectKind kind) {
+  switch (kind) {
+    case hw::InterconnectKind::kNVLink: return 3e-6;
+    case hw::InterconnectKind::kNVLinkC2C: return 2e-6;
+    case hw::InterconnectKind::kInfinityFabric: return 4e-6;
+    case hw::InterconnectKind::kRoCE: return 4e-6;  // HCCL over on-die NICs
+    case hw::InterconnectKind::kPCIeRDU: return 2e-6;  // dedicated RDU switch fabric
+    case hw::InterconnectKind::kNone: return 5e-6;
+  }
+  return 5e-6;
+}
+
+}  // namespace
+
+CommModel::CommModel(const hw::AcceleratorSpec& spec)
+    : link_bw_bytes_(spec.interconnect_gbs * 1e9), alpha_(latency_for(spec.interconnect)) {
+  if (link_bw_bytes_ <= 0) link_bw_bytes_ = 16e9;  // PCIe fallback
+}
+
+double CommModel::allreduce_s(double bytes, int n) const {
+  require(bytes >= 0, "allreduce: negative bytes");
+  require(n >= 1, "allreduce: need >= 1 device");
+  if (n == 1 || bytes == 0) return 0.0;
+  // Ring all-reduce: 2(n-1)/n of the data crosses each link, 2(n-1) steps.
+  const double volume = 2.0 * (n - 1) / n * bytes;
+  return 2.0 * (n - 1) * alpha_ + volume / link_bw_bytes_;
+}
+
+double CommModel::allgather_s(double bytes, int n) const {
+  require(bytes >= 0, "allgather: negative bytes");
+  require(n >= 1, "allgather: need >= 1 device");
+  if (n == 1 || bytes == 0) return 0.0;
+  const double volume = (n - 1.0) / n * bytes;
+  return (n - 1) * alpha_ + volume / link_bw_bytes_;
+}
+
+double CommModel::alltoall_s(double bytes, int n) const {
+  require(bytes >= 0, "alltoall: negative bytes");
+  require(n >= 1, "alltoall: need >= 1 device");
+  if (n == 1 || bytes == 0) return 0.0;
+  const double volume = (n - 1.0) / n * bytes;
+  return (n - 1) * alpha_ + volume / link_bw_bytes_;
+}
+
+double CommModel::p2p_s(double bytes) const {
+  require(bytes >= 0, "p2p: negative bytes");
+  if (bytes == 0) return 0.0;
+  return alpha_ + bytes / link_bw_bytes_;
+}
+
+}  // namespace llmib::parallel

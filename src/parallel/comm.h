@@ -1,0 +1,38 @@
+#pragma once
+
+#include "hw/accelerator.h"
+
+namespace llmib::parallel {
+
+/// Collective communication cost model over a node's interconnect.
+///
+/// Uses the classic alpha-beta model: time = hops * alpha + bytes / beta,
+/// with ring algorithms for the collectives. `beta` is the per-device link
+/// bandwidth from the accelerator spec; `alpha` depends on the interconnect
+/// family (NVLink ~ a few microseconds, RoCE tens of microseconds, PCIe
+/// in between).
+class CommModel {
+ public:
+  explicit CommModel(const hw::AcceleratorSpec& spec);
+
+  double link_bandwidth_bytes_s() const { return link_bw_bytes_; }
+  double link_latency_s() const { return alpha_; }
+
+  /// Ring all-reduce of `bytes` across `n` devices.
+  double allreduce_s(double bytes, int n) const;
+
+  /// Ring all-gather where each device contributes bytes/n.
+  double allgather_s(double bytes, int n) const;
+
+  /// All-to-all exchange of `bytes` total per device across `n` devices.
+  double alltoall_s(double bytes, int n) const;
+
+  /// Point-to-point transfer of `bytes` between adjacent devices.
+  double p2p_s(double bytes) const;
+
+ private:
+  double link_bw_bytes_ = 0.0;
+  double alpha_ = 0.0;
+};
+
+}  // namespace llmib::parallel

@@ -1,0 +1,44 @@
+#include "parallel/plan.h"
+
+#include "util/check.h"
+
+namespace llmib::parallel {
+
+using util::require;
+
+std::string ParallelPlan::to_string() const {
+  return "TP=" + std::to_string(tp) + ",PP=" + std::to_string(pp) +
+         ",EP=" + std::to_string(ep);
+}
+
+void ParallelPlan::validate(const models::ModelConfig& model) const {
+  require(tp >= 1 && pp >= 1 && ep >= 1, "parallel degrees must be >= 1");
+  require(model.n_heads % tp == 0,
+          model.name + ": TP=" + std::to_string(tp) + " must divide " +
+              std::to_string(model.n_heads) + " heads");
+  // KV heads are replicated when tp exceeds them (standard GQA sharding),
+  // so no kv-head divisibility requirement.
+  require(model.n_layers % pp == 0,
+          model.name + ": PP=" + std::to_string(pp) + " must divide " +
+              std::to_string(model.n_layers) + " layers");
+  if (ep > 1) {
+    require(model.ffn == models::FfnKind::kMoE,
+            model.name + ": EP requires an MoE model");
+    require(model.n_experts % ep == 0,
+            model.name + ": EP=" + std::to_string(ep) + " must divide " +
+                std::to_string(model.n_experts) + " experts");
+  }
+}
+
+double weight_shard_fraction(const ParallelPlan& plan) {
+  return 1.0 / (static_cast<double>(plan.tp) * plan.pp * plan.ep);
+}
+
+double kv_shard_fraction(const ParallelPlan& plan) {
+  // TP shards KV heads (replicating when tp > kv_heads is a second-order
+  // effect we fold into the framework's tp efficiency); PP shards layers;
+  // EP replicates attention and therefore KV.
+  return 1.0 / (static_cast<double>(plan.tp) * plan.pp);
+}
+
+}  // namespace llmib::parallel

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "models/config.h"
+
+namespace llmib::parallel {
+
+/// How a model is spread over devices (paper §IV-C). devices() = tp*pp*ep.
+struct ParallelPlan {
+  int tp = 1;  ///< tensor parallel ways
+  int pp = 1;  ///< pipeline stages
+  int ep = 1;  ///< expert parallel ways (MoE only)
+
+  int devices() const { return tp * pp * ep; }
+  std::string to_string() const;
+
+  /// Check the plan against a model: head/expert/layer divisibility and
+  /// EP only for MoE. Throws util::ContractViolation on invalid plans.
+  void validate(const models::ModelConfig& model) const;
+};
+
+/// Fraction of one device's weight bytes under this plan (weights are cut
+/// by tp and pp; experts additionally by ep).
+double weight_shard_fraction(const ParallelPlan& plan);
+
+/// Fraction of one device's KV bytes under this plan. TP shards KV across
+/// heads; PP shards across layers; EP replicates KV.
+double kv_shard_fraction(const ParallelPlan& plan);
+
+}  // namespace llmib::parallel

@@ -1,0 +1,37 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace llmib::power {
+
+using util::require;
+
+PowerModel::PowerModel(const hw::AcceleratorSpec& spec)
+    : idle_(spec.idle_watts), tdp_(spec.tdp_watts) {
+  require(tdp_ > 0, spec.name + ": TDP must be positive");
+  require(idle_ >= 0 && idle_ < tdp_, spec.name + ": idle power out of range");
+}
+
+double PowerModel::instantaneous_watts(double compute_util, double memory_util) const {
+  const double c = std::clamp(compute_util, 0.0, 1.0);
+  const double m = std::clamp(memory_util, 0.0, 1.0);
+  // Compute activity dominates; a saturated HBM stack alone reaches ~70%
+  // of the dynamic range (HBM + fabric power).
+  const double activity = std::clamp(0.45 * c + 0.55 * std::max(c, 0.70 * m), 0.0, 1.0);
+  return idle_ + (tdp_ - idle_) * activity;
+}
+
+void EnergyMeter::add_interval(double seconds, double watts) {
+  require(seconds >= 0, "EnergyMeter: negative interval");
+  require(watts >= 0, "EnergyMeter: negative power");
+  energy_j_ += seconds * watts;
+  time_s_ += seconds;
+}
+
+double EnergyMeter::average_watts() const {
+  return time_s_ > 0 ? energy_j_ / time_s_ : 0.0;
+}
+
+}  // namespace llmib::power

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "hw/accelerator.h"
+
+namespace llmib::power {
+
+/// Utilization-driven device power model (substitute for pynvml sampling;
+/// see DESIGN.md substitution table).
+///
+/// P = idle + (tdp - idle) * activity, where activity blends compute and
+/// memory utilization: tensor-core activity dominates dynamic power, but a
+/// bandwidth-saturated HBM stack also draws a large fraction of TDP.
+class PowerModel {
+ public:
+  explicit PowerModel(const hw::AcceleratorSpec& spec);
+
+  /// Instantaneous draw for one device, utilizations in [0,1].
+  double instantaneous_watts(double compute_util, double memory_util) const;
+
+  double idle_watts() const { return idle_; }
+  double tdp_watts() const { return tdp_; }
+
+ private:
+  double idle_ = 0.0;
+  double tdp_ = 0.0;
+};
+
+/// Integrates power over simulated time intervals and reports the paper's
+/// power metrics: average watts and tokens/sec/watt.
+class EnergyMeter {
+ public:
+  /// Record `seconds` of execution at `watts` (aggregate across devices).
+  void add_interval(double seconds, double watts);
+
+  double total_energy_j() const { return energy_j_; }
+  double total_time_s() const { return time_s_; }
+  /// Average power = total work / total time (paper §III-5e).
+  double average_watts() const;
+
+ private:
+  double energy_j_ = 0.0;
+  double time_s_ = 0.0;
+};
+
+}  // namespace llmib::power

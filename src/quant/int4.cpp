@@ -1,0 +1,116 @@
+#include "quant/int4.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "quant/numeric.h"
+
+namespace llmib::quant {
+
+Int4Matrix Int4Matrix::quantize(std::span<const float> weights, std::size_t rows,
+                                std::size_t cols, std::size_t group_size) {
+  if (weights.size() != rows * cols)
+    throw std::invalid_argument("Int4Matrix::quantize: size mismatch");
+  if (group_size == 0 || cols % group_size != 0)
+    throw std::invalid_argument("Int4Matrix::quantize: group_size must divide cols");
+  if (cols % 2 != 0)
+    throw std::invalid_argument("Int4Matrix::quantize: cols must be even to pack");
+
+  Int4Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.group_size_ = group_size;
+  const std::size_t groups = cols / group_size;
+  m.packed_.assign(rows * cols / 2, 0);
+  m.scales_.resize(rows * groups);
+  m.zeros_.resize(rows * groups);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      const float* w = weights.data() + r * cols + g * group_size;
+      float lo = w[0], hi = w[0];
+      for (std::size_t i = 1; i < group_size; ++i) {
+        lo = std::min(lo, w[i]);
+        hi = std::max(hi, w[i]);
+      }
+      // Keep 0 representable (standard GPTQ convention) and avoid a zero
+      // scale for constant groups.
+      lo = std::min(lo, 0.0f);
+      hi = std::max(hi, 0.0f);
+      float scale = (hi - lo) / 15.0f;
+      if (scale == 0.0f) scale = 1.0f;
+      // Zero-point on the integer grid, stored dequantized-friendly.
+      const float zero = std::clamp(std::nearbyintf(-lo / scale), 0.0f, 15.0f);
+      // Store scale/zero at fp16 granularity like real checkpoints do.
+      const float scale16 = round_fp16(scale);
+      m.scales_[r * groups + g] = scale16;
+      m.zeros_[r * groups + g] = zero;
+      for (std::size_t i = 0; i < group_size; ++i) {
+        const float q = std::nearbyintf(w[i] / scale16 + zero);
+        const auto code =
+            static_cast<std::uint8_t>(std::clamp(q, 0.0f, 15.0f));
+        const std::size_t c = g * group_size + i;
+        const std::size_t byte = (r * cols + c) / 2;
+        if (c % 2 == 0) {
+          m.packed_[byte] = static_cast<std::uint8_t>((m.packed_[byte] & 0xF0) | code);
+        } else {
+          m.packed_[byte] =
+              static_cast<std::uint8_t>((m.packed_[byte] & 0x0F) | (code << 4));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+std::uint8_t Int4Matrix::code_at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("Int4Matrix::code_at: index out of range");
+  const std::uint8_t byte = packed_[(r * cols_ + c) / 2];
+  return c % 2 == 0 ? (byte & 0x0F) : (byte >> 4);
+}
+
+float Int4Matrix::value_at(std::size_t r, std::size_t c) const {
+  const std::size_t groups = cols_ / group_size_;
+  const std::size_t g = c / group_size_;
+  const float scale = scales_[r * groups + g];
+  const float zero = zeros_[r * groups + g];
+  return (static_cast<float>(code_at(r, c)) - zero) * scale;
+}
+
+std::vector<float> Int4Matrix::dequantize() const {
+  std::vector<float> out(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r * cols_ + c] = value_at(r, c);
+  return out;
+}
+
+void Int4Matrix::gemv(std::span<const float> x, std::span<float> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("Int4Matrix::gemv: shape mismatch");
+  const std::size_t groups = cols_ / group_size_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const float scale = scales_[r * groups + g];
+      const float zero = zeros_[r * groups + g];
+      // Accumulate integer dot and input sum per group, rescale once —
+      // how real W4 kernels amortize the dequantization.
+      double int_dot = 0.0, x_sum = 0.0;
+      for (std::size_t i = 0; i < group_size_; ++i) {
+        const std::size_t c = g * group_size_ + i;
+        int_dot += static_cast<double>(code_at(r, c)) * x[c];
+        x_sum += x[c];
+      }
+      acc += scale * (int_dot - zero * x_sum);
+    }
+    y[r] = static_cast<float>(acc);
+  }
+}
+
+std::size_t Int4Matrix::bytes() const {
+  return packed_.size() + (scales_.size() + zeros_.size()) * 2;
+}
+
+}  // namespace llmib::quant

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace llmib::quant {
+
+/// Group-wise 4-bit weight quantization (the GPTQ/AWQ storage scheme the
+/// paper's frameworks ship: weights packed two-per-byte with one fp16-ish
+/// scale and zero-point per group of `group_size` input channels).
+///
+/// Unlike Int8Matrix's symmetric per-row scheme, int4 needs asymmetric
+/// (zero-pointed) quantization and small groups to stay accurate at 16
+/// levels.
+class Int4Matrix {
+ public:
+  /// Quantize `weights` (rows x cols, row-major). `group_size` must divide
+  /// cols. Each (row, group) gets scale = (max-min)/15 and a zero-point.
+  static Int4Matrix quantize(std::span<const float> weights, std::size_t rows,
+                             std::size_t cols, std::size_t group_size = 128);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t group_size() const { return group_size_; }
+
+  /// Unpacked nibble for (r, c), in [0, 15].
+  std::uint8_t code_at(std::size_t r, std::size_t c) const;
+  /// Dequantized weight at (r, c).
+  float value_at(std::size_t r, std::size_t c) const;
+
+  std::vector<float> dequantize() const;
+
+  /// y = W x with on-the-fly dequantization (W4A16).
+  void gemv(std::span<const float> x, std::span<float> y) const;
+
+  /// Storage footprint in bytes: packed nibbles + per-group scale/zero
+  /// stored as fp16-width (2 bytes each).
+  std::size_t bytes() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, group_size_ = 0;
+  std::vector<std::uint8_t> packed_;  // two nibbles per byte, row-major
+  std::vector<float> scales_;         // rows * (cols/group_size)
+  std::vector<float> zeros_;          // same shape; dequant = (q - z) * s
+};
+
+}  // namespace llmib::quant

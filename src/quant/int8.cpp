@@ -1,0 +1,87 @@
+#include "quant/int8.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace llmib::quant {
+
+Int8Matrix Int8Matrix::quantize(std::span<const float> weights, std::size_t rows,
+                                std::size_t cols) {
+  if (weights.size() != rows * cols)
+    throw std::invalid_argument("Int8Matrix::quantize: size mismatch");
+  Int8Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_.resize(rows * cols);
+  m.scales_.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float max_abs = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c)
+      max_abs = std::max(max_abs, std::fabs(weights[r * cols + c]));
+    const float scale = max_abs / 127.0f;
+    m.scales_[r] = scale;
+    if (scale == 0.0f) {
+      std::fill_n(m.data_.begin() + static_cast<std::ptrdiff_t>(r * cols), cols,
+                  std::int8_t{0});
+      continue;
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float q = weights[r * cols + c] / scale;
+      const long rounded = std::lroundf(q);
+      m.data_[r * cols + c] =
+          static_cast<std::int8_t>(std::clamp(rounded, -127l, 127l));
+    }
+  }
+  return m;
+}
+
+std::vector<float> Int8Matrix::dequantize() const {
+  std::vector<float> out(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out[r * cols_ + c] = static_cast<float>(data_[r * cols_ + c]) * scales_[r];
+  return out;
+}
+
+void Int8Matrix::gemv(std::span<const float> x, std::span<float> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("Int8Matrix::gemv: shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const std::int8_t* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c)
+      acc += static_cast<double>(row[c]) * x[c];
+    y[r] = static_cast<float>(acc * scales_[r]);
+  }
+}
+
+QuantizedVector quantize_vector(std::span<const float> x) {
+  QuantizedVector q;
+  q.data.resize(x.size());
+  float max_abs = 0.0f;
+  for (float v : x) max_abs = std::max(max_abs, std::fabs(v));
+  q.scale = max_abs / 127.0f;
+  if (q.scale == 0.0f) return q;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const long rounded = std::lroundf(x[i] / q.scale);
+    q.data[i] = static_cast<std::int8_t>(std::clamp(rounded, -127l, 127l));
+  }
+  return q;
+}
+
+void gemv_w8a8(const Int8Matrix& w, const QuantizedVector& x, std::span<float> y) {
+  if (x.data.size() != w.cols() || y.size() != w.rows())
+    throw std::invalid_argument("gemv_w8a8: shape mismatch");
+  const auto data = w.data();
+  const auto scales = w.scales();
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    std::int64_t acc = 0;
+    const std::int8_t* row = data.data() + r * w.cols();
+    for (std::size_t c = 0; c < w.cols(); ++c)
+      acc += static_cast<std::int64_t>(row[c]) * x.data[c];
+    y[r] = static_cast<float>(acc) * scales[r] * x.scale;
+  }
+}
+
+}  // namespace llmib::quant

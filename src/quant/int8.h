@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace llmib::quant {
+
+/// A row-major matrix quantized to int8 with one symmetric scale per output
+/// row (per-channel weight quantization, the scheme TRT-LLM/vLLM use for
+/// W8 inference and the one our mini engine runs for the paper's Fig. 3).
+class Int8Matrix {
+ public:
+  /// Quantize `weights` (rows x cols, row-major fp32). Each row r is scaled
+  /// by max|w[r,:]| / 127. All-zero rows get scale 0 and dequantize to 0.
+  static Int8Matrix quantize(std::span<const float> weights, std::size_t rows,
+                             std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::span<const std::int8_t> data() const { return data_; }
+  std::span<const float> scales() const { return scales_; }
+
+  /// Reconstruct fp32 weights (for error analysis / tests).
+  std::vector<float> dequantize() const;
+
+  /// y = W x with int32 accumulation then per-row rescale.
+  /// x.size() == cols, y.size() == rows.
+  void gemv(std::span<const float> x, std::span<float> y) const;
+
+  /// Storage footprint in bytes (data + scales).
+  std::size_t bytes() const { return data_.size() + scales_.size() * sizeof(float); }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::int8_t> data_;
+  std::vector<float> scales_;
+};
+
+/// Dynamic per-tensor activation quantization: returns the int8 vector and
+/// its scale (max|x| / 127). Used for the fully-int8 matmul path.
+struct QuantizedVector {
+  std::vector<std::int8_t> data;
+  float scale = 0.0f;
+};
+QuantizedVector quantize_vector(std::span<const float> x);
+
+/// Fully integer GEMV: int8 weights x int8 activations with int32
+/// accumulation, rescaled to fp32. Mirrors the W8A8 path.
+void gemv_w8a8(const Int8Matrix& w, const QuantizedVector& x, std::span<float> y);
+
+}  // namespace llmib::quant

@@ -1,0 +1,90 @@
+#include "quant/numeric.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace llmib::quant {
+
+namespace {
+
+// Round-to-nearest-even reduction of a binary32 value to a narrower
+// mantissa, keeping the float exponent range (used for bf16).
+float truncate_mantissa_rne(float x, int keep_bits) {
+  const auto bits = std::bit_cast<std::uint32_t>(x);
+  const int drop = 23 - keep_bits;
+  const std::uint32_t mask = (1u << drop) - 1u;
+  const std::uint32_t remainder = bits & mask;
+  std::uint32_t truncated = bits & ~mask;
+  const std::uint32_t halfway = 1u << (drop - 1);
+  if (remainder > halfway ||
+      (remainder == halfway && (truncated & (1u << drop)))) {
+    truncated += 1u << drop;  // may carry into exponent; that is correct RNE
+  }
+  return std::bit_cast<float>(truncated);
+}
+
+}  // namespace
+
+float round_fp16(float x) {
+  if (std::isnan(x)) return x;
+  const float ax = std::fabs(x);
+  if (ax > 65504.0f) return std::copysign(INFINITY, x);
+  if (ax < 5.9604645e-8f) return std::copysign(0.0f, x);  // below subnormal min
+  // Subnormal fp16 range: quantize to multiples of 2^-24.
+  if (ax < 6.1035156e-5f) {
+    const float q = 5.9604645e-8f;  // 2^-24
+    return std::copysign(std::nearbyint(ax / q) * q, x);
+  }
+  return truncate_mantissa_rne(x, 10);
+}
+
+float round_bf16(float x) {
+  if (std::isnan(x) || std::isinf(x)) return x;
+  return truncate_mantissa_rne(x, 7);
+}
+
+float round_fp8_e4m3(float x) {
+  if (std::isnan(x)) return x;
+  const float kMax = 448.0f;  // E4M3 max normal
+  if (std::fabs(x) >= kMax) return std::copysign(kMax, x);  // saturating
+  if (x == 0.0f) return x;
+  const float ax = std::fabs(x);
+  // Normal range starts at 2^-6; subnormal step is 2^-9.
+  if (ax < 0.015625f) {  // 2^-6
+    const float q = 0.001953125f;  // 2^-9
+    return std::copysign(std::nearbyint(ax / q) * q, x);
+  }
+  return truncate_mantissa_rne(x, 3);
+}
+
+void round_span_fp16(std::span<float> xs) {
+  for (float& x : xs) x = round_fp16(x);
+}
+void round_span_bf16(std::span<float> xs) {
+  for (float& x : xs) x = round_bf16(x);
+}
+void round_span_fp8(std::span<float> xs) {
+  for (float& x : xs) x = round_fp8_e4m3(x);
+}
+
+QuantError quant_error(std::span<const float> reference,
+                       std::span<const float> approx) {
+  if (reference.size() != approx.size())
+    throw std::invalid_argument("quant_error: size mismatch");
+  QuantError e;
+  if (reference.empty()) return e;
+  double se = 0, ref_sq = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = static_cast<double>(reference[i]) - approx[i];
+    e.max_abs = std::max(e.max_abs, std::fabs(d));
+    se += d * d;
+    ref_sq += static_cast<double>(reference[i]) * reference[i];
+  }
+  e.rmse = std::sqrt(se / static_cast<double>(reference.size()));
+  const double ref_rms = std::sqrt(ref_sq / static_cast<double>(reference.size()));
+  e.rel_rmse = ref_rms > 0 ? e.rmse / ref_rms : 0.0;
+  return e;
+}
+
+}  // namespace llmib::quant

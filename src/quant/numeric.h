@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace llmib::quant {
+
+/// Round a float through IEEE-754 binary16 (round-to-nearest-even),
+/// returning the value as float. Overflow saturates to +/-inf like
+/// hardware fp16 conversion does.
+float round_fp16(float x);
+
+/// Round a float through bfloat16 (truncate mantissa with round-to-nearest).
+float round_bf16(float x);
+
+/// Round a float through FP8 E4M3 (the inference format used by H100's
+/// transformer engine): 4 exponent bits, 3 mantissa bits, no inf,
+/// saturating at +/-448.
+float round_fp8_e4m3(float x);
+
+/// Apply a rounding function element-wise.
+void round_span_fp16(std::span<float> xs);
+void round_span_bf16(std::span<float> xs);
+void round_span_fp8(std::span<float> xs);
+
+/// Error metrics between a reference vector and an approximation.
+struct QuantError {
+  double max_abs = 0.0;
+  double rmse = 0.0;
+  double rel_rmse = 0.0;  ///< rmse / rms(reference); 0 if reference is zero
+};
+QuantError quant_error(std::span<const float> reference,
+                       std::span<const float> approx);
+
+}  // namespace llmib::quant

@@ -1,0 +1,104 @@
+#include "report/dashboard.h"
+
+#include <cstdio>
+
+namespace llmib::report {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void DashboardBuilder::add(const DashboardRecord& r) { records_.push_back(r); }
+
+std::string DashboardBuilder::render_json() const {
+  std::string out = "[";
+  char buf[256];
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& r = records_[i];
+    if (i) out += ",";
+    out += "{\"model\":\"" + json_escape(r.model) + "\",\"hw\":\"" +
+           json_escape(r.accelerator) + "\",\"fw\":\"" + json_escape(r.framework) +
+           "\",";
+    std::snprintf(buf, sizeof(buf),
+                  "\"batch\":%ld,\"in\":%ld,\"out\":%ld,\"tput\":%.2f,"
+                  "\"ttft\":%.5f,\"itl\":%.6f,\"power\":%.1f,",
+                  r.batch, r.input_tokens, r.output_tokens, r.throughput_tps,
+                  r.ttft_s, r.itl_s, r.power_w);
+    out += buf;
+    out += "\"status\":\"" + json_escape(r.status) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string DashboardBuilder::render_html(const std::string& title) const {
+  std::string html;
+  html += "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>";
+  html += json_escape(title);
+  html += R"(</title><style>
+body{font-family:system-ui,sans-serif;margin:2em;background:#fafafa;color:#222}
+h1{font-size:1.4em} .controls{margin:1em 0} select{margin-right:1em;padding:2px}
+table{border-collapse:collapse;margin-top:1em} td,th{border:1px solid #ccc;padding:4px 8px;font-size:0.9em;text-align:right}
+th{background:#eee} td:first-child,td:nth-child(2),td:nth-child(3){text-align:left}
+.bar{background:#4477aa;height:12px;display:inline-block;vertical-align:middle}
+</style></head><body><h1>)";
+  html += json_escape(title);
+  html += R"(</h1>
+<div class="controls">
+  Model <select id="fModel"></select>
+  Accelerator <select id="fHw"></select>
+  Framework <select id="fFw"></select>
+  Metric <select id="fMetric">
+    <option value="tput">throughput (tok/s)</option>
+    <option value="ttft">TTFT (s)</option>
+    <option value="itl">ITL (s)</option>
+    <option value="power">power (W)</option>
+  </select>
+</div>
+<div id="out"></div>
+<script>
+const DATA = )";
+  html += render_json();
+  html += R"(;
+function opts(sel, values){ sel.innerHTML = '<option value="">(all)</option>' +
+  values.map(v=>`<option>${v}</option>`).join(''); }
+const uniq = k => [...new Set(DATA.map(r=>r[k]))].sort();
+opts(fModel, uniq('model')); opts(fHw, uniq('hw')); opts(fFw, uniq('fw'));
+function render(){
+  const m=fModel.value,h=fHw.value,f=fFw.value,metric=fMetric.value;
+  const rows=DATA.filter(r=>(!m||r.model===m)&&(!h||r.hw===h)&&(!f||r.fw===f));
+  const max=Math.max(...rows.map(r=>r[metric]),1e-12);
+  let t='<table><tr><th>model</th><th>hw</th><th>fw</th><th>batch</th><th>in</th><th>out</th><th>'+metric+'</th><th></th></tr>';
+  for(const r of rows){
+    const w=Math.round(200*r[metric]/max);
+    t+=`<tr><td>${r.model}</td><td>${r.hw}</td><td>${r.fw}</td><td>${r.batch}</td><td>${r.in}</td><td>${r.out}</td>`+
+       `<td>${r.status==='ok'?r[metric].toPrecision(4):r.status}</td><td><span class="bar" style="width:${w}px"></span></td></tr>`;
+  }
+  out.innerHTML=t+'</table>';
+}
+for(const el of [fModel,fHw,fFw,fMetric]) el.addEventListener('change',render);
+render();
+</script></body></html>)";
+  return html;
+}
+
+}  // namespace llmib::report

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llmib::report {
+
+/// One record in the dashboard's result set (flattened benchmark point).
+struct DashboardRecord {
+  std::string model;
+  std::string accelerator;
+  std::string framework;
+  long batch = 0;
+  long input_tokens = 0;
+  long output_tokens = 0;
+  double throughput_tps = 0.0;
+  double ttft_s = 0.0;
+  double itl_s = 0.0;
+  double power_w = 0.0;
+  std::string status = "ok";
+};
+
+/// Generates the standalone interactive HTML dashboard the paper ships
+/// alongside its results (contribution #2): records are embedded as JSON,
+/// with client-side filtering by model/accelerator/framework and a bar
+/// chart of the selected metric. No external assets — one self-contained
+/// file.
+class DashboardBuilder {
+ public:
+  void add(const DashboardRecord& record);
+  std::size_t size() const { return records_.size(); }
+
+  /// Render the self-contained HTML page.
+  std::string render_html(const std::string& title) const;
+
+  /// The embedded JSON (exposed for tests).
+  std::string render_json() const;
+
+ private:
+  std::vector<DashboardRecord> records_;
+};
+
+/// Escape a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace llmib::report

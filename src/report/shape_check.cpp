@@ -1,0 +1,49 @@
+#include "report/shape_check.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace llmib::report {
+
+ShapeReport::ShapeReport(std::string experiment_id) : id_(std::move(experiment_id)) {
+  util::require(!id_.empty(), "ShapeReport: needs an experiment id");
+}
+
+void ShapeReport::check_ratio(const std::string& what, double measured,
+                              double expected, double tolerance_frac) {
+  util::require(expected > 0, "check_ratio: expected must be positive");
+  util::require(tolerance_frac > 0, "check_ratio: tolerance must be positive");
+  ++total_;
+  const bool ok = measured >= expected * (1.0 - tolerance_frac) &&
+                  measured <= expected * (1.0 + tolerance_frac);
+  if (!ok) ++failed_;
+  lines_.push_back(std::string(ok ? "  [ok]   " : "  [DEV]  ") + what + ": measured " +
+                   util::format_fixed(measured, 2) + " vs paper " +
+                   util::format_fixed(expected, 2) + " (tol +/-" +
+                   util::format_fixed(tolerance_frac * 100, 0) + "%)");
+}
+
+void ShapeReport::check_claim(const std::string& what, bool holds) {
+  ++total_;
+  if (!holds) ++failed_;
+  lines_.push_back(std::string(holds ? "  [ok]   " : "  [DEV]  ") + what);
+}
+
+void ShapeReport::note(const std::string& what, double measured) {
+  lines_.push_back("  [note] " + what + " = " + util::format_fixed(measured, 2));
+}
+
+bool ShapeReport::all_passed() const { return failed_ == 0; }
+
+std::string ShapeReport::summary() const {
+  std::string out = "-- shape checks for " + id_ + " --\n";
+  for (const auto& l : lines_) out += l + "\n";
+  out += failed_ == 0 ? "SHAPE OK (" + std::to_string(total_) + " checks)\n"
+                      : "SHAPE DEVIATIONS: " + std::to_string(failed_) + "/" +
+                            std::to_string(total_) + " (documented in EXPERIMENTS.md)\n";
+  return out;
+}
+
+}  // namespace llmib::report

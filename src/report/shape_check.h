@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llmib::report {
+
+/// Records paper-vs-measured comparisons for one experiment. Every bench
+/// binary ends by printing a ShapeReport: each entry compares a measured
+/// relation (a ratio, an ordering) against the paper's reported value with
+/// a tolerance band, exactly as DESIGN.md §4 prescribes. A deviation is
+/// reported, not hidden — EXPERIMENTS.md aggregates these.
+class ShapeReport {
+ public:
+  explicit ShapeReport(std::string experiment_id);
+
+  /// measured within [expected*(1-tol), expected*(1+tol)]?
+  void check_ratio(const std::string& what, double measured, double expected,
+                   double tolerance_frac = 0.40);
+
+  /// A qualitative claim (an ordering, a crossover, an OOM occurrence).
+  void check_claim(const std::string& what, bool holds);
+
+  /// Record a measured value with no pass/fail (context for the reader).
+  void note(const std::string& what, double measured);
+
+  bool all_passed() const;
+  std::size_t checks() const { return total_; }
+  std::size_t failures() const { return failed_; }
+
+  /// Multi-line summary ending in "SHAPE OK"/"SHAPE DEVIATIONS: n".
+  std::string summary() const;
+
+ private:
+  std::string id_;
+  std::vector<std::string> lines_;
+  std::size_t total_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace llmib::report

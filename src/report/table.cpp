@@ -1,0 +1,80 @@
+#include "report/table.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/units.h"
+
+namespace llmib::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  util::require(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  util::require(cells.size() == headers_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::string& label,
+                            const std::vector<double>& values, int decimals) {
+  util::require(values.size() + 1 == headers_.size(),
+                "Table: numeric row width mismatch");
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(util::format_fixed(v, decimals));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_markdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += " " + h + " |";
+  out += "\n|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "|";
+    for (const auto& c : row) out += " " + c + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out += util::pad_right(cells[i], widths[i]);
+      if (i + 1 < cells.size()) out += "  ";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string out = line(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule += std::string(widths[i], '-');
+    if (i + 1 < widths.size()) rule += "  ";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += line(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  util::CsvWriter writer(os, headers_);
+  for (const auto& row : rows_) writer.write_row(row);
+  return os.str();
+}
+
+}  // namespace llmib::report

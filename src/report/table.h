@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llmib::report {
+
+/// Column-aligned text/markdown table builder used by every bench binary to
+/// print the paper's tables and figure data series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);  ///< throws on width mismatch
+
+  /// Convenience: first cell is a label, the rest are numbers formatted
+  /// with `decimals` digits.
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int decimals = 1);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// GitHub-flavored markdown.
+  std::string to_markdown() const;
+  /// Space-aligned plain text (what the bench binaries print).
+  std::string to_text() const;
+  /// RFC-4180 CSV (machine-readable result artifact).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace llmib::report

@@ -1,0 +1,109 @@
+#include "sched/scheduler.h"
+
+#include "util/check.h"
+
+namespace llmib::sched {
+
+using util::require;
+
+Scheduler::Scheduler(Config cfg) : cfg_(cfg) {
+  require(cfg.max_batch > 0, "Scheduler: max_batch must be positive");
+  require(cfg.kv_capacity_tokens >= 0, "Scheduler: negative kv capacity");
+  require(cfg.reservation_frac > 0.0 && cfg.reservation_frac <= 1.0,
+          "Scheduler: reservation_frac must be in (0, 1]");
+}
+
+std::int64_t Scheduler::footprint(const Request& req) const {
+  const auto reserved_new = static_cast<std::int64_t>(
+      cfg_.reservation_frac * static_cast<double>(req.max_new_tokens) + 0.999);
+  return req.prompt_tokens + std::max<std::int64_t>(1, reserved_new);
+}
+
+void Scheduler::submit(const Request& req) {
+  require(req.prompt_tokens > 0, "Scheduler: prompt must be non-empty");
+  require(req.max_new_tokens > 0, "Scheduler: max_new_tokens must be positive");
+  require(live_.find(req.id) == live_.end(), "Scheduler: duplicate request id");
+  for (const auto& q : queue_)
+    require(q.id != req.id, "Scheduler: duplicate request id");
+  if (cfg_.kv_capacity_tokens > 0) {
+    require(req.prompt_tokens + req.max_new_tokens <= cfg_.kv_capacity_tokens,
+            "Scheduler: request can never fit in KV capacity");
+  }
+  queue_.push_back(req);
+}
+
+bool Scheduler::can_admit(const Request& req) const {
+  if (static_cast<std::int64_t>(live_.size()) >= cfg_.max_batch) return false;
+  if (cfg_.kv_capacity_tokens > 0 &&
+      reserved_tokens_ + footprint(req) > cfg_.kv_capacity_tokens) {
+    return false;
+  }
+  return true;
+}
+
+void Scheduler::admit_from_queue() {
+  if (cfg_.policy == BatchPolicy::kStatic && !live_.empty()) return;
+  const bool starting_wave = live_.empty() && !queue_.empty();
+  bool admitted_any = false;
+  for (;;) {
+    if (queue_.empty()) break;
+    auto candidate = queue_.begin();
+    if (cfg_.order == QueueOrder::kShortestFirst) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const auto work = [](const Request& r) {
+          return r.prompt_tokens + r.max_new_tokens;
+        };
+        if (work(*it) < work(*candidate)) candidate = it;
+      }
+    }
+    if (!can_admit(*candidate)) break;
+    Request req = *candidate;
+    queue_.erase(candidate);
+    reserved_tokens_ += footprint(req);
+    live_.emplace(req.id, Live{req, 0, Phase::kNeedsPrefill});
+    admitted_any = true;
+  }
+  if (starting_wave && admitted_any) ++waves_;
+}
+
+StepPlan Scheduler::plan_step() {
+  admit_from_queue();
+  StepPlan plan;
+  for (auto& [id, live] : live_) {
+    if (live.phase == Phase::kNeedsPrefill) {
+      plan.prefills.push_back(id);
+      live.phase = Phase::kDecoding;
+    } else if (live.phase == Phase::kDecoding) {
+      plan.decodes.push_back(id);
+    }
+  }
+  return plan;
+}
+
+bool Scheduler::complete_decode_token(RequestId id) {
+  auto it = live_.find(id);
+  require(it != live_.end(), "Scheduler: unknown live request");
+  Live& live = it->second;
+  require(live.phase == Phase::kDecoding, "Scheduler: request not decoding");
+  ++live.generated;
+  if (live.generated >= live.req.max_new_tokens) {
+    reserved_tokens_ -= footprint(live.req);
+    live_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::int64_t Scheduler::context_length(RequestId id) const {
+  auto it = live_.find(id);
+  require(it != live_.end(), "Scheduler: unknown live request");
+  return it->second.req.prompt_tokens + it->second.generated;
+}
+
+std::int64_t Scheduler::generated_tokens(RequestId id) const {
+  auto it = live_.find(id);
+  require(it != live_.end(), "Scheduler: unknown live request");
+  return it->second.generated;
+}
+
+}  // namespace llmib::sched

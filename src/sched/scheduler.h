@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace llmib::sched {
+
+using RequestId = std::uint64_t;
+
+/// One inference request: a prompt and a generation budget.
+struct Request {
+  RequestId id = 0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t max_new_tokens = 0;
+  double arrival_time_s = 0.0;
+};
+
+/// Lifecycle of a request inside the scheduler.
+enum class Phase { kWaiting, kNeedsPrefill, kDecoding, kDone };
+
+/// Admission ordering for waiting requests.
+enum class QueueOrder {
+  kFcfs,           ///< first-come first-served (production default)
+  kShortestFirst,  ///< shortest total work first (SJF): better mean latency,
+                   ///< risks starving long requests under sustained load
+};
+
+/// Batching discipline (paper §IV-A.1).
+enum class BatchPolicy {
+  /// Whole batch admitted together; next wave starts only after every
+  /// sequence in the current wave finishes.
+  kStatic,
+  /// Orca-style continuous batching: free slots are refilled every
+  /// iteration as sequences complete.
+  kContinuous,
+};
+
+/// What the engine/simulator should run this iteration.
+struct StepPlan {
+  std::vector<RequestId> prefills;  ///< newly admitted; run their prompt
+  std::vector<RequestId> decodes;   ///< live sequences; generate one token
+  bool empty() const { return prefills.empty() && decodes.empty(); }
+};
+
+/// Iteration-level scheduler shared by the analytical simulator and the
+/// mini engine. Tracks KV-token occupancy so that admission respects device
+/// memory: a request is admitted only if its full footprint
+/// (prompt + max_new_tokens) fits in the remaining KV capacity — the
+/// conservative reservation TRT-LLM-style engines make, which produces the
+/// "wave" behavior on capacity-squeezed devices (A100-40GB with 70B models).
+class Scheduler {
+ public:
+  struct Config {
+    BatchPolicy policy = BatchPolicy::kContinuous;
+    std::int64_t max_batch = 64;            ///< max concurrent sequences
+    std::int64_t kv_capacity_tokens = 0;    ///< 0 => unlimited
+    /// Fraction of max_new_tokens reserved at admission. 1.0 models
+    /// TRT-LLM-style conservative reservation; vLLM-style optimistic
+    /// admission (~0.25) achieves higher steady-state concurrency by
+    /// relying on preemption for the rare overflow.
+    double reservation_frac = 1.0;
+    QueueOrder order = QueueOrder::kFcfs;
+  };
+
+  explicit Scheduler(Config cfg);
+
+  const Config& config() const { return cfg_; }
+
+  /// Enqueue a request. Throws on duplicate id or non-positive sizes.
+  void submit(const Request& req);
+
+  /// Admit what fits, then return this iteration's work. Newly admitted
+  /// requests appear in `prefills` exactly once; they join `decodes` from
+  /// the next plan onwards.
+  StepPlan plan_step();
+
+  /// Record that one decode token was produced for `id`. When the request
+  /// reaches its max_new_tokens it retires and frees its KV reservation.
+  /// Returns true if the request is now done. Throws if `id` is not live.
+  bool complete_decode_token(RequestId id);
+
+  /// Number of tokens of KV the live set currently reserves.
+  std::int64_t reserved_kv_tokens() const { return reserved_tokens_; }
+  /// Live (admitted, unfinished) sequence count.
+  std::int64_t live_sequences() const { return static_cast<std::int64_t>(live_.size()); }
+  std::int64_t waiting_requests() const { return static_cast<std::int64_t>(queue_.size()); }
+  bool all_done() const { return queue_.empty() && live_.empty(); }
+
+  /// Context length (prompt + generated so far) of a live request.
+  std::int64_t context_length(RequestId id) const;
+  /// Tokens generated so far for a live request.
+  std::int64_t generated_tokens(RequestId id) const;
+
+  /// Total waves formed so far (a wave boundary is an admission that
+  /// happens when the live set was empty). Static batching on an
+  /// over-subscribed device shows > 1.
+  std::int64_t waves() const { return waves_; }
+
+ private:
+  struct Live {
+    Request req;
+    std::int64_t generated = 0;
+    Phase phase = Phase::kNeedsPrefill;
+  };
+
+  bool can_admit(const Request& req) const;
+  void admit_from_queue();
+  std::int64_t footprint(const Request& req) const;
+
+  Config cfg_;
+  std::deque<Request> queue_;
+  std::map<RequestId, Live> live_;
+  std::int64_t reserved_tokens_ = 0;
+  std::int64_t waves_ = 0;
+};
+
+}  // namespace llmib::sched

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hw/accelerator.h"
+#include "models/config.h"
+#include "parallel/plan.h"
+
+namespace llmib::sim {
+
+/// Speculative-decoding setup (paper §IV-B.5, Fig. 4b).
+struct SpeculativeConfig {
+  std::string draft_model = "LLaMA-68M";
+  int lookahead = 4;               ///< draft tokens proposed per cycle
+  /// Per-token acceptance at short context; <= 0 selects an automatic
+  /// value from the target architecture (see default_draft_acceptance).
+  double base_acceptance = 0.0;
+  /// Acceptance decays with context: alpha(ctx) = base * (1 - decay * min(1, ctx/ref)).
+  double acceptance_decay = 0.35;
+  double acceptance_decay_ref_ctx = 2048.0;
+};
+
+/// One benchmark point: (model, accelerator, framework, precision,
+/// parallelism, batch, input len, output len) — the axes of every figure in
+/// the paper.
+struct SimConfig {
+  std::string model = "LLaMA-3-8B";
+  std::string accelerator = "A100";
+  std::string framework = "vLLM";
+  hw::Precision precision = hw::Precision::kFP16;       ///< weights + math
+  hw::Precision kv_precision = hw::Precision::kFP16;
+  parallel::ParallelPlan plan;
+
+  std::int64_t batch_size = 1;
+  std::int64_t input_tokens = 128;
+  std::int64_t output_tokens = 128;
+
+  /// Paper Fig. 2a ablation: disable KV caching (recompute attention).
+  bool kv_cache_enabled = true;
+  /// Paper Fig. 2b: override the framework's paged-KV block size.
+  std::optional<std::uint32_t> kv_block_override;
+  /// Cap on concurrent sequences; 0 => batch_size (all submitted at once).
+  std::int64_t max_concurrent = 0;
+  /// Automatic prefix caching (vLLM feature): when requests share a prompt
+  /// prefix (ServingWorkload::shared_prefix_tokens), its KV is computed once
+  /// and reused, shrinking later prefills. Only affects the serving loop.
+  bool prefix_caching = false;
+
+  std::optional<SpeculativeConfig> speculative;
+};
+
+/// Architecture-derived per-token draft acceptance used when
+/// SpeculativeConfig::base_acceptance <= 0.
+double default_draft_acceptance(const models::ModelConfig& target);
+
+enum class RunStatus { kOk, kOom, kUnsupported };
+
+std::string run_status_name(RunStatus s);
+
+/// Everything the paper reports for one benchmark point.
+struct SimResult {
+  RunStatus status = RunStatus::kOk;
+  std::string status_detail;
+
+  // Latency metrics (paper §III-5).
+  double ttft_s = 0.0;           ///< mean time to first token
+  double itl_s = 0.0;            ///< inter-token latency, paper eq. (1)
+  double e2e_latency_s = 0.0;    ///< submit -> last token of last sequence
+
+  // Throughput metrics.
+  double throughput_tps = 0.0;         ///< paper eq. (2): batch*(in+out)/e2e
+  double decode_throughput_tps = 0.0;  ///< generated tokens / e2e
+
+  // Power metrics (whole allocation, all devices).
+  double average_power_w = 0.0;
+  double tokens_per_sec_per_watt = 0.0;
+  double energy_j = 0.0;
+
+  // Mechanism observability.
+  std::int64_t waves = 0;            ///< admission waves (memory pressure)
+  double weight_bytes_per_device = 0.0;
+  double kv_peak_bytes_per_device = 0.0;
+  double avg_compute_util = 0.0;
+  double avg_memory_util = 0.0;
+  double speculative_speedup = 1.0;  ///< 1.0 when SD disabled
+
+  bool ok() const { return status == RunStatus::kOk; }
+};
+
+}  // namespace llmib::sim

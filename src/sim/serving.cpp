@@ -1,0 +1,208 @@
+#include "sim/serving.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "frameworks/traits.h"
+#include "sched/scheduler.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace llmib::sim {
+
+using util::require;
+
+ServingSimulator::ServingSimulator(const InferenceSimulator& simulator)
+    : sim_(simulator) {}
+
+ServingSimulator::Result ServingSimulator::run(const SimConfig& base,
+                                               const ServingWorkload& wl) const {
+  require(wl.arrival_rate_rps > 0, "ServingSimulator: arrival rate must be positive");
+  require(wl.num_requests > 0, "ServingSimulator: need at least one request");
+  require(wl.prompt_min > 0 && wl.prompt_min <= wl.prompt_max,
+          "ServingSimulator: bad prompt length range");
+  require(wl.output_min > 0 && wl.output_min <= wl.output_max,
+          "ServingSimulator: bad output length range");
+
+  // Materialize the Poisson arrivals, then replay as a trace.
+  util::Rng rng(wl.seed);
+  std::vector<TraceRequest> reqs(static_cast<std::size_t>(wl.num_requests));
+  double t = 0;
+  for (auto& r : reqs) {
+    t += rng.exponential(wl.arrival_rate_rps);
+    r.arrival_s = t;
+    r.prompt_tokens = rng.uniform_int(wl.prompt_min, wl.prompt_max);
+    r.output_tokens = rng.uniform_int(wl.output_min, wl.output_max);
+  }
+  Result res =
+      run_trace(base, reqs, wl.slo_ttft_s, wl.shared_prefix_tokens, wl.queue_order);
+  // Report the workload's nominal rate rather than the trace-derived one.
+  if (res.ok()) {
+    res.metrics.offered_load_rps = wl.arrival_rate_rps;
+    res.metrics.saturated = res.metrics.achieved_rps < 0.95 * wl.arrival_rate_rps;
+  }
+  return res;
+}
+
+ServingSimulator::Result ServingSimulator::run_trace(
+    const SimConfig& base, const std::vector<TraceRequest>& reqs,
+    double slo_ttft_s, std::int64_t shared_prefix, sched::QueueOrder order) const {
+  require(!reqs.empty(), "ServingSimulator: empty trace");
+  require(shared_prefix >= 0, "ServingSimulator: negative shared prefix");
+  std::int64_t max_prompt = 0, max_output = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    require(reqs[i].prompt_tokens > 0 && reqs[i].output_tokens > 0,
+            "ServingSimulator: trace rows need positive token counts");
+    require(i == 0 || reqs[i].arrival_s >= reqs[i - 1].arrival_s,
+            "ServingSimulator: trace must be sorted by arrival");
+    max_prompt = std::max(max_prompt, reqs[i].prompt_tokens);
+    max_output = std::max(max_output, reqs[i].output_tokens);
+  }
+
+  Result res;
+  // Probe the configuration once for support/capacity; the largest request
+  // must be feasible.
+  SimConfig probe = base;
+  probe.batch_size = 1;
+  probe.input_tokens = max_prompt;
+  probe.output_tokens = max_output;
+  {
+    const SimResult pr = sim_.run(probe);
+    if (!pr.ok()) {
+      res.status = pr.status;
+      res.status_detail = pr.status_detail;
+      return res;
+    }
+  }
+  const double first_arrival = reqs.front().arrival_s;
+
+  // ---- Scheduler ----------------------------------------------------------
+  const auto& fw = sim_.frameworks().get(base.framework);
+  sched::Scheduler::Config scfg;
+  scfg.policy = fw.continuous_batching ? sched::BatchPolicy::kContinuous
+                                       : sched::BatchPolicy::kStatic;
+  scfg.max_batch = base.max_concurrent > 0 ? base.max_concurrent : 64;
+  scfg.kv_capacity_tokens =
+      static_cast<std::int64_t>(sim_.kv_capacity_tokens(probe));
+  scfg.reservation_frac = fw.conservative_admission ? 1.0 : 0.25;
+  scfg.order = order;
+  sched::Scheduler scheduler(scfg);
+  // Automatic prefix caching: the shared prefix's KV is computed by the
+  // first prefill and reused by every later one.
+  const bool caching = base.prefix_caching && shared_prefix > 0;
+  bool prefix_cached = false;
+
+  SimConfig step_cfg = base;
+  step_cfg.batch_size = 1;  // per-step batch passed explicitly below
+  step_cfg.input_tokens = max_prompt;
+  step_cfg.output_tokens = max_output;
+
+  // ---- Event loop -----------------------------------------------------------
+  double now = first_arrival;
+  std::size_t next_submit = 0;
+  std::size_t completed = 0;
+  std::vector<double> ttfts, e2es;
+  ttfts.reserve(reqs.size());
+  e2es.reserve(reqs.size());
+  std::int64_t max_live = 0, peak_queue = 0;
+  double total_tokens = 0;
+
+  const std::int64_t max_iterations =
+      static_cast<std::int64_t>(reqs.size()) * (max_output + 8) + 1024;
+  std::int64_t iterations = 0;
+
+  while (completed < reqs.size()) {
+    require(++iterations <= max_iterations, "ServingSimulator: failed to converge");
+
+    while (next_submit < reqs.size() && reqs[next_submit].arrival_s <= now) {
+      const auto& r = reqs[next_submit];
+      scheduler.submit({static_cast<sched::RequestId>(next_submit), r.prompt_tokens,
+                        r.output_tokens, r.arrival_s});
+      ++next_submit;
+    }
+    peak_queue = std::max(peak_queue, scheduler.waiting_requests());
+
+    const sched::StepPlan plan = scheduler.plan_step();
+    if (plan.empty()) {
+      // Idle: jump to the next arrival.
+      require(next_submit < reqs.size(), "ServingSimulator: stalled with no work");
+      now = std::max(now, reqs[next_submit].arrival_s);
+      continue;
+    }
+    max_live = std::max(max_live, scheduler.live_sequences());
+
+    if (!plan.prefills.empty()) {
+      double prompt_sum = 0;
+      for (auto id : plan.prefills) {
+        double effective = static_cast<double>(reqs[id].prompt_tokens);
+        if (caching && prefix_cached) {
+          require(shared_prefix < reqs[id].prompt_tokens,
+                  "ServingSimulator: shared prefix exceeds a prompt");
+          effective -= static_cast<double>(shared_prefix);
+        }
+        prompt_sum += effective;
+      }
+      if (caching) prefix_cached = true;  // first prefill populated the cache
+      const auto mean_prompt = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(prompt_sum / static_cast<double>(plan.prefills.size())));
+      const StepBreakdown p = sim_.prefill_step(
+          step_cfg, static_cast<std::int64_t>(plan.prefills.size()), mean_prompt);
+      now += p.total_s;
+      for (auto id : plan.prefills) {
+        ttfts.push_back(now - reqs[id].arrival_s);
+        if (scheduler.complete_decode_token(id)) {
+          e2es.push_back(now - reqs[id].arrival_s);
+          total_tokens +=
+              static_cast<double>(reqs[id].prompt_tokens + reqs[id].output_tokens);
+          ++completed;
+        }
+      }
+    }
+
+    if (!plan.decodes.empty()) {
+      double ctx_sum = 0;
+      for (auto id : plan.decodes) ctx_sum += static_cast<double>(scheduler.context_length(id));
+      const StepBreakdown d = sim_.decode_step(
+          step_cfg, static_cast<std::int64_t>(plan.decodes.size()),
+          ctx_sum / static_cast<double>(plan.decodes.size()));
+      now += d.total_s;
+      for (auto id : plan.decodes) {
+        if (scheduler.complete_decode_token(id)) {
+          e2es.push_back(now - reqs[id].arrival_s);
+          total_tokens +=
+              static_cast<double>(reqs[id].prompt_tokens + reqs[id].output_tokens);
+          ++completed;
+        }
+      }
+    }
+  }
+
+  // ---- Metrics ---------------------------------------------------------------
+  auto& m = res.metrics;
+  const double arrival_span = reqs.back().arrival_s - first_arrival;
+  m.offered_load_rps =
+      arrival_span > 0 ? static_cast<double>(reqs.size()) / arrival_span : 0.0;
+  m.makespan_s = now - first_arrival;
+  m.achieved_rps = m.makespan_s > 0
+                       ? static_cast<double>(reqs.size()) / m.makespan_s
+                       : 0.0;
+  m.throughput_tps = m.makespan_s > 0 ? total_tokens / m.makespan_s : 0.0;
+  m.ttft_p50_s = util::quantile(ttfts, 0.50);
+  m.ttft_p95_s = util::quantile(ttfts, 0.95);
+  m.ttft_p99_s = util::quantile(ttfts, 0.99);
+  m.e2e_p50_s = util::quantile(e2es, 0.50);
+  m.e2e_p95_s = util::quantile(e2es, 0.95);
+  m.e2e_p99_s = util::quantile(e2es, 0.99);
+  m.max_concurrency = max_live;
+  m.peak_queue_depth = peak_queue;
+  m.saturated = m.offered_load_rps > 0 && m.achieved_rps < 0.95 * m.offered_load_rps;
+  if (slo_ttft_s > 0) {
+    std::size_t met = 0;
+    for (double v : ttfts) met += v <= slo_ttft_s;
+    m.slo_goodput = static_cast<double>(met) / static_cast<double>(ttfts.size());
+  }
+  return res;
+}
+
+}  // namespace llmib::sim

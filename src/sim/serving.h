@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace llmib::sim {
+
+/// An online serving workload: requests arrive over time (Poisson process)
+/// with randomized prompt/output lengths — the regime continuous batching
+/// exists for (paper §IV-A.1: "requests arrive at different times or have
+/// different input context lengths").
+struct ServingWorkload {
+  double arrival_rate_rps = 1.0;   ///< mean request arrival rate
+  std::int64_t num_requests = 64;
+  std::int64_t prompt_min = 64, prompt_max = 512;
+  std::int64_t output_min = 32, output_max = 256;
+  std::uint64_t seed = 1234;
+  /// Service-level objective on per-request TTFT (0 = no SLO). Requests
+  /// whose first token arrives later than this are SLO violations; the
+  /// fraction that meet it is the goodput.
+  double slo_ttft_s = 0.0;
+  /// Tokens of a common prompt prefix (system prompt) shared by EVERY
+  /// request, included in each prompt length. With SimConfig::prefix_caching
+  /// the prefix KV is built once and reused.
+  std::int64_t shared_prefix_tokens = 0;
+  /// Admission ordering for the waiting queue.
+  sched::QueueOrder queue_order = sched::QueueOrder::kFcfs;
+};
+
+/// One concrete request of an online-serving run (also the row type of
+/// recorded traces, sim/trace.h).
+struct TraceRequest {
+  double arrival_s = 0.0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t output_tokens = 0;
+};
+
+/// Latency/throughput metrics of one online-serving run.
+struct ServingMetrics {
+  double offered_load_rps = 0.0;    ///< from the workload
+  double makespan_s = 0.0;          ///< first arrival -> last completion
+  double achieved_rps = 0.0;        ///< completed requests / makespan
+  double throughput_tps = 0.0;      ///< (in+out tokens) / makespan
+
+  // Per-request time-to-first-token, measured from ARRIVAL (includes
+  // queueing — the quantity a user experiences).
+  double ttft_p50_s = 0.0, ttft_p95_s = 0.0, ttft_p99_s = 0.0;
+  // Per-request end-to-end latency from arrival to last token.
+  double e2e_p50_s = 0.0, e2e_p95_s = 0.0, e2e_p99_s = 0.0;
+
+  std::int64_t max_concurrency = 0;   ///< peak live sequences
+  std::int64_t peak_queue_depth = 0;  ///< peak waiting requests
+  bool saturated = false;             ///< system could not keep up with load
+
+  /// Fraction of requests whose TTFT met the workload's SLO (1.0 when no
+  /// SLO was set) — the goodput metric serving papers optimize.
+  double slo_goodput = 1.0;
+};
+
+/// Discrete-event online-serving simulator built on top of the per-step
+/// cost model of InferenceSimulator. `base` supplies the (model, hw,
+/// framework, precision, plan) point; its batch/length fields are ignored
+/// in favor of the workload's arrivals.
+class ServingSimulator {
+ public:
+  explicit ServingSimulator(const InferenceSimulator& simulator);
+
+  /// Runs the workload to completion. Throws util::ContractViolation for
+  /// malformed configs; returns unsupported/OOM conditions the same way
+  /// InferenceSimulator::run does (check `ok`).
+  struct Result {
+    RunStatus status = RunStatus::kOk;
+    std::string status_detail;
+    ServingMetrics metrics;
+    bool ok() const { return status == RunStatus::kOk; }
+  };
+  Result run(const SimConfig& base, const ServingWorkload& workload) const;
+
+  /// Replay a concrete request list (e.g. a recorded trace). Requests must
+  /// be sorted by arrival with positive token counts. `shared_prefix`
+  /// tokens at the head of every prompt are prefix-cached when the config
+  /// enables it; `order` selects the admission policy.
+  Result run_trace(const SimConfig& base,
+                   const std::vector<TraceRequest>& requests,
+                   double slo_ttft_s = 0.0, std::int64_t shared_prefix = 0,
+                   sched::QueueOrder order = sched::QueueOrder::kFcfs) const;
+
+ private:
+  const InferenceSimulator& sim_;
+};
+
+}  // namespace llmib::sim

@@ -1,0 +1,559 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kv/paged_allocator.h"
+#include "parallel/comm.h"
+#include "power/power_model.h"
+#include "sched/scheduler.h"
+#include "util/check.h"
+#include "util/units.h"
+
+namespace llmib::sim {
+
+using util::require;
+
+double default_draft_acceptance(const models::ModelConfig& target) {
+  // A 68M draft tracks a same-family 7B dense target well (~0.7 per-token
+  // agreement); the gap widens for 70B-class and MoE targets, whose routing
+  // makes next-token choices the tiny draft cannot anticipate (the paper's
+  // Fig. 4b: "with an increase in ... model size, the benefit of SD
+  // vanishes").
+  if (target.ffn == models::FfnKind::kMoE) return 0.45;
+  if (target.total_params() > 2e10) return 0.55;
+  return 0.70;
+}
+
+std::string run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kOom: return "oom";
+    case RunStatus::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+namespace {
+/// Host <-> device transfer bandwidth for logits when the framework samples
+/// on the host (PCIe gen4 x16).
+constexpr double kHostLinkBytesPerS = 8e9;  // effective, incl. host softmax/top-k
+/// vLLM-style optimistic admission reserves this fraction of max_new.
+constexpr double kOptimisticReservation = 0.25;
+/// Decode kernels at tiny batch cannot keep every HBM channel busy; the
+/// achievable fraction of peak bandwidth ramps with batch.
+inline double memory_batch_ramp(double batch) {
+  return 0.72 + 0.28 * batch / (batch + 3.0);
+}
+/// EP load imbalance: experts are never perfectly balanced (paper §IV-C.3).
+constexpr double kEpImbalance = 1.30;
+}  // namespace
+
+struct InferenceSimulator::Resolved {
+  models::ModelConfig model;
+  hw::AcceleratorSpec accel;
+  frameworks::FrameworkTraits fw;
+  hw::DeviceModel device;
+  parallel::CommModel comm;
+  models::CostModel costs;
+  SimConfig cfg;
+
+  double act_bytes = 2.0;        ///< activation element width
+  double kv_ratio = 1.0;         ///< query heads per KV head
+  double paged_eff = 1.0;        ///< block-size gather efficiency
+  hw::Efficiency eff;            ///< framework compute/memory efficiency
+  double weight_bytes_per_device = 0.0;
+  double weight_spill_bytes = 0.0;      ///< weights resident in tier-3
+  double kv_bytes_per_token_device = 0.0;
+  double kv_capacity_tokens = 0.0;
+
+  Resolved(const models::ModelConfig& m, const hw::AcceleratorSpec& a,
+           const frameworks::FrameworkTraits& f, const SimConfig& c,
+           const models::CostOptions& copt)
+      : model(m), accel(a), fw(f), device(a, c.precision), comm(a),
+        costs(m, copt), cfg(c) {}
+};
+
+InferenceSimulator::InferenceSimulator()
+    : InferenceSimulator(models::ModelRegistry::builtin(),
+                         hw::AcceleratorRegistry::builtin(),
+                         frameworks::FrameworkRegistry::builtin()) {}
+
+InferenceSimulator::InferenceSimulator(const models::ModelRegistry& models,
+                                       const hw::AcceleratorRegistry& accels,
+                                       const frameworks::FrameworkRegistry& fws)
+    : models_(models), accels_(accels), fws_(fws) {}
+
+InferenceSimulator::Resolved InferenceSimulator::resolve(const SimConfig& cfg) const {
+  const models::ModelConfig& model = models_.get(cfg.model);
+  const hw::AcceleratorSpec& accel = accels_.get(cfg.accelerator);
+  const frameworks::FrameworkTraits& fw = fws_.get(cfg.framework);
+  cfg.plan.validate(model);
+  require(cfg.batch_size > 0, "batch_size must be positive");
+  require(cfg.input_tokens > 0, "input_tokens must be positive");
+  require(cfg.output_tokens > 0, "output_tokens must be positive");
+
+  models::CostOptions copt;
+  copt.weight_bytes_per_param = hw::bytes_per_element(cfg.precision);
+  copt.kv_bytes_per_elem = hw::bytes_per_element(cfg.kv_precision);
+  copt.activation_bytes_per_elem = 2.0;  // activations stay 16-bit
+  copt.gqa_aware = true;                 // traffic inflation applied per step
+  copt.kv_cache_enabled = cfg.kv_cache_enabled;
+
+  Resolved r(model, accel, fw, cfg, copt);
+  r.act_bytes = copt.activation_bytes_per_elem;
+  r.kv_ratio = static_cast<double>(model.n_heads) / model.n_kv_heads;
+
+  r.eff.compute = fw.compute_efficiency;
+  r.eff.memory = fw.memory_efficiency;
+  if (fw.paged_kv) {
+    const std::uint32_t block = cfg.kv_block_override.value_or(fw.kv_block_size);
+    r.paged_eff = kv::paged_attention_bw_efficiency(block);
+  }
+
+  const auto& plan = cfg.plan;
+  r.weight_bytes_per_device =
+      r.costs.weight_bytes() * parallel::weight_shard_fraction(plan);
+  const double usable = r.device.usable_memory_bytes() * (1.0 - fw.workspace_frac);
+  // Tiered-memory devices (SN40L) spill weights to DDR rather than filling
+  // HBM to the brim: keep ~20% of HBM for KV when a tier-3 exists.
+  const double hbm_weight_limit =
+      r.device.tier3_memory_bytes() > 0 ? usable * 0.8 : usable;
+  if (r.weight_bytes_per_device > hbm_weight_limit) {
+    r.weight_spill_bytes = r.weight_bytes_per_device - hbm_weight_limit;
+  }
+  r.kv_bytes_per_token_device =
+      r.costs.kv_bytes_per_token() * parallel::kv_shard_fraction(plan);
+  const double kv_space =
+      usable - std::min(r.weight_bytes_per_device - r.weight_spill_bytes, usable);
+  r.kv_capacity_tokens =
+      r.kv_bytes_per_token_device > 0 ? kv_space / r.kv_bytes_per_token_device : 0;
+  return r;
+}
+
+double InferenceSimulator::kv_capacity_tokens(const SimConfig& cfg) const {
+  return resolve(cfg).kv_capacity_tokens;
+}
+
+StepBreakdown InferenceSimulator::prefill_step(const SimConfig& cfg,
+                                               std::int64_t batch,
+                                               std::int64_t seq_len) const {
+  return prefill_step_resolved(resolve(cfg), batch, seq_len);
+}
+
+StepBreakdown InferenceSimulator::decode_step(const SimConfig& cfg,
+                                              std::int64_t batch, double ctx) const {
+  return decode_step_resolved(resolve(cfg), batch, ctx);
+}
+
+namespace {
+
+/// Combine compute and memory roofline components the way DeviceModel does,
+/// with the device's overlap and saturation behavior.
+double combine_roofline(const hw::DeviceModel& dev, double compute_s,
+                        double memory_s, double batch) {
+  // Recreate kernel_time_s semantics from precomputed components.
+  const double overlap =
+      std::clamp(0.80 + 0.40 * dev.spec().hetero_overlap, 0.0, 0.99);
+  const double base = std::max(compute_s, memory_s) +
+                      (1.0 - overlap) * std::min(compute_s, memory_s);
+  return base * dev.saturation_derate(batch);
+}
+
+}  // namespace
+
+StepBreakdown InferenceSimulator::decode_step_resolved(const Resolved& r,
+                                                       std::int64_t batch,
+                                                       double ctx) const {
+  require(batch > 0, "decode batch must be positive");
+  const auto& plan = r.cfg.plan;
+  const double tp = plan.tp, pp = plan.pp, ep = plan.ep;
+  const auto& m = r.model;
+  const auto& c = r.costs;
+
+  StepBreakdown s;
+  double flops, bytes;
+  if (r.cfg.kv_cache_enabled) {
+    // --- FLOPs: linear + attention + LM head, sharded by TP and (FFN) EP.
+    double lin = c.linear_flops_per_token();
+    if (ep > 1) {
+      // EP shards sequences; expert compute additionally pays imbalance.
+      lin *= kEpImbalance;
+    }
+    flops = batch * (lin + c.attention_flops_per_token(ctx) + c.lm_head_flops()) /
+            (tp * ep);
+
+    // --- Bytes: weights stream once per serial pass (PP stages are serial,
+    // so PP does not shrink per-step weight traffic); KV reads inflate when
+    // the kernels are not GQA-aware. EP shards expert weights but REPLICATES
+    // attention/embedding weights, and its routing imbalance means the
+    // slowest device streams more than its fair share of experts.
+    // Serial sub-batched decode (llama.cpp) re-streams the weights once per
+    // sub-batch pass.
+    const double passes =
+        r.fw.serial_subbatch > 0
+            ? std::ceil(static_cast<double>(batch) / r.fw.serial_subbatch)
+            : 1.0;
+    double weights_serial;
+    if (ep > 1) {
+      weights_serial = c.non_expert_weight_bytes() / tp +
+                       c.expert_weight_bytes_touched(batch) * kEpImbalance / (tp * ep);
+    } else {
+      weights_serial = c.weight_bytes_touched(batch) / tp;
+    }
+    weights_serial *= passes;
+    const double inflation = r.fw.kv_inflation(static_cast<double>(batch), r.kv_ratio);
+    // Windowed attention (Mistral) reads only the attended span of cache.
+    const double kv_serial = batch * (c.effective_ctx(ctx) + 1.0) *
+                             c.kv_bytes_per_token() * inflation / (tp * ep);
+    const double act_serial =
+        batch * m.hidden_size * 4.0 * m.n_layers * r.act_bytes / (tp * ep);
+    bytes = weights_serial + kv_serial + act_serial;
+  } else {
+    // KV cache disabled: recompute the whole prefix each step (Fig. 2a).
+    flops = c.decode_flops(batch, ctx) / (tp * ep);
+    bytes = c.decode_bytes(batch, ctx) / (tp * ep);
+  }
+
+  hw::Efficiency eff = r.eff;
+  eff.memory = r.fw.memory_efficiency_at(static_cast<double>(batch)) * r.paged_eff *
+               memory_batch_ramp(static_cast<double>(batch));
+  // Without a KV cache the recomputed prefix tokens are all in flight, so
+  // the compute units ramp on batch*(ctx+1) tokens, not batch.
+  const double tokens_in_flight =
+      r.cfg.kv_cache_enabled ? static_cast<double>(batch)
+                             : static_cast<double>(batch) * (ctx + 1.0);
+  s.compute_s = r.device.compute_time_s(flops, eff, tokens_in_flight);
+  s.memory_s = r.device.memory_time_s(bytes, eff);
+  // Weights spilled to tier-3 memory (SN40L DDR) stream at tier-3 bandwidth.
+  if (r.weight_spill_bytes > 0 && r.accel.tier3_bandwidth_gbs > 0) {
+    s.memory_s += r.weight_spill_bytes / (r.accel.tier3_bandwidth_gbs * 1e9);
+  }
+
+  // --- Collectives -------------------------------------------------------
+  const double token_act_bytes = batch * m.hidden_size * r.act_bytes;
+  if (plan.tp > 1) {
+    const double per_collective =
+        r.comm.allreduce_s(token_act_bytes, plan.tp) + r.fw.tp_sync_s;
+    // Two all-reduces per layer along the serial path, regardless of PP.
+    s.comm_s += 2.0 * m.n_layers * per_collective * (1.0 - r.fw.tp_comm_overlap);
+  }
+  if (plan.pp > 1) {
+    s.comm_s += (pp - 1.0) * r.comm.p2p_s(token_act_bytes);
+  }
+  if (plan.ep > 1) {
+    s.comm_s += 2.0 * m.n_layers * r.comm.alltoall_s(token_act_bytes, plan.ep);
+  }
+
+  // --- Host-side work ------------------------------------------------------
+  const double host_passes =
+      r.fw.serial_subbatch > 0
+          ? std::ceil(static_cast<double>(batch) / r.fw.serial_subbatch)
+          : 1.0;
+  s.host_s = r.fw.per_step_overhead_s * host_passes + batch * r.fw.per_token_host_s;
+  if (!r.cfg.kv_cache_enabled) {
+    // Recomputing the prefix runs unfused per-layer kernels each step
+    // (HF-style no-cache path): per-layer launch/dispatch overhead.
+    s.host_s += m.n_layers * 200e-6;
+  }
+  if (r.fw.host_side_sampling) {
+    s.host_s += batch * static_cast<double>(m.vocab_size) * 4.0 / kHostLinkBytesPerS;
+  }
+  if (r.fw.cpu_sampling_s_per_vocab > 0) {
+    s.host_s += batch * static_cast<double>(m.vocab_size) * r.fw.cpu_sampling_s_per_vocab;
+  }
+
+  const double kernel =
+      combine_roofline(r.device, s.compute_s, s.memory_s, static_cast<double>(batch));
+  s.total_s = kernel + s.comm_s + s.host_s;
+  return s;
+}
+
+StepBreakdown InferenceSimulator::prefill_step_resolved(const Resolved& r,
+                                                        std::int64_t batch,
+                                                        std::int64_t seq_len) const {
+  require(batch > 0, "prefill batch must be positive");
+  require(seq_len > 0, "prefill seq_len must be positive");
+  const auto& plan = r.cfg.plan;
+  const double tp = plan.tp, pp = plan.pp, ep = plan.ep;
+  const auto& m = r.model;
+  const auto& c = r.costs;
+  const double tokens = static_cast<double>(batch) * seq_len;
+
+  StepBreakdown s;
+  double flops = batch * c.prefill_flops(seq_len) / (tp * ep);
+  if (ep > 1) flops *= kEpImbalance;
+  // Prefill touches essentially every expert once the token count is large.
+  const double weights_serial =
+      c.weight_bytes_touched(std::max<std::int64_t>(batch * seq_len, batch)) /
+      (tp * ep);
+  const double kv_write = tokens * c.kv_bytes_per_token() / (tp * ep);
+  const double act =
+      tokens * m.hidden_size * 4.0 * m.n_layers * r.act_bytes / (tp * ep);
+  const double bytes = weights_serial + kv_write + act;
+
+  hw::Efficiency eff = r.eff;  // prefill writes KV linearly: no paged penalty
+  s.compute_s = r.device.compute_time_s(flops, eff, tokens);
+  s.memory_s = r.device.memory_time_s(bytes, eff);
+  if (r.weight_spill_bytes > 0 && r.accel.tier3_bandwidth_gbs > 0) {
+    s.memory_s += r.weight_spill_bytes / (r.accel.tier3_bandwidth_gbs * 1e9);
+  }
+
+  const double act_transfer = tokens * m.hidden_size * r.act_bytes;
+  if (plan.tp > 1) {
+    const double per_collective =
+        r.comm.allreduce_s(act_transfer, plan.tp) + r.fw.tp_sync_s;
+    s.comm_s += 2.0 * m.n_layers * per_collective * (1.0 - r.fw.tp_comm_overlap);
+  }
+  if (plan.pp > 1) s.comm_s += (pp - 1.0) * r.comm.p2p_s(act_transfer);
+  if (plan.ep > 1) s.comm_s += 2.0 * m.n_layers * r.comm.alltoall_s(act_transfer, plan.ep);
+
+  s.host_s = r.fw.per_step_overhead_s;
+
+  const double kernel = combine_roofline(r.device, s.compute_s, s.memory_s,
+                                         static_cast<double>(batch));
+  s.total_s = kernel + s.comm_s + s.host_s + r.accel.fixed_request_latency_s;
+  return s;
+}
+
+namespace {
+
+/// Expected tokens committed per speculative cycle with per-token
+/// acceptance `alpha` and lookahead `k`: sum_{i=0..k} alpha^i.
+double expected_accepted(double alpha, int k) {
+  double sum = 0, p = 1;
+  for (int i = 0; i <= k; ++i) {
+    sum += p;
+    p *= alpha;
+  }
+  return sum;
+}
+
+}  // namespace
+
+SimResult InferenceSimulator::run(const SimConfig& cfg) const {
+  // Support checks come back as data, not exceptions.
+  const auto& fw = fws_.get(cfg.framework);
+  const auto& accel = accels_.get(cfg.accelerator);
+  SimResult res;
+  if (!fw.supports_hw(cfg.accelerator)) {
+    res.status = RunStatus::kUnsupported;
+    res.status_detail = cfg.framework + " does not run on " + cfg.accelerator;
+    return res;
+  }
+  if (!fw.supports_precision(cfg.precision) || !accel.supports(cfg.precision)) {
+    res.status = RunStatus::kUnsupported;
+    res.status_detail = hw::precision_name(cfg.precision) + " unsupported on " +
+                        cfg.accelerator + " + " + cfg.framework;
+    return res;
+  }
+  if (cfg.plan.devices() > accel.devices_per_node) {
+    res.status = RunStatus::kUnsupported;
+    res.status_detail = "plan needs " + std::to_string(cfg.plan.devices()) +
+                        " devices; node has " + std::to_string(accel.devices_per_node);
+    return res;
+  }
+  if (cfg.plan.tp > 1 && !fw.tensor_parallel_supported) {
+    res.status = RunStatus::kUnsupported;
+    res.status_detail = cfg.framework + " has no tensor parallelism (use PP)";
+    return res;
+  }
+  return run_resolved(resolve(cfg), cfg);
+}
+
+SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& cfg) const {
+  SimResult res;
+  res.weight_bytes_per_device = r.weight_bytes_per_device;
+
+  // ---- Capacity checks ---------------------------------------------------
+  if (r.weight_spill_bytes > 0 && r.device.tier3_memory_bytes() == 0) {
+    res.status = RunStatus::kOom;
+    res.status_detail = "weights need " + util::format_bytes(r.weight_bytes_per_device) +
+                        " per device; usable " +
+                        util::format_bytes(r.device.usable_memory_bytes());
+    return res;
+  }
+  if (r.weight_spill_bytes > r.device.tier3_memory_bytes()) {
+    res.status = RunStatus::kOom;
+    res.status_detail = "weights exceed HBM + tier-3 capacity";
+    return res;
+  }
+  const std::int64_t footprint = cfg.input_tokens + cfg.output_tokens;
+  if (static_cast<double>(footprint) > r.kv_capacity_tokens) {
+    res.status = RunStatus::kOom;
+    res.status_detail = "one sequence's KV (" + std::to_string(footprint) +
+                        " tokens) exceeds capacity (" +
+                        std::to_string(static_cast<std::int64_t>(r.kv_capacity_tokens)) +
+                        ")";
+    return res;
+  }
+  if (r.accel.static_shape_kv) {
+    const double required = static_cast<double>(cfg.batch_size) * footprint;
+    if (required > r.kv_capacity_tokens) {
+      res.status = RunStatus::kOom;
+      res.status_detail = "static-shape KV for batch " + std::to_string(cfg.batch_size) +
+                          " needs " + std::to_string(static_cast<std::int64_t>(required)) +
+                          " tokens; capacity " +
+                          std::to_string(static_cast<std::int64_t>(r.kv_capacity_tokens));
+      return res;
+    }
+  }
+
+  // ---- Scheduler setup -----------------------------------------------------
+  sched::Scheduler::Config scfg;
+  scfg.policy = r.fw.continuous_batching ? sched::BatchPolicy::kContinuous
+                                         : sched::BatchPolicy::kStatic;
+  scfg.max_batch = cfg.max_concurrent > 0 ? cfg.max_concurrent : cfg.batch_size;
+  scfg.kv_capacity_tokens = static_cast<std::int64_t>(r.kv_capacity_tokens);
+  scfg.reservation_frac =
+      r.fw.conservative_admission ? 1.0 : kOptimisticReservation;
+  sched::Scheduler scheduler(scfg);
+  for (std::int64_t i = 0; i < cfg.batch_size; ++i) {
+    scheduler.submit({static_cast<sched::RequestId>(i), cfg.input_tokens,
+                      cfg.output_tokens, 0.0});
+  }
+
+  // ---- Speculative decoding: a per-cycle speedup on decode steps ----------
+  std::optional<Resolved> draft;
+  if (cfg.speculative) {
+    SimConfig dcfg = cfg;
+    dcfg.model = cfg.speculative->draft_model;
+    dcfg.plan = parallel::ParallelPlan{};  // draft runs on one device
+    dcfg.speculative.reset();
+    draft.emplace(resolve(dcfg));
+  }
+
+  const power::PowerModel pmodel(r.accel);
+  const int devices = cfg.plan.devices();
+  double now = 0.0;
+  double ttft_sum = 0.0;
+  std::int64_t ttft_count = 0;
+  double energy = 0.0;
+  double util_c_weighted = 0.0, util_m_weighted = 0.0;
+  double spec_speedup_weighted = 0.0, spec_time = 0.0;
+  double kv_peak_tokens = 0.0;
+
+  const std::int64_t max_iterations =
+      (cfg.output_tokens + 2) * std::max<std::int64_t>(cfg.batch_size, 1) + 64;
+  std::int64_t iterations = 0;
+
+  auto account = [&](const StepBreakdown& step, double flops, double bytes) {
+    const double cu = step.total_s > 0
+                          ? std::clamp(flops / step.total_s / r.device.peak_flops(), 0.0, 1.0)
+                          : 0.0;
+    const double mu = step.total_s > 0
+                          ? std::clamp(bytes / step.total_s / r.device.peak_bandwidth_bytes(),
+                                       0.0, 1.0)
+                          : 0.0;
+    util_c_weighted += cu * step.total_s;
+    util_m_weighted += mu * step.total_s;
+    energy += pmodel.instantaneous_watts(cu, mu) * devices * step.total_s;
+  };
+
+  while (!scheduler.all_done()) {
+    require(++iterations <= max_iterations, "simulator failed to converge");
+    const sched::StepPlan plan = scheduler.plan_step();
+    require(!plan.empty(), "scheduler stalled with pending work");
+
+    if (!plan.prefills.empty()) {
+      const auto nprefill = static_cast<std::int64_t>(plan.prefills.size());
+      const StepBreakdown p = prefill_step_resolved(r, nprefill, cfg.input_tokens);
+      now += p.total_s;
+      const double flops =
+          nprefill * r.costs.prefill_flops(cfg.input_tokens) / (cfg.plan.tp * cfg.plan.ep);
+      account(p, flops, 0.0);
+      for (sched::RequestId id : plan.prefills) {
+        ttft_sum += now;
+        ++ttft_count;
+        scheduler.complete_decode_token(id);  // the prefill emits token #1
+      }
+    }
+
+    if (!plan.decodes.empty()) {
+      const auto ndecode = static_cast<std::int64_t>(plan.decodes.size());
+      double ctx_sum = 0.0;
+      for (sched::RequestId id : plan.decodes) ctx_sum += scheduler.context_length(id);
+      const double avg_ctx = ctx_sum / static_cast<double>(ndecode);
+      kv_peak_tokens = std::max(
+          kv_peak_tokens, static_cast<double>(scheduler.reserved_kv_tokens()));
+
+      StepBreakdown d = decode_step_resolved(r, ndecode, avg_ctx);
+      double speedup = 1.0;
+      if (cfg.speculative && draft) {
+        const auto& sp = *cfg.speculative;
+        const double base_alpha = sp.base_acceptance > 0
+                                      ? sp.base_acceptance
+                                      : default_draft_acceptance(r.model);
+        const double alpha = std::clamp(
+            base_alpha *
+                (1.0 - sp.acceptance_decay *
+                           std::min(1.0, avg_ctx / sp.acceptance_decay_ref_ctx)),
+            0.05, 0.95);
+        const double accepted = expected_accepted(alpha, sp.lookahead);
+        const StepBreakdown dstep = decode_step_resolved(*draft, ndecode, avg_ctx);
+        // Verification: k+1 tokens per sequence through the target model;
+        // KV is read once, weights are touched by batch*(k+1) tokens (the
+        // MoE activation spread that kills SD for Mixtral).
+        StepBreakdown verify = d;
+        const double k1 = sp.lookahead + 1.0;
+        const double extra_flops =
+            ndecode * (k1 - 1.0) *
+            (r.costs.linear_flops_per_token() + r.costs.lm_head_flops()) /
+            (cfg.plan.tp * cfg.plan.ep);
+        const double extra_weights =
+            (r.costs.weight_bytes_touched(ndecode * static_cast<std::int64_t>(k1)) -
+             r.costs.weight_bytes_touched(ndecode)) /
+            (cfg.plan.tp * cfg.plan.ep);
+        hw::Efficiency eff = r.eff;
+        verify.compute_s += r.device.compute_time_s(extra_flops, eff,
+                                                    static_cast<double>(ndecode) * k1);
+        verify.memory_s += r.device.memory_time_s(extra_weights, eff);
+        verify.total_s = combine_roofline(r.device, verify.compute_s, verify.memory_s,
+                                          static_cast<double>(ndecode)) +
+                         verify.comm_s + verify.host_s;
+        const double cycle = sp.lookahead * dstep.total_s + verify.total_s;
+        speedup = std::max(0.2, accepted * d.total_s / cycle);
+      }
+      d.total_s /= speedup;
+      now += d.total_s;
+      spec_speedup_weighted += speedup * d.total_s;
+      spec_time += d.total_s;
+
+      const double flops =
+          ndecode *
+          (r.costs.linear_flops_per_token() + r.costs.attention_flops_per_token(avg_ctx) +
+           r.costs.lm_head_flops()) /
+          (cfg.plan.tp * cfg.plan.ep);
+      const double bytes = r.costs.weight_bytes_touched(ndecode) / (cfg.plan.tp * cfg.plan.ep);
+      account(d, flops, bytes);
+      for (sched::RequestId id : plan.decodes) scheduler.complete_decode_token(id);
+    }
+  }
+
+  // ---- Metrics -------------------------------------------------------------
+  res.status = RunStatus::kOk;
+  res.e2e_latency_s = now;
+  res.ttft_s = ttft_count > 0 ? ttft_sum / static_cast<double>(ttft_count) : 0.0;
+  const double total_tokens =
+      static_cast<double>(cfg.batch_size) * (cfg.input_tokens + cfg.output_tokens);
+  res.throughput_tps = now > 0 ? total_tokens / now : 0.0;
+  res.decode_throughput_tps =
+      now > 0 ? static_cast<double>(cfg.batch_size) * cfg.output_tokens / now : 0.0;
+  if (cfg.output_tokens > 1) {
+    // Paper eq. (1).
+    res.itl_s = (res.e2e_latency_s - res.ttft_s) /
+                (static_cast<double>(cfg.batch_size) * (cfg.output_tokens - 1));
+  }
+  res.energy_j = energy;
+  res.average_power_w = now > 0 ? energy / now : 0.0;
+  res.tokens_per_sec_per_watt =
+      res.average_power_w > 0 ? res.throughput_tps / res.average_power_w : 0.0;
+  res.waves = scheduler.waves();
+  res.kv_peak_bytes_per_device = kv_peak_tokens * r.kv_bytes_per_token_device;
+  res.avg_compute_util = now > 0 ? util_c_weighted / now : 0.0;
+  res.avg_memory_util = now > 0 ? util_m_weighted / now : 0.0;
+  res.speculative_speedup = spec_time > 0 ? spec_speedup_weighted / spec_time : 1.0;
+  return res;
+}
+
+}  // namespace llmib::sim

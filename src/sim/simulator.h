@@ -1,0 +1,74 @@
+#pragma once
+
+#include "frameworks/traits.h"
+#include "hw/device_model.h"
+#include "models/config.h"
+#include "models/costs.h"
+#include "sim/config.h"
+
+namespace llmib::sim {
+
+/// Decomposed per-iteration work, exposed so benches and tests can inspect
+/// where the time goes.
+struct StepBreakdown {
+  double compute_s = 0.0;   ///< roofline compute component
+  double memory_s = 0.0;    ///< roofline memory component
+  double comm_s = 0.0;      ///< TP/PP/EP collectives
+  double host_s = 0.0;      ///< per-step + per-token host work
+  double total_s = 0.0;
+};
+
+/// The analytical inference simulator (DESIGN.md substrate #1).
+///
+/// Resolves a SimConfig against the builtin registries (or registries the
+/// caller injects), checks support/capacity, and walks an iteration-level
+/// discrete-event loop driven by sched::Scheduler: batched prefill for
+/// newly admitted requests, one decode step per iteration for live
+/// sequences, KV growth, wave formation under memory pressure, and power
+/// integration.
+class InferenceSimulator {
+ public:
+  InferenceSimulator();
+  InferenceSimulator(const models::ModelRegistry& models,
+                     const hw::AcceleratorRegistry& accels,
+                     const frameworks::FrameworkRegistry& fws);
+
+  /// Run one benchmark point. Never throws for unsupported/OOM points —
+  /// those come back with the corresponding RunStatus (they are data the
+  /// paper reports); throws util::ContractViolation for malformed configs.
+  SimResult run(const SimConfig& cfg) const;
+
+  /// Per-iteration decode cost at a fixed context, for latency analysis
+  /// (Fig. 22's ITL discussion). `ctx` is tokens of live context/sequence.
+  StepBreakdown decode_step(const SimConfig& cfg, std::int64_t batch,
+                            double ctx) const;
+
+  /// Batched prefill cost for `batch` sequences of `seq_len` prompt tokens.
+  StepBreakdown prefill_step(const SimConfig& cfg, std::int64_t batch,
+                             std::int64_t seq_len) const;
+
+  /// KV-token capacity of the whole allocation for this config (after
+  /// weights), or 0 when weights alone do not fit.
+  double kv_capacity_tokens(const SimConfig& cfg) const;
+
+  /// The registries this simulator resolves against (injected or builtin).
+  const models::ModelRegistry& models() const { return models_; }
+  const hw::AcceleratorRegistry& accelerators() const { return accels_; }
+  const frameworks::FrameworkRegistry& frameworks() const { return fws_; }
+
+ private:
+  struct Resolved;  // internal: looked-up specs + derived quantities
+
+  Resolved resolve(const SimConfig& cfg) const;
+  StepBreakdown decode_step_resolved(const Resolved& r, std::int64_t batch,
+                                     double ctx) const;
+  StepBreakdown prefill_step_resolved(const Resolved& r, std::int64_t batch,
+                                      std::int64_t seq_len) const;
+  SimResult run_resolved(const Resolved& r, const SimConfig& cfg) const;
+
+  const models::ModelRegistry& models_;
+  const hw::AcceleratorRegistry& accels_;
+  const frameworks::FrameworkRegistry& fws_;
+};
+
+}  // namespace llmib::sim

@@ -1,0 +1,131 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace llmib::sim {
+
+using util::require;
+
+RequestTrace::RequestTrace(std::vector<TraceRequest> requests)
+    : requests_(std::move(requests)) {
+  validate();
+}
+
+void RequestTrace::validate() const {
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const auto& r = requests_[i];
+    require(r.arrival_s >= 0, "RequestTrace: negative arrival time");
+    require(r.prompt_tokens > 0, "RequestTrace: prompt tokens must be positive");
+    require(r.output_tokens > 0, "RequestTrace: output tokens must be positive");
+    require(i == 0 || r.arrival_s >= requests_[i - 1].arrival_s,
+            "RequestTrace: arrivals must be sorted");
+  }
+}
+
+RequestTrace RequestTrace::from_workload(const ServingWorkload& wl) {
+  require(wl.arrival_rate_rps > 0, "RequestTrace: arrival rate must be positive");
+  require(wl.num_requests > 0, "RequestTrace: need at least one request");
+  require(wl.prompt_min > 0 && wl.prompt_min <= wl.prompt_max,
+          "RequestTrace: bad prompt range");
+  require(wl.output_min > 0 && wl.output_min <= wl.output_max,
+          "RequestTrace: bad output range");
+  // Identical RNG consumption order to ServingSimulator::run, so replaying
+  // this trace reproduces that run exactly.
+  util::Rng rng(wl.seed);
+  std::vector<TraceRequest> reqs(static_cast<std::size_t>(wl.num_requests));
+  double t = 0;
+  for (auto& r : reqs) {
+    t += rng.exponential(wl.arrival_rate_rps);
+    r.arrival_s = t;
+    r.prompt_tokens = rng.uniform_int(wl.prompt_min, wl.prompt_max);
+    r.output_tokens = rng.uniform_int(wl.output_min, wl.output_max);
+  }
+  return RequestTrace(std::move(reqs));
+}
+
+RequestTrace RequestTrace::parse_csv(std::istream& in) {
+  std::vector<TraceRequest> reqs;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::parse_csv_line(line);
+    if (first && !fields.empty() && fields[0] == "arrival_s") {
+      first = false;
+      continue;  // header
+    }
+    first = false;
+    require(fields.size() == 3, "RequestTrace: expected 3 columns, got " +
+                                    std::to_string(fields.size()));
+    TraceRequest r;
+    char* end = nullptr;
+    r.arrival_s = std::strtod(fields[0].c_str(), &end);
+    require(end != fields[0].c_str(), "RequestTrace: bad arrival value");
+    r.prompt_tokens = std::strtoll(fields[1].c_str(), &end, 10);
+    require(end != fields[1].c_str(), "RequestTrace: bad prompt value");
+    r.output_tokens = std::strtoll(fields[2].c_str(), &end, 10);
+    require(end != fields[2].c_str(), "RequestTrace: bad output value");
+    reqs.push_back(r);
+  }
+  return RequestTrace(std::move(reqs));
+}
+
+RequestTrace RequestTrace::parse_csv_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_csv(in);
+}
+
+void RequestTrace::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out, {"arrival_s", "prompt_tokens", "output_tokens"});
+  char buf[64];
+  for (const auto& r : requests_) {
+    std::snprintf(buf, sizeof(buf), "%.6f", r.arrival_s);
+    writer.write_row({buf, std::to_string(r.prompt_tokens),
+                      std::to_string(r.output_tokens)});
+  }
+}
+
+std::string RequestTrace::to_csv_text() const {
+  std::ostringstream out;
+  write_csv(out);
+  return out.str();
+}
+
+double RequestTrace::offered_load_rps() const {
+  if (requests_.size() < 2) return 0.0;
+  const double span = requests_.back().arrival_s - requests_.front().arrival_s;
+  return span > 0 ? static_cast<double>(requests_.size()) / span : 0.0;
+}
+
+std::int64_t RequestTrace::total_tokens() const {
+  std::int64_t total = 0;
+  for (const auto& r : requests_) total += r.prompt_tokens + r.output_tokens;
+  return total;
+}
+
+double RequestTrace::max_prompt() const {
+  double m = 0;
+  for (const auto& r : requests_) m = std::max(m, static_cast<double>(r.prompt_tokens));
+  return m;
+}
+
+double RequestTrace::max_output() const {
+  double m = 0;
+  for (const auto& r : requests_) m = std::max(m, static_cast<double>(r.output_tokens));
+  return m;
+}
+
+ServingSimulator::Result replay_trace(const ServingSimulator& serving,
+                                      const SimConfig& base,
+                                      const RequestTrace& trace, double slo_ttft_s) {
+  require(!trace.empty(), "replay_trace: empty trace");
+  return serving.run_trace(base, trace.requests(), slo_ttft_s);
+}
+
+}  // namespace llmib::sim

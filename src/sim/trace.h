@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/serving.h"
+
+namespace llmib::sim {
+
+/// A replayable request trace: arrivals + shapes, persisted as CSV
+/// ("arrival_s,prompt_tokens,output_tokens"). The paper's artifact drives
+/// its benchmarks from fixed request sets; traces make the online-serving
+/// simulator reproducible the same way — record a synthetic workload once,
+/// replay it against any (model, hw, framework) point.
+class RequestTrace {
+ public:
+  RequestTrace() = default;
+  explicit RequestTrace(std::vector<TraceRequest> requests);  ///< validates
+
+  /// Materialize the Poisson workload into a concrete trace (same RNG path
+  /// as ServingSimulator::run, so replaying it is bit-identical).
+  static RequestTrace from_workload(const ServingWorkload& workload);
+
+  /// Parse from CSV text (header optional). Throws on malformed rows.
+  static RequestTrace parse_csv(std::istream& in);
+  static RequestTrace parse_csv_text(const std::string& text);
+
+  /// Serialize to CSV with header.
+  void write_csv(std::ostream& out) const;
+  std::string to_csv_text() const;
+
+  const std::vector<TraceRequest>& requests() const { return requests_; }
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+
+  /// Mean offered load implied by the trace (requests / arrival span).
+  double offered_load_rps() const;
+  /// Total prompt+output tokens across the trace.
+  std::int64_t total_tokens() const;
+  double max_prompt() const;
+  double max_output() const;
+
+ private:
+  void validate() const;
+  std::vector<TraceRequest> requests_;
+};
+
+/// Replay a trace against one configuration point. `slo_ttft_s` as in
+/// ServingWorkload (0 = no SLO).
+ServingSimulator::Result replay_trace(const ServingSimulator& serving,
+                                      const SimConfig& base,
+                                      const RequestTrace& trace,
+                                      double slo_ttft_s = 0.0);
+
+}  // namespace llmib::sim

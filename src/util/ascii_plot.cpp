@@ -1,0 +1,97 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace llmib::util {
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& rows,
+                      std::size_t width) {
+  if (rows.empty()) return "";
+  double max_v = 0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : rows) {
+    if (v < 0) throw std::invalid_argument("bar_chart: negative value");
+    max_v = std::max(max_v, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::string out;
+  for (const auto& [label, v] : rows) {
+    const auto bar_len =
+        max_v > 0 ? static_cast<std::size_t>(std::llround(v / max_v * static_cast<double>(width)))
+                  : 0;
+    out += pad_right(label, label_w);
+    out += " | ";
+    out += std::string(bar_len, '#');
+    out += ' ';
+    out += format_compact(v);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string heatmap(const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels,
+                    const std::vector<std::vector<double>>& cells) {
+  if (cells.size() != row_labels.size())
+    throw std::invalid_argument("heatmap: row label/cell count mismatch");
+  double max_v = 0;
+  for (const auto& row : cells) {
+    if (row.size() != col_labels.size())
+      throw std::invalid_argument("heatmap: ragged cell matrix");
+    for (double v : row) max_v = std::max(max_v, v);
+  }
+  static const std::string ramp = " .:-=+*#%@";
+  constexpr std::size_t cell_w = 9;
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+
+  std::string out = std::string(label_w + 1, ' ');
+  for (const auto& c : col_labels) out += pad_left(c, cell_w);
+  out += '\n';
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    out += pad_right(row_labels[r], label_w + 1);
+    for (double v : cells[r]) {
+      const auto level = max_v > 0
+                             ? std::min(ramp.size() - 1,
+                                        static_cast<std::size_t>(v / max_v * (double)(ramp.size() - 1)))
+                             : 0;
+      std::string cell = std::string(1, ramp[level]) + format_compact(v);
+      out += pad_left(cell, cell_w);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string spark_table(const std::vector<std::string>& series_labels,
+                        const std::vector<std::vector<double>>& series) {
+  if (series_labels.size() != series.size())
+    throw std::invalid_argument("spark_table: label/series count mismatch");
+  static const std::string ramp = "_.-=^*#@";
+  double max_v = 0;
+  std::size_t label_w = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (double v : series[i]) max_v = std::max(max_v, v);
+    label_w = std::max(label_w, series_labels[i].size());
+  }
+  std::string out;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out += pad_right(series_labels[i], label_w);
+    out += " ";
+    for (double v : series[i]) {
+      const auto level = max_v > 0
+                             ? std::min(ramp.size() - 1,
+                                        static_cast<std::size_t>(v / max_v * (double)(ramp.size() - 1)))
+                             : 0;
+      out += ramp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace llmib::util

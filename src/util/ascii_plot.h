@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llmib::util {
+
+/// Render a horizontal ASCII bar chart: one row per (label, value), bars
+/// scaled to `width` characters against the max value. Values must be
+/// non-negative.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& rows,
+                      std::size_t width = 50);
+
+/// Render a 2-D heatmap using a density ramp (" .:-=+*#%@"), with row and
+/// column labels. `cells[r][c]` must be rectangular.
+std::string heatmap(const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels,
+                    const std::vector<std::vector<double>>& cells);
+
+/// Render grouped series as a compact line-per-series sparkline table.
+std::string spark_table(const std::vector<std::string>& series_labels,
+                        const std::vector<std::vector<double>>& series);
+
+}  // namespace llmib::util

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace llmib::util {
+
+/// Thrown when a public-API precondition is violated. Using a dedicated
+/// type lets tests assert on contract enforcement distinctly from logic
+/// errors that surface as std::logic_error.
+class ContractViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Check a precondition on a public entry point; throws ContractViolation.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw ContractViolation(message);
+}
+
+}  // namespace llmib::util

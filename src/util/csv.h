@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace llmib::util {
+
+/// Minimal RFC-4180-ish CSV writer used by the benchmark harness to emit
+/// machine-readable result files next to the human-readable tables.
+///
+/// Fields containing commas, quotes, or newlines are quoted; embedded
+/// quotes are doubled. Column count is fixed by the header; writing a row
+/// of the wrong width throws.
+class CsvWriter {
+ public:
+  /// Binds to an output stream that must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: format doubles with 6 significant digits.
+  void write_row_numeric(const std::vector<double>& values);
+
+  std::size_t rows_written() const { return rows_; }
+  std::size_t columns() const { return columns_; }
+
+  /// Escape a single field per CSV quoting rules (exposed for tests).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Parse one CSV line into fields (handles quoting); used by tests and by
+/// the dashboard generator when re-reading emitted results.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace llmib::util

@@ -1,0 +1,112 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace llmib::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("geomean: empty sample");
+  double log_sum = 0;
+  for (double x : xs) {
+    if (x <= 0) throw std::invalid_argument("geomean: non-positive value");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.median = quantile(xs, 0.5);
+  s.p95 = quantile(xs, 0.95);
+  s.p99 = quantile(xs, 0.99);
+  return s;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("pearson: need >= 2 points");
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0) throw std::invalid_argument("pearson: zero variance");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("linear_fit: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("linear_fit: need >= 2 points");
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0, sxx = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (sxx == 0) throw std::invalid_argument("linear_fit: zero x variance");
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  return f;
+}
+
+void Accumulator::add(double x) {
+  sum_ += x;
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace llmib::util

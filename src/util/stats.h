@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace llmib::util {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute all summary statistics in one pass (plus a sort for quantiles).
+/// An empty sample yields an all-zero summary.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than two points.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Throws on empty input or q
+/// outside [0,1].
+double quantile(std::span<const double> xs, double q);
+
+/// Geometric mean; throws if any value is <= 0.
+double geomean(std::span<const double> xs);
+
+/// Pearson correlation coefficient; throws on size mismatch or < 2 points.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Simple least-squares fit y = a + b*x. Returns {a, b}.
+/// Throws on size mismatch or < 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Online accumulator (Welford) for streaming measurements.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance, 0 if < 2 points
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace llmib::util

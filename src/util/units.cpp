@@ -1,0 +1,65 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace llmib::util {
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = bytes;
+  std::size_t i = 0;
+  while (std::abs(v) >= 1024.0 && i + 1 < suffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  return format_fixed(v, 2) + " " + suffix[i];
+}
+
+std::string format_flops(double flops_per_sec) {
+  static constexpr std::array<const char*, 5> suffix = {"FLOP/s", "KFLOP/s", "MFLOP/s",
+                                                        "GFLOP/s", "TFLOP/s"};
+  double v = flops_per_sec;
+  std::size_t i = 0;
+  while (std::abs(v) >= 1000.0 && i + 1 < suffix.size()) {
+    v /= 1000.0;
+    ++i;
+  }
+  return format_fixed(v, 2) + " " + suffix[i];
+}
+
+std::string format_compact(double value) {
+  const double a = std::abs(value);
+  if (a >= 1e9) return format_fixed(value / 1e9, 2) + "B";
+  if (a >= 1e6) return format_fixed(value / 1e6, 2) + "M";
+  if (a >= 1e3) return format_fixed(value / 1e3, 1) + "k";
+  if (a >= 100) return format_fixed(value, 0);
+  return format_fixed(value, 2);
+}
+
+std::string format_duration(double seconds) {
+  const double a = std::abs(seconds);
+  if (a >= 1.0) return format_fixed(seconds, 2) + " s";
+  if (a >= 1e-3) return format_fixed(seconds * 1e3, 2) + " ms";
+  if (a >= 1e-6) return format_fixed(seconds * 1e6, 1) + " us";
+  return format_fixed(seconds * 1e9, 0) + " ns";
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace llmib::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace llmib::util {
+
+// Byte-size constants used throughout the suite.
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kPeta = 1e15;
+
+/// "1.50 GiB", "512.00 MiB", ... (binary prefixes, 2 decimals).
+std::string format_bytes(double bytes);
+
+/// "1.23 TFLOP/s", "456.00 GFLOP/s" (decimal prefixes).
+std::string format_flops(double flops_per_sec);
+
+/// "12.3k", "4.56M" style short numbers for chart labels.
+std::string format_compact(double value);
+
+/// Fixed-precision numeric formatting ("%.2f" etc.) without iostream fuss.
+std::string format_fixed(double value, int decimals);
+
+/// "123.4 ms" / "1.23 s" / "456 us" picking a sensible unit from seconds.
+std::string format_duration(double seconds);
+
+/// Left/right pad a string with spaces to the given width (no truncation).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace llmib::util

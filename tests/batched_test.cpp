@@ -1,0 +1,242 @@
+// Tests for batched decode: bit-identical to serial forward, across dense,
+// MoE, sliding-window, and paged-KV configurations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/batched.h"
+#include "engine/generator.h"
+#include "engine/tensor_ops.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/weights.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib::engine;
+using llmib::models::AttentionKind;
+using llmib::models::FfnKind;
+using llmib::models::ModelConfig;
+using llmib::util::ContractViolation;
+
+ModelConfig cfg(bool moe = false, std::int64_t window = 0) {
+  ModelConfig m;
+  m.name = "batched";
+  m.n_layers = 2;
+  m.hidden_size = 32;
+  m.attention = AttentionKind::kGQA;
+  m.n_heads = 4;
+  m.n_kv_heads = 2;
+  if (moe) {
+    m.ffn = FfnKind::kMoE;
+    m.n_experts = 4;
+    m.experts_active = 2;
+  }
+  m.ffn_intermediate = 48;
+  m.max_seq_len = 128;
+  m.vocab_size = 96;
+  m.sliding_window = window;
+  return m;
+}
+
+// ---- batched_matmul kernel --------------------------------------------------
+
+TEST(BatchedMatmul, MatchesMatvecBitExact) {
+  llmib::util::Rng rng(5);
+  const std::size_t rows = 13, cols = 29, batch = 7;
+  std::vector<float> w(rows * cols), x(batch * cols), y(batch * rows);
+  for (auto& v : w) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  batched_matmul(w, x, y, rows, cols, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<float> ref(rows);
+    matvec(w, std::span<const float>(x).subspan(b * cols, cols), ref, rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      ASSERT_EQ(y[b * rows + r], ref[r]) << "b=" << b << " r=" << r;
+  }
+}
+
+TEST(BatchedMatmul, ShapeChecked) {
+  std::vector<float> w(6), x(4), y(4);
+  EXPECT_THROW(batched_matmul(w, x, y, 2, 3, 1), std::invalid_argument);
+}
+
+// ---- full model equivalence ---------------------------------------------------
+
+void expect_batch_equals_serial(const ModelConfig& config, int steps) {
+  const auto w = TransformerWeights::random(config, 31);
+  const MiniTransformer serial(w);
+  const BatchedTransformer batched(w);
+
+  // Four sequences with different prompts and (after a few steps)
+  // different context lengths.
+  const std::vector<std::vector<TokenId>> prompts = {
+      {1, 2, 3}, {50, 60}, {7}, {10, 20, 30, 40}};
+  std::vector<std::unique_ptr<ContiguousKvStore>> ref_kvs, bat_kvs;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    ref_kvs.push_back(std::make_unique<ContiguousKvStore>(serial.kv_dims()));
+    bat_kvs.push_back(std::make_unique<ContiguousKvStore>(serial.kv_dims()));
+  }
+  // Feed prompts serially on both sides (lengths differ on purpose).
+  std::vector<TokenId> last(prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    for (TokenId t : prompts[i]) {
+      serial.forward(t, *ref_kvs[i]);
+      last[i] = t;
+    }
+    std::vector<TokenId> replay = prompts[i];
+    for (std::size_t j = 0; j + 1 < replay.size(); ++j)
+      batched.forward_batch(std::vector<TokenId>{replay[j]},
+                            std::vector<KvStore*>{bat_kvs[i].get()});
+  }
+
+  // Now advance in lockstep: serial per-sequence vs one batched call.
+  for (int step = 0; step < steps; ++step) {
+    std::vector<TokenId> toks(prompts.size());
+    for (std::size_t i = 0; i < prompts.size(); ++i)
+      toks[i] = static_cast<TokenId>((step * 17 + static_cast<int>(i) * 5) % 96);
+    std::vector<std::vector<float>> ref(prompts.size());
+    for (std::size_t i = 0; i < prompts.size(); ++i)
+      ref[i] = serial.forward(toks[i], *ref_kvs[i]);
+    std::vector<KvStore*> kv_ptrs;
+    for (auto& kv : bat_kvs) kv_ptrs.push_back(kv.get());
+    // Align the batched side's contexts with the serial side first.
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      while (bat_kvs[i]->size() < ref_kvs[i]->size() - 1) {
+        batched.forward_batch(std::vector<TokenId>{last[i]},
+                              std::vector<KvStore*>{bat_kvs[i].get()});
+      }
+    }
+    const auto got = batched.forward_batch(toks, kv_ptrs);
+    for (std::size_t i = 0; i < prompts.size(); ++i)
+      ASSERT_EQ(got[i], ref[i]) << "step " << step << " seq " << i;
+  }
+}
+
+TEST(BatchedForward, DenseBitIdenticalToSerial) {
+  // Simpler exact scenario: identical prompt handling through both paths.
+  const auto w = TransformerWeights::random(cfg(), 31);
+  const MiniTransformer serial(w);
+  const BatchedTransformer batched(w);
+  ContiguousKvStore kv_a(serial.kv_dims()), kv_b(serial.kv_dims());
+  ContiguousKvStore kv_c(serial.kv_dims()), kv_d(serial.kv_dims());
+  std::vector<KvStore*> kvs = {&kv_c, &kv_d};
+  for (int step = 0; step < 6; ++step) {
+    const TokenId ta = static_cast<TokenId>(step * 3 + 1);
+    const TokenId tb = static_cast<TokenId>(step * 7 + 2);
+    const auto ra = serial.forward(ta, kv_a);
+    const auto rb = serial.forward(tb, kv_b);
+    const auto got = batched.forward_batch(std::vector<TokenId>{ta, tb}, kvs);
+    ASSERT_EQ(got[0], ra) << "step " << step;
+    ASSERT_EQ(got[1], rb) << "step " << step;
+  }
+}
+
+TEST(BatchedForward, MoEBitIdenticalToSerial) {
+  const auto w = TransformerWeights::random(cfg(true), 31);
+  const MiniTransformer serial(w);
+  const BatchedTransformer batched(w);
+  ContiguousKvStore kv_a(serial.kv_dims()), kv_b(serial.kv_dims()),
+      kv_c(serial.kv_dims());
+  ContiguousKvStore kv_x(serial.kv_dims()), kv_y(serial.kv_dims()),
+      kv_z(serial.kv_dims());
+  std::vector<KvStore*> kvs = {&kv_x, &kv_y, &kv_z};
+  for (int step = 0; step < 6; ++step) {
+    const TokenId ta = static_cast<TokenId>(step * 5 + 3);
+    const TokenId tb = static_cast<TokenId>(step * 11 + 7);
+    const TokenId tc = static_cast<TokenId>(step * 13 + 1);
+    const auto ra = serial.forward(ta, kv_a);
+    const auto rb = serial.forward(tb, kv_b);
+    const auto rc = serial.forward(tc, kv_c);
+    const auto got = batched.forward_batch(std::vector<TokenId>{ta, tb, tc}, kvs);
+    ASSERT_EQ(got[0], ra);
+    ASSERT_EQ(got[1], rb);
+    ASSERT_EQ(got[2], rc);
+  }
+}
+
+TEST(BatchedForward, SlidingWindowAndPagedKv) {
+  const auto w = TransformerWeights::random(cfg(false, 8), 31);
+  const MiniTransformer serial(w);
+  const BatchedTransformer batched(w);
+  PagedKvPool pool(128, 4, serial.kv_dims());
+  ContiguousKvStore ref(serial.kv_dims());
+  PagedKvStore paged(pool, 1);
+  std::vector<KvStore*> kvs = {&paged};
+  for (int step = 0; step < 16; ++step) {  // runs past the window
+    const TokenId t = static_cast<TokenId>((step * 7) % 96);
+    const auto r = serial.forward(t, ref);
+    const auto got = batched.forward_batch(std::vector<TokenId>{t}, kvs);
+    ASSERT_EQ(got[0], r) << "step " << step;
+  }
+}
+
+TEST(BatchedForward, MixedContextLengths) {
+  expect_batch_equals_serial(cfg(), 4);
+}
+
+TEST(BatchedServing, OutputsIdenticalToPerSequenceLoop) {
+  const auto w = TransformerWeights::random(cfg(), 31);
+  const MiniTransformer model(w);
+  auto run = [&](bool batched) {
+    ServingEngine::Config scfg;
+    scfg.max_batch = 3;
+    scfg.batched_decode = batched;
+    ServingEngine eng(model, scfg);
+    std::vector<llmib::sched::RequestId> ids;
+    ids.push_back(eng.submit({1, 2, 3}, 6));
+    ids.push_back(eng.submit({9, 8}, 9));
+    ids.push_back(eng.submit({40}, 4));
+    ids.push_back(eng.submit({50, 51}, 5));  // backfills mid-flight
+    eng.run_to_completion();
+    std::vector<std::vector<TokenId>> out;
+    for (auto id : ids) out.push_back(eng.output(id));
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(BatchedServing, WorksWithChunkedPrefill) {
+  const auto w = TransformerWeights::random(cfg(), 31);
+  const MiniTransformer model(w);
+  auto run = [&](bool batched) {
+    ServingEngine::Config scfg;
+    scfg.max_batch = 2;
+    scfg.batched_decode = batched;
+    scfg.chunked_prefill = true;
+    scfg.prefill_chunk = 2;
+    ServingEngine eng(model, scfg);
+    const auto a = eng.submit({1, 2, 3, 4, 5}, 6);
+    const auto b = eng.submit({7, 8, 9}, 4);
+    eng.run_to_completion();
+    return std::pair{eng.output(a), eng.output(b)};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(BatchedServing, IncompatibleWithPreemption) {
+  const auto w = TransformerWeights::random(cfg(), 31);
+  const MiniTransformer model(w);
+  ServingEngine::Config scfg;
+  scfg.batched_decode = true;
+  scfg.allow_preemption = true;
+  EXPECT_THROW(ServingEngine(model, scfg), ContractViolation);
+}
+
+TEST(BatchedForward, RejectsBadInput) {
+  const auto w = TransformerWeights::random(cfg(), 31);
+  const BatchedTransformer batched(w);
+  ContiguousKvStore kv(std::vector<std::size_t>{16, 16});
+  std::vector<KvStore*> kvs = {&kv};
+  EXPECT_THROW(batched.forward_batch(std::vector<TokenId>{}, std::vector<KvStore*>{}),
+               ContractViolation);
+  EXPECT_THROW(batched.forward_batch(std::vector<TokenId>{1, 2}, kvs),
+               ContractViolation);
+  EXPECT_THROW(batched.forward_batch(std::vector<TokenId>{200}, kvs),
+               ContractViolation);
+}
+
+}  // namespace

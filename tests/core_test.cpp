@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/insights.h"
+#include "core/suite.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::core;
+using llmib::hw::Precision;
+using llmib::util::ContractViolation;
+
+const BenchmarkRunner& runner() {
+  static const BenchmarkRunner r;
+  return r;
+}
+
+// ---- auto_plan -----------------------------------------------------------------
+
+TEST(AutoPlan, SevenBFitsOneDevice) {
+  const auto plan = runner().auto_plan("LLaMA-3-8B", "A100", "vLLM", Precision::kFP16);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->devices(), 1);
+}
+
+TEST(AutoPlan, SeventyBNeedsFourA100s) {
+  const auto plan =
+      runner().auto_plan("LLaMA-2-70B", "A100", "vLLM", Precision::kFP16);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->tp, 4);
+}
+
+TEST(AutoPlan, SeventyBOnTwoH100s) {
+  const auto plan =
+      runner().auto_plan("LLaMA-2-70B", "H100", "TensorRT-LLM", Precision::kFP16);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_LE(plan->devices(), 4);
+  EXPECT_GE(plan->devices(), 2);
+}
+
+TEST(AutoPlan, LlamaCppUsesPipelineSplit) {
+  const auto plan =
+      runner().auto_plan("LLaMA-2-70B", "H100", "llama.cpp", Precision::kFP16);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->tp, 1);
+  EXPECT_GT(plan->pp, 1);
+}
+
+TEST(AutoPlan, NothingFitsSingleGH200For70B) {
+  // GH200 is a single-device node; fp16 70B weights cannot fit.
+  const auto plan =
+      runner().auto_plan("LLaMA-2-70B", "GH200", "vLLM", Precision::kFP16);
+  EXPECT_FALSE(plan.has_value());
+}
+
+TEST(AutoPlan, UnsupportedPrecisionIsNullopt) {
+  EXPECT_FALSE(
+      runner().auto_plan("LLaMA-3-8B", "A100", "vLLM", Precision::kFP8).has_value());
+}
+
+// ---- run_sweep ---------------------------------------------------------------------
+
+TEST(Sweep, ProducesFullGrid) {
+  SweepAxes axes;
+  axes.models = {"LLaMA-3-8B"};
+  axes.accelerators = {"A100", "SN40L"};
+  axes.frameworks = {"vLLM"};
+  axes.batch_sizes = {1, 16};
+  axes.io_lengths = {128};
+  const auto set = runner().run_sweep(axes);
+  EXPECT_EQ(set.size(), 4u);  // 2 hw x 2 batches x 1 length
+  // SN40L rows are unsupported under vLLM — recorded, not dropped.
+  const auto sn = set.where(std::nullopt, "SN40L");
+  ASSERT_EQ(sn.size(), 2u);
+  EXPECT_EQ(sn[0]->result.status, llmib::sim::RunStatus::kUnsupported);
+}
+
+TEST(Sweep, RequiresNonEmptyAxes) {
+  SweepAxes axes;
+  EXPECT_THROW(runner().run_sweep(axes), ContractViolation);
+}
+
+TEST(Sweep, ResultSetQueries) {
+  SweepAxes axes;
+  axes.models = {"LLaMA-3-8B", "Mistral-7B"};
+  axes.accelerators = {"A100"};
+  axes.frameworks = {"vLLM"};
+  axes.batch_sizes = {1, 16};
+  axes.io_lengths = {128, 512};
+  const auto set = runner().run_sweep(axes);
+  EXPECT_EQ(set.size(), 8u);  // 2 models x 2 batches x 2 lengths
+  EXPECT_EQ(set.where("Mistral-7B").size(), 4u);
+  EXPECT_EQ(set.where("Mistral-7B", "A100", "vLLM", 16, 512).size(), 1u);
+  EXPECT_GT(set.throughput("Mistral-7B", "A100", "vLLM", 16, 512), 0);
+  const auto* best = set.best("Mistral-7B");
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->config.batch_size, 16);  // bigger batch wins
+}
+
+TEST(Sweep, DashboardRecordsMatchRows) {
+  SweepAxes axes;
+  axes.models = {"LLaMA-3-8B"};
+  axes.accelerators = {"A100"};
+  axes.frameworks = {"vLLM"};
+  axes.batch_sizes = {1};
+  axes.io_lengths = {128};
+  const auto set = runner().run_sweep(axes);
+  const auto records = set.dashboard_records();
+  ASSERT_EQ(records.size(), set.size());
+  EXPECT_EQ(records[0].model, "LLaMA-3-8B");
+  EXPECT_GT(records[0].throughput_tps, 0);
+}
+
+TEST(Sweep, TableHasRowPerPoint) {
+  SweepAxes axes;
+  axes.models = {"LLaMA-3-8B"};
+  axes.accelerators = {"A100"};
+  axes.frameworks = {"vLLM", "TensorRT-LLM"};
+  axes.batch_sizes = {1};
+  axes.io_lengths = {128};
+  const auto set = runner().run_sweep(axes);
+  EXPECT_EQ(set.to_table().rows(), set.size());
+}
+
+// ---- insights ------------------------------------------------------------------------
+
+ResultSet small_study() {
+  SweepAxes axes;
+  axes.models = {"LLaMA-3-8B"};
+  axes.accelerators = {"A100", "MI250"};
+  axes.frameworks = {"vLLM", "TensorRT-LLM", "llama.cpp"};
+  axes.batch_sizes = {1, 32, 64};
+  axes.io_lengths = {1024};
+  return runner().run_sweep(axes);
+}
+
+TEST(Insights, FrameworkRankingMatchesPaper) {
+  const auto set = small_study();
+  const auto ranked = rank_frameworks(set, "LLaMA-3-8B", "A100");
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], "TensorRT-LLM");  // Fig. 15
+  EXPECT_EQ(ranked[2], "llama.cpp");
+}
+
+TEST(Insights, PeakPerformancePicksBestBatch) {
+  const auto set = small_study();
+  const auto peaks = peak_performance(set, "LLaMA-3-8B");
+  ASSERT_EQ(peaks.size(), 2u);
+  for (const auto& p : peaks) {
+    EXPECT_GT(p.throughput_tps, 0);
+    EXPECT_GE(p.batch, 32);  // peaks never at batch 1
+  }
+}
+
+TEST(Insights, DetectsMi250EarlySaturation) {
+  const auto set = small_study();
+  const auto insights = extract_insights(set);
+  bool found = false;
+  for (const auto& i : insights) {
+    if (i.category == "accelerator" &&
+        i.text.find("MI250 saturates early") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Insights, NamesBestFramework) {
+  const auto set = small_study();
+  const auto insights = extract_insights(set);
+  bool found = false;
+  for (const auto& i : insights) {
+    if (i.category == "framework" &&
+        i.text.find("TensorRT-LLM delivers the highest throughput on A100") !=
+            std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

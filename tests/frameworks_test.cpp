@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "frameworks/traits.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::frameworks;
+using llmib::hw::Precision;
+using llmib::util::ContractViolation;
+
+const FrameworkRegistry& reg() { return FrameworkRegistry::builtin(); }
+
+TEST(Registry, ContainsPaperFrameworksPlusSambaFlow) {
+  for (const auto& name : FrameworkRegistry::paper_framework_names())
+    EXPECT_NO_THROW(reg().get(name)) << name;
+  EXPECT_NO_THROW(reg().get("SambaFlow"));
+  EXPECT_THROW(reg().get("ONNXRuntime"), ContractViolation);
+}
+
+// ---- Table III: framework x hardware support matrix -----------------------
+
+TEST(Table3, VllmRunsEverywhereExceptSN40L) {
+  const auto& v = reg().get("vLLM");
+  for (const auto& hw : {"A100", "H100", "GH200", "MI250", "Gaudi2"})
+    EXPECT_TRUE(v.supports_hw(hw)) << hw;
+  EXPECT_FALSE(v.supports_hw("SN40L"));
+}
+
+TEST(Table3, TrtLlmIsNvidiaOnly) {
+  const auto& t = reg().get("TensorRT-LLM");
+  for (const auto& hw : {"A100", "H100", "GH200"}) EXPECT_TRUE(t.supports_hw(hw));
+  for (const auto& hw : {"MI250", "MI300X", "Gaudi2", "SN40L"})
+    EXPECT_FALSE(t.supports_hw(hw)) << hw;
+}
+
+TEST(Table3, DsMiiLimitedSupport) {
+  const auto& d = reg().get("DeepSpeed-MII");
+  EXPECT_TRUE(d.supports_hw("A100"));
+  EXPECT_TRUE(d.supports_hw("Gaudi2"));
+  EXPECT_FALSE(d.supports_hw("H100"));  // paper Table III row
+  EXPECT_FALSE(d.supports_hw("MI250"));
+}
+
+TEST(Table3, LlamaCppNoGaudi) {
+  const auto& l = reg().get("llama.cpp");
+  EXPECT_TRUE(l.supports_hw("A100"));
+  EXPECT_TRUE(l.supports_hw("MI250"));
+  EXPECT_FALSE(l.supports_hw("Gaudi2"));
+}
+
+TEST(Table3, SambaFlowOnlySN40L) {
+  const auto& s = reg().get("SambaFlow");
+  EXPECT_TRUE(s.supports_hw("SN40L"));
+  EXPECT_FALSE(s.supports_hw("A100"));
+}
+
+// ---- Trait encodings of the paper's stated mechanisms ----------------------
+
+TEST(Traits, TrtHasBestKernels) {
+  EXPECT_GT(reg().get("TensorRT-LLM").compute_efficiency,
+            reg().get("vLLM").compute_efficiency);
+  EXPECT_GT(reg().get("vLLM").compute_efficiency,
+            reg().get("llama.cpp").compute_efficiency);
+}
+
+TEST(Traits, GqaAwareness) {
+  EXPECT_EQ(reg().get("TensorRT-LLM").gqa_penalty_floor, 0.0);
+  EXPECT_EQ(reg().get("vLLM").gqa_penalty_floor, 0.0);
+  EXPECT_GT(reg().get("DeepSpeed-MII").gqa_penalty_floor, 0.0);
+  EXPECT_EQ(reg().get("llama.cpp").gqa_penalty_floor, 1.0);
+}
+
+TEST(Traits, LlamaCppHasNoTensorParallel) {
+  EXPECT_FALSE(reg().get("llama.cpp").tensor_parallel_supported);
+  EXPECT_TRUE(reg().get("vLLM").tensor_parallel_supported);
+}
+
+TEST(Traits, ContinuousBatchingSupport) {
+  EXPECT_TRUE(reg().get("vLLM").continuous_batching);
+  EXPECT_TRUE(reg().get("TensorRT-LLM").continuous_batching);
+  EXPECT_FALSE(reg().get("llama.cpp").continuous_batching);
+}
+
+TEST(Traits, VllmDefaultBlockSize16) {
+  EXPECT_EQ(reg().get("vLLM").kv_block_size, 16u);  // Fig. 2b default
+  EXPECT_TRUE(reg().get("vLLM").paged_kv);
+  EXPECT_FALSE(reg().get("llama.cpp").paged_kv);
+}
+
+TEST(Traits, Fp8SupportMatrix) {
+  EXPECT_TRUE(reg().get("TensorRT-LLM").supports_precision(Precision::kFP8));
+  EXPECT_TRUE(reg().get("vLLM").supports_precision(Precision::kFP8));
+  EXPECT_FALSE(reg().get("DeepSpeed-MII").supports_precision(Precision::kFP8));
+}
+
+// ---- kv_inflation -------------------------------------------------------------
+
+TEST(KvInflation, MhsaNeverInflates) {
+  for (const auto& name : reg().names()) {
+    const auto& t = reg().get(name);
+    EXPECT_DOUBLE_EQ(t.kv_inflation(1, 1.0), 1.0) << name;
+    EXPECT_DOUBLE_EQ(t.kv_inflation(64, 1.0), 1.0) << name;
+  }
+}
+
+TEST(KvInflation, AwareFrameworksNeverInflate) {
+  const auto& v = reg().get("vLLM");
+  EXPECT_DOUBLE_EQ(v.kv_inflation(1, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.kv_inflation(64, 8.0), 1.0);
+}
+
+TEST(KvInflation, LlamaCppPaysFullExpansionAtAnyBatch) {
+  const auto& l = reg().get("llama.cpp");
+  EXPECT_DOUBLE_EQ(l.kv_inflation(1, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(l.kv_inflation(64, 4.0), 4.0);
+}
+
+TEST(KvInflation, DsMiiDecaysWithBatchToFloor) {
+  const auto& d = reg().get("DeepSpeed-MII");
+  const double at1 = d.kv_inflation(1, 4.0);
+  const double at64 = d.kv_inflation(64, 4.0);
+  const double at_large = d.kv_inflation(4096, 4.0);
+  EXPECT_GT(at1, at64);           // kernels specialize at scale
+  EXPECT_GT(at64, 1.0);           // but never become fully GQA-aware
+  EXPECT_NEAR(at_large, 1.0 + 3.0 * d.gqa_penalty_floor, 1e-9);  // hits floor
+}
+
+TEST(KvInflation, RejectsBadArguments) {
+  const auto& v = reg().get("vLLM");
+  EXPECT_THROW(v.kv_inflation(0, 4.0), ContractViolation);
+  EXPECT_THROW(v.kv_inflation(1, 0.5), ContractViolation);
+}
+
+TEST(Registry, RejectsInvalidTraits) {
+  FrameworkRegistry r;
+  FrameworkTraits t = reg().get("vLLM");
+  t.compute_efficiency = 0.0;
+  EXPECT_THROW(r.register_traits(t), ContractViolation);
+  t = reg().get("vLLM");
+  r.register_traits(t);
+  EXPECT_THROW(r.register_traits(reg().get("vLLM")), ContractViolation);
+}
+
+TEST(Traits, HostSamplingFlags) {
+  EXPECT_TRUE(reg().get("llama.cpp").host_side_sampling);
+  EXPECT_TRUE(reg().get("DeepSpeed-MII").host_side_sampling);
+  EXPECT_FALSE(reg().get("TensorRT-LLM").host_side_sampling);
+}
+
+TEST(Traits, AdmissionPolicies) {
+  EXPECT_TRUE(reg().get("SambaFlow").conservative_admission);   // static graphs
+  EXPECT_TRUE(reg().get("llama.cpp").conservative_admission);   // static batch
+  EXPECT_FALSE(reg().get("vLLM").conservative_admission);
+  EXPECT_FALSE(reg().get("TensorRT-LLM").conservative_admission);
+}
+
+TEST(Traits, LlamaCppSerialSubbatch) {
+  EXPECT_GT(reg().get("llama.cpp").serial_subbatch, 0);
+  EXPECT_EQ(reg().get("vLLM").serial_subbatch, 0);
+}
+
+}  // namespace

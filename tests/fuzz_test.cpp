@@ -1,0 +1,211 @@
+// Randomized (fuzz-style) property tests: many seeded random scenarios,
+// each validated against a straightforward reference implementation. These
+// search the state spaces that hand-written cases miss — allocator
+// interleavings, fork trees, serving schedules under pressure.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "engine/generator.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/weights.h"
+#include "kv/paged_allocator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib;
+using engine::MiniTransformer;
+using engine::TokenId;
+using engine::TransformerWeights;
+using util::Rng;
+
+models::ModelConfig tiny_cfg() {
+  models::ModelConfig m;
+  m.name = "fuzz";
+  m.n_layers = 2;
+  m.hidden_size = 24;
+  m.attention = models::AttentionKind::kGQA;
+  m.n_heads = 4;
+  m.n_kv_heads = 2;
+  m.ffn_intermediate = 32;
+  m.max_seq_len = 96;
+  m.vocab_size = 64;
+  return m;
+}
+
+const TransformerWeights& fuzz_weights() {
+  static const auto w = TransformerWeights::random(tiny_cfg(), 2718);
+  return w;
+}
+
+// ---- allocator interleavings: paged state always matches a shadow model ------
+
+class AllocatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorFuzz, ShadowModelAgrees) {
+  Rng rng(GetParam());
+  kv::PagedKvAllocator alloc(48, 4);
+  // Shadow: logical token counts + fork parents; block math re-derived.
+  struct Shadow {
+    std::uint64_t tokens = 0;
+  };
+  std::map<kv::SeqId, Shadow> shadow;
+  kv::SeqId next = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    const double r = rng.next_double();
+    if (r < 0.25 || shadow.empty()) {
+      alloc.create_sequence(next);
+      shadow[next] = {};
+      ++next;
+    } else if (r < 0.45 && !shadow.empty()) {
+      // Fork a random live sequence.
+      auto it = shadow.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<std::int64_t>(shadow.size()) - 1));
+      alloc.fork_sequence(it->first, next);
+      shadow[next] = it->second;
+      ++next;
+    } else if (r < 0.8) {
+      auto it = shadow.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<std::int64_t>(shadow.size()) - 1));
+      const auto n = static_cast<std::uint64_t>(rng.uniform_int(1, 6));
+      std::vector<kv::CowCopy> cow;
+      if (alloc.append_tokens(it->first, n, &cow)) {
+        it->second.tokens += n;
+        // COW only ever relocates the (single) tail block.
+        ASSERT_LE(cow.size(), 1u);
+      }
+    } else {
+      auto it = shadow.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<std::int64_t>(shadow.size()) - 1));
+      alloc.free_sequence(it->first);
+      shadow.erase(it);
+    }
+
+    // Invariants after every operation.
+    for (const auto& [id, sh] : shadow) {
+      ASSERT_EQ(alloc.sequence_length(id), sh.tokens);
+      ASSERT_EQ(alloc.block_table(id).size(), (sh.tokens + 3) / 4);
+    }
+    // Refcount bookkeeping: every block either free or owned; totals add up.
+    std::map<kv::BlockId, std::uint32_t> owners;
+    for (const auto& [id, sh] : shadow)
+      for (auto b : alloc.block_table(id)) ++owners[b];
+    std::uint32_t used = 0;
+    for (const auto& [b, n] : owners) {
+      ASSERT_EQ(alloc.block_refcount(b), n);
+      ++used;
+    }
+    ASSERT_EQ(used + alloc.free_blocks(), 48u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzz,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+// ---- fork trees: every leaf equals a fresh replay of its token history --------
+
+class ForkTreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForkTreeFuzz, LeavesMatchReplay) {
+  Rng rng(GetParam());
+  const MiniTransformer model(fuzz_weights());
+  engine::PagedKvPool pool(512, 4, model.kv_dims());
+
+  struct Node {
+    std::unique_ptr<engine::PagedKvStore> kv;
+    std::vector<TokenId> history;
+    std::vector<float> last_logits;
+  };
+  std::vector<Node> nodes;
+  kv::SeqId next_id = 0;
+
+  // Root with a small prompt.
+  nodes.push_back({std::make_unique<engine::PagedKvStore>(pool, next_id++), {}, {}});
+  for (int i = 0; i < 4; ++i) {
+    const auto t = static_cast<TokenId>(rng.uniform_int(0, 63));
+    nodes[0].last_logits = model.forward(t, *nodes[0].kv);
+    nodes[0].history.push_back(t);
+  }
+
+  for (int step = 0; step < 30; ++step) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1));
+    if (rng.bernoulli(0.3) && nodes.size() < 12) {
+      Node child;
+      child.kv = std::make_unique<engine::PagedKvStore>(pool, next_id++, *nodes[pick].kv);
+      child.history = nodes[pick].history;
+      child.last_logits = nodes[pick].last_logits;
+      nodes.push_back(std::move(child));
+    } else if (nodes[pick].history.size() < 60) {
+      const auto t = static_cast<TokenId>(rng.uniform_int(0, 63));
+      nodes[pick].last_logits = model.forward(t, *nodes[pick].kv);
+      nodes[pick].history.push_back(t);
+    }
+  }
+
+  // Every node's logits equal a from-scratch replay of its history.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    engine::ContiguousKvStore fresh(model.kv_dims());
+    std::vector<float> expect;
+    for (TokenId t : nodes[i].history) expect = model.forward(t, fresh);
+    ASSERT_EQ(nodes[i].last_logits, expect) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForkTreeFuzz,
+                         ::testing::Values(11ull, 12ull, 13ull));
+
+// ---- serving schedules: every output equals single-sequence generation --------
+
+class ServingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServingFuzz, AllOutputsMatchReference) {
+  Rng rng(GetParam());
+  const MiniTransformer model(fuzz_weights());
+  engine::ServingEngine::Config cfg;
+  cfg.pool_blocks = static_cast<std::uint32_t>(rng.uniform_int(24, 64));
+  cfg.block_size = static_cast<std::uint32_t>(rng.uniform_int(2, 6));
+  cfg.max_batch = rng.uniform_int(2, 5);
+  cfg.allow_preemption = true;
+  cfg.chunked_prefill = rng.bernoulli(0.5);
+  cfg.prefill_chunk = rng.uniform_int(1, 4);
+  engine::ServingEngine eng(model, cfg);
+
+  struct Submitted {
+    sched::RequestId id;
+    std::vector<TokenId> prompt;
+    std::int64_t out;
+  };
+  std::vector<Submitted> submitted;
+  const int n_requests = static_cast<int>(rng.uniform_int(4, 9));
+  for (int i = 0; i < n_requests; ++i) {
+    std::vector<TokenId> prompt;
+    const auto plen = rng.uniform_int(1, 8);
+    for (std::int64_t p = 0; p < plen; ++p)
+      prompt.push_back(static_cast<TokenId>(rng.uniform_int(0, 63)));
+    const auto out = rng.uniform_int(1, 12);
+    submitted.push_back({eng.submit(prompt, out), prompt, out});
+  }
+  eng.run_to_completion();
+
+  for (const auto& s : submitted) {
+    engine::GenerateOptions opts;
+    opts.max_new_tokens = s.out;
+    const auto ref = generate(model, s.prompt, opts);
+    ASSERT_EQ(eng.output(s.id), ref.tokens)
+        << "request " << s.id << " (pool " << cfg.pool_blocks << "x"
+        << cfg.block_size << ", batch " << cfg.max_batch << ", chunked "
+        << cfg.chunked_prefill << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingFuzz,
+                         ::testing::Values(101ull, 102ull, 103ull, 104ull, 105ull,
+                                           106ull, 107ull, 108ull));
+
+}  // namespace

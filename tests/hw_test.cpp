@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.h"
+#include "hw/device_model.h"
+#include "util/check.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace llmib::hw;
+using llmib::util::ContractViolation;
+
+TEST(Precision, BytesPerElement) {
+  EXPECT_EQ(bytes_per_element(Precision::kFP32), 4.0);
+  EXPECT_EQ(bytes_per_element(Precision::kFP16), 2.0);
+  EXPECT_EQ(bytes_per_element(Precision::kBF16), 2.0);
+  EXPECT_EQ(bytes_per_element(Precision::kFP8), 1.0);
+  EXPECT_EQ(bytes_per_element(Precision::kINT8), 1.0);
+  EXPECT_EQ(bytes_per_element(Precision::kINT4), 0.5);
+}
+
+TEST(Precision, NameRoundTrip) {
+  for (auto p : {Precision::kFP32, Precision::kTF32, Precision::kFP16,
+                 Precision::kBF16, Precision::kFP8, Precision::kINT8,
+                 Precision::kINT4}) {
+    EXPECT_EQ(precision_from_name(precision_name(p)), p);
+  }
+  EXPECT_THROW(precision_from_name("fp12"), ContractViolation);
+}
+
+// ---- Table II of the paper: registry contents --------------------------
+
+TEST(Registry, ContainsAllSevenPaperPlatforms) {
+  const auto& reg = AcceleratorRegistry::builtin();
+  for (const auto& name :
+       {"A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2", "SN40L"}) {
+    EXPECT_NO_THROW(reg.get(name)) << name;
+  }
+  EXPECT_EQ(reg.names().size(), 7u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(AcceleratorRegistry::builtin().get("TPUv4"), ContractViolation);
+  EXPECT_FALSE(AcceleratorRegistry::builtin().try_get("TPUv4").has_value());
+}
+
+TEST(Registry, Table2MemoryPerDevice) {
+  const auto& reg = AcceleratorRegistry::builtin();
+  EXPECT_EQ(reg.get("A100").memory_gb, 40);
+  EXPECT_EQ(reg.get("H100").memory_gb, 80);
+  EXPECT_EQ(reg.get("GH200").memory_gb, 96);
+  EXPECT_EQ(reg.get("MI250").memory_gb, 128);
+  EXPECT_EQ(reg.get("MI300X").memory_gb, 192);
+  EXPECT_EQ(reg.get("Gaudi2").memory_gb, 96);
+  EXPECT_EQ(reg.get("SN40L").memory_gb, 64);
+}
+
+TEST(Registry, Table2DevicesPerNode) {
+  const auto& reg = AcceleratorRegistry::builtin();
+  EXPECT_EQ(reg.get("A100").devices_per_node, 4);
+  EXPECT_EQ(reg.get("GH200").devices_per_node, 1);
+  EXPECT_EQ(reg.get("MI300X").devices_per_node, 8);
+  EXPECT_EQ(reg.get("Gaudi2").devices_per_node, 8);
+  EXPECT_EQ(reg.get("SN40L").devices_per_node, 8);
+}
+
+TEST(Registry, Fp8OnlyWhereHardwareHasIt) {
+  const auto& reg = AcceleratorRegistry::builtin();
+  EXPECT_FALSE(reg.get("A100").supports(Precision::kFP8));  // paper Fig. 3
+  EXPECT_TRUE(reg.get("H100").supports(Precision::kFP8));
+  EXPECT_TRUE(reg.get("Gaudi2").supports(Precision::kFP8));
+  EXPECT_FALSE(reg.get("MI250").supports(Precision::kFP8));
+}
+
+TEST(Registry, GenerationalPeaksOrdered) {
+  const auto& reg = AcceleratorRegistry::builtin();
+  EXPECT_GT(reg.get("H100").peak_for(Precision::kFP16),
+            reg.get("A100").peak_for(Precision::kFP16));
+  EXPECT_GT(reg.get("H100").hbm_bandwidth_gbs, reg.get("A100").hbm_bandwidth_gbs);
+  EXPECT_GT(reg.get("GH200").hbm_bandwidth_gbs, reg.get("H100").hbm_bandwidth_gbs);
+}
+
+TEST(Registry, SN40LHasThreeTierMemory) {
+  const auto& sn = AcceleratorRegistry::builtin().get("SN40L");
+  EXPECT_GT(sn.tier3_memory_gb, 0);
+  EXPECT_GT(sn.tier3_bandwidth_gbs, 0);
+  EXPECT_GT(sn.fixed_request_latency_s, 0);  // TTFT mechanism (Fig. 21)
+}
+
+TEST(Registry, Gaudi2IsStaticShape) {
+  EXPECT_TRUE(AcceleratorRegistry::builtin().get("Gaudi2").static_shape_kv);
+  EXPECT_FALSE(AcceleratorRegistry::builtin().get("A100").static_shape_kv);
+}
+
+TEST(Registry, RejectsInvalidSpecs) {
+  AcceleratorRegistry reg;
+  AcceleratorSpec bad;
+  bad.name = "X";
+  EXPECT_THROW(reg.register_spec(bad), ContractViolation);  // no bandwidth
+}
+
+TEST(Registry, RejectsDuplicates) {
+  AcceleratorRegistry reg;
+  AcceleratorSpec s = AcceleratorRegistry::builtin().get("A100");
+  reg.register_spec(s);
+  EXPECT_THROW(reg.register_spec(s), ContractViolation);
+}
+
+TEST(Spec, PeakForUnsupportedThrows) {
+  const auto& mi250 = AcceleratorRegistry::builtin().get("MI250");
+  EXPECT_THROW(mi250.peak_for(Precision::kFP8), ContractViolation);
+}
+
+// ---- DeviceModel --------------------------------------------------------
+
+class DeviceModelAllAccels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeviceModelAllAccels, RooflineBasics) {
+  const auto& spec = AcceleratorRegistry::builtin().get(GetParam());
+  const Precision p = spec.supports(Precision::kFP16) ? Precision::kFP16
+                                                      : Precision::kBF16;
+  const DeviceModel dev(spec, p);
+  EXPECT_GT(dev.peak_flops(), 0);
+  EXPECT_GT(dev.peak_bandwidth_bytes(), 0);
+  // Bandwidth never exceeds the datasheet number.
+  EXPECT_LE(dev.peak_bandwidth_bytes(), spec.hbm_bandwidth_gbs * 1e9 + 1);
+  // Zero work costs zero.
+  const Efficiency eff;
+  EXPECT_EQ(dev.compute_time_s(0, eff, 1), 0.0);
+  EXPECT_EQ(dev.memory_time_s(0, eff), 0.0);
+  // Usable memory is positive but below the full capacity.
+  EXPECT_GT(dev.usable_memory_bytes(), 0);
+  EXPECT_LT(dev.usable_memory_bytes(), spec.memory_gb * llmib::util::kGiB);
+}
+
+TEST_P(DeviceModelAllAccels, UtilizationRampMonotone) {
+  const auto& spec = AcceleratorRegistry::builtin().get(GetParam());
+  const Precision p = spec.supports(Precision::kFP16) ? Precision::kFP16
+                                                      : Precision::kBF16;
+  const DeviceModel dev(spec, p);
+  double prev = 0;
+  for (double t : {1.0, 4.0, 16.0, 64.0, 256.0, 4096.0}) {
+    const double u = dev.utilization_ramp(t);
+    EXPECT_GT(u, prev);
+    EXPECT_LT(u, 1.0);
+    prev = u;
+  }
+  EXPECT_EQ(dev.utilization_ramp(0), 0.0);
+}
+
+TEST_P(DeviceModelAllAccels, KernelTimeMonotoneInWork) {
+  const auto& spec = AcceleratorRegistry::builtin().get(GetParam());
+  const Precision p = spec.supports(Precision::kFP16) ? Precision::kFP16
+                                                      : Precision::kBF16;
+  const DeviceModel dev(spec, p);
+  const Efficiency eff{0.8, 0.8};
+  const double t1 = dev.kernel_time_s({1e12, 1e9}, eff, 16, 16);
+  const double t2 = dev.kernel_time_s({2e12, 2e9}, eff, 16, 16);
+  EXPECT_GT(t2, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAccelerators, DeviceModelAllAccels,
+                         ::testing::Values("A100", "H100", "GH200", "MI250",
+                                           "MI300X", "Gaudi2", "SN40L"));
+
+TEST(DeviceModel, SaturationDerateOnlyPastSaturation) {
+  const auto& mi250 = AcceleratorRegistry::builtin().get("MI250");
+  const DeviceModel dev(mi250, Precision::kFP16);
+  EXPECT_DOUBLE_EQ(dev.saturation_derate(1), 1.0);
+  EXPECT_DOUBLE_EQ(dev.saturation_derate(mi250.saturation_batch), 1.0);
+  EXPECT_GT(dev.saturation_derate(64), 1.0);
+}
+
+TEST(DeviceModel, NoSaturationPenaltyOnNvidia) {
+  const DeviceModel dev(AcceleratorRegistry::builtin().get("H100"), Precision::kFP16);
+  EXPECT_DOUBLE_EQ(dev.saturation_derate(512), 1.0);
+}
+
+TEST(DeviceModel, UnsupportedPrecisionThrows) {
+  const auto& a100 = AcceleratorRegistry::builtin().get("A100");
+  EXPECT_THROW(DeviceModel(a100, Precision::kFP8), ContractViolation);
+}
+
+TEST(DeviceModel, MemoryBoundKernelUsesBandwidth) {
+  const DeviceModel dev(AcceleratorRegistry::builtin().get("A100"), Precision::kFP16);
+  const Efficiency eff{1.0, 1.0};
+  // 16 GB at ~1555 GB/s should take ~10 ms.
+  const double t = dev.memory_time_s(16e9, eff);
+  EXPECT_NEAR(t, 16e9 / (1555e9), t * 0.01);
+}
+
+TEST(DeviceModel, AchievedUtilizationBounded) {
+  const DeviceModel dev(AcceleratorRegistry::builtin().get("A100"), Precision::kFP16);
+  EXPECT_EQ(dev.achieved_compute_utilization({1e12, 0}, 0), 0.0);
+  const double u = dev.achieved_compute_utilization({1e12, 0}, 1e-3);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+TEST(Interconnect, Names) {
+  EXPECT_EQ(interconnect_name(InterconnectKind::kNVLink), "NVLink");
+  EXPECT_EQ(interconnect_name(InterconnectKind::kRoCE), "RoCE v2");
+  EXPECT_EQ(interconnect_name(InterconnectKind::kNone), "N/A");
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/int4.h"
+#include "quant/numeric.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib::quant;
+using llmib::util::Rng;
+
+std::vector<float> random_weights(std::size_t n, double stddev = 1.0,
+                                  std::uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<float> w(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0, stddev));
+  return w;
+}
+
+TEST(Int4, CodesWithinNibbleRange) {
+  const auto w = random_weights(8 * 64);
+  const auto q = Int4Matrix::quantize(w, 8, 64, 32);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 64; ++c) EXPECT_LE(q.code_at(r, c), 15);
+}
+
+TEST(Int4, RoundTripErrorBoundedByGroupRange) {
+  const auto w = random_weights(4 * 128);
+  const auto q = Int4Matrix::quantize(w, 4, 128, 32);
+  const auto back = q.dequantize();
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t g = 0; g < 128 / 32; ++g) {
+      float lo = 0, hi = 0;
+      for (std::size_t i = 0; i < 32; ++i) {
+        lo = std::min(lo, w[r * 128 + g * 32 + i]);
+        hi = std::max(hi, w[r * 128 + g * 32 + i]);
+      }
+      const float step = (hi - lo) / 15.0f;
+      for (std::size_t i = 0; i < 32; ++i) {
+        const std::size_t c = g * 32 + i;
+        EXPECT_LE(std::fabs(back[r * 128 + c] - w[r * 128 + c]), step * 0.6f + 1e-4f)
+            << "r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(Int4, ZeroIsRepresentable) {
+  // GPTQ convention: the grid always contains 0 so sparse weights survive.
+  std::vector<float> w(2 * 32, 0.0f);
+  w[5] = 3.0f;  // group range [0, 3]
+  const auto q = Int4Matrix::quantize(w, 2, 32, 32);
+  const auto back = q.dequantize();
+  EXPECT_EQ(back[0], 0.0f);
+  EXPECT_NEAR(back[5], 3.0f, 0.25f);
+}
+
+TEST(Int4, SmallerGroupsAreMoreAccurate) {
+  const auto w = random_weights(8 * 256, 1.0, 11);
+  const auto coarse = Int4Matrix::quantize(w, 8, 256, 256);
+  const auto fine = Int4Matrix::quantize(w, 8, 256, 32);
+  const auto e_coarse = quant_error(w, coarse.dequantize());
+  const auto e_fine = quant_error(w, fine.dequantize());
+  EXPECT_LT(e_fine.rmse, e_coarse.rmse);
+}
+
+TEST(Int4, GemvMatchesDequantizedGemv) {
+  Rng rng(13);
+  const std::size_t rows = 16, cols = 128;
+  const auto w = random_weights(rows * cols, 0.5, 17);
+  std::vector<float> x(cols);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  const auto q = Int4Matrix::quantize(w, rows, cols, 32);
+  // Reference: GEMV against the dequantized weights.
+  const auto dq = q.dequantize();
+  std::vector<float> y_ref(rows, 0.0f), y_q(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) y_ref[r] += dq[r * cols + c] * x[c];
+  q.gemv(x, y_q);
+  for (std::size_t r = 0; r < rows; ++r) EXPECT_NEAR(y_q[r], y_ref[r], 1e-3f);
+}
+
+TEST(Int4, GemvReasonablyCloseToFp32) {
+  Rng rng(19);
+  const std::size_t rows = 16, cols = 256;
+  const auto w = random_weights(rows * cols, 0.3, 23);
+  std::vector<float> x(cols);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  std::vector<float> y_ref(rows, 0.0f), y_q(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) y_ref[r] += w[r * cols + c] * x[c];
+  const auto q = Int4Matrix::quantize(w, rows, cols, 64);
+  q.gemv(x, y_q);
+  EXPECT_LT(quant_error(y_ref, y_q).rel_rmse, 0.10);  // int4 is lossy but usable
+}
+
+TEST(Int4, StorageIsQuarterOfFp16) {
+  const auto w = random_weights(64 * 512);
+  const auto q = Int4Matrix::quantize(w, 64, 512, 128);
+  const std::size_t fp16_bytes = 64 * 512 * 2;
+  EXPECT_LT(q.bytes(), fp16_bytes / 3);  // ~4x smaller + group metadata
+}
+
+TEST(Int4, RejectsBadShapes) {
+  const auto w = random_weights(4 * 32);
+  EXPECT_THROW(Int4Matrix::quantize(w, 4, 32, 5), std::invalid_argument);   // 5 !| 32
+  EXPECT_THROW(Int4Matrix::quantize(w, 4, 33, 33), std::invalid_argument);  // odd cols
+  EXPECT_THROW(Int4Matrix::quantize(w, 5, 32, 32), std::invalid_argument);  // size
+  const auto q = Int4Matrix::quantize(w, 4, 32, 32);
+  std::vector<float> x(16), y(4);
+  EXPECT_THROW(q.gemv(x, y), std::invalid_argument);
+  EXPECT_THROW(q.code_at(4, 0), std::out_of_range);
+}
+
+class Int4GroupSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Int4GroupSizes, DeterministicAndBounded) {
+  const auto w = random_weights(8 * 256, 2.0, 29);
+  const auto a = Int4Matrix::quantize(w, 8, 256, GetParam());
+  const auto b = Int4Matrix::quantize(w, 8, 256, GetParam());
+  EXPECT_EQ(a.dequantize(), b.dequantize());
+  EXPECT_LT(quant_error(w, a.dequantize()).rel_rmse, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, Int4GroupSizes,
+                         ::testing::Values<std::size_t>(16, 32, 64, 128, 256));
+
+}  // namespace

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "kv/paged_allocator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib::kv;
+using llmib::util::ContractViolation;
+using llmib::util::Rng;
+
+// ---- PagedKvAllocator -------------------------------------------------------
+
+TEST(Paged, AllocatesBlocksOnDemand) {
+  PagedKvAllocator a(10, 4);
+  a.create_sequence(1);
+  EXPECT_TRUE(a.append_tokens(1, 3));
+  EXPECT_EQ(a.block_table(1).size(), 1u);  // 3 tokens fit one block of 4
+  EXPECT_TRUE(a.append_tokens(1, 1));
+  EXPECT_EQ(a.block_table(1).size(), 1u);  // exactly full
+  EXPECT_TRUE(a.append_tokens(1, 1));
+  EXPECT_EQ(a.block_table(1).size(), 2u);  // spilled into a second block
+  EXPECT_EQ(a.sequence_length(1), 5u);
+}
+
+TEST(Paged, ExhaustionReturnsFalseWithoutPartialAppend) {
+  PagedKvAllocator a(2, 4);
+  a.create_sequence(1);
+  EXPECT_TRUE(a.append_tokens(1, 8));
+  a.create_sequence(2);
+  EXPECT_FALSE(a.append_tokens(2, 1));
+  EXPECT_EQ(a.sequence_length(2), 0u);
+  EXPECT_EQ(a.free_blocks(), 0u);
+}
+
+TEST(Paged, FreeReturnsBlocks) {
+  PagedKvAllocator a(4, 2);
+  a.create_sequence(1);
+  ASSERT_TRUE(a.append_tokens(1, 8));
+  EXPECT_EQ(a.free_blocks(), 0u);
+  a.free_sequence(1);
+  EXPECT_EQ(a.free_blocks(), 4u);
+  // Blocks are reusable.
+  a.create_sequence(2);
+  EXPECT_TRUE(a.append_tokens(2, 8));
+}
+
+TEST(Paged, CanFitChecksBlockGranularity) {
+  PagedKvAllocator a(2, 4);
+  EXPECT_TRUE(a.can_fit(8));
+  EXPECT_FALSE(a.can_fit(9));
+  a.create_sequence(1);
+  ASSERT_TRUE(a.append_tokens(1, 5));  // takes 2 blocks
+  EXPECT_FALSE(a.can_fit(1));
+}
+
+TEST(Paged, StatsTrackFragmentation) {
+  PagedKvAllocator a(8, 16);
+  a.create_sequence(1);
+  ASSERT_TRUE(a.append_tokens(1, 17));  // 2 blocks, 15 slack
+  const auto s = a.stats();
+  EXPECT_EQ(s.capacity_tokens, 128u);
+  EXPECT_EQ(s.stored_tokens, 17u);
+  EXPECT_EQ(s.reserved_tokens, 32u);
+  EXPECT_EQ(s.wasted_tokens(), 15u);
+  EXPECT_EQ(s.live_sequences, 1u);
+}
+
+TEST(Paged, ContractErrors) {
+  PagedKvAllocator a(4, 4);
+  EXPECT_THROW(a.append_tokens(9, 1), ContractViolation);
+  EXPECT_THROW(a.sequence_length(9), ContractViolation);
+  EXPECT_THROW(a.free_sequence(9), ContractViolation);
+  a.create_sequence(1);
+  EXPECT_THROW(a.create_sequence(1), ContractViolation);
+  EXPECT_THROW(PagedKvAllocator(0, 4), ContractViolation);
+  EXPECT_THROW(PagedKvAllocator(4, 0), ContractViolation);
+}
+
+TEST(Paged, BlockTablesAreDisjoint) {
+  PagedKvAllocator a(16, 2);
+  a.create_sequence(1);
+  a.create_sequence(2);
+  ASSERT_TRUE(a.append_tokens(1, 7));
+  ASSERT_TRUE(a.append_tokens(2, 9));
+  std::vector<bool> seen(16, false);
+  for (SeqId id : {SeqId{1}, SeqId{2}}) {
+    for (BlockId b : a.block_table(id)) {
+      ASSERT_LT(b, 16u);
+      EXPECT_FALSE(seen[b]) << "block " << b << " double-assigned";
+      seen[b] = true;
+    }
+  }
+}
+
+// Property: random create/append/free workload conserves blocks.
+TEST(Paged, PropertyRandomWorkloadConservesBlocks) {
+  Rng rng(99);
+  PagedKvAllocator a(64, 8);
+  std::vector<SeqId> live;
+  SeqId next = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double r = rng.next_double();
+    if (r < 0.3 || live.empty()) {
+      a.create_sequence(next);
+      live.push_back(next);
+      ++next;
+    } else if (r < 0.8) {
+      const auto& id = live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+      a.append_tokens(id, static_cast<std::uint64_t>(rng.uniform_int(1, 12)));
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      a.free_sequence(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    // Invariant: used + free == total.
+    std::uint64_t used = 0;
+    for (SeqId id : live) used += a.block_table(id).size();
+    EXPECT_EQ(used + a.free_blocks(), 64u);
+    const auto s = a.stats();
+    EXPECT_LE(s.stored_tokens, s.reserved_tokens);
+  }
+}
+
+// ---- ContiguousKvAllocator --------------------------------------------------
+
+TEST(Contiguous, ReservationSemantics) {
+  ContiguousKvAllocator a(100);
+  EXPECT_TRUE(a.reserve(1, 60));
+  EXPECT_FALSE(a.reserve(2, 50));  // would exceed capacity
+  EXPECT_TRUE(a.reserve(2, 40));
+  a.append_tokens(1, 10);
+  EXPECT_EQ(a.sequence_length(1), 10u);
+  const auto s = a.stats();
+  EXPECT_EQ(s.reserved_tokens, 100u);
+  EXPECT_EQ(s.stored_tokens, 10u);
+  EXPECT_EQ(s.wasted_tokens(), 90u);
+}
+
+TEST(Contiguous, AppendOverflowThrows) {
+  ContiguousKvAllocator a(10);
+  ASSERT_TRUE(a.reserve(1, 5));
+  a.append_tokens(1, 5);
+  EXPECT_THROW(a.append_tokens(1, 1), ContractViolation);
+}
+
+TEST(Contiguous, FreeReleasesReservation) {
+  ContiguousKvAllocator a(10);
+  ASSERT_TRUE(a.reserve(1, 10));
+  EXPECT_FALSE(a.can_fit(1));
+  a.free_sequence(1);
+  EXPECT_TRUE(a.can_fit(10));
+}
+
+TEST(Contiguous, ContractErrors) {
+  ContiguousKvAllocator a(10);
+  EXPECT_THROW(a.append_tokens(3, 1), ContractViolation);
+  EXPECT_THROW(a.reserve(1, 0), ContractViolation);
+  ASSERT_TRUE(a.reserve(1, 2));
+  EXPECT_THROW(a.reserve(1, 2), ContractViolation);
+  EXPECT_THROW(ContiguousKvAllocator(0), ContractViolation);
+}
+
+// Paged beats contiguous on concurrency under the same capacity — the core
+// PagedAttention claim (paper §IV-B.2).
+TEST(PagedVsContiguous, PagedAdmitsMoreSequences) {
+  // Capacity 64 tokens; sequences actually use 8 tokens but may grow to 32.
+  ContiguousKvAllocator contiguous(64);
+  PagedKvAllocator paged(8, 8);  // same 64 tokens in 8-token blocks
+  int contiguous_admitted = 0, paged_admitted = 0;
+  for (SeqId id = 0; id < 8; ++id) {
+    if (contiguous.reserve(id, 32)) ++contiguous_admitted;  // worst-case reserve
+    paged.create_sequence(id);
+    if (paged.append_tokens(id, 8)) ++paged_admitted;  // allocate as used
+  }
+  EXPECT_EQ(contiguous_admitted, 2);
+  EXPECT_EQ(paged_admitted, 8);
+}
+
+// ---- Block-size efficiency curve (Fig. 2b) ---------------------------------
+
+TEST(BlockEfficiency, MonotoneNondecreasing) {
+  double prev = 0;
+  for (std::uint32_t b : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const double e = paged_attention_bw_efficiency(b);
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST(BlockEfficiency, PaperRatioBlock16Over8) {
+  // Fig. 2b: block 16 about 1.27x the throughput of block 8.
+  const double ratio =
+      paged_attention_bw_efficiency(16) / paged_attention_bw_efficiency(8);
+  EXPECT_NEAR(ratio, 1.27, 0.15);
+}
+
+TEST(BlockEfficiency, FlatAtOrAbove16) {
+  // Paper: "any block size >= 16 produces optimal throughput".
+  const double e16 = paged_attention_bw_efficiency(16);
+  const double e128 = paged_attention_bw_efficiency(128);
+  EXPECT_LT(e128 / e16, 1.06);
+}
+
+TEST(BlockEfficiency, RejectsZero) {
+  EXPECT_THROW(paged_attention_bw_efficiency(0), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "models/config.h"
+#include "models/costs.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::models;
+using llmib::util::ContractViolation;
+
+const ModelRegistry& reg() { return ModelRegistry::builtin(); }
+
+// ---- Table I fidelity ----------------------------------------------------
+
+TEST(Registry, ContainsAllTable1Models) {
+  for (const auto& name : ModelRegistry::table1_names())
+    EXPECT_NO_THROW(reg().get(name)) << name;
+}
+
+TEST(Registry, ContainsPerplexityZooAndDraft) {
+  for (const auto& name : ModelRegistry::perplexity_zoo_names())
+    EXPECT_NO_THROW(reg().get(name)) << name;
+  EXPECT_NO_THROW(reg().get("LLaMA-68M"));
+}
+
+TEST(Registry, UnknownModelThrows) {
+  EXPECT_THROW(reg().get("GPT-5"), ContractViolation);
+}
+
+TEST(Table1, Llama2_7bRow) {
+  const auto& m = reg().get("LLaMA-2-7B");
+  EXPECT_EQ(m.n_layers, 32);
+  EXPECT_EQ(m.hidden_size, 4096);
+  EXPECT_EQ(m.attention, AttentionKind::kMHSA);
+  EXPECT_EQ(m.n_heads, 32);
+  EXPECT_EQ(m.n_kv_heads, 32);
+  EXPECT_EQ(m.ffn_intermediate, 11008);
+  EXPECT_EQ(m.vocab_size, 32000);
+  EXPECT_EQ(m.max_seq_len, 4096);
+}
+
+TEST(Table1, Llama3_8bRow) {
+  const auto& m = reg().get("LLaMA-3-8B");
+  EXPECT_EQ(m.attention, AttentionKind::kGQA);
+  EXPECT_EQ(m.n_kv_heads, 8);
+  EXPECT_EQ(m.ffn_intermediate, 14336);
+  EXPECT_EQ(m.vocab_size, 128256);
+  // Paper: "vocab size four times larger than Mistral".
+  EXPECT_NEAR(static_cast<double>(m.vocab_size) / reg().get("Mistral-7B").vocab_size,
+              4.0, 0.1);
+}
+
+TEST(Table1, MixtralIsMoE) {
+  const auto& m = reg().get("Mixtral-8x7B");
+  EXPECT_EQ(m.ffn, FfnKind::kMoE);
+  EXPECT_EQ(m.n_experts, 8);
+  EXPECT_EQ(m.experts_active, 2);
+}
+
+TEST(Table1, SeventyBModels) {
+  for (const auto& name : {"LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B"}) {
+    const auto& m = reg().get(name);
+    EXPECT_EQ(m.n_layers, 80) << name;
+    EXPECT_EQ(m.hidden_size, 8192) << name;
+    EXPECT_EQ(m.n_heads, 64) << name;
+    EXPECT_EQ(m.n_kv_heads, 8) << name;
+  }
+}
+
+TEST(Table1, KvHeadTotals) {
+  // Paper §IV-B.4: LLaMA-3-8B and Mistral-7B have 256 KV heads total;
+  // DeciLM-7B's NAS picked 67.
+  EXPECT_EQ(reg().get("LLaMA-3-8B").total_kv_heads(), 256);
+  EXPECT_EQ(reg().get("Mistral-7B").total_kv_heads(), 256);
+  EXPECT_EQ(reg().get("DeciLM-7B").total_kv_heads(), 67);
+  EXPECT_EQ(reg().get("LLaMA-2-7B").total_kv_heads(), 32 * 32);
+}
+
+// ---- Parameter counts ----------------------------------------------------
+
+TEST(Params, Llama2_7bAboutSevenBillion) {
+  const auto p = reg().get("LLaMA-2-7B").total_params();
+  EXPECT_GT(p, 6.4e9);
+  EXPECT_LT(p, 7.1e9);
+}
+
+TEST(Params, Llama3_8bAboutEightBillion) {
+  const auto p = reg().get("LLaMA-3-8B").total_params();
+  EXPECT_GT(p, 7.7e9);
+  EXPECT_LT(p, 8.4e9);
+}
+
+TEST(Params, SeventyBInRange) {
+  const auto p = reg().get("LLaMA-2-70B").total_params();
+  EXPECT_GT(p, 66e9);
+  EXPECT_LT(p, 72e9);
+}
+
+TEST(Params, MixtralTotalVsActive) {
+  const auto& m = reg().get("Mixtral-8x7B");
+  // Paper: ~45B total, effectively ~13-14B active (2 of 8 experts).
+  EXPECT_GT(m.total_params(), 42e9);
+  EXPECT_LT(m.total_params(), 49e9);
+  EXPECT_GT(m.active_params(), 11e9);
+  EXPECT_LT(m.active_params(), 15e9);
+}
+
+TEST(Params, DenseActiveEqualsTotal) {
+  const auto& m = reg().get("Mistral-7B");
+  EXPECT_EQ(m.total_params(), m.active_params());
+}
+
+TEST(Params, GqaShrinksAttention) {
+  const auto& l2 = reg().get("LLaMA-2-7B");
+  const auto& mistral = reg().get("Mistral-7B");
+  EXPECT_GT(l2.attention_params_per_layer(), mistral.attention_params_per_layer());
+}
+
+// ---- Validation ----------------------------------------------------------
+
+TEST(Validation, RejectsBadConfigs) {
+  ModelConfig m = reg().get("LLaMA-2-7B");
+  m.n_kv_heads = 5;  // does not divide 32
+  EXPECT_THROW(m.validate(), ContractViolation);
+
+  m = reg().get("LLaMA-2-7B");
+  m.attention = AttentionKind::kMHSA;
+  m.n_kv_heads = 8;  // MHSA requires kv == heads
+  EXPECT_THROW(m.validate(), ContractViolation);
+
+  m = reg().get("Mixtral-8x7B");
+  m.experts_active = 9;  // > n_experts
+  EXPECT_THROW(m.validate(), ContractViolation);
+
+  m = reg().get("LLaMA-2-7B");
+  m.kv_heads_per_layer = {1, 2};  // wrong length
+  EXPECT_THROW(m.validate(), ContractViolation);
+}
+
+TEST(Validation, HeadDimOverride) {
+  const auto& gemma = reg().get("Gemma-7B");
+  EXPECT_EQ(gemma.head_dim(), 256);  // explicit override
+  EXPECT_EQ(reg().get("LLaMA-2-7B").head_dim(), 128);
+}
+
+// ---- Cost model ------------------------------------------------------------
+
+CostModel make_costs(const std::string& name, CostOptions opt = {}) {
+  return CostModel(reg().get(name), opt);
+}
+
+TEST(Costs, WeightBytesScaleWithPrecision) {
+  CostOptions fp16;
+  CostOptions int8;
+  int8.weight_bytes_per_param = 1.0;
+  const auto w16 = make_costs("LLaMA-2-7B", fp16).weight_bytes();
+  const auto w8 = make_costs("LLaMA-2-7B", int8).weight_bytes();
+  EXPECT_NEAR(w16 / w8, 2.0, 1e-9);
+}
+
+TEST(Costs, KvBytesPerTokenGqaVsMhsa) {
+  // LLaMA-2-7B (MHSA, 32 kv heads) vs LLaMA-3-8B (GQA, 8 kv heads): 4x.
+  const auto mhsa = make_costs("LLaMA-2-7B").kv_bytes_per_token();
+  const auto gqa = make_costs("LLaMA-3-8B").kv_bytes_per_token();
+  EXPECT_NEAR(mhsa / gqa, 4.0, 1e-9);
+}
+
+TEST(Costs, GqaUnawareExpandsKv) {
+  CostOptions aware;
+  CostOptions unaware;
+  unaware.gqa_aware = false;
+  const auto kv_aware = make_costs("LLaMA-3-8B", aware).kv_bytes_per_token();
+  const auto kv_unaware = make_costs("LLaMA-3-8B", unaware).kv_bytes_per_token();
+  EXPECT_NEAR(kv_unaware / kv_aware, 4.0, 1e-9);
+  // MHSA models are unaffected.
+  EXPECT_EQ(make_costs("LLaMA-2-7B", aware).kv_bytes_per_token(),
+            make_costs("LLaMA-2-7B", unaware).kv_bytes_per_token());
+}
+
+TEST(Costs, DeciLmKvIsTinyFraction) {
+  // 67 vs 256 total KV heads (paper Fig. 4a rationale).
+  const auto deci = make_costs("DeciLM-7B").kv_bytes_per_token();
+  const auto l3 = make_costs("LLaMA-3-8B").kv_bytes_per_token();
+  EXPECT_NEAR(deci / l3, 67.0 / 256.0, 1e-9);
+}
+
+TEST(Costs, DecodeFlopsGrowWithContext) {
+  const auto c = make_costs("LLaMA-3-8B");
+  EXPECT_LT(c.decode_flops(1, 128), c.decode_flops(1, 2048));
+}
+
+TEST(Costs, DecodeFlopsLinearInBatch) {
+  const auto c = make_costs("LLaMA-3-8B");
+  EXPECT_NEAR(c.decode_flops(8, 512) / c.decode_flops(1, 512), 8.0, 1e-9);
+}
+
+TEST(Costs, PrefillFlopsSuperlinearInSeq) {
+  const auto c = make_costs("LLaMA-3-8B");
+  // Quadratic attention term: doubling seq more than doubles FLOPs.
+  EXPECT_GT(c.prefill_flops(4096), 2.0 * c.prefill_flops(2048));
+}
+
+TEST(Costs, PerTokenFlopsAboutTwiceParams) {
+  // Standard rule of thumb: ~2 FLOPs per active parameter per token.
+  const auto& m = reg().get("LLaMA-2-7B");
+  const auto c = make_costs("LLaMA-2-7B");
+  const double per_token = c.linear_flops_per_token() + c.lm_head_flops();
+  const double nonembed =
+      static_cast<double>(m.total_params()) - m.embedding_params() / 2.0;
+  EXPECT_NEAR(per_token / (2.0 * nonembed), 1.0, 0.05);
+}
+
+TEST(Costs, MoeExpectedExpertsTouched) {
+  const auto c = make_costs("Mixtral-8x7B");
+  EXPECT_NEAR(c.expected_experts_touched(1), 2.0, 1e-9);
+  EXPECT_GT(c.expected_experts_touched(8), 4.0);
+  EXPECT_LT(c.expected_experts_touched(1000), 8.0 + 1e-9);
+  // Dense models always touch "one expert".
+  EXPECT_EQ(make_costs("Mistral-7B").expected_experts_touched(64), 1.0);
+}
+
+TEST(Costs, MoeWeightTrafficGrowsWithBatch) {
+  const auto c = make_costs("Mixtral-8x7B");
+  const double b1 = c.weight_bytes_touched(1);
+  const double b64 = c.weight_bytes_touched(64);
+  EXPECT_LT(b1, b64);
+  EXPECT_LE(b64, c.weight_bytes() + 1);
+  // At batch 1 only ~2/8 of the expert weights stream.
+  EXPECT_LT(b1, 0.55 * c.weight_bytes());
+}
+
+TEST(Costs, DenseWeightTrafficIndependentOfBatch) {
+  const auto c = make_costs("LLaMA-3-8B");
+  EXPECT_EQ(c.weight_bytes_touched(1), c.weight_bytes_touched(64));
+}
+
+TEST(Costs, NoKvCacheInflatesDecodeFlops) {
+  CostOptions with, without;
+  without.kv_cache_enabled = false;
+  const auto cw = make_costs("LLaMA-2-7B", with);
+  const auto co = make_costs("LLaMA-2-7B", without);
+  EXPECT_GT(co.decode_flops(1, 1024), 100.0 * cw.decode_flops(1, 1024) / 2.0);
+}
+
+TEST(Costs, RejectsBadArguments) {
+  const auto c = make_costs("LLaMA-2-7B");
+  EXPECT_THROW(c.decode_flops(0, 10), ContractViolation);
+  EXPECT_THROW(c.decode_bytes(1, -1), ContractViolation);
+  EXPECT_THROW(c.prefill_flops(0), ContractViolation);
+  EXPECT_THROW(c.weight_bytes_touched(0), ContractViolation);
+}
+
+// Property sweep: for every Table-I model, basic cost invariants hold.
+class CostInvariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CostInvariants, PositiveAndMonotone) {
+  const auto c = make_costs(GetParam());
+  EXPECT_GT(c.weight_bytes(), 0);
+  EXPECT_GT(c.kv_bytes_per_token(), 0);
+  EXPECT_GT(c.lm_head_flops(), 0);
+  // Decode bytes grow with context (KV reads).
+  EXPECT_LT(c.decode_bytes(4, 128), c.decode_bytes(4, 2048));
+  // Prefill bytes grow with batch.
+  EXPECT_LT(c.prefill_bytes(1, 512), c.prefill_bytes(16, 512));
+  // Attention FLOPs scale linearly with context.
+  EXPECT_NEAR(c.attention_flops_per_token(1024) / c.attention_flops_per_token(512),
+              2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CostInvariants,
+                         ::testing::ValuesIn(ModelRegistry::table1_names()));
+
+}  // namespace

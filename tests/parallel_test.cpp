@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.h"
+#include "models/config.h"
+#include "parallel/comm.h"
+#include "parallel/plan.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::parallel;
+using llmib::util::ContractViolation;
+
+const llmib::models::ModelConfig& model(const std::string& name) {
+  return llmib::models::ModelRegistry::builtin().get(name);
+}
+
+const llmib::hw::AcceleratorSpec& accel(const std::string& name) {
+  return llmib::hw::AcceleratorRegistry::builtin().get(name);
+}
+
+// ---- ParallelPlan -----------------------------------------------------------
+
+TEST(Plan, DevicesIsProduct) {
+  ParallelPlan p{2, 2, 2};
+  EXPECT_EQ(p.devices(), 8);
+  EXPECT_EQ(p.to_string(), "TP=2,PP=2,EP=2");
+}
+
+TEST(Plan, ValidatesHeadDivisibility) {
+  ParallelPlan p;
+  p.tp = 4;
+  EXPECT_NO_THROW(p.validate(model("LLaMA-3-8B")));  // 32 heads / 4
+  p.tp = 5;
+  EXPECT_THROW(p.validate(model("LLaMA-3-8B")), ContractViolation);
+}
+
+TEST(Plan, ValidatesLayerDivisibility) {
+  ParallelPlan p;
+  p.pp = 4;
+  EXPECT_NO_THROW(p.validate(model("LLaMA-3-8B")));  // 32 layers / 4
+  p.pp = 3;
+  EXPECT_THROW(p.validate(model("LLaMA-3-8B")), ContractViolation);
+}
+
+TEST(Plan, EpOnlyForMoE) {
+  ParallelPlan p;
+  p.ep = 2;
+  EXPECT_NO_THROW(p.validate(model("Mixtral-8x7B")));
+  EXPECT_THROW(p.validate(model("LLaMA-3-8B")), ContractViolation);
+  p.ep = 3;  // does not divide 8 experts
+  EXPECT_THROW(p.validate(model("Mixtral-8x7B")), ContractViolation);
+}
+
+TEST(Plan, RejectsNonPositiveDegrees) {
+  ParallelPlan p;
+  p.tp = 0;
+  EXPECT_THROW(p.validate(model("LLaMA-3-8B")), ContractViolation);
+}
+
+TEST(Plan, ShardFractions) {
+  EXPECT_DOUBLE_EQ(weight_shard_fraction({4, 1, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(weight_shard_fraction({2, 2, 2}), 0.125);
+  // KV: TP and PP shard it; EP replicates.
+  EXPECT_DOUBLE_EQ(kv_shard_fraction({4, 1, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(kv_shard_fraction({2, 2, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(kv_shard_fraction({1, 1, 4}), 1.0);
+}
+
+// ---- CommModel ---------------------------------------------------------------
+
+TEST(Comm, SingleDeviceIsFree) {
+  const CommModel c(accel("A100"));
+  EXPECT_EQ(c.allreduce_s(1e6, 1), 0.0);
+  EXPECT_EQ(c.allgather_s(1e6, 1), 0.0);
+  EXPECT_EQ(c.alltoall_s(1e6, 1), 0.0);
+}
+
+TEST(Comm, ZeroBytesIsFree) {
+  const CommModel c(accel("A100"));
+  EXPECT_EQ(c.allreduce_s(0, 4), 0.0);
+  EXPECT_EQ(c.p2p_s(0), 0.0);
+}
+
+TEST(Comm, MonotoneInBytes) {
+  const CommModel c(accel("H100"));
+  EXPECT_LT(c.allreduce_s(1e6, 4), c.allreduce_s(1e8, 4));
+  EXPECT_LT(c.p2p_s(1e6), c.p2p_s(1e8));
+}
+
+TEST(Comm, LatencyGrowsWithDeviceCount) {
+  const CommModel c(accel("A100"));
+  // Small message: latency-dominated, more hops = more time.
+  EXPECT_LT(c.allreduce_s(1024, 2), c.allreduce_s(1024, 8));
+}
+
+TEST(Comm, BandwidthTermApproachesTwoXForLargeRings) {
+  const CommModel c(accel("A100"));
+  // Large message: ring all-reduce moves ~2x the data regardless of n.
+  const double bytes = 1e9;
+  const double t4 = c.allreduce_s(bytes, 4);
+  const double expected = 2.0 * 3.0 / 4.0 * bytes / c.link_bandwidth_bytes_s();
+  EXPECT_NEAR(t4, expected, expected * 0.05);
+}
+
+TEST(Comm, AllreduceCostsMoreThanAllgather) {
+  const CommModel c(accel("A100"));
+  EXPECT_GT(c.allreduce_s(1e8, 4), c.allgather_s(1e8, 4));
+}
+
+TEST(Comm, FasterInterconnectIsFaster) {
+  const CommModel nvlink(accel("H100"));   // 900 GB/s
+  const CommModel rdu(accel("SN40L"));     // PCIe-class
+  EXPECT_LT(nvlink.allreduce_s(1e8, 4), rdu.allreduce_s(1e8, 4));
+}
+
+TEST(Comm, RejectsBadArguments) {
+  const CommModel c(accel("A100"));
+  EXPECT_THROW(c.allreduce_s(-1, 2), ContractViolation);
+  EXPECT_THROW(c.allreduce_s(1, 0), ContractViolation);
+  EXPECT_THROW(c.p2p_s(-5), ContractViolation);
+}
+
+// Parameterized: comm cost properties hold on every interconnect family.
+class CommAllAccels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CommAllAccels, BasicProperties) {
+  const CommModel c(accel(GetParam()));
+  EXPECT_GT(c.link_bandwidth_bytes_s(), 0);
+  EXPECT_GT(c.link_latency_s(), 0);
+  double prev = 0;
+  for (int n : {2, 4, 8}) {
+    const double t = c.allreduce_s(1e7, n);
+    EXPECT_GT(t, 0);
+    EXPECT_GT(t, prev * 0.5);  // roughly monotone-ish with n at fixed bytes
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAccelerators, CommAllAccels,
+                         ::testing::Values("A100", "H100", "GH200", "MI250",
+                                           "MI300X", "Gaudi2", "SN40L"));
+
+}  // namespace

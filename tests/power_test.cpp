@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.h"
+#include "power/power_model.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::power;
+using llmib::util::ContractViolation;
+
+const llmib::hw::AcceleratorSpec& accel(const std::string& name) {
+  return llmib::hw::AcceleratorRegistry::builtin().get(name);
+}
+
+TEST(PowerModel, IdleAtZeroUtilization) {
+  const PowerModel p(accel("A100"));
+  EXPECT_DOUBLE_EQ(p.instantaneous_watts(0, 0), p.idle_watts());
+}
+
+TEST(PowerModel, TdpAtFullUtilization) {
+  const PowerModel p(accel("A100"));
+  EXPECT_NEAR(p.instantaneous_watts(1, 1), p.tdp_watts(), 1e-9);
+}
+
+TEST(PowerModel, BoundedBetweenIdleAndTdp) {
+  const PowerModel p(accel("H100"));
+  for (double c : {0.0, 0.3, 0.7, 1.0}) {
+    for (double m : {0.0, 0.5, 1.0}) {
+      const double w = p.instantaneous_watts(c, m);
+      EXPECT_GE(w, p.idle_watts());
+      EXPECT_LE(w, p.tdp_watts() + 1e-9);
+    }
+  }
+}
+
+TEST(PowerModel, MonotoneInComputeUtilization) {
+  const PowerModel p(accel("A100"));
+  EXPECT_LT(p.instantaneous_watts(0.2, 0.5), p.instantaneous_watts(0.8, 0.5));
+}
+
+TEST(PowerModel, MemorySaturationDrawsSubstantialPower) {
+  const PowerModel p(accel("A100"));
+  // Bandwidth-bound decode (low compute, high memory) still draws well
+  // above idle — the reason LLM decode shows high wall power.
+  const double w = p.instantaneous_watts(0.05, 0.95);
+  EXPECT_GT(w, p.idle_watts() + 0.35 * (p.tdp_watts() - p.idle_watts()));
+}
+
+TEST(PowerModel, ClampsOutOfRangeUtilization) {
+  const PowerModel p(accel("A100"));
+  EXPECT_DOUBLE_EQ(p.instantaneous_watts(-1, -1), p.idle_watts());
+  EXPECT_NEAR(p.instantaneous_watts(2, 2), p.tdp_watts(), 1e-9);
+}
+
+class PowerAllAccels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PowerAllAccels, SpecSane) {
+  const PowerModel p(accel(GetParam()));
+  EXPECT_GT(p.idle_watts(), 0);
+  EXPECT_GT(p.tdp_watts(), p.idle_watts());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAccelerators, PowerAllAccels,
+                         ::testing::Values("A100", "H100", "GH200", "MI250",
+                                           "MI300X", "Gaudi2", "SN40L"));
+
+TEST(EnergyMeter, IntegratesEnergy) {
+  EnergyMeter m;
+  m.add_interval(2.0, 100.0);
+  m.add_interval(3.0, 200.0);
+  EXPECT_DOUBLE_EQ(m.total_energy_j(), 800.0);
+  EXPECT_DOUBLE_EQ(m.total_time_s(), 5.0);
+  EXPECT_DOUBLE_EQ(m.average_watts(), 160.0);
+}
+
+TEST(EnergyMeter, EmptyMeterIsZero) {
+  EnergyMeter m;
+  EXPECT_EQ(m.average_watts(), 0.0);
+  EXPECT_EQ(m.total_energy_j(), 0.0);
+}
+
+TEST(EnergyMeter, RejectsNegativeInputs) {
+  EnergyMeter m;
+  EXPECT_THROW(m.add_interval(-1, 10), ContractViolation);
+  EXPECT_THROW(m.add_interval(1, -10), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Cross-cutting property tests: invariants that must hold for EVERY
+// supported (model, accelerator, framework) combination, not just the
+// calibrated figure points. These guard the simulator against regressions
+// that a targeted figure check might miss.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "frameworks/traits.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace llmib;
+using sim::InferenceSimulator;
+using sim::SimConfig;
+
+const InferenceSimulator& simulator() {
+  static const InferenceSimulator s;
+  return s;
+}
+
+using Combo = std::tuple<const char*, const char*, const char*, int>;
+
+// Every supported (model, hw, fw, tp) cell exercised by the properties.
+const Combo kCombos[] = {
+    {"LLaMA-2-7B", "A100", "vLLM", 1},
+    {"LLaMA-3-8B", "A100", "TensorRT-LLM", 1},
+    {"Mistral-7B", "A100", "DeepSpeed-MII", 1},
+    {"Qwen2-7B", "A100", "llama.cpp", 1},
+    {"LLaMA-3-8B", "H100", "vLLM", 1},
+    {"Mistral-7B", "H100", "TensorRT-LLM", 1},
+    {"LLaMA-3-8B", "GH200", "TensorRT-LLM", 1},
+    {"Qwen2-7B", "MI250", "vLLM", 1},
+    {"LLaMA-3-8B", "MI300X", "vLLM", 1},
+    {"Mistral-7B", "Gaudi2", "vLLM", 1},
+    {"LLaMA-3-8B", "SN40L", "SambaFlow", 8},
+    {"LLaMA-2-70B", "H100", "TensorRT-LLM", 4},
+    {"Mixtral-8x7B", "H100", "vLLM", 4},
+    {"Qwen2-72B", "MI300X", "vLLM", 4},
+};
+
+SimConfig make_cfg(const Combo& combo, std::int64_t batch = 8,
+                   std::int64_t len = 256) {
+  SimConfig c;
+  c.model = std::get<0>(combo);
+  c.accelerator = std::get<1>(combo);
+  c.framework = std::get<2>(combo);
+  c.plan.tp = std::get<3>(combo);
+  c.batch_size = batch;
+  c.input_tokens = c.output_tokens = len;
+  return c;
+}
+
+class EveryCombo : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(EveryCombo, RunsAndMetricsAreConsistent) {
+  const auto r = simulator().run(make_cfg(GetParam()));
+  ASSERT_TRUE(r.ok()) << r.status_detail;
+  EXPECT_GT(r.throughput_tps, 0);
+  EXPECT_GT(r.ttft_s, 0);
+  EXPECT_GT(r.e2e_latency_s, r.ttft_s);
+  // Paper eq. (2) holds by construction: tput * e2e == batch * (in + out).
+  EXPECT_NEAR(r.throughput_tps * r.e2e_latency_s, 8.0 * 512.0, 1.0);
+  // Decode throughput counts only generated tokens.
+  EXPECT_LT(r.decode_throughput_tps, r.throughput_tps);
+  EXPECT_NEAR(r.decode_throughput_tps * 2.0, r.throughput_tps, 1.0);
+}
+
+TEST_P(EveryCombo, BatchHelpsAtModerateSizes) {
+  const double t1 = simulator().run(make_cfg(GetParam(), 1)).throughput_tps;
+  const double t8 = simulator().run(make_cfg(GetParam(), 8)).throughput_tps;
+  EXPECT_GT(t8, t1) << "batching must help up to batch 8 everywhere";
+}
+
+TEST_P(EveryCombo, TtftGrowsWithPromptLength) {
+  SimConfig short_prompt = make_cfg(GetParam(), 4, 128);
+  SimConfig long_prompt = make_cfg(GetParam(), 4, 128);
+  long_prompt.input_tokens = 1024;
+  const auto a = simulator().run(short_prompt);
+  const auto b = simulator().run(long_prompt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b.ttft_s, a.ttft_s);
+}
+
+TEST_P(EveryCombo, E2eGrowsWithOutputLength) {
+  SimConfig short_out = make_cfg(GetParam(), 4, 128);
+  SimConfig long_out = short_out;
+  long_out.output_tokens = 512;
+  const auto a = simulator().run(short_out);
+  const auto b = simulator().run(long_out);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b.e2e_latency_s, a.e2e_latency_s);
+}
+
+TEST_P(EveryCombo, PowerWithinDeviceEnvelope) {
+  const auto& spec =
+      hw::AcceleratorRegistry::builtin().get(std::get<1>(GetParam()));
+  const auto r = simulator().run(make_cfg(GetParam()));
+  ASSERT_TRUE(r.ok());
+  const int devices = std::get<3>(GetParam());
+  EXPECT_GE(r.average_power_w, spec.idle_watts * devices * 0.99);
+  EXPECT_LE(r.average_power_w, spec.tdp_watts * devices * 1.01);
+  // Energy must integrate to average power x time.
+  EXPECT_NEAR(r.energy_j, r.average_power_w * r.e2e_latency_s,
+              r.energy_j * 0.01 + 1e-9);
+}
+
+TEST_P(EveryCombo, KvCacheNeverHurts) {
+  SimConfig on = make_cfg(GetParam(), 2, 256);
+  SimConfig off = on;
+  off.kv_cache_enabled = false;
+  const auto a = simulator().run(on);
+  const auto b = simulator().run(off);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(a.throughput_tps, b.throughput_tps * 0.999);
+}
+
+TEST_P(EveryCombo, DecodeStepMonotoneInContext) {
+  const auto cfg = make_cfg(GetParam());
+  const auto short_ctx = simulator().decode_step(cfg, 8, 256);
+  const auto long_ctx = simulator().decode_step(cfg, 8, 2048);
+  EXPECT_GE(long_ctx.total_s, short_ctx.total_s * 0.999);
+}
+
+TEST_P(EveryCombo, PrefillMonotoneInLengthAndBatch) {
+  const auto cfg = make_cfg(GetParam());
+  EXPECT_LT(simulator().prefill_step(cfg, 4, 128).total_s,
+            simulator().prefill_step(cfg, 4, 1024).total_s);
+  EXPECT_LT(simulator().prefill_step(cfg, 1, 512).total_s,
+            simulator().prefill_step(cfg, 16, 512).total_s);
+}
+
+TEST_P(EveryCombo, UtilizationsBounded) {
+  const auto r = simulator().run(make_cfg(GetParam()));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.avg_compute_util, 0.0);
+  EXPECT_LE(r.avg_compute_util, 1.0);
+  EXPECT_GE(r.avg_memory_util, 0.0);
+  EXPECT_LE(r.avg_memory_util, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SupportMatrix, EveryCombo, ::testing::ValuesIn(kCombos),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string name = std::string(std::get<0>(info.param)) + "_" +
+                         std::get<1>(info.param) + "_" + std::get<2>(info.param);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+// ---- Cross-cutting relations not tied to one combo --------------------------
+
+TEST(Properties, LowerPrecisionNeverSlowerWhereSupported) {
+  for (const auto& [hw, prec] :
+       {std::pair<const char*, hw::Precision>{"A100", hw::Precision::kINT8},
+        {"H100", hw::Precision::kFP8},
+        {"MI300X", hw::Precision::kFP8}}) {
+    SimConfig c;
+    c.model = "LLaMA-3-8B";
+    c.accelerator = hw;
+    c.framework = "vLLM";
+    c.batch_size = 16;
+    c.input_tokens = c.output_tokens = 512;
+    const double fp16 = simulator().run(c).throughput_tps;
+    c.precision = prec;
+    c.kv_precision = prec;
+    const auto r = simulator().run(c);
+    ASSERT_TRUE(r.ok()) << hw;
+    EXPECT_GT(r.throughput_tps, fp16) << hw;
+  }
+}
+
+TEST(Properties, MoreTensorParallelNeverReducesThroughputMuch) {
+  for (const auto* hw : {"A100", "H100"}) {
+    SimConfig c;
+    c.model = "LLaMA-3-8B";
+    c.accelerator = hw;
+    c.framework = "vLLM";
+    c.batch_size = 16;
+    c.input_tokens = c.output_tokens = 512;
+    double prev = simulator().run(c).throughput_tps;
+    for (int tp : {2, 4}) {
+      c.plan.tp = tp;
+      const double t = simulator().run(c).throughput_tps;
+      EXPECT_GT(t, prev * 0.9) << hw << " tp=" << tp;
+      prev = t;
+    }
+  }
+}
+
+TEST(Properties, BiggerModelsAreSlowerOnSameHardware) {
+  SimConfig c;
+  c.accelerator = "H100";
+  c.framework = "vLLM";
+  c.plan.tp = 4;
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 512;
+  c.model = "LLaMA-3-8B";
+  const double small = simulator().run(c).throughput_tps;
+  c.model = "LLaMA-3-70B";
+  const double large = simulator().run(c).throughput_tps;
+  EXPECT_GT(small, 2.0 * large);
+}
+
+TEST(Properties, HigherBandwidthWinsAtBatchOne) {
+  // At batch 1 decode is bandwidth-bound: ITL ordering must follow the
+  // (kernel-quality-adjusted) bandwidth ordering within a vendor.
+  SimConfig c;
+  c.model = "LLaMA-3-8B";
+  c.framework = "vLLM";
+  c.batch_size = 1;
+  c.input_tokens = c.output_tokens = 256;
+  c.accelerator = "A100";
+  const double a100 = simulator().run(c).itl_s;
+  c.accelerator = "H100";
+  const double h100 = simulator().run(c).itl_s;
+  c.accelerator = "GH200";
+  const double gh200 = simulator().run(c).itl_s;
+  EXPECT_LT(gh200, h100);
+  EXPECT_LT(h100, a100);
+  const double bw_ratio = 3350.0 / 1555.0;
+  EXPECT_NEAR(a100 / h100, bw_ratio, bw_ratio * 0.35);
+}
+
+TEST(Properties, SpeculativeSpeedupBoundedByLookahead) {
+  SimConfig c;
+  c.model = "LLaMA-2-7B";
+  c.accelerator = "A100";
+  c.framework = "vLLM";
+  c.input_tokens = c.output_tokens = 128;
+  sim::SpeculativeConfig sp;
+  sp.lookahead = 4;
+  sp.base_acceptance = 0.99;
+  sp.acceptance_decay = 0.0;
+  c.speculative = sp;
+  const auto r = simulator().run(c);
+  ASSERT_TRUE(r.ok());
+  // At most lookahead+1 tokens commit per cycle.
+  EXPECT_LE(r.speculative_speedup, 5.0 + 1e-9);
+  EXPECT_GT(r.speculative_speedup, 1.0);
+}
+
+TEST(Properties, DefaultDraftAcceptanceTiers) {
+  const auto& reg = models::ModelRegistry::builtin();
+  EXPECT_GT(sim::default_draft_acceptance(reg.get("LLaMA-2-7B")),
+            sim::default_draft_acceptance(reg.get("LLaMA-2-70B")));
+  EXPECT_GT(sim::default_draft_acceptance(reg.get("LLaMA-2-70B")),
+            sim::default_draft_acceptance(reg.get("Mixtral-8x7B")));
+}
+
+}  // namespace

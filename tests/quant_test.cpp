@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/int8.h"
+#include "quant/numeric.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib::quant;
+using llmib::util::Rng;
+
+// ---- fp16 ------------------------------------------------------------------
+
+TEST(Fp16, ExactForRepresentable) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f})
+    EXPECT_EQ(round_fp16(v), v);
+}
+
+TEST(Fp16, Idempotent) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<float>(rng.uniform(-1e4, 1e4));
+    const float once = round_fp16(x);
+    EXPECT_EQ(round_fp16(once), once);
+  }
+}
+
+TEST(Fp16, OverflowSaturatesToInf) {
+  EXPECT_TRUE(std::isinf(round_fp16(70000.0f)));
+  EXPECT_TRUE(std::isinf(round_fp16(-70000.0f)));
+  EXPECT_LT(round_fp16(-70000.0f), 0);
+}
+
+TEST(Fp16, UnderflowFlushes) {
+  EXPECT_EQ(round_fp16(1e-9f), 0.0f);
+  EXPECT_EQ(std::signbit(round_fp16(-1e-9f)), true);
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<float>(rng.uniform(0.001, 1000.0));
+    const float q = round_fp16(x);
+    EXPECT_LE(std::fabs(q - x) / x, 1.0f / 1024.0f)  // 2^-10 ulp bound
+        << x;
+  }
+}
+
+// ---- bf16 ------------------------------------------------------------------
+
+TEST(Bf16, ExactForSmallIntegers) {
+  for (float v : {0.0f, 1.0f, -2.0f, 128.0f}) EXPECT_EQ(round_bf16(v), v);
+}
+
+TEST(Bf16, KeepsFloatRange) {
+  EXPECT_FALSE(std::isinf(round_bf16(1e30f)));
+  EXPECT_NEAR(round_bf16(1e30f) / 1e30f, 1.0f, 0.01f);
+}
+
+TEST(Bf16, CoarserThanFp16InMantissa) {
+  // bf16 has 7 mantissa bits vs fp16's 10: worse relative error mid-range.
+  const float x = 1.0009765625f;  // 1 + 2^-10
+  EXPECT_EQ(round_fp16(x), x);
+  EXPECT_NE(round_bf16(x), x);
+}
+
+// ---- fp8 -------------------------------------------------------------------
+
+TEST(Fp8, SaturatesAt448) {
+  EXPECT_EQ(round_fp8_e4m3(1000.0f), 448.0f);
+  EXPECT_EQ(round_fp8_e4m3(-1000.0f), -448.0f);
+  EXPECT_EQ(round_fp8_e4m3(448.0f), 448.0f);
+}
+
+TEST(Fp8, ExactForSmallPowers) {
+  for (float v : {0.0f, 0.5f, 1.0f, 2.0f, -4.0f, 0.0625f})
+    EXPECT_EQ(round_fp8_e4m3(v), v);
+}
+
+TEST(Fp8, Idempotent) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<float>(rng.uniform(-400, 400));
+    const float once = round_fp8_e4m3(x);
+    EXPECT_EQ(round_fp8_e4m3(once), once);
+  }
+}
+
+TEST(Fp8, CoarseRelativeError) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = static_cast<float>(rng.uniform(0.1, 400.0));
+    const float q = round_fp8_e4m3(x);
+    EXPECT_LE(std::fabs(q - x) / x, 1.0f / 8.0f) << x;  // 2^-3 mantissa
+  }
+}
+
+TEST(SpanRounding, AppliesElementwise) {
+  std::vector<float> xs = {1.0009765625f, 3.14159f};
+  auto copy = xs;
+  round_span_fp16(copy);
+  EXPECT_EQ(copy[0], round_fp16(xs[0]));
+  EXPECT_EQ(copy[1], round_fp16(xs[1]));
+}
+
+TEST(QuantErrorMetrics, ZeroForIdentical) {
+  std::vector<float> a = {1, 2, 3};
+  const auto e = quant_error(a, a);
+  EXPECT_EQ(e.max_abs, 0);
+  EXPECT_EQ(e.rmse, 0);
+}
+
+TEST(QuantErrorMetrics, DetectsDifference) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {1, 2, 4};
+  const auto e = quant_error(a, b);
+  EXPECT_NEAR(e.max_abs, 1.0, 1e-9);
+  EXPECT_GT(e.rel_rmse, 0);
+  EXPECT_THROW(quant_error(a, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+// ---- int8 -------------------------------------------------------------------
+
+TEST(Int8Matrix, RoundTripErrorBounded) {
+  Rng rng(11);
+  const std::size_t rows = 16, cols = 32;
+  std::vector<float> w(rows * cols);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0, 1));
+  const auto q = Int8Matrix::quantize(w, rows, cols);
+  const auto back = q.dequantize();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float row_max = 0;
+    for (std::size_t c = 0; c < cols; ++c)
+      row_max = std::max(row_max, std::fabs(w[r * cols + c]));
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_LE(std::fabs(back[r * cols + c] - w[r * cols + c]),
+                row_max / 127.0f * 0.5f + 1e-6f);
+    }
+  }
+}
+
+TEST(Int8Matrix, ZeroRowHasZeroScale) {
+  std::vector<float> w = {0, 0, 0, 1, 2, 3};
+  const auto q = Int8Matrix::quantize(w, 2, 3);
+  EXPECT_EQ(q.scales()[0], 0.0f);
+  const auto back = q.dequantize();
+  EXPECT_EQ(back[0], 0.0f);
+  EXPECT_EQ(back[1], 0.0f);
+}
+
+TEST(Int8Matrix, GemvMatchesFloatGemvClosely) {
+  Rng rng(13);
+  const std::size_t rows = 24, cols = 48;
+  std::vector<float> w(rows * cols), x(cols);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0, 0.5));
+  for (auto& v : x) v = static_cast<float>(rng.normal(0, 1));
+  std::vector<float> y_ref(rows, 0.0f), y_q(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) y_ref[r] += w[r * cols + c] * x[c];
+  const auto q = Int8Matrix::quantize(w, rows, cols);
+  q.gemv(x, y_q);
+  const auto err = quant_error(y_ref, y_q);
+  EXPECT_LT(err.rel_rmse, 0.01);
+}
+
+TEST(Int8Matrix, GemvShapeChecked) {
+  const auto q = Int8Matrix::quantize(std::vector<float>(6, 1.0f), 2, 3);
+  std::vector<float> x(3), y(3);  // y wrong size
+  EXPECT_THROW(q.gemv(x, y), std::invalid_argument);
+}
+
+TEST(Int8Matrix, QuantizeRejectsSizeMismatch) {
+  EXPECT_THROW(Int8Matrix::quantize(std::vector<float>(5, 1.0f), 2, 3),
+               std::invalid_argument);
+}
+
+TEST(Int8Matrix, BytesSmallerThanFloat) {
+  const auto q = Int8Matrix::quantize(std::vector<float>(1024, 1.0f), 32, 32);
+  EXPECT_LT(q.bytes(), 1024 * sizeof(float) / 2);
+}
+
+TEST(W8A8, FullIntegerPathCloseToFloat) {
+  Rng rng(17);
+  const std::size_t rows = 16, cols = 64;
+  std::vector<float> w(rows * cols), x(cols);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0, 0.3));
+  for (auto& v : x) v = static_cast<float>(rng.normal(0, 1));
+  std::vector<float> y_ref(rows, 0.0f), y_q(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) y_ref[r] += w[r * cols + c] * x[c];
+  const auto qw = Int8Matrix::quantize(w, rows, cols);
+  const auto qx = quantize_vector(x);
+  gemv_w8a8(qw, qx, y_q);
+  const auto err = quant_error(y_ref, y_q);
+  EXPECT_LT(err.rel_rmse, 0.03);  // W8A8 is coarser than W8A16
+}
+
+TEST(W8A8, ZeroVector) {
+  const auto qx = quantize_vector(std::vector<float>(8, 0.0f));
+  EXPECT_EQ(qx.scale, 0.0f);
+}
+
+// Property: quantization error shrinks as values concentrate (parameterized
+// by the weight scale).
+class Int8ErrorScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(Int8ErrorScaling, RelErrorIndependentOfScale) {
+  Rng rng(19);
+  const std::size_t rows = 8, cols = 32;
+  std::vector<float> w(rows * cols), x(cols);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0, GetParam()));
+  for (auto& v : x) v = static_cast<float>(rng.normal(0, 1));
+  std::vector<float> y_ref(rows, 0.0f), y_q(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) y_ref[r] += w[r * cols + c] * x[c];
+  const auto q = Int8Matrix::quantize(w, rows, cols);
+  q.gemv(x, y_q);
+  EXPECT_LT(quant_error(y_ref, y_q).rel_rmse, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, Int8ErrorScaling,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0));
+
+}  // namespace

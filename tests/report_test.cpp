@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "report/dashboard.h"
+#include "report/shape_check.h"
+#include "report/table.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace llmib::report;
+using llmib::util::ContractViolation;
+
+// ---- Table -------------------------------------------------------------------
+
+TEST(Table, MarkdownLayout) {
+  Table t({"model", "tput"});
+  t.add_row({"LLaMA-2-7B", "1234"});
+  const auto md = t.to_markdown();
+  EXPECT_NE(md.find("| model | tput |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| LLaMA-2-7B | 1234 |"), std::string::npos);
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"a", "long-header"});
+  t.add_row({"xxxxxx", "1"});
+  const auto text = t.to_text();
+  // Each line has the same column start offsets (header padded).
+  const auto nl = text.find('\n');
+  const auto header = text.substr(0, nl);
+  EXPECT_NE(header.find("a       long-header"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"label", "v1", "v2"});
+  t.add_numeric_row("row", {1.25, 3.75}, 2);
+  EXPECT_NE(t.to_text().find("1.25"), std::string::npos);
+  EXPECT_THROW(t.add_numeric_row("bad", {1.0}), ContractViolation);
+}
+
+TEST(Table, CsvParsesBack) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "plain"});
+  const auto csv = t.to_csv();
+  const auto line2 = csv.substr(csv.find('\n') + 1);
+  const auto fields = llmib::util::parse_csv_line(line2.substr(0, line2.find('\n')));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "x,y");
+}
+
+TEST(Table, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(Table({}), ContractViolation);
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), ContractViolation);
+}
+
+// ---- ShapeReport ---------------------------------------------------------------
+
+TEST(ShapeReport, PassAndFailCounted) {
+  ShapeReport r("Fig. X");
+  r.check_ratio("within band", 1.0, 1.1, 0.2);
+  r.check_ratio("out of band", 2.0, 1.0, 0.4);
+  r.check_claim("ordering holds", true);
+  EXPECT_FALSE(r.all_passed());
+  EXPECT_EQ(r.checks(), 3u);
+  EXPECT_EQ(r.failures(), 1u);
+  const auto s = r.summary();
+  EXPECT_NE(s.find("SHAPE DEVIATIONS: 1/3"), std::string::npos);
+  EXPECT_NE(s.find("[DEV]"), std::string::npos);
+  EXPECT_NE(s.find("[ok]"), std::string::npos);
+}
+
+TEST(ShapeReport, AllPassSummary) {
+  ShapeReport r("Fig. Y");
+  r.check_claim("holds", true);
+  r.note("context value", 3.14);
+  EXPECT_TRUE(r.all_passed());
+  EXPECT_NE(r.summary().find("SHAPE OK (1 checks)"), std::string::npos);
+  EXPECT_NE(r.summary().find("[note]"), std::string::npos);
+}
+
+TEST(ShapeReport, ToleranceBoundaryInclusive) {
+  ShapeReport r("Fig. Z");
+  r.check_ratio("exactly at band edge", 0.6, 1.0, 0.4);
+  EXPECT_TRUE(r.all_passed());
+}
+
+TEST(ShapeReport, RejectsBadArguments) {
+  ShapeReport r("x");
+  EXPECT_THROW(r.check_ratio("bad", 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(ShapeReport(""), ContractViolation);
+}
+
+// ---- Dashboard -----------------------------------------------------------------
+
+DashboardRecord record() {
+  DashboardRecord r;
+  r.model = "LLaMA-3-8B";
+  r.accelerator = "A100";
+  r.framework = "vLLM";
+  r.batch = 16;
+  r.input_tokens = 512;
+  r.output_tokens = 512;
+  r.throughput_tps = 1234.5;
+  r.ttft_s = 0.05;
+  r.itl_s = 0.012;
+  r.power_w = 321;
+  return r;
+}
+
+TEST(Dashboard, JsonContainsRecordFields) {
+  DashboardBuilder b;
+  b.add(record());
+  const auto json = b.render_json();
+  EXPECT_NE(json.find("\"model\":\"LLaMA-3-8B\""), std::string::npos);
+  EXPECT_NE(json.find("\"tput\":1234.50"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(Dashboard, JsonBalancedDelimiters) {
+  DashboardBuilder b;
+  for (int i = 0; i < 5; ++i) b.add(record());
+  const auto json = b.render_json();
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(Dashboard, HtmlIsSelfContained) {
+  DashboardBuilder b;
+  b.add(record());
+  const auto html = b.render_html("LLM-Inference-Bench Dashboard");
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("LLM-Inference-Bench Dashboard"), std::string::npos);
+  EXPECT_NE(html.find("const DATA = ["), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);   // no external assets
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+TEST(Dashboard, JsonEscaping) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  DashboardBuilder b;
+  DashboardRecord r = record();
+  r.model = "evil\"</script>";
+  b.add(r);
+  EXPECT_EQ(b.render_json().find("evil\"<"), std::string::npos);
+}
+
+}  // namespace

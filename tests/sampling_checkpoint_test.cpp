@@ -1,0 +1,168 @@
+// Tests for sampling strategies (top-k / nucleus) and checkpoint I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "engine/checkpoint.h"
+#include "engine/generator.h"
+#include "engine/sampler.h"
+#include "engine/weights.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::engine;
+using llmib::models::AttentionKind;
+using llmib::models::ModelConfig;
+using llmib::util::ContractViolation;
+
+// ---- sampler ---------------------------------------------------------------
+
+std::vector<float> peaky_logits() {
+  // Probabilities after softmax(T=1): heavily concentrated on indices 0..2.
+  return {8.0f, 7.0f, 6.0f, 0.0f, -1.0f, -2.0f, -3.0f, -4.0f};
+}
+
+TEST(Sampling, GreedyIgnoresTruncation) {
+  Sampler s({0.0, 2, 0.5, 1});
+  EXPECT_EQ(s.sample(peaky_logits()), 0);
+}
+
+TEST(Sampling, TopK1IsGreedy) {
+  Sampler s({1.0, 1, 1.0, 7});
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(s.sample(peaky_logits()), 0);
+}
+
+TEST(Sampling, TopKRestrictsSupport) {
+  Sampler s({1.5, 3, 1.0, 11});
+  std::map<TokenId, int> counts;
+  for (int i = 0; i < 500; ++i) ++counts[s.sample(peaky_logits())];
+  for (const auto& [tok, n] : counts) EXPECT_LT(tok, 3) << "token outside top-3";
+  EXPECT_GE(counts.size(), 2u);  // genuinely sampling, not greedy
+}
+
+TEST(Sampling, TinyTopPCollapsesToGreedy) {
+  Sampler s({1.0, 0, 1e-6, 13});
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(s.sample(peaky_logits()), 0);
+}
+
+TEST(Sampling, TopPRestrictsTail) {
+  // With T=1 the top token holds ~66% of the mass; p=0.9 keeps ~top-2.
+  Sampler s({1.0, 0, 0.9, 17});
+  std::map<TokenId, int> counts;
+  for (int i = 0; i < 800; ++i) ++counts[s.sample(peaky_logits())];
+  for (const auto& [tok, n] : counts) EXPECT_LT(tok, 3);
+}
+
+TEST(Sampling, FullSupportWithoutTruncation) {
+  std::vector<float> flat(6, 0.0f);
+  Sampler s({1.0, 0, 1.0, 19});
+  std::map<TokenId, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[s.sample(flat)];
+  EXPECT_EQ(counts.size(), 6u);  // uniform logits: every token appears
+}
+
+TEST(Sampling, SeedDeterminism) {
+  Sampler a({0.8, 4, 0.95, 42}), b({0.8, 4, 0.95, 42});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.sample(peaky_logits()), b.sample(peaky_logits()));
+}
+
+TEST(Sampling, RejectsBadOptions) {
+  EXPECT_THROW(Sampler({-0.1, 0, 1.0, 1}), ContractViolation);
+  EXPECT_THROW(Sampler({1.0, -1, 1.0, 1}), ContractViolation);
+  EXPECT_THROW(Sampler({1.0, 0, 0.0, 1}), ContractViolation);
+  EXPECT_THROW(Sampler({1.0, 0, 1.1, 1}), ContractViolation);
+}
+
+// ---- checkpoint ---------------------------------------------------------------
+
+ModelConfig ckpt_cfg(bool moe = false) {
+  ModelConfig m;
+  m.name = "ckpt-test";
+  m.n_layers = 2;
+  m.hidden_size = 32;
+  m.attention = AttentionKind::kGQA;
+  m.n_heads = 4;
+  m.n_kv_heads = 2;
+  if (moe) {
+    m.ffn = llmib::models::FfnKind::kMoE;
+    m.n_experts = 4;
+    m.experts_active = 2;
+  }
+  m.ffn_intermediate = 48;
+  m.max_seq_len = 64;
+  m.vocab_size = 80;
+  m.sliding_window = 16;
+  return m;
+}
+
+TEST(Checkpoint, RoundTripBitExact) {
+  const auto w = TransformerWeights::random(ckpt_cfg(), 77);
+  std::stringstream io(std::ios::in | std::ios::out | std::ios::binary);
+  checkpoint::save(w, io);
+  const auto back = checkpoint::load(io);
+  EXPECT_EQ(back.config.name, "ckpt-test");
+  EXPECT_EQ(back.config.sliding_window, 16);
+  EXPECT_EQ(back.embedding, w.embedding);
+  EXPECT_EQ(back.lm_head, w.lm_head);
+  EXPECT_EQ(back.layers[1].wq, w.layers[1].wq);
+  EXPECT_EQ(back.layers[0].w_down[0], w.layers[0].w_down[0]);
+}
+
+TEST(Checkpoint, MoEAndVariableKvSurvive) {
+  auto cfg = ckpt_cfg(true);
+  const auto w = TransformerWeights::random(cfg, 5);
+  std::stringstream io(std::ios::in | std::ios::out | std::ios::binary);
+  checkpoint::save(w, io);
+  const auto back = checkpoint::load(io);
+  EXPECT_EQ(back.config.n_experts, 4);
+  EXPECT_EQ(back.layers[0].router, w.layers[0].router);
+  EXPECT_EQ(back.layers[0].w_gate.size(), 4u);
+}
+
+TEST(Checkpoint, LoadedModelGeneratesIdentically) {
+  const auto w = TransformerWeights::random(ckpt_cfg(), 123);
+  std::stringstream io(std::ios::in | std::ios::out | std::ios::binary);
+  checkpoint::save(w, io);
+  const auto back = checkpoint::load(io);
+  const MiniTransformer a(w), b(back);
+  GenerateOptions opts;
+  opts.max_new_tokens = 8;
+  EXPECT_EQ(generate(a, std::vector<TokenId>{1, 2, 3}, opts).tokens,
+            generate(b, std::vector<TokenId>{1, 2, 3}, opts).tokens);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const auto w = TransformerWeights::random(ckpt_cfg(), 9);
+  const std::string path = "/tmp/llmib_ckpt_test.bin";
+  checkpoint::save_file(w, path);
+  const auto back = checkpoint::load_file(path);
+  EXPECT_EQ(back.embedding, w.embedding);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream io(std::ios::in | std::ios::out | std::ios::binary);
+  io << "definitely not a checkpoint";
+  EXPECT_THROW(checkpoint::load(io), ContractViolation);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  const auto w = TransformerWeights::random(ckpt_cfg(), 3);
+  std::stringstream io(std::ios::in | std::ios::out | std::ios::binary);
+  checkpoint::save(w, io);
+  const std::string full = io.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() / 2);
+  EXPECT_THROW(checkpoint::load(cut), ContractViolation);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(checkpoint::load_file("/tmp/definitely_missing_llmib.bin"),
+               ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the online-serving simulator (Poisson arrivals, queueing,
+// tail-latency percentiles).
+
+#include <gtest/gtest.h>
+
+#include "sim/serving.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::sim;
+using llmib::util::ContractViolation;
+
+const InferenceSimulator& core() {
+  static const InferenceSimulator s;
+  return s;
+}
+
+SimConfig a100_vllm() {
+  SimConfig c;
+  c.model = "LLaMA-3-8B";
+  c.accelerator = "A100";
+  c.framework = "vLLM";
+  c.max_concurrent = 32;
+  return c;
+}
+
+ServingWorkload light_load() {
+  ServingWorkload wl;
+  wl.arrival_rate_rps = 0.5;
+  wl.num_requests = 24;
+  wl.prompt_min = 64;
+  wl.prompt_max = 256;
+  wl.output_min = 32;
+  wl.output_max = 128;
+  return wl;
+}
+
+TEST(Serving, LightLoadKeepsUp) {
+  const ServingSimulator serving(core());
+  const auto r = serving.run(a100_vllm(), light_load());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.metrics.saturated);
+  EXPECT_NEAR(r.metrics.achieved_rps, 0.5, 0.2);
+  EXPECT_GT(r.metrics.throughput_tps, 0);
+  EXPECT_GT(r.metrics.ttft_p50_s, 0);
+}
+
+TEST(Serving, Deterministic) {
+  const ServingSimulator serving(core());
+  const auto a = serving.run(a100_vllm(), light_load());
+  const auto b = serving.run(a100_vllm(), light_load());
+  EXPECT_EQ(a.metrics.makespan_s, b.metrics.makespan_s);
+  EXPECT_EQ(a.metrics.ttft_p95_s, b.metrics.ttft_p95_s);
+}
+
+TEST(Serving, PercentilesOrdered) {
+  const ServingSimulator serving(core());
+  const auto r = serving.run(a100_vllm(), light_load());
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.metrics.ttft_p50_s, r.metrics.ttft_p95_s);
+  EXPECT_LE(r.metrics.ttft_p95_s, r.metrics.ttft_p99_s);
+  EXPECT_LE(r.metrics.e2e_p50_s, r.metrics.e2e_p95_s);
+  // E2E dominates TTFT for every request.
+  EXPECT_GT(r.metrics.e2e_p50_s, r.metrics.ttft_p50_s);
+}
+
+TEST(Serving, OverloadSaturatesAndQueues) {
+  const ServingSimulator serving(core());
+  ServingWorkload heavy = light_load();
+  heavy.arrival_rate_rps = 200.0;  // far beyond one A100
+  heavy.num_requests = 48;
+  const auto r = serving.run(a100_vllm(), heavy);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.metrics.saturated);
+  EXPECT_LT(r.metrics.achieved_rps, heavy.arrival_rate_rps * 0.5);
+  EXPECT_GT(r.metrics.peak_queue_depth, 0);
+}
+
+TEST(Serving, TailLatencyGrowsWithLoad) {
+  const ServingSimulator serving(core());
+  ServingWorkload wl = light_load();
+  wl.num_requests = 32;
+  wl.arrival_rate_rps = 0.5;
+  const auto low = serving.run(a100_vllm(), wl);
+  wl.arrival_rate_rps = 16.0;
+  const auto high = serving.run(a100_vllm(), wl);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(high.metrics.ttft_p95_s, low.metrics.ttft_p95_s);
+}
+
+TEST(Serving, FasterHardwareSustainsMoreLoad) {
+  const ServingSimulator serving(core());
+  ServingWorkload wl = light_load();
+  wl.arrival_rate_rps = 8.0;
+  wl.num_requests = 48;
+  SimConfig h100 = a100_vllm();
+  h100.accelerator = "H100";
+  h100.framework = "TensorRT-LLM";
+  const auto a100 = serving.run(a100_vllm(), wl);
+  const auto h = serving.run(h100, wl);
+  ASSERT_TRUE(a100.ok());
+  ASSERT_TRUE(h.ok());
+  EXPECT_LT(h.metrics.ttft_p95_s, a100.metrics.ttft_p95_s);
+  EXPECT_GE(h.metrics.throughput_tps, a100.metrics.throughput_tps);
+}
+
+TEST(Serving, UnsupportedComboIsData) {
+  const ServingSimulator serving(core());
+  SimConfig bad = a100_vllm();
+  bad.accelerator = "SN40L";  // vLLM does not run there
+  const auto r = serving.run(bad, light_load());
+  EXPECT_EQ(r.status, RunStatus::kUnsupported);
+}
+
+TEST(Serving, RejectsMalformedWorkloads) {
+  const ServingSimulator serving(core());
+  ServingWorkload wl = light_load();
+  wl.arrival_rate_rps = 0;
+  EXPECT_THROW(serving.run(a100_vllm(), wl), ContractViolation);
+  wl = light_load();
+  wl.prompt_min = 100;
+  wl.prompt_max = 50;
+  EXPECT_THROW(serving.run(a100_vllm(), wl), ContractViolation);
+  wl = light_load();
+  wl.num_requests = 0;
+  EXPECT_THROW(serving.run(a100_vllm(), wl), ContractViolation);
+}
+
+TEST(Serving, SloGoodputDegradesUnderLoad) {
+  const ServingSimulator serving(core());
+  ServingWorkload wl = light_load();
+  wl.num_requests = 64;
+  wl.slo_ttft_s = 0.1;  // chat-grade first-token SLO
+  wl.arrival_rate_rps = 0.5;
+  const auto low = serving.run(a100_vllm(), wl);
+  wl.arrival_rate_rps = 200.0;
+  const auto high = serving.run(a100_vllm(), wl);
+  ASSERT_TRUE(low.ok() && high.ok());
+  EXPECT_GT(low.metrics.slo_goodput, 0.9);
+  EXPECT_LT(high.metrics.slo_goodput, low.metrics.slo_goodput);
+}
+
+TEST(Serving, NoSloMeansPerfectGoodput) {
+  const ServingSimulator serving(core());
+  ServingWorkload wl = light_load();
+  wl.arrival_rate_rps = 100.0;  // badly overloaded
+  const auto r = serving.run(a100_vllm(), wl);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.metrics.slo_goodput, 1.0);
+}
+
+TEST(Serving, ConcurrencyBoundedByConfig) {
+  const ServingSimulator serving(core());
+  SimConfig cfg = a100_vllm();
+  cfg.max_concurrent = 4;
+  ServingWorkload wl = light_load();
+  wl.arrival_rate_rps = 50.0;
+  const auto r = serving.run(cfg, wl);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.metrics.max_concurrency, 4);
+}
+
+// Parameterized load sweep: achieved rate tracks offered rate below the
+// knee, then flattens (the textbook serving curve).
+class ServingLoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ServingLoadSweep, AchievedNeverExceedsOffered) {
+  const ServingSimulator serving(core());
+  ServingWorkload wl = light_load();
+  wl.arrival_rate_rps = GetParam();
+  wl.num_requests = 24;
+  const auto r = serving.run(a100_vllm(), wl);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.metrics.achieved_rps, wl.arrival_rate_rps * 1.3 + 0.5);
+  EXPECT_GT(r.metrics.achieved_rps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ServingLoadSweep,
+                         ::testing::Values(0.25, 1.0, 4.0, 16.0, 64.0));
+
+}  // namespace

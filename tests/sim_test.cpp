@@ -1,0 +1,536 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::sim;
+using llmib::hw::Precision;
+using llmib::util::ContractViolation;
+
+SimConfig base(const std::string& model = "LLaMA-3-8B",
+               const std::string& hw = "A100", const std::string& fw = "vLLM") {
+  SimConfig c;
+  c.model = model;
+  c.accelerator = hw;
+  c.framework = fw;
+  c.batch_size = 1;
+  c.input_tokens = 128;
+  c.output_tokens = 128;
+  return c;
+}
+
+double tput(const InferenceSimulator& s, const SimConfig& c) {
+  const auto r = s.run(c);
+  return r.ok() ? r.throughput_tps : 0.0;
+}
+
+const InferenceSimulator& sim() {
+  static const InferenceSimulator s;
+  return s;
+}
+
+// ---- Basic contract -----------------------------------------------------------
+
+TEST(Simulator, OkRunHasConsistentMetrics) {
+  const auto r = sim().run(base());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.throughput_tps, 0);
+  EXPECT_GT(r.ttft_s, 0);
+  EXPECT_GT(r.itl_s, 0);
+  EXPECT_GT(r.e2e_latency_s, r.ttft_s);
+  EXPECT_GT(r.average_power_w, 0);
+  EXPECT_GT(r.tokens_per_sec_per_watt, 0);
+  EXPECT_EQ(r.waves, 1);
+  // eq (2): throughput * e2e == batch * (in + out).
+  EXPECT_NEAR(r.throughput_tps * r.e2e_latency_s, 256.0, 0.5);
+}
+
+TEST(Simulator, Determinism) {
+  const auto a = sim().run(base());
+  const auto b = sim().run(base());
+  EXPECT_EQ(a.throughput_tps, b.throughput_tps);
+  EXPECT_EQ(a.e2e_latency_s, b.e2e_latency_s);
+}
+
+TEST(Simulator, MalformedConfigThrows) {
+  SimConfig c = base();
+  c.batch_size = 0;
+  EXPECT_THROW(sim().run(c), ContractViolation);
+  c = base("NoSuchModel");
+  EXPECT_THROW(sim().run(c), ContractViolation);
+}
+
+TEST(Simulator, UnsupportedComboIsData) {
+  SimConfig c = base("LLaMA-3-8B", "MI250", "TensorRT-LLM");
+  const auto r = sim().run(c);
+  EXPECT_EQ(r.status, RunStatus::kUnsupported);
+  c = base("LLaMA-3-8B", "A100", "vLLM");
+  c.precision = Precision::kFP8;  // A100 has no FP8 (paper Fig. 3)
+  EXPECT_EQ(sim().run(c).status, RunStatus::kUnsupported);
+}
+
+TEST(Simulator, TooManyDevicesUnsupported) {
+  SimConfig c = base();
+  c.plan.tp = 8;  // A100 node has 4
+  EXPECT_EQ(sim().run(c).status, RunStatus::kUnsupported);
+}
+
+TEST(Simulator, LlamaCppTensorParallelUnsupported) {
+  SimConfig c = base("LLaMA-3-8B", "A100", "llama.cpp");
+  c.plan.tp = 2;
+  EXPECT_EQ(sim().run(c).status, RunStatus::kUnsupported);
+  c.plan = {};
+  c.plan.pp = 2;  // layer split is the llama.cpp way
+  EXPECT_TRUE(sim().run(c).ok());
+}
+
+TEST(Simulator, OutputOfOneMeansTtftOnly) {
+  SimConfig c = base();
+  c.output_tokens = 1;  // the paper's TTFT measurement protocol
+  const auto r = sim().run(c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.itl_s, 0.0);
+  EXPECT_NEAR(r.ttft_s, r.e2e_latency_s, 1e-12);
+}
+
+// ---- Memory behavior ------------------------------------------------------------
+
+TEST(Simulator, SeventyBDoesNotFitOneA100) {
+  SimConfig c = base("LLaMA-2-70B");
+  const auto r = sim().run(c);
+  EXPECT_EQ(r.status, RunStatus::kOom);
+  c.plan.tp = 4;
+  EXPECT_TRUE(sim().run(c).ok());
+}
+
+TEST(Simulator, SeventyBFitsOnGH200ViaNothing) {
+  // 140 GB of fp16 weights never fit a single 96 GB GH200.
+  SimConfig c = base("LLaMA-2-70B", "GH200", "vLLM");
+  EXPECT_EQ(sim().run(c).status, RunStatus::kOom);
+}
+
+TEST(Simulator, Gaudi2StaticShapesOomAtLargeBatchAndLength) {
+  // Paper footnote 1: OOM at batch 32/64 "in several test scenarios" —
+  // the MHSA model's 4x KV footprint makes it the first casualty.
+  SimConfig c = base("LLaMA-2-7B", "Gaudi2", "vLLM");
+  c.input_tokens = c.output_tokens = 2048;
+  c.batch_size = 16;
+  EXPECT_TRUE(sim().run(c).ok());
+  c.batch_size = 32;
+  EXPECT_EQ(sim().run(c).status, RunStatus::kOom);
+  c.batch_size = 64;
+  EXPECT_EQ(sim().run(c).status, RunStatus::kOom);
+  // The same batch on A100 degrades into waves instead of failing.
+  c.accelerator = "A100";
+  EXPECT_TRUE(sim().run(c).ok());
+}
+
+TEST(Simulator, WavesFormUnderCapacityPressure) {
+  // LLaMA-3-70B on 4xA100-40GB: weights almost fill the node; batch 64 at
+  // length 1024 must run in multiple waves (paper Fig. 7's A100 plateau).
+  SimConfig c = base("LLaMA-3-70B", "A100", "TensorRT-LLM");
+  c.plan.tp = 4;
+  c.batch_size = 64;
+  c.input_tokens = c.output_tokens = 1024;
+  const auto r = sim().run(c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.waves, 4);
+}
+
+TEST(Simulator, SN40LSpillsToTier3InsteadOfOom) {
+  // 70B on 8 RDUs: per-device 17.6 GB fits HBM; on 1 RDU weights exceed
+  // 64 GB HBM but spill into DDR (3-tier memory), so it still runs.
+  SimConfig c = base("LLaMA-2-70B", "SN40L", "SambaFlow");
+  c.plan.tp = 8;
+  EXPECT_TRUE(sim().run(c).ok());
+  c.plan.tp = 1;
+  const auto r = sim().run(c);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.weight_bytes_per_device, 100e9);
+}
+
+// ---- Batch scaling (Fig. 1a) ---------------------------------------------------
+
+TEST(Simulator, ThroughputIncreasesWithBatch) {
+  SimConfig c = base();
+  c.input_tokens = c.output_tokens = 512;
+  double prev = 0;
+  for (std::int64_t b : {1, 16, 32, 64}) {
+    c.batch_size = b;
+    const double t = tput(sim(), c);
+    EXPECT_GT(t, prev) << "batch " << b;
+    prev = t;
+  }
+}
+
+TEST(PaperShape, Fig1aBatchScalingRatio) {
+  SimConfig c = base();
+  c.input_tokens = c.output_tokens = 2048;
+  c.batch_size = 1;
+  const double t1 = tput(sim(), c);
+  c.batch_size = 64;
+  const double t64 = tput(sim(), c);
+  EXPECT_NEAR(t64 / t1, 26.6, 26.6 * 0.40);  // paper: 26.6x
+}
+
+TEST(PaperShape, Fig1bLongInputShortOutputWins) {
+  SimConfig c = base("LLaMA-3-8B", "A100", "TensorRT-LLM");
+  c.batch_size = 16;
+  c.input_tokens = 1024;
+  c.output_tokens = 128;
+  const double a = tput(sim(), c);
+  c.input_tokens = 128;
+  c.output_tokens = 1024;
+  const double b = tput(sim(), c);
+  // Direction + strong asymmetry; magnitude deviation vs the paper's 14.6x
+  // is documented in EXPERIMENTS.md.
+  EXPECT_GT(a / b, 4.0);
+}
+
+// ---- KV cache (Fig. 2a/2b) -----------------------------------------------------
+
+TEST(PaperShape, Fig2aKvCacheSpeedupGrowsWithLength) {
+  SimConfig c = base("LLaMA-2-70B", "Gaudi2", "vLLM");
+  c.plan.tp = 8;
+  auto ratio_at = [&](std::int64_t len) {
+    c.input_tokens = c.output_tokens = len;
+    c.kv_cache_enabled = true;
+    const double on = tput(sim(), c);
+    c.kv_cache_enabled = false;
+    const double off = tput(sim(), c);
+    c.kv_cache_enabled = true;
+    return on / off;
+  };
+  const double r128 = ratio_at(128);
+  const double r1024 = ratio_at(1024);
+  EXPECT_GT(r128, 1.2);       // paper ~2x
+  EXPECT_LT(r128, 3.5);
+  EXPECT_GT(r1024, 3.5);      // paper ~7x
+  EXPECT_GT(r1024, 2.0 * r128);
+}
+
+TEST(PaperShape, Fig2bBlockSizeSixteenNearOptimal) {
+  SimConfig c = base();
+  c.batch_size = 64;
+  c.input_tokens = c.output_tokens = 1024;
+  c.kv_block_override = 16;
+  const double b16 = tput(sim(), c);
+  c.kv_block_override = 8;
+  const double b8 = tput(sim(), c);
+  c.kv_block_override = 64;
+  const double b64 = tput(sim(), c);
+  EXPECT_NEAR(b16 / b8, 1.27, 1.27 * 0.25);
+  EXPECT_LT(b64 / b16, 1.05);  // >= 16 is optimal
+}
+
+// ---- GQA vs MHSA per framework (Figs. 6, 11, 14) -------------------------------
+
+TEST(PaperShape, GqaBeatsMhsaOnTrtAndVllm) {
+  for (const auto* fw : {"TensorRT-LLM", "vLLM"}) {
+    SimConfig c = base("Mistral-7B", "A100", fw);
+    c.batch_size = 64;
+    c.input_tokens = c.output_tokens = 1024;
+    const double gqa = tput(sim(), c);
+    c.model = "LLaMA-2-7B";
+    const double mhsa = tput(sim(), c);
+    EXPECT_GT(gqa / mhsa, 1.5) << fw;
+  }
+}
+
+TEST(PaperShape, MhsaBeatsGqaOnLlamaCpp) {
+  SimConfig c = base("LLaMA-2-7B", "A100", "llama.cpp");
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 512;
+  const double mhsa = tput(sim(), c);
+  c.model = "LLaMA-3-8B";
+  const double gqa = tput(sim(), c);
+  EXPECT_GT(mhsa, gqa);  // paper Fig. 14: llama.cpp cannot exploit GQA
+}
+
+TEST(PaperShape, Fig11DsMiiMhsaWinsAtBatch64) {
+  SimConfig c = base("LLaMA-2-7B", "A100", "DeepSpeed-MII");
+  c.batch_size = 64;
+  const double l2 = tput(sim(), c);
+  c.model = "LLaMA-3-8B";
+  const double l3 = tput(sim(), c);
+  EXPECT_NEAR(l2 / l3, 1.18, 1.18 * 0.25);
+}
+
+TEST(PaperShape, MistralBeatsLlama3OnVocabSize) {
+  // Same architecture except vocab (32k vs 128k) => Mistral faster (Fig. 15).
+  SimConfig c = base("Mistral-7B", "A100", "TensorRT-LLM");
+  c.batch_size = 64;
+  const double mistral = tput(sim(), c);
+  c.model = "LLaMA-3-8B";
+  const double l3 = tput(sim(), c);
+  EXPECT_GT(mistral, l3);
+}
+
+// ---- Hardware ordering (Figs. 6, 8, 20, 23) -------------------------------------
+
+TEST(PaperShape, NewerNvidiaGenerationsWin) {
+  SimConfig c = base();
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 1024;
+  const double a100 = tput(sim(), c);
+  c.accelerator = "H100";
+  const double h100 = tput(sim(), c);
+  c.accelerator = "GH200";
+  const double gh200 = tput(sim(), c);
+  EXPECT_GT(h100, a100);
+  EXPECT_GT(gh200, h100);  // Fig. 8: GH200 consistently highest
+}
+
+TEST(PaperShape, Gaudi2BetweenA100AndH100) {
+  SimConfig c = base();
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 1024;
+  const double a100 = tput(sim(), c);
+  c.accelerator = "H100";
+  const double h100 = tput(sim(), c);
+  c.accelerator = "Gaudi2";
+  const double gaudi = tput(sim(), c);
+  EXPECT_GT(gaudi, a100);  // Fig. 20 / 38
+  EXPECT_LT(gaudi, h100);
+}
+
+TEST(PaperShape, Fig17Mi250PeaksAtBatch32) {
+  SimConfig c = base("LLaMA-3-8B", "MI250", "vLLM");
+  c.input_tokens = c.output_tokens = 1024;
+  c.batch_size = 32;
+  const double t32 = tput(sim(), c);
+  c.batch_size = 64;
+  const double t64 = tput(sim(), c);
+  EXPECT_GT(t32, t64);  // early saturation
+}
+
+TEST(PaperShape, FrameworkRankingOnA100) {
+  SimConfig c = base();
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 512;
+  c.framework = "TensorRT-LLM";
+  const double trt = tput(sim(), c);
+  c.framework = "vLLM";
+  const double vllm = tput(sim(), c);
+  c.framework = "llama.cpp";
+  const double lcpp = tput(sim(), c);
+  EXPECT_GT(trt, vllm);   // Fig. 15
+  EXPECT_GT(vllm, lcpp);  // llama.cpp slowest
+}
+
+// ---- TTFT / ITL (Figs. 21, 22) ---------------------------------------------------
+
+TEST(PaperShape, SN40LHighTtftLowItl) {
+  SimConfig a100 = base();
+  a100.input_tokens = a100.output_tokens = 1024;
+  const auto ra = sim().run(a100);
+  SimConfig sn = base("LLaMA-3-8B", "SN40L", "SambaFlow");
+  sn.plan.tp = 8;
+  sn.input_tokens = sn.output_tokens = 1024;
+  const auto rs = sim().run(sn);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(rs.ttft_s, ra.ttft_s);  // Fig. 21
+  EXPECT_LT(rs.itl_s, ra.itl_s);    // Fig. 22
+}
+
+TEST(PaperShape, Llama2LowTtftHighItl) {
+  // Fig. 21/22 discussion: LLaMA-2-7B has the lowest TTFT (small FFN) but
+  // higher ITL (MHSA KV traffic) than the GQA 7B models.
+  SimConfig c = base("LLaMA-2-7B");
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 1024;
+  const auto l2 = sim().run(c);
+  c.model = "LLaMA-3-8B";
+  const auto l3 = sim().run(c);
+  ASSERT_TRUE(l2.ok());
+  ASSERT_TRUE(l3.ok());
+  EXPECT_LT(l2.ttft_s, l3.ttft_s);
+  EXPECT_GT(l2.itl_s, l3.itl_s);
+}
+
+// ---- Models (Figs. 7, 9, 33) -----------------------------------------------------
+
+TEST(PaperShape, MixtralBeats70BDense) {
+  SimConfig c = base("Mixtral-8x7B", "H100", "TensorRT-LLM");
+  c.plan.tp = 4;
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 1024;
+  const double mixtral = tput(sim(), c);
+  c.model = "LLaMA-2-70B";
+  const double l70 = tput(sim(), c);
+  EXPECT_GT(mixtral / l70, 1.3);
+}
+
+TEST(PaperShape, Llama2_70bBeatsLlama3_70bOnVocab) {
+  SimConfig c = base("LLaMA-2-70B", "H100", "vLLM");
+  c.plan.tp = 4;
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 1024;
+  const double l2 = tput(sim(), c);
+  c.model = "LLaMA-3-70B";
+  const double l3 = tput(sim(), c);
+  EXPECT_GT(l2, l3);
+}
+
+TEST(PaperShape, Qwen2WinsAtLength1024OnH100) {
+  // Fig. 33: Qwen2-7B + TRT-LLM highest (fewer layers/smaller hidden).
+  SimConfig c = base("Qwen2-7B", "H100", "TensorRT-LLM");
+  c.batch_size = 64;
+  c.input_tokens = c.output_tokens = 1024;
+  const double qwen = tput(sim(), c);
+  for (const auto* m : {"LLaMA-3-8B", "Mistral-7B", "LLaMA-2-7B"}) {
+    c.model = m;
+    EXPECT_GT(qwen, tput(sim(), c)) << m;
+  }
+}
+
+// ---- Parallelism (Fig. 5) ---------------------------------------------------------
+
+TEST(PaperShape, Fig5TensorParallelBestWithinNode) {
+  SimConfig c = base();
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 1024;
+  c.plan = {4, 1, 1};
+  const double tp = tput(sim(), c);
+  c.plan = {1, 4, 1};
+  const double pp = tput(sim(), c);
+  c.plan = {2, 2, 1};
+  const double hybrid = tput(sim(), c);
+  EXPECT_NEAR(tp / pp, 1.94, 1.94 * 0.40);
+  EXPECT_NEAR(tp / hybrid, 1.30, 1.30 * 0.40);
+  EXPECT_GT(hybrid, pp);
+}
+
+TEST(Simulator, TensorParallelSpeedsUpDecode) {
+  SimConfig c = base();
+  c.input_tokens = c.output_tokens = 512;
+  const double one = tput(sim(), c);
+  c.plan.tp = 4;
+  const double four = tput(sim(), c);
+  EXPECT_GT(four / one, 1.5);
+  EXPECT_LT(four / one, 4.0);  // sublinear: comm overhead
+}
+
+TEST(Simulator, ExpertParallelRunsMixtral) {
+  SimConfig c = base("Mixtral-8x7B", "H100", "vLLM");
+  c.plan = {1, 1, 4};
+  c.batch_size = 16;
+  const auto r = sim().run(c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.throughput_tps, 0);
+}
+
+// ---- Quantization (Fig. 3) ---------------------------------------------------------
+
+TEST(PaperShape, Fig3LowerPrecisionFaster) {
+  SimConfig c = base("LLaMA-3-8B", "H100", "vLLM");
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 512;
+  c.precision = Precision::kFP16;
+  const double fp16 = tput(sim(), c);
+  c.precision = Precision::kFP8;
+  c.kv_precision = Precision::kFP8;
+  const double fp8 = tput(sim(), c);
+  EXPECT_GT(fp8 / fp16, 1.3);
+  EXPECT_LT(fp8 / fp16, 2.3);
+
+  SimConfig a = base("LLaMA-3-8B", "A100", "vLLM");
+  a.batch_size = 16;
+  a.precision = Precision::kINT8;
+  a.kv_precision = Precision::kINT8;
+  EXPECT_GT(tput(sim(), a), tput(sim(), base("LLaMA-3-8B", "A100", "vLLM")));
+}
+
+// ---- Speculative decoding (Fig. 4b) --------------------------------------------------
+
+TEST(PaperShape, Fig4bSpeculativeHelps7BNotMixtral) {
+  SimConfig c = base("LLaMA-2-7B", "A100", "vLLM");
+  c.input_tokens = c.output_tokens = 256;
+  const double plain = tput(sim(), c);
+  c.speculative = SpeculativeConfig{};
+  const auto spec = sim().run(c);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_GT(spec.throughput_tps / plain, 1.3);
+  EXPECT_GT(spec.speculative_speedup, 1.3);
+
+  SimConfig m = base("Mixtral-8x7B", "A100", "vLLM");
+  m.plan.tp = 4;
+  m.input_tokens = m.output_tokens = 256;
+  const double mix_plain = tput(sim(), m);
+  m.speculative = SpeculativeConfig{};
+  const auto mix_spec = sim().run(m);
+  ASSERT_TRUE(mix_spec.ok());
+  EXPECT_LT(mix_spec.throughput_tps / mix_plain, 1.15);  // benefit vanishes
+}
+
+TEST(PaperShape, SpeculativeBenefitShrinksWithLength) {
+  auto speedup_at = [&](std::int64_t len) {
+    SimConfig c = base("LLaMA-2-7B", "A100", "vLLM");
+    c.input_tokens = c.output_tokens = len;
+    c.speculative = SpeculativeConfig{};
+    return sim().run(c).speculative_speedup;
+  };
+  EXPECT_GT(speedup_at(128), speedup_at(2048));
+}
+
+// ---- Power (Fig. 16) ------------------------------------------------------------------
+
+TEST(PaperShape, Fig16TrtDrawsMorePowerButBetterPerfPerWatt) {
+  SimConfig c = base("LLaMA-3-8B", "A100", "vLLM");
+  c.batch_size = 16;
+  c.input_tokens = c.output_tokens = 512;
+  const auto vllm = sim().run(c);
+  c.framework = "TensorRT-LLM";
+  const auto trt = sim().run(c);
+  ASSERT_TRUE(vllm.ok());
+  ASSERT_TRUE(trt.ok());
+  EXPECT_GT(trt.average_power_w, vllm.average_power_w * 0.98);
+  EXPECT_GT(trt.tokens_per_sec_per_watt, vllm.tokens_per_sec_per_watt);
+}
+
+TEST(Simulator, DecodeStepBreakdownConsistent) {
+  const auto d = sim().decode_step(base(), 16, 512);
+  EXPECT_GT(d.total_s, 0);
+  EXPECT_GE(d.total_s, std::max(d.compute_s, d.memory_s));
+  EXPECT_GT(d.memory_s, d.compute_s);  // decode is bandwidth-bound
+}
+
+TEST(Simulator, PrefillStepComputeBound) {
+  const auto p = sim().prefill_step(base(), 16, 1024);
+  EXPECT_GT(p.compute_s, p.memory_s);  // prefill is compute-bound
+}
+
+TEST(Simulator, KvCapacityPositiveFor7B) {
+  EXPECT_GT(sim().kv_capacity_tokens(base()), 10000);
+}
+
+// Parameterized sanity sweep: every supported (hw, fw) pair runs 7B cleanly.
+class SupportedPairs
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(SupportedPairs, RunsLlama3_8B) {
+  const auto [hw, fw] = GetParam();
+  SimConfig c = base("LLaMA-3-8B", hw, fw);
+  c.batch_size = 4;
+  c.input_tokens = c.output_tokens = 256;
+  if (hw == "SN40L") c.plan.tp = 8;
+  const auto r = sim().run(c);
+  ASSERT_TRUE(r.ok()) << r.status_detail;
+  EXPECT_GT(r.throughput_tps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SupportedPairs,
+    ::testing::Values(std::tuple{"A100", "vLLM"}, std::tuple{"A100", "TensorRT-LLM"},
+                      std::tuple{"A100", "DeepSpeed-MII"},
+                      std::tuple{"A100", "llama.cpp"}, std::tuple{"H100", "vLLM"},
+                      std::tuple{"H100", "TensorRT-LLM"}, std::tuple{"GH200", "vLLM"},
+                      std::tuple{"MI250", "vLLM"}, std::tuple{"MI250", "llama.cpp"},
+                      std::tuple{"MI300X", "vLLM"}, std::tuple{"Gaudi2", "vLLM"},
+                      std::tuple{"Gaudi2", "DeepSpeed-MII"},
+                      std::tuple{"SN40L", "SambaFlow"}));
+
+}  // namespace

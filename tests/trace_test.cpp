@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::sim;
+using llmib::util::ContractViolation;
+
+ServingWorkload workload() {
+  ServingWorkload wl;
+  wl.arrival_rate_rps = 2.0;
+  wl.num_requests = 16;
+  wl.prompt_min = 64;
+  wl.prompt_max = 256;
+  wl.output_min = 16;
+  wl.output_max = 64;
+  wl.seed = 99;
+  return wl;
+}
+
+TEST(Trace, FromWorkloadIsSortedAndSized) {
+  const auto trace = RequestTrace::from_workload(workload());
+  EXPECT_EQ(trace.size(), 16u);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace.requests()[i].arrival_s, trace.requests()[i - 1].arrival_s);
+  EXPECT_GT(trace.total_tokens(), 16 * (64 + 16));
+  EXPECT_NEAR(trace.offered_load_rps(), 2.0, 1.5);  // small-sample Poisson
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const auto trace = RequestTrace::from_workload(workload());
+  const auto text = trace.to_csv_text();
+  EXPECT_NE(text.find("arrival_s,prompt_tokens,output_tokens"), std::string::npos);
+  const auto parsed = RequestTrace::parse_csv_text(text);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(parsed.requests()[i].arrival_s, trace.requests()[i].arrival_s, 1e-5);
+    EXPECT_EQ(parsed.requests()[i].prompt_tokens, trace.requests()[i].prompt_tokens);
+    EXPECT_EQ(parsed.requests()[i].output_tokens, trace.requests()[i].output_tokens);
+  }
+}
+
+TEST(Trace, ParseWithoutHeader) {
+  const auto t = RequestTrace::parse_csv_text("0.5,100,20\n1.5,200,40\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.requests()[1].prompt_tokens, 200);
+}
+
+TEST(Trace, ParseRejectsMalformedRows) {
+  EXPECT_THROW(RequestTrace::parse_csv_text("0.5,100\n"), ContractViolation);
+  EXPECT_THROW(RequestTrace::parse_csv_text("x,100,20\n"), ContractViolation);
+  EXPECT_THROW(RequestTrace::parse_csv_text("0.5,100,0\n"), ContractViolation);
+  EXPECT_THROW(RequestTrace::parse_csv_text("2.0,100,20\n1.0,100,20\n"),
+               ContractViolation);  // unsorted
+}
+
+TEST(Trace, ReplayMatchesWorkloadRunExactly) {
+  const InferenceSimulator sim;
+  const ServingSimulator serving(sim);
+  SimConfig cfg;
+  cfg.model = "LLaMA-3-8B";
+  cfg.accelerator = "A100";
+  cfg.framework = "vLLM";
+  cfg.max_concurrent = 16;
+
+  const auto wl = workload();
+  const auto direct = serving.run(cfg, wl);
+  const auto trace = RequestTrace::from_workload(wl);
+  const auto replayed = replay_trace(serving, cfg, trace, wl.slo_ttft_s);
+  ASSERT_TRUE(direct.ok() && replayed.ok());
+  // Same RNG path => identical event sequence and metrics.
+  EXPECT_EQ(direct.metrics.makespan_s, replayed.metrics.makespan_s);
+  EXPECT_EQ(direct.metrics.ttft_p95_s, replayed.metrics.ttft_p95_s);
+  EXPECT_EQ(direct.metrics.throughput_tps, replayed.metrics.throughput_tps);
+}
+
+TEST(Trace, ReplayAcrossHardwarePreservesOrdering) {
+  const InferenceSimulator sim;
+  const ServingSimulator serving(sim);
+  const auto trace = RequestTrace::from_workload(workload());
+  SimConfig a100, h100;
+  a100.model = h100.model = "LLaMA-3-8B";
+  a100.framework = "vLLM";
+  h100.framework = "TensorRT-LLM";
+  a100.accelerator = "A100";
+  h100.accelerator = "H100";
+  const auto ra = replay_trace(serving, a100, trace);
+  const auto rh = replay_trace(serving, h100, trace);
+  ASSERT_TRUE(ra.ok() && rh.ok());
+  EXPECT_LT(rh.metrics.e2e_p95_s, ra.metrics.e2e_p95_s);  // same trace, faster hw
+}
+
+TEST(Trace, SurvivesStreamIo) {
+  const auto trace = RequestTrace::from_workload(workload());
+  std::stringstream io;
+  trace.write_csv(io);
+  const auto back = RequestTrace::parse_csv(io);
+  EXPECT_EQ(back.size(), trace.size());
+}
+
+TEST(Trace, EmptyTraceReplayRejected) {
+  const InferenceSimulator sim;
+  const ServingSimulator serving(sim);
+  SimConfig cfg;
+  EXPECT_THROW(replay_trace(serving, cfg, RequestTrace{}), ContractViolation);
+}
+
+}  // namespace

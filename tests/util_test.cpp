@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/ascii_plot.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace llmib::util;
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.exponential(4.0));
+  EXPECT_NEAR(acc.mean(), 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(23);
+  auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (auto i : p) {
+    ASSERT_LT(i, 50u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  EXPECT_NEAR(geomean(std::vector<double>{1, 4, 16}), 4.0, 1e-12);
+  EXPECT_THROW(geomean(std::vector<double>{1, 0}), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {5, 7, 9, 11};
+  const auto f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+TEST(Stats, SummarizeConsistentWithPieces) {
+  const std::vector<double> xs = {5, 1, 9, 3, 7};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5, 5);
+    xs.push_back(v);
+    acc.add(v);
+  }
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-9);
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, FormatBytesPicksPrefix) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3.5 * kGiB), "3.50 GiB");
+}
+
+TEST(Units, FormatCompact) {
+  EXPECT_EQ(format_compact(1234), "1.2k");
+  EXPECT_EQ(format_compact(2500000), "2.50M");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(2.5), "2.50 s");
+  EXPECT_EQ(format_duration(0.0031), "3.10 ms");
+  EXPECT_EQ(format_duration(4.2e-5), "42.0 us");
+}
+
+TEST(Units, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RoundTripsThroughParse) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b", "c"});
+  w.write_row({"x,y", "with \"quote\"", "plain"});
+  std::istringstream is(os.str());
+  std::string header, data;
+  std::getline(is, header);
+  std::getline(is, data);
+  const auto fields = parse_csv_line(data);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "with \"quote\"");
+  EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(Csv, RejectsWrongWidthRow) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.write_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Csv, NumericRowFormatting) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "y"});
+  w.write_row_numeric({1.5, 2.25});
+  EXPECT_NE(os.str().find("1.5,2.25"), std::string::npos);
+}
+
+// Property: random field content always survives a write/parse round trip.
+TEST(Csv, PropertyRandomRoundTrip) {
+  Rng rng(77);
+  const std::string alphabet = "ab,\"\ncd ef";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> fields(3);
+    for (auto& f : fields) {
+      const auto len = static_cast<std::size_t>(rng.uniform_int(0, 12));
+      for (std::size_t i = 0; i < len; ++i)
+        f += alphabet[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+    }
+    std::string line;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) line += ',';
+      line += CsvWriter::escape(fields[i]);
+    }
+    // Multi-line fields are quoted, so the logical line is the whole string.
+    const auto parsed = parse_csv_line(line);
+    ASSERT_EQ(parsed.size(), fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      std::string expect = fields[i];
+      // parse_csv_line strips carriage returns by design; none generated.
+      EXPECT_EQ(parsed[i], expect) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- plots
+
+TEST(AsciiPlot, BarChartScalesToMax) {
+  const auto chart = bar_chart({{"a", 10.0}, {"bb", 5.0}}, 10);
+  EXPECT_NE(chart.find("a  | ##########"), std::string::npos);
+  EXPECT_NE(chart.find("bb | #####"), std::string::npos);
+}
+
+TEST(AsciiPlot, BarChartRejectsNegative) {
+  EXPECT_THROW(bar_chart({{"a", -1.0}}), std::invalid_argument);
+}
+
+TEST(AsciiPlot, HeatmapShapeChecks) {
+  EXPECT_THROW(heatmap({"r"}, {"c"}, {{1.0, 2.0}}), std::invalid_argument);
+  const auto h = heatmap({"r1"}, {"c1", "c2"}, {{1.0, 2.0}});
+  EXPECT_NE(h.find("r1"), std::string::npos);
+}
+
+TEST(Check, RequireThrowsContractViolation) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "nope"), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,305 @@
+// llmib — command-line driver for the LLM-Inference-Bench suite.
+//
+//   llmib list
+//   llmib point --model LLaMA-3-8B --hw H100 --fw TensorRT-LLM
+//               --batch 32 --len 1024 [--tp N] [--precision fp16] [--csv]
+//   llmib sweep --model M[,M...] --hw H[,H...] --fw F[,F...]
+//               [--batches 1,16,32,64] [--lens 128,1024] [--csv]
+//   llmib serve --model M --hw H --fw F --rps 4 --requests 64
+//
+// Every command prints a human-readable table; --csv switches to CSV on
+// stdout for piping into the dashboard or a spreadsheet.
+
+#include <cstdio>
+#include <fstream>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/insights.h"
+#include "engine/checkpoint.h"
+#include "engine/generator.h"
+#include "core/suite.h"
+#include "sim/serving.h"
+#include "sim/trace.h"
+#include "util/check.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace llmib;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+  long get_long(const std::string& name, long fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double get_double(const std::string& name, double fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";  // boolean flag
+    }
+  }
+  return args;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    out.push_back(s.substr(start, comma == std::string::npos ? comma : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> split_longs(const std::string& s) {
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_csv(s)) out.push_back(std::atol(part.c_str()));
+  return out;
+}
+
+int cmd_list() {
+  std::printf("models:\n");
+  for (const auto& name : models::ModelRegistry::builtin().names()) {
+    const auto& m = models::ModelRegistry::builtin().get(name);
+    std::printf("  %-14s %3dL x %5dh  %s/%s  vocab %lld  ~%s params\n", name.c_str(),
+                m.n_layers, m.hidden_size, models::attention_name(m.attention).c_str(),
+                models::ffn_name(m.ffn).c_str(), static_cast<long long>(m.vocab_size),
+                util::format_compact(static_cast<double>(m.total_params())).c_str());
+  }
+  std::printf("accelerators:\n");
+  for (const auto& name : hw::AcceleratorRegistry::builtin().names()) {
+    const auto& a = hw::AcceleratorRegistry::builtin().get(name);
+    std::printf("  %-8s %3.0f GB x %d devices, %5.0f GB/s, %4.0f W TDP (%s)\n",
+                name.c_str(), a.memory_gb, a.devices_per_node, a.hbm_bandwidth_gbs,
+                a.tdp_watts, a.vendor.c_str());
+  }
+  std::printf("frameworks:\n");
+  for (const auto& name : frameworks::FrameworkRegistry::builtin().names()) {
+    const auto& f = frameworks::FrameworkRegistry::builtin().get(name);
+    std::string hw_list;
+    for (const auto& hw : f.supported_hw) hw_list += hw + " ";
+    std::printf("  %-14s on: %s\n", name.c_str(), hw_list.c_str());
+  }
+  return 0;
+}
+
+int cmd_point(const Args& args) {
+  core::BenchmarkRunner runner;
+  sim::SimConfig cfg;
+  cfg.model = args.get("model", "LLaMA-3-8B");
+  cfg.accelerator = args.get("hw", "A100");
+  cfg.framework = args.get("fw", "vLLM");
+  cfg.batch_size = args.get_long("batch", 16);
+  cfg.input_tokens = args.get_long("len", 1024);
+  cfg.output_tokens = args.get_long("out", cfg.input_tokens);
+  cfg.precision = hw::precision_from_name(args.get("precision", "fp16"));
+  cfg.kv_precision = cfg.precision == hw::Precision::kFP32 ? hw::Precision::kFP16
+                                                           : cfg.precision;
+  if (args.flag("tp")) {
+    cfg.plan.tp = static_cast<int>(args.get_long("tp", 1));
+  } else if (const auto plan = runner.auto_plan(cfg.model, cfg.accelerator,
+                                                cfg.framework, cfg.precision)) {
+    cfg.plan = *plan;
+  }
+
+  const auto row = runner.run_point(cfg);
+  core::ResultSet set;
+  set.add(row);
+  std::printf("%s", args.flag("csv") ? set.to_table().to_csv().c_str()
+                                     : set.to_table().to_text().c_str());
+  if (!row.result.ok())
+    std::printf("note: %s\n", row.result.status_detail.c_str());
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  core::BenchmarkRunner runner;
+  core::SweepAxes axes;
+  axes.models = split_csv(args.get("model", "LLaMA-3-8B"));
+  axes.accelerators = split_csv(args.get("hw", "A100,H100"));
+  axes.frameworks = split_csv(args.get("fw", "vLLM"));
+  axes.batch_sizes = split_longs(args.get("batches", "1,16,32,64"));
+  axes.io_lengths = split_longs(args.get("lens", "128,1024"));
+  axes.precision = hw::precision_from_name(args.get("precision", "fp16"));
+  const auto set = runner.run_sweep(axes);
+  std::printf("%s", args.flag("csv") ? set.to_table().to_csv().c_str()
+                                     : set.to_table().to_text().c_str());
+  if (!args.flag("csv")) {
+    std::printf("\ninsights:\n");
+    for (const auto& i : core::extract_insights(set))
+      std::printf("  [%s] %s\n", i.category.c_str(), i.text.c_str());
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  // Run the REAL mini engine: build (or load) a model, generate tokens.
+  engine::TransformerWeights weights = [&] {
+    if (args.flag("load")) return engine::checkpoint::load_file(args.get("load", ""));
+    models::ModelConfig cfg;
+    cfg.name = "cli-mini";
+    cfg.n_layers = static_cast<int>(args.get_long("layers", 2));
+    cfg.hidden_size = static_cast<int>(args.get_long("hidden", 64));
+    cfg.attention = models::AttentionKind::kGQA;
+    cfg.n_heads = 8;
+    cfg.n_kv_heads = 2;
+    cfg.ffn_intermediate = args.get_long("ffn", 128);
+    cfg.max_seq_len = 1024;
+    cfg.vocab_size = args.get_long("vocab", 256);
+    return engine::TransformerWeights::random(
+        cfg, static_cast<std::uint64_t>(args.get_long("seed", 42)));
+  }();
+  if (args.flag("save")) {
+    engine::checkpoint::save_file(weights, args.get("save", ""));
+    std::printf("saved checkpoint (%zu parameters)\n", weights.parameter_count());
+  }
+  const engine::MiniTransformer model(weights);
+
+  std::vector<engine::TokenId> prompt;
+  for (const auto& part : split_csv(args.get("prompt", "1,2,3")))
+    prompt.push_back(static_cast<engine::TokenId>(std::atol(part.c_str())));
+
+  engine::GenerateOptions opts;
+  opts.max_new_tokens = args.get_long("tokens", 16);
+  opts.temperature = args.get_double("temperature", 0.0);
+  opts.sampler_seed = static_cast<std::uint64_t>(args.get_long("sampler-seed", 1234));
+  const auto res = generate(model, prompt, opts);
+  std::printf("model: %s (%zu params)\nprompt:", weights.config.name.c_str(),
+              weights.parameter_count());
+  for (auto t : prompt) std::printf(" %d", t);
+  std::printf("\noutput:");
+  for (auto t : res.tokens) std::printf(" %d", t);
+  std::printf("\n(%zu forward passes)\n", res.forward_passes);
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const sim::InferenceSimulator simulator;
+  const sim::ServingSimulator serving(simulator);
+  core::BenchmarkRunner runner;
+
+  sim::SimConfig cfg;
+  cfg.model = args.get("model", "LLaMA-3-8B");
+  cfg.accelerator = args.get("hw", "A100");
+  cfg.framework = args.get("fw", "vLLM");
+  cfg.max_concurrent = args.get_long("concurrency", 32);
+  if (const auto plan = runner.auto_plan(cfg.model, cfg.accelerator, cfg.framework,
+                                         cfg.precision)) {
+    cfg.plan = *plan;
+  }
+
+  sim::ServingWorkload wl;
+  wl.arrival_rate_rps = args.get_double("rps", 2.0);
+  wl.num_requests = args.get_long("requests", 64);
+  wl.prompt_min = args.get_long("prompt-min", 64);
+  wl.prompt_max = args.get_long("prompt-max", 512);
+  wl.output_min = args.get_long("out-min", 32);
+  wl.output_max = args.get_long("out-max", 256);
+  wl.seed = static_cast<std::uint64_t>(args.get_long("seed", 1234));
+  wl.slo_ttft_s = args.get_double("slo-ttft", 0.0);
+
+  sim::ServingSimulator::Result r;
+  if (args.flag("trace")) {
+    std::ifstream in(args.get("trace", ""));
+    util::require(in.is_open(), "cannot open trace file");
+    const auto trace = sim::RequestTrace::parse_csv(in);
+    std::printf("replaying %zu-request trace (%.2f req/s offered)\n", trace.size(),
+                trace.offered_load_rps());
+    r = sim::replay_trace(serving, cfg, trace, wl.slo_ttft_s);
+  } else {
+    if (args.flag("save-trace")) {
+      std::ofstream out(args.get("save-trace", ""));
+      util::require(out.is_open(), "cannot open trace output file");
+      sim::RequestTrace::from_workload(wl).write_csv(out);
+      std::printf("trace saved to %s\n", args.get("save-trace", "").c_str());
+    }
+    r = serving.run(cfg, wl);
+  }
+  if (!r.ok()) {
+    std::printf("cannot serve: %s\n", r.status_detail.c_str());
+    return 1;
+  }
+  const auto& m = r.metrics;
+  std::printf("online serving: %s on %s + %s (%s)\n", cfg.model.c_str(),
+              cfg.accelerator.c_str(), cfg.framework.c_str(),
+              cfg.plan.to_string().c_str());
+  std::printf("  offered / achieved : %.2f / %.2f req/s%s\n", m.offered_load_rps,
+              m.achieved_rps, m.saturated ? "   ** SATURATED **" : "");
+  std::printf("  token throughput   : %.0f tok/s over %.1f s\n", m.throughput_tps,
+              m.makespan_s);
+  std::printf("  TTFT p50/p95/p99   : %s / %s / %s\n",
+              util::format_duration(m.ttft_p50_s).c_str(),
+              util::format_duration(m.ttft_p95_s).c_str(),
+              util::format_duration(m.ttft_p99_s).c_str());
+  std::printf("  e2e  p50/p95/p99   : %s / %s / %s\n",
+              util::format_duration(m.e2e_p50_s).c_str(),
+              util::format_duration(m.e2e_p95_s).c_str(),
+              util::format_duration(m.e2e_p99_s).c_str());
+  std::printf("  peak concurrency   : %lld (queue depth %lld)\n",
+              static_cast<long long>(m.max_concurrency),
+              static_cast<long long>(m.peak_queue_depth));
+  if (m.slo_goodput < 1.0)
+    std::printf("  SLO goodput        : %.1f%%\n", m.slo_goodput * 100.0);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "llmib — LLM-Inference-Bench driver\n"
+      "  llmib list\n"
+      "  llmib point --model M --hw H --fw F [--batch N] [--len N] [--out N]\n"
+      "              [--tp N] [--precision fp16|fp8|int8|int4] [--csv]\n"
+      "  llmib sweep --model M[,M..] --hw H[,H..] --fw F[,F..]\n"
+      "              [--batches 1,16,..] [--lens 128,..] [--csv]\n"
+      "  llmib serve --model M --hw H --fw F [--rps R] [--requests N]\n"
+      "              [--concurrency N] [--prompt-min/max N] [--out-min/max N]\n"
+      "  llmib generate [--seed N] [--layers N] [--hidden N] [--vocab N]\n"
+      "              [--prompt 1,2,3] [--tokens N] [--temperature T]\n"
+      "              [--save file.bin | --load file.bin]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "list") return cmd_list();
+    if (args.command == "point") return cmd_point(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "generate") return cmd_generate(args);
+    usage();
+    return args.command.empty() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
