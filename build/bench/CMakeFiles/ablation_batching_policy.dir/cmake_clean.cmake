@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batching_policy.dir/ablation_batching_policy.cpp.o"
+  "CMakeFiles/ablation_batching_policy.dir/ablation_batching_policy.cpp.o.d"
+  "ablation_batching_policy"
+  "ablation_batching_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batching_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

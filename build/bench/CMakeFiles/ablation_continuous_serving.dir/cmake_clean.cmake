@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_continuous_serving.dir/ablation_continuous_serving.cpp.o"
+  "CMakeFiles/ablation_continuous_serving.dir/ablation_continuous_serving.cpp.o.d"
+  "ablation_continuous_serving"
+  "ablation_continuous_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_continuous_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gqa_kernel.dir/ablation_gqa_kernel.cpp.o"
+  "CMakeFiles/ablation_gqa_kernel.dir/ablation_gqa_kernel.cpp.o.d"
+  "ablation_gqa_kernel"
+  "ablation_gqa_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gqa_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_moe_traffic.dir/ablation_moe_traffic.cpp.o"
+  "CMakeFiles/ablation_moe_traffic.dir/ablation_moe_traffic.cpp.o.d"
+  "ablation_moe_traffic"
+  "ablation_moe_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_moe_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

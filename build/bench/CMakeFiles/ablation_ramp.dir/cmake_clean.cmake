@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ramp.dir/ablation_ramp.cpp.o"
+  "CMakeFiles/ablation_ramp.dir/ablation_ramp.cpp.o.d"
+  "ablation_ramp"
+  "ablation_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_gen.dir/dashboard_gen.cpp.o"
+  "CMakeFiles/dashboard_gen.dir/dashboard_gen.cpp.o.d"
+  "dashboard_gen"
+  "dashboard_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_batch_scaling.dir/engine_batch_scaling.cpp.o"
+  "CMakeFiles/engine_batch_scaling.dir/engine_batch_scaling.cpp.o.d"
+  "engine_batch_scaling"
+  "engine_batch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_batch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_io_heatmap.dir/fig01b_io_heatmap.cpp.o"
+  "CMakeFiles/fig01b_io_heatmap.dir/fig01b_io_heatmap.cpp.o.d"
+  "fig01b_io_heatmap"
+  "fig01b_io_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_io_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02a_kv_cache.dir/fig02a_kv_cache.cpp.o"
+  "CMakeFiles/fig02a_kv_cache.dir/fig02a_kv_cache.cpp.o.d"
+  "fig02a_kv_cache"
+  "fig02a_kv_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_kv_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

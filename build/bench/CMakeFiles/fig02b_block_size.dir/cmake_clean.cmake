@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02b_block_size.dir/fig02b_block_size.cpp.o"
+  "CMakeFiles/fig02b_block_size.dir/fig02b_block_size.cpp.o.d"
+  "fig02b_block_size"
+  "fig02b_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_quantization.dir/fig03_quantization.cpp.o"
+  "CMakeFiles/fig03_quantization.dir/fig03_quantization.cpp.o.d"
+  "fig03_quantization"
+  "fig03_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04a_nas_decilm.dir/fig04a_nas_decilm.cpp.o"
+  "CMakeFiles/fig04a_nas_decilm.dir/fig04a_nas_decilm.cpp.o.d"
+  "fig04a_nas_decilm"
+  "fig04a_nas_decilm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04a_nas_decilm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

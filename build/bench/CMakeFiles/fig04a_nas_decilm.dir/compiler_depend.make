@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04a_nas_decilm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04a_nas_decilm.
+# This may be replaced when dependencies are built.

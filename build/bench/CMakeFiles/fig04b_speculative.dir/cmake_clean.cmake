@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04b_speculative.dir/fig04b_speculative.cpp.o"
+  "CMakeFiles/fig04b_speculative.dir/fig04b_speculative.cpp.o.d"
+  "fig04b_speculative"
+  "fig04b_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04b_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_parallelism.dir/fig05_parallelism.cpp.o"
+  "CMakeFiles/fig05_parallelism.dir/fig05_parallelism.cpp.o.d"
+  "fig05_parallelism"
+  "fig05_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_trtllm_7b.dir/fig06_trtllm_7b.cpp.o"
+  "CMakeFiles/fig06_trtllm_7b.dir/fig06_trtllm_7b.cpp.o.d"
+  "fig06_trtllm_7b"
+  "fig06_trtllm_7b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_trtllm_7b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

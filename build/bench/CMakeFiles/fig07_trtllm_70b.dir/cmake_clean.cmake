@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_trtllm_70b.dir/fig07_trtllm_70b.cpp.o"
+  "CMakeFiles/fig07_trtllm_70b.dir/fig07_trtllm_70b.cpp.o.d"
+  "fig07_trtllm_70b"
+  "fig07_trtllm_70b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_trtllm_70b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vllm_7b.dir/fig08_vllm_7b.cpp.o"
+  "CMakeFiles/fig08_vllm_7b.dir/fig08_vllm_7b.cpp.o.d"
+  "fig08_vllm_7b"
+  "fig08_vllm_7b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vllm_7b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vllm_70b.dir/fig09_vllm_70b.cpp.o"
+  "CMakeFiles/fig09_vllm_70b.dir/fig09_vllm_70b.cpp.o.d"
+  "fig09_vllm_70b"
+  "fig09_vllm_70b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vllm_70b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

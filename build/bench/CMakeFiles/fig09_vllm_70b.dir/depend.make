@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_vllm_70b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ppl_vs_tput.dir/fig10_ppl_vs_tput.cpp.o"
+  "CMakeFiles/fig10_ppl_vs_tput.dir/fig10_ppl_vs_tput.cpp.o.d"
+  "fig10_ppl_vs_tput"
+  "fig10_ppl_vs_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ppl_vs_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dsmii_7b.dir/fig11_dsmii_7b.cpp.o"
+  "CMakeFiles/fig11_dsmii_7b.dir/fig11_dsmii_7b.cpp.o.d"
+  "fig11_dsmii_7b"
+  "fig11_dsmii_7b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dsmii_7b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

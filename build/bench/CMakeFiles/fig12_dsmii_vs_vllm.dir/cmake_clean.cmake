@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dsmii_vs_vllm.dir/fig12_dsmii_vs_vllm.cpp.o"
+  "CMakeFiles/fig12_dsmii_vs_vllm.dir/fig12_dsmii_vs_vllm.cpp.o.d"
+  "fig12_dsmii_vs_vllm"
+  "fig12_dsmii_vs_vllm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dsmii_vs_vllm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

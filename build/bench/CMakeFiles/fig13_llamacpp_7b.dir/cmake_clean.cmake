@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_llamacpp_7b.dir/fig13_llamacpp_7b.cpp.o"
+  "CMakeFiles/fig13_llamacpp_7b.dir/fig13_llamacpp_7b.cpp.o.d"
+  "fig13_llamacpp_7b"
+  "fig13_llamacpp_7b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_llamacpp_7b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

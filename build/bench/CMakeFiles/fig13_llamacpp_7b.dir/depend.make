@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_llamacpp_7b.
+# This may be replaced when dependencies are built.

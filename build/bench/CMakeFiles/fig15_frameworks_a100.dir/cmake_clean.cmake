@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_frameworks_a100.dir/fig15_frameworks_a100.cpp.o"
+  "CMakeFiles/fig15_frameworks_a100.dir/fig15_frameworks_a100.cpp.o.d"
+  "fig15_frameworks_a100"
+  "fig15_frameworks_a100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_frameworks_a100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

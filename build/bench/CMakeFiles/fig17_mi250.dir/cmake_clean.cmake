@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_mi250.dir/fig17_mi250.cpp.o"
+  "CMakeFiles/fig17_mi250.dir/fig17_mi250.cpp.o.d"
+  "fig17_mi250"
+  "fig17_mi250.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_mi250.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_mi250.
+# This may be replaced when dependencies are built.

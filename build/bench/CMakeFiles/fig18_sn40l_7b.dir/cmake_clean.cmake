@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sn40l_7b.dir/fig18_sn40l_7b.cpp.o"
+  "CMakeFiles/fig18_sn40l_7b.dir/fig18_sn40l_7b.cpp.o.d"
+  "fig18_sn40l_7b"
+  "fig18_sn40l_7b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sn40l_7b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_sn40l_70b.dir/fig19_sn40l_70b.cpp.o"
+  "CMakeFiles/fig19_sn40l_70b.dir/fig19_sn40l_70b.cpp.o.d"
+  "fig19_sn40l_70b"
+  "fig19_sn40l_70b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_sn40l_70b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig19_sn40l_70b.
+# This may be replaced when dependencies are built.

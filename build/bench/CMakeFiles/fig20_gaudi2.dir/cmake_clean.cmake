@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_gaudi2.dir/fig20_gaudi2.cpp.o"
+  "CMakeFiles/fig20_gaudi2.dir/fig20_gaudi2.cpp.o.d"
+  "fig20_gaudi2"
+  "fig20_gaudi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_gaudi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_ttft.dir/fig21_ttft.cpp.o"
+  "CMakeFiles/fig21_ttft.dir/fig21_ttft.cpp.o.d"
+  "fig21_ttft"
+  "fig21_ttft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_ttft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_itl.dir/fig22_itl.cpp.o"
+  "CMakeFiles/fig22_itl.dir/fig22_itl.cpp.o.d"
+  "fig22_itl"
+  "fig22_itl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_itl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_tput_vs_batch.dir/fig23_tput_vs_batch.cpp.o"
+  "CMakeFiles/fig23_tput_vs_batch.dir/fig23_tput_vs_batch.cpp.o.d"
+  "fig23_tput_vs_batch"
+  "fig23_tput_vs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_tput_vs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_tput_vs_len.dir/fig24_tput_vs_len.cpp.o"
+  "CMakeFiles/fig24_tput_vs_len.dir/fig24_tput_vs_len.cpp.o.d"
+  "fig24_tput_vs_len"
+  "fig24_tput_vs_len.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_tput_vs_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig24_tput_vs_len.
+# This may be replaced when dependencies are built.

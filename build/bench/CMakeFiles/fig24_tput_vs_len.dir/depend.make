@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24_tput_vs_len.
+# This may be replaced when dependencies are built.

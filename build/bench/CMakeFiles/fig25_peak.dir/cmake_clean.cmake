@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_peak.dir/fig25_peak.cpp.o"
+  "CMakeFiles/fig25_peak.dir/fig25_peak.cpp.o.d"
+  "fig25_peak"
+  "fig25_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

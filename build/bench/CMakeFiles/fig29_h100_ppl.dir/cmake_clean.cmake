@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig29_h100_ppl.dir/fig29_h100_ppl.cpp.o"
+  "CMakeFiles/fig29_h100_ppl.dir/fig29_h100_ppl.cpp.o.d"
+  "fig29_h100_ppl"
+  "fig29_h100_ppl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig29_h100_ppl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

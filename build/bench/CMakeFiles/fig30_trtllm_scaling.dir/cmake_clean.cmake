@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig30_trtllm_scaling.dir/fig30_trtllm_scaling.cpp.o"
+  "CMakeFiles/fig30_trtllm_scaling.dir/fig30_trtllm_scaling.cpp.o.d"
+  "fig30_trtllm_scaling"
+  "fig30_trtllm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_trtllm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig31_vllm_scaling.dir/fig31_vllm_scaling.cpp.o"
+  "CMakeFiles/fig31_vllm_scaling.dir/fig31_vllm_scaling.cpp.o.d"
+  "fig31_vllm_scaling"
+  "fig31_vllm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig31_vllm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig32_llamacpp_70b.dir/fig32_llamacpp_70b.cpp.o"
+  "CMakeFiles/fig32_llamacpp_70b.dir/fig32_llamacpp_70b.cpp.o.d"
+  "fig32_llamacpp_70b"
+  "fig32_llamacpp_70b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig32_llamacpp_70b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

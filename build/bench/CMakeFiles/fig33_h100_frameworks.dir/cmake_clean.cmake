@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig33_h100_frameworks.dir/fig33_h100_frameworks.cpp.o"
+  "CMakeFiles/fig33_h100_frameworks.dir/fig33_h100_frameworks.cpp.o.d"
+  "fig33_h100_frameworks"
+  "fig33_h100_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig33_h100_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig33_h100_frameworks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig33_h100_frameworks.
+# This may be replaced when dependencies are built.

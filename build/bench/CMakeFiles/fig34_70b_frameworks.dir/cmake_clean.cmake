@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig34_70b_frameworks.dir/fig34_70b_frameworks.cpp.o"
+  "CMakeFiles/fig34_70b_frameworks.dir/fig34_70b_frameworks.cpp.o.d"
+  "fig34_70b_frameworks"
+  "fig34_70b_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_70b_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

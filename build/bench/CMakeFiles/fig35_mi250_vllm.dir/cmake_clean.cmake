@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig35_mi250_vllm.dir/fig35_mi250_vllm.cpp.o"
+  "CMakeFiles/fig35_mi250_vllm.dir/fig35_mi250_vllm.cpp.o.d"
+  "fig35_mi250_vllm"
+  "fig35_mi250_vllm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig35_mi250_vllm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig35_mi250_vllm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig36_mi250_llamacpp.dir/fig36_mi250_llamacpp.cpp.o"
+  "CMakeFiles/fig36_mi250_llamacpp.dir/fig36_mi250_llamacpp.cpp.o.d"
+  "fig36_mi250_llamacpp"
+  "fig36_mi250_llamacpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig36_mi250_llamacpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig36_mi250_llamacpp.
+# This may be replaced when dependencies are built.

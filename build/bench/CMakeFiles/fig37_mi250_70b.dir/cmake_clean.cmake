@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig37_mi250_70b.dir/fig37_mi250_70b.cpp.o"
+  "CMakeFiles/fig37_mi250_70b.dir/fig37_mi250_70b.cpp.o.d"
+  "fig37_mi250_70b"
+  "fig37_mi250_70b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig37_mi250_70b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

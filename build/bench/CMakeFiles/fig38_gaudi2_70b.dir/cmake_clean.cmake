@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig38_gaudi2_70b.dir/fig38_gaudi2_70b.cpp.o"
+  "CMakeFiles/fig38_gaudi2_70b.dir/fig38_gaudi2_70b.cpp.o.d"
+  "fig38_gaudi2_70b"
+  "fig38_gaudi2_70b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig38_gaudi2_70b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

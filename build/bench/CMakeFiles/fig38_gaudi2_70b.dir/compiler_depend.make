@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig38_gaudi2_70b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig38_gaudi2_70b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_quality.dir/quant_quality.cpp.o"
+  "CMakeFiles/quant_quality.dir/quant_quality.cpp.o.d"
+  "quant_quality"
+  "quant_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_load_sweep.dir/serving_load_sweep.cpp.o"
+  "CMakeFiles/serving_load_sweep.dir/serving_load_sweep.cpp.o.d"
+  "serving_load_sweep"
+  "serving_load_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

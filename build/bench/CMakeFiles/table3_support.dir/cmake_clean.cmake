@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_support.dir/table3_support.cpp.o"
+  "CMakeFiles/table3_support.dir/table3_support.cpp.o.d"
+  "table3_support"
+  "table3_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_accelerator_advisor.dir/accelerator_advisor.cpp.o"
+  "CMakeFiles/example_accelerator_advisor.dir/accelerator_advisor.cpp.o.d"
+  "example_accelerator_advisor"
+  "example_accelerator_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_accelerator_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

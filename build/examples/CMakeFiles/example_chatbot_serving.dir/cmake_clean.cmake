@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chatbot_serving.dir/chatbot_serving.cpp.o"
+  "CMakeFiles/example_chatbot_serving.dir/chatbot_serving.cpp.o.d"
+  "example_chatbot_serving"
+  "example_chatbot_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chatbot_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paged_attention_tour.dir/paged_attention_tour.cpp.o"
+  "CMakeFiles/example_paged_attention_tour.dir/paged_attention_tour.cpp.o.d"
+  "example_paged_attention_tour"
+  "example_paged_attention_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paged_attention_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_perplexity_eval.dir/perplexity_eval.cpp.o"
+  "CMakeFiles/example_perplexity_eval.dir/perplexity_eval.cpp.o.d"
+  "example_perplexity_eval"
+  "example_perplexity_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_perplexity_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_perplexity_eval.
+# This may be replaced when dependencies are built.

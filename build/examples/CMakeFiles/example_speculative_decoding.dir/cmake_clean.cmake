@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speculative_decoding.dir/speculative_decoding.cpp.o"
+  "CMakeFiles/example_speculative_decoding.dir/speculative_decoding.cpp.o.d"
+  "example_speculative_decoding"
+  "example_speculative_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speculative_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_core.dir/core/insights.cpp.o"
+  "CMakeFiles/llmib_core.dir/core/insights.cpp.o.d"
+  "CMakeFiles/llmib_core.dir/core/suite.cpp.o"
+  "CMakeFiles/llmib_core.dir/core/suite.cpp.o.d"
+  "libllmib_core.a"
+  "libllmib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

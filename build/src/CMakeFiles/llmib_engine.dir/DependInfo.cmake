@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/batched.cpp" "src/CMakeFiles/llmib_engine.dir/engine/batched.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/batched.cpp.o.d"
+  "/root/repo/src/engine/beam_search.cpp" "src/CMakeFiles/llmib_engine.dir/engine/beam_search.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/beam_search.cpp.o.d"
+  "/root/repo/src/engine/checkpoint.cpp" "src/CMakeFiles/llmib_engine.dir/engine/checkpoint.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/checkpoint.cpp.o.d"
+  "/root/repo/src/engine/generator.cpp" "src/CMakeFiles/llmib_engine.dir/engine/generator.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/generator.cpp.o.d"
+  "/root/repo/src/engine/kv_store.cpp" "src/CMakeFiles/llmib_engine.dir/engine/kv_store.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/kv_store.cpp.o.d"
+  "/root/repo/src/engine/model.cpp" "src/CMakeFiles/llmib_engine.dir/engine/model.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/model.cpp.o.d"
+  "/root/repo/src/engine/parallel_exec.cpp" "src/CMakeFiles/llmib_engine.dir/engine/parallel_exec.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/parallel_exec.cpp.o.d"
+  "/root/repo/src/engine/quantized_kv.cpp" "src/CMakeFiles/llmib_engine.dir/engine/quantized_kv.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/quantized_kv.cpp.o.d"
+  "/root/repo/src/engine/sampler.cpp" "src/CMakeFiles/llmib_engine.dir/engine/sampler.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/sampler.cpp.o.d"
+  "/root/repo/src/engine/speculative.cpp" "src/CMakeFiles/llmib_engine.dir/engine/speculative.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/speculative.cpp.o.d"
+  "/root/repo/src/engine/tensor_ops.cpp" "src/CMakeFiles/llmib_engine.dir/engine/tensor_ops.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/tensor_ops.cpp.o.d"
+  "/root/repo/src/engine/weights.cpp" "src/CMakeFiles/llmib_engine.dir/engine/weights.cpp.o" "gcc" "src/CMakeFiles/llmib_engine.dir/engine/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llmib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

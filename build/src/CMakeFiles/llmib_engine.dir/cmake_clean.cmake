@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_engine.dir/engine/batched.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/batched.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/beam_search.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/beam_search.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/checkpoint.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/checkpoint.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/generator.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/generator.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/kv_store.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/kv_store.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/model.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/model.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/parallel_exec.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/parallel_exec.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/quantized_kv.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/quantized_kv.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/sampler.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/sampler.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/speculative.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/speculative.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/tensor_ops.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/tensor_ops.cpp.o.d"
+  "CMakeFiles/llmib_engine.dir/engine/weights.cpp.o"
+  "CMakeFiles/llmib_engine.dir/engine/weights.cpp.o.d"
+  "libllmib_engine.a"
+  "libllmib_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/arch_estimator.cpp" "src/CMakeFiles/llmib_eval.dir/eval/arch_estimator.cpp.o" "gcc" "src/CMakeFiles/llmib_eval.dir/eval/arch_estimator.cpp.o.d"
+  "/root/repo/src/eval/perplexity.cpp" "src/CMakeFiles/llmib_eval.dir/eval/perplexity.cpp.o" "gcc" "src/CMakeFiles/llmib_eval.dir/eval/perplexity.cpp.o.d"
+  "/root/repo/src/eval/synthetic_corpus.cpp" "src/CMakeFiles/llmib_eval.dir/eval/synthetic_corpus.cpp.o" "gcc" "src/CMakeFiles/llmib_eval.dir/eval/synthetic_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llmib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_eval.dir/eval/arch_estimator.cpp.o"
+  "CMakeFiles/llmib_eval.dir/eval/arch_estimator.cpp.o.d"
+  "CMakeFiles/llmib_eval.dir/eval/perplexity.cpp.o"
+  "CMakeFiles/llmib_eval.dir/eval/perplexity.cpp.o.d"
+  "CMakeFiles/llmib_eval.dir/eval/synthetic_corpus.cpp.o"
+  "CMakeFiles/llmib_eval.dir/eval/synthetic_corpus.cpp.o.d"
+  "libllmib_eval.a"
+  "libllmib_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

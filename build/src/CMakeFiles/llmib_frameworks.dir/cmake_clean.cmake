@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_frameworks.dir/frameworks/traits.cpp.o"
+  "CMakeFiles/llmib_frameworks.dir/frameworks/traits.cpp.o.d"
+  "libllmib_frameworks.a"
+  "libllmib_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

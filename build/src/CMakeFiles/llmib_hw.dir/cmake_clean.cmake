@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_hw.dir/hw/accelerator.cpp.o"
+  "CMakeFiles/llmib_hw.dir/hw/accelerator.cpp.o.d"
+  "CMakeFiles/llmib_hw.dir/hw/device_model.cpp.o"
+  "CMakeFiles/llmib_hw.dir/hw/device_model.cpp.o.d"
+  "libllmib_hw.a"
+  "libllmib_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_kv.dir/kv/paged_allocator.cpp.o"
+  "CMakeFiles/llmib_kv.dir/kv/paged_allocator.cpp.o.d"
+  "libllmib_kv.a"
+  "libllmib_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

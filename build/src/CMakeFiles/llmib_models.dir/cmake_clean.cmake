@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_models.dir/models/config.cpp.o"
+  "CMakeFiles/llmib_models.dir/models/config.cpp.o.d"
+  "CMakeFiles/llmib_models.dir/models/costs.cpp.o"
+  "CMakeFiles/llmib_models.dir/models/costs.cpp.o.d"
+  "libllmib_models.a"
+  "libllmib_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/comm.cpp" "src/CMakeFiles/llmib_parallel.dir/parallel/comm.cpp.o" "gcc" "src/CMakeFiles/llmib_parallel.dir/parallel/comm.cpp.o.d"
+  "/root/repo/src/parallel/plan.cpp" "src/CMakeFiles/llmib_parallel.dir/parallel/plan.cpp.o" "gcc" "src/CMakeFiles/llmib_parallel.dir/parallel/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llmib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_parallel.dir/parallel/comm.cpp.o"
+  "CMakeFiles/llmib_parallel.dir/parallel/comm.cpp.o.d"
+  "CMakeFiles/llmib_parallel.dir/parallel/plan.cpp.o"
+  "CMakeFiles/llmib_parallel.dir/parallel/plan.cpp.o.d"
+  "libllmib_parallel.a"
+  "libllmib_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

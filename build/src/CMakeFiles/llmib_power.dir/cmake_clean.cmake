@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_power.dir/power/power_model.cpp.o"
+  "CMakeFiles/llmib_power.dir/power/power_model.cpp.o.d"
+  "libllmib_power.a"
+  "libllmib_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_quant.dir/quant/int4.cpp.o"
+  "CMakeFiles/llmib_quant.dir/quant/int4.cpp.o.d"
+  "CMakeFiles/llmib_quant.dir/quant/int8.cpp.o"
+  "CMakeFiles/llmib_quant.dir/quant/int8.cpp.o.d"
+  "CMakeFiles/llmib_quant.dir/quant/numeric.cpp.o"
+  "CMakeFiles/llmib_quant.dir/quant/numeric.cpp.o.d"
+  "libllmib_quant.a"
+  "libllmib_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_report.dir/report/dashboard.cpp.o"
+  "CMakeFiles/llmib_report.dir/report/dashboard.cpp.o.d"
+  "CMakeFiles/llmib_report.dir/report/shape_check.cpp.o"
+  "CMakeFiles/llmib_report.dir/report/shape_check.cpp.o.d"
+  "CMakeFiles/llmib_report.dir/report/table.cpp.o"
+  "CMakeFiles/llmib_report.dir/report/table.cpp.o.d"
+  "libllmib_report.a"
+  "libllmib_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

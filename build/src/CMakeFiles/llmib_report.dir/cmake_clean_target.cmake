@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllmib_report.a"
+)

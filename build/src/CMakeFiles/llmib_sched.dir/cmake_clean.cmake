@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/llmib_sched.dir/sched/scheduler.cpp.o.d"
+  "libllmib_sched.a"
+  "libllmib_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

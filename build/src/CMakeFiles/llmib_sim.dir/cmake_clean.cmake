@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_sim.dir/sim/serving.cpp.o"
+  "CMakeFiles/llmib_sim.dir/sim/serving.cpp.o.d"
+  "CMakeFiles/llmib_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/llmib_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/llmib_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/llmib_sim.dir/sim/trace.cpp.o.d"
+  "libllmib_sim.a"
+  "libllmib_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

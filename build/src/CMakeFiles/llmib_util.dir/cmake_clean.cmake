@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_util.dir/util/ascii_plot.cpp.o"
+  "CMakeFiles/llmib_util.dir/util/ascii_plot.cpp.o.d"
+  "CMakeFiles/llmib_util.dir/util/csv.cpp.o"
+  "CMakeFiles/llmib_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/llmib_util.dir/util/rng.cpp.o"
+  "CMakeFiles/llmib_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/llmib_util.dir/util/stats.cpp.o"
+  "CMakeFiles/llmib_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/llmib_util.dir/util/units.cpp.o"
+  "CMakeFiles/llmib_util.dir/util/units.cpp.o.d"
+  "libllmib_util.a"
+  "libllmib_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

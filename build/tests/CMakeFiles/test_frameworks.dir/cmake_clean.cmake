@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frameworks.dir/frameworks_test.cpp.o"
+  "CMakeFiles/test_frameworks.dir/frameworks_test.cpp.o.d"
+  "test_frameworks"
+  "test_frameworks.pdb"
+  "test_frameworks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

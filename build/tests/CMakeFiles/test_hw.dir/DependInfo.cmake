@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/test_hw.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/llmib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/llmib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_int4.dir/int4_test.cpp.o"
+  "CMakeFiles/test_int4.dir/int4_test.cpp.o.d"
+  "test_int4"
+  "test_int4.pdb"
+  "test_int4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_int4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling_checkpoint.dir/sampling_checkpoint_test.cpp.o"
+  "CMakeFiles/test_sampling_checkpoint.dir/sampling_checkpoint_test.cpp.o.d"
+  "test_sampling_checkpoint"
+  "test_sampling_checkpoint.pdb"
+  "test_sampling_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

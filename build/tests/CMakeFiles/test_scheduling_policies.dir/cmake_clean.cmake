@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduling_policies.dir/scheduling_policies_test.cpp.o"
+  "CMakeFiles/test_scheduling_policies.dir/scheduling_policies_test.cpp.o.d"
+  "test_scheduling_policies"
+  "test_scheduling_policies.pdb"
+  "test_scheduling_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduling_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

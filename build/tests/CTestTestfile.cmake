@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_quant[1]_include.cmake")
+include("/root/repo/build/tests/test_kv[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_frameworks[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_serving[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduling_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_sampling_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_batched[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_features[1]_include.cmake")
+include("/root/repo/build/tests/test_int4[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmib_cli.dir/llmib_cli.cpp.o"
+  "CMakeFiles/llmib_cli.dir/llmib_cli.cpp.o.d"
+  "llmib"
+  "llmib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmib_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
