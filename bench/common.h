@@ -10,15 +10,18 @@
 // Exit code is 0 even on shape deviations — deviations are results, and
 // EXPERIMENTS.md documents them; a non-zero exit is reserved for crashes.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <thread>
 #include <vector>
 #include <fstream>
 #include <string>
 
 #include "core/suite.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 #include "report/shape_check.h"
 #include "report/table.h"
@@ -36,6 +39,24 @@ inline const sim::InferenceSimulator& simulator() {
 inline double tput(const sim::SimConfig& cfg) {
   const auto r = simulator().run(cfg);
   return r.ok() ? r.throughput_tps : 0.0;
+}
+
+/// Run many simulator points over a persistent worker pool, preserving
+/// input order in the results. InferenceSimulator::run is const and
+/// stateless, so concurrent points are safe. workers == 0 means one per
+/// hardware thread; a sweep of size <= 1 or workers == 1 runs inline.
+inline std::vector<sim::SimResult> run_points(
+    const std::vector<sim::SimConfig>& cfgs, std::size_t workers = 0) {
+  if (workers == 0)
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<sim::SimResult> out(cfgs.size());
+  if (workers <= 1 || cfgs.size() <= 1) {
+    for (std::size_t i = 0; i < cfgs.size(); ++i) out[i] = simulator().run(cfgs[i]);
+    return out;
+  }
+  util::ThreadPool pool(workers);
+  pool.run(cfgs.size(), [&](std::size_t i) { out[i] = simulator().run(cfgs[i]); });
+  return out;
 }
 
 inline sim::SimConfig point(const std::string& model, const std::string& hw,

@@ -7,6 +7,7 @@
 #include "common.h"
 #include "core/insights.h"
 #include "report/dashboard.h"
+#include "report/pool_stats.h"
 
 int main() {
   using namespace llmib;
@@ -20,6 +21,7 @@ int main() {
                      "SambaFlow"};
   axes.batch_sizes = {1, 16, 32, 64};
   axes.io_lengths = {128, 1024};
+  axes.workers = 0;  // pool-backed sweep, one worker per hardware thread
   const auto set = runner.run_sweep(axes);
 
   report::DashboardBuilder dash;
@@ -41,6 +43,15 @@ int main() {
   t.add_row({"oom", std::to_string(oom)});
   t.add_row({"unsupported", std::to_string(unsupported)});
   t.add_row({"html bytes", std::to_string(html.size())});
+
+  const auto& exec = set.execution_stats();
+  t.add_row({"sweep workers", std::to_string(exec.workers)});
+  t.add_row({"sweep wall s", util::format_fixed(exec.wall_s, 2)});
+  if (!exec.pool.empty()) {
+    std::printf("-- sweep pool (%s) --\n%s\n",
+                report::pool_stats_summary(exec.pool).c_str(),
+                report::pool_stats_table(exec.pool).to_text().c_str());
+  }
 
   std::printf("-- extracted insights --\n");
   for (const auto& insight : core::extract_insights(set))

@@ -1,0 +1,137 @@
+// Before/after microbenchmarks for the persistent worker-pool runtime.
+//
+// The seed ShardedTransformer spawned tp*ep fresh std::threads for every
+// sub-block of every layer of every token (2 * n_layers spawn-join rounds
+// per decode step). BM_TokenDispatch_SpawnJoin reproduces that dispatch
+// structure over representative shard-sized matvec work;
+// BM_TokenDispatch_Pool runs the identical work over one persistent
+// util::ThreadPool. BM_ShardedDecode measures the real refactored engine
+// per token, next to the serial MiniTransformer baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/parallel_exec.h"
+#include "engine/weights.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace llmib;
+
+// MHSA so that every tp in {1, 2, 4} divides n_heads and n_kv_heads.
+models::ModelConfig pool_bench_config() {
+  models::ModelConfig m;
+  m.name = "pool-bench";
+  m.n_layers = 4;
+  m.hidden_size = 128;
+  m.attention = models::AttentionKind::kMHSA;
+  m.n_heads = 8;
+  m.n_kv_heads = 8;
+  m.ffn_intermediate = 256;
+  m.max_seq_len = 4096;
+  m.vocab_size = 512;
+  return m;
+}
+
+const engine::TransformerWeights& pool_weights() {
+  static const auto w =
+      engine::TransformerWeights::random(pool_bench_config(), 11);
+  return w;
+}
+
+// One shard's slice of an output projection: hidden/tp rows x hidden cols,
+// the dominant per-shard work of a tensor-parallel sub-block.
+struct ShardWork {
+  std::vector<float> w, x, y;
+  std::size_t rows, cols;
+
+  ShardWork(std::size_t rows_in, std::size_t cols_in)
+      : rows(rows_in), cols(cols_in) {
+    util::Rng rng(5);
+    w.resize(rows * cols);
+    x.resize(cols);
+    y.resize(rows);
+    for (auto& v : w) v = static_cast<float>(rng.normal());
+    for (auto& v : x) v = static_cast<float>(rng.normal());
+  }
+
+  void run() {
+    for (std::size_t r = 0; r < rows; ++r) {
+      float acc = 0;
+      for (std::size_t c = 0; c < cols; ++c) acc += w[r * cols + c] * x[c];
+      y[r] = acc;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+};
+
+constexpr std::size_t kHidden = 128;
+constexpr std::size_t kRoundsPerToken = 2 * 4;  // 2 sub-blocks x n_layers
+
+// Seed dispatch structure: fresh threads for every sub-block of every layer.
+void BM_TokenDispatch_SpawnJoin(benchmark::State& state) {
+  const auto tp = static_cast<std::size_t>(state.range(0));
+  ShardWork work(kHidden / tp, kHidden);
+  for (auto _ : state) {
+    for (std::size_t round = 0; round < kRoundsPerToken; ++round) {
+      std::vector<std::thread> threads;
+      threads.reserve(tp);
+      for (std::size_t s = 0; s < tp; ++s)
+        threads.emplace_back([&work] { work.run(); });
+      for (auto& t : threads) t.join();
+    }
+  }
+  state.SetLabel("spawn-join, tp " + std::to_string(tp));
+}
+BENCHMARK(BM_TokenDispatch_SpawnJoin)->Arg(2)->Arg(4);
+
+// Refactored dispatch structure: identical work, one persistent pool.
+void BM_TokenDispatch_Pool(benchmark::State& state) {
+  const auto tp = static_cast<std::size_t>(state.range(0));
+  ShardWork work(kHidden / tp, kHidden);
+  util::ThreadPool pool(tp);
+  for (auto _ : state) {
+    for (std::size_t round = 0; round < kRoundsPerToken; ++round)
+      pool.run(tp, [&work](std::size_t) { work.run(); });
+  }
+  state.SetLabel("persistent pool, tp " + std::to_string(tp));
+}
+BENCHMARK(BM_TokenDispatch_Pool)->Arg(2)->Arg(4);
+
+// Real engine: one decode token at a small fixed context.
+void BM_ShardedDecode(benchmark::State& state) {
+  const auto tp = static_cast<int>(state.range(0));
+  engine::ShardedTransformer model(pool_weights(), tp, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    model.reset();
+    for (int i = 0; i < 16; ++i) model.forward(1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.forward(2));
+  }
+  state.SetLabel("sharded decode, tp " + std::to_string(tp));
+}
+BENCHMARK(BM_ShardedDecode)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SerialDecode(benchmark::State& state) {
+  const engine::MiniTransformer model(pool_weights());
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::ContiguousKvStore kv(model.kv_dims());
+    for (int i = 0; i < 16; ++i) model.forward(1, kv);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.forward(2, kv));
+  }
+  state.SetLabel("serial baseline");
+}
+BENCHMARK(BM_SerialDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

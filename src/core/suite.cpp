@@ -1,6 +1,8 @@
 #include "core/suite.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "frameworks/traits.h"
 #include "hw/device_model.h"
@@ -131,7 +133,16 @@ ResultSet BenchmarkRunner::run_sweep(const SweepAxes& axes) const {
   require(!axes.models.empty(), "run_sweep: need at least one model");
   require(!axes.accelerators.empty(), "run_sweep: need at least one accelerator");
   require(!axes.frameworks.empty(), "run_sweep: need at least one framework");
-  ResultSet set;
+  require(axes.workers >= 0, "run_sweep: negative worker count");
+
+  // Phase 1 (serial): enumerate the grid and resolve support/plans. Points
+  // that can never run carry their terminal status already.
+  struct Point {
+    sim::SimConfig cfg;
+    sim::SimResult res;
+    bool needs_run = false;
+  };
+  std::vector<Point> points;
   for (const auto& model : axes.models) {
     for (const auto& accel : axes.accelerators) {
       for (const auto& fw : axes.frameworks) {
@@ -152,31 +163,56 @@ ResultSet BenchmarkRunner::run_sweep(const SweepAxes& axes) const {
         }
         for (std::int64_t batch : axes.batch_sizes) {
           for (std::int64_t len : axes.io_lengths) {
-            sim::SimConfig cfg;
-            cfg.model = model;
-            cfg.accelerator = accel;
-            cfg.framework = fw;
-            cfg.precision = axes.precision;
-            cfg.batch_size = batch;
-            cfg.input_tokens = len;
-            cfg.output_tokens = len;
-            if (plan) cfg.plan = *plan;
-            sim::SimResult res;
+            Point p;
+            p.cfg.model = model;
+            p.cfg.accelerator = accel;
+            p.cfg.framework = fw;
+            p.cfg.precision = axes.precision;
+            p.cfg.batch_size = batch;
+            p.cfg.input_tokens = len;
+            p.cfg.output_tokens = len;
+            if (plan) p.cfg.plan = *plan;
             if (!traits.supports_hw(accel)) {
-              res.status = sim::RunStatus::kUnsupported;
-              res.status_detail = fw + " does not run on " + accel;
+              p.res.status = sim::RunStatus::kUnsupported;
+              p.res.status_detail = fw + " does not run on " + accel;
             } else if (!plan) {
-              res.status = sim::RunStatus::kOom;
-              res.status_detail = "no parallel plan fits " + model + " on " + accel;
+              p.res.status = sim::RunStatus::kOom;
+              p.res.status_detail = "no parallel plan fits " + model + " on " + accel;
             } else {
-              res = sim_.run(cfg);
+              p.needs_run = true;
             }
-            set.add({cfg, res});
+            points.push_back(std::move(p));
           }
         }
       }
     }
   }
+
+  // Phase 2: execute the independent points — serial, or fanned out over a
+  // worker pool (the simulator is stateless-const, so concurrent run() calls
+  // are safe). Either way results land at their grid index: row order and
+  // values are identical to the serial sweep.
+  SweepExecutionStats exec;
+  exec.workers = axes.workers == 0
+                     ? static_cast<int>(std::max(1u, std::thread::hardware_concurrency()))
+                     : axes.workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (exec.workers > 1 && points.size() > 1) {
+    util::ThreadPool pool(static_cast<std::size_t>(exec.workers));
+    pool.run(points.size(), [&](std::size_t i) {
+      if (points[i].needs_run) points[i].res = sim_.run(points[i].cfg);
+    });
+    exec.pool = pool.worker_stats();
+  } else {
+    for (auto& p : points)
+      if (p.needs_run) p.res = sim_.run(p.cfg);
+  }
+  exec.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  ResultSet set;
+  for (auto& p : points) set.add({std::move(p.cfg), std::move(p.res)});
+  set.set_execution_stats(std::move(exec));
   return set;
 }
 

@@ -8,6 +8,7 @@
 #include "report/dashboard.h"
 #include "report/table.h"
 #include "sim/simulator.h"
+#include "util/thread_pool.h"
 
 namespace llmib::core {
 
@@ -24,6 +25,10 @@ struct SweepAxes {
   /// Devices to use per point; 0 => pick automatically (smallest TP shard
   /// count that fits the weights; PP for frameworks without TP).
   int devices = 0;
+  /// Worker threads executing the sweep's independent points. 1 = serial
+  /// (default); 0 = one per hardware thread. Results are order- and
+  /// value-identical regardless of the worker count.
+  int workers = 1;
 };
 
 /// One completed benchmark point.
@@ -32,12 +37,24 @@ struct ResultRow {
   sim::SimResult result;
 };
 
+/// How a sweep was executed (serial or pool-backed) plus the pool's
+/// worker counters — surfaced so benches/dashboards can show the
+/// parallel-execution behavior next to the results.
+struct SweepExecutionStats {
+  int workers = 1;
+  double wall_s = 0.0;
+  std::vector<util::ThreadPool::WorkerStats> pool;  ///< empty when serial
+};
+
 /// Collection of benchmark points with the query helpers the figures need.
 class ResultSet {
  public:
   void add(ResultRow row) { rows_.push_back(std::move(row)); }
   const std::vector<ResultRow>& rows() const { return rows_; }
   std::size_t size() const { return rows_.size(); }
+
+  void set_execution_stats(SweepExecutionStats stats) { exec_ = std::move(stats); }
+  const SweepExecutionStats& execution_stats() const { return exec_; }
 
   /// Rows matching all the given (optional) criteria.
   std::vector<const ResultRow*> where(
@@ -66,6 +83,7 @@ class ResultSet {
 
  private:
   std::vector<ResultRow> rows_;
+  SweepExecutionStats exec_;
 };
 
 /// Top-level benchmark driver (the LLM-Inference-Bench public entry point).

@@ -32,8 +32,18 @@ void batched_matmul(std::span<const float> w, std::span<const float> x,
   }
 }
 
-BatchedTransformer::BatchedTransformer(const TransformerWeights& weights)
-    : weights_(weights) {}
+BatchedTransformer::BatchedTransformer(const TransformerWeights& weights,
+                                       util::ThreadPool* pool)
+    : weights_(weights), pool_(pool) {}
+
+void BatchedTransformer::for_each_sequence(
+    std::size_t batch, const std::function<void(std::size_t)>& fn) const {
+  if (pool_ != nullptr && batch > 1) {
+    pool_->run(batch, fn);
+  } else {
+    for (std::size_t b = 0; b < batch; ++b) fn(b);
+  }
+}
 
 std::vector<std::vector<float>> BatchedTransformer::forward_batch(
     std::span<const TokenId> tokens, std::span<KvStore* const> kvs) const {
@@ -49,7 +59,7 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
 
   // Residual stream, [batch x hidden].
   std::vector<float> x(batch * hidden);
-  for (std::size_t b = 0; b < batch; ++b) {
+  for_each_sequence(batch, [&](std::size_t b) {
     require(tokens[b] >= 0 && tokens[b] < cfg.vocab_size,
             "forward_batch: token out of range");
     require(static_cast<std::int64_t>(kvs[b]->size()) < cfg.max_seq_len,
@@ -57,7 +67,7 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
     std::copy_n(weights_.embedding.begin() +
                     static_cast<std::ptrdiff_t>(static_cast<std::size_t>(tokens[b]) * hidden),
                 hidden, x.begin() + static_cast<std::ptrdiff_t>(b * hidden));
-  }
+  });
 
   std::vector<float> normed(batch * hidden);
   std::vector<float> q(batch * q_dim), attn_out(batch * q_dim);
@@ -70,16 +80,18 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
     const std::size_t group = n_heads / n_kv_heads;
 
     // ---- attention ------------------------------------------------------
-    for (std::size_t b = 0; b < batch; ++b) {
+    for_each_sequence(batch, [&](std::size_t b) {
       rmsnorm(std::span<const float>(x).subspan(b * hidden, hidden), lw.attn_norm,
               std::span<float>(normed).subspan(b * hidden, hidden));
-    }
+    });
     std::vector<float> k(batch * kv_dim), v(batch * kv_dim);
     batched_matmul(lw.wq, normed, q, q_dim, hidden, batch);
     batched_matmul(lw.wk, normed, k, kv_dim, hidden, batch);
     batched_matmul(lw.wv, normed, v, kv_dim, hidden, batch);
 
-    for (std::size_t b = 0; b < batch; ++b) {
+    // Per-sequence attention: contexts differ, KV stores are disjoint, and
+    // every write lands in this sequence's own slice — safe to fan out.
+    for_each_sequence(batch, [&](std::size_t b) {
       KvStore& kv = *kvs[b];
       const std::size_t pos = kv.size();
       auto q_b = std::span<float>(q).subspan(b * q_dim, q_dim);
@@ -117,15 +129,15 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
           for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += scores[t] * v_t[d];
         }
       }
-    }
+    });
     batched_matmul(lw.wo, attn_out, proj, hidden, q_dim, batch);
     for (std::size_t i = 0; i < batch * hidden; ++i) x[i] += proj[i];
 
     // ---- FFN --------------------------------------------------------------
-    for (std::size_t b = 0; b < batch; ++b) {
+    for_each_sequence(batch, [&](std::size_t b) {
       rmsnorm(std::span<const float>(x).subspan(b * hidden, hidden), lw.ffn_norm,
               std::span<float>(normed).subspan(b * hidden, hidden));
-    }
+    });
 
     if (cfg.ffn == models::FfnKind::kDense) {
       std::vector<float> gate(batch * inter), up(batch * inter);
@@ -201,10 +213,10 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
   }
 
   // ---- head ------------------------------------------------------------------
-  for (std::size_t b = 0; b < batch; ++b) {
+  for_each_sequence(batch, [&](std::size_t b) {
     rmsnorm(std::span<const float>(x).subspan(b * hidden, hidden), weights_.final_norm,
             std::span<float>(normed).subspan(b * hidden, hidden));
-  }
+  });
   const auto vocab = static_cast<std::size_t>(cfg.vocab_size);
   std::vector<float> logits(batch * vocab);
   batched_matmul(weights_.lm_head, normed, logits, vocab, hidden, batch);

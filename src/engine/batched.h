@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine/model.h"
+#include "util/thread_pool.h"
 
 namespace llmib::engine {
 
@@ -23,7 +24,14 @@ namespace llmib::engine {
 /// stream once per step (the E_touched(B) effect of DESIGN.md).
 class BatchedTransformer {
  public:
-  explicit BatchedTransformer(const TransformerWeights& weights);
+  /// `pool` (optional, not owned, must outlive the transformer) enables
+  /// sequence-parallel stepping: the per-sequence stages (norms, rope, KV
+  /// append, attention) fan out across the pool's workers, one task per
+  /// sequence. The weight-stationary matmuls stay serial — their whole
+  /// point is one pass over the weights. Each sequence's computation is
+  /// untouched, so logits remain bit-identical with or without a pool.
+  explicit BatchedTransformer(const TransformerWeights& weights,
+                              util::ThreadPool* pool = nullptr);
 
   const models::ModelConfig& config() const { return weights_.config; }
 
@@ -34,7 +42,12 @@ class BatchedTransformer {
                                                 std::span<KvStore* const> kvs) const;
 
  private:
+  /// fn(b) for every sequence b — on the pool when one was supplied.
+  void for_each_sequence(std::size_t batch,
+                         const std::function<void(std::size_t)>& fn) const;
+
   const TransformerWeights& weights_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 /// y[r][b] = sum_c w[r*cols+c] * x[b][c], with the c-loop innermost per

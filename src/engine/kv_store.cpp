@@ -35,6 +35,7 @@ bool ContiguousKvStore::append(int layer, std::span<const float> k,
 std::span<const float> ContiguousKvStore::key(int layer, std::size_t pos) const {
   const auto l = static_cast<std::size_t>(layer);
   require(l < kv_dims_.size(), "ContiguousKvStore: bad layer");
+  require(kv_dims_[l] > 0, "ContiguousKvStore: layer holds no KV");
   // During a token's layer-by-layer append, already-appended layers hold
   // one more entry than tokens_ reports.
   require(pos < keys_[l].size() / kv_dims_[l], "ContiguousKvStore: bad access");
@@ -44,8 +45,16 @@ std::span<const float> ContiguousKvStore::key(int layer, std::size_t pos) const 
 std::span<const float> ContiguousKvStore::value(int layer, std::size_t pos) const {
   const auto l = static_cast<std::size_t>(layer);
   require(l < kv_dims_.size(), "ContiguousKvStore: bad layer");
+  require(kv_dims_[l] > 0, "ContiguousKvStore: layer holds no KV");
   require(pos < values_[l].size() / kv_dims_[l], "ContiguousKvStore: bad access");
   return {values_[l].data() + pos * kv_dims_[l], kv_dims_[l]};
+}
+
+std::size_t ContiguousKvStore::stored_floats() const {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < kv_dims_.size(); ++l)
+    total += keys_[l].size() + values_[l].size();
+  return total;
 }
 
 // --------------------------------------------------------------------- pool

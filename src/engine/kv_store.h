@@ -41,6 +41,10 @@ class ContiguousKvStore final : public KvStore {
   std::span<const float> value(int layer, std::size_t pos) const override;
   std::size_t size() const override { return tokens_; }
 
+  /// Floats actually held (K + V planes, all layers) — the ground truth
+  /// capacity accounting reports must agree with.
+  std::size_t stored_floats() const;
+
  private:
   std::vector<std::size_t> kv_dims_;
   std::vector<std::vector<float>> keys_, values_;  // per layer, flat

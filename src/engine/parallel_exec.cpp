@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <thread>
 
 #include "engine/tensor_ops.h"
 #include "util/check.h"
@@ -34,38 +33,43 @@ ShardedTransformer::ShardedTransformer(const TransformerWeights& weights, int tp
   }
 
   const int shards = tp_ * ep_;
+  for (int s = 0; s < shards; ++s)
+    shard_kv_.push_back(std::make_unique<ContiguousKvStore>(
+        shard_kv_dims(static_cast<std::size_t>(s))));
+  // The pool lives as long as the executor: workers are created once here
+  // and forward() only dispatches — it never spawns a thread.
+  if (shards > 1) pool_ = std::make_unique<util::ThreadPool>(shards);
+
   const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
-  for (int s = 0; s < shards; ++s) {
-    std::vector<std::size_t> dims;
-    for (const auto& l : weights.layers) {
-      const std::size_t full = l.wk.size() / hidden;
-      // TP shards KV heads; EP replicates attention (and therefore KV) but
-      // only shard 0 materializes it to avoid redundant storage here.
-      if (tp_ > 1) {
-        dims.push_back(full / static_cast<std::size_t>(tp_));
-      } else {
-        dims.push_back(s == 0 ? full : 1);  // dummy dims for non-owners
-      }
+  attn_gather_.resize(static_cast<std::size_t>(cfg.n_heads) *
+                      static_cast<std::size_t>(cfg.head_dim()));
+  if (cfg.ffn == models::FfnKind::kDense)
+    inter_gather_.resize(static_cast<std::size_t>(cfg.ffn_intermediate));
+  proj_.resize(hidden);
+  delta_.resize(hidden);
+}
+
+std::vector<std::size_t> ShardedTransformer::shard_kv_dims(std::size_t s) const {
+  const auto hidden = static_cast<std::size_t>(weights_.config.hidden_size);
+  std::vector<std::size_t> dims;
+  dims.reserve(weights_.layers.size());
+  for (const auto& l : weights_.layers) {
+    const std::size_t full = l.wk.size() / hidden;
+    // TP shards KV heads; EP replicates attention, and only shard 0 runs
+    // it, so non-owners allocate nothing (and report nothing — the stores
+    // themselves are the single source of truth for kv_floats_per_shard).
+    if (tp_ > 1) {
+      dims.push_back(full / static_cast<std::size_t>(tp_));
+    } else {
+      dims.push_back(s == 0 ? full : 0);
     }
-    shard_kv_.push_back(std::make_unique<ContiguousKvStore>(dims));
   }
+  return dims;
 }
 
 void ShardedTransformer::reset() {
-  const auto& cfg = weights_.config;
-  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
-  for (std::size_t s = 0; s < shard_kv_.size(); ++s) {
-    std::vector<std::size_t> dims;
-    for (const auto& l : weights_.layers) {
-      const std::size_t full = l.wk.size() / hidden;
-      if (tp_ > 1) {
-        dims.push_back(full / static_cast<std::size_t>(tp_));
-      } else {
-        dims.push_back(s == 0 ? full : 1);
-      }
-    }
-    shard_kv_[s] = std::make_unique<ContiguousKvStore>(dims);
-  }
+  for (std::size_t s = 0; s < shard_kv_.size(); ++s)
+    shard_kv_[s] = std::make_unique<ContiguousKvStore>(shard_kv_dims(s));
   tokens_ = 0;
 }
 
@@ -73,36 +77,38 @@ std::size_t ShardedTransformer::context_size() const { return tokens_; }
 
 std::vector<std::size_t> ShardedTransformer::kv_floats_per_shard() const {
   std::vector<std::size_t> out;
-  const auto hidden = static_cast<std::size_t>(weights_.config.hidden_size);
-  for (std::size_t s = 0; s < shard_kv_.size(); ++s) {
-    std::size_t floats = 0;
-    for (std::size_t l = 0; l < weights_.layers.size(); ++l) {
-      const std::size_t full = weights_.layers[l].wk.size() / hidden;
-      const std::size_t dim =
-          tp_ > 1 ? full / static_cast<std::size_t>(tp_) : (s == 0 ? full : 0);
-      floats += 2 * dim * tokens_;
-    }
-    out.push_back(floats);
-  }
+  out.reserve(shard_kv_.size());
+  for (const auto& kv : shard_kv_) out.push_back(kv->stored_floats());
   return out;
 }
 
-void ShardedTransformer::attention_shard(int layer, std::size_t s,
+std::vector<util::ThreadPool::WorkerStats> ShardedTransformer::pool_stats() const {
+  if (!pool_) return {};
+  return pool_->worker_stats();
+}
+
+void ShardedTransformer::dispatch(const std::function<void(std::size_t)>& fn) {
+  const auto shards = static_cast<std::size_t>(tp_ * ep_);
+  if (pool_) {
+    pool_->run(shards, fn);
+  } else {
+    fn(0);
+  }
+}
+
+void ShardedTransformer::attention_slice(int layer, std::size_t s,
                                          std::span<const float> normed,
-                                         std::span<float> partial) {
+                                         std::span<float> gathered) {
   const auto& cfg = weights_.config;
   const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
   const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
   const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
   const auto n_heads_total = static_cast<std::size_t>(cfg.n_heads);
-  const std::size_t q_dim_total = n_heads_total * head_dim;
 
-  // EP replicates attention: only shard 0 computes it (the others
-  // contribute zeros to the all-reduce).
-  if (ep_ > 1 && s != 0) {
-    std::fill(partial.begin(), partial.end(), 0.0f);
-    return;
-  }
+  // EP replicates attention: shard 0 computes every head; the others have
+  // no work in this stage (they join again for the row-parallel output
+  // projection, which reads the shared gather buffer).
+  if (ep_ > 1 && s != 0) return;
   const std::size_t shards = tp_ > 1 ? static_cast<std::size_t>(tp_) : 1;
   const std::size_t heads = n_heads_total / shards;
   const std::size_t kv_dim_total = lw.wk.size() / hidden;
@@ -139,7 +145,8 @@ void ShardedTransformer::attention_shard(int layer, std::size_t s,
   const std::size_t span_len = len - first;
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  std::vector<float> attn(q_rows, 0.0f);
+  auto out = gathered.subspan(q_off, q_rows);
+  std::fill(out.begin(), out.end(), 0.0f);
   std::vector<float> scores(span_len);
   for (std::size_t h = 0; h < heads; ++h) {
     const std::size_t kv_h = h / group;
@@ -149,75 +156,64 @@ void ShardedTransformer::attention_shard(int layer, std::size_t s,
           dot(q_head, kv.key(layer, first + t).subspan(kv_h * head_dim, head_dim)) *
           scale;
     softmax(scores);
-    auto o_head = std::span<float>(attn).subspan(h * head_dim, head_dim);
+    auto o_head = out.subspan(h * head_dim, head_dim);
     for (std::size_t t = 0; t < span_len; ++t) {
       const auto v_t = kv.value(layer, first + t).subspan(kv_h * head_dim, head_dim);
-      for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += scores[t] * v_t[d];
+      const float w = scores[t];
+      for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += w * v_t[d];
     }
-  }
-
-  // Output projection: this shard's columns of Wo.
-  std::fill(partial.begin(), partial.end(), 0.0f);
-  for (std::size_t r = 0; r < hidden; ++r) {
-    const float* row = lw.wo.data() + r * q_dim_total + q_off;
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < q_rows; ++c) acc += row[c] * attn[c];
-    partial[r] = acc;
   }
 }
 
-void ShardedTransformer::ffn_shard(int layer, std::size_t s,
-                                   std::span<const float> normed,
-                                   std::span<float> partial) {
+void ShardedTransformer::ffn_inter_slice(int layer, std::size_t s,
+                                         std::span<const float> normed,
+                                         std::span<float> gathered) {
   const auto& cfg = weights_.config;
   const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
   const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
   const auto inter_total = static_cast<std::size_t>(cfg.ffn_intermediate);
-  std::fill(partial.begin(), partial.end(), 0.0f);
+  const auto shards = static_cast<std::size_t>(tp_);
+  const std::size_t rows = inter_total / shards;
+  const std::size_t row_off = s * rows;
 
-  auto expert_rows = [&](std::size_t e, std::size_t row_off, std::size_t rows,
-                         float weight) {
-    std::vector<float> gate(rows), up(rows);
-    matvec(std::span<const float>(lw.w_gate[e]).subspan(row_off * hidden, rows * hidden),
-           normed, gate, rows, hidden);
-    matvec(std::span<const float>(lw.w_up[e]).subspan(row_off * hidden, rows * hidden),
-           normed, up, rows, hidden);
-    silu(gate);
-    for (std::size_t i = 0; i < rows; ++i) gate[i] *= up[i];
-    // Down projection: the matching columns of w_down.
-    for (std::size_t r = 0; r < hidden; ++r) {
-      const float* row = lw.w_down[e].data() + r * inter_total + row_off;
-      float acc = 0.0f;
-      for (std::size_t c = 0; c < rows; ++c) acc += row[c] * gate[c];
-      partial[r] += weight * acc;
-    }
-  };
+  auto gate = gathered.subspan(row_off, rows);
+  std::vector<float> up(rows);
+  matvec(std::span<const float>(lw.w_gate[0]).subspan(row_off * hidden, rows * hidden),
+         normed, gate, rows, hidden);
+  matvec(std::span<const float>(lw.w_up[0]).subspan(row_off * hidden, rows * hidden),
+         normed, up, rows, hidden);
+  silu(gate);
+  for (std::size_t i = 0; i < rows; ++i) gate[i] *= up[i];
+}
 
-  if (cfg.ffn == models::FfnKind::kDense) {
-    const auto shards = static_cast<std::size_t>(tp_);
-    const std::size_t rows = inter_total / shards;
-    expert_rows(0, s * rows, rows, 1.0f);
-    return;
-  }
+void ShardedTransformer::expert_down(int layer, std::size_t expert, float weight,
+                                     std::span<const float> normed,
+                                     std::span<float> out) const {
+  const auto& cfg = weights_.config;
+  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
 
-  // MoE with EP: router everywhere (cheap), each shard computes only the
-  // selected experts it owns.
-  const auto n_experts = static_cast<std::size_t>(cfg.n_experts);
-  std::vector<float> router_scores(n_experts);
-  matvec(lw.router, normed, router_scores, n_experts, hidden);
-  std::vector<std::size_t> order(n_experts);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return router_scores[a] > router_scores[b];
-  });
-  const auto k = static_cast<std::size_t>(cfg.experts_active);
-  std::vector<float> top(k);
-  for (std::size_t i = 0; i < k; ++i) top[i] = router_scores[order[i]];
-  softmax(top);
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t owner = order[i] % static_cast<std::size_t>(ep_);
-    if (owner != s) continue;
-    expert_rows(order[i], 0, inter_total, top[i]);
+  std::vector<float> gate(inter), up(inter), down(hidden);
+  matvec(lw.w_gate[expert], normed, gate, inter, hidden);
+  matvec(lw.w_up[expert], normed, up, inter, hidden);
+  silu(gate);
+  for (std::size_t i = 0; i < inter; ++i) gate[i] *= up[i];
+  matvec(lw.w_down[expert], gate, down, hidden, inter);
+  for (std::size_t i = 0; i < hidden; ++i) out[i] = weight * down[i];
+}
+
+void ShardedTransformer::project_rows(std::span<const float> w,
+                                      std::span<const float> x, std::span<float> y,
+                                      std::size_t row_begin, std::size_t row_end,
+                                      std::size_t cols) const {
+  // Row slice of matvec(): each output row accumulates over the FULL input
+  // in the serial column order, so y matches the serial engine bitwise.
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const float* row = w.data() + r * cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
   }
 }
 
@@ -226,6 +222,17 @@ std::vector<float> ShardedTransformer::forward(TokenId token) {
   require(token >= 0 && token < cfg.vocab_size, "ShardedTransformer: token out of range");
   const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
   const auto shards = static_cast<std::size_t>(tp_ * ep_);
+  const std::size_t q_dim_total = attn_gather_.size();
+
+  // Output-row ranges of the hidden dimension, one per shard (row-parallel
+  // projections after the gather).
+  const std::size_t row_base = hidden / shards;
+  const std::size_t row_rem = hidden % shards;
+  auto row_range = [&](std::size_t s) {
+    const std::size_t begin = s * row_base + std::min(s, row_rem);
+    return std::pair<std::size_t, std::size_t>(
+        begin, begin + row_base + (s < row_rem ? 1 : 0));
+  };
 
   std::vector<float> x(
       weights_.embedding.begin() +
@@ -233,29 +240,67 @@ std::vector<float> ShardedTransformer::forward(TokenId token) {
       weights_.embedding.begin() +
           static_cast<std::ptrdiff_t>((static_cast<std::size_t>(token) + 1) * hidden));
   std::vector<float> normed(hidden);
-  std::vector<std::vector<float>> partials(shards, std::vector<float>(hidden));
-
-  auto run_parallel = [&](auto&& fn) {
-    // One thread per simulated device; the all-reduce is the join + sum.
-    std::vector<std::thread> workers;
-    workers.reserve(shards);
-    for (std::size_t s = 0; s < shards; ++s)
-      workers.emplace_back([&, s] { fn(s, std::span<float>(partials[s])); });
-    for (auto& w : workers) w.join();
-    // Fixed-order reduction keeps results bitwise reproducible.
-    for (std::size_t s = 0; s < shards; ++s)
-      for (std::size_t i = 0; i < hidden; ++i) x[i] += partials[s][i];
-  };
 
   for (int l = 0; l < cfg.n_layers; ++l) {
     const auto& lw = weights_.layers[static_cast<std::size_t>(l)];
+
+    // ---- attention: slice stage, barrier, projection stage ----------------
     rmsnorm(x, lw.attn_norm, normed);
-    run_parallel([&](std::size_t s, std::span<float> out) {
-      attention_shard(l, s, normed, out);
+    dispatch([&](std::size_t s) { attention_slice(l, s, normed, attn_gather_); });
+    dispatch([&](std::size_t s) {
+      const auto [r0, r1] = row_range(s);
+      project_rows(lw.wo, attn_gather_, proj_, r0, r1, q_dim_total);
     });
+    for (std::size_t i = 0; i < hidden; ++i) x[i] += proj_[i];
+
+    // ---- FFN ---------------------------------------------------------------
     rmsnorm(x, lw.ffn_norm, normed);
-    run_parallel(
-        [&](std::size_t s, std::span<float> out) { ffn_shard(l, s, normed, out); });
+    if (cfg.ffn == models::FfnKind::kDense) {
+      dispatch([&](std::size_t s) { ffn_inter_slice(l, s, normed, inter_gather_); });
+      dispatch([&](std::size_t s) {
+        const auto [r0, r1] = row_range(s);
+        project_rows(lw.w_down[0], inter_gather_, proj_, r0, r1,
+                     inter_gather_.size());
+      });
+      // Mirror the serial engine's zero-init + weighted accumulate exactly.
+      for (std::size_t i = 0; i < hidden; ++i) {
+        delta_[i] = 0.0f;
+        delta_[i] += 1.0f * proj_[i];
+        x[i] += delta_[i];
+      }
+    } else {
+      // MoE: route once on the owner thread (bitwise the serial router),
+      // then each shard computes the selected experts it owns.
+      const auto n_experts = static_cast<std::size_t>(cfg.n_experts);
+      std::vector<float> router_scores(n_experts);
+      matvec(lw.router, normed, router_scores, n_experts, hidden);
+      std::vector<std::size_t> order(n_experts);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return router_scores[a] > router_scores[b];
+                       });
+      const auto k = static_cast<std::size_t>(cfg.experts_active);
+      std::vector<float> top(k);
+      for (std::size_t i = 0; i < k; ++i) top[i] = router_scores[order[i]];
+      softmax(top);
+
+      std::vector<float> slot_out(k * hidden);
+      dispatch([&](std::size_t s) {
+        for (std::size_t i = 0; i < k; ++i) {
+          if (order[i] % static_cast<std::size_t>(ep_) != s) continue;
+          expert_down(l, order[i], top[i],
+                      normed, std::span<float>(slot_out).subspan(i * hidden, hidden));
+        }
+      });
+      // Accumulate in routing order — the serial engine's expert order.
+      for (std::size_t i = 0; i < hidden; ++i) delta_[i] = 0.0f;
+      for (std::size_t i = 0; i < k; ++i) {
+        const float* slot = slot_out.data() + i * hidden;
+        for (std::size_t j = 0; j < hidden; ++j) delta_[j] += slot[j];
+      }
+      for (std::size_t i = 0; i < hidden; ++i) x[i] += delta_[i];
+    }
   }
   ++tokens_;
 

@@ -5,23 +5,35 @@
 
 #include "engine/kv_store.h"
 #include "engine/model.h"
+#include "util/thread_pool.h"
 
 namespace llmib::engine {
 
-/// Multi-device execution of the mini transformer on simulated devices
-/// (one thread per shard), implementing the parallelism schemes of paper
-/// §IV-C on real tensors:
+/// Multi-device execution of the mini transformer on simulated devices,
+/// implementing the parallelism schemes of paper §IV-C on real tensors:
 ///
 ///  - Tensor parallelism (tp > 1): attention heads and FFN intermediate
-///    rows are sharded; every layer ends in an all-reduce (sum of shard
-///    partials). Each shard holds only its own KV heads.
+///    rows are sharded. Each shard holds only its own KV heads.
 ///  - Expert parallelism (ep > 1, MoE models): experts are sharded
-///    round-robin; the router runs everywhere, each shard computes only
-///    the selected experts it owns, partials are all-reduced.
+///    round-robin; the router runs once per layer, each shard computes only
+///    the selected experts it owns.
 ///
-/// The executor produces logits bitwise-reproducible across runs and
-/// numerically equal (within fp32 reduction tolerance) to the serial
-/// MiniTransformer — the equivalence the tests pin down.
+/// Execution runs on ONE persistent util::ThreadPool owned by the object
+/// (workers == tp*ep, created in the constructor): forward() never creates
+/// a thread. Each layer is two fork-join stages per sub-block:
+///
+///   1. slice stage — shards compute their activation slices (attention
+///      heads / FFN intermediate rows / owned experts) into a shared
+///      gather buffer at disjoint offsets (the simulated all-gather);
+///   2. projection stage — the output projection is split by OUTPUT row,
+///      each row accumulated over the full gathered vector in the serial
+///      engine's column order.
+///
+/// Because every per-element accumulation order matches MiniTransformer
+/// exactly, logits are BITWISE IDENTICAL to the serial engine for every
+/// (tp, ep) — a stronger guarantee than the seed's partial-sum all-reduce
+/// (which was only reproducible across runs, not equal to serial) and the
+/// invariant tests/parallel_engine pins down, including under TSan.
 class ShardedTransformer {
  public:
   /// Dense models: tp in {1,2,4,...} dividing n_heads, n_kv_heads and
@@ -42,23 +54,42 @@ class ShardedTransformer {
   /// Tokens currently cached.
   std::size_t context_size() const;
 
-  /// Bytes of KV held per shard (sums of shard store sizes) — shows the
-  /// TP memory-sharding benefit in tests.
+  /// Floats of KV actually allocated per shard, read from the shard
+  /// stores themselves so reporting can never drift from allocation
+  /// (non-owner EP shards allocate nothing and report 0).
   std::vector<std::size_t> kv_floats_per_shard() const;
 
- private:
-  struct Shard;
+  /// Worker counters of the owned pool (empty when tp*ep == 1, where
+  /// execution is inline). Shows pool reuse across tokens in benches.
+  std::vector<util::ThreadPool::WorkerStats> pool_stats() const;
 
-  void attention_shard(int layer, std::size_t s, std::span<const float> normed,
-                       std::span<float> partial);
-  void ffn_shard(int layer, std::size_t s, std::span<const float> normed,
-                 std::span<float> partial);
+ private:
+  void attention_slice(int layer, std::size_t s, std::span<const float> normed,
+                       std::span<float> gathered);
+  void ffn_inter_slice(int layer, std::size_t s, std::span<const float> normed,
+                       std::span<float> gathered);
+  void expert_down(int layer, std::size_t expert, float weight,
+                   std::span<const float> normed, std::span<float> out) const;
+  void project_rows(std::span<const float> w, std::span<const float> x,
+                    std::span<float> y, std::size_t row_begin, std::size_t row_end,
+                    std::size_t cols) const;
+
+  /// Dispatch fn(0..shards-1) on the pool (inline when there is none).
+  void dispatch(const std::function<void(std::size_t)>& fn);
+  std::vector<std::size_t> shard_kv_dims(std::size_t s) const;
 
   const TransformerWeights& weights_;
   int tp_;
   int ep_;
   std::vector<std::unique_ptr<ContiguousKvStore>> shard_kv_;  // size tp*ep
   std::size_t tokens_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when tp*ep == 1
+
+  // Per-token scratch, sized once (no allocation churn across layers).
+  std::vector<float> attn_gather_;  // n_heads * head_dim
+  std::vector<float> inter_gather_;  // ffn_intermediate (dense models)
+  std::vector<float> proj_;          // hidden
+  std::vector<float> delta_;         // hidden
 };
 
 }  // namespace llmib::engine

@@ -1,0 +1,50 @@
+#include "report/pool_stats.h"
+
+#include "util/units.h"
+
+namespace llmib::report {
+
+namespace {
+util::ThreadPool::WorkerStats sum(
+    std::span<const util::ThreadPool::WorkerStats> stats) {
+  util::ThreadPool::WorkerStats total;
+  for (const auto& s : stats) {
+    total.tasks += s.tasks;
+    total.busy_s += s.busy_s;
+    total.wait_s += s.wait_s;
+  }
+  return total;
+}
+
+double utilization(const util::ThreadPool::WorkerStats& s) {
+  const double denom = s.busy_s + s.wait_s;
+  return denom > 0 ? s.busy_s / denom : 0.0;
+}
+}  // namespace
+
+Table pool_stats_table(std::span<const util::ThreadPool::WorkerStats> stats) {
+  Table t({"worker", "tasks", "busy ms", "wait ms", "util %"});
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto& s = stats[i];
+    t.add_row({std::to_string(i), std::to_string(s.tasks),
+               util::format_fixed(s.busy_s * 1e3, 2),
+               util::format_fixed(s.wait_s * 1e3, 2),
+               util::format_fixed(utilization(s) * 100.0, 1)});
+  }
+  const auto total = sum(stats);
+  t.add_row({"total", std::to_string(total.tasks),
+             util::format_fixed(total.busy_s * 1e3, 2),
+             util::format_fixed(total.wait_s * 1e3, 2),
+             util::format_fixed(utilization(total) * 100.0, 1)});
+  return t;
+}
+
+std::string pool_stats_summary(
+    std::span<const util::ThreadPool::WorkerStats> stats) {
+  const auto total = sum(stats);
+  return std::to_string(stats.size()) + " workers, " +
+         std::to_string(total.tasks) + " tasks, " +
+         util::format_fixed(utilization(total) * 100.0, 1) + "% utilization";
+}
+
+}  // namespace llmib::report

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+#include "report/table.h"
+#include "util/thread_pool.h"
+
+namespace llmib::report {
+
+/// Render worker-pool counters as a table (one row per worker plus a
+/// total row): tasks executed, busy/wait wall time, and utilization
+/// busy / (busy + wait). This is how the engine and the sweep runner make
+/// their parallel-execution behavior observable in benches and dashboards.
+Table pool_stats_table(std::span<const util::ThreadPool::WorkerStats> stats);
+
+/// One-line summary ("N workers, T tasks, U% utilization") for embedding
+/// in dashboards and bench epilogues.
+std::string pool_stats_summary(std::span<const util::ThreadPool::WorkerStats> stats);
+
+}  // namespace llmib::report

@@ -23,13 +23,14 @@ void Scheduler::submit(const Request& req) {
   require(req.prompt_tokens > 0, "Scheduler: prompt must be non-empty");
   require(req.max_new_tokens > 0, "Scheduler: max_new_tokens must be positive");
   require(live_.find(req.id) == live_.end(), "Scheduler: duplicate request id");
-  for (const auto& q : queue_)
-    require(q.id != req.id, "Scheduler: duplicate request id");
+  require(queued_ids_.find(req.id) == queued_ids_.end(),
+          "Scheduler: duplicate request id");
   if (cfg_.kv_capacity_tokens > 0) {
     require(req.prompt_tokens + req.max_new_tokens <= cfg_.kv_capacity_tokens,
             "Scheduler: request can never fit in KV capacity");
   }
   queue_.push_back(req);
+  queued_ids_.insert(req.id);
 }
 
 bool Scheduler::can_admit(const Request& req) const {
@@ -59,6 +60,7 @@ void Scheduler::admit_from_queue() {
     if (!can_admit(*candidate)) break;
     Request req = *candidate;
     queue_.erase(candidate);
+    queued_ids_.erase(req.id);
     reserved_tokens_ += footprint(req);
     live_.emplace(req.id, Live{req, 0, Phase::kNeedsPrefill});
     admitted_any = true;

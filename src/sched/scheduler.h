@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 namespace llmib::sched {
@@ -111,6 +112,9 @@ class Scheduler {
 
   Config cfg_;
   std::deque<Request> queue_;
+  /// Ids currently in queue_, kept in sync on submit/admit so duplicate
+  /// detection is O(1) instead of a linear queue scan per submit.
+  std::unordered_set<RequestId> queued_ids_;
   std::map<RequestId, Live> live_;
   std::int64_t reserved_tokens_ = 0;
   std::int64_t waves_ = 0;

@@ -137,9 +137,10 @@ ServingSimulator::Result ServingSimulator::run_trace(
       for (auto id : plan.prefills) {
         double effective = static_cast<double>(reqs[id].prompt_tokens);
         if (caching && prefix_cached) {
-          require(shared_prefix < reqs[id].prompt_tokens,
-                  "ServingSimulator: shared prefix exceeds a prompt");
-          effective -= static_cast<double>(shared_prefix);
+          // A prompt may be no longer than the shared prefix (e.g. an empty
+          // question after the system prompt); it still prefills at least
+          // one token to produce its first output.
+          effective = std::max(1.0, effective - static_cast<double>(shared_prefix));
         }
         prompt_sum += effective;
       }
@@ -181,19 +182,27 @@ ServingSimulator::Result ServingSimulator::run_trace(
   // ---- Metrics ---------------------------------------------------------------
   auto& m = res.metrics;
   const double arrival_span = reqs.back().arrival_s - first_arrival;
+  // N arrivals span N-1 inter-arrival gaps: the first request opens the
+  // window rather than occupying span time (a single request offers no
+  // sustained load).
   m.offered_load_rps =
-      arrival_span > 0 ? static_cast<double>(reqs.size()) / arrival_span : 0.0;
+      reqs.size() > 1 && arrival_span > 0
+          ? static_cast<double>(reqs.size() - 1) / arrival_span
+          : 0.0;
   m.makespan_s = now - first_arrival;
   m.achieved_rps = m.makespan_s > 0
                        ? static_cast<double>(reqs.size()) / m.makespan_s
                        : 0.0;
   m.throughput_tps = m.makespan_s > 0 ? total_tokens / m.makespan_s : 0.0;
-  m.ttft_p50_s = util::quantile(ttfts, 0.50);
-  m.ttft_p95_s = util::quantile(ttfts, 0.95);
-  m.ttft_p99_s = util::quantile(ttfts, 0.99);
-  m.e2e_p50_s = util::quantile(e2es, 0.50);
-  m.e2e_p95_s = util::quantile(e2es, 0.95);
-  m.e2e_p99_s = util::quantile(e2es, 0.99);
+  // One sort per sample; the quantile calls reuse it.
+  std::sort(ttfts.begin(), ttfts.end());
+  std::sort(e2es.begin(), e2es.end());
+  m.ttft_p50_s = util::quantile_sorted(ttfts, 0.50);
+  m.ttft_p95_s = util::quantile_sorted(ttfts, 0.95);
+  m.ttft_p99_s = util::quantile_sorted(ttfts, 0.99);
+  m.e2e_p50_s = util::quantile_sorted(e2es, 0.50);
+  m.e2e_p95_s = util::quantile_sorted(e2es, 0.95);
+  m.e2e_p99_s = util::quantile_sorted(e2es, 0.99);
   m.max_concurrency = max_live;
   m.peak_queue_depth = peak_queue;
   m.saturated = m.offered_load_rps > 0 && m.achieved_rps < 0.95 * m.offered_load_rps;

@@ -21,16 +21,21 @@ double stddev(std::span<const double> xs) {
   return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
+double quantile_sorted(std::span<const double> sorted_xs, double q) {
+  if (sorted_xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  const double pos = q * static_cast<double>(sorted_xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted_xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
+}
+
 double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return quantile_sorted(sorted, q);
 }
 
 double geomean(std::span<const double> xs) {
@@ -49,11 +54,14 @@ Summary summarize(std::span<const double> xs) {
   s.count = xs.size();
   s.mean = mean(xs);
   s.stddev = stddev(xs);
-  s.min = *std::min_element(xs.begin(), xs.end());
-  s.max = *std::max_element(xs.begin(), xs.end());
-  s.median = quantile(xs, 0.5);
-  s.p95 = quantile(xs, 0.95);
-  s.p99 = quantile(xs, 0.99);
+  // One sort serves the extrema and all three quantiles.
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.p99 = quantile_sorted(sorted, 0.99);
   return s;
 }
 

@@ -29,8 +29,13 @@ double mean(std::span<const double> xs);
 double stddev(std::span<const double> xs);
 
 /// Linear-interpolated quantile, q in [0,1]. Throws on empty input or q
-/// outside [0,1].
+/// outside [0,1]. Copies and sorts the sample on every call; when taking
+/// several quantiles of one sample, sort once and use quantile_sorted.
 double quantile(std::span<const double> xs, double q);
+
+/// quantile() over an ALREADY ascending-sorted sample — no copy, no sort.
+/// Same contract otherwise; equal results for equal samples.
+double quantile_sorted(std::span<const double> sorted_xs, double q);
 
 /// Geometric mean; throws if any value is <= 0.
 double geomean(std::span<const double> xs);

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace llmib::util {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) : stats_(workers) {
+  require(workers >= 1, "ThreadPool: need at least one worker");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto idle_start = std::chrono::steady_clock::now();
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    stats_[index].wait_s += seconds_since(idle_start);
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+
+    const auto busy_start = std::chrono::steady_clock::now();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double busy = seconds_since(busy_start);
+
+    lock.lock();
+    stats_[index].busy_s += busy;
+    ++stats_[index].tasks;
+    if (error && !first_error_) first_error_ = error;
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  require(static_cast<bool>(task), "ThreadPool: empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  ++barriers_;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i)
+    submit([&fn, i] { fn(i); });
+  wait();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t total, const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
+  if (total == 0) return;
+  const std::size_t shards = threads_.size();
+  const std::size_t base = total / shards;
+  const std::size_t rem = total % shards;
+  std::size_t begin = 0;
+  std::size_t submitted = 0;
+  for (std::size_t s = 0; s < shards && begin < total; ++s) {
+    const std::size_t len = base + (s < rem ? 1 : 0);
+    if (len == 0) continue;
+    const std::size_t end = begin + len;
+    submit([&chunk_fn, begin, end] { chunk_fn(begin, end); });
+    begin = end;
+    ++submitted;
+  }
+  if (submitted > 0) wait();
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ThreadPool::WorkerStats ThreadPool::total_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerStats total;
+  for (const auto& s : stats_) {
+    total.tasks += s.tasks;
+    total.busy_s += s.busy_s;
+    total.wait_s += s.wait_s;
+  }
+  return total;
+}
+
+std::uint64_t ThreadPool::barriers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return barriers_;
+}
+
+}  // namespace llmib::util

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llmib::util {
+
+/// Persistent fixed-size worker pool with barrier semantics, shared by the
+/// sharded engine (one pool per ShardedTransformer lifetime), the batched
+/// engine's sequence-parallel stepping, and the benchmark suite's parallel
+/// sweep execution.
+///
+/// Model: the owner thread submit()s tasks and wait()s; wait() is the
+/// barrier — it returns once every task submitted so far has finished.
+/// run() bundles the common fork-join shape (n index tasks + barrier).
+/// The pool is reusable across any number of submit/wait generations; the
+/// workers are created once in the constructor and joined in the
+/// destructor. Nothing in the hot dispatch path creates threads.
+///
+/// Exceptions thrown by tasks are captured; the FIRST one is rethrown from
+/// the wait() that observes it (later tasks of the generation still run).
+/// After the rethrow the pool is clean and reusable.
+///
+/// Thread-safety: submit/wait/run must be called from one owner thread at
+/// a time; stats accessors may be called from any thread.
+class ThreadPool {
+ public:
+  /// Per-worker counters, maintained under the pool lock (cheap relative
+  /// to task bodies) so readers never race writers.
+  struct WorkerStats {
+    std::uint64_t tasks = 0;  ///< tasks this worker executed
+    double busy_s = 0.0;      ///< wall time spent inside task bodies
+    double wait_s = 0.0;      ///< wall time spent blocked waiting for work
+  };
+
+  /// Spawns `workers` (>= 1) threads immediately.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue one task for any worker.
+  void submit(std::function<void()> task);
+
+  /// Barrier: block until every submitted task has completed. Rethrows the
+  /// first captured task exception, if any.
+  void wait();
+
+  /// Fork-join: submit fn(0) .. fn(n-1) and wait(). `fn` must tolerate
+  /// concurrent invocation on distinct indices.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Chunked fork-join over [0, total): splits into size() contiguous
+  /// chunks and calls chunk_fn(begin, end) for each non-empty chunk.
+  void parallel_for(std::size_t total,
+                    const std::function<void(std::size_t, std::size_t)>& chunk_fn);
+
+  /// Snapshot of every worker's counters.
+  std::vector<WorkerStats> worker_stats() const;
+  /// Sum over workers.
+  WorkerStats total_stats() const;
+  /// Completed wait() barriers.
+  std::uint64_t barriers() const;
+
+ private:
+  void worker_loop(std::size_t index);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: "there is work (or stop)"
+  std::condition_variable done_cv_;   // owner: "everything drained"
+  std::deque<std::function<void()>> queue_;
+  std::vector<WorkerStats> stats_;    // one slot per worker
+  std::exception_ptr first_error_;
+  std::size_t pending_ = 0;           // queued + currently running tasks
+  std::uint64_t barriers_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;  // declared last: joins before members die
+};
+
+}  // namespace llmib::util

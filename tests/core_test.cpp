@@ -111,6 +111,35 @@ TEST(Sweep, DashboardRecordsMatchRows) {
   EXPECT_GT(records[0].throughput_tps, 0);
 }
 
+TEST(Sweep, ParallelExecutionMatchesSerialRowForRow) {
+  SweepAxes axes;
+  axes.models = {"LLaMA-3-8B", "Mistral-7B"};
+  axes.accelerators = {"A100", "SN40L"};
+  axes.frameworks = {"vLLM"};
+  axes.batch_sizes = {1, 16};
+  axes.io_lengths = {128, 512};
+  const auto serial = runner().run_sweep(axes);
+  axes.workers = 4;
+  const auto pooled = runner().run_sweep(axes);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial.rows()[i];
+    const auto& b = pooled.rows()[i];
+    // Grid order and every result are identical; only the execution differs.
+    EXPECT_EQ(a.config.model, b.config.model);
+    EXPECT_EQ(a.config.batch_size, b.config.batch_size);
+    EXPECT_EQ(a.result.status, b.result.status);
+    EXPECT_EQ(a.result.throughput_tps, b.result.throughput_tps);
+    EXPECT_EQ(a.result.e2e_latency_s, b.result.e2e_latency_s);
+  }
+  EXPECT_EQ(pooled.execution_stats().workers, 4);
+  ASSERT_EQ(pooled.execution_stats().pool.size(), 4u);
+  std::uint64_t tasks = 0;
+  for (const auto& w : pooled.execution_stats().pool) tasks += w.tasks;
+  EXPECT_EQ(tasks, pooled.size());  // one pool task per sweep point
+  EXPECT_TRUE(serial.execution_stats().pool.empty());
+}
+
 TEST(Sweep, TableHasRowPerPoint) {
   SweepAxes axes;
   axes.models = {"LLaMA-3-8B"};

@@ -1,0 +1,174 @@
+// Determinism and accounting tests for the pool-backed ShardedTransformer.
+//
+// The gather + row-parallel projection execution makes every per-element
+// floating-point accumulation order identical to the serial engine, so the
+// tests below demand BITWISE equality of logits for every (tp, ep) — not a
+// tolerance. Labeled `tsan`: under -DLLMIB_SANITIZE=thread they double as
+// the data-race check for the engine's fork-join stages.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/parallel_exec.h"
+#include "engine/weights.h"
+
+namespace {
+
+using namespace llmib::engine;
+using llmib::models::AttentionKind;
+using llmib::models::FfnKind;
+using llmib::models::ModelConfig;
+
+// MHSA so that tp in {1, 2, 4} divides both n_heads and n_kv_heads.
+ModelConfig mhsa_config() {
+  ModelConfig m;
+  m.name = "tiny-mhsa";
+  m.n_layers = 2;
+  m.hidden_size = 32;
+  m.attention = AttentionKind::kMHSA;
+  m.n_heads = 4;
+  m.n_kv_heads = 4;
+  m.ffn_intermediate = 48;
+  m.max_seq_len = 128;
+  m.vocab_size = 96;
+  return m;
+}
+
+ModelConfig moe_config() {
+  ModelConfig m = mhsa_config();
+  m.name = "tiny-moe";
+  m.ffn = FfnKind::kMoE;
+  m.n_experts = 4;
+  m.experts_active = 2;
+  return m;
+}
+
+void expect_bitwise_equal(const std::vector<float>& a,
+                          const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what;
+}
+
+class BitwiseTp : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitwiseTp, ShardedLogitsBitwiseIdenticalToSerial) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  const MiniTransformer serial(w);
+  ShardedTransformer sharded(w, GetParam(), 1);
+  ContiguousKvStore kv(serial.kv_dims());
+  for (TokenId t : {5, 9, 13, 2, 77}) {
+    const auto a = serial.forward(t, kv);
+    const auto b = sharded.forward(t);
+    expect_bitwise_equal(a, b, "tp decode step");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TpDegrees, BitwiseTp, ::testing::Values(1, 2, 4));
+
+class BitwiseEp : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitwiseEp, MoeShardedLogitsBitwiseIdenticalToSerial) {
+  const auto w = TransformerWeights::random(moe_config(), 21);
+  const MiniTransformer serial(w);
+  ShardedTransformer sharded(w, 1, GetParam());
+  ContiguousKvStore kv(serial.kv_dims());
+  for (TokenId t : {11, 22, 33, 44}) {
+    const auto a = serial.forward(t, kv);
+    const auto b = sharded.forward(t);
+    expect_bitwise_equal(a, b, "ep decode step");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpDegrees, BitwiseEp, ::testing::Values(1, 2));
+
+// ---- KV accounting (regression: the seed allocated a dummy dim-1 KV row on
+// non-owner EP shards but reported 0 floats for them) ------------------------
+
+TEST(KvAccounting, TpShardsReportExactlyWhatTheyAllocate) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  const auto cfg = mhsa_config();
+  ShardedTransformer sharded(w, 2, 1);
+  const std::size_t tokens = 5;
+  for (std::size_t i = 0; i < tokens; ++i) sharded.forward(1);
+  const auto per_shard = sharded.kv_floats_per_shard();
+  ASSERT_EQ(per_shard.size(), 2u);
+  const std::size_t head_dim =
+      static_cast<std::size_t>(cfg.hidden_size / cfg.n_heads);
+  const std::size_t kv_dim_per_shard =
+      static_cast<std::size_t>(cfg.n_kv_heads) / 2 * head_dim;
+  // keys + values, every layer, every cached token.
+  const std::size_t expected =
+      2 * tokens * kv_dim_per_shard * static_cast<std::size_t>(cfg.n_layers);
+  EXPECT_EQ(per_shard[0], expected);
+  EXPECT_EQ(per_shard[1], expected);
+}
+
+TEST(KvAccounting, EpNonOwnerAllocatesNothingAndReportsZero) {
+  const auto w = TransformerWeights::random(moe_config(), 21);
+  const auto cfg = moe_config();
+  ShardedTransformer sharded(w, 1, 2);
+  const std::size_t tokens = 4;
+  for (std::size_t i = 0; i < tokens; ++i) sharded.forward(3);
+  const auto per_shard = sharded.kv_floats_per_shard();
+  ASSERT_EQ(per_shard.size(), 2u);
+  const std::size_t head_dim =
+      static_cast<std::size_t>(cfg.hidden_size / cfg.n_heads);
+  const std::size_t kv_dim = static_cast<std::size_t>(cfg.n_kv_heads) * head_dim;
+  const std::size_t owner_expected =
+      2 * tokens * kv_dim * static_cast<std::size_t>(cfg.n_layers);
+  // Shard 0 owns the full-dimension cache; shard 1 attends nowhere and must
+  // hold ZERO floats — allocation and reporting agree by construction now
+  // that both read the same store.
+  EXPECT_EQ(per_shard[0], owner_expected);
+  EXPECT_EQ(per_shard[1], 0u);
+}
+
+// ---- pool lifecycle --------------------------------------------------------
+
+TEST(PoolLifecycle, SingleShardHasNoPool) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  ShardedTransformer sharded(w, 1, 1);
+  sharded.forward(1);
+  EXPECT_TRUE(sharded.pool_stats().empty());
+}
+
+TEST(PoolLifecycle, PoolPersistsAndAccumulatesAcrossTokens) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  ShardedTransformer sharded(w, 2, 1);
+  sharded.forward(1);
+  const auto after_one = sharded.pool_stats();
+  ASSERT_EQ(after_one.size(), 2u);
+  std::uint64_t tasks_one = 0;
+  for (const auto& s : after_one) tasks_one += s.tasks;
+  EXPECT_GT(tasks_one, 0u);
+
+  for (int i = 0; i < 4; ++i) sharded.forward(2);
+  std::uint64_t tasks_five = 0;
+  for (const auto& s : sharded.pool_stats()) tasks_five += s.tasks;
+  // Same pool serviced every token: counters only grow, 5x the dispatches.
+  EXPECT_EQ(tasks_five, 5 * tasks_one);
+
+  // reset() starts a new sequence but keeps the pool (and its history).
+  sharded.reset();
+  sharded.forward(1);
+  std::uint64_t tasks_six = 0;
+  for (const auto& s : sharded.pool_stats()) tasks_six += s.tasks;
+  EXPECT_EQ(tasks_six, 6 * tasks_one);
+}
+
+TEST(PoolLifecycle, ResetPreservesBitwiseReplay) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  ShardedTransformer sharded(w, 4, 1);
+  const auto first = sharded.forward(5);
+  sharded.forward(6);
+  sharded.reset();
+  EXPECT_EQ(sharded.context_size(), 0u);
+  expect_bitwise_equal(first, sharded.forward(5), "replay after reset");
+}
+
+}  // namespace

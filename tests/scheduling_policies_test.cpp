@@ -136,7 +136,11 @@ TEST(PrefixCaching, NoEffectWithoutSharedPrefix) {
   EXPECT_EQ(on.metrics.ttft_p50_s, off.metrics.ttft_p50_s);
 }
 
-TEST(PrefixCaching, PrefixLargerThanPromptRejected) {
+TEST(PrefixCaching, PrefixCoveringWholePromptClampedNotFatal) {
+  // Regression: the seed aborted the whole run (ContractViolation) whenever
+  // any request's prompt was not strictly longer than the shared prefix — a
+  // fully-cached prompt is a normal event, not a config error. The prefill
+  // is clamped to one uncached token instead.
   const sim::InferenceSimulator core;
   const sim::ServingSimulator serving(core);
   sim::SimConfig cfg;
@@ -144,13 +148,81 @@ TEST(PrefixCaching, PrefixLargerThanPromptRejected) {
   cfg.accelerator = "A100";
   cfg.framework = "vLLM";
   cfg.prefix_caching = true;
+  sim::SimConfig uncached = cfg;
+  uncached.prefix_caching = false;
+
   sim::ServingWorkload wl;
   wl.arrival_rate_rps = 1.0;
   wl.num_requests = 4;
   wl.prompt_min = 64;
   wl.prompt_max = 64;
   wl.shared_prefix_tokens = 128;  // longer than the whole prompt
-  EXPECT_THROW(serving.run(cfg, wl), ContractViolation);
+  const auto clamped = serving.run(cfg, wl);
+  ASSERT_TRUE(clamped.ok());
+  // Near-total cache hits must not make things slower than no caching.
+  const auto off = serving.run(uncached, wl);
+  ASSERT_TRUE(off.ok());
+  EXPECT_LE(clamped.metrics.ttft_p50_s, off.metrics.ttft_p50_s);
+}
+
+TEST(PrefixCaching, PromptExactlyEqualToPrefixRuns) {
+  const sim::InferenceSimulator core;
+  const sim::ServingSimulator serving(core);
+  sim::SimConfig cfg;
+  cfg.model = "LLaMA-3-8B";
+  cfg.accelerator = "A100";
+  cfg.framework = "vLLM";
+  cfg.prefix_caching = true;
+  std::vector<sim::TraceRequest> reqs;
+  for (int i = 0; i < 3; ++i)
+    reqs.push_back({static_cast<double>(i), 256, 16});  // prompt == prefix
+  const auto r = serving.run_trace(cfg, reqs, 0.0, /*shared_prefix=*/256);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.metrics.throughput_tps, 0.0);
+  EXPECT_GT(r.metrics.ttft_p50_s, 0.0);  // clamped prefill still costs time
+}
+
+// ---- SJF vs FCFS when admission is KV-limited ---------------------------------
+
+TEST(QueueOrder, SjfPacksMoreShortJobsUnderKvPressure) {
+  sched::Scheduler::Config cfg;
+  cfg.max_batch = 8;
+  cfg.kv_capacity_tokens = 120;  // one long job nearly fills the cache
+  sched::Scheduler::Config sjf_cfg = cfg;
+  sjf_cfg.order = sched::QueueOrder::kShortestFirst;
+
+  const auto submit_all = [](sched::Scheduler& s) {
+    s.submit({0, 80, 20, 0.0});  // footprint 100
+    s.submit({1, 10, 10, 0.0});  // footprint 20 each
+    s.submit({2, 10, 10, 0.0});
+    s.submit({3, 10, 10, 0.0});
+  };
+
+  sched::Scheduler fcfs(cfg);
+  submit_all(fcfs);
+  const auto fcfs_plan = fcfs.plan_step();
+  // FCFS admits the long job first; only one short fits behind it.
+  EXPECT_EQ(fcfs_plan.prefills.size(), 2u);
+  EXPECT_EQ(fcfs.reserved_kv_tokens(), 120);
+
+  sched::Scheduler sjf(sjf_cfg);
+  submit_all(sjf);
+  const auto sjf_plan = sjf.plan_step();
+  // SJF packs all three shorts; the long job waits for a drained cache.
+  EXPECT_EQ(sjf_plan.prefills.size(), 3u);
+  for (auto id : sjf_plan.prefills) EXPECT_NE(id, 0u);
+  EXPECT_EQ(sjf.waiting_requests(), 1);
+
+  // Both disciplines still drain the queue completely.
+  for (auto* s : {&fcfs, &sjf}) {
+    int guard = 0;
+    while (!s->all_done() && ++guard < 1000) {
+      const auto plan = s->plan_step();
+      for (auto id : plan.prefills) s->complete_decode_token(id);
+      for (auto id : plan.decodes) s->complete_decode_token(id);
+    }
+    EXPECT_TRUE(s->all_done());
+  }
 }
 
 }  // namespace

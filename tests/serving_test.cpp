@@ -162,6 +162,38 @@ TEST(Serving, ConcurrencyBoundedByConfig) {
   EXPECT_LE(r.metrics.max_concurrency, 4);
 }
 
+// ---- offered-load accounting ---------------------------------------------------
+
+TEST(Serving, OfferedLoadUsesInterArrivalGapsNotRequestCount) {
+  // Regression: the seed divided N requests by the arrival span, but N
+  // arrivals only contain N-1 inter-arrival gaps — a 2-request trace with
+  // arrivals at t=0 and t=4 is a 0.25 rps stream, not 0.5 rps.
+  const ServingSimulator serving(core());
+  std::vector<TraceRequest> reqs = {{0.0, 64, 16}, {4.0, 64, 16}};
+  const auto r = serving.run_trace(a100_vllm(), reqs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.metrics.offered_load_rps, 0.25);
+}
+
+TEST(Serving, OfferedLoadZeroForSingleRequestTrace) {
+  const ServingSimulator serving(core());
+  std::vector<TraceRequest> reqs = {{0.0, 64, 16}};
+  const auto r = serving.run_trace(a100_vllm(), reqs);
+  ASSERT_TRUE(r.ok());
+  // One arrival defines no rate; must not divide by a zero span.
+  EXPECT_DOUBLE_EQ(r.metrics.offered_load_rps, 0.0);
+}
+
+TEST(Serving, OfferedLoadMatchesUniformTraceRate) {
+  const ServingSimulator serving(core());
+  std::vector<TraceRequest> reqs;
+  for (int i = 0; i < 9; ++i)
+    reqs.push_back({0.5 * i, 64, 16});  // exactly 2 rps, 8 gaps over 4 s
+  const auto r = serving.run_trace(a100_vllm(), reqs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.metrics.offered_load_rps, 2.0);
+}
+
 // Parameterized load sweep: achieved rate tracks offered rate below the
 // knee, then flattens (the textbook serving curve).
 class ServingLoadSweep : public ::testing::TestWithParam<double> {};

@@ -1,0 +1,104 @@
+// Unit tests for the persistent worker pool (util/thread_pool.h): barrier
+// correctness, exception propagation, reuse across generations, and the
+// per-worker counters. Labeled `tsan` — run under -DLLMIB_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using llmib::util::ThreadPool;
+
+TEST(ThreadPoolTest, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), std::exception);
+}
+
+TEST(ThreadPoolTest, WaitIsABarrier) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  // Every task submitted before the barrier has finished by the time it
+  // returns — no sleep, no polling.
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_EQ(pool.barriers(), 1u);
+}
+
+TEST(ThreadPoolTest, RunCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksCoverRangeDisjointly) {
+  ThreadPool pool(4);
+  std::vector<int> counts(103, 0);
+  // Chunks are disjoint, so unsynchronized writes are safe (TSan verifies).
+  pool.parallel_for(counts.size(), [&counts](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++counts[i];
+  });
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 103);
+  pool.parallel_for(0, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, FirstExceptionRethrownAtBarrier) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Later tasks of the generation still ran; the error did not wedge them.
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error was consumed by the previous barrier; the pool is clean.
+  std::atomic<int> done{0};
+  pool.run(8, [&done](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyGenerations) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int gen = 0; gen < 50; ++gen)
+    pool.run(16, [&total](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50 * 16);
+  EXPECT_EQ(pool.barriers(), 50u);
+}
+
+TEST(ThreadPoolTest, StatsCountEveryTask) {
+  ThreadPool pool(3);
+  pool.run(30, [](std::size_t) {});
+  const auto per_worker = pool.worker_stats();
+  ASSERT_EQ(per_worker.size(), 3u);
+  const auto total = pool.total_stats();
+  EXPECT_EQ(total.tasks, 30u);
+  std::uint64_t summed = 0;
+  for (const auto& w : per_worker) summed += w.tasks;
+  EXPECT_EQ(summed, 30u);
+  EXPECT_GE(total.busy_s, 0.0);
+  EXPECT_GE(total.wait_s, 0.0);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+  EXPECT_EQ(pool.barriers(), 1u);
+  EXPECT_EQ(pool.total_stats().tasks, 0u);
+}
+
+}  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -142,6 +143,32 @@ TEST(Stats, QuantileInterpolates) {
 TEST(Stats, QuantileRejectsBadInput) {
   EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
   EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, QuantileSortedMatchesQuantile) {
+  const std::vector<double> unsorted = {40, 10, 30, 20, 50};
+  std::vector<double> sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 1.0})
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(unsorted, q));
+}
+
+TEST(Stats, QuantileSortedRejectsBadInput) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted(std::vector<double>{1.0}, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(quantile_sorted(std::vector<double>{1.0}, 1.1),
+               std::invalid_argument);
+}
+
+TEST(Stats, SummarizeQuantilesAgreeWithDirectCalls) {
+  const std::vector<double> xs = {9, 1, 7, 3, 5, 2, 8, 4, 6, 10};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(s.p95, quantile(xs, 0.95));
+  EXPECT_DOUBLE_EQ(s.p99, quantile(xs, 0.99));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
 }
 
 TEST(Stats, GeomeanOfPowers) {
