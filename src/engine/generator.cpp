@@ -92,11 +92,11 @@ sched::RequestId ServingEngine::submit(std::vector<TokenId> prompt,
 }
 
 void ServingEngine::preempt(sched::RequestId id, Live& live) {
-  (void)id;
   require(live.kv != nullptr, "ServingEngine: preempting an evicted sequence");
   live.kv.reset();  // frees every block of this sequence
   live.preempted = true;
   ++preemptions_;
+  ++preemption_counts_[id];
 }
 
 bool ServingEngine::try_restore(sched::RequestId id, Live& live) {

@@ -86,6 +86,12 @@ class ServingEngine {
   std::int64_t preemptions() const { return preemptions_; }
   /// Token-forwards spent replaying preempted sequences.
   std::int64_t recomputed_tokens() const { return recomputed_tokens_; }
+  /// Per-request eviction counts (victim selection is observable: the
+  /// youngest OTHER resident is preferred; a sequence that cannot grow even
+  /// alone self-evicts).
+  const std::map<sched::RequestId, std::int64_t>& preemption_counts() const {
+    return preemption_counts_;
+  }
   const sched::Scheduler& scheduler() const { return scheduler_; }
 
  private:
@@ -121,6 +127,7 @@ class ServingEngine {
   std::int64_t iterations_ = 0;
   std::int64_t preemptions_ = 0;
   std::int64_t recomputed_tokens_ = 0;
+  std::map<sched::RequestId, std::int64_t> preemption_counts_;
   kv::SeqId next_kv_id_ = 0;  ///< paged-pool ids (fresh id per restore)
 };
 

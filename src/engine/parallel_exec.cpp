@@ -220,6 +220,13 @@ void ShardedTransformer::project_rows(std::span<const float> w,
 std::vector<float> ShardedTransformer::forward(TokenId token) {
   const auto& cfg = weights_.config;
   require(token >= 0 && token < cfg.vocab_size, "ShardedTransformer: token out of range");
+  if (fault_hook_) {
+    // Injection barrier: every shard runs the hook on its worker before any
+    // KV append or scratch write, so a throwing hook leaves the step fully
+    // retryable (tokens_ and every shard KV are untouched).
+    const std::size_t step = tokens_;
+    dispatch([&](std::size_t s) { fault_hook_(s, step); });
+  }
   const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
   const auto shards = static_cast<std::size_t>(tp_ * ep_);
   const std::size_t q_dim_total = attn_gather_.size();

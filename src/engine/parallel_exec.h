@@ -48,6 +48,16 @@ class ShardedTransformer {
   /// KV store. Returns full logits.
   std::vector<float> forward(TokenId token);
 
+  /// Per-(shard, step) hook invoked on every shard's worker thread at the
+  /// START of each forward, before any state mutation. A hook that throws
+  /// aborts the step — the exception propagates out of forward() via the
+  /// pool's first-error rethrow — and because nothing has been mutated yet
+  /// the SAME step can simply be retried (fault::forward_with_step_retry).
+  /// This is the injection point the fault layer uses to exercise shard
+  /// failure propagation on the real ThreadPool path.
+  using FaultHook = std::function<void(std::size_t shard, std::size_t step)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   /// Drop all cached state (start a new sequence).
   void reset();
 
@@ -84,6 +94,7 @@ class ShardedTransformer {
   std::vector<std::unique_ptr<ContiguousKvStore>> shard_kv_;  // size tp*ep
   std::size_t tokens_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;  // null when tp*ep == 1
+  FaultHook fault_hook_;                    // empty => no injection
 
   // Per-token scratch, sized once (no allocation churn across layers).
   std::vector<float> attn_gather_;  // n_heads * head_dim

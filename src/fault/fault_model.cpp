@@ -1,0 +1,73 @@
+#include "fault/fault_model.h"
+
+#include "util/check.h"
+
+namespace llmib::fault {
+
+using util::require;
+
+namespace {
+
+// Decorrelate the two event streams from one profile seed.
+constexpr std::uint64_t kDeviceStream = 0x6465766963655f66ULL;   // "device_f"
+constexpr std::uint64_t kThrottleStream = 0x7468726f74746c65ULL;  // "throttle"
+
+}  // namespace
+
+FaultClock::FaultClock(const FaultProfile& profile)
+    : p_(profile),
+      device_rng_(profile.seed ^ kDeviceStream),
+      throttle_rng_(profile.seed ^ kThrottleStream) {
+  require(p_.device_mtbf_s >= 0, "FaultProfile: negative device MTBF");
+  require(p_.device_restart_s >= 0, "FaultProfile: negative restart delay");
+  require(p_.throttle_mtbf_s >= 0, "FaultProfile: negative throttle MTBF");
+  require(p_.throttle_duration_s >= 0, "FaultProfile: negative throttle duration");
+  require(p_.throttle_slowdown >= 1.0,
+          "FaultProfile: throttle_slowdown must be >= 1");
+  require(p_.active_until_s >= 0, "FaultProfile: negative fault horizon");
+  next_failure_s_ =
+      p_.device_mtbf_s > 0 ? device_rng_.exponential(1.0 / p_.device_mtbf_s) : -1.0;
+  next_throttle_start_s_ =
+      p_.throttle_mtbf_s > 0 ? throttle_rng_.exponential(1.0 / p_.throttle_mtbf_s)
+                             : -1.0;
+}
+
+bool FaultClock::suppressed(double start_s) const {
+  return p_.active_until_s > 0 && start_s > p_.active_until_s;
+}
+
+double FaultClock::take_device_failure(double now) {
+  if (next_failure_s_ < 0 || suppressed(next_failure_s_)) return -1.0;
+  if (next_failure_s_ > now) return -1.0;
+  const double fired = next_failure_s_;
+  ++device_failures_;
+  last_disruption_end_ =
+      std::max(last_disruption_end_, fired + p_.device_restart_s);
+  next_failure_s_ = fired + device_rng_.exponential(1.0 / p_.device_mtbf_s);
+  return fired;
+}
+
+double FaultClock::slowdown_at(double now) {
+  if (next_throttle_start_s_ < 0) return throttle_end_s_ > now
+                                             ? p_.throttle_slowdown
+                                             : 1.0;
+  // Advance past episodes that already ended before this query; they were
+  // never observed by a step and have no effect.
+  while (next_throttle_start_s_ >= 0 && !suppressed(next_throttle_start_s_) &&
+         next_throttle_start_s_ + p_.throttle_duration_s <= now) {
+    next_throttle_start_s_ +=
+        p_.throttle_duration_s + throttle_rng_.exponential(1.0 / p_.throttle_mtbf_s);
+  }
+  if (next_throttle_start_s_ >= 0 && !suppressed(next_throttle_start_s_) &&
+      next_throttle_start_s_ <= now) {
+    // Entering a live episode: record it and schedule the next one.
+    ++throttle_episodes_;
+    throttle_end_s_ = next_throttle_start_s_ + p_.throttle_duration_s;
+    last_disruption_end_ = std::max(last_disruption_end_, throttle_end_s_);
+    next_throttle_start_s_ =
+        throttle_end_s_ + throttle_rng_.exponential(1.0 / p_.throttle_mtbf_s);
+  }
+  return throttle_end_s_ > now ? p_.throttle_slowdown : 1.0;
+}
+
+}  // namespace llmib::fault

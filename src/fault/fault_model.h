@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace llmib::fault {
+
+/// Stochastic fault environment for a serving run, in the spirit of the
+/// hardware-evaluation literature that treats degradation (clock/bandwidth
+/// derating, transient failures) as a first-class device property. Two
+/// independent Poisson processes:
+///
+///  - transient DEVICE FAILURES (MTBF-driven): the accelerator drops, every
+///    live sequence loses its KV cache, and serving pauses for a restart
+///    delay before prefill-recomputing survivors;
+///  - THROTTLE episodes (thermal derating / straggler shards): for the
+///    episode's duration every iteration runs `throttle_slowdown` times
+///    slower.
+///
+/// A default-constructed profile is inert: `enabled()` is false and the
+/// serving simulator's fault machinery is bypassed entirely, reproducing
+/// the fault-free metrics bit for bit.
+struct FaultProfile {
+  std::uint64_t seed = 42;        ///< fault timeline seed (decoupled from workload)
+
+  double device_mtbf_s = 0.0;     ///< mean time between device failures; 0 => none
+  double device_restart_s = 2.0;  ///< downtime per failure before recovery starts
+
+  double throttle_mtbf_s = 0.0;   ///< mean time between throttle episodes; 0 => none
+  double throttle_duration_s = 5.0;
+  double throttle_slowdown = 2.0; ///< step-time multiplier while throttled
+
+  /// Faults whose start lies beyond this horizon are suppressed (0 => no
+  /// horizon). Lets benchmarks build "storm then calm" scenarios and check
+  /// post-episode recovery.
+  double active_until_s = 0.0;
+
+  bool enabled() const { return device_mtbf_s > 0 || throttle_mtbf_s > 0; }
+};
+
+/// Lazy, deterministic realization of a FaultProfile: the serving loop asks
+/// questions in non-decreasing simulation time and the clock draws the two
+/// event streams on demand from decorrelated seeded generators. Same
+/// profile + same query sequence => identical fault timeline.
+class FaultClock {
+ public:
+  explicit FaultClock(const FaultProfile& profile);
+
+  /// Earliest unconsumed device failure at or before `now`, consumed one
+  /// per call; negative when none is due. The caller applies the restart
+  /// delay itself (it owns the simulation clock).
+  double take_device_failure(double now);
+
+  /// Step-time multiplier for an iteration starting at `now` (>= 1).
+  /// Advances the throttle-episode state machine; episodes that fall
+  /// entirely between queries are skipped without effect.
+  double slowdown_at(double now);
+
+  std::int64_t device_failures() const { return device_failures_; }
+  std::int64_t throttle_episodes() const { return throttle_episodes_; }
+
+  /// End time of the latest disruption consumed so far (failure restart or
+  /// throttle episode); very negative when none occurred. Used for the
+  /// post-fault availability metric.
+  double last_disruption_end_s() const { return last_disruption_end_; }
+
+ private:
+  bool suppressed(double start_s) const;
+
+  FaultProfile p_;
+  util::Rng device_rng_;
+  util::Rng throttle_rng_;
+  double next_failure_s_;        ///< < 0 when the stream is exhausted
+  double next_throttle_start_s_; ///< < 0 when the stream is exhausted
+  double throttle_end_s_ = -1.0;
+  std::int64_t device_failures_ = 0;
+  std::int64_t throttle_episodes_ = 0;
+  double last_disruption_end_ = -1.0e300;
+};
+
+}  // namespace llmib::fault

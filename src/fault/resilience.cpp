@@ -1,0 +1,49 @@
+#include "fault/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llmib::fault {
+
+using util::require;
+
+double RetryPolicy::backoff_s(int attempt, util::Rng& rng) const {
+  require(attempt >= 1, "RetryPolicy: attempts are 1-based");
+  require(backoff_base_s >= 0 && backoff_multiplier >= 1.0,
+          "RetryPolicy: malformed backoff parameters");
+  require(jitter_frac >= 0 && jitter_frac <= 1.0,
+          "RetryPolicy: jitter_frac must be in [0, 1]");
+  double delay =
+      backoff_base_s * std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  if (jitter_frac > 0) delay *= 1.0 + jitter_frac * (2.0 * rng.next_double() - 1.0);
+  return delay;
+}
+
+DegradationController::DegradationController(const DegradationConfig& cfg)
+    : cfg_(cfg) {
+  require(cfg.window_s >= 0, "DegradationConfig: negative pressure window");
+  require(cfg.batch_shrink > 0 && cfg.batch_shrink <= 1.0,
+          "DegradationConfig: batch_shrink must be in (0, 1]");
+  require(cfg.min_batch >= 1, "DegradationConfig: min_batch must be >= 1");
+}
+
+void DegradationController::on_fault(double now) {
+  if (!cfg_.enabled) return;
+  if (now >= pressure_until_) ++activations_;
+  pressure_until_ = std::max(pressure_until_, now + cfg_.window_s);
+}
+
+bool DegradationController::degraded_at(double now) const {
+  return cfg_.enabled && now < pressure_until_;
+}
+
+std::int64_t DegradationController::max_batch(std::int64_t base, double now) const {
+  if (!degraded_at(now)) return base;
+  const auto shrunk = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(base) * cfg_.batch_shrink));
+  return std::clamp(std::max(shrunk, cfg_.min_batch), std::int64_t{1}, base);
+}
+
+}  // namespace llmib::fault

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace llmib::fault {
+
+/// Bounded retry with exponential backoff (+ optional jitter) for requests
+/// killed by a device failure. `max_retries == 0` (the default) means a
+/// fault-killed request fails permanently — the no-policy baseline.
+struct RetryPolicy {
+  int max_retries = 0;
+  double backoff_base_s = 0.05;     ///< delay before the first retry
+  double backoff_multiplier = 2.0;  ///< growth per attempt
+  double jitter_frac = 0.0;         ///< +/- uniform fraction of the delay
+
+  /// Backoff before retry attempt `attempt` (1-based). Draws from `rng`
+  /// only when jitter is configured, so jitter-free policies consume no
+  /// randomness.
+  double backoff_s(int attempt, util::Rng& rng) const;
+};
+
+/// Queue-depth / deadline-aware admission control: shed arrivals that
+/// cannot plausibly meet their latency target instead of letting the queue
+/// saturate the device.
+struct AdmissionControl {
+  bool enabled = false;
+  /// Shed when this many requests are already waiting (0 => unbounded).
+  std::int64_t max_queue_depth = 0;
+  /// Shed when the predicted queueing delay exceeds this target. 0 picks
+  /// the workload's TTFT SLO (or deadline) automatically; < 0 disables the
+  /// predictive check.
+  double target_ttft_s = 0.0;
+};
+
+/// Graceful degradation under sustained fault pressure: while faults are
+/// firing, shrink the admission batch (and optionally run with a quantized
+/// FP8 KV cache, trading fidelity for memory traffic) so the survivor
+/// device drains its backlog; restore full service once the pressure
+/// window expires.
+struct DegradationConfig {
+  bool enabled = false;
+  double window_s = 10.0;     ///< pressure persists this long after a fault
+  double batch_shrink = 0.5;  ///< degraded max_batch = base * batch_shrink
+  std::int64_t min_batch = 1;
+  bool quantize_kv = false;   ///< degraded steps use an FP8 KV cache
+};
+
+/// Tracks fault pressure over time and yields the effective admission
+/// batch. An activation is a transition from healthy to degraded.
+class DegradationController {
+ public:
+  explicit DegradationController(const DegradationConfig& cfg);
+
+  /// Record a fault (device failure or throttle episode) observed at `now`.
+  void on_fault(double now);
+
+  bool degraded_at(double now) const;
+  std::int64_t max_batch(std::int64_t base, double now) const;
+  std::int64_t activations() const { return activations_; }
+
+ private:
+  DegradationConfig cfg_;
+  double pressure_until_ = -1.0e300;
+  std::int64_t activations_ = 0;
+};
+
+/// Everything the serving simulator's resilience layer can be asked to do.
+/// Default-constructed: no deadline, no retry, no shedding, no
+/// degradation — the loop behaves exactly as the policy-free simulator.
+struct ResiliencePolicy {
+  /// Per-request end-to-end deadline measured from arrival; a request
+  /// still unfinished past it is cancelled and its KV freed (0 => none).
+  double deadline_s = 0.0;
+  RetryPolicy retry;
+  AdmissionControl admission;
+  DegradationConfig degradation;
+
+  bool any() const {
+    return deadline_s > 0 || retry.max_retries > 0 || admission.enabled ||
+           degradation.enabled;
+  }
+};
+
+}  // namespace llmib::fault

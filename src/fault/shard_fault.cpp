@@ -1,0 +1,82 @@
+#include "fault/shard_fault.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace llmib::fault {
+
+using util::require;
+
+namespace {
+
+// splitmix64 — the stateless hash behind the (seed, shard, step) schedule.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardFault::ShardFault(std::size_t shard, std::size_t step)
+    : std::runtime_error("injected shard fault: shard " + std::to_string(shard) +
+                         " at step " + std::to_string(step)),
+      shard_(shard),
+      step_(step) {}
+
+ShardFaultInjector::ShardFaultInjector(Config cfg) : cfg_(cfg) {
+  require(cfg.fault_probability >= 0 && cfg.fault_probability <= 1.0,
+          "ShardFaultInjector: fault_probability must be in [0, 1]");
+  require(cfg.transient_failures >= 1,
+          "ShardFaultInjector: transient_failures must be >= 1");
+}
+
+bool ShardFaultInjector::scheduled(std::size_t shard, std::size_t step) const {
+  if (cfg_.fault_probability <= 0) return false;
+  if (cfg_.fault_probability >= 1.0) return true;
+  const std::uint64_t h =
+      mix(cfg_.seed ^ mix(static_cast<std::uint64_t>(step) * 0x10001ULL +
+                          static_cast<std::uint64_t>(shard)));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < cfg_.fault_probability;
+}
+
+void ShardFaultInjector::check(std::size_t shard, std::size_t step) {
+  if (!scheduled(shard, step)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int& count = thrown_[{step, shard}];
+    if (count >= cfg_.transient_failures) return;  // healed
+    ++count;
+    ++injected_;
+  }
+  throw ShardFault(shard, step);
+}
+
+engine::ShardedTransformer::FaultHook ShardFaultInjector::hook() {
+  return [this](std::size_t shard, std::size_t step) { check(shard, step); };
+}
+
+std::int64_t ShardFaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+std::vector<float> forward_with_step_retry(engine::ShardedTransformer& model,
+                                           engine::TokenId token, int max_attempts,
+                                           StepRetryStats* stats) {
+  require(max_attempts >= 1, "forward_with_step_retry: need at least one attempt");
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return model.forward(token);
+    } catch (const ShardFault&) {
+      if (attempt >= max_attempts) throw;
+      if (stats) ++stats->retries;
+    }
+  }
+}
+
+}  // namespace llmib::fault

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "engine/parallel_exec.h"
+
+namespace llmib::fault {
+
+/// A transient shard failure injected into the real engine's ThreadPool
+/// path. Carries the (shard, step) coordinates so retry logic and tests can
+/// see exactly what failed.
+class ShardFault : public std::runtime_error {
+ public:
+  ShardFault(std::size_t shard, std::size_t step);
+  std::size_t shard() const { return shard_; }
+  std::size_t step() const { return step_; }
+
+ private:
+  std::size_t shard_;
+  std::size_t step_;
+};
+
+/// Seeded, deterministic per-step shard-failure injector for
+/// engine::ShardedTransformer. The fault schedule is a pure function of
+/// (seed, shard, step) — no cross-thread ordering dependence — and each
+/// scheduled fault is TRANSIENT: it throws for `transient_failures`
+/// attempts of that step, then heals, modeling a device that recovers
+/// after a retry or two. Thread-safe: the hook runs concurrently on every
+/// pool worker.
+class ShardFaultInjector {
+ public:
+  struct Config {
+    std::uint64_t seed = 2024;
+    double fault_probability = 0.0;  ///< per (step, shard) fault chance
+    int transient_failures = 1;      ///< throws per faulty (step, shard) before healing
+  };
+
+  explicit ShardFaultInjector(Config cfg);
+
+  /// The hook to install via ShardedTransformer::set_fault_hook. Binds
+  /// `this`; the injector must outlive the transformer's use of it.
+  engine::ShardedTransformer::FaultHook hook();
+
+  /// Whether the schedule faults (shard, step) — deterministic, stateless.
+  bool scheduled(std::size_t shard, std::size_t step) const;
+
+  /// Total exceptions thrown so far.
+  std::int64_t injected() const;
+
+ private:
+  void check(std::size_t shard, std::size_t step);
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::size_t, std::size_t>, int> thrown_;  ///< (step, shard) -> count
+  std::int64_t injected_ = 0;
+};
+
+/// Statistics of a retried forward pass.
+struct StepRetryStats {
+  std::int64_t retries = 0;  ///< extra attempts consumed (0 => clean step)
+};
+
+/// Run one ShardedTransformer step with bounded retry: a ShardFault aborts
+/// the attempt (the transformer guarantees no state was mutated) and the
+/// step is re-issued, up to `max_attempts` total attempts; the last
+/// failure is rethrown. Non-fault exceptions propagate immediately.
+std::vector<float> forward_with_step_retry(engine::ShardedTransformer& model,
+                                           engine::TokenId token, int max_attempts,
+                                           StepRetryStats* stats = nullptr);
+
+}  // namespace llmib::fault

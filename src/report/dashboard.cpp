@@ -40,9 +40,11 @@ std::string DashboardBuilder::render_json() const {
            "\",";
     std::snprintf(buf, sizeof(buf),
                   "\"batch\":%ld,\"in\":%ld,\"out\":%ld,\"tput\":%.2f,"
-                  "\"ttft\":%.5f,\"itl\":%.6f,\"power\":%.1f,",
+                  "\"ttft\":%.5f,\"itl\":%.6f,\"power\":%.1f,"
+                  "\"avail\":%.4f,\"retries\":%ld,\"shed\":%ld,",
                   r.batch, r.input_tokens, r.output_tokens, r.throughput_tps,
-                  r.ttft_s, r.itl_s, r.power_w);
+                  r.ttft_s, r.itl_s, r.power_w, r.availability, r.retries,
+                  r.shed);
     out += buf;
     out += "\"status\":\"" + json_escape(r.status) + "\"}";
   }
@@ -72,6 +74,9 @@ th{background:#eee} td:first-child,td:nth-child(2),td:nth-child(3){text-align:le
     <option value="ttft">TTFT (s)</option>
     <option value="itl">ITL (s)</option>
     <option value="power">power (W)</option>
+    <option value="avail">availability</option>
+    <option value="retries">retries</option>
+    <option value="shed">shed requests</option>
   </select>
 </div>
 <div id="out"></div>

@@ -17,6 +17,10 @@ struct DashboardRecord {
   double ttft_s = 0.0;
   double itl_s = 0.0;
   double power_w = 0.0;
+  // Resilience columns (serving-under-faults runs; defaults mean "no faults").
+  double availability = 1.0;
+  long retries = 0;
+  long shed = 0;
   std::string status = "ok";
 };
 

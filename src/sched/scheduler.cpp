@@ -11,6 +11,13 @@ Scheduler::Scheduler(Config cfg) : cfg_(cfg) {
   require(cfg.kv_capacity_tokens >= 0, "Scheduler: negative kv capacity");
   require(cfg.reservation_frac > 0.0 && cfg.reservation_frac <= 1.0,
           "Scheduler: reservation_frac must be in (0, 1]");
+  require(cfg.sjf_aging_tokens_per_round >= 0,
+          "Scheduler: negative SJF aging rate");
+}
+
+void Scheduler::set_max_batch(std::int64_t max_batch) {
+  require(max_batch > 0, "Scheduler: max_batch must be positive");
+  cfg_.max_batch = max_batch;
 }
 
 std::int64_t Scheduler::footprint(const Request& req) const {
@@ -29,8 +36,25 @@ void Scheduler::submit(const Request& req) {
     require(req.prompt_tokens + req.max_new_tokens <= cfg_.kv_capacity_tokens,
             "Scheduler: request can never fit in KV capacity");
   }
-  queue_.push_back(req);
+  queue_.push_back(Queued{req, 0});
   queued_ids_.insert(req.id);
+}
+
+bool Scheduler::cancel(RequestId id) {
+  if (queued_ids_.erase(id) > 0) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->req.id == id) {
+        queue_.erase(it);
+        return true;
+      }
+    }
+    require(false, "Scheduler: queued_ids_ out of sync with queue_");
+  }
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  reserved_tokens_ -= footprint(it->second.req);
+  live_.erase(it);
+  return true;
 }
 
 bool Scheduler::can_admit(const Request& req) const {
@@ -44,21 +68,30 @@ bool Scheduler::can_admit(const Request& req) const {
 
 void Scheduler::admit_from_queue() {
   if (cfg_.policy == BatchPolicy::kStatic && !live_.empty()) return;
+  // One planning round of waiting ages every queued request (SJF aging).
+  if (cfg_.order == QueueOrder::kShortestFirst &&
+      cfg_.sjf_aging_tokens_per_round > 0) {
+    for (auto& q : queue_) ++q.rounds_waiting;
+  }
   const bool starting_wave = live_.empty() && !queue_.empty();
   bool admitted_any = false;
   for (;;) {
     if (queue_.empty()) break;
     auto candidate = queue_.begin();
     if (cfg_.order == QueueOrder::kShortestFirst) {
+      // Effective work = total tokens minus an aging credit, so a starved
+      // long request eventually wins over fresh short ones. Ties keep
+      // queue (arrival) order via strict less-than.
+      const auto rank = [&](const Queued& q) {
+        return q.req.prompt_tokens + q.req.max_new_tokens -
+               q.rounds_waiting * cfg_.sjf_aging_tokens_per_round;
+      };
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        const auto work = [](const Request& r) {
-          return r.prompt_tokens + r.max_new_tokens;
-        };
-        if (work(*it) < work(*candidate)) candidate = it;
+        if (rank(*it) < rank(*candidate)) candidate = it;
       }
     }
-    if (!can_admit(*candidate)) break;
-    Request req = *candidate;
+    if (!can_admit(candidate->req)) break;
+    Request req = candidate->req;
     queue_.erase(candidate);
     queued_ids_.erase(req.id);
     reserved_tokens_ += footprint(req);

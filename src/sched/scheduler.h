@@ -63,6 +63,11 @@ class Scheduler {
     /// relying on preemption for the rare overflow.
     double reservation_frac = 1.0;
     QueueOrder order = QueueOrder::kFcfs;
+    /// Starvation mitigation for kShortestFirst: each planning round a
+    /// waiting request's effective work shrinks by this many tokens, so a
+    /// long request eventually outranks the stream of short ones that
+    /// would otherwise starve it forever. 0 (default) = pure SJF.
+    std::int64_t sjf_aging_tokens_per_round = 0;
   };
 
   explicit Scheduler(Config cfg);
@@ -81,6 +86,20 @@ class Scheduler {
   /// reaches its max_new_tokens it retires and frees its KV reservation.
   /// Returns true if the request is now done. Throws if `id` is not live.
   bool complete_decode_token(RequestId id);
+
+  /// Remove a request wherever it is (waiting queue or live set), freeing
+  /// its KV reservation. The id becomes reusable. Returns false if the
+  /// scheduler does not know the id. This is how the resilience layer
+  /// expresses deadline timeouts and fault-killed sequences.
+  bool cancel(RequestId id);
+
+  /// Whether `id` is currently admitted (holds KV), as opposed to waiting.
+  bool is_live(RequestId id) const { return live_.find(id) != live_.end(); }
+
+  /// Change the concurrency cap mid-run (graceful degradation). Shrinking
+  /// below the current live count only pauses admission — live sequences
+  /// are never evicted by this.
+  void set_max_batch(std::int64_t max_batch);
 
   /// Number of tokens of KV the live set currently reserves.
   std::int64_t reserved_kv_tokens() const { return reserved_tokens_; }
@@ -106,12 +125,17 @@ class Scheduler {
     Phase phase = Phase::kNeedsPrefill;
   };
 
+  struct Queued {
+    Request req;
+    std::int64_t rounds_waiting = 0;  ///< planning rounds spent in the queue
+  };
+
   bool can_admit(const Request& req) const;
   void admit_from_queue();
   std::int64_t footprint(const Request& req) const;
 
   Config cfg_;
-  std::deque<Request> queue_;
+  std::deque<Queued> queue_;
   /// Ids currently in queue_, kept in sync on submit/admit so duplicate
   /// detection is O(1) instead of a linear queue scan per submit.
   std::unordered_set<RequestId> queued_ids_;

@@ -1,6 +1,8 @@
 #include "sim/serving.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "frameworks/traits.h"
@@ -12,6 +14,17 @@
 namespace llmib::sim {
 
 using util::require;
+
+namespace {
+
+// Decorrelates retry-jitter draws from the fault timeline itself.
+constexpr std::uint64_t kBackoffStream = 0x6261636b6f666673ULL;  // "backoffs"
+
+double quantile_or_zero(const std::vector<double>& sorted, double q) {
+  return sorted.empty() ? 0.0 : util::quantile_sorted(sorted, q);
+}
+
+}  // namespace
 
 ServingSimulator::ServingSimulator(const InferenceSimulator& simulator)
     : sim_(simulator) {}
@@ -35,21 +48,29 @@ ServingSimulator::Result ServingSimulator::run(const SimConfig& base,
     r.prompt_tokens = rng.uniform_int(wl.prompt_min, wl.prompt_max);
     r.output_tokens = rng.uniform_int(wl.output_min, wl.output_max);
   }
-  Result res =
-      run_trace(base, reqs, wl.slo_ttft_s, wl.shared_prefix_tokens, wl.queue_order);
+  TraceOptions opts;
+  opts.slo_ttft_s = wl.slo_ttft_s;
+  opts.shared_prefix = wl.shared_prefix_tokens;
+  opts.order = wl.queue_order;
+  opts.sjf_aging_tokens_per_round = wl.sjf_aging_tokens_per_round;
+  opts.faults = wl.faults;
+  opts.resilience = wl.resilience;
+  Result res = run_trace(base, reqs, opts);
   // Report the workload's nominal rate rather than the trace-derived one.
   if (res.ok()) {
     res.metrics.offered_load_rps = wl.arrival_rate_rps;
-    res.metrics.saturated = res.metrics.achieved_rps < 0.95 * wl.arrival_rate_rps;
+    res.metrics.saturated =
+        saturated_load(res.metrics.achieved_rps, wl.arrival_rate_rps);
   }
   return res;
 }
 
 ServingSimulator::Result ServingSimulator::run_trace(
     const SimConfig& base, const std::vector<TraceRequest>& reqs,
-    double slo_ttft_s, std::int64_t shared_prefix, sched::QueueOrder order) const {
+    const TraceOptions& opts) const {
   require(!reqs.empty(), "ServingSimulator: empty trace");
-  require(shared_prefix >= 0, "ServingSimulator: negative shared prefix");
+  require(opts.shared_prefix >= 0, "ServingSimulator: negative shared prefix");
+  const std::int64_t shared_prefix = opts.shared_prefix;
   std::int64_t max_prompt = 0, max_output = 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     require(reqs[i].prompt_tokens > 0 && reqs[i].output_tokens > 0,
@@ -86,7 +107,9 @@ ServingSimulator::Result ServingSimulator::run_trace(
   scfg.kv_capacity_tokens =
       static_cast<std::int64_t>(sim_.kv_capacity_tokens(probe));
   scfg.reservation_frac = fw.conservative_admission ? 1.0 : 0.25;
-  scfg.order = order;
+  scfg.order = opts.order;
+  scfg.sjf_aging_tokens_per_round = opts.sjf_aging_tokens_per_round;
+  const std::int64_t base_max_batch = scfg.max_batch;
   sched::Scheduler scheduler(scfg);
   // Automatic prefix caching: the shared prefix's KV is computed by the
   // first prefill and reused by every later one.
@@ -97,45 +120,208 @@ ServingSimulator::Result ServingSimulator::run_trace(
   step_cfg.batch_size = 1;  // per-step batch passed explicitly below
   step_cfg.input_tokens = max_prompt;
   step_cfg.output_tokens = max_output;
+  // Degraded steps trade KV fidelity for memory traffic (fault pressure).
+  SimConfig step_cfg_fp8 = step_cfg;
+  step_cfg_fp8.kv_precision = hw::Precision::kFP8;
+
+  // ---- Fault environment & resilience policies ------------------------------
+  const fault::FaultProfile& fp = opts.faults;
+  const fault::ResiliencePolicy& rp = opts.resilience;
+  fault::FaultClock clock(fp);
+  fault::DegradationController degrade(rp.degradation);
+  util::Rng backoff_rng(fp.seed ^ kBackoffStream);
+
+  enum class Fate { kPending, kCompleted, kShed, kTimedOut, kFailed };
+  struct Track {
+    Fate fate = Fate::kPending;
+    bool in_scheduler = false;
+    bool ttft_recorded = false;
+    bool awaiting_retry = false;
+    double retry_at = 0.0;
+    double ttft_s = 0.0;
+    int attempts = 0;              ///< retries consumed so far
+    std::int64_t progress = 0;     ///< tokens generated before eviction(s)
+    std::int64_t cur_prompt = 0;   ///< prompt + recompute on the current attempt
+  };
+  std::vector<Track> track(reqs.size());
 
   // ---- Event loop -----------------------------------------------------------
   double now = first_arrival;
   std::size_t next_submit = 0;
-  std::size_t completed = 0;
-  std::vector<double> ttfts, e2es;
+  std::size_t completed = 0, shed = 0, timed_out = 0, failed = 0;
+  std::size_t resolved = 0;
+  std::int64_t retry_waiting = 0;
+  std::int64_t total_retries = 0, fault_evictions = 0;
+  std::vector<double> ttfts, e2es, itls;
   ttfts.reserve(reqs.size());
   e2es.reserve(reqs.size());
   std::int64_t max_live = 0, peak_queue = 0;
   double total_tokens = 0;
+  double step_ewma_s = 0.0;
+  std::vector<double> pending_fault_times;  ///< failures awaiting first token
+  double mttr_sum = 0.0;
+  std::int64_t mttr_count = 0;
 
   const std::int64_t max_iterations =
-      static_cast<std::int64_t>(reqs.size()) * (max_output + 8) + 1024;
+      static_cast<std::int64_t>(reqs.size()) * (max_output + 8) *
+          (1 + static_cast<std::int64_t>(std::max(0, rp.retry.max_retries))) +
+      1024;
   std::int64_t iterations = 0;
 
-  while (completed < reqs.size()) {
+  while (resolved < reqs.size()) {
     require(++iterations <= max_iterations, "ServingSimulator: failed to converge");
+
+    // Resubmit fault-killed requests whose backoff expired. Their lost work
+    // is recomputed: the new attempt prefills prompt + prior progress.
+    if (retry_waiting > 0) {
+      for (std::size_t i = 0; i < track.size(); ++i) {
+        Track& t = track[i];
+        if (!t.awaiting_retry || t.retry_at > now) continue;
+        t.awaiting_retry = false;
+        --retry_waiting;
+        if (rp.deadline_s > 0 && now - reqs[i].arrival_s > rp.deadline_s) {
+          t.fate = Fate::kTimedOut;
+          ++timed_out;
+          ++resolved;
+          continue;
+        }
+        t.cur_prompt = reqs[i].prompt_tokens + t.progress;
+        scheduler.submit({static_cast<sched::RequestId>(i), t.cur_prompt,
+                          std::max<std::int64_t>(1, reqs[i].output_tokens - t.progress),
+                          reqs[i].arrival_s});
+        t.in_scheduler = true;
+      }
+    }
 
     while (next_submit < reqs.size() && reqs[next_submit].arrival_s <= now) {
       const auto& r = reqs[next_submit];
-      scheduler.submit({static_cast<sched::RequestId>(next_submit), r.prompt_tokens,
-                        r.output_tokens, r.arrival_s});
+      Track& t = track[next_submit];
+      bool reject = false;
+      if (rp.admission.enabled) {
+        if (rp.admission.max_queue_depth > 0 &&
+            scheduler.waiting_requests() >= rp.admission.max_queue_depth) {
+          reject = true;
+        }
+        double target = rp.admission.target_ttft_s;
+        if (target == 0) target = opts.slo_ttft_s > 0 ? opts.slo_ttft_s : rp.deadline_s;
+        if (!reject && target > 0 && step_ewma_s > 0) {
+          // Admission waves ahead of this arrival, each one iteration deep:
+          // a deliberately optimistic queueing-delay floor. If even the
+          // floor misses the target, admitting is pointless.
+          const double waves =
+              std::ceil(static_cast<double>(scheduler.waiting_requests() + 1) /
+                        static_cast<double>(base_max_batch));
+          if (waves * step_ewma_s > target) reject = true;
+        }
+      }
+      if (reject) {
+        t.fate = Fate::kShed;
+        ++shed;
+        ++resolved;
+      } else {
+        t.cur_prompt = r.prompt_tokens;
+        scheduler.submit({static_cast<sched::RequestId>(next_submit),
+                          r.prompt_tokens, r.output_tokens, r.arrival_s});
+        t.in_scheduler = true;
+      }
       ++next_submit;
+    }
+
+    // Deadline enforcement: cancel requests (queued or live) past their
+    // end-to-end budget; their KV is freed immediately.
+    if (rp.deadline_s > 0) {
+      for (std::size_t i = 0; i < track.size(); ++i) {
+        Track& t = track[i];
+        if (t.fate != Fate::kPending || !t.in_scheduler) continue;
+        if (now - reqs[i].arrival_s > rp.deadline_s) {
+          scheduler.cancel(static_cast<sched::RequestId>(i));
+          t.in_scheduler = false;
+          t.fate = Fate::kTimedOut;
+          ++timed_out;
+          ++resolved;
+        }
+      }
+    }
+
+    // Device failures: every live sequence loses its KV. The machine is
+    // back after the restart delay; victims either retry (backoff, prefill
+    // recompute) or fail permanently once retries are exhausted. Queued
+    // requests hold no device state and ride the failure out.
+    if (fp.enabled()) {
+      for (double tf = clock.take_device_failure(now); tf >= 0;
+           tf = clock.take_device_failure(now)) {
+        now += fp.device_restart_s;
+        degrade.on_fault(now);
+        pending_fault_times.push_back(tf);
+        for (std::size_t i = 0; i < track.size(); ++i) {
+          Track& t = track[i];
+          if (t.fate != Fate::kPending || !t.in_scheduler) continue;
+          const auto id = static_cast<sched::RequestId>(i);
+          if (!scheduler.is_live(id)) continue;
+          t.progress += scheduler.generated_tokens(id);
+          scheduler.cancel(id);
+          t.in_scheduler = false;
+          ++fault_evictions;
+          if (t.attempts < rp.retry.max_retries) {
+            ++t.attempts;
+            ++total_retries;
+            t.awaiting_retry = true;
+            t.retry_at = now + rp.retry.backoff_s(t.attempts, backoff_rng);
+            ++retry_waiting;
+          } else {
+            t.fate = Fate::kFailed;
+            ++failed;
+            ++resolved;
+          }
+        }
+      }
+    }
+
+    // Graceful degradation: under fault pressure admit less (and optionally
+    // quantize the KV); the controller restores the full batch on its own
+    // once the pressure window expires.
+    if (rp.degradation.enabled) {
+      scheduler.set_max_batch(degrade.max_batch(base_max_batch, now));
     }
     peak_queue = std::max(peak_queue, scheduler.waiting_requests());
 
+    // Shedding / deadlines / fault kills may have just resolved the last
+    // outstanding request — nothing is left to plan.
+    if (resolved >= reqs.size()) break;
+
     const sched::StepPlan plan = scheduler.plan_step();
     if (plan.empty()) {
-      // Idle: jump to the next arrival.
-      require(next_submit < reqs.size(), "ServingSimulator: stalled with no work");
-      now = std::max(now, reqs[next_submit].arrival_s);
+      // Idle: jump to the next event (arrival or retry becoming due).
+      double next_event = std::numeric_limits<double>::infinity();
+      if (next_submit < reqs.size()) next_event = reqs[next_submit].arrival_s;
+      if (retry_waiting > 0) {
+        for (const Track& t : track) {
+          if (t.awaiting_retry) next_event = std::min(next_event, t.retry_at);
+        }
+      }
+      require(std::isfinite(next_event), "ServingSimulator: stalled with no work");
+      now = std::max(now, next_event);
       continue;
     }
     max_live = std::max(max_live, scheduler.live_sequences());
 
+    // Throttle derating stretches every step in the episode; sustained
+    // throttling also counts as fault pressure for the degradation loop.
+    double mult = 1.0;
+    if (fp.enabled()) {
+      mult = clock.slowdown_at(now);
+      if (mult != 1.0) degrade.on_fault(now);
+    }
+    const bool quantized_step = rp.degradation.enabled &&
+                                rp.degradation.quantize_kv &&
+                                degrade.degraded_at(now);
+    const SimConfig& cur_cfg = quantized_step ? step_cfg_fp8 : step_cfg;
+    double iter_dur = 0.0;
+
     if (!plan.prefills.empty()) {
       double prompt_sum = 0;
       for (auto id : plan.prefills) {
-        double effective = static_cast<double>(reqs[id].prompt_tokens);
+        double effective = static_cast<double>(track[id].cur_prompt);
         if (caching && prefix_cached) {
           // A prompt may be no longer than the shared prefix (e.g. an empty
           // question after the system prompt); it still prefills at least
@@ -148,15 +334,26 @@ ServingSimulator::Result ServingSimulator::run_trace(
       const auto mean_prompt = std::max<std::int64_t>(
           1, static_cast<std::int64_t>(prompt_sum / static_cast<double>(plan.prefills.size())));
       const StepBreakdown p = sim_.prefill_step(
-          step_cfg, static_cast<std::int64_t>(plan.prefills.size()), mean_prompt);
-      now += p.total_s;
+          cur_cfg, static_cast<std::int64_t>(plan.prefills.size()), mean_prompt);
+      double dur = p.total_s;
+      if (mult != 1.0) dur *= mult;
+      now += dur;
+      iter_dur += dur;
       for (auto id : plan.prefills) {
-        ttfts.push_back(now - reqs[id].arrival_s);
+        Track& t = track[id];
+        if (!t.ttft_recorded) {
+          t.ttft_recorded = true;
+          t.ttft_s = now - reqs[id].arrival_s;
+          ttfts.push_back(t.ttft_s);
+        }
         if (scheduler.complete_decode_token(id)) {
           e2es.push_back(now - reqs[id].arrival_s);
           total_tokens +=
               static_cast<double>(reqs[id].prompt_tokens + reqs[id].output_tokens);
+          t.fate = Fate::kCompleted;
+          t.in_scheduler = false;
           ++completed;
+          ++resolved;
         }
       }
     }
@@ -165,18 +362,37 @@ ServingSimulator::Result ServingSimulator::run_trace(
       double ctx_sum = 0;
       for (auto id : plan.decodes) ctx_sum += static_cast<double>(scheduler.context_length(id));
       const StepBreakdown d = sim_.decode_step(
-          step_cfg, static_cast<std::int64_t>(plan.decodes.size()),
+          cur_cfg, static_cast<std::int64_t>(plan.decodes.size()),
           ctx_sum / static_cast<double>(plan.decodes.size()));
-      now += d.total_s;
+      double dur = d.total_s;
+      if (mult != 1.0) dur *= mult;
+      now += dur;
+      iter_dur += dur;
       for (auto id : plan.decodes) {
+        Track& t = track[id];
+        itls.push_back(dur);
         if (scheduler.complete_decode_token(id)) {
           e2es.push_back(now - reqs[id].arrival_s);
           total_tokens +=
               static_cast<double>(reqs[id].prompt_tokens + reqs[id].output_tokens);
+          t.fate = Fate::kCompleted;
+          t.in_scheduler = false;
           ++completed;
+          ++resolved;
         }
       }
     }
+
+    // This iteration produced tokens: any outstanding failure is repaired
+    // (service-level MTTR: failure -> next token from anyone).
+    if (!pending_fault_times.empty()) {
+      for (double ft : pending_fault_times) {
+        mttr_sum += now - ft;
+        ++mttr_count;
+      }
+      pending_fault_times.clear();
+    }
+    step_ewma_s = step_ewma_s == 0.0 ? iter_dur : 0.9 * step_ewma_s + 0.1 * iter_dur;
   }
 
   // ---- Metrics ---------------------------------------------------------------
@@ -191,25 +407,61 @@ ServingSimulator::Result ServingSimulator::run_trace(
           : 0.0;
   m.makespan_s = now - first_arrival;
   m.achieved_rps = m.makespan_s > 0
-                       ? static_cast<double>(reqs.size()) / m.makespan_s
+                       ? static_cast<double>(completed) / m.makespan_s
                        : 0.0;
   m.throughput_tps = m.makespan_s > 0 ? total_tokens / m.makespan_s : 0.0;
   // One sort per sample; the quantile calls reuse it.
   std::sort(ttfts.begin(), ttfts.end());
   std::sort(e2es.begin(), e2es.end());
-  m.ttft_p50_s = util::quantile_sorted(ttfts, 0.50);
-  m.ttft_p95_s = util::quantile_sorted(ttfts, 0.95);
-  m.ttft_p99_s = util::quantile_sorted(ttfts, 0.99);
-  m.e2e_p50_s = util::quantile_sorted(e2es, 0.50);
-  m.e2e_p95_s = util::quantile_sorted(e2es, 0.95);
-  m.e2e_p99_s = util::quantile_sorted(e2es, 0.99);
+  std::sort(itls.begin(), itls.end());
+  m.ttft_p50_s = quantile_or_zero(ttfts, 0.50);
+  m.ttft_p95_s = quantile_or_zero(ttfts, 0.95);
+  m.ttft_p99_s = quantile_or_zero(ttfts, 0.99);
+  m.e2e_p50_s = quantile_or_zero(e2es, 0.50);
+  m.e2e_p95_s = quantile_or_zero(e2es, 0.95);
+  m.e2e_p99_s = quantile_or_zero(e2es, 0.99);
+  m.itl_p50_s = quantile_or_zero(itls, 0.50);
+  m.itl_p95_s = quantile_or_zero(itls, 0.95);
+  m.itl_p99_s = quantile_or_zero(itls, 0.99);
   m.max_concurrency = max_live;
   m.peak_queue_depth = peak_queue;
-  m.saturated = m.offered_load_rps > 0 && m.achieved_rps < 0.95 * m.offered_load_rps;
-  if (slo_ttft_s > 0) {
+  m.saturated = saturated_load(m.achieved_rps, m.offered_load_rps);
+  if (opts.slo_ttft_s > 0) {
     std::size_t met = 0;
-    for (double v : ttfts) met += v <= slo_ttft_s;
-    m.slo_goodput = static_cast<double>(met) / static_cast<double>(ttfts.size());
+    for (const Track& t : track) {
+      met += t.fate == Fate::kCompleted && t.ttft_s <= opts.slo_ttft_s;
+    }
+    m.slo_goodput = static_cast<double>(met) / static_cast<double>(reqs.size());
+    m.goodput_rps =
+        m.makespan_s > 0 ? static_cast<double>(met) / m.makespan_s : 0.0;
+  } else {
+    m.goodput_rps = m.achieved_rps;
+  }
+
+  m.fault_evictions = fault_evictions;
+  m.retries = total_retries;
+  m.shed_requests = static_cast<std::int64_t>(shed);
+  m.timed_out_requests = static_cast<std::int64_t>(timed_out);
+  m.failed_requests = static_cast<std::int64_t>(failed);
+  m.degradation_activations = degrade.activations();
+  m.availability =
+      static_cast<double>(completed) / static_cast<double>(reqs.size());
+  if (fp.enabled()) {
+    m.device_failures = clock.device_failures();
+    m.throttle_episodes = clock.throttle_episodes();
+    m.mttr_s = mttr_count > 0 ? mttr_sum / static_cast<double>(mttr_count) : 0.0;
+    // Did service recover once the disruptions stopped?
+    const double horizon = clock.last_disruption_end_s();
+    std::int64_t post_n = 0, post_ok = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].arrival_s > horizon) {
+        ++post_n;
+        post_ok += track[i].fate == Fate::kCompleted;
+      }
+    }
+    m.post_fault_availability =
+        post_n > 0 ? static_cast<double>(post_ok) / static_cast<double>(post_n)
+                   : 1.0;
   }
   return res;
 }

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_model.h"
+#include "fault/resilience.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 
@@ -28,6 +30,13 @@ struct ServingWorkload {
   std::int64_t shared_prefix_tokens = 0;
   /// Admission ordering for the waiting queue.
   sched::QueueOrder queue_order = sched::QueueOrder::kFcfs;
+  /// Starvation mitigation for kShortestFirst (see Scheduler::Config).
+  std::int64_t sjf_aging_tokens_per_round = 0;
+  /// Fault environment (default: none — fault machinery fully bypassed).
+  fault::FaultProfile faults;
+  /// Resilience policies (default: none — loop behaves as the policy-free
+  /// simulator).
+  fault::ResiliencePolicy resilience;
 };
 
 /// One concrete request of an online-serving run (also the row type of
@@ -38,26 +47,71 @@ struct TraceRequest {
   std::int64_t output_tokens = 0;
 };
 
+/// Achieved load below this fraction of the offered load means the system
+/// could not keep up (queue growth dominated service).
+inline constexpr double kSaturationHeadroom = 0.95;
+
+/// The one saturation heuristic used everywhere: achieved request rate
+/// measurably below offered.
+inline bool saturated_load(double achieved_rps, double offered_rps) {
+  return offered_rps > 0 && achieved_rps < kSaturationHeadroom * offered_rps;
+}
+
 /// Latency/throughput metrics of one online-serving run.
 struct ServingMetrics {
   double offered_load_rps = 0.0;    ///< from the workload
-  double makespan_s = 0.0;          ///< first arrival -> last completion
-  double achieved_rps = 0.0;        ///< completed requests / makespan
-  double throughput_tps = 0.0;      ///< (in+out tokens) / makespan
+  double makespan_s = 0.0;          ///< first arrival -> last resolution
+  double achieved_rps = 0.0;        ///< COMPLETED requests / makespan
+  double throughput_tps = 0.0;      ///< completed (in+out tokens) / makespan
 
   // Per-request time-to-first-token, measured from ARRIVAL (includes
   // queueing — the quantity a user experiences).
   double ttft_p50_s = 0.0, ttft_p95_s = 0.0, ttft_p99_s = 0.0;
   // Per-request end-to-end latency from arrival to last token.
   double e2e_p50_s = 0.0, e2e_p95_s = 0.0, e2e_p99_s = 0.0;
+  // Per-token inter-token latency across all decoded tokens.
+  double itl_p50_s = 0.0, itl_p95_s = 0.0, itl_p99_s = 0.0;
 
   std::int64_t max_concurrency = 0;   ///< peak live sequences
   std::int64_t peak_queue_depth = 0;  ///< peak waiting requests
   bool saturated = false;             ///< system could not keep up with load
 
-  /// Fraction of requests whose TTFT met the workload's SLO (1.0 when no
-  /// SLO was set) — the goodput metric serving papers optimize.
+  /// Fraction of requests that COMPLETED with TTFT within the SLO (1.0 when
+  /// no SLO was set) — the goodput metric serving papers optimize. Shed,
+  /// timed-out and failed requests count against it.
   double slo_goodput = 1.0;
+  /// SLO-meeting completions per second (achieved_rps when no SLO is set).
+  double goodput_rps = 0.0;
+
+  // ---- Resilience (all zero / 1.0 on a fault-free, policy-free run) ----
+  std::int64_t device_failures = 0;    ///< transient device drops fired
+  std::int64_t throttle_episodes = 0;  ///< throttle episodes observed
+  std::int64_t fault_evictions = 0;    ///< live sequences killed by failures
+  std::int64_t retries = 0;            ///< retry resubmissions scheduled
+  std::int64_t shed_requests = 0;      ///< rejected at admission
+  std::int64_t timed_out_requests = 0; ///< cancelled past their deadline
+  std::int64_t failed_requests = 0;    ///< fault-killed, retries exhausted
+  std::int64_t degradation_activations = 0;  ///< healthy->degraded switches
+  /// Fraction of all requests that completed.
+  double availability = 1.0;
+  /// Completion fraction among requests arriving AFTER the last disruption
+  /// ended — did service recover once the faults stopped? (1.0 when no
+  /// disruption or no such arrivals.)
+  double post_fault_availability = 1.0;
+  /// Mean time from a device failure to the next token produced by any
+  /// request (service-level MTTR; 0 when no failure occurred).
+  double mttr_s = 0.0;
+};
+
+/// Per-trace-run options beyond the request list itself. Defaults reproduce
+/// the historical `run_trace(base, reqs)` behavior exactly.
+struct TraceOptions {
+  double slo_ttft_s = 0.0;
+  std::int64_t shared_prefix = 0;
+  sched::QueueOrder order = sched::QueueOrder::kFcfs;
+  std::int64_t sjf_aging_tokens_per_round = 0;
+  fault::FaultProfile faults;
+  fault::ResiliencePolicy resilience;
 };
 
 /// Discrete-event online-serving simulator built on top of the per-step
@@ -80,13 +134,25 @@ class ServingSimulator {
   Result run(const SimConfig& base, const ServingWorkload& workload) const;
 
   /// Replay a concrete request list (e.g. a recorded trace). Requests must
-  /// be sorted by arrival with positive token counts. `shared_prefix`
+  /// be sorted by arrival with positive token counts. `opts.shared_prefix`
   /// tokens at the head of every prompt are prefix-cached when the config
-  /// enables it; `order` selects the admission policy.
+  /// enables it. With a fault profile the run is still deterministic: same
+  /// trace + same options => identical metrics.
+  Result run_trace(const SimConfig& base,
+                   const std::vector<TraceRequest>& requests,
+                   const TraceOptions& opts) const;
+
+  /// Legacy convenience overload.
   Result run_trace(const SimConfig& base,
                    const std::vector<TraceRequest>& requests,
                    double slo_ttft_s = 0.0, std::int64_t shared_prefix = 0,
-                   sched::QueueOrder order = sched::QueueOrder::kFcfs) const;
+                   sched::QueueOrder order = sched::QueueOrder::kFcfs) const {
+    TraceOptions opts;
+    opts.slo_ttft_s = slo_ttft_s;
+    opts.shared_prefix = shared_prefix;
+    opts.order = order;
+    return run_trace(base, requests, opts);
+  }
 
  private:
   const InferenceSimulator& sim_;

@@ -1,0 +1,157 @@
+// Fault injection on the REAL engine path: a seeded ShardFaultInjector
+// throws from ShardedTransformer's per-shard fault hook (on the pool's
+// worker threads), the ThreadPool propagates the first exception out of the
+// barrier, and fault::forward_with_step_retry re-issues the step. Because
+// the hook fires before any state mutation, a failed step is safely
+// retryable and retried generation stays BITWISE identical to the serial
+// engine. Labeled `tsan`: under -DLLMIB_SANITIZE=thread this doubles as the
+// race check for concurrent hook execution.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/parallel_exec.h"
+#include "engine/weights.h"
+#include "fault/shard_fault.h"
+
+namespace {
+
+using namespace llmib::engine;
+using namespace llmib::fault;
+using llmib::models::AttentionKind;
+using llmib::models::ModelConfig;
+
+ModelConfig mhsa_config() {
+  ModelConfig m;
+  m.name = "tiny-mhsa";
+  m.n_layers = 2;
+  m.hidden_size = 32;
+  m.attention = AttentionKind::kMHSA;
+  m.n_heads = 4;
+  m.n_kv_heads = 4;
+  m.ffn_intermediate = 48;
+  m.max_seq_len = 128;
+  m.vocab_size = 96;
+  return m;
+}
+
+void expect_bitwise_equal(const std::vector<float>& a,
+                          const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what;
+}
+
+TEST(ShardFaultInjector, ScheduleIsDeterministicAndSeedSensitive) {
+  ShardFaultInjector::Config cfg;
+  cfg.seed = 5;
+  cfg.fault_probability = 0.3;
+  ShardFaultInjector a(cfg), b(cfg);
+  cfg.seed = 6;
+  ShardFaultInjector c(cfg);
+  int differs = 0;
+  for (std::size_t step = 0; step < 64; ++step) {
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+      EXPECT_EQ(a.scheduled(shard, step), b.scheduled(shard, step));
+      differs += a.scheduled(shard, step) != c.scheduled(shard, step);
+    }
+  }
+  EXPECT_GT(differs, 0);  // a different seed is a different schedule
+}
+
+TEST(ShardFaultInjector, ProbabilityEndpoints) {
+  ShardFaultInjector::Config cfg;
+  ShardFaultInjector never(cfg);
+  cfg.fault_probability = 1.0;
+  ShardFaultInjector always(cfg);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_FALSE(never.scheduled(s, s));
+    EXPECT_TRUE(always.scheduled(s, s));
+  }
+}
+
+TEST(ShardFaultEngine, TransientFaultsRetriedBitwiseIdenticalToSerial) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  const MiniTransformer serial(w);
+  ContiguousKvStore kv(serial.kv_dims());
+  ShardedTransformer sharded(w, /*tp=*/2, /*ep=*/1);
+
+  ShardFaultInjector::Config cfg;
+  cfg.seed = 2024;
+  cfg.fault_probability = 1.0;   // EVERY step faults...
+  cfg.transient_failures = 2;    // ...twice, then heals
+  ShardFaultInjector injector(cfg);
+  sharded.set_fault_hook(injector.hook());
+
+  StepRetryStats stats;
+  for (TokenId t : {5, 9, 13, 2, 77}) {
+    const auto a = serial.forward(t, kv);
+    const auto b = forward_with_step_retry(sharded, t, /*max_attempts=*/4, &stats);
+    expect_bitwise_equal(a, b, "retried decode step");
+  }
+  EXPECT_EQ(stats.retries, 2 * 5);  // two transient failures per step
+  EXPECT_GT(injector.injected(), 0);
+  EXPECT_EQ(sharded.context_size(), 5u);
+}
+
+TEST(ShardFaultEngine, ExhaustedRetriesRethrowWithoutStateDamage) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  ShardedTransformer sharded(w, 2, 1);
+
+  ShardFaultInjector::Config cfg;
+  cfg.fault_probability = 1.0;
+  cfg.transient_failures = 100;  // never heals within our attempt budget
+  ShardFaultInjector injector(cfg);
+  sharded.set_fault_hook(injector.hook());
+
+  EXPECT_THROW(forward_with_step_retry(sharded, 7, 3), ShardFault);
+  // The failed step mutated nothing: cache still empty...
+  EXPECT_EQ(sharded.context_size(), 0u);
+
+  // ...and with the hook cleared the same instance produces exactly the
+  // serial engine's output from a clean slate.
+  sharded.set_fault_hook({});
+  const MiniTransformer serial(w);
+  ContiguousKvStore kv(serial.kv_dims());
+  const auto a = serial.forward(7, kv);
+  const auto b = sharded.forward(7);
+  expect_bitwise_equal(a, b, "post-fault clean step");
+}
+
+TEST(ShardFaultEngine, FaultCarriesCoordinates) {
+  const auto w = TransformerWeights::random(mhsa_config(), 1);
+  ShardedTransformer sharded(w, 2, 1);
+  ShardFaultInjector::Config cfg;
+  cfg.fault_probability = 1.0;
+  cfg.transient_failures = 100;
+  ShardFaultInjector injector(cfg);
+  sharded.set_fault_hook(injector.hook());
+  try {
+    sharded.forward(3);
+    FAIL() << "expected a ShardFault";
+  } catch (const ShardFault& f) {
+    EXPECT_LT(f.shard(), 2u);
+    EXPECT_EQ(f.step(), 0u);
+  }
+}
+
+TEST(ShardFaultEngine, InlineSingleShardPathAlsoInjects) {
+  // tp*ep == 1 has no pool; the hook runs inline and must behave the same.
+  const auto w = TransformerWeights::random(mhsa_config(), 9);
+  ShardedTransformer sharded(w, 1, 1);
+  ShardFaultInjector::Config cfg;
+  cfg.fault_probability = 1.0;
+  cfg.transient_failures = 1;
+  ShardFaultInjector injector(cfg);
+  sharded.set_fault_hook(injector.hook());
+  StepRetryStats stats;
+  const auto logits = forward_with_step_retry(sharded, 4, 2, &stats);
+  EXPECT_FALSE(logits.empty());
+  EXPECT_EQ(stats.retries, 1);
+}
+
+}  // namespace

@@ -118,6 +118,23 @@ TEST(Dashboard, JsonContainsRecordFields) {
   EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
 }
 
+TEST(Dashboard, JsonCarriesResilienceColumns) {
+  DashboardRecord r = record();
+  r.availability = 0.875;
+  r.retries = 7;
+  r.shed = 3;
+  DashboardBuilder b;
+  b.add(r);
+  const auto json = b.render_json();
+  EXPECT_NE(json.find("\"avail\":0.8750"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\":3"), std::string::npos);
+  // Defaults read as a clean run.
+  DashboardBuilder clean;
+  clean.add(record());
+  EXPECT_NE(clean.render_json().find("\"avail\":1.0000"), std::string::npos);
+}
+
 TEST(Dashboard, JsonBalancedDelimiters) {
   DashboardBuilder b;
   for (int i = 0; i < 5; ++i) b.add(record());

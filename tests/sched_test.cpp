@@ -140,6 +140,91 @@ TEST(Scheduler, CompletionFreesCapacityForWaiters) {
   EXPECT_EQ(s.waiting_requests(), 0);  // request 1 was admitted
 }
 
+TEST(Scheduler, CancelRemovesQueuedRequest) {
+  Scheduler s(cfg(BatchPolicy::kContinuous, 1));
+  s.submit(req(1));
+  s.submit(req(2));
+  s.plan_step();  // 1 admitted, 2 queued
+  EXPECT_EQ(s.waiting_requests(), 1);
+  EXPECT_TRUE(s.cancel(2));
+  EXPECT_EQ(s.waiting_requests(), 0);
+  // The id is reusable after cancellation.
+  s.submit(req(2));
+  EXPECT_EQ(s.waiting_requests(), 1);
+}
+
+TEST(Scheduler, CancelFreesLiveKvReservation) {
+  Scheduler s(cfg(BatchPolicy::kContinuous, 4, /*capacity=*/24));
+  s.submit(req(1, 8, 4));   // footprint 12
+  s.submit(req(2, 8, 4));   // footprint 12 -> cache full
+  s.submit(req(3, 8, 4));   // must wait
+  s.plan_step();
+  EXPECT_EQ(s.live_sequences(), 2);
+  EXPECT_EQ(s.reserved_kv_tokens(), 24);
+  EXPECT_TRUE(s.is_live(1));
+  EXPECT_TRUE(s.cancel(1));
+  EXPECT_FALSE(s.is_live(1));
+  EXPECT_EQ(s.reserved_kv_tokens(), 12);
+  const auto plan = s.plan_step();  // freed capacity admits the waiter
+  EXPECT_EQ(plan.prefills.size(), 1u);
+  EXPECT_EQ(s.reserved_kv_tokens(), 24);
+}
+
+TEST(Scheduler, CancelUnknownIdReturnsFalse) {
+  Scheduler s(cfg(BatchPolicy::kContinuous, 2));
+  EXPECT_FALSE(s.cancel(99));
+  s.submit(req(1));
+  s.plan_step();
+  EXPECT_TRUE(s.cancel(1));
+  EXPECT_FALSE(s.cancel(1));  // already gone
+}
+
+TEST(Scheduler, SetMaxBatchShrinkPausesAdmissionWithoutEviction) {
+  Scheduler s(cfg(BatchPolicy::kContinuous, 4));
+  for (RequestId i = 0; i < 6; ++i) s.submit(req(i, 8, 8));
+  s.plan_step();
+  EXPECT_EQ(s.live_sequences(), 4);
+  s.set_max_batch(2);  // shrink below the live count
+  s.plan_step();
+  EXPECT_EQ(s.live_sequences(), 4);  // nobody was evicted
+  EXPECT_EQ(s.waiting_requests(), 2);  // and nobody new was admitted
+  s.set_max_batch(6);  // restore
+  s.plan_step();
+  EXPECT_EQ(s.live_sequences(), 6);
+  EXPECT_THROW(s.set_max_batch(0), ContractViolation);
+}
+
+TEST(Scheduler, SjfAgingPreventsStarvation) {
+  Scheduler::Config pure = cfg(BatchPolicy::kContinuous, 1);
+  pure.order = QueueOrder::kShortestFirst;
+  Scheduler::Config aged = pure;
+  aged.sjf_aging_tokens_per_round = 8;
+
+  // A long job waits while one fresh short job arrives every round. Pure
+  // SJF picks the short every time; aging eventually promotes the long.
+  const auto rounds_until_long_starts = [](Scheduler& s) {
+    s.submit({0, 100, 50, 0.0});
+    RequestId next_id = 1;
+    for (int round = 1; round <= 40; ++round) {
+      s.submit({next_id++, 4, 1, 0.0});
+      const StepPlan plan = s.plan_step();
+      for (RequestId id : plan.prefills) {
+        if (id == 0) return round;
+        s.complete_decode_token(id);  // out=1: short jobs finish instantly
+      }
+      for (RequestId id : plan.decodes) s.complete_decode_token(id);
+    }
+    return -1;  // starved for all 40 rounds
+  };
+
+  Scheduler starving(pure);
+  EXPECT_EQ(rounds_until_long_starts(starving), -1);
+  Scheduler fair(aged);
+  const int started = rounds_until_long_starts(fair);
+  EXPECT_GT(started, 0);
+  EXPECT_LE(started, 25);  // work 150 / 8 tokens-per-round aging
+}
+
 TEST(Scheduler, ContextLengthTracksGeneration) {
   Scheduler s(cfg(BatchPolicy::kContinuous, 4));
   s.submit(req(1, 10, 5));

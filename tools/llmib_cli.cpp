@@ -226,6 +226,28 @@ int cmd_serve(const Args& args) {
   wl.seed = static_cast<std::uint64_t>(args.get_long("seed", 1234));
   wl.slo_ttft_s = args.get_double("slo-ttft", 0.0);
 
+  // Fault injection & resilience policies (everything off by default; a run
+  // without these flags reproduces the fault-free simulator bit for bit).
+  wl.faults.seed = static_cast<std::uint64_t>(args.get_long("fault-seed", 42));
+  wl.faults.device_mtbf_s = args.get_double("fault-mtbf", 0.0);
+  wl.faults.device_restart_s = args.get_double("fault-restart", 2.0);
+  wl.faults.throttle_mtbf_s = args.get_double("throttle-mtbf", 0.0);
+  wl.faults.throttle_duration_s = args.get_double("throttle-duration", 5.0);
+  wl.faults.throttle_slowdown = args.get_double("throttle-slowdown", 2.0);
+  wl.faults.active_until_s = args.get_double("fault-until", 0.0);
+  wl.resilience.deadline_s = args.get_double("deadline", 0.0);
+  wl.resilience.retry.max_retries =
+      static_cast<int>(args.get_long("retries", 0));
+  wl.resilience.retry.backoff_base_s = args.get_double("backoff", 0.05);
+  if (args.flag("shed-depth")) {
+    wl.resilience.admission.enabled = true;
+    wl.resilience.admission.max_queue_depth = args.get_long("shed-depth", 0);
+  }
+  if (args.flag("degrade")) {
+    wl.resilience.degradation.enabled = true;
+    wl.resilience.degradation.quantize_kv = true;
+  }
+
   sim::ServingSimulator::Result r;
   if (args.flag("trace")) {
     std::ifstream in(args.get("trace", ""));
@@ -268,6 +290,23 @@ int cmd_serve(const Args& args) {
               static_cast<long long>(m.peak_queue_depth));
   if (m.slo_goodput < 1.0)
     std::printf("  SLO goodput        : %.1f%%\n", m.slo_goodput * 100.0);
+  if (wl.faults.enabled() || wl.resilience.any()) {
+    std::printf("  faults             : %lld device / %lld throttle",
+                static_cast<long long>(m.device_failures),
+                static_cast<long long>(m.throttle_episodes));
+    if (m.mttr_s > 0.0) std::printf("  (MTTR %.2f s)", m.mttr_s);
+    std::printf("\n");
+    std::printf("  availability       : %.1f%% overall, %.1f%% post-fault\n",
+                m.availability * 100.0, m.post_fault_availability * 100.0);
+    std::printf(
+        "  resilience         : %lld retries, %lld shed, %lld timed out, "
+        "%lld failed, %lld degradations\n",
+        static_cast<long long>(m.retries),
+        static_cast<long long>(m.shed_requests),
+        static_cast<long long>(m.timed_out_requests),
+        static_cast<long long>(m.failed_requests),
+        static_cast<long long>(m.degradation_activations));
+  }
   return 0;
 }
 
@@ -281,6 +320,9 @@ void usage() {
       "              [--batches 1,16,..] [--lens 128,..] [--csv]\n"
       "  llmib serve --model M --hw H --fw F [--rps R] [--requests N]\n"
       "              [--concurrency N] [--prompt-min/max N] [--out-min/max N]\n"
+      "              [--fault-mtbf S] [--fault-restart S] [--throttle-mtbf S]\n"
+      "              [--throttle-slowdown X] [--fault-until S] [--deadline S]\n"
+      "              [--retries N] [--backoff S] [--shed-depth N] [--degrade]\n"
       "  llmib generate [--seed N] [--layers N] [--hidden N] [--vocab N]\n"
       "              [--prompt 1,2,3] [--tokens N] [--temperature T]\n"
       "              [--save file.bin | --load file.bin]\n");
