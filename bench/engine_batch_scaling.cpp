@@ -57,13 +57,54 @@ int main() {
     t.add_numeric_row(std::to_string(batch), {tput[batch], tput[batch] / batch}, 1);
   }
 
+  // Prefill is the same physics along the other axis: token-parallel
+  // prefill streams each weight once per PROMPT (batched matmul over the
+  // token dimension) where the token loop streams it once per TOKEN.
+  // Measure both on the serial engine; logits are bit-identical.
+  const engine::MiniTransformer model(weights);
+  report::Table pt({"prompt len", "prefill tok/s (batched)",
+                    "prefill tok/s (token loop)", "speedup"});
+  std::map<int, double> prefill_speedup;
+  for (int len : {32, 128, 256}) {
+    const std::vector<engine::TokenId> prompt(static_cast<std::size_t>(len), 1);
+    auto time_once = [&](auto&& fn) {
+      const auto t0 = Clock::now();
+      fn();
+      return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    // Warm-up pass so neither path pays first-touch costs.
+    {
+      engine::ContiguousKvStore kv(model.kv_dims());
+      model.prefill(prompt, kv);
+    }
+    const double batched_s = time_once([&] {
+      engine::ContiguousKvStore kv(model.kv_dims());
+      if (model.prefill(prompt, kv).empty()) std::exit(1);
+    });
+    const double loop_s = time_once([&] {
+      engine::ContiguousKvStore kv(model.kv_dims());
+      std::vector<float> logits;
+      for (engine::TokenId tok : prompt) logits = model.forward(tok, kv);
+      if (logits.empty()) std::exit(1);
+    });
+    prefill_speedup[len] = loop_s / batched_s;
+    pt.add_numeric_row(std::to_string(len),
+                       {len / batched_s, len / loop_s, prefill_speedup[len]}, 1);
+  }
+  std::printf("%s\n", pt.to_text().c_str());
+  bench::write_csv("engine_prefill_scaling", pt);
+
   report::ShapeReport shapes("Engine batch scaling (extension, wall clock)");
   shapes.check_claim("throughput rises with batch on the REAL engine",
                      tput[16] > tput[4] && tput[4] > tput[1]);
   shapes.check_ratio("batch 16 vs batch 1 speedup (weight-traffic amortization)",
                      tput[16] / tput[1], 6.0, 0.85);  // CPU-timing tolerant
+  shapes.check_claim("batched prefill beats token-by-token at prompt >= 128",
+                     prefill_speedup[128] > 1.0 && prefill_speedup[256] > 1.0);
   shapes.note("measured tok/s at batch 1", tput[1]);
   shapes.note("measured tok/s at batch 16", tput[16]);
+  shapes.note("prefill speedup vs token loop @128", prefill_speedup[128]);
+  shapes.note("prefill speedup vs token loop @256", prefill_speedup[256]);
   return bench::finish("engine_batch_scaling",
                        "Measured decode throughput vs batch (mini engine)", t,
                        shapes);

@@ -1,13 +1,29 @@
-// Google-benchmark microbenchmarks of the real engine substrate: attention
-// kernel, paged vs contiguous KV access, int8 vs fp32 GEMV, scheduler step,
-// and paged-allocator churn. These measure the actual C++ implementation
-// (not the analytical model).
+// Google-benchmark microbenchmarks of the real engine substrate: the
+// dispatched kernel layer (scalar vs portable vs AVX2 matvec, fused QKV vs
+// separate projections, blocked vs naive batched matmul, int8 GEMV), the
+// attention/decode/prefill paths, paged vs contiguous KV access, scheduler
+// step, and paged-allocator churn. These measure the actual C++
+// implementation (not the analytical model).
+//
+// Besides the console output, every run is appended to
+// bench_results/BENCH_engine.json as {"name": {"ns_per_op": ..,
+// "items_per_s": ..}} so the repo's perf trajectory is machine-readable
+// (docs/KERNELS.md records the per-PR numbers).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "engine/generator.h"
+#include "engine/kernels/kernels.h"
 #include "engine/kv_store.h"
 #include "engine/model.h"
+#include "engine/tensor_ops.h"
 #include "engine/weights.h"
 #include "kv/paged_allocator.h"
 #include "quant/int8.h"
@@ -17,6 +33,7 @@
 namespace {
 
 using namespace llmib;
+namespace ker = llmib::engine::kernels;
 
 models::ModelConfig bench_config() {
   models::ModelConfig m;
@@ -43,10 +60,12 @@ void BM_DecodeStep_Contiguous(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     engine::ContiguousKvStore kv(model.kv_dims());
-    for (std::size_t i = 0; i < prefix; ++i) model.forward(1, kv);
+    std::vector<engine::TokenId> ctx(prefix, 1);
+    model.prefill(ctx, kv);
     state.ResumeTiming();
     benchmark::DoNotOptimize(model.forward(2, kv));
   }
+  state.SetItemsProcessed(state.iterations());
   state.SetLabel("decode @ ctx " + std::to_string(prefix));
 }
 BENCHMARK(BM_DecodeStep_Contiguous)->Arg(16)->Arg(64)->Arg(256);
@@ -59,10 +78,12 @@ void BM_DecodeStep_Paged(benchmark::State& state) {
     state.PauseTiming();
     engine::PagedKvPool pool(512, block, model.kv_dims());
     engine::PagedKvStore kv(pool, 1);
-    for (std::size_t i = 0; i < prefix; ++i) model.forward(1, kv);
+    std::vector<engine::TokenId> ctx(prefix, 1);
+    model.prefill(ctx, kv);
     state.ResumeTiming();
     benchmark::DoNotOptimize(model.forward(2, kv));
   }
+  state.SetItemsProcessed(state.iterations());
   state.SetLabel("paged block " + std::to_string(block));
 }
 BENCHMARK(BM_DecodeStep_Paged)->Args({64, 4})->Args({64, 16})->Args({64, 64});
@@ -78,38 +99,133 @@ void BM_NoCacheStep(benchmark::State& state) {
 }
 BENCHMARK(BM_NoCacheStep)->Arg(16)->Arg(64);
 
-void BM_GemvFp32(benchmark::State& state) {
-  util::Rng rng(3);
-  const std::size_t n = 512;
-  std::vector<float> w(n * n), x(n), y(n);
+// ---- prefill vs token-by-token -------------------------------------------------
+
+void BM_Prefill_Batched(benchmark::State& state) {
+  const engine::MiniTransformer model(weights());
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::vector<engine::TokenId> prompt(len, 1);
+  for (auto _ : state) {
+    engine::ContiguousKvStore kv(model.kv_dims());
+    benchmark::DoNotOptimize(model.prefill(prompt, kv));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+  state.SetLabel("prefill tokens/s @ " + std::to_string(len));
+}
+BENCHMARK(BM_Prefill_Batched)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_Prefill_TokenLoop(benchmark::State& state) {
+  const engine::MiniTransformer model(weights());
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const std::vector<engine::TokenId> prompt(len, 1);
+  for (auto _ : state) {
+    engine::ContiguousKvStore kv(model.kv_dims());
+    std::vector<float> logits;
+    for (engine::TokenId t : prompt) logits = model.forward(t, kv);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+  state.SetLabel("token-loop tokens/s @ " + std::to_string(len));
+}
+BENCHMARK(BM_Prefill_TokenLoop)->Arg(32)->Arg(128)->Arg(256);
+
+// ---- kernel layer: scalar vs SIMD matvec --------------------------------------
+
+constexpr std::size_t kGemvN = 512;
+
+struct GemvData {
+  std::vector<float> w, x, y;
+  GemvData() : w(kGemvN * kGemvN), x(kGemvN), y(kGemvN) {
+    util::Rng rng(3);
+    for (auto& v : w) v = static_cast<float>(rng.normal());
+    for (auto& v : x) v = static_cast<float>(rng.normal());
+  }
+};
+
+void BM_MatvecBackend(benchmark::State& state, ker::Backend b) {
+  static GemvData d;
+  const ker::KernelSet& ks = ker::get(b);
+  for (auto _ : state) {
+    ks.matvec(d.w.data(), d.x.data(), d.y.data(), kGemvN, kGemvN);
+    benchmark::DoNotOptimize(d.y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kGemvN *
+                          kGemvN * 4);
+}
+
+// ---- kernel layer: fused QKV vs separate projections --------------------------
+
+void BM_QkvProjection(benchmark::State& state, bool fused) {
+  const auto& w = weights().layers[0];
+  const auto hidden = static_cast<std::size_t>(bench_config().hidden_size);
+  const std::size_t q_rows = w.wq.size() / hidden;
+  const std::size_t kv_rows = w.wk.size() / hidden;
+  util::Rng rng(5);
+  std::vector<float> x(hidden);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  std::vector<float> q(q_rows), k(kv_rows), v(kv_rows);
+  for (auto _ : state) {
+    if (fused) {
+      engine::fused_qkv(w.wq, w.wk, w.wv, x, q, k, v);
+    } else {
+      engine::matvec(w.wq, x, q, q_rows, hidden);
+      engine::matvec(w.wk, x, k, kv_rows, hidden);
+      engine::matvec(w.wv, x, v, kv_rows, hidden);
+    }
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>((q_rows + 2 * kv_rows) * hidden) *
+                          4);
+}
+
+// ---- kernel layer: blocked vs naive batched matmul ----------------------------
+
+void BM_BatchedMatmul(benchmark::State& state, bool blocked) {
+  const std::size_t rows = 512, cols = 512;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  std::vector<float> w(rows * cols), x(batch * cols), y(batch * rows);
   for (auto& v : w) v = static_cast<float>(rng.normal());
   for (auto& v : x) v = static_cast<float>(rng.normal());
   for (auto _ : state) {
-    for (std::size_t r = 0; r < n; ++r) {
-      float acc = 0;
-      for (std::size_t c = 0; c < n; ++c) acc += w[r * n + c] * x[c];
-      y[r] = acc;
+    if (blocked) {
+      ker::active().matmul_nt(w.data(), x.data(), y.data(), rows, cols, batch);
+    } else {
+      // The seed's naive weight-stationary loop (scalar, no tiling).
+      std::vector<float> acc(batch);
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        const float* wrow = w.data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+          const float wv = wrow[c];
+          for (std::size_t b = 0; b < batch; ++b) acc[b] += wv * x[b * cols + c];
+        }
+        for (std::size_t b = 0; b < batch; ++b) y[b * rows + r] = acc[b];
+      }
     }
     benchmark::DoNotOptimize(y.data());
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * 4);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * rows *
+                          cols * 4);
 }
-BENCHMARK(BM_GemvFp32);
 
-void BM_GemvInt8(benchmark::State& state) {
-  util::Rng rng(3);
-  const std::size_t n = 512;
-  std::vector<float> w(n * n), x(n), y(n);
-  for (auto& v : w) v = static_cast<float>(rng.normal());
-  for (auto& v : x) v = static_cast<float>(rng.normal());
-  const auto q = quant::Int8Matrix::quantize(w, n, n);
+// ---- int8 GEMV ----------------------------------------------------------------
+
+void BM_GemvInt8Backend(benchmark::State& state, ker::Backend b) {
+  static GemvData d;
+  static const auto q = quant::Int8Matrix::quantize(d.w, kGemvN, kGemvN);
+  const ker::KernelSet& ks = ker::get(b);
   for (auto _ : state) {
-    q.gemv(x, y);
-    benchmark::DoNotOptimize(y.data());
+    ks.gemv_i8(q.data().data(), q.scales().data(), d.x.data(), d.y.data(), kGemvN,
+               kGemvN);
+    benchmark::DoNotOptimize(d.y.data());
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kGemvN *
+                          kGemvN);
 }
-BENCHMARK(BM_GemvInt8);
 
 void BM_PagedAllocatorChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -154,6 +270,78 @@ void BM_ServingEngineStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ServingEngineStep);
 
+// ---- JSON artifact ------------------------------------------------------------
+
+/// Console reporter that also records every iteration run so main() can
+/// write bench_results/BENCH_engine.json (name -> ns/op [, items/s]).
+class JsonRecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    double ns_per_op = 0.0;
+    double items_per_s = -1.0;  // < 0 => not reported for this benchmark
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      Entry e;
+      e.ns_per_op = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) e.items_per_s = it->second;
+      results_[run.benchmark_name()] = e;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write_json(const std::string& path) const {
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    std::ofstream out(path);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [name, e] : results_) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "  \"" << name << "\": {\"ns_per_op\": " << e.ns_per_op;
+      if (e.items_per_s >= 0.0) out << ", \"items_per_s\": " << e.items_per_s;
+      out << "}";
+    }
+    out << "\n}\n";
+  }
+
+ private:
+  std::map<std::string, Entry> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Backend-forced kernel benchmarks: register one variant per backend this
+  // machine supports (scalar is the pre-vectorization baseline).
+  std::vector<ker::Backend> backends{ker::Backend::kScalar, ker::Backend::kPortable};
+  if (ker::cpu_supports(ker::Backend::kAvx2)) backends.push_back(ker::Backend::kAvx2);
+  for (ker::Backend b : backends) {
+    const std::string suffix = ker::backend_name(b);
+    benchmark::RegisterBenchmark(("BM_MatvecFp32/" + suffix).c_str(),
+                                 BM_MatvecBackend, b);
+    benchmark::RegisterBenchmark(("BM_GemvInt8/" + suffix).c_str(),
+                                 BM_GemvInt8Backend, b);
+  }
+  benchmark::RegisterBenchmark("BM_QkvFused", BM_QkvProjection, true);
+  benchmark::RegisterBenchmark("BM_QkvSeparate", BM_QkvProjection, false);
+  benchmark::RegisterBenchmark("BM_BatchedMatmul/blocked", BM_BatchedMatmul, true)
+      ->Arg(8);
+  benchmark::RegisterBenchmark("BM_BatchedMatmul/naive", BM_BatchedMatmul, false)
+      ->Arg(8);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonRecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  reporter.write_json("bench_results/BENCH_engine.json");
+  std::printf("wrote bench_results/BENCH_engine.json\n");
+  return 0;
+}

@@ -12,29 +12,12 @@ namespace llmib::engine {
 
 using util::require;
 
-void batched_matmul(std::span<const float> w, std::span<const float> x,
-                    std::span<float> y, std::size_t rows, std::size_t cols,
-                    std::size_t batch) {
-  require(w.size() == rows * cols, "batched_matmul: weight shape mismatch");
-  require(x.size() == batch * cols, "batched_matmul: input shape mismatch");
-  require(y.size() == batch * rows, "batched_matmul: output shape mismatch");
-  std::vector<float> acc(batch);
-  for (std::size_t r = 0; r < rows; ++r) {
-    std::fill(acc.begin(), acc.end(), 0.0f);
-    const float* wrow = w.data() + r * cols;
-    // Weight-stationary: each w element is loaded once and applied to the
-    // whole batch — the traffic amortization decode batching is about.
-    for (std::size_t c = 0; c < cols; ++c) {
-      const float wv = wrow[c];
-      for (std::size_t b = 0; b < batch; ++b) acc[b] += wv * x[b * cols + c];
-    }
-    for (std::size_t b = 0; b < batch; ++b) y[b * rows + r] = acc[b];
-  }
-}
-
 BatchedTransformer::BatchedTransformer(const TransformerWeights& weights,
                                        util::ThreadPool* pool)
-    : weights_(weights), pool_(pool) {}
+    : weights_(weights),
+      pool_(pool),
+      rope_(RopeTable::shared(static_cast<std::size_t>(weights.config.head_dim()),
+                              static_cast<std::size_t>(weights.config.max_seq_len))) {}
 
 void BatchedTransformer::for_each_sequence(
     std::size_t batch, const std::function<void(std::size_t)>& fn) const {
@@ -97,9 +80,9 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
       auto q_b = std::span<float>(q).subspan(b * q_dim, q_dim);
       auto k_b = std::span<float>(k).subspan(b * kv_dim, kv_dim);
       for (std::size_t h = 0; h < n_heads; ++h)
-        rope(q_b.subspan(h * head_dim, head_dim), pos);
+        rope(q_b.subspan(h * head_dim, head_dim), pos, *rope_);
       for (std::size_t h = 0; h < n_kv_heads; ++h)
-        rope(k_b.subspan(h * head_dim, head_dim), pos);
+        rope(k_b.subspan(h * head_dim, head_dim), pos, *rope_);
       require(kv.append(layer, k_b, std::span<const float>(v).subspan(b * kv_dim, kv_dim)),
               "forward_batch: KV pool exhausted");
 

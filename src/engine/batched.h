@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -48,13 +49,13 @@ class BatchedTransformer {
 
   const TransformerWeights& weights_;
   util::ThreadPool* pool_ = nullptr;
+  std::shared_ptr<const RopeTable> rope_;  ///< shared per (head_dim, theta)
 };
 
-/// y[r][b] = sum_c w[r*cols+c] * x[b][c], with the c-loop innermost per
-/// (r, b) so the accumulation order matches matvec() exactly. x is one
-/// contiguous row-major [batch x cols]; y is [batch x rows].
-void batched_matmul(std::span<const float> w, std::span<const float> x,
-                    std::span<float> y, std::size_t rows, std::size_t cols,
-                    std::size_t batch);
+// batched_matmul (the weight-stationary [batch x cols] -> [batch x rows]
+// matmul these forward passes are built on) lives in engine/tensor_ops.h
+// next to matvec/fused_qkv; it routes through the same dispatched kernel
+// layer (docs/KERNELS.md), whose register-tiled backends block over rows
+// and batch so weight rows stay in registers across the batch.
 
 }  // namespace llmib::engine

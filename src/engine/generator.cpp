@@ -19,11 +19,12 @@ GenerateResult generate(const MiniTransformer& model, std::span<const TokenId> p
 
   if (opts.use_kv_cache) {
     ContiguousKvStore kv(model.kv_dims());
-    std::vector<float> logits;
-    for (TokenId t : prompt) {
-      logits = model.forward(t, kv);
-      ++res.forward_passes;
-    }
+    // Batched prefill: one token-parallel pass over the prompt instead of
+    // prompt.size() GEMV sweeps. Logits are bit-identical to the token
+    // loop; forward_passes still counts one pass per prompt token (the
+    // cost model the recompute-ratio accounting is built on).
+    std::vector<float> logits = model.prefill(prompt, kv);
+    res.forward_passes += prompt.size();
     for (std::int64_t i = 0; i < opts.max_new_tokens; ++i) {
       const TokenId next = sampler.sample(logits);
       res.tokens.push_back(next);
@@ -110,7 +111,10 @@ bool ServingEngine::try_restore(sched::RequestId id, Live& live) {
 
   auto kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
   try {
-    for (TokenId t : fed) model_.forward(t, *kv);
+    // Replay is exactly the prefill regime: recompute the committed prefix
+    // in one batched pass. On pool exhaustion the fresh store is discarded
+    // whole, so the partial appends cannot leak into live state.
+    if (!fed.empty()) model_.prefill(fed, *kv);
   } catch (const util::ContractViolation& e) {
     if (!is_pool_exhaustion(e)) throw;
     return false;  // still under pressure; stay preempted
@@ -156,12 +160,28 @@ bool ServingEngine::step() {
         cfg_.chunked_prefill ? static_cast<std::size_t>(cfg_.prefill_chunk)
                              : live.prompt.size();
     std::vector<float> logits;
-    std::size_t fed_now = 0;
-    while (live.prompt_fed < live.prompt.size() && fed_now < budget) {
-      logits = forward_with_preemption(id, live, live.prompt[live.prompt_fed]);
-      if (logits.empty()) return false;  // self-preempted mid-prefill
-      ++live.prompt_fed;
-      ++fed_now;
+    if (!cfg_.allow_preemption) {
+      // Admission control guarantees the pool can take the chunk, so feed
+      // it through the batched prefill path in one pass (bit-identical
+      // logits, one weight sweep per layer instead of one per token).
+      const std::size_t n =
+          std::min(budget, live.prompt.size() - live.prompt_fed);
+      if (n > 0) {
+        logits = model_.prefill(
+            std::span<const TokenId>(live.prompt).subspan(live.prompt_fed, n),
+            *live.kv);
+        live.prompt_fed += n;
+      }
+    } else {
+      // Preemption needs token granularity: a mid-chunk eviction must be
+      // able to stop cleanly after any token.
+      std::size_t fed_now = 0;
+      while (live.prompt_fed < live.prompt.size() && fed_now < budget) {
+        logits = forward_with_preemption(id, live, live.prompt[live.prompt_fed]);
+        if (logits.empty()) return false;  // self-preempted mid-prefill
+        ++live.prompt_fed;
+        ++fed_now;
+      }
     }
     if (live.prompt_fed < live.prompt.size()) return false;  // more chunks needed
     if (live.generated.empty() && !logits.empty()) {

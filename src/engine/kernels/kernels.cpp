@@ -1,0 +1,67 @@
+#include "engine/kernels/kernels.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace llmib::engine::kernels {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kPortable: return "portable";
+    case Backend::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool cpu_supports(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+    case Backend::kPortable:
+      return true;
+    case Backend::kAvx2:
+      return avx2_kernels() != nullptr;
+  }
+  return false;
+}
+
+const KernelSet& get(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return scalar_kernels();
+    case Backend::kPortable: return portable_kernels();
+    case Backend::kAvx2: {
+      const KernelSet* k = avx2_kernels();
+      if (k == nullptr)
+        throw std::invalid_argument("kernels: avx2 backend unsupported on this CPU");
+      return *k;
+    }
+  }
+  throw std::invalid_argument("kernels: unknown backend");
+}
+
+Backend detect_backend() {
+  if (avx2_kernels() != nullptr) return Backend::kAvx2;
+  return Backend::kPortable;
+}
+
+namespace {
+std::atomic<const KernelSet*> g_active{nullptr};
+}  // namespace
+
+const KernelSet& active() {
+  const KernelSet* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = &get(detect_backend());
+    // Benign race: both threads store the same pointer.
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+Backend set_backend(Backend b) {
+  const Backend previous = active().backend;
+  g_active.store(&get(b), std::memory_order_release);
+  return previous;
+}
+
+}  // namespace llmib::engine::kernels

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace llmib::engine::kernels {
+
+/// Dispatching fp32/int8 kernel layer for the mini engine (docs/KERNELS.md).
+///
+/// Every hot-path projection in the engine — serial GEMV, batched decode
+/// matmul, fused QKV, sharded row-slices, int8 GEMV — routes through ONE
+/// KernelSet selected at runtime. Within a backend, every output element is
+/// accumulated with the same lane discipline (8 independent accumulator
+/// lanes along the reduction dimension, one fixed pairwise reduction tree),
+/// so the batched==serial and sharded==serial bit-identity invariants the
+/// test suite pins hold on every backend. Backends differ from each other
+/// only in rounding (FMA contraction), bounded by ~1e-6 relative error.
+enum class Backend {
+  kScalar,    ///< the seed's plain single-accumulator loops (reference)
+  kPortable,  ///< unrolled 8-lane portable C++ (default fallback)
+  kAvx2,      ///< AVX2 + FMA intrinsics (x86-64 with CPU support)
+};
+
+const char* backend_name(Backend b);
+
+/// One backend's kernel table. All pointers are non-null for a supported
+/// backend. Matrices are row-major; no aliasing between inputs and outputs.
+struct KernelSet {
+  Backend backend;
+  const char* name;
+
+  /// sum_i a[i]*b[i].
+  float (*dot)(const float* a, const float* b, std::size_t n);
+
+  /// y[r] = dot(w_row_r, x) for r in [0, rows).
+  void (*matvec)(const float* w, const float* x, float* y, std::size_t rows,
+                 std::size_t cols);
+
+  /// Fused triple GEMV sharing one input vector (QKV projection): one call
+  /// computes ya = Wa x, yb = Wb x, yc = Wc x with x read once per row
+  /// tile. Per-element results are identical to three matvec() calls.
+  void (*matvec3)(const float* wa, std::size_t rows_a, const float* wb,
+                  std::size_t rows_b, const float* wc, std::size_t rows_c,
+                  const float* x, std::size_t cols, float* ya, float* yb,
+                  float* yc);
+
+  /// Batched matmul y[b*rows + r] = dot(w_row_r, x_b), x row-major
+  /// [batch x cols], register-tiled and cache-blocked so a weight row is
+  /// streamed once per batch block. Per-element results are identical to
+  /// matvec() on each x_b — the batched==serial invariant.
+  void (*matmul_nt)(const float* w, const float* x, float* y, std::size_t rows,
+                    std::size_t cols, std::size_t batch);
+
+  /// Per-channel int8 weight x fp32 activation GEMV:
+  /// y[r] = (sum_c w[r*cols+c] * x[c]) * scales[r].
+  /// The scalar backend keeps the seed's double accumulator; vectorized
+  /// backends use the shared fp32 lane discipline (~1e-6 relative drift).
+  void (*gemv_i8)(const std::int8_t* w, const float* scales, const float* x,
+                  float* y, std::size_t rows, std::size_t cols);
+};
+
+/// True when this build/CPU can run `b` (kScalar/kPortable: always; kAvx2:
+/// x86-64 builds on CPUs with AVX2 and FMA).
+bool cpu_supports(Backend b);
+
+/// Kernel table for a specific backend; throws std::invalid_argument if
+/// unsupported on this build/CPU. Use for forced-backend tests and
+/// benchmarks.
+const KernelSet& get(Backend b);
+
+/// The backend auto-detection would pick on this machine (best supported).
+Backend detect_backend();
+
+/// The process-wide active kernel set (auto-detected on first use unless
+/// overridden by set_backend). All engine paths read this, so one process
+/// always runs serial/batched/sharded on the SAME backend.
+const KernelSet& active();
+
+/// Override the active backend (tests); returns the previous one. Throws if
+/// unsupported. Not thread-safe against concurrent forwards — switch only
+/// between inference calls.
+Backend set_backend(Backend b);
+
+/// RAII forced-backend scope for tests/benchmarks.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : previous_(set_backend(b)) {}
+  ~ScopedBackend() { set_backend(previous_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend previous_;
+};
+
+/// Internal: registration hooks implemented by the per-backend TUs.
+const KernelSet& scalar_kernels();
+const KernelSet& portable_kernels();
+const KernelSet* avx2_kernels();  ///< null when not compiled in
+
+}  // namespace llmib::engine::kernels

@@ -1,0 +1,242 @@
+// AVX2 + FMA backend. Compiled with -mavx2 -mfma on x86-64 builds (see
+// src/CMakeLists.txt); selected at runtime only when the CPU reports both
+// features, so the binary stays runnable on older x86-64.
+//
+// Numerics contract (docs/KERNELS.md): one 8-wide vector accumulator per
+// output element advanced along the reduction dimension in order, tails via
+// masked loads into the low lanes, and the fixed extract/movehl/shuffle
+// reduction tree — lane for lane the portable backend's scheme. The only
+// difference from portable is FMA's single rounding per element, which is
+// why scalar-vs-avx2 equivalence is asserted to 1e-5 relative tolerance
+// while serial-vs-batched stays bitwise WITHIN the backend: every path uses
+// these same intrinsic sequences per element.
+
+#include "engine/kernels/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace llmib::engine::kernels {
+
+namespace {
+
+// Mask table: row t enables lanes 0..t-1 (sign bit set = load lane).
+alignas(32) constexpr std::int32_t kTailMask[8][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {-1, 0, 0, 0, 0, 0, 0, 0},
+    {-1, -1, 0, 0, 0, 0, 0, 0},
+    {-1, -1, -1, 0, 0, 0, 0, 0},
+    {-1, -1, -1, -1, 0, 0, 0, 0},
+    {-1, -1, -1, -1, -1, 0, 0, 0},
+    {-1, -1, -1, -1, -1, -1, 0, 0},
+    {-1, -1, -1, -1, -1, -1, -1, 0},
+};
+
+inline __m256i tail_mask(std::size_t t) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(kTailMask[t]));
+}
+
+inline float reduce8(__m256 acc) {
+  // ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) — the portable tree.
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  const __m128 s = _mm_add_ps(lo, hi);              // (s0,s1,s2,s3)
+  const __m128 t = _mm_add_ps(s, _mm_movehl_ps(s, s));  // (s0+s2, s1+s3, ..)
+  const __m128 r = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55));
+  return _mm_cvtss_f32(r);
+}
+
+float avx2_dot(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8)
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + c), _mm256_loadu_ps(b + c), acc);
+  if (c < n) {
+    const __m256i m = tail_mask(n - c);
+    acc = _mm256_fmadd_ps(_mm256_maskload_ps(a + c, m),
+                          _mm256_maskload_ps(b + c, m), acc);
+  }
+  return reduce8(acc);
+}
+
+void avx2_matvec(const float* w, const float* x, float* y, std::size_t rows,
+                 std::size_t cols) {
+  // 4-row register tile: each x chunk is loaded once and fed to four weight
+  // rows; per-row accumulation is exactly avx2_dot's sequence.
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* w0 = w + (r + 0) * cols;
+    const float* w1 = w + (r + 1) * cols;
+    const float* w2 = w + (r + 2) * cols;
+    const float* w3 = w + (r + 3) * cols;
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    std::size_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const __m256 xv = _mm256_loadu_ps(x + c);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(w0 + c), xv, a0);
+      a1 = _mm256_fmadd_ps(_mm256_loadu_ps(w1 + c), xv, a1);
+      a2 = _mm256_fmadd_ps(_mm256_loadu_ps(w2 + c), xv, a2);
+      a3 = _mm256_fmadd_ps(_mm256_loadu_ps(w3 + c), xv, a3);
+    }
+    if (c < cols) {
+      const __m256i m = tail_mask(cols - c);
+      const __m256 xv = _mm256_maskload_ps(x + c, m);
+      a0 = _mm256_fmadd_ps(_mm256_maskload_ps(w0 + c, m), xv, a0);
+      a1 = _mm256_fmadd_ps(_mm256_maskload_ps(w1 + c, m), xv, a1);
+      a2 = _mm256_fmadd_ps(_mm256_maskload_ps(w2 + c, m), xv, a2);
+      a3 = _mm256_fmadd_ps(_mm256_maskload_ps(w3 + c, m), xv, a3);
+    }
+    y[r + 0] = reduce8(a0);
+    y[r + 1] = reduce8(a1);
+    y[r + 2] = reduce8(a2);
+    y[r + 3] = reduce8(a3);
+  }
+  for (; r < rows; ++r) y[r] = avx2_dot(w + r * cols, x, cols);
+}
+
+void avx2_matvec3(const float* wa, std::size_t rows_a, const float* wb,
+                  std::size_t rows_b, const float* wc, std::size_t rows_c,
+                  const float* x, std::size_t cols, float* ya, float* yb,
+                  float* yc) {
+  // Fused QKV: one dispatch, x stays resident across all three projections.
+  avx2_matvec(wa, x, ya, rows_a, cols);
+  avx2_matvec(wb, x, yb, rows_b, cols);
+  avx2_matvec(wc, x, yc, rows_c, cols);
+}
+
+void avx2_matmul_nt(const float* w, const float* x, float* y, std::size_t rows,
+                    std::size_t cols, std::size_t batch) {
+  // 2x4 register micro-tile (8 vector accumulators): each weight chunk is
+  // loaded once per four batch rows, each activation chunk once per two
+  // weight rows. Weight rows stream once per batch block — the
+  // weight-traffic amortization that makes batched decode scale.
+  std::size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const float* w0 = w + (r + 0) * cols;
+    const float* w1 = w + (r + 1) * cols;
+    std::size_t b = 0;
+    for (; b + 4 <= batch; b += 4) {
+      const float* x0 = x + (b + 0) * cols;
+      const float* x1 = x + (b + 1) * cols;
+      const float* x2 = x + (b + 2) * cols;
+      const float* x3 = x + (b + 3) * cols;
+      __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+      __m256 a02 = _mm256_setzero_ps(), a03 = _mm256_setzero_ps();
+      __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+      __m256 a12 = _mm256_setzero_ps(), a13 = _mm256_setzero_ps();
+      std::size_t c = 0;
+      for (; c + 8 <= cols; c += 8) {
+        const __m256 wv0 = _mm256_loadu_ps(w0 + c);
+        const __m256 wv1 = _mm256_loadu_ps(w1 + c);
+        const __m256 xv0 = _mm256_loadu_ps(x0 + c);
+        const __m256 xv1 = _mm256_loadu_ps(x1 + c);
+        const __m256 xv2 = _mm256_loadu_ps(x2 + c);
+        const __m256 xv3 = _mm256_loadu_ps(x3 + c);
+        a00 = _mm256_fmadd_ps(wv0, xv0, a00);
+        a01 = _mm256_fmadd_ps(wv0, xv1, a01);
+        a02 = _mm256_fmadd_ps(wv0, xv2, a02);
+        a03 = _mm256_fmadd_ps(wv0, xv3, a03);
+        a10 = _mm256_fmadd_ps(wv1, xv0, a10);
+        a11 = _mm256_fmadd_ps(wv1, xv1, a11);
+        a12 = _mm256_fmadd_ps(wv1, xv2, a12);
+        a13 = _mm256_fmadd_ps(wv1, xv3, a13);
+      }
+      if (c < cols) {
+        const __m256i m = tail_mask(cols - c);
+        const __m256 wv0 = _mm256_maskload_ps(w0 + c, m);
+        const __m256 wv1 = _mm256_maskload_ps(w1 + c, m);
+        const __m256 xv0 = _mm256_maskload_ps(x0 + c, m);
+        const __m256 xv1 = _mm256_maskload_ps(x1 + c, m);
+        const __m256 xv2 = _mm256_maskload_ps(x2 + c, m);
+        const __m256 xv3 = _mm256_maskload_ps(x3 + c, m);
+        a00 = _mm256_fmadd_ps(wv0, xv0, a00);
+        a01 = _mm256_fmadd_ps(wv0, xv1, a01);
+        a02 = _mm256_fmadd_ps(wv0, xv2, a02);
+        a03 = _mm256_fmadd_ps(wv0, xv3, a03);
+        a10 = _mm256_fmadd_ps(wv1, xv0, a10);
+        a11 = _mm256_fmadd_ps(wv1, xv1, a11);
+        a12 = _mm256_fmadd_ps(wv1, xv2, a12);
+        a13 = _mm256_fmadd_ps(wv1, xv3, a13);
+      }
+      y[(b + 0) * rows + r + 0] = reduce8(a00);
+      y[(b + 1) * rows + r + 0] = reduce8(a01);
+      y[(b + 2) * rows + r + 0] = reduce8(a02);
+      y[(b + 3) * rows + r + 0] = reduce8(a03);
+      y[(b + 0) * rows + r + 1] = reduce8(a10);
+      y[(b + 1) * rows + r + 1] = reduce8(a11);
+      y[(b + 2) * rows + r + 1] = reduce8(a12);
+      y[(b + 3) * rows + r + 1] = reduce8(a13);
+    }
+    for (; b < batch; ++b) {
+      y[b * rows + r + 0] = avx2_dot(w0, x + b * cols, cols);
+      y[b * rows + r + 1] = avx2_dot(w1, x + b * cols, cols);
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* wrow = w + r * cols;
+    for (std::size_t b = 0; b < batch; ++b)
+      y[b * rows + r] = avx2_dot(wrow, x + b * cols, cols);
+  }
+}
+
+void avx2_gemv_i8(const std::int8_t* w, const float* scales, const float* x,
+                  float* y, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int8_t* row = w + r * cols;
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      // 8 int8 -> 8 int32 -> 8 fp32, then the shared fp32 lane discipline.
+      const __m128i bytes =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + c));
+      const __m256 wv = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+      acc = _mm256_fmadd_ps(wv, _mm256_loadu_ps(x + c), acc);
+    }
+    if (c < cols) {
+      alignas(16) std::int8_t buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (std::size_t j = 0; c + j < cols; ++j) buf[j] = row[c + j];
+      const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(buf));
+      const __m256 wv = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+      // Masked x: inactive lanes contribute w*0 == 0 exactly.
+      acc = _mm256_fmadd_ps(wv, _mm256_maskload_ps(x + c, tail_mask(cols - c)),
+                            acc);
+    }
+    y[r] = reduce8(acc) * scales[r];
+  }
+}
+
+bool runtime_supported() {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelSet* avx2_kernels() {
+  static const bool ok = runtime_supported();
+  if (!ok) return nullptr;
+  static const KernelSet k = {Backend::kAvx2, "avx2",       avx2_dot,
+                              avx2_matvec,    avx2_matvec3, avx2_matmul_nt,
+                              avx2_gemv_i8};
+  return &k;
+}
+
+}  // namespace llmib::engine::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace llmib::engine::kernels {
+
+// This build was not compiled with AVX2/FMA codegen (non-x86 target or the
+// toolchain rejected -mavx2 -mfma); the portable backend is the ceiling.
+const KernelSet* avx2_kernels() { return nullptr; }
+
+}  // namespace llmib::engine::kernels
+
+#endif

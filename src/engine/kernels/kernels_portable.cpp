@@ -1,0 +1,123 @@
+// Portable unrolled backend: 8 independent accumulator lanes along the
+// reduction dimension plus one fixed pairwise reduction tree. This is the
+// engine's numerics contract — the AVX2 backend implements the SAME lane
+// discipline with intrinsics (one 8-wide vector register = the 8 lanes, the
+// same extract/shuffle reduction tree), so a backend's serial, fused,
+// batched and sharded paths all agree bitwise per element.
+//
+// Every per-element reduction funnels through the single noinline
+// lanes_dot so no call site can be compiled with different floating-point
+// contraction than another (which would break batched==serial bit-identity).
+
+#include "engine/kernels/kernels.h"
+
+namespace llmib::engine::kernels {
+
+namespace {
+
+#if defined(__GNUC__)
+#define LLMIB_NOINLINE __attribute__((noinline))
+#else
+#define LLMIB_NOINLINE
+#endif
+
+constexpr std::size_t kLanes = 8;
+
+inline float reduce_lanes(const float acc[kLanes]) {
+  // Fixed tree: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) — matches the AVX2
+  // extract-high/add, movehl/add, shuffle/add sequence lane for lane.
+  const float s0 = acc[0] + acc[4];
+  const float s1 = acc[1] + acc[5];
+  const float s2 = acc[2] + acc[6];
+  const float s3 = acc[3] + acc[7];
+  return (s0 + s2) + (s1 + s3);
+}
+
+LLMIB_NOINLINE float lanes_dot(const float* a, const float* b, std::size_t n) {
+  float acc[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t c = 0;
+  for (; c + kLanes <= n; c += kLanes)
+    for (std::size_t j = 0; j < kLanes; ++j) acc[j] += a[c + j] * b[c + j];
+  // Tail occupies lanes 0..n-c-1, exactly like the AVX2 masked load.
+  for (std::size_t j = 0; c + j < n; ++j) acc[j] += a[c + j] * b[c + j];
+  return reduce_lanes(acc);
+}
+
+void portable_matvec(const float* w, const float* x, float* y, std::size_t rows,
+                     std::size_t cols) {
+  // Row blocks of 4 keep x hot in L1 while four weight rows stream once.
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* wr = w + r * cols;
+    y[r + 0] = lanes_dot(wr + 0 * cols, x, cols);
+    y[r + 1] = lanes_dot(wr + 1 * cols, x, cols);
+    y[r + 2] = lanes_dot(wr + 2 * cols, x, cols);
+    y[r + 3] = lanes_dot(wr + 3 * cols, x, cols);
+  }
+  for (; r < rows; ++r) y[r] = lanes_dot(w + r * cols, x, cols);
+}
+
+void portable_matvec3(const float* wa, std::size_t rows_a, const float* wb,
+                      std::size_t rows_b, const float* wc, std::size_t rows_c,
+                      const float* x, std::size_t cols, float* ya, float* yb,
+                      float* yc) {
+  // One fused pass: x is read for Q, K and V without leaving cache between
+  // projections (per-element results identical to three matvec calls).
+  portable_matvec(wa, x, ya, rows_a, cols);
+  portable_matvec(wb, x, yb, rows_b, cols);
+  portable_matvec(wc, x, yc, rows_c, cols);
+}
+
+void portable_matmul_nt(const float* w, const float* x, float* y, std::size_t rows,
+                        std::size_t cols, std::size_t batch) {
+  // Cache blocking: for each row block the weight rows are streamed once
+  // while all batch activations (resident in L1/L2) are consumed against
+  // them — the weight-traffic amortization decode batching is about.
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const float* wr = w + r * cols;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* xb = x + b * cols;
+      float* yb = y + b * rows + r;
+      yb[0] = lanes_dot(wr + 0 * cols, xb, cols);
+      yb[1] = lanes_dot(wr + 1 * cols, xb, cols);
+      yb[2] = lanes_dot(wr + 2 * cols, xb, cols);
+      yb[3] = lanes_dot(wr + 3 * cols, xb, cols);
+    }
+  }
+  for (; r < rows; ++r) {
+    const float* wrow = w + r * cols;
+    for (std::size_t b = 0; b < batch; ++b)
+      y[b * rows + r] = lanes_dot(wrow, x + b * cols, cols);
+  }
+}
+
+LLMIB_NOINLINE void lanes_gemv_i8_row(const std::int8_t* row, const float* x,
+                                      std::size_t cols, float scale, float* out) {
+  float acc[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t c = 0;
+  for (; c + kLanes <= cols; c += kLanes)
+    for (std::size_t j = 0; j < kLanes; ++j)
+      acc[j] += static_cast<float>(row[c + j]) * x[c + j];
+  for (std::size_t j = 0; c + j < cols; ++j)
+    acc[j] += static_cast<float>(row[c + j]) * x[c + j];
+  *out = reduce_lanes(acc) * scale;
+}
+
+void portable_gemv_i8(const std::int8_t* w, const float* scales, const float* x,
+                      float* y, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r)
+    lanes_gemv_i8_row(w + r * cols, x, cols, scales[r], &y[r]);
+}
+
+}  // namespace
+
+const KernelSet& portable_kernels() {
+  static const KernelSet k = {Backend::kPortable, "portable",
+                              lanes_dot,          portable_matvec,
+                              portable_matvec3,   portable_matmul_nt,
+                              portable_gemv_i8};
+  return k;
+}
+
+}  // namespace llmib::engine::kernels

@@ -1,0 +1,71 @@
+// Scalar reference backend: the seed engine's accumulation orders, kept as
+// the ground truth the vectorized backends are tested against (1e-5 relative
+// tolerance across ragged shapes — tests/kernels_test.cpp).
+//
+// All entry points funnel each output element through ONE noinline dot so
+// the compiler cannot contract or vectorize one call site differently from
+// another — that would silently break the batched==serial bit-identity this
+// backend is the reference for.
+
+#include "engine/kernels/kernels.h"
+
+namespace llmib::engine::kernels {
+
+namespace {
+
+#if defined(__GNUC__)
+#define LLMIB_NOINLINE __attribute__((noinline))
+#else
+#define LLMIB_NOINLINE
+#endif
+
+LLMIB_NOINLINE float scalar_dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void scalar_matvec(const float* w, const float* x, float* y, std::size_t rows,
+                   std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) y[r] = scalar_dot(w + r * cols, x, cols);
+}
+
+void scalar_matvec3(const float* wa, std::size_t rows_a, const float* wb,
+                    std::size_t rows_b, const float* wc, std::size_t rows_c,
+                    const float* x, std::size_t cols, float* ya, float* yb,
+                    float* yc) {
+  scalar_matvec(wa, x, ya, rows_a, cols);
+  scalar_matvec(wb, x, yb, rows_b, cols);
+  scalar_matvec(wc, x, yc, rows_c, cols);
+}
+
+void scalar_matmul_nt(const float* w, const float* x, float* y, std::size_t rows,
+                      std::size_t cols, std::size_t batch) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* wrow = w + r * cols;
+    for (std::size_t b = 0; b < batch; ++b)
+      y[b * rows + r] = scalar_dot(wrow, x + b * cols, cols);
+  }
+}
+
+void scalar_gemv_i8(const std::int8_t* w, const float* scales, const float* x,
+                    float* y, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int8_t* row = w + r * cols;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c)
+      acc += static_cast<double>(row[c]) * x[c];
+    y[r] = static_cast<float>(acc * scales[r]);
+  }
+}
+
+}  // namespace
+
+const KernelSet& scalar_kernels() {
+  static const KernelSet k = {Backend::kScalar, "scalar",      scalar_dot,
+                              scalar_matvec,    scalar_matvec3, scalar_matmul_nt,
+                              scalar_gemv_i8};
+  return k;
+}
+
+}  // namespace llmib::engine::kernels

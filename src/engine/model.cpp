@@ -12,11 +12,16 @@ namespace llmib::engine {
 using util::require;
 
 MiniTransformer::MiniTransformer(const TransformerWeights& weights)
-    : weights_(weights) {}
+    : weights_(weights),
+      rope_(RopeTable::shared(static_cast<std::size_t>(weights.config.head_dim()),
+                              static_cast<std::size_t>(weights.config.max_seq_len))) {}
 
 MiniTransformer::MiniTransformer(const TransformerWeights& weights,
                                  const QuantizedWeights& quantized)
-    : weights_(weights), quantized_(&quantized) {
+    : weights_(weights),
+      quantized_(&quantized),
+      rope_(RopeTable::shared(static_cast<std::size_t>(weights.config.head_dim()),
+                              static_cast<std::size_t>(weights.config.max_seq_len))) {
   require(quantized.layers.size() == weights.layers.size(),
           "MiniTransformer: quantized/fp32 layer count mismatch");
 }
@@ -52,20 +57,47 @@ void MiniTransformer::attention(int layer, std::span<const float> normed,
   const std::size_t q_dim = n_heads * head_dim;
   const std::size_t kv_dim = lw.wk.size() / hidden;
   const std::size_t n_kv_heads = kv_dim / head_dim;
-  const std::size_t group = n_heads / n_kv_heads;
 
   std::vector<float> q(q_dim), k(kv_dim), v(kv_dim);
-  project(lw.wq, ql ? &ql->wq : nullptr, normed, q, q_dim, hidden);
-  project(lw.wk, ql ? &ql->wk : nullptr, normed, k, kv_dim, hidden);
-  project(lw.wv, ql ? &ql->wv : nullptr, normed, v, kv_dim, hidden);
+  if (ql != nullptr) {
+    ql->wq.gemv(normed, q);
+    ql->wk.gemv(normed, k);
+    ql->wv.gemv(normed, v);
+  } else {
+    // Fused projection: the normed activation is read once for all three
+    // matrices (per-element results identical to three matvec calls).
+    fused_qkv(lw.wq, lw.wk, lw.wv, normed, q, k, v);
+  }
 
   const std::size_t pos = kv.size();
   for (std::size_t h = 0; h < n_heads; ++h)
-    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos);
+    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos, *rope_);
   for (std::size_t h = 0; h < n_kv_heads; ++h)
-    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos);
+    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos, *rope_);
 
   require(kv.append(layer, k, v), "MiniTransformer: KV pool exhausted");
+  std::vector<float> attn_out(q_dim);
+  attend_one(layer, q, attn_out, kv, pos, pos + 1, nullptr, nullptr);
+
+  if (ql != nullptr) {
+    ql->wo.gemv(attn_out, out);
+  } else {
+    matvec(lw.wo, attn_out, out, hidden, q_dim);
+  }
+}
+
+void MiniTransformer::attend_one(int layer, std::span<const float> q,
+                                 std::span<float> out, const KvStore& kv,
+                                 std::size_t pos, std::size_t store_len,
+                                 const float* chunk_k, const float* chunk_v) const {
+  const auto& cfg = weights_.config;
+  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto n_heads = static_cast<std::size_t>(cfg.n_heads);
+  const std::size_t kv_dim = lw.wk.size() / hidden;
+  const std::size_t group = n_heads / (kv_dim / head_dim);
+
   const std::size_t len = pos + 1;
   // Sliding-window attention (Mistral, paper Appendix A): attend only to
   // the most recent `sliding_window` positions.
@@ -75,29 +107,32 @@ void MiniTransformer::attention(int layer, std::span<const float> normed,
           : 0;
   const std::size_t span = len - first;
 
+  const auto key_at = [&](std::size_t p) -> const float* {
+    return p < store_len ? kv.key(layer, p).data()
+                         : chunk_k + (p - store_len) * kv_dim;
+  };
+  const auto value_at = [&](std::size_t p) -> const float* {
+    return p < store_len ? kv.value(layer, p).data()
+                         : chunk_v + (p - store_len) * kv_dim;
+  };
+
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  std::vector<float> attn_out(q_dim, 0.0f);
+  std::fill(out.begin(), out.end(), 0.0f);
   std::vector<float> scores(span);
   for (std::size_t h = 0; h < n_heads; ++h) {
     const std::size_t kv_h = h / group;
-    const auto q_head = std::span<const float>(q).subspan(h * head_dim, head_dim);
+    const auto q_head = q.subspan(h * head_dim, head_dim);
     for (std::size_t t = 0; t < span; ++t) {
-      const auto k_t = kv.key(layer, first + t).subspan(kv_h * head_dim, head_dim);
+      const std::span<const float> k_t{key_at(first + t) + kv_h * head_dim, head_dim};
       scores[t] = dot(q_head, k_t) * scale;
     }
     softmax(scores);
-    auto o_head = std::span<float>(attn_out).subspan(h * head_dim, head_dim);
+    auto o_head = out.subspan(h * head_dim, head_dim);
     for (std::size_t t = 0; t < span; ++t) {
-      const auto v_t = kv.value(layer, first + t).subspan(kv_h * head_dim, head_dim);
+      const float* v_t = value_at(first + t) + kv_h * head_dim;
       const float w = scores[t];
       for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += w * v_t[d];
     }
-  }
-
-  if (ql != nullptr) {
-    ql->wo.gemv(attn_out, out);
-  } else {
-    matvec(lw.wo, attn_out, out, hidden, q_dim);
   }
 }
 
@@ -179,13 +214,132 @@ std::vector<float> MiniTransformer::forward(TokenId token, KvStore& kv) const {
   return logits;
 }
 
+std::vector<float> MiniTransformer::prefill(std::span<const TokenId> tokens,
+                                            KvStore& kv) const {
+  require(!tokens.empty(), "prefill: empty chunk");
+  // The int8 path has no batched GEMM yet, and a one-token chunk IS the
+  // decode step — both take the token loop.
+  if (quantized_ != nullptr || tokens.size() == 1) {
+    std::vector<float> logits;
+    for (TokenId t : tokens) logits = forward(t, kv);
+    return logits;
+  }
+
+  const auto& cfg = weights_.config;
+  const std::size_t T = tokens.size();
+  const std::size_t base = kv.size();
+  require(static_cast<std::int64_t>(base + T) <=
+              static_cast<std::int64_t>(cfg.max_seq_len),
+          "MiniTransformer: context exceeds max_seq_len");
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto n_heads = static_cast<std::size_t>(cfg.n_heads);
+  const std::size_t q_dim = n_heads * head_dim;
+  const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
+
+  // Residual stream for the whole chunk, [T x hidden] row-major.
+  std::vector<float> x(T * hidden);
+  for (std::size_t t = 0; t < T; ++t) {
+    require(tokens[t] >= 0 && tokens[t] < cfg.vocab_size,
+            "MiniTransformer: token out of range");
+    std::copy_n(
+        weights_.embedding.begin() +
+            static_cast<std::ptrdiff_t>(static_cast<std::size_t>(tokens[t]) * hidden),
+        hidden, x.begin() + static_cast<std::ptrdiff_t>(t * hidden));
+  }
+
+  std::vector<float> normed(T * hidden), delta(T * hidden);
+  std::vector<float> q(T * q_dim), attn(T * q_dim);
+  // Chunk-local K/V, one [T x kv_dim] buffer per layer: the KV stores
+  // require token-major append order (all layers of token t before token
+  // t+1), so the layer-major sweep buffers here and appends at the end.
+  const std::vector<std::size_t> dims = kv_dims();
+  std::vector<std::vector<float>> chunk_k(dims.size()), chunk_v(dims.size());
+
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    const auto& lw = weights_.layers[static_cast<std::size_t>(l)];
+    const std::size_t kv_dim = dims[static_cast<std::size_t>(l)];
+    const std::size_t n_kv_heads = kv_dim / head_dim;
+    auto& k = chunk_k[static_cast<std::size_t>(l)];
+    auto& v = chunk_v[static_cast<std::size_t>(l)];
+    k.resize(T * kv_dim);
+    v.resize(T * kv_dim);
+
+    // Token-parallel projections: each weight row streams once per chunk
+    // (the compute-bound prefill regime) while every output element keeps
+    // the decode step's accumulation order — the bit-identity contract.
+    for (std::size_t t = 0; t < T; ++t)
+      rmsnorm(std::span<const float>(x).subspan(t * hidden, hidden), lw.attn_norm,
+              std::span<float>(normed).subspan(t * hidden, hidden));
+    batched_matmul(lw.wq, normed, q, q_dim, hidden, T);
+    batched_matmul(lw.wk, normed, k, kv_dim, hidden, T);
+    batched_matmul(lw.wv, normed, v, kv_dim, hidden, T);
+    for (std::size_t t = 0; t < T; ++t) {
+      auto q_t = std::span<float>(q).subspan(t * q_dim, q_dim);
+      auto k_t = std::span<float>(k).subspan(t * kv_dim, kv_dim);
+      for (std::size_t h = 0; h < n_heads; ++h)
+        rope(q_t.subspan(h * head_dim, head_dim), base + t, *rope_);
+      for (std::size_t h = 0; h < n_kv_heads; ++h)
+        rope(k_t.subspan(h * head_dim, head_dim), base + t, *rope_);
+    }
+    for (std::size_t t = 0; t < T; ++t)
+      attend_one(l, std::span<const float>(q).subspan(t * q_dim, q_dim),
+                 std::span<float>(attn).subspan(t * q_dim, q_dim), kv, base + t,
+                 base, k.data(), v.data());
+    batched_matmul(lw.wo, attn, delta, hidden, q_dim, T);
+    for (std::size_t i = 0; i < T * hidden; ++i) x[i] += delta[i];
+
+    for (std::size_t t = 0; t < T; ++t)
+      rmsnorm(std::span<const float>(x).subspan(t * hidden, hidden), lw.ffn_norm,
+              std::span<float>(normed).subspan(t * hidden, hidden));
+    if (cfg.ffn == models::FfnKind::kDense) {
+      std::vector<float> gate(T * inter), up(T * inter);
+      batched_matmul(lw.w_gate[0], normed, gate, inter, hidden, T);
+      batched_matmul(lw.w_up[0], normed, up, inter, hidden, T);
+      silu(gate);
+      for (std::size_t i = 0; i < T * inter; ++i) gate[i] *= up[i];
+      batched_matmul(lw.w_down[0], gate, delta, hidden, inter, T);
+      for (std::size_t i = 0; i < T * hidden; ++i) x[i] += delta[i];
+    } else {
+      // MoE routes per token; run the serial expert path so the routing
+      // order (and last_expert_choices) matches token-by-token exactly.
+      for (std::size_t t = 0; t < T; ++t) {
+        auto d_t = std::span<float>(delta).subspan(t * hidden, hidden);
+        ffn(l, std::span<const float>(normed).subspan(t * hidden, hidden), d_t);
+        auto x_t = std::span<float>(x).subspan(t * hidden, hidden);
+        for (std::size_t i = 0; i < hidden; ++i) x_t[i] += d_t[i];
+      }
+    }
+  }
+
+  // Append the chunk's K/V in the stores' token-major order.
+  for (std::size_t t = 0; t < T; ++t)
+    for (int l = 0; l < cfg.n_layers; ++l) {
+      const std::size_t kv_dim = dims[static_cast<std::size_t>(l)];
+      require(kv.append(l,
+                        std::span<const float>(chunk_k[static_cast<std::size_t>(l)])
+                            .subspan(t * kv_dim, kv_dim),
+                        std::span<const float>(chunk_v[static_cast<std::size_t>(l)])
+                            .subspan(t * kv_dim, kv_dim)),
+              "MiniTransformer: KV pool exhausted");
+    }
+
+  // LM head on the last position only — prefill returns next-token logits
+  // for the end of the chunk.
+  auto last = std::span<const float>(x).subspan((T - 1) * hidden, hidden);
+  std::vector<float> head_in(hidden);
+  rmsnorm(last, weights_.final_norm, head_in);
+  std::vector<float> logits(static_cast<std::size_t>(cfg.vocab_size));
+  matvec(weights_.lm_head, head_in, logits, static_cast<std::size_t>(cfg.vocab_size),
+         hidden);
+  return logits;
+}
+
 std::vector<float> MiniTransformer::forward_nocache(
     std::span<const TokenId> tokens) const {
   require(!tokens.empty(), "forward_nocache: empty prefix");
   ContiguousKvStore scratch(kv_dims());
-  std::vector<float> logits;
-  for (TokenId t : tokens) logits = forward(t, scratch);
-  return logits;
+  return prefill(tokens, scratch);
 }
 
 }  // namespace llmib::engine

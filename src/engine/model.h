@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "engine/kv_store.h"
+#include "engine/tensor_ops.h"
 #include "engine/weights.h"
 
 namespace llmib::engine {
@@ -38,9 +40,23 @@ class MiniTransformer {
   /// Throws if the KV store cannot accept the token (pool exhausted).
   std::vector<float> forward(TokenId token, KvStore& kv) const;
 
+  /// Batched prefill: process `tokens` starting at position kv.size() with
+  /// every linear projection executed as a token-parallel matmul per layer
+  /// (each weight row streamed once for the whole chunk) instead of
+  /// token-by-token GEMVs. Appends all K/V to the cache and returns the
+  /// LAST position's logits. Because every output element runs through the
+  /// same kernel accumulation as forward(), the result is bit-identical to
+  /// feeding the tokens one at a time — prefill changes cost, not output
+  /// (the paper's compute-bound prefill vs bandwidth-bound decode regimes,
+  /// measured in bench/engine_batch_scaling). The int8-quantized path falls
+  /// back to the token loop (no batched int8 matmul yet).
+  std::vector<float> prefill(std::span<const TokenId> tokens, KvStore& kv) const;
+
   /// Autoregressive forward WITHOUT a KV cache: recomputes attention state
   /// for the entire `tokens` prefix and returns the last position's logits.
-  /// Numerically identical to the cached path (the Fig. 2a equivalence).
+  /// Numerically identical to the cached path (the Fig. 2a equivalence,
+  /// which now covers the batched prefill path: the recompute runs the
+  /// whole prefix through prefill() on a scratch cache).
   std::vector<float> forward_nocache(std::span<const TokenId> tokens) const;
 
   /// Expert indices chosen for the last forward's final layer (MoE
@@ -50,6 +66,17 @@ class MiniTransformer {
  private:
   void attention(int layer, std::span<const float> normed, std::span<float> out,
                  KvStore& kv) const;
+  /// Causal attention for one token at absolute position `pos`: scores q
+  /// against the (sliding-window-clipped) prefix [.., pos] and writes the
+  /// weighted values to `out`. Positions below `store_len` read from `kv`;
+  /// positions >= store_len read row (p - store_len) of the chunk-local
+  /// buffers `chunk_k`/`chunk_v` — prefill attends before the chunk's K/V
+  /// have been appended (the stores require token-major append order).
+  /// Exactly the decode step's math: same dot kernel, softmax, and value
+  /// accumulation order.
+  void attend_one(int layer, std::span<const float> q, std::span<float> out,
+                  const KvStore& kv, std::size_t pos, std::size_t store_len,
+                  const float* chunk_k, const float* chunk_v) const;
   void ffn(int layer, std::span<const float> normed, std::span<float> out) const;
   void project(std::span<const float> w, const quant::Int8Matrix* qw,
                std::span<const float> x, std::span<float> y, std::size_t rows,
@@ -57,6 +84,7 @@ class MiniTransformer {
 
   const TransformerWeights& weights_;
   const QuantizedWeights* quantized_ = nullptr;
+  std::shared_ptr<const RopeTable> rope_;  ///< shared per (head_dim, theta)
   mutable std::vector<int> last_experts_;
 };
 

@@ -13,7 +13,11 @@ using util::require;
 
 ShardedTransformer::ShardedTransformer(const TransformerWeights& weights, int tp,
                                        int ep)
-    : weights_(weights), tp_(tp), ep_(ep) {
+    : weights_(weights),
+      tp_(tp),
+      ep_(ep),
+      rope_(RopeTable::shared(static_cast<std::size_t>(weights.config.head_dim()),
+                              static_cast<std::size_t>(weights.config.max_seq_len))) {
   const auto& cfg = weights.config;
   require(tp >= 1 && ep >= 1, "ShardedTransformer: degrees must be >= 1");
   require(tp == 1 || ep == 1, "ShardedTransformer: combine tp or ep, not both");
@@ -130,9 +134,9 @@ void ShardedTransformer::attention_slice(int layer, std::size_t s,
 
   const std::size_t pos = tokens_;
   for (std::size_t h = 0; h < heads; ++h)
-    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos);
+    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos, *rope_);
   for (std::size_t h = 0; h < kv_heads; ++h)
-    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos);
+    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos, *rope_);
 
   KvStore& kv = *shard_kv_[s];
   require(kv.append(layer, k, v), "ShardedTransformer: KV append failed");
@@ -207,19 +211,18 @@ void ShardedTransformer::project_rows(std::span<const float> w,
                                       std::span<const float> x, std::span<float> y,
                                       std::size_t row_begin, std::size_t row_end,
                                       std::size_t cols) const {
-  // Row slice of matvec(): each output row accumulates over the FULL input
-  // in the serial column order, so y matches the serial engine bitwise.
-  for (std::size_t r = row_begin; r < row_end; ++r) {
-    const float* row = w.data() + r * cols;
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  // Row slice of matvec(): each output row runs through the SAME dispatched
+  // dot kernel as the serial engine (engine/kernels), so y matches the
+  // serial engine bitwise whatever backend is active.
+  for (std::size_t r = row_begin; r < row_end; ++r)
+    y[r] = dot(std::span<const float>(w).subspan(r * cols, cols), x.first(cols));
 }
 
 std::vector<float> ShardedTransformer::forward(TokenId token) {
   const auto& cfg = weights_.config;
   require(token >= 0 && token < cfg.vocab_size, "ShardedTransformer: token out of range");
+  require(static_cast<std::int64_t>(tokens_) < static_cast<std::int64_t>(cfg.max_seq_len),
+          "ShardedTransformer: context exceeds max_seq_len");
   if (fault_hook_) {
     // Injection barrier: every shard runs the hook on its worker before any
     // KV append or scratch write, so a throwing hook leaves the step fully
@@ -314,6 +317,226 @@ std::vector<float> ShardedTransformer::forward(TokenId token) {
   rmsnorm(x, weights_.final_norm, normed);
   std::vector<float> logits(static_cast<std::size_t>(cfg.vocab_size));
   matvec(weights_.lm_head, normed, logits, static_cast<std::size_t>(cfg.vocab_size),
+         hidden);
+  return logits;
+}
+
+void ShardedTransformer::attention_slice_prefill(int layer, std::size_t s,
+                                                 std::size_t T,
+                                                 std::span<const float> normed,
+                                                 std::span<float> gathered,
+                                                 std::vector<float>& chunk_k,
+                                                 std::vector<float>& chunk_v) {
+  const auto& cfg = weights_.config;
+  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const auto n_heads_total = static_cast<std::size_t>(cfg.n_heads);
+  const std::size_t q_dim_total = n_heads_total * head_dim;
+
+  if (ep_ > 1 && s != 0) return;
+  const std::size_t shards = tp_ > 1 ? static_cast<std::size_t>(tp_) : 1;
+  const std::size_t heads = n_heads_total / shards;
+  const std::size_t kv_dim_total = lw.wk.size() / hidden;
+  const std::size_t kv_heads = kv_dim_total / head_dim / shards;
+  const std::size_t group = heads / kv_heads;
+
+  const std::size_t q_rows = heads * head_dim;
+  const std::size_t kv_rows = kv_heads * head_dim;
+  const std::size_t q_off = s * q_rows;
+  const std::size_t kv_off = s * kv_rows;
+
+  // Token-parallel projections over this shard's head slice: each sharded
+  // weight row streams once for the whole chunk.
+  chunk_k.resize(T * kv_rows);
+  chunk_v.resize(T * kv_rows);
+  std::vector<float> q(T * q_rows);
+  batched_matmul(std::span<const float>(lw.wq).subspan(q_off * hidden, q_rows * hidden),
+                 normed, q, q_rows, hidden, T);
+  batched_matmul(std::span<const float>(lw.wk).subspan(kv_off * hidden, kv_rows * hidden),
+                 normed, chunk_k, kv_rows, hidden, T);
+  batched_matmul(std::span<const float>(lw.wv).subspan(kv_off * hidden, kv_rows * hidden),
+                 normed, chunk_v, kv_rows, hidden, T);
+
+  const std::size_t base = tokens_;
+  for (std::size_t t = 0; t < T; ++t) {
+    auto q_t = std::span<float>(q).subspan(t * q_rows, q_rows);
+    auto k_t = std::span<float>(chunk_k).subspan(t * kv_rows, kv_rows);
+    for (std::size_t h = 0; h < heads; ++h)
+      rope(q_t.subspan(h * head_dim, head_dim), base + t, *rope_);
+    for (std::size_t h = 0; h < kv_heads; ++h)
+      rope(k_t.subspan(h * head_dim, head_dim), base + t, *rope_);
+  }
+
+  // Causal attention per chunk token: positions below `base` come from this
+  // shard's store, chunk positions from the local buffers (the store only
+  // accepts token-major appends, which happen after the whole chunk).
+  const KvStore& kv = *shard_kv_[s];
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  const auto key_at = [&](std::size_t p) -> const float* {
+    return p < base ? kv.key(layer, p).data() : chunk_k.data() + (p - base) * kv_rows;
+  };
+  const auto value_at = [&](std::size_t p) -> const float* {
+    return p < base ? kv.value(layer, p).data()
+                    : chunk_v.data() + (p - base) * kv_rows;
+  };
+  for (std::size_t t = 0; t < T; ++t) {
+    const std::size_t len = base + t + 1;
+    const std::size_t first =
+        cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
+            ? len - static_cast<std::size_t>(cfg.sliding_window)
+            : 0;
+    const std::size_t span_len = len - first;
+    auto out = gathered.subspan(t * q_dim_total + q_off, q_rows);
+    std::fill(out.begin(), out.end(), 0.0f);
+    std::vector<float> scores(span_len);
+    for (std::size_t h = 0; h < heads; ++h) {
+      const std::size_t kv_h = h / group;
+      const auto q_head =
+          std::span<const float>(q).subspan(t * q_rows + h * head_dim, head_dim);
+      for (std::size_t u = 0; u < span_len; ++u) {
+        const std::span<const float> k_u{key_at(first + u) + kv_h * head_dim,
+                                         head_dim};
+        scores[u] = dot(q_head, k_u) * scale;
+      }
+      softmax(scores);
+      auto o_head = out.subspan(h * head_dim, head_dim);
+      for (std::size_t u = 0; u < span_len; ++u) {
+        const float* v_u = value_at(first + u) + kv_h * head_dim;
+        const float w = scores[u];
+        for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += w * v_u[d];
+      }
+    }
+  }
+}
+
+std::vector<float> ShardedTransformer::prefill(std::span<const TokenId> tokens) {
+  const auto& cfg = weights_.config;
+  require(!tokens.empty(), "prefill: empty chunk");
+  // MoE routing and fault-hook retry both need token granularity; a
+  // one-token chunk IS the decode step.
+  if (tokens.size() == 1 || fault_hook_ || cfg.ffn != models::FfnKind::kDense) {
+    std::vector<float> logits;
+    for (TokenId t : tokens) logits = forward(t);
+    return logits;
+  }
+
+  const std::size_t T = tokens.size();
+  const std::size_t base = tokens_;
+  require(static_cast<std::int64_t>(base + T) <=
+              static_cast<std::int64_t>(cfg.max_seq_len),
+          "ShardedTransformer: context exceeds max_seq_len");
+  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
+  const auto shards = static_cast<std::size_t>(tp_ * ep_);
+  const std::size_t q_dim_total = attn_gather_.size();
+  const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
+
+  const std::size_t row_base = hidden / shards;
+  const std::size_t row_rem = hidden % shards;
+  auto row_range = [&](std::size_t s) {
+    const std::size_t begin = s * row_base + std::min(s, row_rem);
+    return std::pair<std::size_t, std::size_t>(
+        begin, begin + row_base + (s < row_rem ? 1 : 0));
+  };
+
+  std::vector<float> x(T * hidden);
+  for (std::size_t t = 0; t < T; ++t) {
+    require(tokens[t] >= 0 && tokens[t] < cfg.vocab_size,
+            "ShardedTransformer: token out of range");
+    std::copy_n(
+        weights_.embedding.begin() +
+            static_cast<std::ptrdiff_t>(static_cast<std::size_t>(tokens[t]) * hidden),
+        hidden, x.begin() + static_cast<std::ptrdiff_t>(t * hidden));
+  }
+
+  std::vector<float> normed(T * hidden), proj(T * hidden);
+  std::vector<float> attn_g(T * q_dim_total), inter_g(T * inter);
+  // Chunk-local K/V per (shard, layer), appended token-major at the end.
+  std::vector<std::vector<std::vector<float>>> chunk_k(shards), chunk_v(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    chunk_k[s].resize(static_cast<std::size_t>(cfg.n_layers));
+    chunk_v[s].resize(static_cast<std::size_t>(cfg.n_layers));
+  }
+
+  // Row-parallel projection over the whole chunk: shard s computes its
+  // output-row slice for every token (batched), then scatters into the
+  // [T x hidden] destination. Per-element accumulation matches the serial
+  // engine's batched_matmul exactly.
+  auto project_chunk = [&](std::span<const float> w, std::span<const float> in,
+                           std::span<float> out, std::size_t cols) {
+    dispatch([&](std::size_t s) {
+      const auto [r0, r1] = row_range(s);
+      const std::size_t rows = r1 - r0;
+      if (rows == 0) return;
+      std::vector<float> slice(T * rows);
+      batched_matmul(w.subspan(r0 * cols, rows * cols), in, slice, rows, cols, T);
+      for (std::size_t t = 0; t < T; ++t)
+        std::copy_n(slice.begin() + static_cast<std::ptrdiff_t>(t * rows), rows,
+                    out.begin() + static_cast<std::ptrdiff_t>(t * hidden + r0));
+    });
+  };
+
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    const auto& lw = weights_.layers[static_cast<std::size_t>(l)];
+
+    for (std::size_t t = 0; t < T; ++t)
+      rmsnorm(std::span<const float>(x).subspan(t * hidden, hidden), lw.attn_norm,
+              std::span<float>(normed).subspan(t * hidden, hidden));
+    dispatch([&](std::size_t s) {
+      attention_slice_prefill(l, s, T, normed, attn_g,
+                              chunk_k[s][static_cast<std::size_t>(l)],
+                              chunk_v[s][static_cast<std::size_t>(l)]);
+    });
+    project_chunk(lw.wo, attn_g, proj, q_dim_total);
+    for (std::size_t i = 0; i < T * hidden; ++i) x[i] += proj[i];
+
+    for (std::size_t t = 0; t < T; ++t)
+      rmsnorm(std::span<const float>(x).subspan(t * hidden, hidden), lw.ffn_norm,
+              std::span<float>(normed).subspan(t * hidden, hidden));
+    // Dense TP FFN: intermediate rows sharded, token-parallel per shard.
+    dispatch([&](std::size_t s) {
+      const std::size_t inter_rows = inter / shards;
+      const std::size_t row_off = s * inter_rows;
+      std::vector<float> gate(T * inter_rows), up(T * inter_rows);
+      batched_matmul(std::span<const float>(lw.w_gate[0])
+                         .subspan(row_off * hidden, inter_rows * hidden),
+                     normed, gate, inter_rows, hidden, T);
+      batched_matmul(std::span<const float>(lw.w_up[0])
+                         .subspan(row_off * hidden, inter_rows * hidden),
+                     normed, up, inter_rows, hidden, T);
+      silu(gate);
+      for (std::size_t i = 0; i < T * inter_rows; ++i) gate[i] *= up[i];
+      for (std::size_t t = 0; t < T; ++t)
+        std::copy_n(gate.begin() + static_cast<std::ptrdiff_t>(t * inter_rows),
+                    inter_rows,
+                    inter_g.begin() + static_cast<std::ptrdiff_t>(t * inter + row_off));
+    });
+    project_chunk(lw.w_down[0], inter_g, proj, inter);
+    for (std::size_t i = 0; i < T * hidden; ++i) x[i] += proj[i];
+  }
+
+  // Append the chunk's K/V in each shard's required token-major order;
+  // shard stores are disjoint, so the appends fan out across the pool.
+  dispatch([&](std::size_t s) {
+    if (ep_ > 1 && s != 0) return;
+    for (std::size_t t = 0; t < T; ++t)
+      for (int l = 0; l < cfg.n_layers; ++l) {
+        const auto& ck = chunk_k[s][static_cast<std::size_t>(l)];
+        const auto& cv = chunk_v[s][static_cast<std::size_t>(l)];
+        const std::size_t kv_rows = ck.size() / T;
+        require(shard_kv_[s]->append(
+                    l, std::span<const float>(ck).subspan(t * kv_rows, kv_rows),
+                    std::span<const float>(cv).subspan(t * kv_rows, kv_rows)),
+                "ShardedTransformer: KV append failed");
+      }
+  });
+  tokens_ += T;
+
+  auto last = std::span<const float>(x).subspan((T - 1) * hidden, hidden);
+  std::vector<float> head_in(hidden);
+  rmsnorm(last, weights_.final_norm, head_in);
+  std::vector<float> logits(static_cast<std::size_t>(cfg.vocab_size));
+  matvec(weights_.lm_head, head_in, logits, static_cast<std::size_t>(cfg.vocab_size),
          hidden);
   return logits;
 }

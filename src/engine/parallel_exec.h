@@ -48,6 +48,16 @@ class ShardedTransformer {
   /// KV store. Returns full logits.
   std::vector<float> forward(TokenId token);
 
+  /// Batched prefill across the worker pool: processes the whole chunk with
+  /// each shard running token-parallel matmuls over its head/row slices
+  /// (each sharded weight row streams once per chunk), then returns the
+  /// LAST position's logits. Bit-identical to calling forward() per token —
+  /// every output element runs through the same dispatched kernels in the
+  /// same order. MoE (ep > 1), single-token chunks, and stepping with a
+  /// fault hook installed fall back to the token loop (the hook's
+  /// per-(shard, step) retry contract needs token granularity).
+  std::vector<float> prefill(std::span<const TokenId> tokens);
+
   /// Per-(shard, step) hook invoked on every shard's worker thread at the
   /// START of each forward, before any state mutation. A hook that throws
   /// aborts the step — the exception propagates out of forward() via the
@@ -76,6 +86,17 @@ class ShardedTransformer {
  private:
   void attention_slice(int layer, std::size_t s, std::span<const float> normed,
                        std::span<float> gathered);
+  /// Prefill counterpart of attention_slice: shard s projects Q/K/V for all
+  /// T chunk tokens (batched over its head slice), ropes, attends each
+  /// token against its shard store + the chunk-local K/V (`chunk_k`/
+  /// `chunk_v`, [T x shard_kv_dim] rows appended to the store only after
+  /// the whole chunk — the stores demand token-major appends), and writes
+  /// its slice of `gathered` ([T x q_dim_total] at offset s*q_rows per
+  /// token).
+  void attention_slice_prefill(int layer, std::size_t s, std::size_t T,
+                               std::span<const float> normed,
+                               std::span<float> gathered, std::vector<float>& chunk_k,
+                               std::vector<float>& chunk_v);
   void ffn_inter_slice(int layer, std::size_t s, std::span<const float> normed,
                        std::span<float> gathered);
   void expert_down(int layer, std::size_t expert, float weight,
@@ -91,6 +112,7 @@ class ShardedTransformer {
   const TransformerWeights& weights_;
   int tp_;
   int ep_;
+  std::shared_ptr<const RopeTable> rope_;  ///< shared per (head_dim, theta)
   std::vector<std::unique_ptr<ContiguousKvStore>> shard_kv_;  // size tp*ep
   std::size_t tokens_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;  // null when tp*ep == 1

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
+
+#include "engine/kernels/kernels.h"
 
 namespace llmib::engine {
 
@@ -10,24 +15,37 @@ void matvec(std::span<const float> w, std::span<const float> x, std::span<float>
             std::size_t rows, std::size_t cols) {
   if (w.size() != rows * cols || x.size() != cols || y.size() != rows)
     throw std::invalid_argument("matvec: shape mismatch");
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* row = w.data() + r * cols;
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  kernels::active().matvec(w.data(), x.data(), y.data(), rows, cols);
 }
 
 void matvec_add(std::span<const float> w, std::span<const float> x,
                 std::span<float> y, std::size_t rows, std::size_t cols) {
   if (w.size() != rows * cols || x.size() != cols || y.size() != rows)
     throw std::invalid_argument("matvec_add: shape mismatch");
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* row = w.data() + r * cols;
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
-    y[r] += acc;
-  }
+  const kernels::KernelSet& ks = kernels::active();
+  for (std::size_t r = 0; r < rows; ++r)
+    y[r] += ks.dot(w.data() + r * cols, x.data(), cols);
+}
+
+void fused_qkv(std::span<const float> wq, std::span<const float> wk,
+               std::span<const float> wv, std::span<const float> x,
+               std::span<float> q, std::span<float> k, std::span<float> v) {
+  const std::size_t cols = x.size();
+  if (cols == 0 || wq.size() != q.size() * cols || wk.size() != k.size() * cols ||
+      wv.size() != v.size() * cols)
+    throw std::invalid_argument("fused_qkv: shape mismatch");
+  kernels::active().matvec3(wq.data(), q.size(), wk.data(), k.size(), wv.data(),
+                            v.size(), x.data(), cols, q.data(), k.data(),
+                            v.data());
+}
+
+void batched_matmul(std::span<const float> w, std::span<const float> x,
+                    std::span<float> y, std::size_t rows, std::size_t cols,
+                    std::size_t batch) {
+  if (w.size() != rows * cols) throw std::invalid_argument("batched_matmul: weight shape mismatch");
+  if (x.size() != batch * cols) throw std::invalid_argument("batched_matmul: input shape mismatch");
+  if (y.size() != batch * rows) throw std::invalid_argument("batched_matmul: output shape mismatch");
+  kernels::active().matmul_nt(w.data(), x.data(), y.data(), rows, cols, batch);
 }
 
 void rmsnorm(std::span<const float> x, std::span<const float> gain,
@@ -72,11 +90,62 @@ void rope(std::span<float> v, std::size_t pos, double theta_base) {
   }
 }
 
+RopeTable::RopeTable(std::size_t head_dim, std::size_t max_pos, double theta_base)
+    : head_dim_(head_dim), max_pos_(max_pos), theta_(theta_base) {
+  if (head_dim % 2 != 0)
+    throw std::invalid_argument("RopeTable: head_dim must be even");
+  const std::size_t half = head_dim / 2;
+  cos_.resize(max_pos * half);
+  sin_.resize(max_pos * half);
+  for (std::size_t i = 0; i < half; ++i) {
+    // Exactly the closed-form rope() arithmetic so the cached path is
+    // bit-identical to it.
+    const double freq = std::pow(
+        theta_base, -2.0 * static_cast<double>(i) / static_cast<double>(head_dim));
+    for (std::size_t pos = 0; pos < max_pos; ++pos) {
+      const double angle = static_cast<double>(pos) * freq;
+      cos_[pos * half + i] = static_cast<float>(std::cos(angle));
+      sin_[pos * half + i] = static_cast<float>(std::sin(angle));
+    }
+  }
+}
+
+std::shared_ptr<const RopeTable> RopeTable::shared(std::size_t head_dim,
+                                                   std::size_t max_pos,
+                                                   double theta_base) {
+  using Key = std::tuple<std::size_t, std::size_t, double>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const RopeTable>> cache;
+  const Key key{head_dim, max_pos, theta_base};
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache.emplace(key, std::make_shared<const RopeTable>(head_dim, max_pos,
+                                                              theta_base))
+             .first;
+  return it->second;
+}
+
+void rope(std::span<float> v, std::size_t pos, const RopeTable& table) {
+  if (v.size() != table.head_dim())
+    throw std::invalid_argument("rope: vector size != table head_dim");
+  if (pos >= table.max_pos())
+    throw std::invalid_argument("rope: position beyond table range");
+  const std::size_t half = v.size() / 2;
+  const float* cos_row = table.cos_row(pos);
+  const float* sin_row = table.sin_row(pos);
+  for (std::size_t i = 0; i < half; ++i) {
+    const float c = cos_row[i];
+    const float s = sin_row[i];
+    const float a = v[2 * i], b = v[2 * i + 1];
+    v[2 * i] = a * c - b * s;
+    v[2 * i + 1] = a * s + b * c;
+  }
+}
+
 float dot(std::span<const float> a, std::span<const float> b) {
   if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::active().dot(a.data(), b.data(), a.size());
 }
 
 void add(std::span<const float> a, std::span<const float> b, std::span<float> out) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -8,6 +9,13 @@ namespace llmib::engine {
 
 /// Dense fp32 kernels for the mini engine. Everything is row-major and
 /// operates on caller-provided spans; no hidden allocation in the hot path.
+///
+/// The GEMV/dot entry points are thin shape-checked wrappers over the
+/// runtime-dispatched SIMD kernel layer (engine/kernels/kernels.h,
+/// docs/KERNELS.md): the active backend (AVX2+FMA where the CPU supports
+/// it, an unrolled portable fallback otherwise) serves every engine path,
+/// so serial, batched and sharded execution share one accumulation order
+/// per element and stay bit-identical to each other.
 
 /// y = W x, W is rows x cols row-major, x has cols elements, y rows.
 void matvec(std::span<const float> w, std::span<const float> x, std::span<float> y,
@@ -16,6 +24,23 @@ void matvec(std::span<const float> w, std::span<const float> x, std::span<float>
 /// y += W x.
 void matvec_add(std::span<const float> w, std::span<const float> x,
                 std::span<float> y, std::size_t rows, std::size_t cols);
+
+/// Fused QKV projection: q = Wq x, k = Wk x, v = Wv x in one kernel call —
+/// the input activation is read once for all three projections.
+/// Per-element results are identical to three matvec() calls.
+void fused_qkv(std::span<const float> wq, std::span<const float> wk,
+               std::span<const float> wv, std::span<const float> x,
+               std::span<float> q, std::span<float> k, std::span<float> v);
+
+/// y[b][r] = sum_c w[r*cols+c] * x[b][c]: weight-stationary batched matmul
+/// (each weight row is streamed once for the whole batch — the traffic
+/// amortization decode batching and prefill are about). x is contiguous
+/// row-major [batch x cols]; y is [batch x rows]. The per-(r, b)
+/// accumulation order matches matvec() exactly, so batched outputs are
+/// bit-identical to per-row matvec calls.
+void batched_matmul(std::span<const float> w, std::span<const float> x,
+                    std::span<float> y, std::size_t rows, std::size_t cols,
+                    std::size_t batch);
 
 /// RMSNorm: out[i] = x[i] / rms(x) * gain[i].
 void rmsnorm(std::span<const float> x, std::span<const float> gain,
@@ -30,6 +55,44 @@ void silu(std::span<float> x);
 /// Rotary position embedding applied in-place to one head's q or k vector
 /// (dim must be even); `pos` is the absolute token position.
 void rope(std::span<float> v, std::size_t pos, double theta_base = 10000.0);
+
+/// Precomputed RoPE cos/sin tables for head dimension `head_dim` and
+/// positions [0, max_pos): removes std::pow/std::cos/std::sin from the
+/// per-token hot loop. Entries are computed with exactly the closed-form
+/// rope() arithmetic, so the cached path is bit-identical to it
+/// (tests/kernels_test.cpp pins the equivalence).
+class RopeTable {
+ public:
+  RopeTable(std::size_t head_dim, std::size_t max_pos, double theta_base);
+
+  std::size_t head_dim() const { return head_dim_; }
+  std::size_t max_pos() const { return max_pos_; }
+  double theta_base() const { return theta_; }
+
+  const float* cos_row(std::size_t pos) const {
+    return cos_.data() + pos * (head_dim_ / 2);
+  }
+  const float* sin_row(std::size_t pos) const {
+    return sin_.data() + pos * (head_dim_ / 2);
+  }
+
+  /// Process-wide table cache keyed by (head_dim, max_pos, theta): one
+  /// table per model shape, shared by every executor over those weights.
+  static std::shared_ptr<const RopeTable> shared(std::size_t head_dim,
+                                                 std::size_t max_pos,
+                                                 double theta_base = 10000.0);
+
+ private:
+  std::size_t head_dim_;
+  std::size_t max_pos_;
+  double theta_;
+  std::vector<float> cos_, sin_;  // [max_pos x head_dim/2]
+};
+
+/// Table-driven RoPE: identical rotation to rope(v, pos) but indexing the
+/// precomputed tables. Requires v.size() == table.head_dim() and
+/// pos < table.max_pos().
+void rope(std::span<float> v, std::size_t pos, const RopeTable& table);
 
 /// Dot product.
 float dot(std::span<const float> a, std::span<const float> b);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "engine/kernels/kernels.h"
+
 namespace llmib::quant {
 
 Int8Matrix Int8Matrix::quantize(std::span<const float> weights, std::size_t rows,
@@ -47,13 +49,11 @@ std::vector<float> Int8Matrix::dequantize() const {
 void Int8Matrix::gemv(std::span<const float> x, std::span<float> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw std::invalid_argument("Int8Matrix::gemv: shape mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const std::int8_t* row = data_.data() + r * cols_;
-    for (std::size_t c = 0; c < cols_; ++c)
-      acc += static_cast<double>(row[c]) * x[c];
-    y[r] = static_cast<float>(acc * scales_[r]);
-  }
+  // W8A16 GEMV through the dispatched kernel layer: the AVX2 backend widens
+  // 8 weights at a time (cvtepi8_epi32 -> ps) and FMAs against x, the
+  // portable one runs 8 fp32 accumulator lanes (docs/KERNELS.md).
+  engine::kernels::active().gemv_i8(data_.data(), scales_.data(), x.data(),
+                                    y.data(), rows_, cols_);
 }
 
 QuantizedVector quantize_vector(std::span<const float> x) {

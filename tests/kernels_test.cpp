@@ -1,0 +1,404 @@
+// Tests for the dispatching SIMD kernel layer (engine/kernels) and the
+// engine paths built on it: scalar-vs-vectorized equivalence over ragged
+// shapes, forced-backend dispatch, RoPE table bit-identity, fused QKV, and
+// the batched prefill == token-by-token invariant (serial, chunked, paged,
+// and sharded).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/batched.h"
+#include "engine/generator.h"
+#include "engine/kernels/kernels.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/parallel_exec.h"
+#include "engine/tensor_ops.h"
+#include "engine/weights.h"
+#include "quant/int8.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib;
+using namespace llmib::engine;
+namespace ker = llmib::engine::kernels;
+using llmib::models::AttentionKind;
+using llmib::models::FfnKind;
+using llmib::models::ModelConfig;
+
+// Ragged shapes straddling every tile/tail boundary of the kernels (the
+// 8-lane step, the 4-row matvec tile, and the 2x4 matmul micro-tile).
+const std::size_t kShapes[] = {1, 3, 7, 17, 64, 129};
+
+std::vector<ker::Backend> testable_backends() {
+  std::vector<ker::Backend> b{ker::Backend::kScalar, ker::Backend::kPortable};
+  if (ker::cpu_supports(ker::Backend::kAvx2)) b.push_back(ker::Backend::kAvx2);
+  return b;
+}
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void expect_close(const std::vector<float>& ref, const std::vector<float>& got,
+                  const std::string& label, float rel_tol = 1e-5f) {
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const float denom = std::max({1.0f, std::fabs(ref[i]), std::fabs(got[i])});
+    ASSERT_LE(std::fabs(ref[i] - got[i]), rel_tol * denom)
+        << label << " at " << i << ": ref=" << ref[i] << " got=" << got[i];
+  }
+}
+
+void expect_bitwise(const std::vector<float>& a, const std::vector<float>& b,
+                    const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << label << " differs at " << i;
+}
+
+// ---- dispatch -----------------------------------------------------------------
+
+TEST(KernelDispatch, ScalarAndPortableAlwaysSupported) {
+  EXPECT_TRUE(ker::cpu_supports(ker::Backend::kScalar));
+  EXPECT_TRUE(ker::cpu_supports(ker::Backend::kPortable));
+}
+
+TEST(KernelDispatch, DetectPicksASupportedVectorBackend) {
+  const ker::Backend b = ker::detect_backend();
+  EXPECT_TRUE(ker::cpu_supports(b));
+  EXPECT_NE(b, ker::Backend::kScalar);  // scalar is reference, never auto-picked
+}
+
+TEST(KernelDispatch, TablesAreFullyPopulated) {
+  for (ker::Backend b : testable_backends()) {
+    const ker::KernelSet& ks = ker::get(b);
+    EXPECT_EQ(ks.backend, b);
+    EXPECT_NE(ks.name, nullptr);
+    EXPECT_NE(ks.dot, nullptr);
+    EXPECT_NE(ks.matvec, nullptr);
+    EXPECT_NE(ks.matvec3, nullptr);
+    EXPECT_NE(ks.matmul_nt, nullptr);
+    EXPECT_NE(ks.gemv_i8, nullptr);
+  }
+}
+
+TEST(KernelDispatch, ScopedBackendForcesBothArmsAndRestores) {
+  const ker::Backend before = ker::active().backend;
+  {
+    ker::ScopedBackend forced(ker::Backend::kScalar);
+    EXPECT_EQ(ker::active().backend, ker::Backend::kScalar);
+    {
+      ker::ScopedBackend inner(ker::Backend::kPortable);
+      EXPECT_EQ(ker::active().backend, ker::Backend::kPortable);
+    }
+    EXPECT_EQ(ker::active().backend, ker::Backend::kScalar);
+  }
+  EXPECT_EQ(ker::active().backend, before);
+}
+
+TEST(KernelDispatch, UnsupportedBackendThrows) {
+  if (ker::cpu_supports(ker::Backend::kAvx2)) GTEST_SKIP() << "AVX2 available";
+  EXPECT_THROW(ker::get(ker::Backend::kAvx2), std::invalid_argument);
+  EXPECT_THROW(ker::set_backend(ker::Backend::kAvx2), std::invalid_argument);
+}
+
+// ---- scalar-vs-vectorized property sweep ---------------------------------------
+
+TEST(KernelEquivalence, MatvecMatchesScalarOverRaggedShapes) {
+  const ker::KernelSet& ref = ker::get(ker::Backend::kScalar);
+  for (ker::Backend b : testable_backends()) {
+    const ker::KernelSet& ks = ker::get(b);
+    for (std::size_t rows : kShapes)
+      for (std::size_t cols : kShapes) {
+        const auto w = random_vec(rows * cols, rows * 1000 + cols);
+        const auto x = random_vec(cols, cols + 7);
+        std::vector<float> y_ref(rows), y(rows);
+        ref.matvec(w.data(), x.data(), y_ref.data(), rows, cols);
+        ks.matvec(w.data(), x.data(), y.data(), rows, cols);
+        expect_close(y_ref, y,
+                     std::string(ks.name) + " matvec " + std::to_string(rows) +
+                         "x" + std::to_string(cols));
+      }
+  }
+}
+
+TEST(KernelEquivalence, MatmulMatchesScalarOverRaggedShapes) {
+  const ker::KernelSet& ref = ker::get(ker::Backend::kScalar);
+  for (ker::Backend b : testable_backends()) {
+    const ker::KernelSet& ks = ker::get(b);
+    for (std::size_t rows : kShapes)
+      for (std::size_t cols : kShapes)
+        for (std::size_t batch : kShapes) {
+          const auto w = random_vec(rows * cols, rows * 31 + cols);
+          const auto x = random_vec(batch * cols, batch * 17 + cols);
+          std::vector<float> y_ref(batch * rows), y(batch * rows);
+          ref.matmul_nt(w.data(), x.data(), y_ref.data(), rows, cols, batch);
+          ks.matmul_nt(w.data(), x.data(), y.data(), rows, cols, batch);
+          expect_close(y_ref, y,
+                       std::string(ks.name) + " matmul " + std::to_string(rows) +
+                           "x" + std::to_string(cols) + "x" +
+                           std::to_string(batch));
+        }
+  }
+}
+
+TEST(KernelEquivalence, GemvInt8MatchesScalarOverRaggedShapes) {
+  const ker::KernelSet& ref = ker::get(ker::Backend::kScalar);
+  for (ker::Backend b : testable_backends()) {
+    const ker::KernelSet& ks = ker::get(b);
+    for (std::size_t rows : kShapes)
+      for (std::size_t cols : kShapes) {
+        util::Rng rng(rows * 97 + cols);
+        std::vector<std::int8_t> w(rows * cols);
+        for (auto& v : w)
+          v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+        std::vector<float> scales(rows);
+        for (auto& s : scales) s = static_cast<float>(rng.uniform(0.001, 0.05));
+        const auto x = random_vec(cols, cols + 3);
+        std::vector<float> y_ref(rows), y(rows);
+        ref.gemv_i8(w.data(), scales.data(), x.data(), y_ref.data(), rows, cols);
+        ks.gemv_i8(w.data(), scales.data(), x.data(), y.data(), rows, cols);
+        expect_close(y_ref, y,
+                     std::string(ks.name) + " gemv_i8 " + std::to_string(rows) +
+                         "x" + std::to_string(cols));
+      }
+  }
+}
+
+// Within one backend, batched must equal per-sequence GEMV BITWISE — this
+// is the accumulation-order contract every engine invariant rests on.
+TEST(KernelEquivalence, MatmulBitIdenticalToPerBatchMatvecWithinBackend) {
+  for (ker::Backend b : testable_backends()) {
+    const ker::KernelSet& ks = ker::get(b);
+    for (std::size_t rows : {3ul, 17ul, 129ul})
+      for (std::size_t cols : {7ul, 64ul, 129ul})
+        for (std::size_t batch : {1ul, 3ul, 17ul}) {
+          const auto w = random_vec(rows * cols, rows + cols);
+          const auto x = random_vec(batch * cols, batch + cols);
+          std::vector<float> y_mm(batch * rows), y_mv(batch * rows);
+          ks.matmul_nt(w.data(), x.data(), y_mm.data(), rows, cols, batch);
+          for (std::size_t bb = 0; bb < batch; ++bb)
+            ks.matvec(w.data(), x.data() + bb * cols, y_mv.data() + bb * rows,
+                      rows, cols);
+          expect_bitwise(y_mm, y_mv, std::string(ks.name) + " matmul-vs-matvec");
+        }
+  }
+}
+
+TEST(KernelEquivalence, FusedQkvBitIdenticalToSeparateMatvecs) {
+  for (ker::Backend b : testable_backends()) {
+    ker::ScopedBackend forced(b);
+    const std::size_t cols = 65, ra = 33, rb = 17, rc = 17;
+    const auto wq = random_vec(ra * cols, 1), wk = random_vec(rb * cols, 2),
+               wv = random_vec(rc * cols, 3);
+    const auto x = random_vec(cols, 4);
+    std::vector<float> q(ra), k(rb), v(rc), q2(ra), k2(rb), v2(rc);
+    fused_qkv(wq, wk, wv, x, q, k, v);
+    matvec(wq, x, q2, ra, cols);
+    matvec(wk, x, k2, rb, cols);
+    matvec(wv, x, v2, rc, cols);
+    expect_bitwise(q, q2, "fused q");
+    expect_bitwise(k, k2, "fused k");
+    expect_bitwise(v, v2, "fused v");
+  }
+}
+
+// ---- RoPE table ---------------------------------------------------------------
+
+TEST(RopeTable, BitIdenticalToClosedForm) {
+  for (std::size_t head_dim : {4ul, 8ul, 64ul}) {
+    const RopeTable table(head_dim, 96, 10000.0);
+    for (std::size_t pos : {0ul, 1ul, 7ul, 95ul}) {
+      auto a = random_vec(head_dim, head_dim * 100 + pos);
+      auto b = a;
+      rope(a, pos);          // closed form: pow/cos/sin in the loop
+      rope(b, pos, table);   // precomputed tables
+      expect_bitwise(a, b, "rope head_dim=" + std::to_string(head_dim) +
+                               " pos=" + std::to_string(pos));
+    }
+  }
+}
+
+TEST(RopeTable, SharedCacheReturnsSameInstance) {
+  const auto a = RopeTable::shared(8, 64);
+  const auto b = RopeTable::shared(8, 64);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), RopeTable::shared(8, 128).get());
+}
+
+TEST(RopeTable, RejectsOutOfRange) {
+  const RopeTable table(8, 16, 10000.0);
+  std::vector<float> v(8);
+  EXPECT_THROW(rope(std::span<float>(v), 16, table), std::invalid_argument);
+  std::vector<float> wrong(6);
+  EXPECT_THROW(rope(std::span<float>(wrong), 0, table), std::invalid_argument);
+}
+
+// ---- engine equivalence under forced backends ----------------------------------
+
+ModelConfig tiny_config(AttentionKind attn = AttentionKind::kGQA, int experts = 1) {
+  ModelConfig m;
+  m.name = "tiny";
+  m.n_layers = 2;
+  m.hidden_size = 32;
+  m.attention = attn;
+  m.n_heads = 4;
+  m.n_kv_heads = attn == AttentionKind::kMHSA ? 4 : 2;
+  m.ffn = experts > 1 ? FfnKind::kMoE : FfnKind::kDense;
+  m.n_experts = experts;
+  m.experts_active = experts > 1 ? 2 : 1;
+  m.ffn_intermediate = 48;
+  m.max_seq_len = 128;
+  m.vocab_size = 96;
+  return m;
+}
+
+const TransformerWeights& tiny_weights() {
+  static const TransformerWeights w = TransformerWeights::random(tiny_config(), 42);
+  return w;
+}
+
+// The same model must agree across backends to vectorization tolerance, and
+// the batched==serial invariant must hold bitwise WITHIN each backend.
+TEST(ForcedBackend, EngineAgreesAcrossBackendsAndStaysBatchedIdentical) {
+  const std::vector<TokenId> toks{5, 11, 3, 7, 2};
+  std::vector<std::vector<float>> per_backend;
+  for (ker::Backend b : testable_backends()) {
+    ker::ScopedBackend forced(b);
+    const MiniTransformer model(tiny_weights());
+    ContiguousKvStore kv(model.kv_dims());
+    std::vector<float> serial;
+    for (TokenId t : toks) serial = model.forward(t, kv);
+
+    const BatchedTransformer batched(tiny_weights());
+    ContiguousKvStore bkv(model.kv_dims());
+    std::vector<float> batched_logits;
+    for (TokenId t : toks) {
+      KvStore* kvp = &bkv;
+      batched_logits = batched.forward_batch(std::vector<TokenId>{t},
+                                             std::span<KvStore* const>(&kvp, 1))[0];
+    }
+    expect_bitwise(serial, batched_logits,
+                   std::string(ker::backend_name(b)) + " batched==serial");
+    per_backend.push_back(std::move(serial));
+  }
+  for (std::size_t i = 1; i < per_backend.size(); ++i)
+    expect_close(per_backend[0], per_backend[i], "cross-backend logits");
+}
+
+// ---- batched prefill ----------------------------------------------------------
+
+TEST(Prefill, BitIdenticalToTokenLoop) {
+  const MiniTransformer model(tiny_weights());
+  const std::vector<TokenId> prompt{5, 11, 3, 7, 2, 9, 1, 14, 6};
+
+  ContiguousKvStore kv_loop(model.kv_dims());
+  std::vector<float> loop_logits;
+  for (TokenId t : prompt) loop_logits = model.forward(t, kv_loop);
+
+  ContiguousKvStore kv_pre(model.kv_dims());
+  const auto pre_logits = model.prefill(prompt, kv_pre);
+
+  expect_bitwise(loop_logits, pre_logits, "prefill logits");
+  ASSERT_EQ(kv_loop.size(), kv_pre.size());
+  for (int l = 0; l < tiny_config().n_layers; ++l)
+    for (std::size_t p = 0; p < kv_loop.size(); ++p) {
+      const auto ka = kv_loop.key(l, p), kb = kv_pre.key(l, p);
+      const auto va = kv_loop.value(l, p), vb = kv_pre.value(l, p);
+      expect_bitwise(std::vector<float>(ka.begin(), ka.end()),
+                     std::vector<float>(kb.begin(), kb.end()), "prefill K");
+      expect_bitwise(std::vector<float>(va.begin(), va.end()),
+                     std::vector<float>(vb.begin(), vb.end()), "prefill V");
+    }
+}
+
+TEST(Prefill, MidSequenceChunkMatchesTokenLoop) {
+  const MiniTransformer model(tiny_weights());
+  const std::vector<TokenId> prefix{4, 8}, chunk{15, 2, 9, 3};
+
+  ContiguousKvStore kv_loop(model.kv_dims());
+  std::vector<float> loop_logits;
+  for (TokenId t : prefix) loop_logits = model.forward(t, kv_loop);
+  for (TokenId t : chunk) loop_logits = model.forward(t, kv_loop);
+
+  ContiguousKvStore kv_pre(model.kv_dims());
+  for (TokenId t : prefix) model.forward(t, kv_pre);
+  const auto pre_logits = model.prefill(chunk, kv_pre);
+  expect_bitwise(loop_logits, pre_logits, "mid-sequence prefill");
+  // Decode after the prefill continues bit-identically.
+  expect_bitwise(model.forward(7, kv_loop), model.forward(7, kv_pre),
+                 "decode after prefill");
+}
+
+TEST(Prefill, WorksOnPagedStoresAndMoESlidingWindow) {
+  // MoE + sliding window exercises the per-token fallbacks inside prefill.
+  auto cfg = tiny_config(AttentionKind::kGQA, 4);
+  cfg.sliding_window = 3;
+  const auto w = TransformerWeights::random(cfg, 9);
+  const MiniTransformer model(w);
+  const std::vector<TokenId> prompt{5, 11, 3, 7, 2, 9, 1};
+
+  PagedKvPool pool(64, 4, model.kv_dims());
+  PagedKvStore kv_loop(pool, 1), kv_pre(pool, 2);
+  std::vector<float> loop_logits;
+  for (TokenId t : prompt) loop_logits = model.forward(t, kv_loop);
+  const auto pre_logits = model.prefill(prompt, kv_pre);
+  expect_bitwise(loop_logits, pre_logits, "paged MoE sliding-window prefill");
+}
+
+TEST(Prefill, EnforcesContracts) {
+  const MiniTransformer model(tiny_weights());
+  ContiguousKvStore kv(model.kv_dims());
+  const std::vector<TokenId> empty;
+  const std::vector<TokenId> bad_token{1, 2, 999};
+  EXPECT_THROW(model.prefill(empty, kv), llmib::util::ContractViolation);
+  EXPECT_THROW(model.prefill(bad_token, kv), llmib::util::ContractViolation);
+  const std::vector<TokenId> too_long(
+      static_cast<std::size_t>(tiny_config().max_seq_len) + 1, 1);
+  EXPECT_THROW(model.prefill(too_long, kv), llmib::util::ContractViolation);
+}
+
+TEST(Prefill, ShardedMatchesSerialBitwise) {
+  const std::vector<TokenId> prompt{5, 11, 3, 7, 2, 9};
+  const MiniTransformer serial(tiny_weights());
+  ContiguousKvStore kv(serial.kv_dims());
+  std::vector<float> serial_logits;
+  for (TokenId t : prompt) serial_logits = serial.forward(t, kv);
+  const auto serial_next = serial.forward(7, kv);
+
+  for (int tp : {1, 2}) {
+    ShardedTransformer sharded(tiny_weights(), tp, 1);
+    const auto pre = sharded.prefill(prompt);
+    expect_bitwise(serial_logits, pre, "sharded prefill tp=" + std::to_string(tp));
+    EXPECT_EQ(sharded.context_size(), prompt.size());
+    // Decode after a sharded prefill continues bit-identically too.
+    expect_bitwise(serial_next, sharded.forward(7),
+                   "sharded decode after prefill");
+  }
+}
+
+TEST(Prefill, GeneratorUsesItWithUnchangedOutput) {
+  const MiniTransformer model(tiny_weights());
+  const std::vector<TokenId> prompt{5, 11, 3, 7, 2, 9, 1, 14};
+  GenerateOptions opts;
+  opts.max_new_tokens = 6;
+  const auto cached = generate(model, prompt, opts);
+  // Token-by-token reference via the uncached path (Fig. 2a invariant).
+  opts.use_kv_cache = false;
+  const auto uncached = generate(model, prompt, opts);
+  EXPECT_EQ(cached.tokens, uncached.tokens);
+  // Cost accounting still reports one pass per prompt token.
+  EXPECT_EQ(cached.forward_passes, prompt.size() + 5);
+}
+
+}  // namespace
