@@ -23,8 +23,8 @@ int main() {
                                           registry);
   const sim::ServingSimulator serving(simulator);
 
-  report::Table t({"batching", "offered rps", "achieved rps", "p95 TTFT (s)",
-                   "p95 e2e (s)"});
+  report::Table t({"batching", "offered_rps", "achieved_rps", "ttft_p95_s",
+                   "e2e_p95_s"});
   std::map<std::string, sim::ServingMetrics> at_load;
   for (const auto* fw : {"vLLM", "vLLM-static-batching"}) {
     for (double rps : {1.0, 8.0}) {

@@ -75,8 +75,8 @@ int main() {
     policies.push_back(degr);
   }
 
-  report::Table t({"policy", "goodput", "avail", "post-fault avail", "failed",
-                   "timed out", "shed", "retries", "MTTR (s)"});
+  report::Table t({"policy", "goodput", "avail", "post_fault_avail", "failed",
+                   "timed_out", "shed", "retries", "mttr_s"});
   std::map<std::string, sim::ServingMetrics> by_policy;
   for (const auto& p : policies) {
     sim::ServingWorkload w = wl;

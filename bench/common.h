@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/suite.h"
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
 #include "report/shape_check.h"
@@ -81,12 +82,31 @@ inline void write_csv(const std::string& experiment_id, const report::Table& tab
   if (out) out << table.to_csv();
 }
 
-/// Standard epilogue: print table, shape summary, write artifact.
+/// Write the run's observability snapshot next to the table CSV
+/// (bench_results/<id>.obs.csv): the process-wide registry — engine
+/// counters, scheduler decisions, fault events — merged with any
+/// run-specific snapshot the bench passes in. No-op when nothing was
+/// recorded, so cost-model-only benches produce no empty artifact.
+inline void emit_artifacts(const std::string& experiment_id,
+                           const obs::Snapshot& extra = {}) {
+  obs::Snapshot snap = obs::Registry::global().snapshot();
+  snap.merge(extra);
+  if (snap.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  obs::write_snapshot_csv_file(snap,
+                               "bench_results/" + experiment_id + ".obs.csv");
+}
+
+/// Standard epilogue: print table, shape summary, write artifacts (the
+/// table CSV plus the obs snapshot).
 inline int finish(const std::string& experiment_id, const std::string& title,
-                  const report::Table& table, const report::ShapeReport& shapes) {
+                  const report::Table& table, const report::ShapeReport& shapes,
+                  const obs::Snapshot& extra = {}) {
   std::printf("== %s — %s ==\n\n%s\n%s\n", experiment_id.c_str(), title.c_str(),
               table.to_text().c_str(), shapes.summary().c_str());
   write_csv(experiment_id, table);
+  emit_artifacts(experiment_id, extra);
   return 0;
 }
 

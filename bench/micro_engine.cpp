@@ -26,6 +26,7 @@
 #include "engine/tensor_ops.h"
 #include "engine/weights.h"
 #include "kv/paged_allocator.h"
+#include "obs/obs.h"
 #include "quant/int8.h"
 #include "sched/scheduler.h"
 #include "util/rng.h"
@@ -227,6 +228,39 @@ void BM_GemvInt8Backend(benchmark::State& state, ker::Backend b) {
                           kGemvN);
 }
 
+// ---- observability overhead ---------------------------------------------------
+// The acceptance gate for the obs layer: with tracing compiled in but idle,
+// the instrumented decode step must stay within noise (<2%) of itself —
+// compare TracingIdle with the plain BM_DecodeStep_Contiguous numbers.
+// TracingActive shows the full recording cost for context.
+
+void BM_DecodeStep_Tracing(benchmark::State& state, bool active) {
+  obs::TraceBuffer::global().clear();
+  obs::set_tracing(active);
+  const engine::MiniTransformer model(weights());
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::ContiguousKvStore kv(model.kv_dims());
+    std::vector<engine::TokenId> ctx(64, 1);
+    model.prefill(ctx, kv);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.forward(2, kv));
+  }
+  obs::set_tracing(false);
+  obs::TraceBuffer::global().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The raw cost of one idle instrumentation site (a single relaxed load).
+void BM_SpanIdleBranch(benchmark::State& state) {
+  obs::set_tracing(false);
+  for (auto _ : state) {
+    obs::Span span("bench.idle", obs::Cat::kBench);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanIdleBranch);
+
 void BM_PagedAllocatorChurn(benchmark::State& state) {
   for (auto _ : state) {
     kv::PagedKvAllocator alloc(1024, 16);
@@ -335,6 +369,10 @@ int main(int argc, char** argv) {
       ->Arg(8);
   benchmark::RegisterBenchmark("BM_BatchedMatmul/naive", BM_BatchedMatmul, false)
       ->Arg(8);
+  benchmark::RegisterBenchmark("BM_DecodeStep/TracingIdle", BM_DecodeStep_Tracing,
+                               false);
+  benchmark::RegisterBenchmark("BM_DecodeStep/TracingActive", BM_DecodeStep_Tracing,
+                               true);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -21,8 +21,8 @@ int main() {
   };
   const std::vector<double> loads = {0.5, 2, 8, 16, 32};
 
-  report::Table t({"setup", "offered rps", "achieved rps", "p50 TTFT (s)",
-                   "p95 TTFT (s)", "p95 e2e (s)", "saturated"});
+  report::Table t({"setup", "offered_rps", "achieved_rps", "ttft_p50_s",
+                   "ttft_p95_s", "e2e_p95_s", "saturated"});
   std::map<std::string, std::map<double, sim::ServingMetrics>> grid;
   for (const auto& [label, c] : {std::pair<std::string, sim::SimConfig>{
                                      "A100+vLLM", cfg("A100", "vLLM")},
@@ -69,6 +69,8 @@ int main() {
         bench::tput(bench::point("LLaMA-3-8B", "A100", "vLLM", 32, 256));
     return grid["A100+vLLM"][32].throughput_tps > 0.3 * offline;
   }());
+  // Ship the top-load A100 point's snapshot with the artifact — the row the
+  // saturation claims above are about.
   return bench::finish("serving_load", "Online serving: latency vs offered load", t,
-                       shapes);
+                       shapes, grid["A100+vLLM"][32].to_snapshot());
 }

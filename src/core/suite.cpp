@@ -7,12 +7,21 @@
 #include "frameworks/traits.h"
 #include "hw/device_model.h"
 #include "models/costs.h"
+#include "report/pool_stats.h"
 #include "util/check.h"
 #include "util/units.h"
 
 namespace llmib::core {
 
 using util::require;
+
+obs::Snapshot SweepExecutionStats::to_snapshot() const {
+  obs::Snapshot snap;
+  snap.set_counter("sweep.workers", workers);
+  snap.set_gauge("sweep.wall_s", wall_s);
+  snap.merge(report::snapshot_of(pool));
+  return snap;
+}
 
 std::vector<const ResultRow*> ResultSet::where(
     const std::optional<std::string>& model,
@@ -74,7 +83,7 @@ std::vector<report::DashboardRecord> ResultSet::dashboard_records() const {
 
 report::Table ResultSet::to_table() const {
   report::Table t({"model", "hw", "framework", "devices", "batch", "in", "out",
-                   "tput tok/s", "ttft ms", "itl ms", "power W", "status"});
+                   "throughput_tps", "ttft_s", "itl_s", "power_w", "status"});
   for (const auto& row : rows_) {
     t.add_row({row.config.model, row.config.accelerator, row.config.framework,
                std::to_string(row.config.plan.devices()),
@@ -82,8 +91,8 @@ report::Table ResultSet::to_table() const {
                std::to_string(row.config.input_tokens),
                std::to_string(row.config.output_tokens),
                util::format_fixed(row.result.throughput_tps, 1),
-               util::format_fixed(row.result.ttft_s * 1e3, 1),
-               util::format_fixed(row.result.itl_s * 1e3, 2),
+               util::format_fixed(row.result.ttft_s, 4),
+               util::format_fixed(row.result.itl_s, 5),
                util::format_fixed(row.result.average_power_w, 0),
                sim::run_status_name(row.result.status)});
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/snapshot.h"
 #include "report/dashboard.h"
 #include "report/table.h"
 #include "sim/simulator.h"
@@ -44,6 +45,11 @@ struct SweepExecutionStats {
   int workers = 1;
   double wall_s = 0.0;
   std::vector<util::ThreadPool::WorkerStats> pool;  ///< empty when serial
+
+  /// Execution behavior as an obs::Snapshot: `sweep.workers`/`sweep.wall_s`
+  /// plus the `pool.*` worker counters — the uniform reporting surface
+  /// shared with SimResult and ServingMetrics.
+  obs::Snapshot to_snapshot() const;
 };
 
 /// Collection of benchmark points with the query helpers the figures need.

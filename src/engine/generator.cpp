@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "engine/tensor_ops.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace llmib::engine {
@@ -98,10 +99,14 @@ void ServingEngine::preempt(sched::RequestId id, Live& live) {
   live.preempted = true;
   ++preemptions_;
   ++preemption_counts_[id];
+  obs::instant("engine.preempt", obs::Cat::kEngine, id);
+  static obs::Counter& c = obs::Registry::global().counter("engine.preemptions");
+  c.add(1);
 }
 
 bool ServingEngine::try_restore(sched::RequestId id, Live& live) {
   (void)id;
+  obs::Span span("engine.restore", obs::Cat::kEngine, id);
   // Tokens actually fed so far: the prefilled prompt portion plus every
   // generated token except the pending (unfed) next_input.
   std::vector<TokenId> fed(live.prompt.begin(),
@@ -149,9 +154,14 @@ std::vector<float> ServingEngine::forward_with_preemption(sched::RequestId id,
 
 bool ServingEngine::step() {
   if (scheduler_.all_done()) return false;
+  obs::Span step_span("engine.step", obs::Cat::kEngine, iterations_);
   const sched::StepPlan plan = scheduler_.plan_step();
   if (plan.empty()) return false;
   ++iterations_;
+  {
+    static obs::Counter& c = obs::Registry::global().counter("engine.iterations");
+    c.add(1);
+  }
 
   // Helper: feed prompt tokens (respecting chunking); returns true when the
   // prompt is complete and the first token has been sampled.
@@ -194,6 +204,7 @@ bool ServingEngine::step() {
   };
 
   for (sched::RequestId id : plan.prefills) {
+    obs::Span admit_span("engine.admit", obs::Cat::kEngine, id);
     Live live;
     live.prompt = prompts_.at(id);
     live.kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
@@ -210,6 +221,8 @@ bool ServingEngine::step() {
 
   // Batched decode: one weight-stationary pass for every plain decode
   // (bit-identical to the per-sequence loop; see BatchedTransformer).
+  obs::Span decode_span("engine.decode", obs::Cat::kEngine,
+                        static_cast<std::int64_t>(plan.decodes.size()));
   if (cfg_.batched_decode) {
     std::vector<sched::RequestId> plain;
     std::vector<TokenId> toks;

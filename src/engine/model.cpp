@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "engine/tensor_ops.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace llmib::engine {
@@ -183,6 +184,7 @@ void MiniTransformer::ffn(int layer, std::span<const float> normed,
 }
 
 std::vector<float> MiniTransformer::forward(TokenId token, KvStore& kv) const {
+  obs::Span span("engine.decode_token", obs::Cat::kEngine);
   const auto& cfg = weights_.config;
   require(token >= 0 && token < cfg.vocab_size, "MiniTransformer: token out of range");
   require(static_cast<std::int64_t>(kv.size()) < cfg.max_seq_len,
@@ -195,6 +197,7 @@ std::vector<float> MiniTransformer::forward(TokenId token, KvStore& kv) const {
                                                         (static_cast<std::size_t>(token) + 1) * hidden));
   std::vector<float> normed(hidden), delta(hidden);
   for (int l = 0; l < cfg.n_layers; ++l) {
+    obs::Span layer_span("engine.layer", obs::Cat::kEngine, l);
     const auto& lw = weights_.layers[static_cast<std::size_t>(l)];
     rmsnorm(x, lw.attn_norm, normed);
     attention(l, normed, delta, kv);
@@ -225,6 +228,8 @@ std::vector<float> MiniTransformer::prefill(std::span<const TokenId> tokens,
     return logits;
   }
 
+  obs::Span span("engine.prefill", obs::Cat::kEngine,
+                 static_cast<std::int64_t>(tokens.size()));
   const auto& cfg = weights_.config;
   const std::size_t T = tokens.size();
   const std::size_t base = kv.size();
@@ -257,6 +262,7 @@ std::vector<float> MiniTransformer::prefill(std::span<const TokenId> tokens,
   std::vector<std::vector<float>> chunk_k(dims.size()), chunk_v(dims.size());
 
   for (int l = 0; l < cfg.n_layers; ++l) {
+    obs::Span layer_span("engine.layer", obs::Cat::kEngine, l);
     const auto& lw = weights_.layers[static_cast<std::size_t>(l)];
     const std::size_t kv_dim = dims[static_cast<std::size_t>(l)];
     const std::size_t n_kv_heads = kv_dim / head_dim;

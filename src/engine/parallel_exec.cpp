@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "engine/tensor_ops.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace llmib::engine {
@@ -93,8 +94,14 @@ std::vector<util::ThreadPool::WorkerStats> ShardedTransformer::pool_stats() cons
 
 void ShardedTransformer::dispatch(const std::function<void(std::size_t)>& fn) {
   const auto shards = static_cast<std::size_t>(tp_ * ep_);
+  obs::Span span("engine.shard_dispatch", obs::Cat::kEngine,
+                 static_cast<std::int64_t>(shards));
   if (pool_) {
-    pool_->run(shards, fn);
+    pool_->run(shards, [&fn](std::size_t s) {
+      obs::Span shard_span("engine.shard", obs::Cat::kEngine,
+                           static_cast<std::int64_t>(s));
+      fn(s);
+    });
   } else {
     fn(0);
   }

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.h"
+
+namespace llmib::obs {
+
+/// Monotonic integer counter. Relaxed atomic adds: totals are deterministic
+/// under any interleaving (integer addition commutes), which is the property
+/// the pool-backed sweep determinism test pins down.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time double. set() is last-writer-wins (call from one logical
+/// owner); max_of() is a lock-free running maximum safe from any thread.
+/// Gauges are excluded from the determinism contract.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void max_of(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram over integer observations (use nanoseconds for
+/// durations). Bucket layout is fixed at registration; counts and sum are
+/// integers, so aggregation is deterministic.
+class Histogram {
+ public:
+  /// `bounds`: ascending inclusive upper bounds; a final +inf bucket is
+  /// implicit. Throws std::invalid_argument if not strictly ascending.
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+  HistogramValue value(const std::string& name) const;
+  void reset();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Ascending power-of-~4 latency buckets from 1us to ~17s, in nanoseconds —
+/// the default layout for duration histograms.
+std::vector<std::int64_t> default_latency_bounds_ns();
+
+/// Process-wide metrics registry: the metric half of the observability
+/// facade (the span half lives in obs/span.h). Registration takes a lock;
+/// the returned references are stable for the process lifetime and
+/// increment lock-free, so hot paths cache them in a function-local static:
+///
+///   static obs::Counter& c = obs::Registry::global().counter("sched.admitted");
+///   c.add(n);
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-registering an existing histogram name returns the existing
+  /// instance (the first bucket layout wins).
+  Histogram& histogram(const std::string& name, std::vector<std::int64_t> bounds);
+
+  /// Point-in-time export of every registered metric, sorted by name.
+  Snapshot snapshot() const;
+
+  /// Zero every value, keeping registrations (handles stay valid). For
+  /// tests that compare totals across runs.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Convenience for cold paths (does a map lookup under the registry lock).
+inline void count(const std::string& name, std::int64_t n = 1) {
+  Registry::global().counter(name).add(n);
+}
+
+}  // namespace llmib::obs

@@ -1,0 +1,14 @@
+#include "obs/obs.h"
+
+#include <fstream>
+
+namespace llmib::obs {
+
+bool write_snapshot_csv_file(const Snapshot& snap, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << snap.to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace llmib::obs

@@ -1,0 +1,24 @@
+#pragma once
+
+/// Single include for the observability layer: metrics registry + snapshot
+/// (always compiled) and span tracing (compile-time removable with
+/// -DLLMIB_OBS=OFF, one runtime branch per site when idle).
+///
+/// Instrumentation idioms (see docs/OBSERVABILITY.md):
+///   obs::Span s("engine.step", obs::Cat::kEngine);           // wall clock
+///   obs::emit_span("sim.prefill", obs::Cat::kSim, t0, dur);  // sim clock
+///   static obs::Counter& c =
+///       obs::Registry::global().counter("sched.admitted");   // hot counter
+///   c.add(1);
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+
+namespace llmib::obs {
+
+/// Write `snap.to_csv()` to `path`; returns false on I/O failure.
+bool write_snapshot_csv_file(const Snapshot& snap, const std::string& path);
+
+}  // namespace llmib::obs

@@ -1,0 +1,151 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace llmib::obs {
+
+namespace {
+
+template <typename T>
+typename std::vector<T>::iterator lower_by_name(std::vector<T>& v,
+                                                const std::string& name) {
+  return std::lower_bound(v.begin(), v.end(), name,
+                          [](const T& a, const std::string& b) { return a.name < b; });
+}
+
+template <typename T>
+const T* find_by_name(const std::vector<T>& v, const std::string& name) {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const T& a, const std::string& b) { return a.name < b; });
+  return it != v.end() && it->name == name ? &*it : nullptr;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Snapshot::set_counter(const std::string& name, std::int64_t value) {
+  auto it = lower_by_name(counters_, name);
+  if (it != counters_.end() && it->name == name) {
+    it->value = value;
+  } else {
+    counters_.insert(it, {name, value});
+  }
+}
+
+void Snapshot::set_gauge(const std::string& name, double value) {
+  auto it = lower_by_name(gauges_, name);
+  if (it != gauges_.end() && it->name == name) {
+    it->value = value;
+  } else {
+    gauges_.insert(it, {name, value});
+  }
+}
+
+void Snapshot::add_histogram(HistogramValue h) {
+  auto it = lower_by_name(histograms_, h.name);
+  if (it != histograms_.end() && it->name == h.name) {
+    *it = std::move(h);
+  } else {
+    histograms_.insert(it, std::move(h));
+  }
+}
+
+std::int64_t Snapshot::counter_or(const std::string& name,
+                                  std::int64_t fallback) const {
+  const auto* c = find_by_name(counters_, name);
+  return c ? c->value : fallback;
+}
+
+double Snapshot::gauge_or(const std::string& name, double fallback) const {
+  const auto* g = find_by_name(gauges_, name);
+  return g ? g->value : fallback;
+}
+
+bool Snapshot::has_counter(const std::string& name) const {
+  return find_by_name(counters_, name) != nullptr;
+}
+
+bool Snapshot::has_gauge(const std::string& name) const {
+  return find_by_name(gauges_, name) != nullptr;
+}
+
+const HistogramValue* Snapshot::histogram(const std::string& name) const {
+  return find_by_name(histograms_, name);
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& c : other.counters_)
+    set_counter(c.name, counter_or(c.name, 0) + c.value);
+  for (const auto& g : other.gauges_) set_gauge(g.name, g.value);
+  for (const auto& h : other.histograms_) {
+    const HistogramValue* mine = histogram(h.name);
+    if (mine == nullptr || mine->bounds != h.bounds) {
+      add_histogram(h);  // replace on bucket-layout mismatch
+      continue;
+    }
+    HistogramValue merged = *mine;
+    for (std::size_t i = 0; i < merged.counts.size() && i < h.counts.size(); ++i)
+      merged.counts[i] += h.counts[i];
+    merged.sum += h.sum;
+    add_histogram(std::move(merged));
+  }
+}
+
+std::string Snapshot::to_csv() const {
+  std::string out = "metric,type,value\n";
+  for (const auto& c : counters_)
+    out += c.name + ",counter," + std::to_string(c.value) + "\n";
+  for (const auto& g : gauges_)
+    out += g.name + ",gauge," + format_double(g.value) + "\n";
+  for (const auto& h : histograms_) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string bucket =
+          i < h.bounds.size() ? "le_" + std::to_string(h.bounds[i]) : "le_inf";
+      out += h.name + "." + bucket + ",histogram," + std::to_string(h.counts[i]) +
+             "\n";
+    }
+    out += h.name + ".sum,histogram," + std::to_string(h.sum) + "\n";
+    out += h.name + ".count,histogram," + std::to_string(h.total()) + "\n";
+  }
+  return out;
+}
+
+bool Snapshot::deterministic_equal(const Snapshot& other) const {
+  if (counters_.size() != other.counters_.size()) return false;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].name != other.counters_[i].name ||
+        counters_[i].value != other.counters_[i].value)
+      return false;
+  }
+  if (histograms_.size() != other.histograms_.size()) return false;
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const auto& a = histograms_[i];
+    const auto& b = other.histograms_[i];
+    if (a.name != b.name || a.bounds != b.bounds || a.counts != b.counts ||
+        a.sum != b.sum)
+      return false;
+  }
+  return true;
+}
+
+void PhaseBreakdown::export_into(Snapshot& snap, const std::string& prefix) const {
+  snap.set_gauge(prefix + ".prefill_s", prefill_s);
+  snap.set_gauge(prefix + ".decode_s", decode_s);
+  snap.set_gauge(prefix + ".idle_s", idle_s);
+  snap.set_gauge(prefix + ".compute_s", compute_s);
+  snap.set_gauge(prefix + ".memory_s", memory_s);
+  snap.set_gauge(prefix + ".comm_s", comm_s);
+  snap.set_gauge(prefix + ".host_s", host_s);
+  snap.set_counter(prefix + ".iterations", iterations);
+  snap.set_counter(prefix + ".prefill_steps", prefill_steps);
+  snap.set_counter(prefix + ".decode_steps", decode_steps);
+}
+
+}  // namespace llmib::obs

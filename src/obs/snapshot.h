@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llmib::obs {
+
+/// One counter sample: monotonically accumulated integer (deterministic
+/// under any thread interleaving — integer addition is commutative).
+struct CounterValue {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// One gauge sample: a point-in-time double (wall times, rates, ratios).
+/// Gauges are NOT part of the determinism contract — they may legitimately
+/// differ between serial and pool-backed executions.
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Fixed-bucket histogram with integer observations (e.g. nanoseconds).
+/// `bounds` are ascending inclusive upper bounds; the implicit last bucket
+/// is +inf, so counts.size() == bounds.size() + 1. Integer counts and sum
+/// make aggregation deterministic.
+struct HistogramValue {
+  std::string name;
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::int64_t sum = 0;
+
+  std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (auto c : counts) n += c;
+    return n;
+  }
+};
+
+/// The single reporting surface of the observability layer (DESIGN.md,
+/// docs/OBSERVABILITY.md). Every metrics producer in the stack —
+/// sim::ServingMetrics, sim::SimResult, core::SweepExecutionStats, the
+/// worker-pool counters, and the process-wide obs::Registry — exports into
+/// this one shape, and every consumer (benches, the dashboard, llmib_cli,
+/// CSV artifacts) reads it back out. Entries are kept sorted by name, so
+/// two snapshots with the same content serialize identically.
+class Snapshot {
+ public:
+  /// Insert-or-overwrite; keeps the counter list sorted by name.
+  void set_counter(const std::string& name, std::int64_t value);
+  void set_gauge(const std::string& name, double value);
+  void add_histogram(HistogramValue h);
+
+  std::int64_t counter_or(const std::string& name, std::int64_t fallback = 0) const;
+  double gauge_or(const std::string& name, double fallback = 0.0) const;
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  const HistogramValue* histogram(const std::string& name) const;
+
+  const std::vector<CounterValue>& counters() const { return counters_; }
+  const std::vector<GaugeValue>& gauges() const { return gauges_; }
+  const std::vector<HistogramValue>& histograms() const { return histograms_; }
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Merge `other` in: counters/histogram buckets add, gauges overwrite.
+  void merge(const Snapshot& other);
+
+  /// `metric,type,value` rows (RFC-4180, header included). Histograms
+  /// flatten to `<name>.le_<bound>` bucket rows plus `.sum`/`.count`.
+  std::string to_csv() const;
+
+  /// True when every counter and histogram matches `other` exactly (the
+  /// determinism contract; gauges are deliberately excluded).
+  bool deterministic_equal(const Snapshot& other) const;
+
+ private:
+  std::vector<CounterValue> counters_;   // sorted by name
+  std::vector<GaugeValue> gauges_;       // sorted by name
+  std::vector<HistogramValue> histograms_;  // sorted by name
+};
+
+/// Where the time of a serving/benchmark run went, phase by phase — the
+/// iteration-level breakdown LLMServingSim-style simulators use to make a
+/// run diagnosable. Filled by the serving loops (simulated clock) and the
+/// analytical simulator (per-step roofline terms); rendered by llmib_cli's
+/// phase table and exported through Snapshot.
+struct PhaseBreakdown {
+  double prefill_s = 0.0;  ///< time in prefill steps
+  double decode_s = 0.0;   ///< time in decode steps
+  double idle_s = 0.0;     ///< event-loop waits with no runnable work
+
+  // Roofline terms accumulated across all steps (overlap-modelled, so the
+  // terms need not sum to prefill_s + decode_s).
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double comm_s = 0.0;
+  double host_s = 0.0;
+
+  std::int64_t iterations = 0;
+  std::int64_t prefill_steps = 0;
+  std::int64_t decode_steps = 0;
+
+  double active_s() const { return prefill_s + decode_s; }
+
+  /// Export as `<prefix>.prefill_s`, `<prefix>.decode_steps`, ... entries.
+  void export_into(Snapshot& snap, const std::string& prefix) const;
+};
+
+}  // namespace llmib::obs

@@ -1,0 +1,227 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace llmib::obs {
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kEngine: return "engine";
+    case Cat::kSim: return "sim";
+    case Cat::kSched: return "sched";
+    case Cat::kPool: return "pool";
+    case Cat::kFault: return "fault";
+    case Cat::kBench: return "bench";
+  }
+  return "?";
+}
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}
+
+void set_tracing(bool on) {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t claim_sim_track() {
+  static std::atomic<std::uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Microseconds since the process's trace epoch (first use).
+double wall_now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch).count();
+}
+
+thread_local std::uint16_t tls_depth = 0;
+
+}  // namespace
+
+/// Fixed-capacity per-thread ring. The push path locks only this ring's
+/// mutex (uncontended except against a concurrent drain), overwriting the
+/// oldest retained event when full.
+struct TraceBuffer::ThreadRing {
+  std::mutex mu;
+  std::vector<SpanEvent> buf;  // capacity-sized once first event arrives
+  std::size_t capacity = 0;
+  std::size_t head = 0;  // next write index once full
+  std::size_t size = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+
+  void push(const SpanEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (size < capacity) {
+      buf.push_back(ev);
+      ++size;
+      return;
+    }
+    buf[head] = ev;  // overwrite oldest
+    head = (head + 1) % capacity;
+    ++dropped;
+  }
+};
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer* b = new TraceBuffer();  // never destroyed: worker
+  return *b;                                  // threads may outlive main's statics
+}
+
+TraceBuffer::ThreadRing& TraceBuffer::ring_for_this_thread() {
+  thread_local ThreadRing* ring = nullptr;
+  thread_local std::uint64_t ring_generation = ~0ull;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (ring == nullptr || ring_generation != gen) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto owned = std::make_unique<ThreadRing>();
+    owned->capacity = capacity_ == 0 ? 1 : capacity_;
+    owned->buf.reserve(owned->capacity);
+    owned->tid = static_cast<std::uint32_t>(rings_.size());
+    ring = owned.get();
+    rings_.push_back(std::move(owned));
+    ring_generation = generation_.load(std::memory_order_relaxed);
+  }
+  return *ring;
+}
+
+void TraceBuffer::record(const SpanEvent& ev) {
+  ThreadRing& ring = ring_for_this_thread();
+  SpanEvent copy = ev;
+  if (!copy.simulated) copy.tid = ring.tid;
+  ring.push(copy);
+}
+
+std::vector<SpanEvent> TraceBuffer::events() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> rl(ring->mu);
+      out.insert(out.end(), ring->buf.begin(), ring->buf.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.simulated != b.simulated) return !a.simulated;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;  // parents (longer) before children at same start
+  });
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rl(ring->mu);
+    n += ring->dropped;
+  }
+  return n;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rl(ring->mu);
+    n += ring->size;
+  }
+  return n;
+}
+
+void TraceBuffer::detach_rings_locked() {
+  // Old rings stay alive on the retired list — a thread mid-record may
+  // still hold a pointer into one. Bumping the generation makes every
+  // thread re-register on its next event, so a retired ring only ever
+  // absorbs that thread's single in-flight push.
+  for (auto& r : rings_) retired_.push_back(std::move(r));
+  rings_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  detach_rings_locked();
+}
+
+void TraceBuffer::set_capacity_per_thread(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap == 0 ? 1 : cap;
+  detach_rings_locked();
+}
+
+std::size_t TraceBuffer::capacity_per_thread() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+#if !defined(LLMIB_OBS_DISABLED)
+
+void Span::open(const char* name, Cat cat, std::int64_t arg) {
+  name_ = name;
+  cat_ = cat;
+  arg_ = arg;
+  depth_ = tls_depth++;
+  start_us_ = wall_now_us();
+}
+
+void Span::close() {
+  SpanEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ts_us = start_us_;
+  ev.dur_us = wall_now_us() - start_us_;
+  ev.depth = depth_;
+  ev.arg = arg_;
+  if (tls_depth > 0) --tls_depth;
+  TraceBuffer::global().record(ev);
+}
+
+void emit_span(const char* name, Cat cat, double start_s, double dur_s,
+               std::uint32_t track, std::int64_t arg) {
+  if (!tracing_enabled()) return;
+  SpanEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_us = start_s * 1e6;
+  ev.dur_us = dur_s * 1e6;
+  ev.tid = track;
+  ev.simulated = true;
+  ev.arg = arg;
+  TraceBuffer::global().record(ev);
+}
+
+void emit_instant(const char* name, Cat cat, double t_s, std::uint32_t track,
+                  std::int64_t arg) {
+  if (!tracing_enabled()) return;
+  SpanEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_us = t_s * 1e6;
+  ev.tid = track;
+  ev.simulated = true;
+  ev.instant = true;
+  ev.arg = arg;
+  TraceBuffer::global().record(ev);
+}
+
+void instant(const char* name, Cat cat, std::int64_t arg) {
+  if (!tracing_enabled()) return;
+  SpanEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_us = wall_now_us();
+  ev.instant = true;
+  ev.arg = arg;
+  TraceBuffer::global().record(ev);
+}
+
+#endif  // !LLMIB_OBS_DISABLED
+
+}  // namespace llmib::obs

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace llmib::obs {
+
+/// Span/event category — becomes the `cat` field of the Chrome trace.
+enum class Cat : std::uint8_t { kEngine, kSim, kSched, kPool, kFault, kBench };
+
+const char* cat_name(Cat c);
+
+/// One completed span (or instant event). `name` must point at static
+/// storage (use string literals) — spans never copy the name, which keeps
+/// the hot path allocation-free.
+struct SpanEvent {
+  const char* name = "";
+  Cat cat = Cat::kEngine;
+  double ts_us = 0.0;   ///< start; wall: since trace epoch, sim: sim-time * 1e6
+  double dur_us = 0.0;  ///< 0 for instants
+  std::uint32_t tid = 0;    ///< wall: recording thread's track; sim: virtual track
+  std::uint16_t depth = 0;  ///< nesting depth at open (wall spans)
+  bool simulated = false;   ///< true => simulated clock (exported on its own pid)
+  bool instant = false;     ///< Chrome 'i' phase instead of 'X'
+  std::int64_t arg = -1;    ///< exported as args:{"v":...} when >= 0
+};
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+}
+
+/// The one runtime branch every instrumentation site pays when tracing is
+/// compiled in but idle (the micro_engine decode bench stays within noise
+/// of the uninstrumented path; docs/OBSERVABILITY.md records the numbers).
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on);
+
+/// Claim a fresh virtual track for simulated-clock spans. Emitters that can
+/// run concurrently (sweep points) each claim one so their timelines never
+/// interleave on the exported trace.
+std::uint32_t claim_sim_track();
+
+/// Bounded collector of span events: one fixed-capacity ring per recording
+/// thread (lock per push is per-thread, uncontended), registered with this
+/// process-wide collector. On overflow the OLDEST events of that thread are
+/// overwritten and counted in dropped().
+class TraceBuffer {
+ public:
+  static TraceBuffer& global();
+
+  /// Default events kept per thread before overwrite.
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// Append one event to the calling thread's ring (wall spans) or to the
+  /// calling thread's ring with the event's own virtual track (sim spans).
+  void record(const SpanEvent& ev);
+
+  /// Copy of every retained event across all threads, sorted by start time.
+  std::vector<SpanEvent> events() const;
+
+  /// Events overwritten due to ring overflow, across all threads.
+  std::uint64_t dropped() const;
+  /// Retained events across all threads.
+  std::size_t size() const;
+
+  /// Drop all retained events and reset drop counts.
+  void clear();
+
+  /// Change the per-thread ring capacity; implies clear(). Minimum 1.
+  void set_capacity_per_thread(std::size_t cap);
+  std::size_t capacity_per_thread() const;
+
+ private:
+  TraceBuffer() = default;
+  struct ThreadRing;
+  ThreadRing& ring_for_this_thread();
+  void detach_rings_locked();
+
+  mutable std::mutex mu_;  // guards rings_ registration + capacity/generation
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  /// Rings detached by clear(): kept alive because recording threads may
+  /// still hold pointers into them until they observe the new generation.
+  std::vector<std::unique_ptr<ThreadRing>> retired_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+#if defined(LLMIB_OBS_DISABLED)
+
+/// Tracing compiled out (-DLLMIB_OBS=OFF): spans are empty objects, emit
+/// helpers vanish. The registry/snapshot surface stays available, so all
+/// reporting code builds identically.
+class Span {
+ public:
+  explicit Span(const char*, Cat = Cat::kEngine, std::int64_t = -1) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+inline void emit_span(const char*, Cat, double, double, std::uint32_t = 0,
+                      std::int64_t = -1) {}
+inline void emit_instant(const char*, Cat, double, std::uint32_t = 0,
+                         std::int64_t = -1) {}
+inline void instant(const char*, Cat, std::int64_t = -1) {}
+
+#else
+
+/// RAII wall-clock span: opens at construction, records one SpanEvent at
+/// destruction. Nestable (a thread-local depth counter tracks nesting) and
+/// thread-aware (each thread records to its own ring under its own track).
+/// When tracing is off at runtime the constructor is a single branch.
+class Span {
+ public:
+  explicit Span(const char* name, Cat cat = Cat::kEngine, std::int64_t arg = -1) {
+    if (!tracing_enabled()) return;
+    open(name, cat, arg);
+  }
+  ~Span() {
+    if (name_ != nullptr) close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(const char* name, Cat cat, std::int64_t arg);
+  void close();
+
+  const char* name_ = nullptr;
+  Cat cat_ = Cat::kEngine;
+  std::int64_t arg_ = -1;
+  double start_us_ = 0.0;
+  std::uint16_t depth_ = 0;
+};
+
+/// Simulated-clock span: the serving/analytical simulators know the start
+/// and duration of each phase on their own virtual timeline, so they emit
+/// completed spans directly. `track` is a virtual thread id on the
+/// simulated-process timeline of the exported trace.
+void emit_span(const char* name, Cat cat, double start_s, double dur_s,
+               std::uint32_t track = 0, std::int64_t arg = -1);
+
+/// Simulated-clock instant event (fault drops, shed decisions, ...).
+void emit_instant(const char* name, Cat cat, double t_s, std::uint32_t track = 0,
+                  std::int64_t arg = -1);
+
+/// Wall-clock instant event on the calling thread's track.
+void instant(const char* name, Cat cat, std::int64_t arg = -1);
+
+#endif  // LLMIB_OBS_DISABLED
+
+}  // namespace llmib::obs

@@ -1,0 +1,422 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <variant>
+
+namespace llmib::obs {
+
+namespace {
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(*p) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", *p);
+          out += buf;
+        } else {
+          out += *p;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void append_event(std::string& out, const SpanEvent& ev) {
+  const int pid = ev.simulated ? 2 : 1;
+  out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+         cat_name(ev.cat) + "\",\"ph\":\"" + (ev.instant ? "i" : "X") +
+         "\",\"ts\":" + format_us(ev.ts_us);
+  if (!ev.instant) out += ",\"dur\":" + format_us(ev.dur_us);
+  out += ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(ev.tid);
+  if (ev.instant) out += ",\"s\":\"t\"";
+  if (ev.arg >= 0) out += ",\"args\":{\"v\":" + std::to_string(ev.arg) + "}";
+  out += "}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool wall_seen = false;
+  bool sim_seen = false;
+  bool first = true;
+  for (const SpanEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event(out, ev);
+    (ev.simulated ? sim_seen : wall_seen) = true;
+  }
+  // Metadata events label the two clock-domain processes in the viewer.
+  if (wall_seen) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"wall clock\"}}";
+  }
+  if (sim_seen) {
+    if (!first) out += ",\n";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+           "\"args\":{\"name\":\"simulated clock\"}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string chrome_trace_json() {
+  return chrome_trace_json(TraceBuffer::global().events());
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << chrome_trace_json();
+  return static_cast<bool>(f);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — just enough to validate traces
+// without an external dependency. Numbers become double, everything else is
+// the obvious mapping.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
+  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
+  const JsonArray& array() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      error = error_.empty() ? "invalid JSON" : error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      error = "trailing characters after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_.empty())
+      error_ = msg + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string str;
+      if (!parse_string(str)) return false;
+      out.v = std::move(str);
+      return true;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out);
+    if (c == 'n') return parse_keyword(out);
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0))
+      return parse_number(out);
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (consume('}')) {
+      out.v = std::move(obj);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return fail("expected object key string");
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      skip_ws();
+      JsonValue val;
+      if (!parse_value(val)) return false;
+      (*obj)[std::move(key)] = std::move(val);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in object");
+    }
+    out.v = std::move(obj);
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (consume(']')) {
+      out.v = std::move(arr);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue val;
+      if (!parse_value(val)) return false;
+      arr->push_back(std::move(val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']' in array");
+    }
+    out.v = std::move(arr);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])) == 0)
+                return fail("bad \\u escape");
+            }
+            // Validation only needs well-formedness, not exact code points.
+            out += '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail("bad escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+    if (consume('.')) {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0)
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0)
+        ++pos_;
+    }
+    if (pos_ == start) return fail("invalid number");
+    try {
+      out.v = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("invalid number");
+    }
+    return true;
+  }
+
+  bool parse_keyword(JsonValue& out) {
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out.v = true;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out.v = false;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out.v = nullptr;
+      return true;
+    }
+    return fail("invalid keyword");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+struct CheckedSpan {
+  double ts = 0.0;
+  double end = 0.0;
+  std::string name;
+};
+
+}  // namespace
+
+TraceCheck validate_chrome_trace(const std::string& json) {
+  TraceCheck check;
+  JsonValue doc;
+  if (!JsonParser(json).parse(doc, check.error)) return check;
+  check.parsed = true;
+
+  if (!doc.is_object()) {
+    check.error = "top-level value is not an object";
+    return check;
+  }
+  const auto events_it = doc.object().find("traceEvents");
+  if (events_it == doc.object().end() || !events_it->second.is_array()) {
+    check.error = "missing traceEvents array";
+    return check;
+  }
+
+  // Collect spans per (pid, tid) track.
+  std::map<std::pair<double, double>, std::vector<CheckedSpan>> tracks;
+  for (const JsonValue& ev : events_it->second.array()) {
+    if (!ev.is_object()) {
+      check.error = "traceEvents entry is not an object";
+      return check;
+    }
+    const JsonObject& o = ev.object();
+    const auto name = o.find("name");
+    const auto ph = o.find("ph");
+    if (name == o.end() || !name->second.is_string() || ph == o.end() ||
+        !ph->second.is_string()) {
+      check.error = "event missing name/ph";
+      return check;
+    }
+    const std::string& phase = ph->second.str();
+    if (phase == "M") continue;  // metadata
+    const auto ts = o.find("ts");
+    if (ts == o.end() || !ts->second.is_number()) {
+      check.error = "event '" + name->second.str() + "' missing ts";
+      return check;
+    }
+    if (phase == "i" || phase == "I") {
+      ++check.instant_count;
+      continue;
+    }
+    if (phase != "X") {
+      check.error = "unsupported event phase '" + phase + "'";
+      return check;
+    }
+    const auto dur = o.find("dur");
+    if (dur == o.end() || !dur->second.is_number()) {
+      check.error = "X event '" + name->second.str() + "' missing dur";
+      return check;
+    }
+    double pid = 0.0, tid = 0.0;
+    if (const auto it = o.find("pid"); it != o.end() && it->second.is_number())
+      pid = it->second.number();
+    if (const auto it = o.find("tid"); it != o.end() && it->second.is_number())
+      tid = it->second.number();
+    CheckedSpan span;
+    span.ts = ts->second.number();
+    span.end = span.ts + dur->second.number();
+    span.name = name->second.str();
+    tracks[{pid, tid}].push_back(std::move(span));
+    ++check.span_count;
+  }
+
+  // On each track, sorted by start (ties: longer first), a stack-based scan
+  // verifies every span is either contained in the open span or disjoint
+  // from it. Epsilon absorbs the exporter's %.3f rounding.
+  constexpr double kEps = 2e-3;
+  for (auto& [key, spans] : tracks) {
+    std::sort(spans.begin(), spans.end(), [](const CheckedSpan& a, const CheckedSpan& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.end > b.end;
+    });
+    std::vector<const CheckedSpan*> stack;
+    for (const CheckedSpan& span : spans) {
+      while (!stack.empty() && span.ts >= stack.back()->end - kEps) stack.pop_back();
+      if (!stack.empty() && span.end > stack.back()->end + kEps) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "span '%s' [%g, %g] overlaps but does not nest inside "
+                      "'%s' [%g, %g] on track (%g, %g)",
+                      span.name.c_str(), span.ts, span.end,
+                      stack.back()->name.c_str(), stack.back()->ts,
+                      stack.back()->end, key.first, key.second);
+        check.error = buf;
+        return check;
+      }
+      stack.push_back(&span);
+    }
+  }
+  check.balanced = true;
+  return check;
+}
+
+}  // namespace llmib::obs

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace llmib::obs {
+
+/// Render span events as Chrome trace-event JSON (the format chrome://tracing
+/// and Perfetto load). Wall-clock events are exported under pid 1
+/// ("process: wall"), simulated-clock events under pid 2 ("process: sim"),
+/// so the two time domains never share a track. Spans are "X" complete
+/// events, instants are "i".
+std::string chrome_trace_json(const std::vector<SpanEvent>& events);
+
+/// chrome_trace_json over the global TraceBuffer's current contents.
+std::string chrome_trace_json();
+
+/// Write the global trace to `path`; returns false (and leaves no partial
+/// file guarantees) on I/O failure.
+bool write_chrome_trace_file(const std::string& path);
+
+/// Outcome of validating a Chrome trace JSON document.
+struct TraceCheck {
+  bool parsed = false;          ///< document is syntactically valid JSON
+  bool balanced = false;        ///< spans nest properly on every track
+  std::size_t span_count = 0;   ///< "X" events seen
+  std::size_t instant_count = 0;  ///< "i" events seen
+  std::string error;            ///< first failure description, empty if ok
+  bool ok() const { return parsed && balanced; }
+};
+
+/// Parse + structurally validate a Chrome trace document: well-formed JSON,
+/// a traceEvents array, every event carrying name/ph/ts (and dur for "X"),
+/// and proper nesting — on each (pid, tid) track, spans either contain one
+/// another or are disjoint (with a small epsilon for float rounding).
+/// Overlapping-but-not-nested spans on one track are reported unbalanced.
+TraceCheck validate_chrome_trace(const std::string& json);
+
+}  // namespace llmib::obs

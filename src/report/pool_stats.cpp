@@ -5,46 +5,60 @@
 namespace llmib::report {
 
 namespace {
-util::ThreadPool::WorkerStats sum(
-    std::span<const util::ThreadPool::WorkerStats> stats) {
-  util::ThreadPool::WorkerStats total;
-  for (const auto& s : stats) {
-    total.tasks += s.tasks;
-    total.busy_s += s.busy_s;
-    total.wait_s += s.wait_s;
-  }
-  return total;
-}
-
-double utilization(const util::ThreadPool::WorkerStats& s) {
-  const double denom = s.busy_s + s.wait_s;
-  return denom > 0 ? s.busy_s / denom : 0.0;
+double utilization(double busy_s, double wait_s) {
+  const double denom = busy_s + wait_s;
+  return denom > 0 ? busy_s / denom : 0.0;
 }
 }  // namespace
 
-Table pool_stats_table(std::span<const util::ThreadPool::WorkerStats> stats) {
-  Table t({"worker", "tasks", "busy ms", "wait ms", "util %"});
+obs::Snapshot snapshot_of(std::span<const util::ThreadPool::WorkerStats> stats) {
+  obs::Snapshot snap;
+  snap.set_counter("pool.workers", static_cast<std::int64_t>(stats.size()));
+  std::int64_t total_tasks = 0;
+  double total_busy = 0.0, total_wait = 0.0;
   for (std::size_t i = 0; i < stats.size(); ++i) {
     const auto& s = stats[i];
-    t.add_row({std::to_string(i), std::to_string(s.tasks),
-               util::format_fixed(s.busy_s * 1e3, 2),
-               util::format_fixed(s.wait_s * 1e3, 2),
-               util::format_fixed(utilization(s) * 100.0, 1)});
+    const std::string prefix = "pool.worker" + std::to_string(i);
+    snap.set_counter(prefix + ".tasks", static_cast<std::int64_t>(s.tasks));
+    snap.set_gauge(prefix + ".busy_s", s.busy_s);
+    snap.set_gauge(prefix + ".wait_s", s.wait_s);
+    total_tasks += static_cast<std::int64_t>(s.tasks);
+    total_busy += s.busy_s;
+    total_wait += s.wait_s;
   }
-  const auto total = sum(stats);
-  t.add_row({"total", std::to_string(total.tasks),
-             util::format_fixed(total.busy_s * 1e3, 2),
-             util::format_fixed(total.wait_s * 1e3, 2),
-             util::format_fixed(utilization(total) * 100.0, 1)});
+  snap.set_counter("pool.tasks", total_tasks);
+  snap.set_gauge("pool.busy_s", total_busy);
+  snap.set_gauge("pool.wait_s", total_wait);
+  snap.set_gauge("pool.utilization", utilization(total_busy, total_wait));
+  return snap;
+}
+
+Table pool_stats_table(std::span<const util::ThreadPool::WorkerStats> stats) {
+  const obs::Snapshot snap = snapshot_of(stats);
+  const auto workers = snap.counter_or("pool.workers");
+  Table t({"worker", "tasks", "busy_s", "wait_s", "util_pct"});
+  for (std::int64_t i = 0; i < workers; ++i) {
+    const std::string prefix = "pool.worker" + std::to_string(i);
+    const double busy = snap.gauge_or(prefix + ".busy_s");
+    const double wait = snap.gauge_or(prefix + ".wait_s");
+    t.add_row({std::to_string(i), std::to_string(snap.counter_or(prefix + ".tasks")),
+               util::format_fixed(busy, 4), util::format_fixed(wait, 4),
+               util::format_fixed(utilization(busy, wait) * 100.0, 1)});
+  }
+  t.add_row({"total", std::to_string(snap.counter_or("pool.tasks")),
+             util::format_fixed(snap.gauge_or("pool.busy_s"), 4),
+             util::format_fixed(snap.gauge_or("pool.wait_s"), 4),
+             util::format_fixed(snap.gauge_or("pool.utilization") * 100.0, 1)});
   return t;
 }
 
 std::string pool_stats_summary(
     std::span<const util::ThreadPool::WorkerStats> stats) {
-  const auto total = sum(stats);
-  return std::to_string(stats.size()) + " workers, " +
-         std::to_string(total.tasks) + " tasks, " +
-         util::format_fixed(utilization(total) * 100.0, 1) + "% utilization";
+  const obs::Snapshot snap = snapshot_of(stats);
+  return std::to_string(snap.counter_or("pool.workers")) + " workers, " +
+         std::to_string(snap.counter_or("pool.tasks")) + " tasks, " +
+         util::format_fixed(snap.gauge_or("pool.utilization") * 100.0, 1) +
+         "% utilization";
 }
 
 }  // namespace llmib::report

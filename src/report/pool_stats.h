@@ -2,15 +2,22 @@
 
 #include <span>
 
+#include "obs/snapshot.h"
 #include "report/table.h"
 #include "util/thread_pool.h"
 
 namespace llmib::report {
 
+/// Export worker-pool counters into the uniform reporting surface:
+/// `pool.workers`, per-worker `pool.worker<i>.tasks` counters and
+/// `pool.worker<i>.busy_s`/`.wait_s` gauges, plus `pool.tasks`,
+/// `pool.busy_s`, `pool.wait_s` and `pool.utilization` totals.
+obs::Snapshot snapshot_of(std::span<const util::ThreadPool::WorkerStats> stats);
+
 /// Render worker-pool counters as a table (one row per worker plus a
-/// total row): tasks executed, busy/wait wall time, and utilization
-/// busy / (busy + wait). This is how the engine and the sweep runner make
-/// their parallel-execution behavior observable in benches and dashboards.
+/// total row): tasks executed, busy/wait time in seconds, and utilization
+/// busy / (busy + wait). Built on snapshot_of() — the table is a view of
+/// the same obs::Snapshot the dashboards export.
 Table pool_stats_table(std::span<const util::ThreadPool::WorkerStats> stats);
 
 /// One-line summary ("N workers, T tasks, U% utilization") for embedding

@@ -1,10 +1,35 @@
 #include "sched/scheduler.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace llmib::sched {
 
 using util::require;
+
+namespace {
+// Registry handles are resolved once and cached; add() is lock-free.
+obs::Counter& submitted_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("sched.submitted");
+  return c;
+}
+obs::Counter& admitted_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("sched.admitted");
+  return c;
+}
+obs::Counter& completed_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("sched.completed");
+  return c;
+}
+obs::Counter& cancelled_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("sched.cancelled");
+  return c;
+}
+obs::Counter& plan_steps_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("sched.plan_steps");
+  return c;
+}
+}  // namespace
 
 Scheduler::Scheduler(Config cfg) : cfg_(cfg) {
   require(cfg.max_batch > 0, "Scheduler: max_batch must be positive");
@@ -38,6 +63,7 @@ void Scheduler::submit(const Request& req) {
   }
   queue_.push_back(Queued{req, 0});
   queued_ids_.insert(req.id);
+  submitted_counter().add(1);
 }
 
 bool Scheduler::cancel(RequestId id) {
@@ -54,6 +80,7 @@ bool Scheduler::cancel(RequestId id) {
   if (it == live_.end()) return false;
   reserved_tokens_ -= footprint(it->second.req);
   live_.erase(it);
+  cancelled_counter().add(1);
   return true;
 }
 
@@ -97,11 +124,14 @@ void Scheduler::admit_from_queue() {
     reserved_tokens_ += footprint(req);
     live_.emplace(req.id, Live{req, 0, Phase::kNeedsPrefill});
     admitted_any = true;
+    admitted_counter().add(1);
   }
   if (starting_wave && admitted_any) ++waves_;
 }
 
 StepPlan Scheduler::plan_step() {
+  obs::Span span("sched.plan", obs::Cat::kSched);
+  plan_steps_counter().add(1);
   admit_from_queue();
   StepPlan plan;
   for (auto& [id, live] : live_) {
@@ -124,6 +154,7 @@ bool Scheduler::complete_decode_token(RequestId id) {
   if (live.generated >= live.req.max_new_tokens) {
     reserved_tokens_ -= footprint(live.req);
     live_.erase(it);
+    completed_counter().add(1);
     return true;
   }
   return false;

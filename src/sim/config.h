@@ -6,6 +6,7 @@
 
 #include "hw/accelerator.h"
 #include "models/config.h"
+#include "obs/snapshot.h"
 #include "parallel/plan.h"
 
 namespace llmib::sim {
@@ -86,7 +87,15 @@ struct SimResult {
   double avg_memory_util = 0.0;
   double speculative_speedup = 1.0;  ///< 1.0 when SD disabled
 
+  /// Where the simulated time went: prefill/decode split plus the roofline
+  /// terms (compute/memory/comm/host) accumulated over every iteration.
+  obs::PhaseBreakdown phases;
+
   bool ok() const { return status == RunStatus::kOk; }
+
+  /// The point's metrics as an obs::Snapshot (`sim.*` namespace) — the
+  /// uniform reporting surface shared with ServingMetrics and the pool.
+  obs::Snapshot to_snapshot() const;
 };
 
 }  // namespace llmib::sim

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "frameworks/traits.h"
+#include "obs/obs.h"
 #include "sched/scheduler.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -25,6 +26,41 @@ double quantile_or_zero(const std::vector<double>& sorted, double q) {
 }
 
 }  // namespace
+
+obs::Snapshot ServingMetrics::to_snapshot() const {
+  obs::Snapshot snap;
+  snap.set_gauge("serving.offered_load_rps", offered_load_rps);
+  snap.set_gauge("serving.makespan_s", makespan_s);
+  snap.set_gauge("serving.achieved_rps", achieved_rps);
+  snap.set_gauge("serving.throughput_tps", throughput_tps);
+  snap.set_gauge("serving.ttft_p50_s", ttft_p50_s);
+  snap.set_gauge("serving.ttft_p95_s", ttft_p95_s);
+  snap.set_gauge("serving.ttft_p99_s", ttft_p99_s);
+  snap.set_gauge("serving.e2e_p50_s", e2e_p50_s);
+  snap.set_gauge("serving.e2e_p95_s", e2e_p95_s);
+  snap.set_gauge("serving.e2e_p99_s", e2e_p99_s);
+  snap.set_gauge("serving.itl_p50_s", itl_p50_s);
+  snap.set_gauge("serving.itl_p95_s", itl_p95_s);
+  snap.set_gauge("serving.itl_p99_s", itl_p99_s);
+  snap.set_gauge("serving.slo_goodput", slo_goodput);
+  snap.set_gauge("serving.goodput_rps", goodput_rps);
+  snap.set_gauge("serving.availability", availability);
+  snap.set_gauge("serving.post_fault_availability", post_fault_availability);
+  snap.set_gauge("serving.mttr_s", mttr_s);
+  snap.set_counter("serving.max_concurrency", max_concurrency);
+  snap.set_counter("serving.peak_queue_depth", peak_queue_depth);
+  snap.set_counter("serving.saturated", saturated ? 1 : 0);
+  snap.set_counter("serving.device_failures", device_failures);
+  snap.set_counter("serving.throttle_episodes", throttle_episodes);
+  snap.set_counter("serving.fault_evictions", fault_evictions);
+  snap.set_counter("serving.retries", retries);
+  snap.set_counter("serving.shed_requests", shed_requests);
+  snap.set_counter("serving.timed_out_requests", timed_out_requests);
+  snap.set_counter("serving.failed_requests", failed_requests);
+  snap.set_counter("serving.degradation_activations", degradation_activations);
+  phases.export_into(snap, "serving.phase");
+  return snap;
+}
 
 ServingSimulator::ServingSimulator(const InferenceSimulator& simulator)
     : sim_(simulator) {}
@@ -146,6 +182,10 @@ ServingSimulator::Result ServingSimulator::run_trace(
   std::vector<Track> track(reqs.size());
 
   // ---- Event loop -----------------------------------------------------------
+  // Each run claims its own virtual track so concurrent sweep points never
+  // interleave their sim-clock spans (only claimed when tracing is live).
+  const std::uint32_t sim_track = obs::tracing_enabled() ? obs::claim_sim_track() : 0;
+  obs::PhaseBreakdown& phases = res.metrics.phases;
   double now = first_arrival;
   std::size_t next_submit = 0;
   std::size_t completed = 0, shed = 0, timed_out = 0, failed = 0;
@@ -183,6 +223,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
           t.fate = Fate::kTimedOut;
           ++timed_out;
           ++resolved;
+          obs::emit_instant("fault.timeout", obs::Cat::kFault, now, sim_track,
+                            static_cast<std::int64_t>(i));
           continue;
         }
         t.cur_prompt = reqs[i].prompt_tokens + t.progress;
@@ -218,6 +260,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
         t.fate = Fate::kShed;
         ++shed;
         ++resolved;
+        obs::emit_instant("fault.shed", obs::Cat::kFault, now, sim_track,
+                          static_cast<std::int64_t>(next_submit));
       } else {
         t.cur_prompt = r.prompt_tokens;
         scheduler.submit({static_cast<sched::RequestId>(next_submit),
@@ -239,6 +283,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
           t.fate = Fate::kTimedOut;
           ++timed_out;
           ++resolved;
+          obs::emit_instant("fault.timeout", obs::Cat::kFault, now, sim_track,
+                            static_cast<std::int64_t>(i));
         }
       }
     }
@@ -253,6 +299,7 @@ ServingSimulator::Result ServingSimulator::run_trace(
         now += fp.device_restart_s;
         degrade.on_fault(now);
         pending_fault_times.push_back(tf);
+        obs::emit_instant("fault.device_failure", obs::Cat::kFault, tf, sim_track);
         for (std::size_t i = 0; i < track.size(); ++i) {
           Track& t = track[i];
           if (t.fate != Fate::kPending || !t.in_scheduler) continue;
@@ -268,6 +315,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
             t.awaiting_retry = true;
             t.retry_at = now + rp.retry.backoff_s(t.attempts, backoff_rng);
             ++retry_waiting;
+            obs::emit_instant("fault.retry", obs::Cat::kFault, now, sim_track,
+                              static_cast<std::int64_t>(i));
           } else {
             t.fate = Fate::kFailed;
             ++failed;
@@ -300,10 +349,15 @@ ServingSimulator::Result ServingSimulator::run_trace(
         }
       }
       require(std::isfinite(next_event), "ServingSimulator: stalled with no work");
+      if (next_event > now) phases.idle_s += next_event - now;
       now = std::max(now, next_event);
       continue;
     }
     max_live = std::max(max_live, scheduler.live_sequences());
+    const double iter_start = now;
+    obs::emit_instant("sched.plan", obs::Cat::kSched, now, sim_track,
+                      static_cast<std::int64_t>(plan.prefills.size() +
+                                                plan.decodes.size()));
 
     // Throttle derating stretches every step in the episode; sustained
     // throttling also counts as fault pressure for the degradation loop.
@@ -337,6 +391,14 @@ ServingSimulator::Result ServingSimulator::run_trace(
           cur_cfg, static_cast<std::int64_t>(plan.prefills.size()), mean_prompt);
       double dur = p.total_s;
       if (mult != 1.0) dur *= mult;
+      obs::emit_span("sim.prefill", obs::Cat::kSim, now, dur, sim_track,
+                     static_cast<std::int64_t>(plan.prefills.size()));
+      phases.prefill_s += dur;
+      phases.compute_s += p.compute_s;
+      phases.memory_s += p.memory_s;
+      phases.comm_s += p.comm_s;
+      phases.host_s += p.host_s;
+      ++phases.prefill_steps;
       now += dur;
       iter_dur += dur;
       for (auto id : plan.prefills) {
@@ -366,6 +428,14 @@ ServingSimulator::Result ServingSimulator::run_trace(
           ctx_sum / static_cast<double>(plan.decodes.size()));
       double dur = d.total_s;
       if (mult != 1.0) dur *= mult;
+      obs::emit_span("sim.decode", obs::Cat::kSim, now, dur, sim_track,
+                     static_cast<std::int64_t>(plan.decodes.size()));
+      phases.decode_s += dur;
+      phases.compute_s += d.compute_s;
+      phases.memory_s += d.memory_s;
+      phases.comm_s += d.comm_s;
+      phases.host_s += d.host_s;
+      ++phases.decode_steps;
       now += dur;
       iter_dur += dur;
       for (auto id : plan.decodes) {
@@ -382,6 +452,9 @@ ServingSimulator::Result ServingSimulator::run_trace(
         }
       }
     }
+
+    ++phases.iterations;
+    obs::emit_span("sim.iteration", obs::Cat::kSim, iter_start, iter_dur, sim_track);
 
     // This iteration produced tokens: any outstanding failure is repaired
     // (service-level MTTR: failure -> next token from anyone).
@@ -462,6 +535,31 @@ ServingSimulator::Result ServingSimulator::run_trace(
     m.post_fault_availability =
         post_n > 0 ? static_cast<double>(post_ok) / static_cast<double>(post_n)
                    : 1.0;
+  }
+
+  // Global totals in integers (counts and nanoseconds), so pool-backed
+  // sweeps aggregate bit-identically to serial execution.
+  {
+    static obs::Counter& c_iter = obs::Registry::global().counter("serving.iterations");
+    static obs::Counter& c_pre = obs::Registry::global().counter("serving.prefill_steps");
+    static obs::Counter& c_dec = obs::Registry::global().counter("serving.decode_steps");
+    static obs::Counter& c_done = obs::Registry::global().counter("serving.completed");
+    static obs::Counter& c_pre_ns = obs::Registry::global().counter("serving.prefill_ns");
+    static obs::Counter& c_dec_ns = obs::Registry::global().counter("serving.decode_ns");
+    static obs::Counter& c_drop = obs::Registry::global().counter("fault.device_failures");
+    static obs::Counter& c_retry = obs::Registry::global().counter("fault.retries");
+    static obs::Counter& c_shed = obs::Registry::global().counter("fault.shed");
+    static obs::Counter& c_tmo = obs::Registry::global().counter("fault.timeouts");
+    c_iter.add(phases.iterations);
+    c_pre.add(phases.prefill_steps);
+    c_dec.add(phases.decode_steps);
+    c_done.add(static_cast<std::int64_t>(completed));
+    c_pre_ns.add(std::llround(phases.prefill_s * 1e9));
+    c_dec_ns.add(std::llround(phases.decode_s * 1e9));
+    c_drop.add(m.device_failures);
+    c_retry.add(m.retries);
+    c_shed.add(m.shed_requests);
+    c_tmo.add(m.timed_out_requests);
   }
   return res;
 }

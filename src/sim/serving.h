@@ -5,6 +5,7 @@
 
 #include "fault/fault_model.h"
 #include "fault/resilience.h"
+#include "obs/snapshot.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 
@@ -101,6 +102,14 @@ struct ServingMetrics {
   /// Mean time from a device failure to the next token produced by any
   /// request (service-level MTTR; 0 when no failure occurred).
   double mttr_s = 0.0;
+
+  /// Where the simulated makespan went: prefill/decode/idle split plus the
+  /// accumulated roofline terms of every step.
+  obs::PhaseBreakdown phases;
+
+  /// The run's metrics as an obs::Snapshot (`serving.*` namespace) — the
+  /// uniform reporting surface shared with SimResult and the pool stats.
+  obs::Snapshot to_snapshot() const;
 };
 
 /// Per-trace-run options beyond the request list itself. Defaults reproduce

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "kv/paged_allocator.h"
+#include "obs/obs.h"
 #include "parallel/comm.h"
 #include "power/power_model.h"
 #include "sched/scheduler.h"
@@ -32,6 +33,25 @@ std::string run_status_name(RunStatus s) {
     case RunStatus::kUnsupported: return "unsupported";
   }
   return "?";
+}
+
+obs::Snapshot SimResult::to_snapshot() const {
+  obs::Snapshot snap;
+  snap.set_gauge("sim.ttft_s", ttft_s);
+  snap.set_gauge("sim.itl_s", itl_s);
+  snap.set_gauge("sim.e2e_latency_s", e2e_latency_s);
+  snap.set_gauge("sim.throughput_tps", throughput_tps);
+  snap.set_gauge("sim.decode_throughput_tps", decode_throughput_tps);
+  snap.set_gauge("sim.average_power_w", average_power_w);
+  snap.set_gauge("sim.tokens_per_sec_per_watt", tokens_per_sec_per_watt);
+  snap.set_gauge("sim.energy_j", energy_j);
+  snap.set_gauge("sim.avg_compute_util", avg_compute_util);
+  snap.set_gauge("sim.avg_memory_util", avg_memory_util);
+  snap.set_gauge("sim.speculative_speedup", speculative_speedup);
+  snap.set_counter("sim.waves", waves);
+  snap.set_counter("sim.ok", ok() ? 1 : 0);
+  phases.export_into(snap, "sim.phase");
+  return snap;
 }
 
 namespace {
@@ -363,6 +383,9 @@ SimResult InferenceSimulator::run(const SimConfig& cfg) const {
 
 SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& cfg) const {
   SimResult res;
+  // Each run gets its own virtual track so concurrent sweep points never
+  // interleave their sim-clock spans (only claimed when tracing is live).
+  const std::uint32_t track = obs::tracing_enabled() ? obs::claim_sim_track() : 0;
   res.weight_bytes_per_device = r.weight_bytes_per_device;
 
   // ---- Capacity checks ---------------------------------------------------
@@ -458,6 +481,13 @@ SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& c
     if (!plan.prefills.empty()) {
       const auto nprefill = static_cast<std::int64_t>(plan.prefills.size());
       const StepBreakdown p = prefill_step_resolved(r, nprefill, cfg.input_tokens);
+      obs::emit_span("sim.prefill", obs::Cat::kSim, now, p.total_s, track, nprefill);
+      res.phases.prefill_s += p.total_s;
+      res.phases.compute_s += p.compute_s;
+      res.phases.memory_s += p.memory_s;
+      res.phases.comm_s += p.comm_s;
+      res.phases.host_s += p.host_s;
+      ++res.phases.prefill_steps;
       now += p.total_s;
       const double flops =
           nprefill * r.costs.prefill_flops(cfg.input_tokens) / (cfg.plan.tp * cfg.plan.ep);
@@ -515,6 +545,13 @@ SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& c
         speedup = std::max(0.2, accepted * d.total_s / cycle);
       }
       d.total_s /= speedup;
+      obs::emit_span("sim.decode", obs::Cat::kSim, now, d.total_s, track, ndecode);
+      res.phases.decode_s += d.total_s;
+      res.phases.compute_s += d.compute_s;
+      res.phases.memory_s += d.memory_s;
+      res.phases.comm_s += d.comm_s;
+      res.phases.host_s += d.host_s;
+      ++res.phases.decode_steps;
       now += d.total_s;
       spec_speedup_weighted += speedup * d.total_s;
       spec_time += d.total_s;
@@ -532,6 +569,21 @@ SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& c
 
   // ---- Metrics -------------------------------------------------------------
   res.status = RunStatus::kOk;
+  res.phases.iterations = iterations;
+  // Global accumulation uses integer nanoseconds: integer adds commute, so
+  // pool-backed sweep totals are bit-identical to serial execution.
+  {
+    static obs::Counter& c_iter = obs::Registry::global().counter("sim.iterations");
+    static obs::Counter& c_pre = obs::Registry::global().counter("sim.prefill_steps");
+    static obs::Counter& c_dec = obs::Registry::global().counter("sim.decode_steps");
+    static obs::Counter& c_pre_ns = obs::Registry::global().counter("sim.prefill_ns");
+    static obs::Counter& c_dec_ns = obs::Registry::global().counter("sim.decode_ns");
+    c_iter.add(iterations);
+    c_pre.add(res.phases.prefill_steps);
+    c_dec.add(res.phases.decode_steps);
+    c_pre_ns.add(std::llround(res.phases.prefill_s * 1e9));
+    c_dec_ns.add(std::llround(res.phases.decode_s * 1e9));
+  }
   res.e2e_latency_s = now;
   res.ttft_s = ttft_count > 0 ? ttft_sum / static_cast<double>(ttft_count) : 0.0;
   const double total_tokens =

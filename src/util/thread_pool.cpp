@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace llmib::util {
@@ -46,6 +47,8 @@ void ThreadPool::worker_loop(std::size_t index) {
     const auto busy_start = std::chrono::steady_clock::now();
     std::exception_ptr error;
     try {
+      obs::Span span("pool.task", obs::Cat::kPool,
+                     static_cast<std::int64_t>(index));
       task();
     } catch (...) {
       error = std::current_exception();

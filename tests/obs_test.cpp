@@ -1,0 +1,360 @@
+// Observability layer: metrics registry, snapshot surface, span tracing,
+// Chrome trace export/validation, and the determinism contract (pool-backed
+// and serial executions produce bit-identical counter/histogram totals).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/suite.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/weights.h"
+#include "obs/obs.h"
+#include "report/pool_stats.h"
+#include "sim/serving.h"
+
+namespace {
+
+using namespace llmib;
+
+/// Every tracing test starts from a clean global buffer and leaves tracing
+/// off, so tests stay order-independent.
+struct TracingGuard {
+  TracingGuard() {
+    obs::TraceBuffer::global().set_capacity_per_thread(
+        obs::TraceBuffer::kDefaultCapacity);
+    obs::set_tracing(true);
+  }
+  ~TracingGuard() {
+    obs::set_tracing(false);
+    obs::TraceBuffer::global().set_capacity_per_thread(
+        obs::TraceBuffer::kDefaultCapacity);
+  }
+};
+
+TEST(ObsMetrics, CounterAndGauge) {
+  obs::Registry::global().reset_values();
+  auto& c = obs::Registry::global().counter("obs_test.counter");
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7);
+  auto& g = obs::Registry::global().gauge("obs_test.gauge");
+  g.set(1.5);
+  g.max_of(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.max_of(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counter_or("obs_test.counter"), 7);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("obs_test.gauge"), 2.5);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndValidation) {
+  EXPECT_THROW(obs::Histogram({5, 5}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({10, 5}), std::invalid_argument);
+
+  auto& h = obs::Registry::global().histogram("obs_test.hist", {10, 100});
+  h.reset();
+  h.observe(5);
+  h.observe(50);
+  h.observe(500);
+  const auto v = h.value("obs_test.hist");
+  ASSERT_EQ(v.counts.size(), 3u);
+  EXPECT_EQ(v.counts[0], 1u);
+  EXPECT_EQ(v.counts[1], 1u);
+  EXPECT_EQ(v.counts[2], 1u);
+  EXPECT_EQ(v.sum, 555);
+  EXPECT_EQ(v.total(), 3u);
+}
+
+TEST(ObsSnapshot, MergeAddsCountersAndCsvRoundTrip) {
+  obs::Snapshot a, b;
+  a.set_counter("x", 2);
+  a.set_gauge("g", 1.0);
+  b.set_counter("x", 3);
+  b.set_counter("y", 1);
+  b.set_gauge("g", 9.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter_or("x"), 5);
+  EXPECT_EQ(a.counter_or("y"), 1);
+  EXPECT_DOUBLE_EQ(a.gauge_or("g"), 9.0);  // gauges overwrite
+
+  const std::string csv = a.to_csv();
+  EXPECT_EQ(csv.rfind("metric,type,value", 0), 0u);
+  EXPECT_NE(csv.find("x,counter,5"), std::string::npos);
+}
+
+TEST(ObsSnapshot, DeterministicEqualIgnoresGauges) {
+  obs::Snapshot a, b;
+  a.set_counter("n", 4);
+  b.set_counter("n", 4);
+  a.set_gauge("wall_s", 1.0);
+  b.set_gauge("wall_s", 99.0);
+  EXPECT_TRUE(a.deterministic_equal(b));
+  b.set_counter("n", 5);
+  EXPECT_FALSE(a.deterministic_equal(b));
+}
+
+// The tentpole determinism claim: a pool-backed sweep must produce the same
+// registry totals AND the same per-row results as the serial sweep.
+TEST(ObsDeterminism, SweepSnapshotPoolVsSerialBitIdentical) {
+  core::BenchmarkRunner runner;
+  core::SweepAxes axes;
+  axes.models = {"LLaMA-3-8B"};
+  axes.accelerators = {"A100"};
+  axes.frameworks = {"vLLM"};
+  axes.batch_sizes = {1, 16};
+  axes.io_lengths = {128, 256};
+
+  axes.workers = 1;
+  obs::Registry::global().reset_values();
+  const auto serial = runner.run_sweep(axes);
+  const auto serial_snap = obs::Registry::global().snapshot();
+
+  axes.workers = 4;
+  obs::Registry::global().reset_values();
+  const auto pooled = runner.run_sweep(axes);
+  const auto pooled_snap = obs::Registry::global().snapshot();
+
+  EXPECT_TRUE(serial_snap.deterministic_equal(pooled_snap));
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.rows()[i].result.throughput_tps,
+              pooled.rows()[i].result.throughput_tps);
+    EXPECT_EQ(serial.rows()[i].result.ttft_s, pooled.rows()[i].result.ttft_s);
+  }
+  EXPECT_EQ(pooled.execution_stats().to_snapshot().counter_or("sweep.workers"), 4);
+}
+
+TEST(ObsTrace, RingBufferOverflowDropsOldest) {
+#if defined(LLMIB_OBS_DISABLED)
+  GTEST_SKIP() << "span tracing compiled out (LLMIB_OBS=OFF)";
+#endif
+  TracingGuard guard;
+  auto& buf = obs::TraceBuffer::global();
+  buf.set_capacity_per_thread(8);
+  for (int i = 0; i < 20; ++i) obs::instant("obs.test.tick", obs::Cat::kBench, i);
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.dropped(), 12u);
+  const auto evs = buf.events();  // sorted by ts: survivors are the newest 8
+  ASSERT_EQ(evs.size(), 8u);
+  EXPECT_EQ(evs.front().arg, 12);
+  EXPECT_EQ(evs.back().arg, 19);
+}
+
+TEST(ObsTrace, ChromeTraceValidAndNested) {
+#if defined(LLMIB_OBS_DISABLED)
+  GTEST_SKIP() << "span tracing compiled out (LLMIB_OBS=OFF)";
+#endif
+  TracingGuard guard;
+  {
+    obs::Span outer("obs.test.outer", obs::Cat::kBench);
+    {
+      obs::Span inner("obs.test.inner", obs::Cat::kBench, 7);
+    }
+    obs::instant("obs.test.mark", obs::Cat::kBench);
+  }
+  obs::emit_span("obs.test.sim_phase", obs::Cat::kSim, 0.0, 1.0,
+                 obs::claim_sim_track(), 3);
+
+  const std::string json = obs::chrome_trace_json();
+  const auto check = obs::validate_chrome_trace(json);
+  EXPECT_TRUE(check.parsed) << check.error;
+  EXPECT_TRUE(check.balanced) << check.error;
+  EXPECT_EQ(check.span_count, 3u);
+  EXPECT_EQ(check.instant_count, 1u);
+  EXPECT_NE(json.find("\"obs.test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"sim\""), std::string::npos);
+}
+
+TEST(ObsTrace, UnbalancedTraceDetected) {
+  // Two spans on one track overlapping without nesting: [0,10] and [5,15].
+  const std::string bad =
+      R"({"traceEvents":[)"
+      R"({"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":0},)"
+      R"({"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":0}]})";
+  const auto check = obs::validate_chrome_trace(bad);
+  EXPECT_TRUE(check.parsed);
+  EXPECT_FALSE(check.balanced);
+  EXPECT_FALSE(check.ok());
+  EXPECT_FALSE(check.error.empty());
+}
+
+TEST(ObsTrace, ParseRejectsGarbage) {
+  EXPECT_FALSE(obs::validate_chrome_trace("{nope").parsed);
+  EXPECT_FALSE(obs::validate_chrome_trace("").parsed);
+  EXPECT_FALSE(obs::validate_chrome_trace("[1,2,3]").ok());
+  // An "X" event without dur is structurally invalid.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+                   R"({"traceEvents":[{"name":"a","ph":"X","ts":0}]})")
+                   .ok());
+}
+
+// tsan target: concurrent spans from many threads must race-free land in
+// per-thread rings and still export as a balanced trace.
+TEST(ObsTrace, ConcurrentSpans) {
+#if defined(LLMIB_OBS_DISABLED)
+  GTEST_SKIP() << "span tracing compiled out (LLMIB_OBS=OFF)";
+#endif
+  TracingGuard guard;
+  constexpr int kThreads = 4, kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::Span outer("obs.test.outer", obs::Cat::kBench, t);
+        obs::Span inner("obs.test.inner", obs::Cat::kBench, i);
+        obs::Registry::global().counter("obs_test.concurrent").add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  obs::set_tracing(false);
+
+  EXPECT_EQ(obs::TraceBuffer::global().size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread * 2));
+  const auto check = obs::validate_chrome_trace(obs::chrome_trace_json());
+  EXPECT_TRUE(check.ok()) << check.error;
+}
+
+TEST(ObsServing, PhaseBreakdownAccountsForMakespan) {
+  const sim::InferenceSimulator simulator;
+  const sim::ServingSimulator serving(simulator);
+  sim::SimConfig cfg;
+  cfg.model = "LLaMA-3-8B";
+  cfg.accelerator = "A100";
+  cfg.framework = "vLLM";
+  cfg.max_concurrent = 8;
+  sim::ServingWorkload wl;
+  wl.arrival_rate_rps = 4.0;
+  wl.num_requests = 24;
+  const auto r = serving.run(cfg, wl);
+  ASSERT_TRUE(r.ok());
+
+  const auto& ph = r.metrics.phases;
+  EXPECT_GT(ph.prefill_s, 0.0);
+  EXPECT_GT(ph.decode_s, 0.0);
+  EXPECT_GT(ph.prefill_steps, 0);
+  EXPECT_GT(ph.decode_steps, 0);
+  EXPECT_GT(ph.iterations, 0);
+  // Active + idle time cannot exceed the span from first arrival to the end.
+  EXPECT_LE(ph.active_s(), r.metrics.makespan_s + 1e-9);
+
+  const auto snap = r.metrics.to_snapshot();
+  EXPECT_TRUE(snap.has_gauge("serving.phase.prefill_s"));
+  EXPECT_EQ(snap.counter_or("serving.phase.prefill_steps"), ph.prefill_steps);
+  EXPECT_TRUE(snap.has_gauge("serving.throughput_tps"));
+}
+
+// Acceptance gate: enabling tracing must not change any simulated result.
+TEST(ObsServing, TracingOnOffIdenticalResults) {
+  const sim::InferenceSimulator simulator;
+  const sim::ServingSimulator serving(simulator);
+  sim::SimConfig cfg;
+  cfg.model = "LLaMA-3-8B";
+  cfg.accelerator = "A100";
+  cfg.framework = "vLLM";
+  cfg.max_concurrent = 8;
+  sim::ServingWorkload wl;
+  wl.arrival_rate_rps = 6.0;
+  wl.num_requests = 24;
+
+  obs::set_tracing(false);
+  const auto off = serving.run(cfg, wl);
+  {
+    TracingGuard guard;
+    const auto on = serving.run(cfg, wl);
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    EXPECT_EQ(off.metrics.makespan_s, on.metrics.makespan_s);
+    EXPECT_EQ(off.metrics.throughput_tps, on.metrics.throughput_tps);
+    EXPECT_EQ(off.metrics.ttft_p95_s, on.metrics.ttft_p95_s);
+    EXPECT_EQ(off.metrics.e2e_p99_s, on.metrics.e2e_p99_s);
+    EXPECT_EQ(off.metrics.itl_p50_s, on.metrics.itl_p50_s);
+    EXPECT_TRUE(
+        off.metrics.to_snapshot().deterministic_equal(on.metrics.to_snapshot()));
+#if !defined(LLMIB_OBS_DISABLED)
+    EXPECT_GT(obs::TraceBuffer::global().size(), 0u);  // and spans were recorded
+#endif
+  }
+}
+
+TEST(ObsEngine, EngineTraceHasNestedLayerSpans) {
+#if defined(LLMIB_OBS_DISABLED)
+  GTEST_SKIP() << "span tracing compiled out (LLMIB_OBS=OFF)";
+#endif
+  TracingGuard guard;
+  models::ModelConfig mc;
+  mc.name = "obs-mini";
+  mc.n_layers = 2;
+  mc.hidden_size = 32;
+  mc.attention = models::AttentionKind::kGQA;
+  mc.n_heads = 4;
+  mc.n_kv_heads = 2;
+  mc.ffn_intermediate = 64;
+  mc.max_seq_len = 128;
+  mc.vocab_size = 64;
+  const auto w = engine::TransformerWeights::random(mc, 9);
+  const engine::MiniTransformer model(w);
+  engine::ContiguousKvStore kv(model.kv_dims());
+  const std::vector<engine::TokenId> prompt = {1, 2, 3, 4};
+  model.prefill(prompt, kv);
+  model.forward(5, kv);
+  obs::set_tracing(false);
+
+  const std::string json = obs::chrome_trace_json();
+  const auto check = obs::validate_chrome_trace(json);
+  EXPECT_TRUE(check.ok()) << check.error;
+  EXPECT_NE(json.find("\"engine.prefill\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.decode_token\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.layer\""), std::string::npos);
+
+  // The per-layer spans nest inside prefill/decode: depth recorded > 0.
+  bool saw_nested_layer = false;
+  for (const auto& ev : obs::TraceBuffer::global().events()) {
+    if (std::string(ev.name) == "engine.layer" && ev.depth > 0)
+      saw_nested_layer = true;
+  }
+  EXPECT_TRUE(saw_nested_layer);
+}
+
+TEST(ObsReport, PoolStatsSnapshotAndTable) {
+  std::vector<util::ThreadPool::WorkerStats> ws(2);
+  ws[0].tasks = 3;
+  ws[0].busy_s = 1.0;
+  ws[0].wait_s = 1.0;
+  ws[1].tasks = 5;
+  ws[1].busy_s = 3.0;
+  ws[1].wait_s = 0.0;
+
+  const auto snap = report::snapshot_of(ws);
+  EXPECT_EQ(snap.counter_or("pool.workers"), 2);
+  EXPECT_EQ(snap.counter_or("pool.tasks"), 8);
+  EXPECT_EQ(snap.counter_or("pool.worker1.tasks"), 5);
+  EXPECT_NEAR(snap.gauge_or("pool.utilization"), 4.0 / 5.0, 1e-12);
+
+  const auto table = report::pool_stats_table(ws);
+  EXPECT_EQ(table.rows(), 3u);  // 2 workers + total
+  const std::string summary = report::pool_stats_summary(ws);
+  EXPECT_NE(summary.find("2 workers"), std::string::npos);
+  EXPECT_NE(summary.find("8 tasks"), std::string::npos);
+}
+
+TEST(ObsTrace, ClearResetsAndReRegisters) {
+#if defined(LLMIB_OBS_DISABLED)
+  GTEST_SKIP() << "span tracing compiled out (LLMIB_OBS=OFF)";
+#endif
+  TracingGuard guard;
+  obs::instant("obs.test.before", obs::Cat::kBench);
+  EXPECT_GT(obs::TraceBuffer::global().size(), 0u);
+  obs::TraceBuffer::global().clear();
+  EXPECT_EQ(obs::TraceBuffer::global().size(), 0u);
+  obs::instant("obs.test.after", obs::Cat::kBench);
+  EXPECT_EQ(obs::TraceBuffer::global().size(), 1u);
+}
+
+}  // namespace

@@ -6,13 +6,17 @@
 //   llmib sweep --model M[,M...] --hw H[,H...] --fw F[,F...]
 //               [--batches 1,16,32,64] [--lens 128,1024] [--csv]
 //   llmib serve --model M --hw H --fw F --rps 4 --requests 64
+//   llmib trace-check --in trace.json
 //
 // Every command prints a human-readable table; --csv switches to CSV on
-// stdout for piping into the dashboard or a spreadsheet.
+// stdout for piping into the dashboard or a spreadsheet. point/sweep/serve/
+// generate all take --trace-out file.json (Chrome/Perfetto span trace) and
+// --metrics-out file.csv (the run's obs::Snapshot).
 
 #include <cstdio>
 #include <fstream>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +25,7 @@
 #include "engine/checkpoint.h"
 #include "engine/generator.h"
 #include "core/suite.h"
+#include "obs/obs.h"
 #include "sim/serving.h"
 #include "sim/trace.h"
 #include "util/check.h"
@@ -85,6 +90,82 @@ std::vector<std::int64_t> split_longs(const std::string& s) {
   return out;
 }
 
+/// Turn span recording on for this run when --trace-out was given (starting
+/// from an empty buffer so the file holds exactly this run).
+void start_tracing(const Args& args) {
+  if (!args.flag("trace-out")) return;
+  obs::TraceBuffer::global().clear();
+  obs::set_tracing(true);
+}
+
+/// Write the --trace-out / --metrics-out artifacts. `run_snap` carries the
+/// command's own result snapshot; the process-wide registry is merged in.
+/// Returns nonzero if a requested trace fails its own validation.
+int write_artifacts(const Args& args, const obs::Snapshot& run_snap) {
+  if (args.flag("trace-out")) {
+    obs::set_tracing(false);
+    const std::string path = args.get("trace-out", "trace.json");
+    const std::string json = obs::chrome_trace_json();
+    std::ofstream out(path);
+    util::require(out.is_open(), "cannot open --trace-out file");
+    out << json;
+    out.close();
+    const auto check = obs::validate_chrome_trace(json);
+    if (!check.ok()) {
+      std::fprintf(stderr, "trace validation failed: %s\n", check.error.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu spans, %zu instants -> %s\n", check.span_count,
+                check.instant_count, path.c_str());
+  }
+  if (args.flag("metrics-out")) {
+    obs::Snapshot snap = obs::Registry::global().snapshot();
+    snap.merge(run_snap);
+    const std::string path = args.get("metrics-out", "metrics.csv");
+    util::require(obs::write_snapshot_csv_file(snap, path),
+                  "cannot write --metrics-out file");
+    std::printf("metrics: %zu counters, %zu gauges -> %s\n", snap.counters().size(),
+                snap.gauges().size(), path.c_str());
+  }
+  return 0;
+}
+
+/// Where the simulated makespan went, as a table (serve epilogue).
+report::Table phase_table(const obs::PhaseBreakdown& ph, double makespan_s) {
+  report::Table t({"phase", "time_s", "share_pct", "steps"});
+  const auto share = [&](double s) {
+    return util::format_fixed(makespan_s > 0 ? s / makespan_s * 100.0 : 0.0, 1);
+  };
+  t.add_row({"prefill", util::format_fixed(ph.prefill_s, 3), share(ph.prefill_s),
+             std::to_string(ph.prefill_steps)});
+  t.add_row({"decode", util::format_fixed(ph.decode_s, 3), share(ph.decode_s),
+             std::to_string(ph.decode_steps)});
+  t.add_row({"idle", util::format_fixed(ph.idle_s, 3), share(ph.idle_s), "-"});
+  t.add_row({"(compute)", util::format_fixed(ph.compute_s, 3), share(ph.compute_s), "-"});
+  t.add_row({"(memory)", util::format_fixed(ph.memory_s, 3), share(ph.memory_s), "-"});
+  t.add_row({"(comm)", util::format_fixed(ph.comm_s, 3), share(ph.comm_s), "-"});
+  t.add_row({"(host)", util::format_fixed(ph.host_s, 3), share(ph.host_s), "-"});
+  return t;
+}
+
+int cmd_trace_check(const Args& args) {
+  const std::string path = args.get("in", "");
+  util::require(!path.empty(), "trace-check needs --in <file.json>");
+  std::ifstream in(path);
+  util::require(in.is_open(), "cannot open trace file");
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto check = obs::validate_chrome_trace(json);
+  if (!check.ok()) {
+    std::fprintf(stderr, "trace check FAILED (%s): %s\n", path.c_str(),
+                 check.error.c_str());
+    return 1;
+  }
+  std::printf("trace OK: %zu spans, %zu instants, nesting balanced\n",
+              check.span_count, check.instant_count);
+  return 0;
+}
+
 int cmd_list() {
   std::printf("models:\n");
   for (const auto& name : models::ModelRegistry::builtin().names()) {
@@ -112,6 +193,7 @@ int cmd_list() {
 }
 
 int cmd_point(const Args& args) {
+  start_tracing(args);
   core::BenchmarkRunner runner;
   sim::SimConfig cfg;
   cfg.model = args.get("model", "LLaMA-3-8B");
@@ -137,10 +219,11 @@ int cmd_point(const Args& args) {
                                      : set.to_table().to_text().c_str());
   if (!row.result.ok())
     std::printf("note: %s\n", row.result.status_detail.c_str());
-  return 0;
+  return write_artifacts(args, row.result.to_snapshot());
 }
 
 int cmd_sweep(const Args& args) {
+  start_tracing(args);
   core::BenchmarkRunner runner;
   core::SweepAxes axes;
   axes.models = split_csv(args.get("model", "LLaMA-3-8B"));
@@ -157,10 +240,11 @@ int cmd_sweep(const Args& args) {
     for (const auto& i : core::extract_insights(set))
       std::printf("  [%s] %s\n", i.category.c_str(), i.text.c_str());
   }
-  return 0;
+  return write_artifacts(args, set.execution_stats().to_snapshot());
 }
 
 int cmd_generate(const Args& args) {
+  start_tracing(args);
   // Run the REAL mini engine: build (or load) a model, generate tokens.
   engine::TransformerWeights weights = [&] {
     if (args.flag("load")) return engine::checkpoint::load_file(args.get("load", ""));
@@ -198,10 +282,11 @@ int cmd_generate(const Args& args) {
   std::printf("\noutput:");
   for (auto t : res.tokens) std::printf(" %d", t);
   std::printf("\n(%zu forward passes)\n", res.forward_passes);
-  return 0;
+  return write_artifacts(args, obs::Snapshot());
 }
 
 int cmd_serve(const Args& args) {
+  start_tracing(args);
   const sim::InferenceSimulator simulator;
   const sim::ServingSimulator serving(simulator);
   core::BenchmarkRunner runner;
@@ -307,7 +392,9 @@ int cmd_serve(const Args& args) {
         static_cast<long long>(m.failed_requests),
         static_cast<long long>(m.degradation_activations));
   }
-  return 0;
+  std::printf("\nwhere the makespan went:\n%s",
+              phase_table(m.phases, m.makespan_s).to_text().c_str());
+  return write_artifacts(args, m.to_snapshot());
 }
 
 void usage() {
@@ -325,7 +412,12 @@ void usage() {
       "              [--retries N] [--backoff S] [--shed-depth N] [--degrade]\n"
       "  llmib generate [--seed N] [--layers N] [--hidden N] [--vocab N]\n"
       "              [--prompt 1,2,3] [--tokens N] [--temperature T]\n"
-      "              [--save file.bin | --load file.bin]\n");
+      "              [--save file.bin | --load file.bin]\n"
+      "  llmib trace-check --in trace.json\n"
+      "\n"
+      "  observability (point/sweep/serve/generate):\n"
+      "    --trace-out file.json   record spans, write a Chrome/Perfetto trace\n"
+      "    --metrics-out file.csv  write the run's obs::Snapshot as CSV\n");
 }
 
 }  // namespace
@@ -338,6 +430,7 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "trace-check") return cmd_trace_check(args);
     usage();
     return args.command.empty() ? 0 : 2;
   } catch (const std::exception& e) {
