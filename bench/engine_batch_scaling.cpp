@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "common.h"
+#include "engine/attention.h"
 #include "engine/batched.h"
 #include "engine/kv_store.h"
 #include "engine/model.h"
@@ -94,6 +95,39 @@ int main() {
   std::printf("%s\n", pt.to_text().c_str());
   bench::write_csv("engine_prefill_scaling", pt);
 
+  // Long-context decode: at ctx 1024 the attention scan over cached KV
+  // dominates the step, so the run-based fast path (slab iteration +
+  // count>1 score/AV kernels) is visible end to end against the
+  // per-position path on the SAME paged store. Logits are bit-identical —
+  // only the iteration granularity differs.
+  auto long_cfg = cfg;
+  long_cfg.max_seq_len = 2048;
+  const auto long_weights = engine::TransformerWeights::random(long_cfg, 11);
+  const engine::MiniTransformer long_model(long_weights);
+  const std::vector<engine::TokenId> long_prompt(1024, 1);
+  report::Table lt({"attn path", "decode tok/s @ ctx 1024 (paged)"});
+  std::map<std::string, double> long_tput;
+  for (const auto& [label, path] :
+       {std::pair<const char*, engine::AttnPath>{"runs", engine::AttnPath::kRuns},
+        {"per-position", engine::AttnPath::kPerPosition}}) {
+    engine::ScopedAttnPath forced(path);
+    engine::PagedKvPool pool(256, 16, long_model.kv_dims());
+    engine::PagedKvStore kv(pool, 1);
+    long_model.prefill(long_prompt, kv);
+    long_model.forward(1, kv);  // warm-up step
+    const int dsteps = 8;
+    const auto d0 = Clock::now();
+    std::vector<float> logits;
+    for (int i = 0; i < dsteps; ++i)
+      logits = long_model.forward(static_cast<engine::TokenId>((i * 37 + 5) % 512), kv);
+    const double dsecs = std::chrono::duration<double>(Clock::now() - d0).count();
+    if (logits.empty()) return 1;
+    long_tput[label] = dsteps / dsecs;
+    lt.add_numeric_row(label, {long_tput[label]}, 1);
+  }
+  std::printf("%s\n", lt.to_text().c_str());
+  bench::write_csv("engine_long_context_decode", lt);
+
   report::ShapeReport shapes("Engine batch scaling (extension, wall clock)");
   shapes.check_claim("throughput rises with batch on the REAL engine",
                      tput[16] > tput[4] && tput[4] > tput[1]);
@@ -105,6 +139,10 @@ int main() {
   shapes.note("measured tok/s at batch 16", tput[16]);
   shapes.note("prefill speedup vs token loop @128", prefill_speedup[128]);
   shapes.note("prefill speedup vs token loop @256", prefill_speedup[256]);
+  shapes.check_claim("run-path decode not slower than per-position @ ctx 1024",
+                     long_tput["runs"] >= 0.9 * long_tput["per-position"]);
+  shapes.note("long-context decode speedup (runs vs per-position)",
+              long_tput["runs"] / long_tput["per-position"]);
   return bench::finish("engine_batch_scaling",
                        "Measured decode throughput vs batch (mini engine)", t,
                        shapes);

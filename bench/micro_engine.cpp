@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/attention.h"
 #include "engine/generator.h"
 #include "engine/kernels/kernels.h"
 #include "engine/kv_store.h"
@@ -99,6 +100,54 @@ void BM_NoCacheStep(benchmark::State& state) {
   state.SetLabel("full recompute @ ctx " + std::to_string(prefix));
 }
 BENCHMARK(BM_NoCacheStep)->Arg(16)->Arg(64);
+
+// ---- decode attention: run path vs per-position path --------------------------
+// The tentpole comparison for the run-based fast path: one attend() call at
+// the last position of a pre-filled history, bench_config shapes (8 heads /
+// 2 kv heads, head_dim 16). The per-position path issues one virtual
+// kv.key()/value() read per cached token; the run path asks the store for
+// maximal contiguous slabs and streams them through the count>1 kernels.
+// Items processed = attended positions, so items/s is directly comparable
+// across context lengths.
+
+void BM_DecodeAttention(benchmark::State& state, engine::AttnPath path, bool paged) {
+  const auto ctx = static_cast<std::size_t>(state.range(0));
+  const auto cfg = bench_config();
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const std::size_t q_dim = static_cast<std::size_t>(cfg.n_heads) * head_dim;
+  const std::size_t kv_dim = static_cast<std::size_t>(cfg.n_kv_heads) * head_dim;
+
+  std::unique_ptr<engine::PagedKvPool> pool;
+  std::unique_ptr<engine::KvStore> store;
+  if (paged) {
+    pool = std::make_unique<engine::PagedKvPool>(512, 16,
+                                                 std::vector<std::size_t>{kv_dim});
+    store = std::make_unique<engine::PagedKvStore>(*pool, 1);
+  } else {
+    store = std::make_unique<engine::ContiguousKvStore>(
+        std::vector<std::size_t>{kv_dim});
+  }
+  util::Rng rng(13);
+  std::vector<float> k(kv_dim), v(kv_dim), q(q_dim), out(q_dim);
+  for (auto& x : q) x = static_cast<float>(rng.normal());
+  for (std::size_t p = 0; p < ctx; ++p) {
+    for (auto& x : k) x = static_cast<float>(rng.normal());
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    store->append(0, k, v);
+  }
+
+  engine::ScopedAttnPath forced(path);
+  engine::AttnScratch& scratch = engine::AttnScratch::local();
+  for (auto _ : state) {
+    engine::attend(q, out, *store, /*layer=*/0, /*pos=*/ctx - 1,
+                   /*store_len=*/ctx, nullptr, nullptr, kv_dim, head_dim,
+                   /*sliding_window=*/0, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ctx));
+  state.SetLabel(std::string(paged ? "paged" : "contig") + " attended-pos/s");
+}
 
 // ---- prefill vs token-by-token -------------------------------------------------
 
@@ -369,6 +418,21 @@ int main(int argc, char** argv) {
       ->Arg(8);
   benchmark::RegisterBenchmark("BM_BatchedMatmul/naive", BM_BatchedMatmul, false)
       ->Arg(8);
+  for (const auto& [pname, path] :
+       {std::pair<const char*, llmib::engine::AttnPath>{
+            "runs", llmib::engine::AttnPath::kRuns},
+        {"perpos", llmib::engine::AttnPath::kPerPosition}}) {
+    for (const auto& [sname, paged] :
+         {std::pair<const char*, bool>{"contig", false}, {"paged", true}}) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_DecodeAttention/") + pname + "/" + sname).c_str(),
+          BM_DecodeAttention, path, paged)
+          ->Arg(128)
+          ->Arg(512)
+          ->Arg(1024)
+          ->Arg(2048);
+    }
+  }
   benchmark::RegisterBenchmark("BM_DecodeStep/TracingIdle", BM_DecodeStep_Tracing,
                                false);
   benchmark::RegisterBenchmark("BM_DecodeStep/TracingActive", BM_DecodeStep_Tracing,

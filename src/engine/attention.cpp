@@ -1,0 +1,128 @@
+#include "engine/attention.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "engine/kernels/kernels.h"
+#include "engine/tensor_ops.h"
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace llmib::engine {
+
+namespace {
+std::atomic<AttnPath> g_attn_path{AttnPath::kRuns};
+}  // namespace
+
+AttnPath attn_path() { return g_attn_path.load(std::memory_order_relaxed); }
+
+AttnPath set_attn_path(AttnPath p) { return g_attn_path.exchange(p); }
+
+AttnScratch& AttnScratch::local() {
+  static thread_local AttnScratch scratch;
+  return scratch;
+}
+
+void attend(std::span<const float> q, std::span<float> out, const KvStore& kv,
+            int layer, std::size_t pos, std::size_t store_len,
+            const float* chunk_k, const float* chunk_v, std::size_t kv_dim,
+            std::size_t head_dim, std::int64_t sliding_window,
+            AttnScratch& scratch) {
+  util::require(q.size() == out.size() && q.size() % head_dim == 0 &&
+                    kv_dim % head_dim == 0,
+                "attend: bad head geometry");
+  const std::size_t n_heads = q.size() / head_dim;
+  const std::size_t n_kv_heads = kv_dim / head_dim;
+  const std::size_t group = n_heads / n_kv_heads;
+  const std::size_t len = pos + 1;
+  // Sliding-window attention (Mistral, paper Appendix A): attend only to
+  // the most recent `sliding_window` positions.
+  const std::size_t first =
+      sliding_window > 0 && len > static_cast<std::size_t>(sliding_window)
+          ? len - static_cast<std::size_t>(sliding_window)
+          : 0;
+  const std::size_t span = len - first;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  const kernels::KernelSet& ks = kernels::active();
+
+  if (scratch.scores.size() < n_heads * span) scratch.scores.resize(n_heads * span);
+  float* scores = scratch.scores.data();
+
+  const bool per_position = attn_path() == AttnPath::kPerPosition;
+  scratch.runs.clear();
+  if (!per_position) {
+    // Store slabs for [first, min(len, store_len)), then at most one run
+    // over the row-major prefill chunk tail [max(first, store_len), len).
+    const std::size_t store_end = std::min(len, store_len);
+    if (first < store_end) kv.runs(layer, first, store_end - first, scratch.runs);
+    const std::size_t cfirst = std::max(first, store_len);
+    if (len > cfirst)
+      scratch.runs.push_back({chunk_k + (cfirst - store_len) * kv_dim,
+                              chunk_v + (cfirst - store_len) * kv_dim,
+                              len - cfirst});
+  }
+
+  const auto key_at = [&](std::size_t p) -> const float* {
+    return p < store_len ? kv.key(layer, p).data()
+                         : chunk_k + (p - store_len) * kv_dim;
+  };
+  const auto value_at = [&](std::size_t p) -> const float* {
+    return p < store_len ? kv.value(layer, p).data()
+                         : chunk_v + (p - store_len) * kv_dim;
+  };
+
+  {
+    obs::Span scores_span("attn.scores", obs::Cat::kEngine,
+                          static_cast<std::int64_t>(span));
+    // GQA grouping: kv-head outer, query heads of its group inner, so each
+    // K slab is streamed while hot for the whole group. Head order
+    // h = kv_h*group + g is plain ascending order (groups are contiguous),
+    // and score rows are independent — float semantics are untouched.
+    for (std::size_t kv_h = 0; kv_h < n_kv_heads; ++kv_h) {
+      for (std::size_t g = 0; g < group; ++g) {
+        const std::size_t h = kv_h * group + g;
+        const float* q_head = q.data() + h * head_dim;
+        float* row = scores + h * span;
+        if (per_position) {
+          for (std::size_t t = 0; t < span; ++t)
+            ks.attn_scores(q_head, key_at(first + t) + kv_h * head_dim,
+                           head_dim, kv_dim, 1, scale, row + t);
+        } else {
+          std::size_t t = 0;
+          for (const KvRun& r : scratch.runs) {
+            ks.attn_scores(q_head, r.k + kv_h * head_dim, head_dim, kv_dim,
+                           r.len, scale, row + t);
+            t += r.len;
+          }
+        }
+      }
+    }
+  }
+
+  std::fill(out.begin(), out.end(), 0.0f);
+  {
+    obs::Span av_span("attn.av", obs::Cat::kEngine,
+                      static_cast<std::int64_t>(span));
+    for (std::size_t h = 0; h < n_heads; ++h) {
+      const std::size_t kv_h = h / group;
+      float* row = scores + h * span;
+      softmax(std::span<float>(row, span));
+      float* o_head = out.data() + h * head_dim;
+      if (per_position) {
+        for (std::size_t t = 0; t < span; ++t)
+          ks.attn_av(row + t, value_at(first + t) + kv_h * head_dim, head_dim,
+                     kv_dim, 1, o_head);
+      } else {
+        std::size_t t = 0;
+        for (const KvRun& r : scratch.runs) {
+          ks.attn_av(row + t, r.v + kv_h * head_dim, head_dim, kv_dim, r.len,
+                     o_head);
+          t += r.len;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace llmib::engine

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/kv_store.h"
+
+namespace llmib::engine {
+
+/// Which KV iteration strategy attend() uses. Both produce bitwise-identical
+/// results within a kernel backend (pinned by tests/attention_runs_test.cpp);
+/// kPerPosition exists as the measurable baseline and as the reference the
+/// bit-identity is asserted against.
+enum class AttnPath {
+  kRuns,         ///< one KvStore::runs() call, kernels sweep whole slabs
+  kPerPosition,  ///< one key()/value() virtual call per (head, position)
+};
+
+AttnPath attn_path();
+/// Set the process-wide attention path (benchmarks/tests); returns the
+/// previous one. Like kernels::set_backend, switch only between forwards.
+AttnPath set_attn_path(AttnPath p);
+
+/// RAII forced-path scope for tests/benchmarks.
+class ScopedAttnPath {
+ public:
+  explicit ScopedAttnPath(AttnPath p) : previous_(set_attn_path(p)) {}
+  ~ScopedAttnPath() { set_attn_path(previous_); }
+  ScopedAttnPath(const ScopedAttnPath&) = delete;
+  ScopedAttnPath& operator=(const ScopedAttnPath&) = delete;
+
+ private:
+  AttnPath previous_;
+};
+
+/// Reusable per-thread attention/FFN scratch. Decode used to allocate a
+/// fresh scores vector per (token, layer, sequence) and fresh gate/up/down
+/// buffers per expert call; every buffer here grows once to its high-water
+/// mark and is then reused for the life of the thread.
+///
+/// Ownership rule: a scratch instance belongs to exactly ONE thread.
+/// Call AttnScratch::local() at the point of use — worker-pool lambdas must
+/// NOT capture the spawning thread's instance.
+struct AttnScratch {
+  std::vector<float> scores;   ///< n_heads rows x attention span
+  std::vector<KvRun> runs;     ///< run list for the current attend() call
+  std::vector<float> q, k, v;  ///< rotated QKV projections (decode)
+  std::vector<float> attn_out; ///< pre-Wo attention output
+  std::vector<float> gate, up, down, xin;  ///< FFN / expert buffers
+
+  /// This thread's scratch (thread_local; pool workers persist, so buffers
+  /// are warm across steps).
+  static AttnScratch& local();
+};
+
+/// Grow-only view helper: `buf` keeps its high-water capacity, the returned
+/// span is exactly `n` floats.
+inline std::span<float> scratch_span(std::vector<float>& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+  return {buf.data(), n};
+}
+
+/// One token's multi-head attention read against cached KV plus an optional
+/// prefill chunk tail. Shared by all four forward paths (serial, batched,
+/// chunked prefill, sharded) so they stay bitwise-identical by construction.
+///
+/// `q` holds n_heads = q.size()/head_dim rotated query heads; `out` (same
+/// size) receives the concatenated head outputs (overwritten, not
+/// accumulated). Positions [0, store_len) are read from `kv`; positions
+/// [store_len, pos] from the row-major chunk buffers `chunk_k`/`chunk_v`
+/// (may be null when pos < store_len — the pure decode case). GQA derives
+/// from kv_dim: group = n_heads / (kv_dim / head_dim); each kv head's K/V
+/// slabs are streamed once for its whole group of query heads.
+/// `sliding_window` <= 0 means full attention.
+void attend(std::span<const float> q, std::span<float> out, const KvStore& kv,
+            int layer, std::size_t pos, std::size_t store_len,
+            const float* chunk_k, const float* chunk_v, std::size_t kv_dim,
+            std::size_t head_dim, std::int64_t sliding_window,
+            AttnScratch& scratch);
+
+}  // namespace llmib::engine

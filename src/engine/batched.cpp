@@ -5,6 +5,7 @@
 #include <map>
 #include <numeric>
 
+#include "engine/attention.h"
 #include "engine/tensor_ops.h"
 #include "util/check.h"
 
@@ -60,7 +61,6 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
     const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
     const std::size_t kv_dim = lw.wk.size() / hidden;
     const std::size_t n_kv_heads = kv_dim / head_dim;
-    const std::size_t group = n_heads / n_kv_heads;
 
     // ---- attention ------------------------------------------------------
     for_each_sequence(batch, [&](std::size_t b) {
@@ -86,32 +86,12 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
       require(kv.append(layer, k_b, std::span<const float>(v).subspan(b * kv_dim, kv_dim)),
               "forward_batch: KV pool exhausted");
 
-      const std::size_t len = pos + 1;
-      const std::size_t first =
-          cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
-              ? len - static_cast<std::size_t>(cfg.sliding_window)
-              : 0;
-      const std::size_t span = len - first;
-      const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-      auto o_b = std::span<float>(attn_out).subspan(b * q_dim, q_dim);
-      std::fill(o_b.begin(), o_b.end(), 0.0f);
-      std::vector<float> scores(span);
-      for (std::size_t h = 0; h < n_heads; ++h) {
-        const std::size_t kv_h = h / group;
-        const auto q_head =
-            std::span<const float>(q).subspan(b * q_dim + h * head_dim, head_dim);
-        for (std::size_t t = 0; t < span; ++t)
-          scores[t] = dot(q_head, kv.key(layer, first + t).subspan(kv_h * head_dim,
-                                                                   head_dim)) *
-                      scale;
-        softmax(scores);
-        auto o_head = o_b.subspan(h * head_dim, head_dim);
-        for (std::size_t t = 0; t < span; ++t) {
-          const auto v_t =
-              kv.value(layer, first + t).subspan(kv_h * head_dim, head_dim);
-          for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += scores[t] * v_t[d];
-        }
-      }
+      // Pool workers persist, so each worker's scratch (scores, run list)
+      // stays warm across layers and steps — no per-token allocation.
+      attend(std::span<const float>(q).subspan(b * q_dim, q_dim),
+             std::span<float>(attn_out).subspan(b * q_dim, q_dim), kv, layer,
+             pos, pos + 1, nullptr, nullptr, kv_dim, head_dim,
+             cfg.sliding_window, AttnScratch::local());
     });
     batched_matmul(lw.wo, attn_out, proj, hidden, q_dim, batch);
     for (std::size_t i = 0; i < batch * hidden; ++i) x[i] += proj[i];
@@ -141,8 +121,9 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
       };
       std::vector<Route> routes(batch);
       std::map<std::size_t, std::vector<std::size_t>> expert_members;
+      AttnScratch& scratch = AttnScratch::local();
+      auto scores = scratch_span(scratch.scores, n_experts);
       for (std::size_t b = 0; b < batch; ++b) {
-        std::vector<float> scores(n_experts);
         matvec(lw.router, std::span<const float>(normed).subspan(b * hidden, hidden),
                scores, n_experts, hidden);
         std::vector<std::size_t> order(n_experts);
@@ -163,11 +144,13 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
       std::map<std::pair<std::size_t, std::size_t>, std::vector<float>> outputs;
       for (const auto& [e, members] : expert_members) {
         const std::size_t m = members.size();
-        std::vector<float> xin(m * hidden);
+        auto xin = scratch_span(scratch.xin, m * hidden);
         for (std::size_t i = 0; i < m; ++i)
           std::copy_n(normed.begin() + static_cast<std::ptrdiff_t>(members[i] * hidden),
                       hidden, xin.begin() + static_cast<std::ptrdiff_t>(i * hidden));
-        std::vector<float> gate(m * inter), up(m * inter), down(m * hidden);
+        auto gate = scratch_span(scratch.gate, m * inter);
+        auto up = scratch_span(scratch.up, m * inter);
+        auto down = scratch_span(scratch.down, m * hidden);
         batched_matmul(lw.w_gate[e], xin, gate, inter, hidden, m);
         batched_matmul(lw.w_up[e], xin, up, inter, hidden, m);
         silu(gate);

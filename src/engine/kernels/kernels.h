@@ -57,6 +57,24 @@ struct KernelSet {
   /// backends use the shared fp32 lane discipline (~1e-6 relative drift).
   void (*gemv_i8)(const std::int8_t* w, const float* scales, const float* x,
                   float* y, std::size_t rows, std::size_t cols);
+
+  /// Attention scores over one contiguous KV run:
+  /// scores[t] = scale * dot(q, k + t*stride) for t in [0, count), where
+  /// `stride` is the kv_dim row pitch of the run. Each score goes through
+  /// the backend's dot discipline, so a count=n call is bitwise identical
+  /// to n count=1 calls — the run segmentation a KvStore reports can never
+  /// change results.
+  void (*attn_scores)(const float* q, const float* k, std::size_t head_dim,
+                      std::size_t stride, std::size_t count, float scale,
+                      float* scores);
+
+  /// Scores-weighted V accumulation over one contiguous run:
+  /// out[d] += scores[t] * v[t*stride + d], positions t strictly ascending.
+  /// Vectorized along head_dim only — the per-element (d) accumulation
+  /// chain visits positions in the same order regardless of `count`, so run
+  /// segmentation is again invisible bitwise within a backend.
+  void (*attn_av)(const float* scores, const float* v, std::size_t head_dim,
+                  std::size_t stride, std::size_t count, float* out);
 };
 
 /// True when this build/CPU can run `b` (kScalar/kPortable: always; kAvx2:

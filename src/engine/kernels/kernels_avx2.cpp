@@ -207,6 +207,88 @@ void avx2_gemv_i8(const std::int8_t* w, const float* scales, const float* x,
   }
 }
 
+void avx2_attn_scores(const float* q, const float* k, std::size_t head_dim,
+                      std::size_t stride, std::size_t count, float scale,
+                      float* scores) {
+  // avx2_matvec's 4-row tile with the row pitch set to the KV stride: each
+  // q chunk is loaded once and fed to four K rows. Per-score accumulation
+  // is exactly avx2_dot's sequence; the scale multiply happens after the
+  // reduction, same as the count=1 path.
+  std::size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    const float* k0 = k + (t + 0) * stride;
+    const float* k1 = k + (t + 1) * stride;
+    const float* k2 = k + (t + 2) * stride;
+    const float* k3 = k + (t + 3) * stride;
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    std::size_t c = 0;
+    for (; c + 8 <= head_dim; c += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + c);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(k0 + c), qv, a0);
+      a1 = _mm256_fmadd_ps(_mm256_loadu_ps(k1 + c), qv, a1);
+      a2 = _mm256_fmadd_ps(_mm256_loadu_ps(k2 + c), qv, a2);
+      a3 = _mm256_fmadd_ps(_mm256_loadu_ps(k3 + c), qv, a3);
+    }
+    if (c < head_dim) {
+      const __m256i m = tail_mask(head_dim - c);
+      const __m256 qv = _mm256_maskload_ps(q + c, m);
+      a0 = _mm256_fmadd_ps(_mm256_maskload_ps(k0 + c, m), qv, a0);
+      a1 = _mm256_fmadd_ps(_mm256_maskload_ps(k1 + c, m), qv, a1);
+      a2 = _mm256_fmadd_ps(_mm256_maskload_ps(k2 + c, m), qv, a2);
+      a3 = _mm256_fmadd_ps(_mm256_maskload_ps(k3 + c, m), qv, a3);
+    }
+    scores[t + 0] = reduce8(a0) * scale;
+    scores[t + 1] = reduce8(a1) * scale;
+    scores[t + 2] = reduce8(a2) * scale;
+    scores[t + 3] = reduce8(a3) * scale;
+  }
+  for (; t < count; ++t)
+    scores[t] = avx2_dot(q, k + t * stride, head_dim) * scale;
+}
+
+void avx2_attn_av(const float* scores, const float* v, std::size_t head_dim,
+                  std::size_t stride, std::size_t count, float* out) {
+  // head_dim chunks held in vector accumulators across the position loop —
+  // out is loaded/stored once per chunk while V rows stream once. The chunk
+  // split depends only on head_dim, so per-element fmadd order (positions
+  // ascending) is independent of the caller's run segmentation.
+  std::size_t d = 0;
+  for (; d + 32 <= head_dim; d += 32) {
+    __m256 a0 = _mm256_loadu_ps(out + d);
+    __m256 a1 = _mm256_loadu_ps(out + d + 8);
+    __m256 a2 = _mm256_loadu_ps(out + d + 16);
+    __m256 a3 = _mm256_loadu_ps(out + d + 24);
+    for (std::size_t t = 0; t < count; ++t) {
+      const __m256 wv = _mm256_broadcast_ss(scores + t);
+      const float* vt = v + t * stride + d;
+      a0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(vt), a0);
+      a1 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(vt + 8), a1);
+      a2 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(vt + 16), a2);
+      a3 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(vt + 24), a3);
+    }
+    _mm256_storeu_ps(out + d, a0);
+    _mm256_storeu_ps(out + d + 8, a1);
+    _mm256_storeu_ps(out + d + 16, a2);
+    _mm256_storeu_ps(out + d + 24, a3);
+  }
+  for (; d + 8 <= head_dim; d += 8) {
+    __m256 acc = _mm256_loadu_ps(out + d);
+    for (std::size_t t = 0; t < count; ++t)
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(scores + t),
+                            _mm256_loadu_ps(v + t * stride + d), acc);
+    _mm256_storeu_ps(out + d, acc);
+  }
+  if (d < head_dim) {
+    const __m256i m = tail_mask(head_dim - d);
+    __m256 acc = _mm256_maskload_ps(out + d, m);
+    for (std::size_t t = 0; t < count; ++t)
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(scores + t),
+                            _mm256_maskload_ps(v + t * stride + d, m), acc);
+    _mm256_maskstore_ps(out + d, m, acc);
+  }
+}
+
 bool runtime_supported() {
 #if defined(__GNUC__) || defined(__clang__)
   __builtin_cpu_init();
@@ -223,7 +305,8 @@ const KernelSet* avx2_kernels() {
   if (!ok) return nullptr;
   static const KernelSet k = {Backend::kAvx2, "avx2",       avx2_dot,
                               avx2_matvec,    avx2_matvec3, avx2_matmul_nt,
-                              avx2_gemv_i8};
+                              avx2_gemv_i8,   avx2_attn_scores,
+                              avx2_attn_av};
   return &k;
 }
 

@@ -110,13 +110,58 @@ void portable_gemv_i8(const std::int8_t* w, const float* scales, const float* x,
     lanes_gemv_i8_row(w + r * cols, x, cols, scales[r], &y[r]);
 }
 
+void portable_attn_scores(const float* q, const float* k, std::size_t head_dim,
+                          std::size_t stride, std::size_t count, float scale,
+                          float* scores) {
+  // Position blocks of 4 mirror portable_matvec's row tile: q stays hot
+  // while four K rows (stride apart, not cols) stream once each.
+  std::size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    const float* kt = k + t * stride;
+    scores[t + 0] = lanes_dot(q, kt + 0 * stride, head_dim) * scale;
+    scores[t + 1] = lanes_dot(q, kt + 1 * stride, head_dim) * scale;
+    scores[t + 2] = lanes_dot(q, kt + 2 * stride, head_dim) * scale;
+    scores[t + 3] = lanes_dot(q, kt + 3 * stride, head_dim) * scale;
+  }
+  for (; t < count; ++t)
+    scores[t] = lanes_dot(q, k + t * stride, head_dim) * scale;
+}
+
+// noinline: the d-chunked accumulation below must round identically at every
+// call site (count=1 per-position calls vs one count=n run call).
+LLMIB_NOINLINE void portable_attn_av(const float* scores, const float* v,
+                                     std::size_t head_dim, std::size_t stride,
+                                     std::size_t count, float* out) {
+  // head_dim chunks of 8 live in local accumulators across the whole
+  // position loop: out is loaded/stored once per chunk while V rows stream.
+  // The chunk split depends only on head_dim, so per-element accumulation
+  // order is independent of how the caller segments positions into runs.
+  std::size_t d = 0;
+  for (; d + kLanes <= head_dim; d += kLanes) {
+    float acc[kLanes];
+    for (std::size_t j = 0; j < kLanes; ++j) acc[j] = out[d + j];
+    for (std::size_t t = 0; t < count; ++t) {
+      const float w = scores[t];
+      const float* vt = v + t * stride + d;
+      for (std::size_t j = 0; j < kLanes; ++j) acc[j] += w * vt[j];
+    }
+    for (std::size_t j = 0; j < kLanes; ++j) out[d + j] = acc[j];
+  }
+  for (; d < head_dim; ++d) {
+    float acc = out[d];
+    for (std::size_t t = 0; t < count; ++t) acc += scores[t] * v[t * stride + d];
+    out[d] = acc;
+  }
+}
+
 }  // namespace
 
 const KernelSet& portable_kernels() {
   static const KernelSet k = {Backend::kPortable, "portable",
                               lanes_dot,          portable_matvec,
                               portable_matvec3,   portable_matmul_nt,
-                              portable_gemv_i8};
+                              portable_gemv_i8,   portable_attn_scores,
+                              portable_attn_av};
   return k;
 }
 

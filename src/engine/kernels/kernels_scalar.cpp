@@ -59,12 +59,33 @@ void scalar_gemv_i8(const std::int8_t* w, const float* scales, const float* x,
   }
 }
 
+void scalar_attn_scores(const float* q, const float* k, std::size_t head_dim,
+                        std::size_t stride, std::size_t count, float scale,
+                        float* scores) {
+  for (std::size_t t = 0; t < count; ++t)
+    scores[t] = scalar_dot(q, k + t * stride, head_dim) * scale;
+}
+
+// The seed attention's scores·V order: positions outer, head_dim inner, one
+// accumulation chain per output element running through memory. noinline for
+// the same reason as scalar_dot — every call site must round identically.
+LLMIB_NOINLINE void scalar_attn_av(const float* scores, const float* v,
+                                   std::size_t head_dim, std::size_t stride,
+                                   std::size_t count, float* out) {
+  for (std::size_t t = 0; t < count; ++t) {
+    const float w = scores[t];
+    const float* vt = v + t * stride;
+    for (std::size_t d = 0; d < head_dim; ++d) out[d] += w * vt[d];
+  }
+}
+
 }  // namespace
 
 const KernelSet& scalar_kernels() {
   static const KernelSet k = {Backend::kScalar, "scalar",      scalar_dot,
                               scalar_matvec,    scalar_matvec3, scalar_matmul_nt,
-                              scalar_gemv_i8};
+                              scalar_gemv_i8,   scalar_attn_scores,
+                              scalar_attn_av};
   return k;
 }
 

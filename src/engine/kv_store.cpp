@@ -9,6 +9,15 @@ namespace llmib::engine {
 
 using util::require;
 
+// --------------------------------------------------------------------- base
+
+void KvStore::runs(int layer, std::size_t first, std::size_t len,
+                   std::vector<KvRun>& out) const {
+  // Fallback for stores without a native slab layout: one run per position.
+  for (std::size_t p = first; p < first + len; ++p)
+    out.push_back({key(layer, p).data(), value(layer, p).data(), 1});
+}
+
 // ---------------------------------------------------------------- contiguous
 
 ContiguousKvStore::ContiguousKvStore(std::vector<std::size_t> kv_dims)
@@ -48,6 +57,17 @@ std::span<const float> ContiguousKvStore::value(int layer, std::size_t pos) cons
   require(kv_dims_[l] > 0, "ContiguousKvStore: layer holds no KV");
   require(pos < values_[l].size() / kv_dims_[l], "ContiguousKvStore: bad access");
   return {values_[l].data() + pos * kv_dims_[l], kv_dims_[l]};
+}
+
+void ContiguousKvStore::runs(int layer, std::size_t first, std::size_t len,
+                             std::vector<KvRun>& out) const {
+  if (len == 0) return;
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "ContiguousKvStore: bad layer");
+  require(kv_dims_[l] > 0, "ContiguousKvStore: layer holds no KV");
+  const std::size_t dim = kv_dims_[l];
+  require(first + len <= keys_[l].size() / dim, "ContiguousKvStore: bad run range");
+  out.push_back({keys_[l].data() + first * dim, values_[l].data() + first * dim, len});
 }
 
 std::size_t ContiguousKvStore::stored_floats() const {
@@ -184,6 +204,32 @@ std::span<const float> PagedKvStore::value(int layer, std::size_t pos) const {
   const kv::BlockId block = table[pos / pool_.block_size()];
   const auto offset = static_cast<std::uint32_t>(pos % pool_.block_size());
   return pool_.value_slot(layer, block, offset);
+}
+
+void PagedKvStore::runs(int layer, std::size_t first, std::size_t len,
+                        std::vector<KvRun>& out) const {
+  if (len == 0) return;
+  require(first + len <= tokens_visible(layer), "PagedKvStore: bad run range");
+  const auto& table = pool_.allocator().block_table(id_);
+  const std::size_t bs = pool_.block_size();
+  std::size_t p = first;
+  const std::size_t end = first + len;
+  while (p < end) {
+    // Extend across logically consecutive blocks while they are also
+    // physically consecutive in the pool (ids ascend by exactly one).
+    const std::size_t start_block = p / bs;
+    std::size_t block_idx = start_block;
+    while ((block_idx + 1) * bs < end &&
+           table[block_idx + 1] ==
+               table[start_block] + static_cast<kv::BlockId>(block_idx + 1 - start_block))
+      ++block_idx;
+    const std::size_t stop = std::min(end, (block_idx + 1) * bs);
+    const auto offset = static_cast<std::uint32_t>(p % bs);
+    out.push_back({pool_.key_slot(layer, table[start_block], offset).data(),
+                   pool_.value_slot(layer, table[start_block], offset).data(),
+                   stop - p});
+    p = stop;
+  }
 }
 
 }  // namespace llmib::engine

@@ -9,6 +9,15 @@
 
 namespace llmib::engine {
 
+/// One maximal contiguous slab of cached K/V rows: `len` consecutive token
+/// positions whose K (resp. V) vectors sit back to back, kv_dim(layer)
+/// floats apart. Produced by KvStore::runs().
+struct KvRun {
+  const float* k = nullptr;
+  const float* v = nullptr;
+  std::size_t len = 0;
+};
+
 /// Abstract per-sequence KV storage for the mini engine. One instance holds
 /// the cache for ONE sequence across all layers. Both implementations must
 /// produce byte-identical reads — the paged/contiguous equivalence test in
@@ -26,6 +35,17 @@ class KvStore {
   virtual std::span<const float> key(int layer, std::size_t pos) const = 0;
   virtual std::span<const float> value(int layer, std::size_t pos) const = 0;
 
+  /// Append maximal contiguous (K*, V*, count) slabs covering positions
+  /// [first, first+len) of `layer` to `out`, in position order. `out` is NOT
+  /// cleared — callers reuse a per-thread scratch vector. Concatenated run
+  /// data is byte-identical to reading key()/value() per position; the row
+  /// stride within a run is kv_dim(layer). Pointers stay valid only until
+  /// the next append to this store (contiguous growth or copy-on-write
+  /// relocation may move the rows). The base implementation degrades to one
+  /// run per position; stores override with block- or whole-history slabs.
+  virtual void runs(int layer, std::size_t first, std::size_t len,
+                    std::vector<KvRun>& out) const;
+
   /// Tokens cached so far (same for every layer by construction).
   virtual std::size_t size() const = 0;
 };
@@ -39,6 +59,9 @@ class ContiguousKvStore final : public KvStore {
   bool append(int layer, std::span<const float> k, std::span<const float> v) override;
   std::span<const float> key(int layer, std::size_t pos) const override;
   std::span<const float> value(int layer, std::size_t pos) const override;
+  /// The whole requested range is one run: a single (K*, V*, len) slab.
+  void runs(int layer, std::size_t first, std::size_t len,
+            std::vector<KvRun>& out) const override;
   std::size_t size() const override { return tokens_; }
 
   /// Floats actually held (K + V planes, all layers) — the ground truth
@@ -100,6 +123,12 @@ class PagedKvStore final : public KvStore {
   bool append(int layer, std::span<const float> k, std::span<const float> v) override;
   std::span<const float> key(int layer, std::size_t pos) const override;
   std::span<const float> value(int layer, std::size_t pos) const override;
+  /// Block-granular slabs: one run per stretch of physically adjacent
+  /// blocks (the allocator hands out ascending ids, so a freshly grown
+  /// sequence coalesces; copy-on-write relocation breaks adjacency, so a
+  /// forked sequence splits exactly at relocated blocks).
+  void runs(int layer, std::size_t first, std::size_t len,
+            std::vector<KvRun>& out) const override;
   std::size_t size() const override { return tokens_; }
 
  private:

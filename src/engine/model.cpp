@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "engine/attention.h"
 #include "engine/tensor_ops.h"
 #include "obs/obs.h"
 #include "util/check.h"
@@ -59,7 +60,10 @@ void MiniTransformer::attention(int layer, std::span<const float> normed,
   const std::size_t kv_dim = lw.wk.size() / hidden;
   const std::size_t n_kv_heads = kv_dim / head_dim;
 
-  std::vector<float> q(q_dim), k(kv_dim), v(kv_dim);
+  AttnScratch& scratch = AttnScratch::local();
+  auto q = scratch_span(scratch.q, q_dim);
+  auto k = scratch_span(scratch.k, kv_dim);
+  auto v = scratch_span(scratch.v, kv_dim);
   if (ql != nullptr) {
     ql->wq.gemv(normed, q);
     ql->wk.gemv(normed, k);
@@ -72,68 +76,19 @@ void MiniTransformer::attention(int layer, std::span<const float> normed,
 
   const std::size_t pos = kv.size();
   for (std::size_t h = 0; h < n_heads; ++h)
-    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos, *rope_);
+    rope(q.subspan(h * head_dim, head_dim), pos, *rope_);
   for (std::size_t h = 0; h < n_kv_heads; ++h)
-    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos, *rope_);
+    rope(k.subspan(h * head_dim, head_dim), pos, *rope_);
 
   require(kv.append(layer, k, v), "MiniTransformer: KV pool exhausted");
-  std::vector<float> attn_out(q_dim);
-  attend_one(layer, q, attn_out, kv, pos, pos + 1, nullptr, nullptr);
+  auto attn_out = scratch_span(scratch.attn_out, q_dim);
+  attend(q, attn_out, kv, layer, pos, pos + 1, nullptr, nullptr, kv_dim,
+         head_dim, cfg.sliding_window, scratch);
 
   if (ql != nullptr) {
     ql->wo.gemv(attn_out, out);
   } else {
     matvec(lw.wo, attn_out, out, hidden, q_dim);
-  }
-}
-
-void MiniTransformer::attend_one(int layer, std::span<const float> q,
-                                 std::span<float> out, const KvStore& kv,
-                                 std::size_t pos, std::size_t store_len,
-                                 const float* chunk_k, const float* chunk_v) const {
-  const auto& cfg = weights_.config;
-  const auto& lw = weights_.layers[static_cast<std::size_t>(layer)];
-  const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
-  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
-  const auto n_heads = static_cast<std::size_t>(cfg.n_heads);
-  const std::size_t kv_dim = lw.wk.size() / hidden;
-  const std::size_t group = n_heads / (kv_dim / head_dim);
-
-  const std::size_t len = pos + 1;
-  // Sliding-window attention (Mistral, paper Appendix A): attend only to
-  // the most recent `sliding_window` positions.
-  const std::size_t first =
-      cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
-          ? len - static_cast<std::size_t>(cfg.sliding_window)
-          : 0;
-  const std::size_t span = len - first;
-
-  const auto key_at = [&](std::size_t p) -> const float* {
-    return p < store_len ? kv.key(layer, p).data()
-                         : chunk_k + (p - store_len) * kv_dim;
-  };
-  const auto value_at = [&](std::size_t p) -> const float* {
-    return p < store_len ? kv.value(layer, p).data()
-                         : chunk_v + (p - store_len) * kv_dim;
-  };
-
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  std::fill(out.begin(), out.end(), 0.0f);
-  std::vector<float> scores(span);
-  for (std::size_t h = 0; h < n_heads; ++h) {
-    const std::size_t kv_h = h / group;
-    const auto q_head = q.subspan(h * head_dim, head_dim);
-    for (std::size_t t = 0; t < span; ++t) {
-      const std::span<const float> k_t{key_at(first + t) + kv_h * head_dim, head_dim};
-      scores[t] = dot(q_head, k_t) * scale;
-    }
-    softmax(scores);
-    auto o_head = out.subspan(h * head_dim, head_dim);
-    for (std::size_t t = 0; t < span; ++t) {
-      const float* v_t = value_at(first + t) + kv_h * head_dim;
-      const float w = scores[t];
-      for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += w * v_t[d];
-    }
   }
 }
 
@@ -146,8 +101,11 @@ void MiniTransformer::ffn(int layer, std::span<const float> normed,
   const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
   const auto inter = static_cast<std::size_t>(cfg.ffn_intermediate);
 
+  AttnScratch& scratch = AttnScratch::local();
   auto run_expert = [&](std::size_t e, float weight, std::span<float> acc) {
-    std::vector<float> gate(inter), up(inter), down(hidden);
+    auto gate = scratch_span(scratch.gate, inter);
+    auto up = scratch_span(scratch.up, inter);
+    auto down = scratch_span(scratch.down, hidden);
     project(lw.w_gate[e], ql ? &ql->w_gate[e] : nullptr, normed, gate, inter, hidden);
     project(lw.w_up[e], ql ? &ql->w_up[e] : nullptr, normed, up, inter, hidden);
     silu(gate);
@@ -288,10 +246,12 @@ std::vector<float> MiniTransformer::prefill(std::span<const TokenId> tokens,
       for (std::size_t h = 0; h < n_kv_heads; ++h)
         rope(k_t.subspan(h * head_dim, head_dim), base + t, *rope_);
     }
+    AttnScratch& scratch = AttnScratch::local();
     for (std::size_t t = 0; t < T; ++t)
-      attend_one(l, std::span<const float>(q).subspan(t * q_dim, q_dim),
-                 std::span<float>(attn).subspan(t * q_dim, q_dim), kv, base + t,
-                 base, k.data(), v.data());
+      attend(std::span<const float>(q).subspan(t * q_dim, q_dim),
+             std::span<float>(attn).subspan(t * q_dim, q_dim), kv, l, base + t,
+             base, k.data(), v.data(), kv_dim, head_dim, cfg.sliding_window,
+             scratch);
     batched_matmul(lw.wo, attn, delta, hidden, q_dim, T);
     for (std::size_t i = 0; i < T * hidden; ++i) x[i] += delta[i];
 

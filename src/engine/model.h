@@ -66,17 +66,6 @@ class MiniTransformer {
  private:
   void attention(int layer, std::span<const float> normed, std::span<float> out,
                  KvStore& kv) const;
-  /// Causal attention for one token at absolute position `pos`: scores q
-  /// against the (sliding-window-clipped) prefix [.., pos] and writes the
-  /// weighted values to `out`. Positions below `store_len` read from `kv`;
-  /// positions >= store_len read row (p - store_len) of the chunk-local
-  /// buffers `chunk_k`/`chunk_v` — prefill attends before the chunk's K/V
-  /// have been appended (the stores require token-major append order).
-  /// Exactly the decode step's math: same dot kernel, softmax, and value
-  /// accumulation order.
-  void attend_one(int layer, std::span<const float> q, std::span<float> out,
-                  const KvStore& kv, std::size_t pos, std::size_t store_len,
-                  const float* chunk_k, const float* chunk_v) const;
   void ffn(int layer, std::span<const float> normed, std::span<float> out) const;
   void project(std::span<const float> w, const quant::Int8Matrix* qw,
                std::span<const float> x, std::span<float> y, std::size_t rows,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "engine/attention.h"
 #include "engine/tensor_ops.h"
 #include "obs/obs.h"
 #include "util/check.h"
@@ -124,14 +125,18 @@ void ShardedTransformer::attention_slice(int layer, std::size_t s,
   const std::size_t heads = n_heads_total / shards;
   const std::size_t kv_dim_total = lw.wk.size() / hidden;
   const std::size_t kv_heads = kv_dim_total / head_dim / shards;
-  const std::size_t group = heads / kv_heads;
 
   const std::size_t q_rows = heads * head_dim;
   const std::size_t kv_rows = kv_heads * head_dim;
   const std::size_t q_off = s * q_rows;
   const std::size_t kv_off = s * kv_rows;
 
-  std::vector<float> q(q_rows), k(kv_rows), v(kv_rows);
+  // Worker-local scratch: pool workers persist for the executor's lifetime,
+  // so these buffers are allocated once per shard, not once per token.
+  AttnScratch& scratch = AttnScratch::local();
+  auto q = scratch_span(scratch.q, q_rows);
+  auto k = scratch_span(scratch.k, kv_rows);
+  auto v = scratch_span(scratch.v, kv_rows);
   matvec(std::span<const float>(lw.wq).subspan(q_off * hidden, q_rows * hidden),
          normed, q, q_rows, hidden);
   matvec(std::span<const float>(lw.wk).subspan(kv_off * hidden, kv_rows * hidden),
@@ -141,39 +146,15 @@ void ShardedTransformer::attention_slice(int layer, std::size_t s,
 
   const std::size_t pos = tokens_;
   for (std::size_t h = 0; h < heads; ++h)
-    rope(std::span<float>(q).subspan(h * head_dim, head_dim), pos, *rope_);
+    rope(q.subspan(h * head_dim, head_dim), pos, *rope_);
   for (std::size_t h = 0; h < kv_heads; ++h)
-    rope(std::span<float>(k).subspan(h * head_dim, head_dim), pos, *rope_);
+    rope(k.subspan(h * head_dim, head_dim), pos, *rope_);
 
   KvStore& kv = *shard_kv_[s];
   require(kv.append(layer, k, v), "ShardedTransformer: KV append failed");
-  const std::size_t len = pos + 1;
   // Same sliding-window rule as the serial engine (equivalence invariant).
-  const std::size_t first =
-      cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
-          ? len - static_cast<std::size_t>(cfg.sliding_window)
-          : 0;
-  const std::size_t span_len = len - first;
-
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  auto out = gathered.subspan(q_off, q_rows);
-  std::fill(out.begin(), out.end(), 0.0f);
-  std::vector<float> scores(span_len);
-  for (std::size_t h = 0; h < heads; ++h) {
-    const std::size_t kv_h = h / group;
-    const auto q_head = std::span<const float>(q).subspan(h * head_dim, head_dim);
-    for (std::size_t t = 0; t < span_len; ++t)
-      scores[t] =
-          dot(q_head, kv.key(layer, first + t).subspan(kv_h * head_dim, head_dim)) *
-          scale;
-    softmax(scores);
-    auto o_head = out.subspan(h * head_dim, head_dim);
-    for (std::size_t t = 0; t < span_len; ++t) {
-      const auto v_t = kv.value(layer, first + t).subspan(kv_h * head_dim, head_dim);
-      const float w = scores[t];
-      for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += w * v_t[d];
-    }
-  }
+  attend(q, gathered.subspan(q_off, q_rows), kv, layer, pos, pos + 1, nullptr,
+         nullptr, kv_rows, head_dim, cfg.sliding_window, scratch);
 }
 
 void ShardedTransformer::ffn_inter_slice(int layer, std::size_t s,
@@ -346,7 +327,6 @@ void ShardedTransformer::attention_slice_prefill(int layer, std::size_t s,
   const std::size_t heads = n_heads_total / shards;
   const std::size_t kv_dim_total = lw.wk.size() / hidden;
   const std::size_t kv_heads = kv_dim_total / head_dim / shards;
-  const std::size_t group = heads / kv_heads;
 
   const std::size_t q_rows = heads * head_dim;
   const std::size_t kv_rows = kv_heads * head_dim;
@@ -379,42 +359,12 @@ void ShardedTransformer::attention_slice_prefill(int layer, std::size_t s,
   // shard's store, chunk positions from the local buffers (the store only
   // accepts token-major appends, which happen after the whole chunk).
   const KvStore& kv = *shard_kv_[s];
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  const auto key_at = [&](std::size_t p) -> const float* {
-    return p < base ? kv.key(layer, p).data() : chunk_k.data() + (p - base) * kv_rows;
-  };
-  const auto value_at = [&](std::size_t p) -> const float* {
-    return p < base ? kv.value(layer, p).data()
-                    : chunk_v.data() + (p - base) * kv_rows;
-  };
-  for (std::size_t t = 0; t < T; ++t) {
-    const std::size_t len = base + t + 1;
-    const std::size_t first =
-        cfg.sliding_window > 0 && len > static_cast<std::size_t>(cfg.sliding_window)
-            ? len - static_cast<std::size_t>(cfg.sliding_window)
-            : 0;
-    const std::size_t span_len = len - first;
-    auto out = gathered.subspan(t * q_dim_total + q_off, q_rows);
-    std::fill(out.begin(), out.end(), 0.0f);
-    std::vector<float> scores(span_len);
-    for (std::size_t h = 0; h < heads; ++h) {
-      const std::size_t kv_h = h / group;
-      const auto q_head =
-          std::span<const float>(q).subspan(t * q_rows + h * head_dim, head_dim);
-      for (std::size_t u = 0; u < span_len; ++u) {
-        const std::span<const float> k_u{key_at(first + u) + kv_h * head_dim,
-                                         head_dim};
-        scores[u] = dot(q_head, k_u) * scale;
-      }
-      softmax(scores);
-      auto o_head = out.subspan(h * head_dim, head_dim);
-      for (std::size_t u = 0; u < span_len; ++u) {
-        const float* v_u = value_at(first + u) + kv_h * head_dim;
-        const float w = scores[u];
-        for (std::size_t d = 0; d < head_dim; ++d) o_head[d] += w * v_u[d];
-      }
-    }
-  }
+  AttnScratch& scratch = AttnScratch::local();
+  for (std::size_t t = 0; t < T; ++t)
+    attend(std::span<const float>(q).subspan(t * q_rows, q_rows),
+           gathered.subspan(t * q_dim_total + q_off, q_rows), kv, layer,
+           base + t, base, chunk_k.data(), chunk_v.data(), kv_rows, head_dim,
+           cfg.sliding_window, scratch);
 }
 
 std::vector<float> ShardedTransformer::prefill(std::span<const TokenId> tokens) {

@@ -34,6 +34,11 @@ std::span<const float> QuantizedKvStore::value(int layer, std::size_t pos) const
   return inner_->value(layer, pos);
 }
 
+void QuantizedKvStore::runs(int layer, std::size_t first, std::size_t len,
+                            std::vector<KvRun>& out) const {
+  inner_->runs(layer, first, len, out);
+}
+
 std::size_t QuantizedKvStore::size() const { return inner_->size(); }
 
 }  // namespace llmib::engine

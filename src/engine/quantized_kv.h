@@ -21,6 +21,10 @@ class QuantizedKvStore final : public KvStore {
   bool append(int layer, std::span<const float> k, std::span<const float> v) override;
   std::span<const float> key(int layer, std::size_t pos) const override;
   std::span<const float> value(int layer, std::size_t pos) const override;
+  /// Runs come straight from the wrapped store (quantization happened at
+  /// append time, so the inner slabs already hold the lossy values).
+  void runs(int layer, std::size_t first, std::size_t len,
+            std::vector<KvRun>& out) const override;
   std::size_t size() const override;
 
   CachePrecision precision() const { return precision_; }

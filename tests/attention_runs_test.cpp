@@ -1,0 +1,493 @@
+// Tests for the run-based attention fast path: KvStore::runs() iterator
+// equivalence (contiguous / paged / COW-forked, block-boundary and
+// mid-window offsets), and forced-backend bit-identity of the run path vs
+// the per-position path across the serial, prefill, batched and sharded
+// engines.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "engine/attention.h"
+#include "engine/batched.h"
+#include "engine/kernels/kernels.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/parallel_exec.h"
+#include "engine/quantized_kv.h"
+#include "engine/weights.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace llmib;
+using namespace llmib::engine;
+namespace ker = llmib::engine::kernels;
+using llmib::models::AttentionKind;
+using llmib::models::FfnKind;
+using llmib::models::ModelConfig;
+
+std::vector<ker::Backend> testable_backends() {
+  std::vector<ker::Backend> b{ker::Backend::kScalar, ker::Backend::kPortable};
+  if (ker::cpu_supports(ker::Backend::kAvx2)) b.push_back(ker::Backend::kAvx2);
+  return b;
+}
+
+// ---- runs() iterator ----------------------------------------------------------
+
+constexpr std::size_t kDim = 6;  // kv_dim of the single-layer test stores
+
+/// Append `n` tokens of deterministic single-layer K/V rows.
+void fill_store(KvStore& kv, std::size_t n, float tag) {
+  std::vector<float> k(kDim), v(kDim);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t d = 0; d < kDim; ++d) {
+      k[d] = tag + static_cast<float>(p * kDim + d);
+      v[d] = -tag - static_cast<float>(p * kDim + d);
+    }
+    ASSERT_TRUE(kv.append(0, k, v));
+  }
+}
+
+/// Flatten runs(layer=0, first, len) and compare against per-position reads.
+void expect_runs_match_reads(const KvStore& kv, std::size_t first, std::size_t len,
+                             const std::string& label) {
+  std::vector<KvRun> runs;
+  kv.runs(0, first, len, runs);
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.len;
+  ASSERT_EQ(total, len) << label << ": runs must cover the range exactly";
+  std::size_t p = first;
+  for (const auto& r : runs) {
+    ASSERT_NE(r.k, nullptr) << label;
+    ASSERT_NE(r.v, nullptr) << label;
+    for (std::size_t t = 0; t < r.len; ++t, ++p) {
+      const auto k_ref = kv.key(0, p);
+      const auto v_ref = kv.value(0, p);
+      for (std::size_t d = 0; d < kDim; ++d) {
+        ASSERT_EQ(r.k[t * kDim + d], k_ref[d]) << label << " K at pos " << p;
+        ASSERT_EQ(r.v[t * kDim + d], v_ref[d]) << label << " V at pos " << p;
+      }
+    }
+  }
+}
+
+TEST(KvRuns, ContiguousStoreIsOneRun) {
+  ContiguousKvStore kv({kDim});
+  fill_store(kv, 37, 1000.0f);
+  std::vector<KvRun> runs;
+  kv.runs(0, 0, 37, runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].len, 37u);
+  expect_runs_match_reads(kv, 0, 37, "contiguous full");
+  // Mid-history windows are still a single slab.
+  runs.clear();
+  kv.runs(0, 13, 11, runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].len, 11u);
+  expect_runs_match_reads(kv, 13, 11, "contiguous window");
+}
+
+TEST(KvRuns, RunsAppendWithoutClearing) {
+  ContiguousKvStore kv({kDim});
+  fill_store(kv, 8, 0.0f);
+  std::vector<KvRun> runs;
+  kv.runs(0, 0, 4, runs);
+  kv.runs(0, 4, 4, runs);  // scratch reuse: callers do not clear between calls
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].len + runs[1].len, 8u);
+}
+
+TEST(KvRuns, ZeroLengthYieldsNothing) {
+  ContiguousKvStore kv({kDim});
+  fill_store(kv, 4, 0.0f);
+  std::vector<KvRun> runs;
+  kv.runs(0, 2, 0, runs);
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(KvRuns, FreshPagedSequenceCoalescesAcrossBlocks) {
+  // A lone sequence on a fresh pool is handed ascending block ids, so the
+  // whole history coalesces into ONE run despite spanning many blocks.
+  PagedKvPool pool(16, 4, {kDim});
+  PagedKvStore kv(pool, 1);
+  fill_store(kv, 19, 0.0f);  // 4 full blocks + 3 in the fifth
+  std::vector<KvRun> runs;
+  kv.runs(0, 0, 19, runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].len, 19u);
+  expect_runs_match_reads(kv, 0, 19, "paged fresh");
+}
+
+TEST(KvRuns, InterleavedSequencesSplitAtEveryBlockBoundary) {
+  // Two sequences growing in lockstep claim alternating block ids, so
+  // neither ever has physically adjacent blocks: one run per block.
+  PagedKvPool pool(16, 4, {kDim});
+  PagedKvStore a(pool, 1), b(pool, 2);
+  std::vector<float> k(kDim, 1.0f), v(kDim, 2.0f);
+  for (std::size_t p = 0; p < 10; ++p) {
+    ASSERT_TRUE(a.append(0, k, v));
+    ASSERT_TRUE(b.append(0, k, v));
+  }
+  std::vector<KvRun> runs;
+  a.runs(0, 0, 10, runs);
+  EXPECT_EQ(runs.size(), 3u);  // blocks of 4: [4, 4, 2]
+  EXPECT_EQ(runs[0].len, 4u);
+  EXPECT_EQ(runs[1].len, 4u);
+  EXPECT_EQ(runs[2].len, 2u);
+  expect_runs_match_reads(a, 0, 10, "interleaved a");
+  expect_runs_match_reads(b, 0, 10, "interleaved b");
+}
+
+TEST(KvRuns, MidBlockFirstAndBlockBoundaryOffsets) {
+  PagedKvPool pool(16, 4, {kDim});
+  PagedKvStore kv(pool, 1);
+  fill_store(kv, 17, 50.0f);
+  // Sliding-window style offsets: every (first, len) straddling block
+  // boundaries, starting mid-block, ending mid-block.
+  for (std::size_t first : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 15u}) {
+    for (std::size_t len : {1u, 2u, 4u, 5u, 9u}) {
+      if (first + len > 17) continue;
+      expect_runs_match_reads(kv, first, len,
+                              "paged first=" + std::to_string(first) +
+                                  " len=" + std::to_string(len));
+    }
+  }
+  // A mid-block start must not leak earlier positions: first run starts at
+  // the requested offset.
+  std::vector<KvRun> runs;
+  kv.runs(0, 5, 9, runs);
+  ASSERT_FALSE(runs.empty());
+  EXPECT_EQ(runs[0].k, kv.key(0, 5).data());
+}
+
+TEST(KvRuns, CowForkSplitsAtRelocatedBlock) {
+  PagedKvPool pool(16, 4, {kDim});
+  auto parent = std::make_unique<PagedKvStore>(pool, 1);
+  fill_store(*parent, 10, 0.0f);  // blocks 0,1,2 with a partial tail
+  PagedKvStore child(pool, 2, *parent);
+
+  // Child's first append hits the shared partial tail block -> copy-on-write
+  // relocation. The relocated block cannot be adjacent to block 1, so the
+  // child's history must split exactly there.
+  std::vector<float> k(kDim), v(kDim);
+  for (std::size_t d = 0; d < kDim; ++d) {
+    k[d] = 777.0f + static_cast<float>(d);
+    v[d] = -777.0f - static_cast<float>(d);
+  }
+  ASSERT_TRUE(child.append(0, k, v));
+  ASSERT_EQ(child.size(), 11u);
+
+  std::vector<KvRun> runs;
+  child.runs(0, 0, 11, runs);
+  ASSERT_EQ(runs.size(), 2u) << "child must split at the relocated tail block";
+  EXPECT_EQ(runs[0].len, 8u);  // blocks 0,1 still adjacent
+  EXPECT_EQ(runs[1].len, 3u);  // relocated tail
+  expect_runs_match_reads(child, 0, 11, "cow child");
+  // The parent keeps its original, fully coalesced layout and data.
+  std::vector<KvRun> parent_runs;
+  parent->runs(0, 0, 10, parent_runs);
+  ASSERT_EQ(parent_runs.size(), 1u);
+  expect_runs_match_reads(*parent, 0, 10, "cow parent");
+}
+
+TEST(KvRuns, QuantizedDelegation) {
+  PagedKvPool pool(16, 4, {kDim});
+  QuantizedKvStore kv(std::make_unique<PagedKvStore>(pool, 1),
+                      QuantizedKvStore::CachePrecision::kFP16);
+  fill_store(kv, 9, 3.0f);
+  expect_runs_match_reads(kv, 0, 9, "quantized");
+  std::vector<KvRun> runs;
+  kv.runs(0, 0, 9, runs);
+  ASSERT_EQ(runs.size(), 1u) << "delegation preserves the inner slab layout";
+}
+
+TEST(KvRuns, BaseDefaultDegradesToOneRunPerPosition) {
+  // A store that does not override runs() gets the per-position fallback.
+  class MinimalStore final : public KvStore {
+   public:
+    bool append(int, std::span<const float> k, std::span<const float> v) override {
+      ks_.insert(ks_.end(), k.begin(), k.end());
+      vs_.insert(vs_.end(), v.begin(), v.end());
+      return true;
+    }
+    std::span<const float> key(int, std::size_t pos) const override {
+      return {ks_.data() + pos * kDim, kDim};
+    }
+    std::span<const float> value(int, std::size_t pos) const override {
+      return {vs_.data() + pos * kDim, kDim};
+    }
+    std::size_t size() const override { return ks_.size() / kDim; }
+
+   private:
+    std::vector<float> ks_, vs_;
+  };
+  MinimalStore kv;
+  fill_store(kv, 6, 0.0f);
+  std::vector<KvRun> runs;
+  kv.runs(0, 1, 5, runs);
+  ASSERT_EQ(runs.size(), 5u);
+  for (const auto& r : runs) EXPECT_EQ(r.len, 1u);
+  expect_runs_match_reads(kv, 1, 5, "base default");
+}
+
+// ---- run path == per-position path, bitwise, per backend ----------------------
+
+ModelConfig tiny_cfg(std::int64_t sliding_window = 0) {
+  ModelConfig cfg;
+  cfg.name = "attn-runs-test";
+  cfg.n_layers = 2;
+  cfg.hidden_size = 48;
+  cfg.attention = AttentionKind::kGQA;
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = 2;
+  cfg.ffn = FfnKind::kDense;
+  cfg.ffn_intermediate = 64;
+  cfg.max_seq_len = 128;
+  cfg.vocab_size = 64;
+  cfg.sliding_window = sliding_window;
+  return cfg;
+}
+
+std::vector<TokenId> token_ramp(std::size_t n, std::int64_t vocab) {
+  std::vector<TokenId> t(n);
+  for (std::size_t i = 0; i < n; ++i)
+    t[i] = static_cast<TokenId>((i * 7 + 3) % static_cast<std::size_t>(vocab));
+  return t;
+}
+
+void expect_bitwise(const std::vector<float>& a, const std::vector<float>& b,
+                    const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << label << " differs at " << i;
+}
+
+/// Decode `steps` tokens serially, returning every step's logits.
+std::vector<std::vector<float>> decode_all(const MiniTransformer& model,
+                                           KvStore& kv,
+                                           std::span<const TokenId> tokens) {
+  std::vector<std::vector<float>> out;
+  for (TokenId t : tokens) out.push_back(model.forward(t, kv));
+  return out;
+}
+
+TEST(AttnPathIdentity, SerialDecodeContiguousAndPaged) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 21);
+  const MiniTransformer model(weights);
+  const auto tokens = token_ramp(40, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    const std::string label = std::string("backend ") + ker::get(backend).name;
+
+    std::vector<std::vector<std::vector<float>>> per_path;
+    for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+      ScopedAttnPath forced_path(path);
+      ContiguousKvStore contig(model.kv_dims());
+      auto contig_logits = decode_all(model, contig, tokens);
+
+      PagedKvPool pool(64, 4, model.kv_dims());
+      PagedKvStore paged(pool, 1);
+      auto paged_logits = decode_all(model, paged, tokens);
+
+      // Paged == contiguous within a path (the stores are read-equivalent).
+      for (std::size_t s = 0; s < tokens.size(); ++s)
+        expect_bitwise(contig_logits[s], paged_logits[s],
+                       label + " paged-vs-contig step " + std::to_string(s));
+      per_path.push_back(std::move(contig_logits));
+    }
+    for (std::size_t s = 0; s < tokens.size(); ++s)
+      expect_bitwise(per_path[0][s], per_path[1][s],
+                     label + " runs-vs-perpos step " + std::to_string(s));
+  }
+}
+
+TEST(AttnPathIdentity, SlidingWindowDecode) {
+  // Window of 10 on block-size-4 paged stores: the attended range starts
+  // mid-block almost every step.
+  const ModelConfig cfg = tiny_cfg(/*sliding_window=*/10);
+  const auto weights = TransformerWeights::random(cfg, 22);
+  const MiniTransformer model(weights);
+  const auto tokens = token_ramp(32, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    std::vector<std::vector<std::vector<float>>> per_path;
+    for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+      ScopedAttnPath forced_path(path);
+      PagedKvPool pool(64, 4, model.kv_dims());
+      PagedKvStore paged(pool, 1);
+      per_path.push_back(decode_all(model, paged, tokens));
+    }
+    for (std::size_t s = 0; s < tokens.size(); ++s)
+      expect_bitwise(per_path[0][s], per_path[1][s],
+                     std::string(ker::get(backend).name) + " sliding step " +
+                         std::to_string(s));
+  }
+}
+
+TEST(AttnPathIdentity, ChunkedPrefillMixedStoreAndChunk) {
+  // Second prefill chunk attends to store positions AND chunk-local rows —
+  // the mixed view must be identical under both paths.
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 23);
+  const MiniTransformer model(weights);
+  const auto prompt = token_ramp(23, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    std::vector<std::vector<float>> chunk_logits, decode_logits;
+    for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+      ScopedAttnPath forced_path(path);
+      ContiguousKvStore kv(model.kv_dims());
+      model.prefill(std::span<const TokenId>(prompt).first(9), kv);
+      chunk_logits.push_back(
+          model.prefill(std::span<const TokenId>(prompt).subspan(9), kv));
+      decode_logits.push_back(model.forward(5, kv));
+    }
+    const std::string label = ker::get(backend).name;
+    expect_bitwise(chunk_logits[0], chunk_logits[1], label + " chunked prefill");
+    expect_bitwise(decode_logits[0], decode_logits[1], label + " post-prefill decode");
+  }
+}
+
+TEST(AttnPathIdentity, BatchedDecodeRaggedContexts) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 24);
+  const MiniTransformer serial(weights);
+  util::ThreadPool pool_threads(3);
+  const BatchedTransformer batched(weights, &pool_threads);
+  constexpr std::size_t kBatch = 3;
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    std::vector<std::vector<std::vector<float>>> per_path;
+    for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+      ScopedAttnPath forced_path(path);
+      // Ragged contexts: sequence b starts with b+1 prefill tokens.
+      std::vector<std::unique_ptr<ContiguousKvStore>> kvs;
+      std::vector<KvStore*> kv_ptrs;
+      for (std::size_t b = 0; b < kBatch; ++b) {
+        kvs.push_back(std::make_unique<ContiguousKvStore>(serial.kv_dims()));
+        const auto seed_tokens = token_ramp(b + 1, cfg.vocab_size);
+        serial.prefill(seed_tokens, *kvs.back());
+        kv_ptrs.push_back(kvs.back().get());
+      }
+      std::vector<std::vector<float>> collected;
+      for (std::size_t step = 0; step < 12; ++step) {
+        const std::vector<TokenId> toks{
+            static_cast<TokenId>((step * 3 + 1) % cfg.vocab_size),
+            static_cast<TokenId>((step * 5 + 2) % cfg.vocab_size),
+            static_cast<TokenId>((step * 7 + 4) % cfg.vocab_size)};
+        auto logits = batched.forward_batch(toks, kv_ptrs);
+        for (auto& l : logits) collected.push_back(std::move(l));
+      }
+      per_path.push_back(std::move(collected));
+    }
+    for (std::size_t i = 0; i < per_path[0].size(); ++i)
+      expect_bitwise(per_path[0][i], per_path[1][i],
+                     std::string(ker::get(backend).name) + " batched slot " +
+                         std::to_string(i));
+  }
+}
+
+TEST(AttnPathIdentity, ShardedTpDecodeAndPrefill) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 25);
+  const auto tokens = token_ramp(10, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    std::vector<std::vector<float>> final_logits;
+    for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+      ScopedAttnPath forced_path(path);
+      ShardedTransformer sharded(weights, /*tp=*/2, /*ep=*/1);
+      sharded.prefill(std::span<const TokenId>(tokens).first(6));
+      std::vector<float> logits;
+      for (std::size_t i = 6; i < tokens.size(); ++i)
+        logits = sharded.forward(tokens[i]);
+      final_logits.push_back(std::move(logits));
+    }
+    expect_bitwise(final_logits[0], final_logits[1],
+                   std::string(ker::get(backend).name) + " sharded tp=2");
+  }
+}
+
+TEST(AttnPathIdentity, ForkedPagedDecodeWithCowSplits) {
+  // Decode on a COW-forked child whose run list genuinely splits (relocated
+  // tail + diverging appended blocks).
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 26);
+  const MiniTransformer model(weights);
+  const auto prompt = token_ramp(10, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    std::vector<std::vector<std::vector<float>>> per_path;
+    for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+      ScopedAttnPath forced_path(path);
+      PagedKvPool pool(64, 4, model.kv_dims());
+      PagedKvStore parent(pool, 1);
+      model.prefill(prompt, parent);
+      PagedKvStore child(pool, 2, parent);
+      std::vector<std::vector<float>> logits;
+      for (std::size_t step = 0; step < 8; ++step)
+        logits.push_back(model.forward(
+            static_cast<TokenId>((step * 11 + 1) % cfg.vocab_size), child));
+      per_path.push_back(std::move(logits));
+    }
+    for (std::size_t s = 0; s < per_path[0].size(); ++s)
+      expect_bitwise(per_path[0][s], per_path[1][s],
+                     std::string(ker::get(backend).name) + " forked step " +
+                         std::to_string(s));
+  }
+}
+
+// ---- attention kernels directly ------------------------------------------------
+
+TEST(AttnKernels, RunSegmentationIsInvisibleBitwise) {
+  // One count=n call == n count=1 calls, for every backend and ragged
+  // head_dim (tails straddle the 8-lane and 32-float chunk boundaries).
+  util::Rng rng(77);
+  for (ker::Backend backend : testable_backends()) {
+    const ker::KernelSet& ks = ker::get(backend);
+    for (std::size_t head_dim : {1u, 3u, 8u, 13u, 16u, 32u, 40u}) {
+      const std::size_t count = 17;
+      const std::size_t stride = head_dim + 5;  // rows are not densely packed
+      std::vector<float> q(head_dim), k(count * stride), v(count * stride);
+      std::vector<float> scores(count);
+      for (auto& x : q) x = static_cast<float>(rng.normal());
+      for (auto& x : k) x = static_cast<float>(rng.normal());
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      for (auto& x : scores) x = static_cast<float>(rng.normal());
+
+      std::vector<float> s_run(count), s_pos(count);
+      ks.attn_scores(q.data(), k.data(), head_dim, stride, count, 0.125f,
+                     s_run.data());
+      for (std::size_t t = 0; t < count; ++t)
+        ks.attn_scores(q.data(), k.data() + t * stride, head_dim, stride, 1,
+                       0.125f, s_pos.data() + t);
+      for (std::size_t t = 0; t < count; ++t)
+        ASSERT_EQ(s_run[t], s_pos[t])
+            << ks.name << " scores head_dim=" << head_dim << " t=" << t;
+
+      std::vector<float> o_run(head_dim, 0.5f), o_pos(head_dim, 0.5f);
+      ks.attn_av(scores.data(), v.data(), head_dim, stride, count, o_run.data());
+      for (std::size_t t = 0; t < count; ++t)
+        ks.attn_av(scores.data() + t, v.data() + t * stride, head_dim, stride, 1,
+                   o_pos.data());
+      for (std::size_t d = 0; d < head_dim; ++d)
+        ASSERT_EQ(o_run[d], o_pos[d])
+            << ks.name << " av head_dim=" << head_dim << " d=" << d;
+    }
+  }
+}
+
+}  // namespace

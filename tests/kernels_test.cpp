@@ -89,6 +89,8 @@ TEST(KernelDispatch, TablesAreFullyPopulated) {
     EXPECT_NE(ks.matvec3, nullptr);
     EXPECT_NE(ks.matmul_nt, nullptr);
     EXPECT_NE(ks.gemv_i8, nullptr);
+    EXPECT_NE(ks.attn_scores, nullptr);
+    EXPECT_NE(ks.attn_av, nullptr);
   }
 }
 
