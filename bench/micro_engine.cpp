@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -353,6 +354,37 @@ void BM_ServingEngineStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ServingEngineStep);
 
+/// TTFT of a follow-up request sharing a 256-token prompt head with an
+/// already-completed one, prefix cache on vs off. Manual timing: only the
+/// submit -> first-token window counts; the warm request and engine setup
+/// are excluded. The on/off ns gap is the engine-level radix-cache win the
+/// CI shape check asserts on (see ablation_prefix_cache for the full
+/// share-ratio sweep).
+void BM_PrefixTtft(benchmark::State& state, bool caching) {
+  const engine::MiniTransformer model(weights());
+  std::vector<engine::TokenId> prompt(256);
+  for (std::size_t i = 0; i < prompt.size(); ++i)
+    prompt[i] = static_cast<engine::TokenId>(i % 509 + 1);
+  for (auto _ : state) {
+    engine::ServingEngine::Config cfg;
+    cfg.max_batch = 4;
+    cfg.pool_blocks = 1024;
+    cfg.prefix_caching = caching;
+    engine::ServingEngine eng(model, cfg);
+    eng.submit(prompt, 2);
+    eng.run_to_completion();
+    auto follow = prompt;
+    follow.push_back(7);  // diverge after the shared head
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto id = eng.submit(follow, 1);
+    while (!eng.finished(id)) eng.step();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    benchmark::DoNotOptimize(eng.output(id).size());
+  }
+}
+
 // ---- JSON artifact ------------------------------------------------------------
 
 /// Console reporter that also records every iteration run so main() can
@@ -437,6 +469,10 @@ int main(int argc, char** argv) {
                                false);
   benchmark::RegisterBenchmark("BM_DecodeStep/TracingActive", BM_DecodeStep_Tracing,
                                true);
+  benchmark::RegisterBenchmark("BM_PrefixTtft/on", BM_PrefixTtft, true)
+      ->UseManualTime();
+  benchmark::RegisterBenchmark("BM_PrefixTtft/off", BM_PrefixTtft, false)
+      ->UseManualTime();
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

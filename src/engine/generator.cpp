@@ -2,6 +2,7 @@
 #include "engine/generator.h"
 
 #include <cstring>
+#include <set>
 
 #include "engine/tensor_ops.h"
 #include "obs/obs.h"
@@ -55,6 +56,31 @@ bool is_pool_exhaustion(const util::ContractViolation& e) {
   return std::strstr(e.what(), "KV pool exhausted") != nullptr;
 }
 
+obs::Counter& prefix_lookups_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.prefix.lookups");
+  return c;
+}
+obs::Counter& prefix_hits_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.prefix.hits");
+  return c;
+}
+obs::Counter& prefix_hit_tokens_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.prefix.hit_tokens");
+  return c;
+}
+obs::Counter& prefix_insertions_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.prefix.insertions");
+  return c;
+}
+obs::Counter& prefix_evictions_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.prefix.evictions");
+  return c;
+}
+obs::Counter& prefix_forked_blocks_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.prefix.forked_blocks");
+  return c;
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(const MiniTransformer& model, Config cfg)
@@ -82,20 +108,162 @@ ServingEngine::ServingEngine(const MiniTransformer& model, Config cfg)
   require(cfg.prefill_chunk > 0, "ServingEngine: prefill_chunk must be positive");
   require(!(cfg.batched_decode && cfg.allow_preemption),
           "ServingEngine: batched_decode cannot be combined with preemption");
+  require(cfg.prefix_cache_entries > 0,
+          "ServingEngine: prefix_cache_entries must be positive");
+  kv_capacity_tokens_ = scheduler_.config().kv_capacity_tokens;
 }
 
 sched::RequestId ServingEngine::submit(std::vector<TokenId> prompt,
                                        std::int64_t max_new_tokens) {
   require(!prompt.empty(), "ServingEngine: empty prompt");
   const sched::RequestId id = next_id_++;
-  scheduler_.submit({id, static_cast<std::int64_t>(prompt.size()), max_new_tokens, 0.0});
+
+  // Radix walk at submit time: find the longest cached prefix, then round it
+  // DOWN to whole blocks (only full blocks can be forked zero-copy) and cap
+  // it below the prompt length (at least one token must be prefilled to
+  // produce first-token logits).
+  kv::PrefixCache::EntryId hit_entry = 0;
+  std::size_t usable = 0;
+  if (cfg_.prefix_caching && prompt.size() > 1) {
+    ++prefix_lookups_;
+    prefix_lookups_counter().add(1);
+    const auto m = prefix_cache_.lookup(prompt.data(), prompt.size());
+    usable = std::min(m.matched, prompt.size() - 1);
+    usable -= usable % cfg_.block_size;
+    if (m.entry != 0 && usable > 0) hit_entry = m.entry;
+  }
+
+  scheduler_.submit({id, static_cast<std::int64_t>(prompt.size()),
+                     max_new_tokens, 0.0,
+                     hit_entry != 0 ? static_cast<std::int64_t>(usable) : 0});
+  if (hit_entry != 0) {
+    // Pin for the whole borrow: keeps the entry (and its once-charged
+    // external reservation) resident until the request finishes, so the
+    // scheduler's discounted footprint always has backing blocks.
+    prefix_cache_.pin(hit_entry);
+    pending_prefix_.emplace(id, PendingPrefix{hit_entry, usable});
+    ++prefix_hits_;
+    prefix_hit_tokens_ += static_cast<std::int64_t>(usable);
+    prefix_hits_counter().add(1);
+    prefix_hit_tokens_counter().add(static_cast<std::int64_t>(usable));
+    obs::instant("engine.prefix_hit", obs::Cat::kEngine,
+                 static_cast<std::int64_t>(usable));
+  }
   prompts_.emplace(id, std::move(prompt));
   return id;
+}
+
+void ServingEngine::register_prefix(const std::vector<TokenId>& key,
+                                    const PagedKvStore& src) {
+  std::size_t len = std::min(key.size(), src.size());
+  len -= len % cfg_.block_size;  // whole blocks: tail stays private, no COW
+  if (len == 0) return;
+  // Bounded entry count; pinned entries block eviction, in which case we
+  // simply skip registration rather than grow past the cap.
+  while (prefix_cache_.size() >= cfg_.prefix_cache_entries) {
+    if (!evict_lru_prefix_entry()) return;
+  }
+  const kv::PrefixCache::EntryId entry = prefix_cache_.insert(key.data(), len);
+  if (entry == 0) return;  // covered by an existing entry
+  // Zero-copy: the entry's store shares `src`'s blocks via refcounts. No
+  // allocation happens, so registration can never trip pool capacity.
+  prefix_stores_.emplace(
+      entry, std::make_unique<PagedKvStore>(pool_, next_kv_id_++, src, len));
+  ++prefix_insertions_;
+  prefix_insertions_counter().add(1);
+  obs::instant("engine.prefix_insert", obs::Cat::kEngine,
+               static_cast<std::int64_t>(len));
+}
+
+void ServingEngine::maybe_register_prompt(Live& live) {
+  if (!cfg_.prefix_caching || live.prefix_registered) return;
+  if (live.prompt_fed < live.prompt.size() || live.kv == nullptr) return;
+  live.prefix_registered = true;
+  register_prefix(live.prompt, *live.kv);
+}
+
+void ServingEngine::release_prefix_lease(Live& live) {
+  if (live.prefix_lease == 0) return;
+  prefix_cache_.unpin(live.prefix_lease);
+  live.prefix_lease = 0;
+}
+
+bool ServingEngine::evict_lru_prefix_entry() {
+  const auto victim = prefix_cache_.evict_lru();
+  if (!victim) return false;
+  // Destroying the store decrements refcounts; blocks shared with live
+  // sequences (or other entries) survive — only exclusively-held ones free.
+  prefix_stores_.erase(*victim);
+  ++prefix_evictions_;
+  prefix_evictions_counter().add(1);
+  obs::instant("engine.prefix_evict", obs::Cat::kEngine,
+               static_cast<std::int64_t>(*victim));
+  return true;
+}
+
+std::int64_t ServingEngine::prefix_cache_reserved_tokens() const {
+  // Entries routinely share blocks with each other (a conversation entry
+  // extends a prompt entry), so count distinct blocks, not per-entry sums.
+  std::set<kv::BlockId> blocks;
+  const auto& alloc = pool_.allocator();
+  for (const auto& [entry, store] : prefix_stores_) {
+    const auto& table = alloc.block_table(store->seq_id());
+    blocks.insert(table.begin(), table.end());
+  }
+  return static_cast<std::int64_t>(blocks.size()) *
+         static_cast<std::int64_t>(cfg_.block_size);
+}
+
+void ServingEngine::finish_request(sched::RequestId id, Live& live) {
+  if (cfg_.prefix_caching && live.kv != nullptr) {
+    // Conversation entry: everything actually fed (prompt + generated minus
+    // the pending next_input) keys the history for the follow-up turn.
+    std::vector<TokenId> fed = live.prompt;
+    if (!live.generated.empty())
+      fed.insert(fed.end(), live.generated.begin(), live.generated.end() - 1);
+    register_prefix(fed, *live.kv);
+  }
+  release_prefix_lease(live);
+  finished_.emplace(id, live.generated);
+}
+
+void ServingEngine::relieve_cache_pressure() {
+  if (!cfg_.prefix_caching) return;
+  scheduler_.set_external_reserved_tokens(prefix_cache_reserved_tokens());
+  if (kv_capacity_tokens_ <= 0) return;  // preemption mode: pressure handled there
+  // Cached-but-idle KV yields to admission demand: evict LRU entries until
+  // the next waiting request fits (or nothing unpinned remains).
+  while (scheduler_.waiting_requests() > 0 &&
+         scheduler_.live_sequences() < cfg_.max_batch) {
+    const std::int64_t need = scheduler_.next_waiting_footprint();
+    if (scheduler_.reserved_kv_tokens() +
+            scheduler_.external_reserved_tokens() + need <=
+        kv_capacity_tokens_)
+      break;
+    if (!evict_lru_prefix_entry()) break;
+    scheduler_.set_external_reserved_tokens(prefix_cache_reserved_tokens());
+  }
+}
+
+ServingEngine::PrefixStats ServingEngine::prefix_stats() const {
+  PrefixStats s;
+  s.lookups = prefix_lookups_;
+  s.hits = prefix_hits_;
+  s.hit_tokens = prefix_hit_tokens_;
+  s.insertions = prefix_insertions_;
+  s.evictions = prefix_evictions_;
+  s.forked_blocks = prefix_forked_blocks_;
+  s.entries = prefix_cache_.size();
+  s.resident_tokens = prefix_cache_reserved_tokens();
+  return s;
 }
 
 void ServingEngine::preempt(sched::RequestId id, Live& live) {
   require(live.kv != nullptr, "ServingEngine: preempting an evicted sequence");
   live.kv.reset();  // frees every block of this sequence
+  // The borrowed prefix is gone with the blocks; restore replays from
+  // scratch, so the cache entry no longer needs to outlive this request.
+  release_prefix_lease(live);
   live.preempted = true;
   ++preemptions_;
   ++preemption_counts_[id];
@@ -114,20 +282,25 @@ bool ServingEngine::try_restore(sched::RequestId id, Live& live) {
   if (!live.generated.empty())
     fed.insert(fed.end(), live.generated.begin(), live.generated.end() - 1);
 
-  auto kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
-  try {
-    // Replay is exactly the prefill regime: recompute the committed prefix
-    // in one batched pass. On pool exhaustion the fresh store is discarded
-    // whole, so the partial appends cannot leak into live state.
-    if (!fed.empty()) model_.prefill(fed, *kv);
-  } catch (const util::ContractViolation& e) {
-    if (!is_pool_exhaustion(e)) throw;
-    return false;  // still under pressure; stay preempted
+  for (;;) {
+    auto kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
+    try {
+      // Replay is exactly the prefill regime: recompute the committed prefix
+      // in one batched pass. On pool exhaustion the fresh store is discarded
+      // whole, so the partial appends cannot leak into live state.
+      if (!fed.empty()) model_.prefill(fed, *kv);
+    } catch (const util::ContractViolation& e) {
+      if (!is_pool_exhaustion(e)) throw;
+      kv.reset();
+      // Idle cache residency yields before we give up on the restore.
+      if (cfg_.prefix_caching && evict_lru_prefix_entry()) continue;
+      return false;  // still under pressure; stay preempted
+    }
+    recomputed_tokens_ += static_cast<std::int64_t>(fed.size());
+    live.kv = std::move(kv);
+    live.preempted = false;
+    return true;
   }
-  recomputed_tokens_ += static_cast<std::int64_t>(fed.size());
-  live.kv = std::move(kv);
-  live.preempted = false;
-  return true;
 }
 
 std::vector<float> ServingEngine::forward_with_preemption(sched::RequestId id,
@@ -137,6 +310,9 @@ std::vector<float> ServingEngine::forward_with_preemption(sched::RequestId id,
       return model_.forward(token, *live.kv);
     } catch (const util::ContractViolation& e) {
       if (!cfg_.allow_preemption || !is_pool_exhaustion(e)) throw;
+      // Cache entries are the cheapest thing to sacrifice: they cost no
+      // recompute for anyone live. Evict those before preempting a peer.
+      if (cfg_.prefix_caching && evict_lru_prefix_entry()) continue;
       // Evict the youngest OTHER resident sequence (vLLM's policy);
       // if this sequence is the only resident one, evict it instead.
       auto victim = live_.end();
@@ -155,6 +331,7 @@ std::vector<float> ServingEngine::forward_with_preemption(sched::RequestId id,
 bool ServingEngine::step() {
   if (scheduler_.all_done()) return false;
   obs::Span step_span("engine.step", obs::Cat::kEngine, iterations_);
+  relieve_cache_pressure();
   const sched::StepPlan plan = scheduler_.plan_step();
   if (plan.empty()) return false;
   ++iterations_;
@@ -194,6 +371,7 @@ bool ServingEngine::step() {
       }
     }
     if (live.prompt_fed < live.prompt.size()) return false;  // more chunks needed
+    maybe_register_prompt(live);
     if (live.generated.empty() && !logits.empty()) {
       const TokenId first = sampler_.sample(logits);
       live.generated.push_back(first);
@@ -207,12 +385,31 @@ bool ServingEngine::step() {
     obs::Span admit_span("engine.admit", obs::Cat::kEngine, id);
     Live live;
     live.prompt = prompts_.at(id);
-    live.kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
+    const auto pend = pending_prefix_.find(id);
+    if (pend != pending_prefix_.end()) {
+      // Prefix hit: fork the cached entry's blocks instead of recomputing
+      // them. The fork is block-aligned, so decode appends never COW the
+      // shared prefix; prefill resumes at position `tokens`.
+      const PendingPrefix pm = pend->second;
+      pending_prefix_.erase(pend);
+      const auto& parent = prefix_stores_.at(pm.entry);  // pinned => resident
+      live.kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++, *parent,
+                                               pm.tokens);
+      live.prompt_fed = pm.tokens;
+      live.prefix_lease = pm.entry;
+      const auto nblocks =
+          static_cast<std::int64_t>(pm.tokens / cfg_.block_size);
+      prefix_forked_blocks_ += nblocks;
+      prefix_forked_blocks_counter().add(nblocks);
+      obs::instant("engine.prefix_fork", obs::Cat::kEngine, nblocks);
+    } else {
+      live.kv = std::make_unique<PagedKvStore>(pool_, next_kv_id_++);
+    }
     const bool produced_first = feed_prompt(id, live);
     if (produced_first) {
       const bool done = scheduler_.complete_decode_token(id);
       if (done) {
-        finished_.emplace(id, live.generated);
+        finish_request(id, live);
         continue;
       }
     }
@@ -245,7 +442,7 @@ bool ServingEngine::step() {
         live.generated.push_back(next);
         live.next_input = next;
         if (scheduler_.complete_decode_token(plain[i])) {
-          finished_.emplace(plain[i], live.generated);
+          finish_request(plain[i], live);
           live_.erase(plain[i]);
         }
       }
@@ -269,7 +466,7 @@ bool ServingEngine::step() {
       if (!produced_first) continue;
       const bool done = scheduler_.complete_decode_token(id);
       if (done) {
-        finished_.emplace(id, live.generated);
+        finish_request(id, live);
         live_.erase(it);
       }
       continue;
@@ -283,7 +480,7 @@ bool ServingEngine::step() {
     live.next_input = next;
     const bool done = scheduler_.complete_decode_token(id);
     if (done) {
-      finished_.emplace(id, live.generated);
+      finish_request(id, live);
       live_.erase(it);  // frees the paged blocks for waiting requests
     }
   }

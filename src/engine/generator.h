@@ -7,6 +7,7 @@
 
 #include "engine/model.h"
 #include "engine/sampler.h"
+#include "kv/prefix_cache.h"
 #include "sched/scheduler.h"
 
 namespace llmib::engine {
@@ -61,6 +62,30 @@ class ServingEngine {
     /// bench/engine_batch_scaling). Incompatible with allow_preemption
     /// (a mid-batch eviction cannot be rolled back).
     bool batched_decode = false;
+    /// SGLang-style radix prefix caching: completed prompts (and finished
+    /// conversations) are registered in a radix index backed by block-aligned
+    /// COW forks of their KV; a submit whose prompt shares a prefix with a
+    /// cached entry forks the matched blocks instead of recomputing them.
+    /// Entries are LRU-evicted under pool pressure, never while a live
+    /// sequence borrows them (pin), and never freeing a block some sequence
+    /// still references (allocator refcounts).
+    bool prefix_caching = false;
+    /// Bounded entry count for the radix index (capacity policy on top of
+    /// memory-pressure eviction).
+    std::size_t prefix_cache_entries = 32;
+  };
+
+  /// Prefix-cache effectiveness counters (engine-level: hits count only
+  /// block-aligned, usable matches — the ones that actually skipped work).
+  struct PrefixStats {
+    std::int64_t lookups = 0;
+    std::int64_t hits = 0;
+    std::int64_t hit_tokens = 0;      ///< prefill tokens skipped via forks
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+    std::int64_t forked_blocks = 0;   ///< blocks shared instead of recomputed
+    std::size_t entries = 0;          ///< resident entries right now
+    std::int64_t resident_tokens = 0; ///< distinct cache-held block tokens
   };
 
   ServingEngine(const MiniTransformer& model, Config cfg);
@@ -93,6 +118,7 @@ class ServingEngine {
     return preemption_counts_;
   }
   const sched::Scheduler& scheduler() const { return scheduler_; }
+  PrefixStats prefix_stats() const;
 
  private:
   struct Live {
@@ -102,6 +128,14 @@ class ServingEngine {
     TokenId next_input = 0;
     std::size_t prompt_fed = 0;   ///< chunked prefill progress
     bool preempted = false;       ///< blocks freed; needs recompute
+    kv::PrefixCache::EntryId prefix_lease = 0;  ///< pinned entry we forked
+    bool prefix_registered = false;  ///< prompt entry already inserted
+  };
+
+  /// A submit-time radix hit, to be forked at admission.
+  struct PendingPrefix {
+    kv::PrefixCache::EntryId entry = 0;
+    std::size_t tokens = 0;  ///< block-aligned usable prefix length
   };
 
   /// Feed one token, preempting the youngest other sequence on pool
@@ -114,6 +148,26 @@ class ServingEngine {
   /// Rebuild a preempted sequence's cache by replaying its committed
   /// tokens. Returns false if the pool still cannot hold it.
   bool try_restore(sched::RequestId id, Live& live);
+
+  /// Register `key`'s block-aligned head as a radix entry backed by a
+  /// zero-copy prefix fork of `src` (no-op when covered or under one block).
+  void register_prefix(const std::vector<TokenId>& key, const PagedKvStore& src);
+  /// Register the prompt entry once the whole prompt has been fed.
+  void maybe_register_prompt(Live& live);
+  /// Drop the pin taken at submit time (idempotent).
+  void release_prefix_lease(Live& live);
+  /// Evict the LRU unpinned entry and free its backing store. Shared blocks
+  /// survive via allocator refcounts. Returns false when nothing evictable.
+  bool evict_lru_prefix_entry();
+  /// Distinct block tokens resident in cache entry stores (charged once to
+  /// the scheduler as an external reservation).
+  std::int64_t prefix_cache_reserved_tokens() const;
+  /// Retire a request: register its conversation history as a cache entry,
+  /// release its lease, and record the output.
+  void finish_request(sched::RequestId id, Live& live);
+  /// Sync the external reservation and evict entries while cache residency
+  /// blocks the next waiting admission.
+  void relieve_cache_pressure();
 
   const MiniTransformer& model_;
   Config cfg_;
@@ -129,6 +183,18 @@ class ServingEngine {
   std::int64_t recomputed_tokens_ = 0;
   std::map<sched::RequestId, std::int64_t> preemption_counts_;
   kv::SeqId next_kv_id_ = 0;  ///< paged-pool ids (fresh id per restore)
+
+  // Prefix cache (declared after pool_ so entry stores die before the pool).
+  kv::PrefixCache prefix_cache_;
+  std::map<kv::PrefixCache::EntryId, std::unique_ptr<PagedKvStore>> prefix_stores_;
+  std::map<sched::RequestId, PendingPrefix> pending_prefix_;
+  std::int64_t kv_capacity_tokens_ = 0;  ///< scheduler cap (0 = unlimited)
+  std::int64_t prefix_lookups_ = 0;
+  std::int64_t prefix_hits_ = 0;
+  std::int64_t prefix_hit_tokens_ = 0;
+  std::int64_t prefix_insertions_ = 0;
+  std::int64_t prefix_evictions_ = 0;
+  std::int64_t prefix_forked_blocks_ = 0;
 };
 
 }  // namespace llmib::engine

@@ -153,6 +153,17 @@ PagedKvStore::PagedKvStore(PagedKvPool& pool, kv::SeqId id,
   pool_.allocator().fork_sequence(parent.id_, id_);
 }
 
+PagedKvStore::PagedKvStore(PagedKvPool& pool, kv::SeqId id,
+                           const PagedKvStore& parent, std::size_t prefix_tokens)
+    : pool_(pool), id_(id), tokens_(prefix_tokens) {
+  require(&pool == &parent.pool_, "PagedKvStore: fork must stay in one pool");
+  require(parent.appended_layers_ == 0,
+          "PagedKvStore: cannot fork mid-token append");
+  require(prefix_tokens <= parent.tokens_,
+          "PagedKvStore: prefix fork longer than parent");
+  pool_.allocator().fork_sequence(parent.id_, id_, prefix_tokens);
+}
+
 PagedKvStore::~PagedKvStore() { pool_.allocator().free_sequence(id_); }
 
 bool PagedKvStore::append(int layer, std::span<const float> k,

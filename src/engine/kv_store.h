@@ -83,6 +83,7 @@ class PagedKvPool {
               std::vector<std::size_t> kv_dims);
 
   kv::PagedKvAllocator& allocator() { return alloc_; }
+  const kv::PagedKvAllocator& allocator() const { return alloc_; }
   std::uint32_t block_size() const { return block_size_; }
   const std::vector<std::size_t>& kv_dims() const { return kv_dims_; }
 
@@ -115,6 +116,13 @@ class PagedKvStore final : public KvStore {
   /// copy-on-write (vLLM prefix sharing). Both stores may keep appending;
   /// shared tail blocks are relocated transparently.
   PagedKvStore(PagedKvPool& pool, kv::SeqId id, const PagedKvStore& parent);
+  /// Prefix-fork constructor: shares only the blocks covering `parent`'s
+  /// first `prefix_tokens` tokens and starts at that length (the prefix-cache
+  /// hit path). With `prefix_tokens` block-aligned — the cache guarantees
+  /// this — subsequent appends open fresh blocks and never copy-on-write the
+  /// shared prefix.
+  PagedKvStore(PagedKvPool& pool, kv::SeqId id, const PagedKvStore& parent,
+               std::size_t prefix_tokens);
   ~PagedKvStore() override;
 
   PagedKvStore(const PagedKvStore&) = delete;
@@ -130,6 +138,7 @@ class PagedKvStore final : public KvStore {
   void runs(int layer, std::size_t first, std::size_t len,
             std::vector<KvRun>& out) const override;
   std::size_t size() const override { return tokens_; }
+  kv::SeqId seq_id() const { return id_; }
 
  private:
   std::size_t tokens_visible(int layer) const;

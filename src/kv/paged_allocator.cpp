@@ -36,6 +36,24 @@ void PagedKvAllocator::fork_sequence(SeqId parent, SeqId child) {
   sequences_.emplace(child, std::move(forked));
 }
 
+void PagedKvAllocator::fork_sequence(SeqId parent, SeqId child,
+                                     std::uint64_t prefix_tokens) {
+  auto it = sequences_.find(parent);
+  require(it != sequences_.end(), "PagedKvAllocator: unknown fork parent");
+  require(sequences_.find(child) == sequences_.end(),
+          "PagedKvAllocator: duplicate sequence id");
+  require(prefix_tokens <= it->second.tokens,
+          "PagedKvAllocator: prefix fork longer than parent");
+  Sequence forked;
+  forked.tokens = prefix_tokens;
+  const std::uint64_t nblocks = blocks_needed(prefix_tokens);
+  forked.blocks.assign(it->second.blocks.begin(),
+                       it->second.blocks.begin() +
+                           static_cast<std::ptrdiff_t>(nblocks));
+  for (BlockId b : forked.blocks) ++refcount_[b];
+  sequences_.emplace(child, std::move(forked));
+}
+
 std::uint32_t PagedKvAllocator::block_refcount(BlockId b) const {
   require(b < total_blocks_, "PagedKvAllocator: bad block id");
   return refcount_[b];

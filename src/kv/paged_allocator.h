@@ -48,6 +48,14 @@ class PagedKvAllocator {
   /// duplicate child.
   void fork_sequence(SeqId parent, SeqId child);
 
+  /// Prefix fork: like fork_sequence, but the child shares only the blocks
+  /// covering the parent's first `prefix_tokens` tokens and starts at that
+  /// length. When `prefix_tokens` is a multiple of block_size (the prefix
+  /// cache always aligns down to block granularity) the child's first append
+  /// opens a fresh block and no copy-on-write ever fires on the shared
+  /// prefix. Throws if `prefix_tokens` exceeds the parent's length.
+  void fork_sequence(SeqId parent, SeqId child, std::uint64_t prefix_tokens);
+
   /// Append `n` tokens to sequence `id`, grabbing blocks as needed.
   /// Returns false (and rolls back nothing — no partial append) if the pool
   /// cannot supply the blocks. Throws on unknown sequence.

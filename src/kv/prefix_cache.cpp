@@ -1,0 +1,241 @@
+#include "kv/prefix_cache.h"
+
+#include "util/check.h"
+
+namespace llmib::kv {
+
+using util::require;
+
+/// One node of the compressed radix tree. `edge` is the token label on the
+/// link from `parent` to this node (children are keyed by their edge's first
+/// token, so lookups branch in O(log fanout)). An entry's key always ends
+/// exactly at a node — insert splits edges at divergence points — which makes
+/// "covered" checks and subtree bookkeeping exact.
+struct PrefixCache::Node {
+  std::vector<Token> edge;
+  Node* parent = nullptr;
+  std::map<Token, std::unique_ptr<Node>> children;
+  EntryId entry = 0;                ///< entry ending exactly here (0 = none)
+  std::size_t subtree_entries = 0;  ///< entries at or below this node
+};
+
+struct PrefixCache::Entry {
+  std::vector<Token> key;
+  Node* node = nullptr;
+  std::uint32_t pins = 0;
+  std::uint64_t last_used = 0;
+};
+
+PrefixCache::PrefixCache() : root_(std::make_unique<Node>()) {}
+PrefixCache::~PrefixCache() = default;
+
+PrefixCache::Node* PrefixCache::best_entry_below(Node* node) const {
+  Node* best = nullptr;
+  std::uint64_t best_tick = 0;
+  std::vector<Node*> stack{node};
+  while (!stack.empty()) {
+    Node* cur = stack.back();
+    stack.pop_back();
+    if (cur->subtree_entries == 0) continue;
+    if (cur->entry != 0) {
+      const std::uint64_t t = entries_.at(cur->entry).last_used;
+      if (best == nullptr || t > best_tick) {
+        best = cur;
+        best_tick = t;
+      }
+    }
+    for (const auto& [tok, child] : cur->children) stack.push_back(child.get());
+  }
+  return best;
+}
+
+PrefixCache::Match PrefixCache::lookup(const Token* tokens, std::size_t n) {
+  ++stats_.lookups;
+  Node* node = root_.get();
+  std::size_t depth = 0;
+  while (depth < n) {
+    auto it = node->children.find(tokens[depth]);
+    if (it == node->children.end()) break;
+    Node* child = it->second.get();
+    std::size_t k = 0;
+    while (k < child->edge.size() && depth + k < n &&
+           child->edge[k] == tokens[depth + k]) {
+      ++k;
+    }
+    depth += k;
+    node = child;
+    if (k < child->edge.size()) break;  // diverged (or query ended) mid-edge
+  }
+  if (depth == 0 || node == root_.get()) return {};
+  // Every entry in `node`'s subtree shares exactly the `depth` tokens we
+  // matched on the way down; prefer the most recently used one so the handle
+  // we return is the least likely to be evicted underneath the caller.
+  Node* enode = best_entry_below(node);
+  if (enode == nullptr) return {};
+  Entry& e = entries_.at(enode->entry);
+  e.last_used = ++tick_;
+  ++stats_.hits;
+  stats_.hit_tokens += depth;
+  return {enode->entry, depth};
+}
+
+PrefixCache::EntryId PrefixCache::insert(const Token* tokens, std::size_t n) {
+  if (n == 0) return 0;
+  Node* node = root_.get();
+  std::size_t depth = 0;
+  bool created = false;
+  while (depth < n) {
+    auto it = node->children.find(tokens[depth]);
+    if (it == node->children.end()) {
+      // No branch starts with this token: hang the whole remainder as a leaf.
+      auto leaf = std::make_unique<Node>();
+      leaf->edge.assign(tokens + depth, tokens + n);
+      leaf->parent = node;
+      Node* lp = leaf.get();
+      node->children.emplace(tokens[depth], std::move(leaf));
+      node = lp;
+      depth = n;
+      created = true;
+      break;
+    }
+    Node* child = it->second.get();
+    std::size_t k = 0;
+    while (k < child->edge.size() && depth + k < n &&
+           child->edge[k] == tokens[depth + k]) {
+      ++k;
+    }
+    if (k == child->edge.size()) {
+      node = child;
+      depth += k;
+      continue;
+    }
+    if (depth + k == n) {
+      // Key ends mid-edge: it is a proper prefix of an existing entry's key,
+      // so that entry already covers it.
+      return 0;
+    }
+    // Diverges mid-edge: split the edge at k, then hang a new leaf.
+    auto mid = std::make_unique<Node>();
+    mid->edge.assign(child->edge.begin(), child->edge.begin() + k);
+    mid->parent = node;
+    mid->subtree_entries = child->subtree_entries;
+    Node* mp = mid.get();
+    std::unique_ptr<Node> owned_child = std::move(it->second);
+    child->edge.erase(child->edge.begin(),
+                      child->edge.begin() + static_cast<std::ptrdiff_t>(k));
+    child->parent = mp;
+    mid->children.emplace(child->edge.front(), std::move(owned_child));
+    it->second = std::move(mid);  // same slot: first token unchanged
+    auto leaf = std::make_unique<Node>();
+    leaf->edge.assign(tokens + depth + k, tokens + n);
+    leaf->parent = mp;
+    Node* lp = leaf.get();
+    mp->children.emplace(tokens[depth + k], std::move(leaf));
+    node = lp;
+    depth = n;
+    created = true;
+    break;
+  }
+  if (!created) {
+    // Landed exactly on an existing node; its subtree necessarily holds an
+    // entry whose key covers ours (exact duplicate or a strict extension).
+    return 0;
+  }
+  const EntryId id = next_id_++;
+  node->entry = id;
+  for (Node* p = node; p != nullptr; p = p->parent) ++p->subtree_entries;
+  Entry e;
+  e.key.assign(tokens, tokens + n);
+  e.node = node;
+  e.last_used = ++tick_;
+  entries_.emplace(id, std::move(e));
+  total_key_tokens_ += n;
+  ++stats_.insertions;
+  return id;
+}
+
+void PrefixCache::pin(EntryId id) {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "PrefixCache: pin of unknown entry");
+  ++it->second.pins;
+}
+
+void PrefixCache::unpin(EntryId id) {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "PrefixCache: unpin of unknown entry");
+  require(it->second.pins > 0, "PrefixCache: unpin without matching pin");
+  --it->second.pins;
+}
+
+std::uint32_t PrefixCache::pin_count(EntryId id) const {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "PrefixCache: pin_count of unknown entry");
+  return it->second.pins;
+}
+
+std::optional<PrefixCache::EntryId> PrefixCache::evict_lru() {
+  EntryId victim = 0;
+  std::uint64_t oldest = 0;
+  for (const auto& [id, e] : entries_) {
+    if (e.pins > 0) continue;
+    if (victim == 0 || e.last_used < oldest) {
+      victim = id;
+      oldest = e.last_used;
+    }
+  }
+  if (victim == 0) return std::nullopt;
+  erase(victim);
+  ++stats_.evictions;
+  return victim;
+}
+
+void PrefixCache::erase(EntryId id) {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "PrefixCache: erase of unknown entry");
+  Node* node = it->second.node;
+  node->entry = 0;
+  for (Node* p = node; p != nullptr; p = p->parent) --p->subtree_entries;
+  total_key_tokens_ -= it->second.key.size();
+  entries_.erase(it);
+  prune_upward(node);
+}
+
+void PrefixCache::prune_upward(Node* node) {
+  while (node != root_.get() && node->entry == 0) {
+    Node* parent = node->parent;
+    if (node->children.empty()) {
+      parent->children.erase(node->edge.front());
+      node = parent;
+    } else if (node->children.size() == 1) {
+      // Re-compress: splice the lone child up into this node's slot.
+      auto cit = node->children.begin();
+      std::unique_ptr<Node> child = std::move(cit->second);
+      child->edge.insert(child->edge.begin(), node->edge.begin(),
+                         node->edge.end());
+      child->parent = parent;
+      auto slot = parent->children.find(child->edge.front());
+      slot->second = std::move(child);  // destroys `node`
+      return;
+    } else {
+      return;
+    }
+  }
+}
+
+bool PrefixCache::contains(EntryId id) const {
+  return entries_.find(id) != entries_.end();
+}
+
+std::size_t PrefixCache::length(EntryId id) const {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "PrefixCache: length of unknown entry");
+  return it->second.key.size();
+}
+
+const std::vector<PrefixCache::Token>& PrefixCache::tokens(EntryId id) const {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "PrefixCache: tokens of unknown entry");
+  return it->second.key;
+}
+
+}  // namespace llmib::kv

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace llmib::kv {
+
+/// Radix-tree (patricia trie) index over token-id prefixes, in the style of
+/// SGLang's RadixAttention: every cached prompt (or conversation history) is
+/// one entry; a new request walks the tree to find the *longest* entry whose
+/// key shares a prefix with the request's prompt, then the serving layer forks
+/// that entry's KV blocks copy-on-write instead of recomputing prefill.
+///
+/// The cache itself is storage-agnostic: it maps token keys to opaque
+/// `EntryId`s and manages recency + pinning. The owner (ServingEngine) keeps
+/// the actual `PagedKvStore` behind each entry and frees it on eviction, so
+/// the block-refcount invariant — eviction never frees a block some live
+/// sequence still references — is enforced by the allocator's refcounts, not
+/// by this index.
+///
+/// Invariants:
+///  - Entry keys are non-empty and unique; a key that is a prefix of an
+///    existing key is never inserted (the longer entry already serves it).
+///  - `evict_lru()` only ever returns an entry with a zero pin count; pinned
+///    entries (borrowed by an in-flight request) are immovable.
+///  - `lookup()` refreshes the returned entry's recency (LRU touch).
+class PrefixCache {
+ public:
+  using Token = std::int32_t;
+  /// Opaque entry handle; 0 is the invalid/"no entry" sentinel.
+  using EntryId = std::uint64_t;
+
+  struct Match {
+    EntryId entry = 0;        ///< 0 = no entry shares any prefix
+    std::size_t matched = 0;  ///< tokens of common prefix with the entry's key
+  };
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;        ///< lookups with matched > 0
+    std::uint64_t hit_tokens = 0;  ///< sum of matched over hits
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;   ///< via evict_lru (explicit erase excluded)
+  };
+
+  PrefixCache();
+  ~PrefixCache();
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  /// Longest-prefix match for `tokens`. When several entries share the same
+  /// matched prefix the most recently used one is returned. Touches the
+  /// returned entry's LRU recency.
+  Match lookup(const Token* tokens, std::size_t n);
+  Match lookup(const std::vector<Token>& tokens) {
+    return lookup(tokens.data(), tokens.size());
+  }
+
+  /// Register a key. Returns the new EntryId, or 0 when the key is empty or
+  /// already covered (an existing entry's key has `tokens` as a prefix —
+  /// including the exact-duplicate case). The caller owns capacity policy:
+  /// call evict_lru() first if it wants a bounded entry count.
+  EntryId insert(const Token* tokens, std::size_t n);
+  EntryId insert(const std::vector<Token>& tokens) {
+    return insert(tokens.data(), tokens.size());
+  }
+
+  /// Pin/unpin an entry against eviction (counted; pin twice => unpin twice).
+  void pin(EntryId id);
+  void unpin(EntryId id);
+  std::uint32_t pin_count(EntryId id) const;
+
+  /// Remove the least-recently-used unpinned entry, or nullopt when every
+  /// entry is pinned (or the cache is empty). The owner must release the
+  /// entry's backing store after this returns.
+  std::optional<EntryId> evict_lru();
+
+  /// Remove a specific entry (must exist; may be pinned — used for
+  /// invalidation, e.g. after a fault wipes the pool).
+  void erase(EntryId id);
+
+  bool contains(EntryId id) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Key length in tokens. Throws on unknown entry.
+  std::size_t length(EntryId id) const;
+  /// The entry's full key. Throws on unknown entry.
+  const std::vector<Token>& tokens(EntryId id) const;
+
+  /// Sum of key lengths over all entries (upper bound on cached KV tokens;
+  /// the true block-level footprint is lower when entries share blocks).
+  std::uint64_t total_key_tokens() const { return total_key_tokens_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* best_entry_below(Node* node) const;  ///< MRU entry node in subtree
+  void prune_upward(Node* node);
+
+  std::unique_ptr<Node> root_;
+  std::map<EntryId, Entry> entries_;
+  EntryId next_id_ = 1;
+  std::uint64_t tick_ = 0;  ///< monotonically increasing recency clock
+  std::uint64_t total_key_tokens_ = 0;
+  Stats stats_;
+};
+
+}  // namespace llmib::kv

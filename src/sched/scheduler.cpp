@@ -48,22 +48,40 @@ void Scheduler::set_max_batch(std::int64_t max_batch) {
 std::int64_t Scheduler::footprint(const Request& req) const {
   const auto reserved_new = static_cast<std::int64_t>(
       cfg_.reservation_frac * static_cast<double>(req.max_new_tokens) + 0.999);
-  return req.prompt_tokens + std::max<std::int64_t>(1, reserved_new);
+  // Cached-prefix tokens live in ref-counted blocks the prefix cache already
+  // charges once via the external reservation; only the private remainder of
+  // the prompt counts against this request.
+  return req.prompt_tokens - req.cached_prefix_tokens +
+         std::max<std::int64_t>(1, reserved_new);
 }
 
 void Scheduler::submit(const Request& req) {
   require(req.prompt_tokens > 0, "Scheduler: prompt must be non-empty");
   require(req.max_new_tokens > 0, "Scheduler: max_new_tokens must be positive");
+  require(req.cached_prefix_tokens >= 0 &&
+              req.cached_prefix_tokens < req.prompt_tokens,
+          "Scheduler: cached prefix must satisfy 0 <= cached < prompt");
   require(live_.find(req.id) == live_.end(), "Scheduler: duplicate request id");
   require(queued_ids_.find(req.id) == queued_ids_.end(),
           "Scheduler: duplicate request id");
   if (cfg_.kv_capacity_tokens > 0) {
-    require(req.prompt_tokens + req.max_new_tokens <= cfg_.kv_capacity_tokens,
+    require(req.prompt_tokens - req.cached_prefix_tokens + req.max_new_tokens <=
+                cfg_.kv_capacity_tokens,
             "Scheduler: request can never fit in KV capacity");
   }
   queue_.push_back(Queued{req, 0});
   queued_ids_.insert(req.id);
   submitted_counter().add(1);
+}
+
+void Scheduler::set_external_reserved_tokens(std::int64_t tokens) {
+  require(tokens >= 0, "Scheduler: negative external reservation");
+  external_reserved_ = tokens;
+}
+
+std::int64_t Scheduler::next_waiting_footprint() const {
+  if (queue_.empty()) return 0;
+  return footprint(next_candidate()->req);
 }
 
 bool Scheduler::cancel(RequestId id) {
@@ -87,10 +105,28 @@ bool Scheduler::cancel(RequestId id) {
 bool Scheduler::can_admit(const Request& req) const {
   if (static_cast<std::int64_t>(live_.size()) >= cfg_.max_batch) return false;
   if (cfg_.kv_capacity_tokens > 0 &&
-      reserved_tokens_ + footprint(req) > cfg_.kv_capacity_tokens) {
+      reserved_tokens_ + external_reserved_ + footprint(req) >
+          cfg_.kv_capacity_tokens) {
     return false;
   }
   return true;
+}
+
+auto Scheduler::next_candidate() const -> std::deque<Queued>::const_iterator {
+  auto candidate = queue_.begin();
+  if (cfg_.order == QueueOrder::kShortestFirst) {
+    // Effective work = total tokens minus an aging credit, so a starved
+    // long request eventually wins over fresh short ones. Ties keep
+    // queue (arrival) order via strict less-than.
+    const auto rank = [&](const Queued& q) {
+      return q.req.prompt_tokens + q.req.max_new_tokens -
+             q.rounds_waiting * cfg_.sjf_aging_tokens_per_round;
+    };
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (rank(*it) < rank(*candidate)) candidate = it;
+    }
+  }
+  return candidate;
 }
 
 void Scheduler::admit_from_queue() {
@@ -104,19 +140,7 @@ void Scheduler::admit_from_queue() {
   bool admitted_any = false;
   for (;;) {
     if (queue_.empty()) break;
-    auto candidate = queue_.begin();
-    if (cfg_.order == QueueOrder::kShortestFirst) {
-      // Effective work = total tokens minus an aging credit, so a starved
-      // long request eventually wins over fresh short ones. Ties keep
-      // queue (arrival) order via strict less-than.
-      const auto rank = [&](const Queued& q) {
-        return q.req.prompt_tokens + q.req.max_new_tokens -
-               q.rounds_waiting * cfg_.sjf_aging_tokens_per_round;
-      };
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (rank(*it) < rank(*candidate)) candidate = it;
-      }
-    }
+    auto candidate = next_candidate();
     if (!can_admit(candidate->req)) break;
     Request req = candidate->req;
     queue_.erase(candidate);

@@ -16,6 +16,11 @@ struct Request {
   std::int64_t prompt_tokens = 0;
   std::int64_t max_new_tokens = 0;
   double arrival_time_s = 0.0;
+  /// Tokens of the prompt already resident in a shared prefix-cache entry
+  /// (ref-counted blocks charged once, externally via
+  /// set_external_reserved_tokens). Admission discounts them from this
+  /// request's private KV footprint. Must satisfy 0 <= cached < prompt.
+  std::int64_t cached_prefix_tokens = 0;
 };
 
 /// Lifecycle of a request inside the scheduler.
@@ -101,6 +106,18 @@ class Scheduler {
   /// are never evicted by this.
   void set_max_batch(std::int64_t max_batch);
 
+  /// Tokens of KV held outside the scheduler's own reservations — the
+  /// prefix cache's resident entries, charged ONCE here no matter how many
+  /// live requests borrow them (they are ref-counted blocks, not copies).
+  /// Admission treats them as occupied capacity.
+  void set_external_reserved_tokens(std::int64_t tokens);
+  std::int64_t external_reserved_tokens() const { return external_reserved_; }
+
+  /// Footprint the next admission candidate would reserve (0 if the queue is
+  /// empty). Lets the owner decide whether shrinking the external
+  /// reservation (evicting cache entries) would unblock admission.
+  std::int64_t next_waiting_footprint() const;
+
   /// Number of tokens of KV the live set currently reserves.
   std::int64_t reserved_kv_tokens() const { return reserved_tokens_; }
   /// Live (admitted, unfinished) sequence count.
@@ -133,6 +150,7 @@ class Scheduler {
   bool can_admit(const Request& req) const;
   void admit_from_queue();
   std::int64_t footprint(const Request& req) const;
+  std::deque<Queued>::const_iterator next_candidate() const;
 
   Config cfg_;
   std::deque<Queued> queue_;
@@ -141,6 +159,7 @@ class Scheduler {
   std::unordered_set<RequestId> queued_ids_;
   std::map<RequestId, Live> live_;
   std::int64_t reserved_tokens_ = 0;
+  std::int64_t external_reserved_ = 0;
   std::int64_t waves_ = 0;
 };
 

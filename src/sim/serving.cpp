@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <vector>
 
 #include "frameworks/traits.h"
@@ -50,6 +51,12 @@ obs::Snapshot ServingMetrics::to_snapshot() const {
   snap.set_counter("serving.max_concurrency", max_concurrency);
   snap.set_counter("serving.peak_queue_depth", peak_queue_depth);
   snap.set_counter("serving.saturated", saturated ? 1 : 0);
+  snap.set_counter("serving.prefix_lookups", prefix_lookups);
+  snap.set_counter("serving.prefix_hits", prefix_hits);
+  snap.set_counter("serving.prefix_hit_tokens", prefix_hit_tokens);
+  snap.set_counter("serving.prefix_partial_matches", prefix_partial_matches);
+  snap.set_counter("serving.prefix_cache_peak_tokens", prefix_cache_peak_tokens);
+  snap.set_counter("serving.peak_kv_reserved_tokens", peak_kv_reserved_tokens);
   snap.set_counter("serving.device_failures", device_failures);
   snap.set_counter("serving.throttle_episodes", throttle_episodes);
   snap.set_counter("serving.fault_evictions", fault_evictions);
@@ -113,6 +120,10 @@ ServingSimulator::Result ServingSimulator::run_trace(
             "ServingSimulator: trace rows need positive token counts");
     require(i == 0 || reqs[i].arrival_s >= reqs[i - 1].arrival_s,
             "ServingSimulator: trace must be sorted by arrival");
+    require(reqs[i].shared_prefix_tokens >= 0,
+            "ServingSimulator: negative per-request shared prefix");
+    require(reqs[i].cacheable_tokens >= -1,
+            "ServingSimulator: cacheable_tokens must be >= -1");
     max_prompt = std::max(max_prompt, reqs[i].prompt_tokens);
     max_output = std::max(max_output, reqs[i].output_tokens);
   }
@@ -147,10 +158,78 @@ ServingSimulator::Result ServingSimulator::run_trace(
   scfg.sjf_aging_tokens_per_round = opts.sjf_aging_tokens_per_round;
   const std::int64_t base_max_batch = scfg.max_batch;
   sched::Scheduler scheduler(scfg);
-  // Automatic prefix caching: the shared prefix's KV is computed by the
-  // first prefill and reused by every later one.
-  const bool caching = base.prefix_caching && shared_prefix > 0;
-  bool prefix_cached = false;
+
+  // ---- Prefix-cache model ---------------------------------------------------
+  // Per-group longest-match semantics (the analytic mirror of the engine's
+  // radix index): each prefix group tracks how many tokens of its shared
+  // context are cached; a prefill's discount is the MINIMUM of the request's
+  // own claim and what the cache actually holds at that moment. The cache
+  // grows only when a prefill COMPLETES (or a request finishes, extending the
+  // conversation history) — never from merely planning one — so concurrent
+  // first-wave prefills pay full price.
+  struct PrefixInfo {
+    std::int64_t group = -1;
+    std::int64_t claim = 0;      ///< reusable head of THIS prompt
+    std::int64_t cacheable = 0;  ///< context a follow-up may reuse
+  };
+  std::vector<PrefixInfo> pinfo(reqs.size());
+  bool any_group = false;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& r = reqs[i];
+    auto& p = pinfo[i];
+    if (r.prefix_group >= 0) {
+      p.group = r.prefix_group;
+      p.claim = std::min(r.shared_prefix_tokens, r.prompt_tokens);
+      p.cacheable = r.cacheable_tokens < 0
+                        ? p.claim
+                        : std::min(r.cacheable_tokens,
+                                   r.prompt_tokens + r.output_tokens);
+    } else if (shared_prefix > 0) {
+      // Legacy single-shared-prefix mode: every ungrouped request is one
+      // implicit group sharing `shared_prefix` head tokens.
+      p.group = 0;
+      p.claim = std::min(shared_prefix, r.prompt_tokens);
+      p.cacheable = p.claim;
+    }
+    any_group = any_group || p.group >= 0;
+  }
+  const bool caching = base.prefix_caching && any_group;
+  std::map<std::int64_t, std::int64_t> cached_len;  ///< group -> cached tokens
+  std::int64_t cache_total = 0;
+  std::int64_t prefix_cache_peak = 0, peak_kv_reserved = 0;
+  std::int64_t prefix_lookups = 0, prefix_hits = 0, prefix_hit_tokens = 0;
+  std::int64_t prefix_partial = 0;
+
+  // Usable match right now for request i prefilling cur_prompt tokens: at
+  // least one token always prefills (partial-match cap at cur_prompt - 1).
+  const auto current_match = [&](std::size_t i,
+                                 std::int64_t cur_prompt) -> std::int64_t {
+    if (!caching || pinfo[i].group < 0) return 0;
+    const auto it = cached_len.find(pinfo[i].group);
+    if (it == cached_len.end()) return 0;
+    const std::int64_t avail = std::min(it->second, pinfo[i].claim);
+    return std::clamp<std::int64_t>(avail, 0,
+                                    std::max<std::int64_t>(0, cur_prompt - 1));
+  };
+  // Raw availability (uncapped) — used to detect whole-prompt coverage.
+  const auto raw_avail = [&](std::size_t i) -> std::int64_t {
+    if (!caching || pinfo[i].group < 0) return 0;
+    const auto it = cached_len.find(pinfo[i].group);
+    return it == cached_len.end() ? 0 : std::min(it->second, pinfo[i].claim);
+  };
+  // Record `context_len` tokens of group context as cached. Monotone per
+  // group; the scheduler sees the cache's footprint ONCE via the external
+  // reservation (ref-counted blocks, not per-request copies).
+  const auto cache_populate = [&](std::size_t i, std::int64_t context_len) {
+    if (!caching || pinfo[i].group < 0) return;
+    const std::int64_t len = std::min(pinfo[i].cacheable, context_len);
+    auto& cur = cached_len[pinfo[i].group];
+    if (len <= cur) return;
+    cache_total += len - cur;
+    cur = len;
+    prefix_cache_peak = std::max(prefix_cache_peak, cache_total);
+    scheduler.set_external_reserved_tokens(cache_total);
+  };
 
   SimConfig step_cfg = base;
   step_cfg.batch_size = 1;  // per-step batch passed explicitly below
@@ -178,6 +257,10 @@ ServingSimulator::Result ServingSimulator::run_trace(
     int attempts = 0;              ///< retries consumed so far
     std::int64_t progress = 0;     ///< tokens generated before eviction(s)
     std::int64_t cur_prompt = 0;   ///< prompt + recompute on the current attempt
+    /// Submit-time cached-prefix estimate, used for the scheduler's KV
+    /// reservation discount (the prefill-time discount is recomputed from
+    /// the live cache, so a post-submit wipe never yields a phantom hit).
+    std::int64_t cached_prefix = 0;
   };
   std::vector<Track> track(reqs.size());
 
@@ -228,9 +311,10 @@ ServingSimulator::Result ServingSimulator::run_trace(
           continue;
         }
         t.cur_prompt = reqs[i].prompt_tokens + t.progress;
+        t.cached_prefix = current_match(i, t.cur_prompt);
         scheduler.submit({static_cast<sched::RequestId>(i), t.cur_prompt,
                           std::max<std::int64_t>(1, reqs[i].output_tokens - t.progress),
-                          reqs[i].arrival_s});
+                          reqs[i].arrival_s, t.cached_prefix});
         t.in_scheduler = true;
       }
     }
@@ -264,8 +348,10 @@ ServingSimulator::Result ServingSimulator::run_trace(
                           static_cast<std::int64_t>(next_submit));
       } else {
         t.cur_prompt = r.prompt_tokens;
+        t.cached_prefix = current_match(next_submit, t.cur_prompt);
         scheduler.submit({static_cast<sched::RequestId>(next_submit),
-                          r.prompt_tokens, r.output_tokens, r.arrival_s});
+                          r.prompt_tokens, r.output_tokens, r.arrival_s,
+                          t.cached_prefix});
         t.in_scheduler = true;
       }
       ++next_submit;
@@ -300,6 +386,15 @@ ServingSimulator::Result ServingSimulator::run_trace(
         degrade.on_fault(now);
         pending_fault_times.push_back(tf);
         obs::emit_instant("fault.device_failure", obs::Cat::kFault, tf, sim_track);
+        // The restart wiped device memory — the cached prefix KV included.
+        // Later prefills recompute it (the old code let a pre-failure cache
+        // keep discounting prefills against KV that no longer existed).
+        if (caching && !cached_len.empty()) {
+          cached_len.clear();
+          cache_total = 0;
+          scheduler.set_external_reserved_tokens(0);
+          obs::emit_instant("sim.prefix_wipe", obs::Cat::kSim, now, sim_track);
+        }
         for (std::size_t i = 0; i < track.size(); ++i) {
           Track& t = track[i];
           if (t.fate != Fate::kPending || !t.in_scheduler) continue;
@@ -354,6 +449,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
       continue;
     }
     max_live = std::max(max_live, scheduler.live_sequences());
+    peak_kv_reserved = std::max(
+        peak_kv_reserved, scheduler.reserved_kv_tokens() + cache_total);
     const double iter_start = now;
     obs::emit_instant("sched.plan", obs::Cat::kSched, now, sim_track,
                       static_cast<std::int64_t>(plan.prefills.size() +
@@ -375,16 +472,21 @@ ServingSimulator::Result ServingSimulator::run_trace(
     if (!plan.prefills.empty()) {
       double prompt_sum = 0;
       for (auto id : plan.prefills) {
-        double effective = static_cast<double>(track[id].cur_prompt);
-        if (caching && prefix_cached) {
-          // A prompt may be no longer than the shared prefix (e.g. an empty
-          // question after the system prompt); it still prefills at least
-          // one token to produce its first output.
-          effective = std::max(1.0, effective - static_cast<double>(shared_prefix));
+        const Track& t = track[id];
+        // Longest-match against the LIVE cache: what this group has actually
+        // finished computing, capped by this request's own claim. The cap at
+        // cur_prompt - 1 makes short-prompt handling explicit — a prompt
+        // fully covered by cached context (empty user turn) still prefills
+        // exactly one token to produce its first-output logits.
+        const std::int64_t discount = current_match(id, t.cur_prompt);
+        if (caching && pinfo[id].group >= 0) ++prefix_lookups;
+        if (discount > 0) {
+          ++prefix_hits;
+          prefix_hit_tokens += discount;
+          if (raw_avail(id) >= t.cur_prompt) ++prefix_partial;
         }
-        prompt_sum += effective;
+        prompt_sum += static_cast<double>(t.cur_prompt - discount);
       }
-      if (caching) prefix_cached = true;  // first prefill populated the cache
       const auto mean_prompt = std::max<std::int64_t>(
           1, static_cast<std::int64_t>(prompt_sum / static_cast<double>(plan.prefills.size())));
       const StepBreakdown p = sim_.prefill_step(
@@ -408,6 +510,11 @@ ServingSimulator::Result ServingSimulator::run_trace(
           t.ttft_s = now - reqs[id].arrival_s;
           ttfts.push_back(t.ttft_s);
         }
+        // The prefill step has COMPLETED (now advanced past it): only now
+        // does this request's prompt head become reusable. First-wave
+        // prefills above were costed before this point, so concurrent
+        // same-group prefills never discount against each other.
+        cache_populate(id, t.cur_prompt);
         if (scheduler.complete_decode_token(id)) {
           e2es.push_back(now - reqs[id].arrival_s);
           total_tokens +=
@@ -416,6 +523,7 @@ ServingSimulator::Result ServingSimulator::run_trace(
           t.in_scheduler = false;
           ++completed;
           ++resolved;
+          cache_populate(id, reqs[id].prompt_tokens + reqs[id].output_tokens);
         }
       }
     }
@@ -449,6 +557,9 @@ ServingSimulator::Result ServingSimulator::run_trace(
           t.in_scheduler = false;
           ++completed;
           ++resolved;
+          // A finished conversation turn extends the group's cacheable
+          // context (prompt + fresh output) for the follow-up turn.
+          cache_populate(id, reqs[id].prompt_tokens + reqs[id].output_tokens);
         }
       }
     }
@@ -499,6 +610,12 @@ ServingSimulator::Result ServingSimulator::run_trace(
   m.max_concurrency = max_live;
   m.peak_queue_depth = peak_queue;
   m.saturated = saturated_load(m.achieved_rps, m.offered_load_rps);
+  m.prefix_lookups = prefix_lookups;
+  m.prefix_hits = prefix_hits;
+  m.prefix_hit_tokens = prefix_hit_tokens;
+  m.prefix_partial_matches = prefix_partial;
+  m.prefix_cache_peak_tokens = prefix_cache_peak;
+  m.peak_kv_reserved_tokens = peak_kv_reserved;
   if (opts.slo_ttft_s > 0) {
     std::size_t met = 0;
     for (const Track& t : track) {
@@ -550,6 +667,12 @@ ServingSimulator::Result ServingSimulator::run_trace(
     static obs::Counter& c_retry = obs::Registry::global().counter("fault.retries");
     static obs::Counter& c_shed = obs::Registry::global().counter("fault.shed");
     static obs::Counter& c_tmo = obs::Registry::global().counter("fault.timeouts");
+    // Process-wide namespace deliberately distinct from the run snapshot's
+    // serving.prefix_* keys: write_artifacts merges the two, and identical
+    // names would double-count.
+    static obs::Counter& c_phit = obs::Registry::global().counter("sim.prefix_hits");
+    static obs::Counter& c_ptok =
+        obs::Registry::global().counter("sim.prefix_hit_tokens");
     c_iter.add(phases.iterations);
     c_pre.add(phases.prefill_steps);
     c_dec.add(phases.decode_steps);
@@ -560,6 +683,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
     c_retry.add(m.retries);
     c_shed.add(m.shed_requests);
     c_tmo.add(m.timed_out_requests);
+    c_phit.add(m.prefix_hits);
+    c_ptok.add(m.prefix_hit_tokens);
   }
   return res;
 }

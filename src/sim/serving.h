@@ -46,6 +46,22 @@ struct TraceRequest {
   double arrival_s = 0.0;
   std::int64_t prompt_tokens = 0;
   std::int64_t output_tokens = 0;
+
+  // ---- Prefix-sharing annotations (multi-turn chat / agent loops) ----
+  /// Requests with the same non-negative group share a prompt prefix (e.g.
+  /// one conversation, or one fleet behind a common system prompt). -1 =
+  /// ungrouped; with TraceOptions::shared_prefix > 0 ungrouped requests are
+  /// treated as one implicit group 0 (legacy single-shared-prefix mode).
+  std::int64_t prefix_group = -1;
+  /// Tokens at the head of THIS prompt that coincide with the group's shared
+  /// context (a per-request claim; the usable match is the minimum of this
+  /// and what the cache actually holds — longest-match, not the old global
+  /// boolean). Included in prompt_tokens.
+  std::int64_t shared_prefix_tokens = 0;
+  /// Tokens of this request's context a follow-up may reuse (chat: the full
+  /// prompt+output history; flat fleets: just the shared head). -1 = same as
+  /// shared_prefix_tokens.
+  std::int64_t cacheable_tokens = -1;
 };
 
 /// Achieved load below this fraction of the offered load means the system
@@ -76,6 +92,18 @@ struct ServingMetrics {
   std::int64_t max_concurrency = 0;   ///< peak live sequences
   std::int64_t peak_queue_depth = 0;  ///< peak waiting requests
   bool saturated = false;             ///< system could not keep up with load
+
+  // ---- Prefix caching (all zero when disabled) ----
+  std::int64_t prefix_lookups = 0;        ///< grouped prefills that consulted the cache
+  std::int64_t prefix_hits = 0;           ///< prefills that reused cached prefix KV
+  std::int64_t prefix_hit_tokens = 0;     ///< prefill tokens skipped via reuse
+  /// Hits whose cached context covered the WHOLE prompt (empty user turn);
+  /// one token is still prefilled — explicitly, not via a silent clamp.
+  std::int64_t prefix_partial_matches = 0;
+  std::int64_t prefix_cache_peak_tokens = 0;  ///< peak resident cached-prefix KV
+  /// Peak of scheduler-reserved + cached KV tokens: cached blocks charged
+  /// ONCE (ref-counted), not once per resident request borrowing them.
+  std::int64_t peak_kv_reserved_tokens = 0;
 
   /// Fraction of requests that COMPLETED with TTFT within the SLO (1.0 when
   /// no SLO was set) — the goodput metric serving papers optimize. Shed,

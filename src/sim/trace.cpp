@@ -25,6 +25,13 @@ void RequestTrace::validate() const {
     require(r.output_tokens > 0, "RequestTrace: output tokens must be positive");
     require(i == 0 || r.arrival_s >= requests_[i - 1].arrival_s,
             "RequestTrace: arrivals must be sorted");
+    require(r.prefix_group >= -1, "RequestTrace: prefix_group must be >= -1");
+    require(r.shared_prefix_tokens >= 0,
+            "RequestTrace: shared_prefix_tokens must be non-negative");
+    require(r.shared_prefix_tokens <= r.prompt_tokens,
+            "RequestTrace: shared_prefix_tokens exceeds prompt");
+    require(r.cacheable_tokens >= -1,
+            "RequestTrace: cacheable_tokens must be >= -1");
   }
 }
 
@@ -61,8 +68,9 @@ RequestTrace RequestTrace::parse_csv(std::istream& in) {
       continue;  // header
     }
     first = false;
-    require(fields.size() == 3, "RequestTrace: expected 3 columns, got " +
-                                    std::to_string(fields.size()));
+    require(fields.size() == 3 || fields.size() == 6,
+            "RequestTrace: expected 3 or 6 columns, got " +
+                std::to_string(fields.size()));
     TraceRequest r;
     char* end = nullptr;
     r.arrival_s = std::strtod(fields[0].c_str(), &end);
@@ -71,6 +79,16 @@ RequestTrace RequestTrace::parse_csv(std::istream& in) {
     require(end != fields[1].c_str(), "RequestTrace: bad prompt value");
     r.output_tokens = std::strtoll(fields[2].c_str(), &end, 10);
     require(end != fields[2].c_str(), "RequestTrace: bad output value");
+    if (fields.size() == 6) {
+      r.prefix_group = std::strtoll(fields[3].c_str(), &end, 10);
+      require(end != fields[3].c_str(), "RequestTrace: bad prefix_group value");
+      r.shared_prefix_tokens = std::strtoll(fields[4].c_str(), &end, 10);
+      require(end != fields[4].c_str(),
+              "RequestTrace: bad shared_prefix_tokens value");
+      r.cacheable_tokens = std::strtoll(fields[5].c_str(), &end, 10);
+      require(end != fields[5].c_str(),
+              "RequestTrace: bad cacheable_tokens value");
+    }
     reqs.push_back(r);
   }
   return RequestTrace(std::move(reqs));
@@ -82,12 +100,31 @@ RequestTrace RequestTrace::parse_csv_text(const std::string& text) {
 }
 
 void RequestTrace::write_csv(std::ostream& out) const {
-  util::CsvWriter writer(out, {"arrival_s", "prompt_tokens", "output_tokens"});
+  // Legacy traces stay byte-compatible: the three prefix columns are emitted
+  // only when some request actually carries prefix-sharing annotations.
+  const bool extended = std::any_of(
+      requests_.begin(), requests_.end(), [](const TraceRequest& r) {
+        return r.prefix_group != -1 || r.shared_prefix_tokens != 0 ||
+               r.cacheable_tokens != -1;
+      });
+  std::vector<std::string> header = {"arrival_s", "prompt_tokens",
+                                     "output_tokens"};
+  if (extended) {
+    header.insert(header.end(),
+                  {"prefix_group", "shared_prefix_tokens", "cacheable_tokens"});
+  }
+  util::CsvWriter writer(out, header);
   char buf[64];
   for (const auto& r : requests_) {
     std::snprintf(buf, sizeof(buf), "%.6f", r.arrival_s);
-    writer.write_row({buf, std::to_string(r.prompt_tokens),
-                      std::to_string(r.output_tokens)});
+    std::vector<std::string> row = {buf, std::to_string(r.prompt_tokens),
+                                    std::to_string(r.output_tokens)};
+    if (extended) {
+      row.push_back(std::to_string(r.prefix_group));
+      row.push_back(std::to_string(r.shared_prefix_tokens));
+      row.push_back(std::to_string(r.cacheable_tokens));
+    }
+    writer.write_row(row);
   }
 }
 

@@ -1,0 +1,107 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace llmib::sim {
+
+using util::require;
+
+namespace {
+
+/// Shared conversation-chain generator: `steps(rng)` picks the turn count,
+/// `fresh(rng)` the new tokens injected each turn, `output(rng)` the reply
+/// length. Turn 0 carries `head` extra tokens (system prompt) and claims
+/// nothing; turn t claims its full prior context and marks its own
+/// prompt+output cacheable for the next turn.
+template <typename Steps, typename Fresh, typename Output>
+std::vector<TraceRequest> conversation_chains(
+    std::int64_t chains, std::int64_t head, double start_rate_rps,
+    double gap_mean_s, util::Rng& rng, Steps steps, Fresh fresh,
+    Output output) {
+  require(chains > 0, "workloads: need at least one conversation");
+  require(head >= 0, "workloads: negative system prompt");
+  require(start_rate_rps > 0, "workloads: start rate must be positive");
+  require(gap_mean_s > 0, "workloads: think/step gap must be positive");
+
+  std::vector<TraceRequest> reqs;
+  double start = 0;
+  for (std::int64_t c = 0; c < chains; ++c) {
+    start += rng.exponential(start_rate_rps);
+    double t = start;
+    std::int64_t context = 0;  // cached history after the previous turn
+    const std::int64_t turns = steps(rng);
+    for (std::int64_t k = 0; k < turns; ++k) {
+      TraceRequest r;
+      r.arrival_s = t;
+      const std::int64_t inject = (k == 0 ? head : 0) + fresh(rng);
+      r.prompt_tokens = context + std::max<std::int64_t>(inject, k == 0 ? 1 : 0);
+      r.output_tokens = output(rng);
+      r.prefix_group = c;
+      r.shared_prefix_tokens = context;  // claim: replayed history
+      r.cacheable_tokens = r.prompt_tokens + r.output_tokens;
+      reqs.push_back(r);
+      context = r.prompt_tokens + r.output_tokens;
+      t += rng.exponential(1.0 / gap_mean_s);
+    }
+  }
+  std::stable_sort(reqs.begin(), reqs.end(),
+                   [](const TraceRequest& a, const TraceRequest& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  return reqs;
+}
+
+}  // namespace
+
+RequestTrace chat_trace(const ChatScenario& sc) {
+  require(sc.turns_min > 0 && sc.turns_min <= sc.turns_max,
+          "chat_trace: bad turns range");
+  require(sc.user_turn_min >= 0 && sc.user_turn_min <= sc.user_turn_max,
+          "chat_trace: bad user-turn range");
+  require(sc.output_min > 0 && sc.output_min <= sc.output_max,
+          "chat_trace: bad output range");
+  util::Rng rng(sc.seed);
+  auto reqs = conversation_chains(
+      sc.conversations, sc.system_prompt_tokens, sc.start_rate_rps,
+      sc.think_time_mean_s, rng,
+      [&](util::Rng& r) { return r.uniform_int(sc.turns_min, sc.turns_max); },
+      [&](util::Rng& r) {
+        return r.uniform_int(sc.user_turn_min, sc.user_turn_max);
+      },
+      [&](util::Rng& r) { return r.uniform_int(sc.output_min, sc.output_max); });
+  return RequestTrace(std::move(reqs));
+}
+
+RequestTrace agent_loop_trace(const AgentLoopScenario& sc) {
+  require(sc.steps_min > 0 && sc.steps_min <= sc.steps_max,
+          "agent_loop_trace: bad steps range");
+  require(sc.tool_output_min >= 0 && sc.tool_output_min <= sc.tool_output_max,
+          "agent_loop_trace: bad tool-output range");
+  require(sc.output_min > 0 && sc.output_min <= sc.output_max,
+          "agent_loop_trace: bad output range");
+  util::Rng rng(sc.seed);
+  auto reqs = conversation_chains(
+      sc.agents, sc.system_prompt_tokens, sc.start_rate_rps, sc.step_gap_mean_s,
+      rng,
+      [&](util::Rng& r) { return r.uniform_int(sc.steps_min, sc.steps_max); },
+      [&](util::Rng& r) {
+        return r.uniform_int(sc.tool_output_min, sc.tool_output_max);
+      },
+      [&](util::Rng& r) { return r.uniform_int(sc.output_min, sc.output_max); });
+  return RequestTrace(std::move(reqs));
+}
+
+double trace_share_ratio(const std::vector<TraceRequest>& requests) {
+  std::int64_t shared = 0, prompt = 0;
+  for (const auto& r : requests) {
+    shared += std::min(r.shared_prefix_tokens, r.prompt_tokens);
+    prompt += r.prompt_tokens;
+  }
+  return prompt > 0 ? static_cast<double>(shared) / static_cast<double>(prompt)
+                    : 0.0;
+}
+
+}  // namespace llmib::sim

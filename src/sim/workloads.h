@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace llmib::sim {
+
+/// Multi-turn chat workload: conversations start as a Poisson process; each
+/// turn's prompt replays the whole history (system prompt + every prior
+/// user/assistant exchange) plus a fresh user message. With prefix caching
+/// the replayed history is a radix-cache hit, so per-turn prefill cost stays
+/// flat instead of growing linearly with conversation depth — the serving
+/// pattern SGLang's RadixAttention targets.
+struct ChatScenario {
+  std::int64_t conversations = 8;
+  std::int64_t turns_min = 3, turns_max = 6;
+  /// System-prompt tokens at the head of every turn-0 prompt.
+  std::int64_t system_prompt_tokens = 128;
+  /// Fresh user-message tokens appended each turn. `user_turn_min` may be 0:
+  /// an empty user turn (prompt == cached history) exercises the explicit
+  /// partial-match path.
+  std::int64_t user_turn_min = 16, user_turn_max = 64;
+  std::int64_t output_min = 32, output_max = 128;
+  /// Poisson rate of NEW conversations starting.
+  double start_rate_rps = 0.5;
+  /// Mean think time between a turn's arrival and the next turn of the same
+  /// conversation (exponential). Large enough by default that the prior turn
+  /// usually completes first, making its history cache-resident.
+  double think_time_mean_s = 4.0;
+  std::uint64_t seed = 2024;
+};
+
+/// Agent loop workload: like chat, but each "turn" is one tool-call round —
+/// many short steps in quick succession, each replaying the full scratchpad.
+/// Higher turn counts and shorter gaps than chat; the regime where prefix
+/// reuse dominates total prefill work.
+struct AgentLoopScenario {
+  std::int64_t agents = 4;
+  std::int64_t steps_min = 6, steps_max = 12;
+  std::int64_t system_prompt_tokens = 256;
+  /// Tool-output tokens injected into the prompt each step.
+  std::int64_t tool_output_min = 32, tool_output_max = 128;
+  /// Model turn per step (thought + next tool call) — short.
+  std::int64_t output_min = 16, output_max = 64;
+  double start_rate_rps = 0.25;
+  /// Mean gap between consecutive steps (tool execution time).
+  double step_gap_mean_s = 0.5;
+  std::uint64_t seed = 4242;
+};
+
+/// Materialize a chat scenario into a replayable trace. Each conversation is
+/// one prefix group; turn t claims the full prior context
+/// (prompt_{t-1} + output_{t-1}) and marks its own prompt+output cacheable.
+/// Requests are merged across conversations and sorted by arrival.
+RequestTrace chat_trace(const ChatScenario& scenario);
+
+/// Materialize an agent-loop scenario (same trace semantics as chat_trace).
+RequestTrace agent_loop_trace(const AgentLoopScenario& scenario);
+
+/// Fraction of all prompt tokens covered by prefix claims — the "share
+/// ratio" axis of the prefix-cache ablation. Upper bound on the hit-token
+/// fraction an ideal cache could deliver.
+double trace_share_ratio(const std::vector<TraceRequest>& requests);
+
+}  // namespace llmib::sim

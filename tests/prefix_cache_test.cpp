@@ -1,0 +1,649 @@
+// Shared-prefix KV reuse, end to end: the radix prefix index (kv layer),
+// block-aligned prefix forks (allocator + paged store), the ServingEngine
+// hit path (fork-then-diverge must be bitwise identical to a cold prefill),
+// charged-once accounting (scheduler external reservation), and the serving
+// simulator's per-request longest-match model — including the regressions
+// this PR's bugfix sweep pins: completion-order gating (first-wave prefills
+// pay full price, device failures wipe the cache), ref-counted occupancy,
+// and the explicit whole-prompt partial-match path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "engine/generator.h"
+#include "engine/kernels/kernels.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/quantized_kv.h"
+#include "engine/weights.h"
+#include "kv/paged_allocator.h"
+#include "kv/prefix_cache.h"
+#include "sched/scheduler.h"
+#include "sim/serving.h"
+#include "sim/trace.h"
+#include "sim/workloads.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib;
+using engine::TokenId;
+using kv::PrefixCache;
+using llmib::util::ContractViolation;
+namespace ker = llmib::engine::kernels;
+
+std::vector<PrefixCache::Token> seq(int first, int n) {
+  std::vector<PrefixCache::Token> t(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) t[static_cast<std::size_t>(i)] = first + i;
+  return t;
+}
+
+// ---- radix index ----------------------------------------------------------
+
+TEST(Radix, LongestMatchWinsOverShallowerEntry) {
+  PrefixCache c;
+  const auto a = c.insert(seq(1, 8));
+  const auto b = c.insert(seq(1, 12));  // extends a: edge split at 8
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+
+  auto query = seq(1, 12);
+  query.push_back(99);  // diverges after 12
+  const auto deep = c.lookup(query);
+  EXPECT_EQ(deep.entry, b);
+  EXPECT_EQ(deep.matched, 12u);
+
+  auto shallow_q = seq(1, 8);
+  shallow_q.push_back(77);  // diverges right after a's key
+  const auto shallow = c.lookup(shallow_q);
+  EXPECT_EQ(shallow.matched, 8u);
+  EXPECT_NE(shallow.entry, 0u);
+
+  const auto miss = c.lookup(seq(500, 4));
+  EXPECT_EQ(miss.entry, 0u);
+  EXPECT_EQ(miss.matched, 0u);
+
+  const auto& st = c.stats();
+  EXPECT_EQ(st.lookups, 3u);
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.hit_tokens, 20u);
+}
+
+TEST(Radix, MidEdgeMatchReportsPartialDepth) {
+  PrefixCache c;
+  c.insert(seq(1, 16));
+  auto q = seq(1, 5);  // stops in the middle of the single edge
+  q.push_back(99);
+  const auto m = c.lookup(q);
+  EXPECT_EQ(m.matched, 5u);
+  EXPECT_NE(m.entry, 0u);  // the deeper entry still serves the partial match
+}
+
+TEST(Radix, CoveredAndEmptyInsertsReturnZero) {
+  PrefixCache c;
+  const auto full = c.insert(seq(1, 12));
+  ASSERT_NE(full, 0u);
+  EXPECT_EQ(c.insert(seq(1, 12)), 0u);  // exact duplicate
+  EXPECT_EQ(c.insert(seq(1, 8)), 0u);   // strict prefix: already covered
+  EXPECT_EQ(c.insert(nullptr, 0), 0u);  // empty key
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.total_key_tokens(), 12u);
+  // A longer key extending the existing one IS new.
+  EXPECT_NE(c.insert(seq(1, 20)), 0u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.total_key_tokens(), 32u);
+}
+
+TEST(Radix, LruEvictionSkipsPinnedEntries) {
+  PrefixCache c;
+  const auto a = c.insert(seq(1, 4));
+  const auto b = c.insert(seq(100, 4));
+  const auto d = c.insert(seq(200, 4));
+  // Recency: a is oldest, then b, then d. Touch a via lookup -> b is LRU.
+  c.lookup(seq(1, 4));
+  c.pin(b);
+  const auto evicted = c.evict_lru();
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, d);  // b pinned, a freshly touched
+  c.unpin(b);
+  const auto second = c.evict_lru();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, b);
+  const auto third = c.evict_lru();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(*third, a);
+  EXPECT_FALSE(c.evict_lru().has_value());  // empty
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.stats().evictions, 3u);
+}
+
+TEST(Radix, AllPinnedMeansNothingEvictable) {
+  PrefixCache c;
+  const auto a = c.insert(seq(1, 4));
+  c.pin(a);
+  c.pin(a);  // pins are counted
+  EXPECT_FALSE(c.evict_lru().has_value());
+  c.unpin(a);
+  EXPECT_FALSE(c.evict_lru().has_value());  // still one pin outstanding
+  EXPECT_EQ(c.pin_count(a), 1u);
+  c.unpin(a);
+  EXPECT_TRUE(c.evict_lru().has_value());
+}
+
+TEST(Radix, EraseSplicesChainAndShallowerMatchSurvives) {
+  PrefixCache c;
+  const auto a = c.insert(seq(1, 8));
+  const auto b = c.insert(seq(1, 16));
+  c.erase(b);
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_EQ(c.total_key_tokens(), 8u);
+  auto q = seq(1, 16);
+  const auto m = c.lookup(q);
+  EXPECT_EQ(m.entry, a);
+  EXPECT_EQ(m.matched, 8u);  // the erased deep entry no longer matches
+  // Re-inserting the long key works after the splice.
+  EXPECT_NE(c.insert(seq(1, 16)), 0u);
+  EXPECT_THROW(c.erase(b), ContractViolation);
+  EXPECT_THROW(c.pin(12345), ContractViolation);
+}
+
+// ---- allocator / paged-store prefix forks ---------------------------------
+
+TEST(PrefixFork, SharesOnlyAlignedPrefixBlocks) {
+  kv::PagedKvAllocator a(16, 16);
+  a.create_sequence(1);
+  ASSERT_TRUE(a.append_tokens(1, 40));  // 3 blocks (16+16+8)
+  a.fork_sequence(1, 2, 32);            // share the two full blocks only
+  EXPECT_EQ(a.sequence_length(2), 32u);
+  const auto& pt = a.block_table(1);
+  const auto& ct = a.block_table(2);
+  ASSERT_EQ(ct.size(), 2u);
+  EXPECT_EQ(ct[0], pt[0]);
+  EXPECT_EQ(ct[1], pt[1]);
+  EXPECT_EQ(a.block_refcount(pt[0]), 2u);
+  EXPECT_EQ(a.block_refcount(pt[1]), 2u);
+  EXPECT_EQ(a.block_refcount(pt[2]), 1u);  // parent's tail stays private
+  // Block-aligned fork: the child's next append opens a FRESH block — no
+  // copy-on-write ever fires on the shared prefix.
+  std::vector<kv::CowCopy> cows;
+  ASSERT_TRUE(a.append_tokens(2, 1, &cows));
+  EXPECT_TRUE(cows.empty());
+  EXPECT_NE(a.block_table(2)[2], pt[2]);
+  EXPECT_THROW(a.fork_sequence(1, 3, 41), ContractViolation);  // > parent len
+}
+
+TEST(PrefixFork, SharedBlocksSurviveParentDestruction) {
+  engine::PagedKvPool pool(8, 4, {4});
+  auto parent = std::make_unique<engine::PagedKvStore>(pool, 1);
+  for (int t = 0; t < 8; ++t) {
+    std::vector<float> k(4, static_cast<float>(t) + 0.25f);
+    std::vector<float> v(4, static_cast<float>(t) + 0.5f);
+    ASSERT_TRUE(parent->append(0, k, v));
+  }
+  engine::PagedKvStore child(pool, 2, *parent, 4);
+  EXPECT_EQ(child.size(), 4u);
+  const auto used_before = pool.allocator().physical_blocks_used();
+  parent.reset();  // frees only the blocks the child does not reference
+  EXPECT_LT(pool.allocator().physical_blocks_used(), used_before);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(child.key(0, p)[0], static_cast<float>(p) + 0.25f);
+    EXPECT_EQ(child.value(0, p)[3], static_cast<float>(p) + 0.5f);
+  }
+}
+
+TEST(PrefixFork, QuantizedWrapperDelegatesOverForkedStore) {
+  engine::PagedKvPool pool(8, 4, {4});
+  engine::PagedKvStore parent(pool, 1);
+  for (int t = 0; t < 8; ++t) {
+    std::vector<float> k(4, 1.5f * static_cast<float>(t + 1));
+    std::vector<float> v(4, -0.5f * static_cast<float>(t + 1));
+    ASSERT_TRUE(parent.append(0, k, v));
+  }
+  engine::QuantizedKvStore q(std::make_unique<engine::PagedKvStore>(pool, 2, parent, 4),
+                             engine::QuantizedKvStore::CachePrecision::kFP16);
+  EXPECT_EQ(q.size(), 4u);  // size() reports the forked prefix length
+  // Reads pass through to the shared blocks untouched.
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_EQ(q.key(0, p)[0], 1.5f * static_cast<float>(p + 1));
+  // Appends quantize then land in the wrapped fork (1.5 is fp16-exact).
+  std::vector<float> k(4, 1.5f), v(4, -1.5f);
+  ASSERT_TRUE(q.append(0, k, v));
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.key(0, 4)[0], 1.5f);
+  EXPECT_EQ(q.value(0, 4)[0], -1.5f);
+  // runs() delegates: slabs cover every position in order.
+  std::vector<engine::KvRun> runs;
+  q.runs(0, 0, 5, runs);
+  std::size_t covered = 0;
+  for (const auto& r : runs) covered += r.len;
+  EXPECT_EQ(covered, 5u);
+  EXPECT_EQ(runs.front().k[0], 1.5f);
+}
+
+// ---- engine: fork-then-diverge correctness --------------------------------
+
+models::ModelConfig tiny() {
+  models::ModelConfig m;
+  m.name = "tiny";
+  m.n_layers = 2;
+  m.hidden_size = 32;
+  m.attention = models::AttentionKind::kGQA;
+  m.n_heads = 4;
+  m.n_kv_heads = 2;
+  m.ffn_intermediate = 48;
+  m.max_seq_len = 128;
+  m.vocab_size = 96;
+  return m;
+}
+
+const engine::TransformerWeights& tiny_weights() {
+  static const auto w = engine::TransformerWeights::random(tiny(), 42);
+  return w;
+}
+
+std::vector<ker::Backend> testable_backends() {
+  std::vector<ker::Backend> b{ker::Backend::kScalar, ker::Backend::kPortable};
+  if (ker::cpu_supports(ker::Backend::kAvx2)) b.push_back(ker::Backend::kAvx2);
+  return b;
+}
+
+TEST(EnginePrefix, ForkThenDivergeBitwiseIdenticalToColdPrefill) {
+  const engine::MiniTransformer model(tiny_weights());
+  // 32 shared tokens (two full 16-token blocks) + divergent 8-token tails.
+  std::vector<TokenId> shared;
+  for (int i = 0; i < 32; ++i) shared.push_back(static_cast<TokenId>(i % 90 + 1));
+  auto parent_prompt = shared;
+  for (int i = 0; i < 8; ++i) parent_prompt.push_back(static_cast<TokenId>(60 + i));
+  auto child_prompt = shared;
+  for (int i = 0; i < 8; ++i) child_prompt.push_back(static_cast<TokenId>(20 + i));
+
+  for (ker::Backend b : testable_backends()) {
+    ker::ScopedBackend forced(b);
+    engine::PagedKvPool pool(64, 16, model.kv_dims());
+
+    engine::PagedKvStore parent(pool, 1);
+    model.prefill(parent_prompt, parent);
+
+    // Warm path: share the parent's first 32 tokens, prefill only the tail.
+    engine::PagedKvStore forked(pool, 2, parent, 32);
+    const auto warm_logits = model.prefill(
+        std::span<const TokenId>(child_prompt).subspan(32), forked);
+
+    // Cold path: the whole child prompt from scratch.
+    engine::PagedKvStore cold_store(pool, 3);
+    const auto cold_logits = model.prefill(child_prompt, cold_store);
+
+    ASSERT_EQ(warm_logits.size(), cold_logits.size());
+    EXPECT_EQ(0, std::memcmp(warm_logits.data(), cold_logits.data(),
+                             warm_logits.size() * sizeof(float)))
+        << "prefill logits diverge on backend " << ker::backend_name(b);
+
+    // One decode step on top of each: still bitwise identical.
+    const auto warm_next = model.forward(7, forked);
+    const auto cold_next = model.forward(7, cold_store);
+    EXPECT_EQ(0, std::memcmp(warm_next.data(), cold_next.data(),
+                             warm_next.size() * sizeof(float)))
+        << "decode logits diverge on backend " << ker::backend_name(b);
+  }
+}
+
+TEST(EnginePrefix, CacheOnAndOffProduceIdenticalGreedyOutputs) {
+  const engine::MiniTransformer model(tiny_weights());
+  engine::ServingEngine::Config on_cfg;
+  on_cfg.prefix_caching = true;
+  engine::ServingEngine::Config off_cfg = on_cfg;
+  off_cfg.prefix_caching = false;
+  engine::ServingEngine on(model, on_cfg), off(model, off_cfg);
+
+  std::vector<TokenId> head;
+  for (int i = 0; i < 48; ++i) head.push_back(static_cast<TokenId>(i % 90 + 1));
+  auto p1 = head;
+  p1.insert(p1.end(), {60, 61, 62, 63});
+  auto run_both = [&](const std::vector<TokenId>& prompt, std::int64_t n) {
+    const auto a = on.submit(prompt, n);
+    const auto b = off.submit(prompt, n);
+    on.run_to_completion();
+    off.run_to_completion();
+    EXPECT_EQ(on.output(a), off.output(b));
+    return on.output(a);
+  };
+
+  const auto out1 = run_both(p1, 8);
+  auto p2 = head;
+  p2.insert(p2.end(), {50, 51});
+  run_both(p2, 8);                       // sibling sharing the head
+  run_both({70, 71, 72}, 6);             // unrelated short prompt
+  auto p4 = p1;                          // turn 2 of the first conversation
+  p4.insert(p4.end(), out1.begin(), out1.end());
+  p4.push_back(80);
+  run_both(p4, 8);
+
+  const auto st = on.prefix_stats();
+  EXPECT_EQ(st.lookups, 4);
+  EXPECT_GE(st.hits, 2);  // p2 and p4 at minimum
+  EXPECT_GT(st.hit_tokens, 0);
+  EXPECT_GT(st.forked_blocks, 0);
+  EXPECT_EQ(off.prefix_stats().lookups, 0);
+}
+
+TEST(EnginePrefix, MultiTurnConversationReuseGrows) {
+  const engine::MiniTransformer model(tiny_weights());
+  engine::ServingEngine::Config cfg;
+  cfg.prefix_caching = true;
+  engine::ServingEngine eng(model, cfg);
+
+  std::vector<TokenId> p1;
+  for (int i = 0; i < 40; ++i) p1.push_back(static_cast<TokenId>(i % 90 + 1));
+  const auto t1 = eng.submit(p1, 16);
+  eng.run_to_completion();
+  const auto& out1 = eng.output(t1);
+  ASSERT_EQ(out1.size(), 16u);
+
+  // Finishing registers the conversation history (40 + 15 fed tokens ->
+  // 48-token block-aligned entry), deeper than the 32-token prompt entry.
+  auto p2 = p1;
+  p2.insert(p2.end(), out1.begin(), out1.end());
+  p2.insert(p2.end(), {3, 4, 5});
+  const auto t2 = eng.submit(p2, 8);
+  const auto st = eng.prefix_stats();
+  EXPECT_EQ(st.lookups, 2);
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.hit_tokens, 48);  // the conversation entry, not just the prompt
+  eng.run_to_completion();
+  EXPECT_EQ(eng.output(t2).size(), 8u);
+}
+
+TEST(EnginePrefix, PoolPressureEvictsCacheButNeverCorruptsBorrowers) {
+  const engine::MiniTransformer model(tiny_weights());
+  engine::ServingEngine::Config cfg;
+  cfg.pool_blocks = 16;  // 256 tokens total: cache must yield to admissions
+  cfg.block_size = 16;
+  cfg.max_batch = 2;
+  cfg.prefix_caching = true;
+  engine::ServingEngine::Config off_cfg = cfg;
+  off_cfg.prefix_caching = false;
+  engine::ServingEngine on(model, cfg), off(model, off_cfg);
+
+  // Distinct 64-token prompts: each finished request leaves a 4-block cache
+  // entry, so by the third submission the pool cannot hold the cache plus a
+  // new admission without LRU eviction.
+  for (int r = 0; r < 5; ++r) {
+    std::vector<TokenId> prompt;
+    for (int i = 0; i < 64; ++i)
+      prompt.push_back(static_cast<TokenId>((r * 64 + i) % 90 + 1));
+    const auto a = on.submit(prompt, 8);
+    const auto b = off.submit(prompt, 8);
+    on.run_to_completion();
+    off.run_to_completion();
+    ASSERT_EQ(on.output(a), off.output(b)) << "request " << r;
+  }
+  const auto st = on.prefix_stats();
+  EXPECT_GT(st.evictions, 0);
+  EXPECT_GT(st.insertions, 0);
+  // The external reservation tracks what actually stayed resident.
+  EXPECT_LE(st.resident_tokens,
+            static_cast<std::int64_t>(cfg.pool_blocks) * cfg.block_size);
+}
+
+// ---- scheduler: discounted footprints + external reservation --------------
+
+TEST(SchedulerPrefix, CachedPrefixShrinksAdmissionFootprint) {
+  sched::Scheduler::Config cfg;
+  cfg.policy = sched::BatchPolicy::kContinuous;
+  cfg.max_batch = 4;
+  cfg.kv_capacity_tokens = 100;
+  cfg.reservation_frac = 1.0;
+  sched::Scheduler s(cfg);
+  // 90-prompt + 20-new would need 110 > 100 tokens cold; with 80 of the
+  // prompt cached the footprint is 30 and it admits.
+  EXPECT_THROW(s.submit({1, 90, 20, 0.0}), ContractViolation);  // infeasible
+  s.submit({2, 90, 20, 0.0, 80});
+  const auto plan = s.plan_step();
+  ASSERT_EQ(plan.prefills.size(), 1u);
+  EXPECT_EQ(plan.prefills[0], 2u);
+  EXPECT_EQ(s.reserved_kv_tokens(), 30);
+  // The claim must be a real prefix: cached >= prompt is a contract error.
+  EXPECT_THROW(s.submit({3, 10, 4, 0.0, 10}), ContractViolation);
+  EXPECT_THROW(s.submit({4, 10, 4, 0.0, -1}), ContractViolation);
+}
+
+TEST(SchedulerPrefix, ExternalReservationBlocksAdmissionUntilReleased) {
+  sched::Scheduler::Config cfg;
+  cfg.policy = sched::BatchPolicy::kContinuous;
+  cfg.max_batch = 4;
+  cfg.kv_capacity_tokens = 100;
+  cfg.reservation_frac = 1.0;
+  sched::Scheduler s(cfg);
+  EXPECT_THROW(s.set_external_reserved_tokens(-1), ContractViolation);
+  s.set_external_reserved_tokens(60);
+  s.submit({1, 40, 10, 0.0});  // footprint 50; 50 + 60 > 100
+  EXPECT_TRUE(s.plan_step().prefills.empty());
+  EXPECT_EQ(s.next_waiting_footprint(), 50);
+  s.set_external_reserved_tokens(20);  // cache shrank (eviction)
+  const auto plan = s.plan_step();
+  ASSERT_EQ(plan.prefills.size(), 1u);
+  EXPECT_EQ(s.external_reserved_tokens(), 20);
+  EXPECT_EQ(s.next_waiting_footprint(), 0);  // queue drained
+}
+
+// ---- simulator: per-request longest match + bugfix regressions ------------
+
+sim::SimConfig sim_cfg(bool caching) {
+  sim::SimConfig cfg;
+  cfg.model = "LLaMA-3-8B";
+  cfg.accelerator = "A100";
+  cfg.framework = "vLLM";
+  cfg.max_concurrent = 8;
+  cfg.prefix_caching = caching;
+  return cfg;
+}
+
+sim::TraceRequest treq(double at, std::int64_t prompt, std::int64_t out,
+                       std::int64_t group, std::int64_t claim,
+                       std::int64_t cacheable = -1) {
+  sim::TraceRequest r;
+  r.arrival_s = at;
+  r.prompt_tokens = prompt;
+  r.output_tokens = out;
+  r.prefix_group = group;
+  r.shared_prefix_tokens = claim;
+  r.cacheable_tokens = cacheable;
+  return r;
+}
+
+TEST(SimPrefix, DeviceFailureWipesCachedPrefix) {
+  // Regression (satellite 1): the seed's `prefix_cached` boolean was set
+  // after the first prefill and NEVER reset, so a device failure that wiped
+  // every sequence's KV still let later prefills skip the shared prefix —
+  // reusing KV that no longer existed. The cache must repay full price
+  // after a wipe.
+  const sim::InferenceSimulator core;
+  const sim::ServingSimulator serving(core);
+  const std::vector<sim::TraceRequest> reqs = {
+      treq(0.0, 320, 16, 0, 0, 256),    // populates 256 tokens of context
+      treq(30.0, 320, 16, 0, 256, 256)  // same fleet, arrives much later
+  };
+
+  sim::TraceOptions clean;
+  const auto healthy = serving.run_trace(sim_cfg(true), reqs, clean);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.metrics.prefix_lookups, 2);
+  EXPECT_EQ(healthy.metrics.prefix_hits, 1);
+  EXPECT_EQ(healthy.metrics.prefix_hit_tokens, 256);
+
+  sim::TraceOptions faulty;
+  faulty.faults.device_mtbf_s = 0.5;  // many failures in the 30 s gap
+  faulty.faults.device_restart_s = 0.1;
+  const auto faulted = serving.run_trace(sim_cfg(true), reqs, faulty);
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_GT(faulted.metrics.device_failures, 0);
+  EXPECT_EQ(faulted.metrics.prefix_lookups, 2);
+  EXPECT_EQ(faulted.metrics.prefix_hits, 0);  // wiped cache = no discount
+  EXPECT_EQ(faulted.metrics.prefix_hit_tokens, 0);
+}
+
+TEST(SimPrefix, FirstWaveConcurrentPrefillsPayFullPrice) {
+  // Regression (satellite 1, completion-order half): the cache only
+  // populates when a prefill COMPLETES. Four same-group requests admitted
+  // in one wave must all pay full price; only the straggler reuses.
+  const sim::InferenceSimulator core;
+  const sim::ServingSimulator serving(core);
+  std::vector<sim::TraceRequest> reqs;
+  for (int i = 0; i < 4; ++i) reqs.push_back(treq(0.0, 320, 16, 0, 256));
+  reqs.push_back(treq(30.0, 320, 16, 0, 256));
+  const auto r = serving.run_trace(sim_cfg(true), reqs, sim::TraceOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.metrics.prefix_lookups, 5);
+  EXPECT_EQ(r.metrics.prefix_hits, 1);
+  EXPECT_EQ(r.metrics.prefix_hit_tokens, 256);
+  EXPECT_EQ(r.metrics.prefix_partial_matches, 0);
+}
+
+TEST(SimPrefix, EmptyUserTurnIsExplicitPartialMatch) {
+  // Regression (satellite 3): a prompt fully covered by cached context used
+  // to ride on a silent max(1.0, ...) clamp. It is now an explicit partial
+  // match: exactly one token prefills, and the event is counted.
+  const sim::InferenceSimulator core;
+  const sim::ServingSimulator serving(core);
+  const std::vector<sim::TraceRequest> reqs = {
+      treq(0.0, 256, 32, 0, 0, 288),  // history: prompt + output
+      treq(30.0, 288, 16, 0, 288)     // empty user turn: prompt == history
+  };
+  const auto r = serving.run_trace(sim_cfg(true), reqs, sim::TraceOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.metrics.prefix_hits, 1);
+  EXPECT_EQ(r.metrics.prefix_partial_matches, 1);
+  EXPECT_EQ(r.metrics.prefix_hit_tokens, 287);  // all but the mandatory one
+  EXPECT_GT(r.metrics.ttft_p50_s, 0.0);
+}
+
+TEST(SimPrefix, LongestMatchCapsAtWhatTheCacheActuallyHolds) {
+  // A request may CLAIM more shared context than the group ever computed;
+  // the discount is the minimum (per-request longest match, not the old
+  // global boolean).
+  const sim::InferenceSimulator core;
+  const sim::ServingSimulator serving(core);
+  const std::vector<sim::TraceRequest> reqs = {
+      treq(0.0, 40, 10, 0, 0, 200),  // cacheable capped at prompt+output=50
+      treq(30.0, 200, 8, 0, 100)     // claims 100, cache only holds 50
+  };
+  const auto r = serving.run_trace(sim_cfg(true), reqs, sim::TraceOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.metrics.prefix_hits, 1);
+  EXPECT_EQ(r.metrics.prefix_hit_tokens, 50);
+}
+
+TEST(SimPrefix, SharedPrefixChargedOnceNotPerResident) {
+  // Regression (satellite 2): KV occupancy used to charge the shared prefix
+  // once per resident request. Ref-counted accounting charges the cached
+  // blocks once (external reservation) and discounts each borrower, so peak
+  // reserved KV DROPS when caching goes on — it used to be identical.
+  const sim::InferenceSimulator core;
+  const sim::ServingSimulator serving(core);
+  sim::ServingWorkload wl;
+  wl.arrival_rate_rps = 4.0;
+  wl.num_requests = 16;
+  wl.prompt_min = 600;
+  wl.prompt_max = 700;
+  wl.output_min = 128;
+  wl.output_max = 256;
+  wl.shared_prefix_tokens = 512;
+  const auto off = serving.run(sim_cfg(false), wl);
+  const auto on = serving.run(sim_cfg(true), wl);
+  ASSERT_TRUE(off.ok() && on.ok());
+  EXPECT_EQ(on.metrics.prefix_cache_peak_tokens, 512);
+  EXPECT_GT(on.metrics.prefix_hits, 0);
+  EXPECT_GT(off.metrics.peak_kv_reserved_tokens, 0);
+  EXPECT_LT(on.metrics.peak_kv_reserved_tokens,
+            off.metrics.peak_kv_reserved_tokens);
+  EXPECT_GE(on.metrics.max_concurrency, off.metrics.max_concurrency);
+}
+
+// ---- workload generators + extended trace CSV -----------------------------
+
+TEST(Workloads, ChatTraceEncodesConversationChains) {
+  sim::ChatScenario sc;
+  sc.conversations = 6;
+  sc.seed = 7;
+  const auto trace = sim::chat_trace(sc);
+  ASSERT_GT(trace.size(), 6u);
+  std::map<std::int64_t, std::vector<const sim::TraceRequest*>> groups;
+  for (const auto& r : trace.requests()) {
+    ASSERT_GE(r.prefix_group, 0);
+    groups[r.prefix_group].push_back(&r);
+  }
+  EXPECT_EQ(groups.size(), 6u);
+  for (auto& [g, turns] : groups) {
+    std::sort(turns.begin(), turns.end(),
+              [](const auto* a, const auto* b) { return a->arrival_s < b->arrival_s; });
+    std::int64_t context = 0;
+    for (const auto* r : turns) {
+      EXPECT_EQ(r->shared_prefix_tokens, context);  // claims the full history
+      EXPECT_GT(r->prompt_tokens, r->shared_prefix_tokens);
+      EXPECT_EQ(r->cacheable_tokens, r->prompt_tokens + r->output_tokens);
+      context = r->prompt_tokens + r->output_tokens;
+    }
+  }
+  const double share = sim::trace_share_ratio(trace.requests());
+  EXPECT_GT(share, 0.3);
+  EXPECT_LT(share, 1.0);
+}
+
+TEST(Workloads, AgentLoopSharesMoreThanChat) {
+  const auto chat = sim::chat_trace(sim::ChatScenario{});
+  const auto agent = sim::agent_loop_trace(sim::AgentLoopScenario{});
+  EXPECT_GT(sim::trace_share_ratio(agent.requests()),
+            sim::trace_share_ratio(chat.requests()));
+}
+
+TEST(Workloads, ChatScenarioBenefitsFromPrefixCaching) {
+  const sim::InferenceSimulator core;
+  const sim::ServingSimulator serving(core);
+  sim::ChatScenario sc;
+  sc.conversations = 6;
+  sc.turns_min = sc.turns_max = 4;
+  const auto trace = sim::chat_trace(sc);
+  const auto off = serving.run_trace(sim_cfg(false), trace.requests(),
+                                     sim::TraceOptions{});
+  const auto on = serving.run_trace(sim_cfg(true), trace.requests(),
+                                    sim::TraceOptions{});
+  ASSERT_TRUE(off.ok() && on.ok());
+  EXPECT_GT(on.metrics.prefix_hits, 0);
+  EXPECT_GT(on.metrics.prefix_hit_tokens, 0);
+  EXPECT_LE(on.metrics.ttft_p50_s, off.metrics.ttft_p50_s);
+  EXPECT_EQ(off.metrics.prefix_hits, 0);
+}
+
+TEST(Workloads, ExtendedCsvRoundTripsAndLegacyStaysThreeColumns) {
+  const auto trace = sim::chat_trace(sim::ChatScenario{});
+  const auto text = trace.to_csv_text();
+  EXPECT_NE(text.find("prefix_group,shared_prefix_tokens,cacheable_tokens"),
+            std::string::npos);
+  const auto parsed = sim::RequestTrace::parse_csv_text(text);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed.requests()[i].prefix_group, trace.requests()[i].prefix_group);
+    EXPECT_EQ(parsed.requests()[i].shared_prefix_tokens,
+              trace.requests()[i].shared_prefix_tokens);
+    EXPECT_EQ(parsed.requests()[i].cacheable_tokens,
+              trace.requests()[i].cacheable_tokens);
+  }
+  // A trace with no prefix annotations still writes the legacy 3-column
+  // format, and legacy files parse with inert defaults.
+  const auto legacy = sim::RequestTrace::parse_csv_text("0.5,100,20\n1.5,200,40\n");
+  EXPECT_EQ(legacy.requests()[0].prefix_group, -1);
+  EXPECT_EQ(legacy.requests()[0].shared_prefix_tokens, 0);
+  EXPECT_EQ(legacy.requests()[0].cacheable_tokens, -1);
+  EXPECT_EQ(legacy.to_csv_text().find("prefix_group"), std::string::npos);
+  // Malformed prefix columns are rejected, as is a claim beyond the prompt.
+  EXPECT_THROW(sim::RequestTrace::parse_csv_text("0.5,100,20,0,x,50\n"),
+               ContractViolation);
+  EXPECT_THROW(sim::RequestTrace::parse_csv_text("0.5,100,20,0,101,120\n"),
+               ContractViolation);
+}
+
+}  // namespace

@@ -28,6 +28,7 @@
 #include "obs/obs.h"
 #include "sim/serving.h"
 #include "sim/trace.h"
+#include "sim/workloads.h"
 #include "util/check.h"
 #include "util/units.h"
 
@@ -296,6 +297,7 @@ int cmd_serve(const Args& args) {
   cfg.accelerator = args.get("hw", "A100");
   cfg.framework = args.get("fw", "vLLM");
   cfg.max_concurrent = args.get_long("concurrency", 32);
+  cfg.prefix_caching = args.flag("prefix-cache");
   if (const auto plan = runner.auto_plan(cfg.model, cfg.accelerator, cfg.framework,
                                          cfg.precision)) {
     cfg.plan = *plan;
@@ -310,6 +312,7 @@ int cmd_serve(const Args& args) {
   wl.output_max = args.get_long("out-max", 256);
   wl.seed = static_cast<std::uint64_t>(args.get_long("seed", 1234));
   wl.slo_ttft_s = args.get_double("slo-ttft", 0.0);
+  wl.shared_prefix_tokens = args.get_long("shared-prefix", 0);
 
   // Fault injection & resilience policies (everything off by default; a run
   // without these flags reproduces the fault-free simulator bit for bit).
@@ -334,7 +337,44 @@ int cmd_serve(const Args& args) {
   }
 
   sim::ServingSimulator::Result r;
-  if (args.flag("trace")) {
+  if (args.flag("chat") || args.flag("agent")) {
+    // Conversation-chain scenarios (multi-turn chat / agent tool loops):
+    // each turn replays the whole history, the regime prefix caching targets.
+    sim::RequestTrace trace;
+    if (args.flag("chat")) {
+      sim::ChatScenario sc;
+      sc.conversations = args.get_long("conversations", 8);
+      if (args.flag("turns"))
+        sc.turns_min = sc.turns_max = args.get_long("turns", sc.turns_max);
+      sc.system_prompt_tokens = args.get_long("system", sc.system_prompt_tokens);
+      sc.start_rate_rps = args.get_double("rps", sc.start_rate_rps);
+      sc.seed = wl.seed;
+      trace = sim::chat_trace(sc);
+    } else {
+      sim::AgentLoopScenario sc;
+      sc.agents = args.get_long("conversations", 4);
+      if (args.flag("turns"))
+        sc.steps_min = sc.steps_max = args.get_long("turns", sc.steps_max);
+      sc.system_prompt_tokens = args.get_long("system", sc.system_prompt_tokens);
+      sc.start_rate_rps = args.get_double("rps", sc.start_rate_rps);
+      sc.seed = wl.seed;
+      trace = sim::agent_loop_trace(sc);
+    }
+    std::printf("%s scenario: %zu turns, %.0f%% of prompt tokens shared\n",
+                args.flag("chat") ? "chat" : "agent-loop", trace.size(),
+                sim::trace_share_ratio(trace.requests()) * 100.0);
+    if (args.flag("save-trace")) {
+      std::ofstream out(args.get("save-trace", ""));
+      util::require(out.is_open(), "cannot open trace output file");
+      trace.write_csv(out);
+      std::printf("trace saved to %s\n", args.get("save-trace", "").c_str());
+    }
+    sim::TraceOptions topts;
+    topts.slo_ttft_s = wl.slo_ttft_s;
+    topts.faults = wl.faults;
+    topts.resilience = wl.resilience;
+    r = serving.run_trace(cfg, trace.requests(), topts);
+  } else if (args.flag("trace")) {
     std::ifstream in(args.get("trace", ""));
     util::require(in.is_open(), "cannot open trace file");
     const auto trace = sim::RequestTrace::parse_csv(in);
@@ -375,6 +415,18 @@ int cmd_serve(const Args& args) {
               static_cast<long long>(m.peak_queue_depth));
   if (m.slo_goodput < 1.0)
     std::printf("  SLO goodput        : %.1f%%\n", m.slo_goodput * 100.0);
+  if (m.prefix_lookups > 0) {
+    std::printf(
+        "  prefix cache       : %lld/%lld hits, %lld tokens reused, "
+        "%lld whole-prompt matches\n",
+        static_cast<long long>(m.prefix_hits),
+        static_cast<long long>(m.prefix_lookups),
+        static_cast<long long>(m.prefix_hit_tokens),
+        static_cast<long long>(m.prefix_partial_matches));
+    std::printf("  prefix KV peak     : %lld cached tokens (%lld reserved+cached)\n",
+                static_cast<long long>(m.prefix_cache_peak_tokens),
+                static_cast<long long>(m.peak_kv_reserved_tokens));
+  }
   if (wl.faults.enabled() || wl.resilience.any()) {
     std::printf("  faults             : %lld device / %lld throttle",
                 static_cast<long long>(m.device_failures),
@@ -410,6 +462,9 @@ void usage() {
       "              [--fault-mtbf S] [--fault-restart S] [--throttle-mtbf S]\n"
       "              [--throttle-slowdown X] [--fault-until S] [--deadline S]\n"
       "              [--retries N] [--backoff S] [--shed-depth N] [--degrade]\n"
+      "              [--prefix-cache] [--shared-prefix N]\n"
+      "              [--chat | --agent] [--conversations N] [--turns N]\n"
+      "              [--system N]  (multi-turn scenarios; --rps = start rate)\n"
       "  llmib generate [--seed N] [--layers N] [--hidden N] [--vocab N]\n"
       "              [--prompt 1,2,3] [--tokens N] [--temperature T]\n"
       "              [--save file.bin | --load file.bin]\n"
