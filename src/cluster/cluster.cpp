@@ -1,0 +1,551 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/replica.h"
+#include "cluster/router.h"
+#include "frameworks/traits.h"
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace llmib::cluster {
+
+using util::require;
+
+namespace {
+
+double quantile_or_zero(const std::vector<double>& sorted, double q) {
+  return sorted.empty() ? 0.0 : util::quantile_sorted(sorted, q);
+}
+
+}  // namespace
+
+obs::Snapshot ClusterMetrics::to_snapshot() const {
+  obs::Snapshot snap;
+  snap.set_counter("cluster.replicas_initial", replicas_initial);
+  snap.set_counter("cluster.replicas_final", replicas_final);
+  snap.set_counter("cluster.scale_up_events", scale_up_events);
+  snap.set_counter("cluster.failovers", failovers);
+  snap.set_counter("cluster.rerouted_requests", rerouted_requests);
+  snap.set_counter("cluster.recovered_requests", recovered_requests);
+  snap.set_counter("cluster.lost_requests", lost_requests);
+  snap.set_counter("cluster.drain_migrated", drain_migrated);
+  snap.set_counter("cluster.health_detections", health_detections);
+  snap.set_gauge("cluster.availability", availability);
+  snap.set_gauge("cluster.failover_latency_mean_s", failover_latency_mean_s);
+  snap.set_gauge("cluster.detection_latency_mean_s", detection_latency_mean_s);
+  for (const auto& r : replicas) {
+    const std::string p = "cluster.replica" + std::to_string(r.id) + ".";
+    snap.set_counter(p + "autoscaled", r.autoscaled ? 1 : 0);
+    snap.set_counter(p + "draining", r.draining ? 1 : 0);
+    snap.set_counter(p + "routed", r.routed);
+    snap.set_counter(p + "completed", r.completed);
+    snap.set_counter(p + "iterations", r.iterations);
+    snap.set_counter(p + "device_failures", r.device_failures);
+    snap.set_counter(p + "throttle_episodes", r.throttle_episodes);
+    snap.set_counter(p + "fault_evictions", r.fault_evictions);
+    snap.set_counter(p + "prefix_hits", r.prefix_hits);
+    snap.set_counter(p + "prefix_wipes", r.prefix_wipes);
+    snap.set_gauge(p + "busy_s", r.busy_s);
+    snap.set_gauge(p + "idle_s", r.idle_s);
+    snap.set_gauge(p + "mttr_s", r.mttr_s);
+  }
+  return snap;
+}
+
+ClusterSimulator::ClusterSimulator(const sim::InferenceSimulator& simulator)
+    : sim_(simulator) {}
+
+ClusterSimulator::Result ClusterSimulator::run(
+    const sim::SimConfig& base, const sim::ServingWorkload& wl,
+    const ClusterOptions& copts) const {
+  require(wl.arrival_rate_rps > 0, "ClusterSimulator: arrival rate must be positive");
+  require(wl.num_requests > 0, "ClusterSimulator: need at least one request");
+  require(wl.prompt_min > 0 && wl.prompt_min <= wl.prompt_max,
+          "ClusterSimulator: bad prompt length range");
+  require(wl.output_min > 0 && wl.output_min <= wl.output_max,
+          "ClusterSimulator: bad output length range");
+
+  // Materialize the Poisson arrivals exactly as ServingSimulator::run does,
+  // then replay as a trace.
+  util::Rng rng(wl.seed);
+  std::vector<sim::TraceRequest> reqs(static_cast<std::size_t>(wl.num_requests));
+  double t = 0;
+  for (auto& r : reqs) {
+    t += rng.exponential(wl.arrival_rate_rps);
+    r.arrival_s = t;
+    r.prompt_tokens = rng.uniform_int(wl.prompt_min, wl.prompt_max);
+    r.output_tokens = rng.uniform_int(wl.output_min, wl.output_max);
+  }
+  sim::TraceOptions opts;
+  opts.slo_ttft_s = wl.slo_ttft_s;
+  opts.shared_prefix = wl.shared_prefix_tokens;
+  opts.order = wl.queue_order;
+  opts.sjf_aging_tokens_per_round = wl.sjf_aging_tokens_per_round;
+  opts.faults = wl.faults;
+  opts.resilience = wl.resilience;
+  Result res = run_trace(base, reqs, opts, copts);
+  if (res.ok()) {
+    res.metrics.offered_load_rps = wl.arrival_rate_rps;
+    res.metrics.saturated =
+        sim::saturated_load(res.metrics.achieved_rps, wl.arrival_rate_rps);
+  }
+  return res;
+}
+
+ClusterSimulator::Result ClusterSimulator::run_trace(
+    const sim::SimConfig& base, const std::vector<sim::TraceRequest>& reqs,
+    const sim::TraceOptions& opts, const ClusterOptions& copts) const {
+  require(copts.replicas >= 1, "ClusterSimulator: need at least one replica");
+  require(!reqs.empty(), "ClusterSimulator: empty trace");
+  require(opts.shared_prefix >= 0, "ClusterSimulator: negative shared prefix");
+  require(copts.drain.replica < copts.replicas,
+          "ClusterSimulator: drain target out of range");
+  require(!copts.autoscale.enabled ||
+              copts.autoscale.max_replicas >= copts.replicas,
+          "ClusterSimulator: max_replicas below initial fleet");
+  const std::int64_t shared_prefix = opts.shared_prefix;
+  std::int64_t max_prompt = 0, max_output = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    require(reqs[i].prompt_tokens > 0 && reqs[i].output_tokens > 0,
+            "ClusterSimulator: trace rows need positive token counts");
+    require(i == 0 || reqs[i].arrival_s >= reqs[i - 1].arrival_s,
+            "ClusterSimulator: trace must be sorted by arrival");
+    require(reqs[i].shared_prefix_tokens >= 0,
+            "ClusterSimulator: negative per-request shared prefix");
+    require(reqs[i].cacheable_tokens >= -1,
+            "ClusterSimulator: cacheable_tokens must be >= -1");
+    max_prompt = std::max(max_prompt, reqs[i].prompt_tokens);
+    max_output = std::max(max_output, reqs[i].output_tokens);
+  }
+
+  Result res;
+  // Probe the configuration once for support/capacity (identical to the
+  // single-engine path — replicas are homogeneous).
+  sim::SimConfig probe = base;
+  probe.batch_size = 1;
+  probe.input_tokens = max_prompt;
+  probe.output_tokens = max_output;
+  {
+    const sim::SimResult pr = sim_.run(probe);
+    if (!pr.ok()) {
+      res.status = pr.status;
+      res.status_detail = pr.status_detail;
+      return res;
+    }
+  }
+  const double first_arrival = reqs.front().arrival_s;
+
+  // ---- Per-replica scheduler / step configs (identical build) --------------
+  const auto& fw = sim_.frameworks().get(base.framework);
+  sched::Scheduler::Config scfg;
+  scfg.policy = fw.continuous_batching ? sched::BatchPolicy::kContinuous
+                                       : sched::BatchPolicy::kStatic;
+  scfg.max_batch = base.max_concurrent > 0 ? base.max_concurrent : 64;
+  scfg.kv_capacity_tokens =
+      static_cast<std::int64_t>(sim_.kv_capacity_tokens(probe));
+  scfg.reservation_frac = fw.conservative_admission ? 1.0 : 0.25;
+  scfg.order = opts.order;
+  scfg.sjf_aging_tokens_per_round = opts.sjf_aging_tokens_per_round;
+
+  sim::SimConfig step_cfg = base;
+  step_cfg.batch_size = 1;
+  step_cfg.input_tokens = max_prompt;
+  step_cfg.output_tokens = max_output;
+  sim::SimConfig step_cfg_fp8 = step_cfg;
+  step_cfg_fp8.kv_precision = hw::Precision::kFP8;
+
+  // ---- Shared request table -------------------------------------------------
+  ClusterShared sh;
+  sh.reqs = &reqs;
+  sh.track.assign(reqs.size(), RequestState{});
+  sh.pinfo.assign(reqs.size(), PrefixInfo{});
+  bool any_group = false;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& r = reqs[i];
+    auto& p = sh.pinfo[i];
+    if (r.prefix_group >= 0) {
+      p.group = r.prefix_group;
+      p.claim = std::min(r.shared_prefix_tokens, r.prompt_tokens);
+      p.cacheable = r.cacheable_tokens < 0
+                        ? p.claim
+                        : std::min(r.cacheable_tokens,
+                                   r.prompt_tokens + r.output_tokens);
+    } else if (shared_prefix > 0) {
+      p.group = 0;
+      p.claim = std::min(shared_prefix, r.prompt_tokens);
+      p.cacheable = p.claim;
+    }
+    any_group = any_group || p.group >= 0;
+  }
+  sh.caching = base.prefix_caching && any_group;
+  sh.ttfts.reserve(reqs.size());
+  sh.e2es.reserve(reqs.size());
+  sh.max_iterations =
+      static_cast<std::int64_t>(reqs.size()) * (max_output + 8) *
+          (1 + static_cast<std::int64_t>(
+                   std::max(0, opts.resilience.retry.max_retries))) +
+      1024;
+
+  // ---- Fleet ----------------------------------------------------------------
+  // The retry-jitter stream is cluster-wide (request-owned): the delay must
+  // not depend on WHICH replica killed the request.
+  const std::uint64_t backoff_seed = opts.faults.seed ^ fault::kBackoffStream;
+  const auto profile_for = [&](int id) -> fault::FaultProfile {
+    if (static_cast<std::size_t>(id) < copts.replica_faults.size()) {
+      return copts.replica_faults[static_cast<std::size_t>(id)];
+    }
+    fault::FaultProfile p = opts.faults;
+    // Independent per-replica timelines: replica 0 keeps the profile's seed
+    // (the single-engine degenerate case), siblings reseed deterministically.
+    if (id > 0) p.seed ^= 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(id);
+    return p;
+  };
+  const std::uint32_t router_track =
+      obs::tracing_enabled() ? obs::claim_sim_track() : 0;
+  std::vector<std::unique_ptr<Replica>> reps;
+  const auto add_replica = [&](int id, double start_s, bool autoscaled) {
+    Replica::Config rc;
+    rc.id = id;
+    rc.step_cfg = step_cfg;
+    rc.step_cfg_fp8 = step_cfg_fp8;
+    rc.sched = scfg;
+    rc.base_max_batch = scfg.max_batch;
+    rc.faults = profile_for(id);
+    rc.resilience = opts.resilience;
+    rc.slo_ttft_s = opts.slo_ttft_s;
+    rc.backoff_seed = backoff_seed;
+    rc.start_s = start_s;
+    rc.autoscaled = autoscaled;
+    sh.ensure_slots(static_cast<std::size_t>(id) + 1);
+    reps.push_back(std::make_unique<Replica>(sim_, rc, &sh));
+  };
+  for (int i = 0; i < copts.replicas; ++i) add_replica(i, first_arrival, false);
+  Router router(copts.router, copts.health, first_arrival);
+
+  // ---- Driver ---------------------------------------------------------------
+  // Event loop over router events (arrival, retry expiry, health detection,
+  // drain, provisioning completion): between events every replica advances
+  // its own clock through whole iterations; deliveries then happen in a
+  // fixed category order, so the run is deterministic for any fleet size.
+  std::size_t next_submit = 0;
+  bool drain_pending = copts.drain.replica >= 0;
+  std::vector<double> provisioning;  ///< completion times, one in flight
+  std::int64_t scale_ups = 0, drain_migrated = 0, reroutes = 0;
+  std::size_t sheds_seen = 0;
+  double last_event = first_arrival;
+  const double inf = std::numeric_limits<double>::infinity();
+
+  const auto next_event = [&]() {
+    double t = inf;
+    if (next_submit < reqs.size()) t = std::min(t, reqs[next_submit].arrival_s);
+    if (sh.retry_waiting > 0) {
+      for (const RequestState& st : sh.track) {
+        if (st.awaiting_retry) t = std::min(t, st.retry_at);
+      }
+    }
+    for (double p : provisioning) t = std::min(t, p);
+    if (drain_pending) t = std::min(t, copts.drain.at_s);
+    t = std::min(t, router.next_detection_s());
+    return t;
+  };
+  const auto route_submit = [&](std::size_t i, double t, bool retry) {
+    const int target = router.route(reps, t, sh.pinfo[i].group);
+    reps[static_cast<std::size_t>(target)]->submit(i, t, retry);
+  };
+
+  const std::int64_t max_passes = 4 * sh.max_iterations + 8192;
+  std::int64_t passes = 0;
+  while (sh.resolved < reqs.size()) {
+    require(++passes <= max_passes, "ClusterSimulator: failed to converge");
+    double t = next_event();
+    bool any = false;
+    for (auto& r : reps) any = r->advance_until(t) || any;
+    if (sh.resolved >= reqs.size()) break;
+    // Failures observed while advancing feed the health tracker; retries or
+    // detections they scheduled may precede t.
+    if (!sh.failures.empty()) {
+      for (const auto& ev : sh.failures) {
+        router.on_failure(ev.replica, ev.fail_s, ev.up_s);
+      }
+      sh.failures.clear();
+    }
+    t = std::min(t, next_event());
+    if (!std::isfinite(t)) {
+      require(any, "ClusterSimulator: stalled with no work");
+      continue;
+    }
+    last_event = std::max(last_event, t);
+
+    // 1. Health detections: mark unhealthy, pull the waiting queue back and
+    //    re-route it (residents decode on — their KV survived).
+    while (router.next_detection_s() <= t) {
+      const Router::Detection d = router.take_next_detection();
+      obs::emit_instant("cluster.detect", obs::Cat::kFault, d.detect_s,
+                        router_track, d.replica);
+      for (std::size_t i :
+           reps[static_cast<std::size_t>(d.replica)]->pull_waiting()) {
+        route_submit(i, d.detect_s, true);
+        ++reroutes;
+      }
+    }
+
+    // 2. Drain: stop admitting, migrate the waiting queue.
+    if (drain_pending && copts.drain.at_s <= t) {
+      drain_pending = false;
+      Replica& dr = *reps[static_cast<std::size_t>(copts.drain.replica)];
+      dr.start_drain();
+      obs::emit_instant("cluster.drain", obs::Cat::kFault, copts.drain.at_s,
+                        router_track, copts.drain.replica);
+      for (std::size_t i : dr.pull_waiting()) {
+        route_submit(i, copts.drain.at_s, true);
+        ++reroutes;
+        ++drain_migrated;
+      }
+    }
+
+    // 3. Provisioning completions: the replacement replica joins the fleet.
+    for (std::size_t p = 0; p < provisioning.size();) {
+      if (provisioning[p] <= t) {
+        const double up = provisioning[p];
+        provisioning.erase(provisioning.begin() + static_cast<std::ptrdiff_t>(p));
+        add_replica(static_cast<int>(reps.size()), up, true);
+        obs::emit_instant("cluster.scale_up", obs::Cat::kFault, up,
+                          router_track,
+                          static_cast<std::int64_t>(reps.size()) - 1);
+      } else {
+        ++p;
+      }
+    }
+
+    // 4. Retries whose backoff expired: recompute lost progress elsewhere.
+    if (sh.retry_waiting > 0) {
+      for (std::size_t i = 0; i < sh.track.size(); ++i) {
+        RequestState& st = sh.track[i];
+        if (!st.awaiting_retry || st.retry_at > t) continue;
+        st.awaiting_retry = false;
+        --sh.retry_waiting;
+        const double td = st.retry_at;
+        if (opts.resilience.deadline_s > 0 &&
+            td - reqs[i].arrival_s > opts.resilience.deadline_s) {
+          st.fate = Fate::kTimedOut;
+          ++sh.timed_out;
+          ++sh.resolved;
+          obs::emit_instant("fault.timeout", obs::Cat::kFault, td, router_track,
+                            static_cast<std::int64_t>(i));
+          continue;
+        }
+        st.cur_prompt = reqs[i].prompt_tokens + st.progress;
+        route_submit(i, td, true);
+        ++reroutes;
+      }
+    }
+
+    // 5. Arrivals: route, shed-check on the target, submit.
+    while (next_submit < reqs.size() && reqs[next_submit].arrival_s <= t) {
+      const std::size_t i = next_submit++;
+      const double ta = reqs[i].arrival_s;
+      const int target = router.route(reps, ta, sh.pinfo[i].group);
+      Replica& rep = *reps[static_cast<std::size_t>(target)];
+      if (rep.admission_reject()) {
+        rep.touch(ta);  // the router consulted it — its clock saw the event
+        sh.track[i].fate = Fate::kShed;
+        ++sh.shed;
+        ++sh.resolved;
+        obs::emit_instant("fault.shed", obs::Cat::kFault, ta, rep.sim_track(),
+                          static_cast<std::int64_t>(i));
+      } else {
+        rep.submit(i, ta, false);
+      }
+    }
+
+    // 6. Reactive autoscaling: queue pressure, a fresh shed, or a replica
+    //    sitting detected-unhealthy asks for capacity. One provision in
+    //    flight, bounded by max_replicas.
+    if (copts.autoscale.enabled && provisioning.empty() &&
+        static_cast<int>(reps.size()) < copts.autoscale.max_replicas) {
+      std::int64_t waiting_total = 0;
+      bool needs_replacement = false;
+      for (const auto& r : reps) {
+        waiting_total += r->waiting();
+        if (r->draining() || !router.healthy(r->id(), t)) {
+          needs_replacement = true;
+        }
+      }
+      const bool shed_signal = sh.shed > sheds_seen;
+      sheds_seen = sh.shed;
+      if (waiting_total >= copts.autoscale.scale_up_queue_depth ||
+          shed_signal || needs_replacement) {
+        provisioning.push_back(t + copts.autoscale.cold_start_s);
+        ++scale_ups;
+      }
+    }
+  }
+
+  // ---- Metrics (aggregate ServingMetrics: identical formulas) ---------------
+  auto& m = res.metrics;
+  const double arrival_span = reqs.back().arrival_s - first_arrival;
+  m.offered_load_rps =
+      reqs.size() > 1 && arrival_span > 0
+          ? static_cast<double>(reqs.size() - 1) / arrival_span
+          : 0.0;
+  double end_now = last_event;
+  for (const auto& r : reps) end_now = std::max(end_now, r->now());
+  m.makespan_s = end_now - first_arrival;
+  m.achieved_rps = m.makespan_s > 0
+                       ? static_cast<double>(sh.completed) / m.makespan_s
+                       : 0.0;
+  m.throughput_tps = m.makespan_s > 0 ? sh.total_tokens / m.makespan_s : 0.0;
+  std::sort(sh.ttfts.begin(), sh.ttfts.end());
+  std::sort(sh.e2es.begin(), sh.e2es.end());
+  std::sort(sh.itls.begin(), sh.itls.end());
+  m.ttft_p50_s = quantile_or_zero(sh.ttfts, 0.50);
+  m.ttft_p95_s = quantile_or_zero(sh.ttfts, 0.95);
+  m.ttft_p99_s = quantile_or_zero(sh.ttfts, 0.99);
+  m.e2e_p50_s = quantile_or_zero(sh.e2es, 0.50);
+  m.e2e_p95_s = quantile_or_zero(sh.e2es, 0.95);
+  m.e2e_p99_s = quantile_or_zero(sh.e2es, 0.99);
+  m.itl_p50_s = quantile_or_zero(sh.itls, 0.50);
+  m.itl_p95_s = quantile_or_zero(sh.itls, 0.95);
+  m.itl_p99_s = quantile_or_zero(sh.itls, 0.99);
+  m.max_concurrency = sh.max_live;
+  m.peak_queue_depth = sh.peak_queue;
+  m.saturated = sim::saturated_load(m.achieved_rps, m.offered_load_rps);
+  m.prefix_lookups = sh.prefix_lookups;
+  m.prefix_hits = sh.prefix_hits;
+  m.prefix_hit_tokens = sh.prefix_hit_tokens;
+  m.prefix_partial_matches = sh.prefix_partial;
+  m.prefix_cache_peak_tokens = sh.prefix_cache_peak;
+  m.peak_kv_reserved_tokens = sh.peak_kv_reserved;
+  if (opts.slo_ttft_s > 0) {
+    std::size_t met = 0;
+    for (const RequestState& t : sh.track) {
+      met += t.fate == Fate::kCompleted && t.ttft_s <= opts.slo_ttft_s;
+    }
+    m.slo_goodput = static_cast<double>(met) / static_cast<double>(reqs.size());
+    m.goodput_rps =
+        m.makespan_s > 0 ? static_cast<double>(met) / m.makespan_s : 0.0;
+  } else {
+    m.goodput_rps = m.achieved_rps;
+  }
+
+  m.fault_evictions = sh.fault_evictions;
+  m.retries = sh.total_retries;
+  m.shed_requests = static_cast<std::int64_t>(sh.shed);
+  m.timed_out_requests = static_cast<std::int64_t>(sh.timed_out);
+  m.failed_requests = static_cast<std::int64_t>(sh.failed);
+  std::int64_t degradation_activations = 0;
+  for (const auto& r : reps) degradation_activations += r->degradation_activations();
+  m.degradation_activations = degradation_activations;
+  m.availability =
+      static_cast<double>(sh.completed) / static_cast<double>(reqs.size());
+  bool any_faults = false;
+  for (const auto& r : reps) any_faults = any_faults || r->faults_enabled();
+  if (any_faults) {
+    double horizon = -1.0e300;
+    double mttr_sum = 0.0;
+    std::int64_t mttr_count = 0;
+    for (const auto& r : reps) {
+      m.device_failures += r->clock().device_failures();
+      m.throttle_episodes += r->clock().throttle_episodes();
+      horizon = std::max(horizon, r->clock().last_disruption_end_s());
+      mttr_sum += r->mttr_sum();
+      mttr_count += r->mttr_count();
+    }
+    m.mttr_s = mttr_count > 0 ? mttr_sum / static_cast<double>(mttr_count) : 0.0;
+    std::int64_t post_n = 0, post_ok = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].arrival_s > horizon) {
+        ++post_n;
+        post_ok += sh.track[i].fate == Fate::kCompleted;
+      }
+    }
+    m.post_fault_availability =
+        post_n > 0 ? static_cast<double>(post_ok) / static_cast<double>(post_n)
+                   : 1.0;
+  }
+  for (const auto& r : reps) {
+    const obs::PhaseBreakdown& ph = r->phases();
+    m.phases.prefill_s += ph.prefill_s;
+    m.phases.decode_s += ph.decode_s;
+    m.phases.idle_s += ph.idle_s;
+    m.phases.compute_s += ph.compute_s;
+    m.phases.memory_s += ph.memory_s;
+    m.phases.comm_s += ph.comm_s;
+    m.phases.host_s += ph.host_s;
+    m.phases.iterations += ph.iterations;
+    m.phases.prefill_steps += ph.prefill_steps;
+    m.phases.decode_steps += ph.decode_steps;
+  }
+
+  // ---- Cluster metrics ------------------------------------------------------
+  auto& c = res.cluster;
+  c.replicas_initial = copts.replicas;
+  c.replicas_final = static_cast<std::int64_t>(reps.size());
+  c.scale_up_events = scale_ups;
+  c.failovers = sh.failovers;
+  c.rerouted_requests = reroutes;
+  c.recovered_requests = sh.recovered;
+  c.lost_requests = m.failed_requests;
+  c.drain_migrated = drain_migrated;
+  c.health_detections = router.detections();
+  c.availability = m.availability;
+  c.failover_latency_mean_s =
+      sh.failover_count > 0
+          ? sh.failover_latency_sum / static_cast<double>(sh.failover_count)
+          : 0.0;
+  c.detection_latency_mean_s =
+      router.detections() > 0
+          ? router.detection_latency_sum() /
+                static_cast<double>(router.detections())
+          : 0.0;
+  c.replicas.reserve(reps.size());
+  for (const auto& r : reps) c.replicas.push_back(r->summary());
+
+  // Global totals, same keys and discipline as the single-engine loop.
+  {
+    static obs::Counter& c_iter = obs::Registry::global().counter("serving.iterations");
+    static obs::Counter& c_pre = obs::Registry::global().counter("serving.prefill_steps");
+    static obs::Counter& c_dec = obs::Registry::global().counter("serving.decode_steps");
+    static obs::Counter& c_done = obs::Registry::global().counter("serving.completed");
+    static obs::Counter& c_pre_ns = obs::Registry::global().counter("serving.prefill_ns");
+    static obs::Counter& c_dec_ns = obs::Registry::global().counter("serving.decode_ns");
+    static obs::Counter& c_drop = obs::Registry::global().counter("fault.device_failures");
+    static obs::Counter& c_retry = obs::Registry::global().counter("fault.retries");
+    static obs::Counter& c_shed = obs::Registry::global().counter("fault.shed");
+    static obs::Counter& c_tmo = obs::Registry::global().counter("fault.timeouts");
+    static obs::Counter& c_phit = obs::Registry::global().counter("sim.prefix_hits");
+    static obs::Counter& c_ptok =
+        obs::Registry::global().counter("sim.prefix_hit_tokens");
+    // "_total" keeps the process-wide accumulators distinct from the
+    // per-run cluster.* keys of ClusterMetrics::to_snapshot().
+    static obs::Counter& c_fo =
+        obs::Registry::global().counter("cluster.failovers_total");
+    static obs::Counter& c_rr =
+        obs::Registry::global().counter("cluster.reroutes_total");
+    c_iter.add(m.phases.iterations);
+    c_pre.add(m.phases.prefill_steps);
+    c_dec.add(m.phases.decode_steps);
+    c_done.add(static_cast<std::int64_t>(sh.completed));
+    c_pre_ns.add(std::llround(m.phases.prefill_s * 1e9));
+    c_dec_ns.add(std::llround(m.phases.decode_s * 1e9));
+    c_drop.add(m.device_failures);
+    c_retry.add(m.retries);
+    c_shed.add(m.shed_requests);
+    c_tmo.add(m.timed_out_requests);
+    c_phit.add(m.prefix_hits);
+    c_ptok.add(m.prefix_hit_tokens);
+    c_fo.add(c.failovers);
+    c_rr.add(c.rerouted_requests);
+  }
+  return res;
+}
+
+}  // namespace llmib::cluster

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "obs/snapshot.h"
+#include "sim/serving.h"
+
+namespace llmib::cluster {
+
+/// Dispatch policy of the cluster router.
+enum class RouterPolicy {
+  kRoundRobin,   ///< rotate over eligible replicas
+  kLeastLoaded,  ///< fewest waiting + live requests (tie: lowest id)
+  /// Prefix-group affinity: a conversation sticks to group % replicas so
+  /// its cached prefix KV stays warm on one replica; ungrouped requests
+  /// (and groups whose home replica is ineligible) fall back to rotation.
+  kAffinity,
+};
+
+const char* router_policy_name(RouterPolicy p);
+/// Parses "rr", "least-loaded" or "affinity"; returns false on anything else.
+bool parse_router_policy(const std::string& name, RouterPolicy* out);
+
+/// Health checking: the router probes every replica on a fixed grid and
+/// declares one unhealthy after `miss_threshold` consecutive missed probes
+/// (a probe during a failure's restart window misses). Detection pulls the
+/// replica's waiting queue back for re-routing; the replica is re-admitted
+/// only after a successful probe plus `cooldown_s`. A failure whose restart
+/// completes before the miss run does — a blip — is never detected, which
+/// is exactly the detection latency the probe interval trades against.
+struct HealthCheckConfig {
+  double probe_interval_s = 0.25;  ///< probe grid spacing (<= 0 disables)
+  int miss_threshold = 2;          ///< consecutive misses before detection
+  double cooldown_s = 1.0;         ///< wait after first good probe
+};
+
+/// Reactive autoscaling: when cluster-wide queue depth crosses the trigger,
+/// a request is shed, or a replica sits detected-unhealthy (capacity
+/// replacement), a replacement replica is provisioned and joins after the
+/// cold-start delay. One provision in flight at a time, never past
+/// `max_replicas`.
+struct AutoscaleConfig {
+  bool enabled = false;
+  int max_replicas = 8;
+  double cold_start_s = 10.0;
+  std::int64_t scale_up_queue_depth = 16;  ///< cluster-wide waiting trigger
+};
+
+/// Graceful draining of one replica: at `at_s` it stops admitting, its
+/// waiting queue is re-routed, and resident sequences decode to completion.
+struct DrainConfig {
+  int replica = -1;  ///< -1 => no drain
+  double at_s = 0.0;
+};
+
+/// Cluster topology and policies on top of the per-run sim::TraceOptions.
+struct ClusterOptions {
+  int replicas = 1;
+  RouterPolicy router = RouterPolicy::kRoundRobin;
+  HealthCheckConfig health;
+  AutoscaleConfig autoscale;
+  DrainConfig drain;
+  /// Explicit per-replica fault profiles (index-matched; replicas beyond
+  /// the vector derive theirs from TraceOptions::faults — replica 0 uses it
+  /// verbatim, replica k > 0 reseeds deterministically from k). Lets tests
+  /// kill exactly one named replica.
+  std::vector<fault::FaultProfile> replica_faults;
+};
+
+/// Per-replica slice of a cluster run, for the CLI summary table.
+struct ReplicaSummary {
+  int id = 0;
+  bool autoscaled = false;  ///< provisioned mid-run by the autoscaler
+  bool draining = false;
+  std::int64_t routed = 0;  ///< dispatches (arrivals + retries + migrations)
+  std::int64_t completed = 0;
+  std::int64_t iterations = 0;
+  std::int64_t device_failures = 0;
+  std::int64_t throttle_episodes = 0;
+  std::int64_t fault_evictions = 0;
+  std::int64_t prefix_hits = 0;
+  std::int64_t prefix_wipes = 0;  ///< failures that flushed this cache
+  double busy_s = 0.0;            ///< prefill + decode time
+  double idle_s = 0.0;
+  /// Mean failure -> next token produced by THIS replica (its recovery
+  /// time; the aggregate ServingMetrics::mttr_s averages across replicas).
+  double mttr_s = 0.0;
+};
+
+/// Cluster-level resilience metrics of one run.
+struct ClusterMetrics {
+  std::int64_t replicas_initial = 0;
+  std::int64_t replicas_final = 0;
+  std::int64_t scale_up_events = 0;
+  std::int64_t failovers = 0;  ///< device failures that evicted >= 1 victim
+  /// Re-dispatches after a disruption: victim retries plus waiting-queue
+  /// migrations (detection pull-backs and drains).
+  std::int64_t rerouted_requests = 0;
+  std::int64_t recovered_requests = 0;  ///< fault-evicted, later completed
+  std::int64_t lost_requests = 0;       ///< fault-killed, retries exhausted
+  std::int64_t drain_migrated = 0;
+  std::int64_t health_detections = 0;
+  /// Completion fraction (== ServingMetrics::availability).
+  double availability = 1.0;
+  /// Mean replica-death -> first recomputed token of a victim request.
+  double failover_latency_mean_s = 0.0;
+  /// Mean failure -> router detection, over detected failures.
+  double detection_latency_mean_s = 0.0;
+  std::vector<ReplicaSummary> replicas;
+
+  /// `cluster.*` (+ per-replica `cluster.replicaN.*`) snapshot entries —
+  /// merged with ServingMetrics::to_snapshot() for the one metrics surface.
+  obs::Snapshot to_snapshot() const;
+};
+
+/// Trace-driven multi-replica serving simulator: every replica runs the
+/// single-engine serving loop (same scheduler, cost model, fault machinery
+/// and prefix-cache model) on its own simulated clock, fronted by a router.
+/// The cluster driver advances replicas between router events (arrivals,
+/// retry expiries, health detections, drain, provisioning completions) in
+/// deterministic order, so a run is a pure function of (trace, options).
+///
+/// Degenerate-case contract: 1 replica + inert fault profile + default
+/// cluster policies executes the exact operation sequence of
+/// sim::ServingSimulator — metrics are bitwise identical (the PR 2 / PR 6
+/// invariant discipline; tests/cluster_test.cpp pins it).
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(const sim::InferenceSimulator& simulator);
+
+  struct Result {
+    sim::RunStatus status = sim::RunStatus::kOk;
+    std::string status_detail;
+    sim::ServingMetrics metrics;  ///< cluster-wide aggregate, same semantics
+    ClusterMetrics cluster;
+    bool ok() const { return status == sim::RunStatus::kOk; }
+  };
+
+  /// Materializes the workload's Poisson arrivals (same RNG discipline as
+  /// ServingSimulator::run) and replays them through run_trace.
+  Result run(const sim::SimConfig& base, const sim::ServingWorkload& workload,
+             const ClusterOptions& copts) const;
+
+  /// Replay a concrete request list over `copts.replicas` replicas.
+  Result run_trace(const sim::SimConfig& base,
+                   const std::vector<sim::TraceRequest>& requests,
+                   const sim::TraceOptions& opts,
+                   const ClusterOptions& copts) const;
+
+ private:
+  const sim::InferenceSimulator& sim_;
+};
+
+}  // namespace llmib::cluster

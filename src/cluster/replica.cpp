@@ -1,0 +1,406 @@
+#include "cluster/replica.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace llmib::cluster {
+
+using util::require;
+
+// ---- ClusterShared ----------------------------------------------------------
+
+void ClusterShared::ensure_slots(std::size_t n) {
+  if (slot_waiting.size() < n) {
+    slot_waiting.resize(n, 0);
+    slot_live.resize(n, 0);
+    slot_kv.resize(n, 0);
+    slot_cache.resize(n, 0);
+  }
+}
+
+namespace {
+std::int64_t sum_of(const std::vector<std::int64_t>& v) {
+  std::int64_t s = 0;
+  for (std::int64_t x : v) s += x;
+  return s;
+}
+}  // namespace
+
+void ClusterShared::sample_queue(int id, std::int64_t waiting) {
+  slot_waiting[static_cast<std::size_t>(id)] = waiting;
+  peak_queue = std::max(peak_queue, sum_of(slot_waiting));
+}
+
+void ClusterShared::sample_live(int id, std::int64_t live) {
+  slot_live[static_cast<std::size_t>(id)] = live;
+  max_live = std::max(max_live, sum_of(slot_live));
+}
+
+void ClusterShared::sample_kv(int id, std::int64_t reserved) {
+  slot_kv[static_cast<std::size_t>(id)] = reserved;
+  peak_kv_reserved =
+      std::max(peak_kv_reserved, sum_of(slot_kv) + sum_of(slot_cache));
+}
+
+void ClusterShared::set_cache(int id, std::int64_t resident) {
+  slot_cache[static_cast<std::size_t>(id)] = resident;
+}
+
+std::int64_t ClusterShared::cache_sum() const { return sum_of(slot_cache); }
+
+// ---- Replica ----------------------------------------------------------------
+
+Replica::Replica(const sim::InferenceSimulator& sim, Config cfg,
+                 ClusterShared* shared)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      sh_(shared),
+      scheduler_(cfg_.sched),
+      clock_(cfg_.faults),
+      degrade_(cfg_.resilience.degradation),
+      now_(cfg_.start_s),
+      sim_track_(obs::tracing_enabled() ? obs::claim_sim_track() : 0) {}
+
+ReplicaSummary Replica::summary() const {
+  ReplicaSummary s;
+  s.id = cfg_.id;
+  s.autoscaled = cfg_.autoscaled;
+  s.draining = draining_;
+  s.routed = routed_;
+  s.completed = completed_;
+  s.iterations = phases_.iterations;
+  s.device_failures = clock_.device_failures();
+  s.throttle_episodes = clock_.throttle_episodes();
+  s.fault_evictions = fault_evictions_;
+  s.prefix_hits = prefix_hits_;
+  s.prefix_wipes = prefix_wipes_;
+  s.busy_s = phases_.prefill_s + phases_.decode_s;
+  s.idle_s = phases_.idle_s;
+  s.mttr_s = mttr_count_ > 0 ? mttr_sum_ / static_cast<double>(mttr_count_) : 0.0;
+  return s;
+}
+
+bool Replica::admission_reject() const {
+  const auto& ac = cfg_.resilience.admission;
+  if (!ac.enabled) return false;
+  if (ac.max_queue_depth > 0 &&
+      scheduler_.waiting_requests() >= ac.max_queue_depth) {
+    return true;
+  }
+  double target = ac.target_ttft_s;
+  if (target == 0) {
+    target = cfg_.slo_ttft_s > 0 ? cfg_.slo_ttft_s : cfg_.resilience.deadline_s;
+  }
+  if (target > 0 && step_ewma_s_ > 0) {
+    const double waves =
+        std::ceil(static_cast<double>(scheduler_.waiting_requests() + 1) /
+                  static_cast<double>(cfg_.base_max_batch));
+    if (waves * step_ewma_s_ > target) return true;
+  }
+  return false;
+}
+
+void Replica::touch(double t) {
+  if (t > now_) {
+    phases_.idle_s += t - now_;
+    now_ = t;
+  }
+}
+
+std::int64_t Replica::current_match(std::size_t i,
+                                    std::int64_t cur_prompt) const {
+  if (!sh_->caching || sh_->pinfo[i].group < 0) return 0;
+  const auto it = cached_len_.find(sh_->pinfo[i].group);
+  if (it == cached_len_.end()) return 0;
+  const std::int64_t avail = std::min(it->second, sh_->pinfo[i].claim);
+  return std::clamp<std::int64_t>(avail, 0,
+                                  std::max<std::int64_t>(0, cur_prompt - 1));
+}
+
+std::int64_t Replica::raw_avail(std::size_t i) const {
+  if (!sh_->caching || sh_->pinfo[i].group < 0) return 0;
+  const auto it = cached_len_.find(sh_->pinfo[i].group);
+  return it == cached_len_.end() ? 0
+                                 : std::min(it->second, sh_->pinfo[i].claim);
+}
+
+void Replica::cache_populate(std::size_t i, std::int64_t context_len) {
+  if (!sh_->caching || sh_->pinfo[i].group < 0) return;
+  const std::int64_t len = std::min(sh_->pinfo[i].cacheable, context_len);
+  auto& cur = cached_len_[sh_->pinfo[i].group];
+  if (len <= cur) return;
+  cache_total_ += len - cur;
+  cur = len;
+  sh_->set_cache(cfg_.id, cache_total_);
+  sh_->prefix_cache_peak = std::max(sh_->prefix_cache_peak, sh_->cache_sum());
+  scheduler_.set_external_reserved_tokens(cache_total_);
+}
+
+void Replica::submit(std::size_t i, double t, bool retry) {
+  touch(t);
+  RequestState& st = sh_->track[i];
+  const auto& r = (*sh_->reqs)[i];
+  if (!retry) st.cur_prompt = r.prompt_tokens;
+  // retries / migrations keep cur_prompt = prompt + lost progress, set by
+  // the driver (or preserved from the pulled submission).
+  st.cached_prefix = current_match(i, st.cur_prompt);
+  scheduler_.submit(
+      {static_cast<sched::RequestId>(i), st.cur_prompt,
+       retry ? std::max<std::int64_t>(1, r.output_tokens - st.progress)
+             : r.output_tokens,
+       r.arrival_s, st.cached_prefix});
+  st.in_scheduler = true;
+  st.replica = cfg_.id;
+  ++routed_;
+}
+
+std::vector<std::size_t> Replica::pull_waiting() {
+  std::vector<std::size_t> pulled;
+  for (std::size_t i = 0; i < sh_->track.size(); ++i) {
+    RequestState& st = sh_->track[i];
+    if (st.fate != Fate::kPending || !st.in_scheduler || st.replica != cfg_.id)
+      continue;
+    const auto id = static_cast<sched::RequestId>(i);
+    if (scheduler_.is_live(id)) continue;  // residents finish in place
+    scheduler_.cancel(id);
+    st.in_scheduler = false;
+    st.replica = -1;
+    pulled.push_back(i);
+  }
+  return pulled;
+}
+
+bool Replica::advance_until(double t_limit) {
+  bool any = false;
+  while (sh_->resolved < sh_->track.size() && now_ < t_limit) {
+    if (!try_iteration()) break;
+    any = true;
+  }
+  return any;
+}
+
+void Replica::process_deadlines() {
+  const auto& rp = cfg_.resilience;
+  if (rp.deadline_s <= 0) return;
+  for (std::size_t i = 0; i < sh_->track.size(); ++i) {
+    RequestState& t = sh_->track[i];
+    if (t.fate != Fate::kPending || !t.in_scheduler || t.replica != cfg_.id)
+      continue;
+    if (now_ - (*sh_->reqs)[i].arrival_s > rp.deadline_s) {
+      scheduler_.cancel(static_cast<sched::RequestId>(i));
+      t.in_scheduler = false;
+      t.replica = -1;
+      t.fate = Fate::kTimedOut;
+      ++sh_->timed_out;
+      ++sh_->resolved;
+      obs::emit_instant("fault.timeout", obs::Cat::kFault, now_, sim_track_,
+                        static_cast<std::int64_t>(i));
+    }
+  }
+}
+
+void Replica::process_failures() {
+  if (!cfg_.faults.enabled()) return;
+  const auto& rp = cfg_.resilience;
+  for (double tf = clock_.take_device_failure(now_); tf >= 0;
+       tf = clock_.take_device_failure(now_)) {
+    now_ += cfg_.faults.device_restart_s;
+    degrade_.on_fault(now_);
+    pending_fault_times_.push_back(tf);
+    obs::emit_instant("fault.device_failure", obs::Cat::kFault, tf, sim_track_);
+    sh_->failures.push_back({cfg_.id, tf, now_});
+    // The restart wiped THIS replica's device memory — its cached prefix KV
+    // included. Other replicas' caches are separate fault domains and keep
+    // serving hits.
+    if (sh_->caching && !cached_len_.empty()) {
+      cached_len_.clear();
+      cache_total_ = 0;
+      scheduler_.set_external_reserved_tokens(0);
+      sh_->set_cache(cfg_.id, 0);
+      ++prefix_wipes_;
+      obs::emit_instant("sim.prefix_wipe", obs::Cat::kSim, now_, sim_track_);
+    }
+    bool evicted_any = false;
+    for (std::size_t i = 0; i < sh_->track.size(); ++i) {
+      RequestState& t = sh_->track[i];
+      if (t.fate != Fate::kPending || !t.in_scheduler || t.replica != cfg_.id)
+        continue;
+      const auto id = static_cast<sched::RequestId>(i);
+      if (!scheduler_.is_live(id)) continue;
+      t.progress += scheduler_.generated_tokens(id);
+      scheduler_.cancel(id);
+      t.in_scheduler = false;
+      t.replica = -1;
+      t.fault_evicted = true;
+      t.fault_time = tf;
+      evicted_any = true;
+      ++sh_->fault_evictions;
+      ++fault_evictions_;
+      if (t.attempts < rp.retry.max_retries) {
+        ++t.attempts;
+        ++sh_->total_retries;
+        t.awaiting_retry = true;
+        t.retry_at = now_ + rp.retry.backoff_s(t.attempts, cfg_.backoff_seed,
+                                               static_cast<std::uint64_t>(i));
+        ++sh_->retry_waiting;
+        obs::emit_instant("fault.retry", obs::Cat::kFault, now_, sim_track_,
+                          static_cast<std::int64_t>(i));
+      } else {
+        t.fate = Fate::kFailed;
+        ++sh_->failed;
+        ++sh_->resolved;
+      }
+    }
+    if (evicted_any) ++sh_->failovers;
+  }
+}
+
+void Replica::on_completed(std::size_t id) {
+  RequestState& t = sh_->track[id];
+  const auto& r = (*sh_->reqs)[id];
+  sh_->e2es.push_back(now_ - r.arrival_s);
+  sh_->total_tokens += static_cast<double>(r.prompt_tokens + r.output_tokens);
+  t.fate = Fate::kCompleted;
+  t.in_scheduler = false;
+  ++sh_->completed;
+  ++sh_->resolved;
+  ++completed_;
+  if (t.fault_evicted) ++sh_->recovered;
+  cache_populate(id, r.prompt_tokens + r.output_tokens);
+}
+
+bool Replica::try_iteration() {
+  const auto& reqs = *sh_->reqs;
+  const auto& rp = cfg_.resilience;
+
+  process_deadlines();
+  process_failures();
+  if (rp.degradation.enabled) {
+    scheduler_.set_max_batch(degrade_.max_batch(cfg_.base_max_batch, now_));
+  }
+  sh_->sample_queue(cfg_.id, scheduler_.waiting_requests());
+
+  // Deadline / fault kills may have just resolved the last outstanding
+  // request — nothing is left to plan.
+  if (sh_->resolved >= sh_->track.size()) return false;
+
+  const sched::StepPlan plan = scheduler_.plan_step();
+  if (plan.empty()) return false;
+  require(++sh_->iterations <= sh_->max_iterations,
+          "ClusterSimulator: failed to converge");
+  sh_->sample_live(cfg_.id, scheduler_.live_sequences());
+  sh_->sample_kv(cfg_.id, scheduler_.reserved_kv_tokens());
+  const double iter_start = now_;
+  obs::emit_instant("sched.plan", obs::Cat::kSched, now_, sim_track_,
+                    static_cast<std::int64_t>(plan.prefills.size() +
+                                              plan.decodes.size()));
+
+  double mult = 1.0;
+  if (cfg_.faults.enabled()) {
+    mult = clock_.slowdown_at(now_);
+    if (mult != 1.0) degrade_.on_fault(now_);
+  }
+  const bool quantized_step = rp.degradation.enabled &&
+                              rp.degradation.quantize_kv &&
+                              degrade_.degraded_at(now_);
+  const sim::SimConfig& cur_cfg =
+      quantized_step ? cfg_.step_cfg_fp8 : cfg_.step_cfg;
+  double iter_dur = 0.0;
+
+  if (!plan.prefills.empty()) {
+    double prompt_sum = 0;
+    for (auto id : plan.prefills) {
+      const RequestState& t = sh_->track[id];
+      const std::int64_t discount = current_match(id, t.cur_prompt);
+      if (sh_->caching && sh_->pinfo[id].group >= 0) ++sh_->prefix_lookups;
+      if (discount > 0) {
+        ++sh_->prefix_hits;
+        ++prefix_hits_;
+        sh_->prefix_hit_tokens += discount;
+        if (raw_avail(id) >= t.cur_prompt) ++sh_->prefix_partial;
+      }
+      prompt_sum += static_cast<double>(t.cur_prompt - discount);
+    }
+    const auto mean_prompt = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               prompt_sum / static_cast<double>(plan.prefills.size())));
+    const sim::StepBreakdown p = sim_.prefill_step(
+        cur_cfg, static_cast<std::int64_t>(plan.prefills.size()), mean_prompt);
+    double dur = p.total_s;
+    if (mult != 1.0) dur *= mult;
+    obs::emit_span("sim.prefill", obs::Cat::kSim, now_, dur, sim_track_,
+                   static_cast<std::int64_t>(plan.prefills.size()));
+    phases_.prefill_s += dur;
+    phases_.compute_s += p.compute_s;
+    phases_.memory_s += p.memory_s;
+    phases_.comm_s += p.comm_s;
+    phases_.host_s += p.host_s;
+    ++phases_.prefill_steps;
+    now_ += dur;
+    iter_dur += dur;
+    for (auto id : plan.prefills) {
+      RequestState& t = sh_->track[id];
+      if (!t.ttft_recorded) {
+        t.ttft_recorded = true;
+        t.ttft_s = now_ - reqs[id].arrival_s;
+        sh_->ttfts.push_back(t.ttft_s);
+      }
+      // First token of the recomputed attempt: the failover is healed.
+      if (t.fault_time >= 0) {
+        sh_->failover_latency_sum += now_ - t.fault_time;
+        ++sh_->failover_count;
+        t.fault_time = -1.0;
+      }
+      cache_populate(id, t.cur_prompt);
+      if (scheduler_.complete_decode_token(id)) on_completed(id);
+    }
+  }
+
+  if (!plan.decodes.empty()) {
+    double ctx_sum = 0;
+    for (auto id : plan.decodes) {
+      ctx_sum += static_cast<double>(scheduler_.context_length(id));
+    }
+    const sim::StepBreakdown d = sim_.decode_step(
+        cur_cfg, static_cast<std::int64_t>(plan.decodes.size()),
+        ctx_sum / static_cast<double>(plan.decodes.size()));
+    double dur = d.total_s;
+    if (mult != 1.0) dur *= mult;
+    obs::emit_span("sim.decode", obs::Cat::kSim, now_, dur, sim_track_,
+                   static_cast<std::int64_t>(plan.decodes.size()));
+    phases_.decode_s += dur;
+    phases_.compute_s += d.compute_s;
+    phases_.memory_s += d.memory_s;
+    phases_.comm_s += d.comm_s;
+    phases_.host_s += d.host_s;
+    ++phases_.decode_steps;
+    now_ += dur;
+    iter_dur += dur;
+    for (auto id : plan.decodes) {
+      sh_->itls.push_back(dur);
+      if (scheduler_.complete_decode_token(id)) on_completed(id);
+    }
+  }
+
+  ++phases_.iterations;
+  obs::emit_span("sim.iteration", obs::Cat::kSim, iter_start, iter_dur,
+                 sim_track_);
+
+  // This iteration produced tokens: failures pending on THIS replica are
+  // repaired (per-replica MTTR: failure -> its next token).
+  if (!pending_fault_times_.empty()) {
+    for (double ft : pending_fault_times_) {
+      mttr_sum_ += now_ - ft;
+      ++mttr_count_;
+    }
+    pending_fault_times_.clear();
+  }
+  step_ewma_s_ =
+      step_ewma_s_ == 0.0 ? iter_dur : 0.9 * step_ewma_s_ + 0.1 * iter_dur;
+  return true;
+}
+
+}  // namespace llmib::cluster

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fault/fault_model.h"
+#include "fault/resilience.h"
+#include "obs/snapshot.h"
+#include "sched/scheduler.h"
+#include "sim/config.h"
+#include "sim/serving.h"
+#include "sim/simulator.h"
+
+namespace llmib::cluster {
+
+/// Lifecycle of one trace request inside the cluster — the cluster-wide
+/// mirror of the single-engine simulator's per-request Track.
+enum class Fate { kPending, kCompleted, kShed, kTimedOut, kFailed };
+
+struct RequestState {
+  Fate fate = Fate::kPending;
+  int replica = -1;  ///< current owner (-1 = none / awaiting retry)
+  bool in_scheduler = false;
+  bool ttft_recorded = false;
+  bool awaiting_retry = false;
+  bool fault_evicted = false;  ///< ever lost progress to a replica death
+  double retry_at = 0.0;
+  double ttft_s = 0.0;
+  int attempts = 0;             ///< retries consumed so far
+  std::int64_t progress = 0;    ///< tokens generated before eviction(s)
+  std::int64_t cur_prompt = 0;  ///< prompt + recompute on the current attempt
+  std::int64_t cached_prefix = 0;  ///< submit-time reservation discount
+  /// Timestamp of the replica death that evicted this request, pending the
+  /// failover-latency measurement (reset when the new attempt produces its
+  /// first token); < 0 when none outstanding.
+  double fault_time = -1.0;
+};
+
+/// Prefix-sharing facts of one trace request (precomputed once).
+struct PrefixInfo {
+  std::int64_t group = -1;
+  std::int64_t claim = 0;      ///< reusable head of THIS prompt
+  std::int64_t cacheable = 0;  ///< context a follow-up may reuse
+};
+
+/// State shared by every replica and the cluster driver: the request table,
+/// cluster-wide aggregates, and per-replica sampling slots so cluster-wide
+/// peaks (queue depth, live set, KV reservation) are exact sums at every
+/// sample point. With one replica every slot sum degenerates to the
+/// replica's own value, which is what keeps the degenerate case bitwise
+/// equal to the single-engine loop.
+struct ClusterShared {
+  const std::vector<sim::TraceRequest>* reqs = nullptr;
+  std::vector<RequestState> track;
+  std::vector<PrefixInfo> pinfo;
+  bool caching = false;
+
+  // ---- run progress ----
+  std::size_t completed = 0, shed = 0, timed_out = 0, failed = 0;
+  std::size_t resolved = 0;
+  std::int64_t retry_waiting = 0;
+  std::int64_t total_retries = 0, fault_evictions = 0;
+  std::vector<double> ttfts, e2es, itls;
+  double total_tokens = 0.0;
+
+  // ---- prefix-cache counters (cluster-wide) ----
+  std::int64_t prefix_lookups = 0, prefix_hits = 0, prefix_hit_tokens = 0;
+  std::int64_t prefix_partial = 0;
+
+  // ---- cluster-wide peaks via per-replica slots ----
+  std::vector<std::int64_t> slot_waiting, slot_live, slot_kv, slot_cache;
+  std::int64_t peak_queue = 0, max_live = 0;
+  std::int64_t peak_kv_reserved = 0, prefix_cache_peak = 0;
+
+  // ---- failover accounting ----
+  std::int64_t failovers = 0;  ///< failures that evicted >= 1 victim
+  std::int64_t recovered = 0;  ///< fault-evicted requests that completed
+  double failover_latency_sum = 0.0;
+  std::int64_t failover_count = 0;
+
+  /// Replica deaths observed while advancing, drained by the driver into
+  /// the router's health tracker each pass.
+  struct FailureEvent {
+    int replica = 0;
+    double fail_s = 0.0;  ///< the failure itself
+    double up_s = 0.0;    ///< restart complete (replica clock afterwards)
+  };
+  std::vector<FailureEvent> failures;
+
+  // ---- convergence guard (shared across replicas) ----
+  std::int64_t iterations = 0;
+  std::int64_t max_iterations = 0;
+
+  void ensure_slots(std::size_t n);
+  void sample_queue(int id, std::int64_t waiting);
+  void sample_live(int id, std::int64_t live);
+  void sample_kv(int id, std::int64_t reserved);
+  void set_cache(int id, std::int64_t resident);
+  std::int64_t cache_sum() const;
+};
+
+/// One serving replica: the single-engine discrete-event loop (scheduler +
+/// step costing + faults + degradation + analytic prefix-cache model) on
+/// its own simulated clock. The loop body is a faithful port of
+/// sim::ServingSimulator::run_trace — same operation order, same arithmetic
+/// — with arrivals/retries delivered by the cluster driver instead of being
+/// polled, and with per-request state living in ClusterShared so requests
+/// can move between replicas.
+class Replica {
+ public:
+  struct Config {
+    int id = 0;
+    sim::SimConfig step_cfg;
+    sim::SimConfig step_cfg_fp8;  ///< degraded steps (FP8 KV)
+    sched::Scheduler::Config sched;
+    std::int64_t base_max_batch = 0;
+    fault::FaultProfile faults;
+    fault::ResiliencePolicy resilience;
+    double slo_ttft_s = 0.0;
+    std::uint64_t backoff_seed = 0;  ///< cluster-wide retry-jitter stream
+    double start_s = 0.0;            ///< clock origin
+    bool autoscaled = false;
+  };
+
+  Replica(const sim::InferenceSimulator& sim, Config cfg, ClusterShared* shared);
+
+  int id() const { return cfg_.id; }
+  double now() const { return now_; }
+  bool draining() const { return draining_; }
+  void start_drain() { draining_ = true; }
+  std::int64_t waiting() const { return scheduler_.waiting_requests(); }
+  std::int64_t load() const {
+    return scheduler_.waiting_requests() + scheduler_.live_sequences();
+  }
+  bool faults_enabled() const { return cfg_.faults.enabled(); }
+  const fault::FaultClock& clock() const { return clock_; }
+  std::int64_t degradation_activations() const { return degrade_.activations(); }
+  const obs::PhaseBreakdown& phases() const { return phases_; }
+  double mttr_sum() const { return mttr_sum_; }
+  std::int64_t mttr_count() const { return mttr_count_; }
+  std::uint32_t sim_track() const { return sim_track_; }
+  ReplicaSummary summary() const;
+
+  /// Would this replica shed an arrival right now? (Admission-control port;
+  /// consulted by the router before submit.)
+  bool admission_reject() const;
+
+  /// Charge idle up to `t` — the cluster analogue of the single-engine
+  /// idle jump to the next event. A no-op when the clock is already past.
+  void touch(double t);
+
+  /// Deliver request `i` at time `t`. Fresh arrivals prefill their prompt;
+  /// retries/migrations prefill prompt + lost progress and keep their
+  /// remaining output budget.
+  void submit(std::size_t i, double t, bool retry);
+
+  /// Run whole iterations while work is plannable and the clock is before
+  /// `t_limit` (the next router event). Returns true if any iteration ran.
+  bool advance_until(double t_limit);
+
+  /// Cancel and return this replica's waiting (not live) requests, in
+  /// request order — detection pull-back and drain migration.
+  std::vector<std::size_t> pull_waiting();
+
+ private:
+  bool try_iteration();
+  void process_deadlines();
+  void process_failures();
+  void on_completed(std::size_t id);
+  std::int64_t current_match(std::size_t i, std::int64_t cur_prompt) const;
+  std::int64_t raw_avail(std::size_t i) const;
+  void cache_populate(std::size_t i, std::int64_t context_len);
+
+  const sim::InferenceSimulator& sim_;
+  Config cfg_;
+  ClusterShared* sh_;
+  sched::Scheduler scheduler_;
+  fault::FaultClock clock_;
+  fault::DegradationController degrade_;
+  std::map<std::int64_t, std::int64_t> cached_len_;  ///< group -> cached tokens
+  std::int64_t cache_total_ = 0;
+  double now_ = 0.0;
+  double step_ewma_s_ = 0.0;
+  std::vector<double> pending_fault_times_;
+  double mttr_sum_ = 0.0;
+  std::int64_t mttr_count_ = 0;
+  bool draining_ = false;
+  std::uint32_t sim_track_ = 0;
+  obs::PhaseBreakdown phases_;
+  // per-replica summary counters
+  std::int64_t routed_ = 0, completed_ = 0, fault_evictions_ = 0;
+  std::int64_t prefix_hits_ = 0, prefix_wipes_ = 0;
+};
+
+}  // namespace llmib::cluster

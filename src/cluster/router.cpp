@@ -1,0 +1,139 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llmib::cluster {
+
+using util::require;
+
+const char* router_policy_name(RouterPolicy p) {
+  switch (p) {
+    case RouterPolicy::kRoundRobin:
+      return "rr";
+    case RouterPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RouterPolicy::kAffinity:
+      return "affinity";
+  }
+  return "?";
+}
+
+bool parse_router_policy(const std::string& name, RouterPolicy* out) {
+  if (name == "rr" || name == "round-robin") {
+    *out = RouterPolicy::kRoundRobin;
+  } else if (name == "least-loaded") {
+    *out = RouterPolicy::kLeastLoaded;
+  } else if (name == "affinity") {
+    *out = RouterPolicy::kAffinity;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Router::Router(RouterPolicy policy, HealthCheckConfig hc, double epoch_s)
+    : policy_(policy), hc_(hc), epoch_(epoch_s) {
+  require(hc_.miss_threshold >= 1, "Router: miss_threshold must be >= 1");
+  require(hc_.cooldown_s >= 0, "Router: negative cooldown");
+}
+
+void Router::on_failure(int replica, double fail_s, double up_s) {
+  const double dt = hc_.probe_interval_s;
+  if (dt <= 0) return;  // health checking disabled
+  // First probe tick strictly after the failure starts the miss run; the
+  // run completes miss_threshold ticks later.
+  const double k = std::floor((fail_s - epoch_) / dt) + 1.0;
+  const double detect = epoch_ + (k + hc_.miss_threshold - 1) * dt;
+  // A restart that beats the miss run is a blip: some probe in the run
+  // already succeeded, so the counter never reached the threshold.
+  if (detect >= up_s) return;
+  // Re-admission: first successful probe once the replica is back (never
+  // before the detection itself), plus the cooldown.
+  const double kk = std::floor((up_s - epoch_) / dt) + 1.0;
+  const double readmit = std::max(epoch_ + kk * dt, detect) + hc_.cooldown_s;
+  pending_.push_back({replica, fail_s, detect, readmit});
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.detect_s != b.detect_s ? a.detect_s < b.detect_s
+                                              : a.replica < b.replica;
+            });
+}
+
+double Router::next_detection_s() const {
+  return pending_.empty() ? std::numeric_limits<double>::infinity()
+                          : pending_.front().detect_s;
+}
+
+Router::Detection Router::take_next_detection() {
+  require(!pending_.empty(), "Router: no pending detection");
+  const Detection d = pending_.front();
+  pending_.erase(pending_.begin());
+  if (unhealthy_until_.size() <= static_cast<std::size_t>(d.replica)) {
+    unhealthy_until_.resize(static_cast<std::size_t>(d.replica) + 1, 0.0);
+  }
+  unhealthy_until_[static_cast<std::size_t>(d.replica)] =
+      std::max(unhealthy_until_[static_cast<std::size_t>(d.replica)],
+               d.readmit_s);
+  ++detections_;
+  detection_latency_sum_ += d.detect_s - d.fail_s;
+  return d;
+}
+
+bool Router::healthy(int replica, double now) const {
+  if (unhealthy_until_.size() <= static_cast<std::size_t>(replica)) return true;
+  return now >= unhealthy_until_[static_cast<std::size_t>(replica)];
+}
+
+int Router::route(const std::vector<std::unique_ptr<Replica>>& replicas,
+                  double now, std::int64_t prefix_group) {
+  require(!replicas.empty(), "Router: no replicas");
+  std::vector<int> eligible;
+  eligible.reserve(replicas.size());
+  for (const auto& r : replicas) {
+    if (r->draining()) continue;
+    if (!healthy(r->id(), now)) continue;
+    eligible.push_back(r->id());
+  }
+  if (eligible.empty()) {
+    // Everything is drained or in cooldown: queue on a non-draining replica
+    // anyway (queueing beats dropping), falling back to absolutely anyone.
+    for (const auto& r : replicas) {
+      if (!r->draining()) eligible.push_back(r->id());
+    }
+  }
+  if (eligible.empty()) {
+    for (const auto& r : replicas) eligible.push_back(r->id());
+  }
+  switch (policy_) {
+    case RouterPolicy::kRoundRobin:
+      break;
+    case RouterPolicy::kLeastLoaded: {
+      int best = eligible.front();
+      std::int64_t best_load = replicas[static_cast<std::size_t>(best)]->load();
+      for (int c : eligible) {
+        const std::int64_t l = replicas[static_cast<std::size_t>(c)]->load();
+        if (l < best_load) {
+          best = c;
+          best_load = l;
+        }
+      }
+      return best;
+    }
+    case RouterPolicy::kAffinity: {
+      if (prefix_group >= 0) {
+        const int preferred = static_cast<int>(
+            prefix_group % static_cast<std::int64_t>(replicas.size()));
+        for (int c : eligible) {
+          if (c == preferred) return c;
+        }
+      }
+      break;  // ungrouped (or home ineligible): rotate
+    }
+  }
+  return eligible[static_cast<std::size_t>(rr_++ % eligible.size())];
+}
+
+}  // namespace llmib::cluster

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/replica.h"
+
+namespace llmib::cluster {
+
+/// Dispatch + health tracking for the replica fleet. Routing consults only
+/// replica state the router could actually observe (queue depths, drain
+/// flags, its own detection record) — never the fault timeline directly, so
+/// undetected failures keep receiving traffic for exactly the detection
+/// latency the probe grid implies.
+///
+/// Health model: probes run on the fixed grid epoch + k * probe_interval_s.
+/// A probe during a failure's restart window misses; `miss_threshold`
+/// consecutive misses is a detection. Because failures are point events
+/// with known restart windows, detection and re-admission times are closed
+/// forms over the grid — no per-probe state machine to advance, and a
+/// restart that completes before the miss run does (a blip) is simply never
+/// detected.
+class Router {
+ public:
+  /// One pending detection: the replica failed at `fail_s`, the router
+  /// notices at `detect_s`, and re-admits at `readmit_s` (first successful
+  /// probe after restart + cooldown).
+  struct Detection {
+    int replica = 0;
+    double fail_s = 0.0;
+    double detect_s = 0.0;
+    double readmit_s = 0.0;
+  };
+
+  Router(RouterPolicy policy, HealthCheckConfig hc, double epoch_s);
+
+  /// Feed one observed replica death (from ClusterShared::failures).
+  void on_failure(int replica, double fail_s, double up_s);
+
+  /// Earliest pending detection time (+inf when none).
+  double next_detection_s() const;
+  /// Pop the earliest pending detection and mark the replica unhealthy
+  /// until its re-admission time.
+  Detection take_next_detection();
+
+  /// Whether the router currently believes `replica` is admittable.
+  bool healthy(int replica, double now) const;
+
+  std::int64_t detections() const { return detections_; }
+  double detection_latency_sum() const { return detection_latency_sum_; }
+
+  /// Pick the target replica for a dispatch at `now`. Draining and
+  /// detected-unhealthy replicas are ineligible; if that empties the pool
+  /// (every survivor draining/unhealthy), non-draining replicas are used
+  /// anyway — queueing beats dropping.
+  int route(const std::vector<std::unique_ptr<Replica>>& replicas, double now,
+            std::int64_t prefix_group);
+
+ private:
+  RouterPolicy policy_;
+  HealthCheckConfig hc_;
+  double epoch_;
+  std::vector<double> unhealthy_until_;  ///< per-replica re-admission time
+  std::vector<Detection> pending_;       ///< sorted by detect_s, then replica
+  std::uint64_t rr_ = 0;
+  std::int64_t detections_ = 0;
+  double detection_latency_sum_ = 0.0;
+};
+
+}  // namespace llmib::cluster

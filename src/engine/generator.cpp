@@ -227,6 +227,25 @@ void ServingEngine::finish_request(sched::RequestId id, Live& live) {
   finished_.emplace(id, live.generated);
 }
 
+bool ServingEngine::cancel(sched::RequestId id) {
+  if (finished_.count(id) > 0) return false;
+  // A still-waiting borrower holds only the submit-time pin; it must die
+  // with the request or the entry becomes unevictable forever.
+  const auto pend = pending_prefix_.find(id);
+  if (pend != pending_prefix_.end()) {
+    prefix_cache_.unpin(pend->second.entry);
+    pending_prefix_.erase(pend);
+  }
+  const auto it = live_.find(id);
+  if (it != live_.end()) {
+    release_prefix_lease(it->second);
+    live_.erase(it);  // frees the paged blocks
+  }
+  if (!scheduler_.cancel(id)) return false;
+  prompts_.erase(id);
+  return true;
+}
+
 void ServingEngine::relieve_cache_pressure() {
   if (!cfg_.prefix_caching) return;
   scheduler_.set_external_reserved_tokens(prefix_cache_reserved_tokens());

@@ -100,6 +100,14 @@ class ServingEngine {
   /// Drive until every submitted request completes.
   void run_to_completion();
 
+  /// Shed / timeout path: withdraw a request wherever it currently sits.
+  /// A waiting request drops its pending prefix fork — unpinning the cache
+  /// entry it reserved at submit time, so a storm of shed borrowers can
+  /// never leave entries permanently unevictable — and a live one frees its
+  /// KV and releases its lease. Returns false for unknown or finished ids.
+  /// Cancelled requests never appear in finished().
+  bool cancel(sched::RequestId id);
+
   bool finished(sched::RequestId id) const;
   const std::vector<TokenId>& output(sched::RequestId id) const;  ///< throws if not finished
 

@@ -9,6 +9,16 @@ namespace llmib::fault {
 
 using util::require;
 
+double RetryPolicy::backoff_s(int attempt, std::uint64_t stream_seed,
+                              std::uint64_t request_id) const {
+  // One single-draw stream per (request, attempt). Rng's splitmix64 seeding
+  // decorrelates adjacent ids and attempts, so consecutive retries of the
+  // same request still see independent jitter.
+  util::Rng rng(stream_seed ^ (0x9e3779b97f4a7c15ULL * (request_id + 1) +
+                               static_cast<std::uint64_t>(attempt)));
+  return backoff_s(attempt, rng);
+}
+
 double RetryPolicy::backoff_s(int attempt, util::Rng& rng) const {
   require(attempt >= 1, "RetryPolicy: attempts are 1-based");
   require(backoff_base_s >= 0 && backoff_multiplier >= 1.0,

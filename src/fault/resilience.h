@@ -6,6 +6,10 @@
 
 namespace llmib::fault {
 
+/// Salt decorrelating retry-jitter streams from the fault timeline that
+/// shares their seed ("backoffs").
+inline constexpr std::uint64_t kBackoffStream = 0x6261636b6f666673ULL;
+
 /// Bounded retry with exponential backoff (+ optional jitter) for requests
 /// killed by a device failure. `max_retries == 0` (the default) means a
 /// fault-killed request fails permanently — the no-policy baseline.
@@ -19,6 +23,14 @@ struct RetryPolicy {
   /// only when jitter is configured, so jitter-free policies consume no
   /// randomness.
   double backoff_s(int attempt, util::Rng& rng) const;
+
+  /// Backoff whose jitter draw is a pure function of (stream_seed,
+  /// request_id, attempt) — each request owns its jitter stream, so the
+  /// delay is identical under ANY interleaving of retries across requests,
+  /// routers, or cluster replicas. A shared-generator draw would make the
+  /// delay depend on which victim happened to be processed first.
+  double backoff_s(int attempt, std::uint64_t stream_seed,
+                   std::uint64_t request_id) const;
 };
 
 /// Queue-depth / deadline-aware admission control: shed arrivals that

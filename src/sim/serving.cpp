@@ -19,9 +19,6 @@ using util::require;
 
 namespace {
 
-// Decorrelates retry-jitter draws from the fault timeline itself.
-constexpr std::uint64_t kBackoffStream = 0x6261636b6f666673ULL;  // "backoffs"
-
 double quantile_or_zero(const std::vector<double>& sorted, double q) {
   return sorted.empty() ? 0.0 : util::quantile_sorted(sorted, q);
 }
@@ -244,7 +241,7 @@ ServingSimulator::Result ServingSimulator::run_trace(
   const fault::ResiliencePolicy& rp = opts.resilience;
   fault::FaultClock clock(fp);
   fault::DegradationController degrade(rp.degradation);
-  util::Rng backoff_rng(fp.seed ^ kBackoffStream);
+  const std::uint64_t backoff_seed = fp.seed ^ fault::kBackoffStream;
 
   enum class Fate { kPending, kCompleted, kShed, kTimedOut, kFailed };
   struct Track {
@@ -408,7 +405,11 @@ ServingSimulator::Result ServingSimulator::run_trace(
             ++t.attempts;
             ++total_retries;
             t.awaiting_retry = true;
-            t.retry_at = now + rp.retry.backoff_s(t.attempts, backoff_rng);
+            // Per-request jitter stream: the delay depends only on (seed,
+            // request, attempt), never on how many other victims drew first.
+            t.retry_at = now + rp.retry.backoff_s(
+                                   t.attempts, backoff_seed,
+                                   static_cast<std::uint64_t>(i));
             ++retry_waiting;
             obs::emit_instant("fault.retry", obs::Cat::kFault, now, sim_track,
                               static_cast<std::int64_t>(i));

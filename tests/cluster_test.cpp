@@ -1,0 +1,399 @@
+// Tests for the multi-replica cluster serving simulator: the 1-replica
+// degenerate-case pin against the single-engine loop, router policies,
+// failover/retry recovery, fault-domain isolation, draining and autoscaling.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/serving.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib;
+using namespace llmib::cluster;
+using llmib::util::ContractViolation;
+
+const sim::InferenceSimulator& core() {
+  static const sim::InferenceSimulator s;
+  return s;
+}
+
+sim::SimConfig a100_vllm() {
+  sim::SimConfig c;
+  c.model = "LLaMA-3-8B";
+  c.accelerator = "A100";
+  c.framework = "vLLM";
+  c.max_concurrent = 8;
+  c.prefix_caching = true;
+  return c;
+}
+
+/// Multi-turn-chat-shaped trace: 4 conversations interleaved, each with a
+/// 48-token shared head.
+std::vector<sim::TraceRequest> chat_trace(int n, double spacing_s = 0.05) {
+  std::vector<sim::TraceRequest> reqs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& r = reqs[static_cast<std::size_t>(i)];
+    r.arrival_s = spacing_s * i;
+    r.prompt_tokens = 96 + (i % 5) * 32;
+    r.output_tokens = 24 + (i % 3) * 8;
+    r.prefix_group = i % 4;
+    r.shared_prefix_tokens = 48;
+  }
+  return reqs;
+}
+
+void expect_metrics_equal(const sim::ServingMetrics& a,
+                          const sim::ServingMetrics& b) {
+  EXPECT_DOUBLE_EQ(a.offered_load_rps, b.offered_load_rps);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.achieved_rps, b.achieved_rps);
+  EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+  EXPECT_DOUBLE_EQ(a.ttft_p50_s, b.ttft_p50_s);
+  EXPECT_DOUBLE_EQ(a.ttft_p95_s, b.ttft_p95_s);
+  EXPECT_DOUBLE_EQ(a.ttft_p99_s, b.ttft_p99_s);
+  EXPECT_DOUBLE_EQ(a.e2e_p50_s, b.e2e_p50_s);
+  EXPECT_DOUBLE_EQ(a.e2e_p95_s, b.e2e_p95_s);
+  EXPECT_DOUBLE_EQ(a.e2e_p99_s, b.e2e_p99_s);
+  EXPECT_DOUBLE_EQ(a.itl_p50_s, b.itl_p50_s);
+  EXPECT_DOUBLE_EQ(a.itl_p95_s, b.itl_p95_s);
+  EXPECT_DOUBLE_EQ(a.itl_p99_s, b.itl_p99_s);
+  EXPECT_EQ(a.max_concurrency, b.max_concurrency);
+  EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.prefix_lookups, b.prefix_lookups);
+  EXPECT_EQ(a.prefix_hits, b.prefix_hits);
+  EXPECT_EQ(a.prefix_hit_tokens, b.prefix_hit_tokens);
+  EXPECT_EQ(a.prefix_partial_matches, b.prefix_partial_matches);
+  EXPECT_EQ(a.prefix_cache_peak_tokens, b.prefix_cache_peak_tokens);
+  EXPECT_EQ(a.peak_kv_reserved_tokens, b.peak_kv_reserved_tokens);
+  EXPECT_DOUBLE_EQ(a.slo_goodput, b.slo_goodput);
+  EXPECT_DOUBLE_EQ(a.goodput_rps, b.goodput_rps);
+  EXPECT_EQ(a.device_failures, b.device_failures);
+  EXPECT_EQ(a.throttle_episodes, b.throttle_episodes);
+  EXPECT_EQ(a.fault_evictions, b.fault_evictions);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.shed_requests, b.shed_requests);
+  EXPECT_EQ(a.timed_out_requests, b.timed_out_requests);
+  EXPECT_EQ(a.failed_requests, b.failed_requests);
+  EXPECT_EQ(a.degradation_activations, b.degradation_activations);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+  EXPECT_DOUBLE_EQ(a.post_fault_availability, b.post_fault_availability);
+  EXPECT_DOUBLE_EQ(a.mttr_s, b.mttr_s);
+  EXPECT_DOUBLE_EQ(a.phases.prefill_s, b.phases.prefill_s);
+  EXPECT_DOUBLE_EQ(a.phases.decode_s, b.phases.decode_s);
+  EXPECT_DOUBLE_EQ(a.phases.idle_s, b.phases.idle_s);
+  EXPECT_DOUBLE_EQ(a.phases.compute_s, b.phases.compute_s);
+  EXPECT_DOUBLE_EQ(a.phases.memory_s, b.phases.memory_s);
+  EXPECT_DOUBLE_EQ(a.phases.comm_s, b.phases.comm_s);
+  EXPECT_DOUBLE_EQ(a.phases.host_s, b.phases.host_s);
+  EXPECT_EQ(a.phases.iterations, b.phases.iterations);
+  EXPECT_EQ(a.phases.prefill_steps, b.phases.prefill_steps);
+  EXPECT_EQ(a.phases.decode_steps, b.phases.decode_steps);
+  EXPECT_TRUE(a.to_snapshot().deterministic_equal(b.to_snapshot()));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-case contract: 1 replica + no faults == the single-engine loop,
+// bitwise.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, OneReplicaTracePinsToSingleEngine) {
+  const auto reqs = chat_trace(40);
+  sim::TraceOptions opts;
+  opts.slo_ttft_s = 0.5;
+  const auto single = sim::ServingSimulator(core()).run_trace(a100_vllm(), reqs, opts);
+  const auto clustered =
+      ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, ClusterOptions{});
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(clustered.ok());
+  expect_metrics_equal(clustered.metrics, single.metrics);
+  EXPECT_EQ(clustered.cluster.replicas_final, 1);
+  EXPECT_EQ(clustered.cluster.failovers, 0);
+  EXPECT_EQ(clustered.cluster.lost_requests, 0);
+  EXPECT_DOUBLE_EQ(clustered.cluster.availability, 1.0);
+}
+
+TEST(Cluster, OneReplicaLegacySharedPrefixPins) {
+  // Legacy single-shared-prefix mode: ungrouped trace + shared_prefix.
+  auto reqs = chat_trace(24);
+  for (auto& r : reqs) {
+    r.prefix_group = -1;
+    r.shared_prefix_tokens = 0;
+  }
+  sim::TraceOptions opts;
+  opts.shared_prefix = 64;
+  opts.order = sched::QueueOrder::kShortestFirst;
+  const auto single = sim::ServingSimulator(core()).run_trace(a100_vllm(), reqs, opts);
+  const auto clustered =
+      ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, ClusterOptions{});
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(clustered.ok());
+  expect_metrics_equal(clustered.metrics, single.metrics);
+}
+
+TEST(Cluster, OneReplicaWorkloadRunPinsToSingleEngine) {
+  sim::ServingWorkload wl;
+  wl.arrival_rate_rps = 2.0;
+  wl.num_requests = 24;
+  wl.prompt_min = 64;
+  wl.prompt_max = 256;
+  wl.output_min = 16;
+  wl.output_max = 64;
+  const auto single = sim::ServingSimulator(core()).run(a100_vllm(), wl);
+  const auto clustered =
+      ClusterSimulator(core()).run(a100_vllm(), wl, ClusterOptions{});
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(clustered.ok());
+  expect_metrics_equal(clustered.metrics, single.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under faults (satellite: per-request retry-jitter streams).
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, FaultRunsAreDeterministic) {
+  const auto reqs = chat_trace(48);
+  sim::TraceOptions opts;
+  opts.faults.device_mtbf_s = 2.0;
+  opts.faults.device_restart_s = 0.2;
+  opts.resilience.retry.max_retries = 3;
+  opts.resilience.retry.jitter_frac = 0.5;
+  ClusterOptions copts;
+  copts.replicas = 3;
+  copts.router = RouterPolicy::kLeastLoaded;
+  const ClusterSimulator cs(core());
+  const auto a = cs.run_trace(a100_vllm(), reqs, opts, copts);
+  const auto b = cs.run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  expect_metrics_equal(a.metrics, b.metrics);
+  EXPECT_EQ(a.cluster.failovers, b.cluster.failovers);
+  EXPECT_EQ(a.cluster.rerouted_requests, b.cluster.rerouted_requests);
+  EXPECT_EQ(a.cluster.health_detections, b.cluster.health_detections);
+}
+
+// ---------------------------------------------------------------------------
+// Failover: replica kills with retries recover every request.
+// ---------------------------------------------------------------------------
+
+ClusterOptions kill_replica0(int replicas) {
+  ClusterOptions copts;
+  copts.replicas = replicas;
+  fault::FaultProfile storm;
+  storm.device_mtbf_s = 1.0;
+  storm.device_restart_s = 0.3;
+  storm.active_until_s = 2.0;  // storm, then calm
+  copts.replica_faults.push_back(storm);  // replica 0 dies repeatedly
+  for (int i = 1; i < replicas; ++i) {
+    copts.replica_faults.push_back(fault::FaultProfile{});  // healthy
+  }
+  return copts;
+}
+
+TEST(Cluster, FailoverWithRetriesLosesNothing) {
+  const auto reqs = chat_trace(48);
+  sim::TraceOptions opts;
+  opts.faults.device_mtbf_s = 1.0;  // seeds the cluster-wide jitter stream
+  opts.resilience.retry.max_retries = 4;
+  opts.resilience.retry.jitter_frac = 0.25;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts,
+                                                    kill_replica0(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.metrics.device_failures, 1);
+  EXPECT_GE(r.cluster.failovers, 1);
+  EXPECT_EQ(r.cluster.lost_requests, 0);
+  EXPECT_GE(r.cluster.recovered_requests, 1);
+  EXPECT_GE(r.cluster.availability, 0.99);
+  EXPECT_GT(r.cluster.failover_latency_mean_s, 0.0);
+}
+
+TEST(Cluster, FailoverWithoutRetriesLosesRequests) {
+  const auto reqs = chat_trace(48);
+  sim::TraceOptions opts;  // no retry policy: evicted == lost
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts,
+                                                    kill_replica0(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.metrics.device_failures, 1);
+  EXPECT_GT(r.cluster.lost_requests, 0);
+  EXPECT_LT(r.cluster.availability, 1.0);
+}
+
+TEST(Cluster, HealthCheckerDetectsAndRecords) {
+  const auto reqs = chat_trace(48);
+  sim::TraceOptions opts;
+  opts.resilience.retry.max_retries = 4;
+  ClusterOptions copts = kill_replica0(3);
+  copts.health.probe_interval_s = 0.1;
+  copts.health.miss_threshold = 2;
+  copts.health.cooldown_s = 0.5;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(r.ok());
+  // restart 0.3s > 2 probes * 0.1s: every storm failure is detectable.
+  EXPECT_GE(r.cluster.health_detections, 1);
+  // Detection latency is bounded by the miss run: first probe after the
+  // failure plus one more interval.
+  EXPECT_GT(r.cluster.detection_latency_mean_s, 0.0);
+  EXPECT_LE(r.cluster.detection_latency_mean_s,
+            2 * copts.health.probe_interval_s + 1e-9);
+  EXPECT_EQ(r.cluster.lost_requests, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault domains: a failure on replica A never touches replica B's cache.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, FailureWipesOnlyTheFailingReplicasCache) {
+  const auto reqs = chat_trace(48);
+  sim::TraceOptions opts;
+  opts.resilience.retry.max_retries = 4;
+  ClusterOptions copts = kill_replica0(2);
+  copts.router = RouterPolicy::kAffinity;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.cluster.replicas.size(), 2u);
+  const auto& dead = r.cluster.replicas[0];
+  const auto& survivor = r.cluster.replicas[1];
+  EXPECT_GE(dead.device_failures, 1);
+  EXPECT_GE(dead.prefix_wipes, 1);
+  EXPECT_EQ(survivor.device_failures, 0);
+  EXPECT_EQ(survivor.prefix_wipes, 0);  // fault-domain isolation
+  EXPECT_GT(survivor.prefix_hits, 0);   // its warm cache kept serving
+}
+
+// ---------------------------------------------------------------------------
+// Router policies.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, AffinityKeepsConversationsHome) {
+  const auto reqs = chat_trace(40);  // groups 0..3
+  sim::TraceOptions opts;
+  ClusterOptions copts;
+  copts.replicas = 2;
+  copts.router = RouterPolicy::kAffinity;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(r.ok());
+  // Groups 0, 2 -> replica 0; groups 1, 3 -> replica 1; 40 requests split
+  // evenly and nothing is ever re-routed on a fault-free run.
+  EXPECT_EQ(r.cluster.replicas[0].routed, 20);
+  EXPECT_EQ(r.cluster.replicas[1].routed, 20);
+  // Locality pays: every follow-up in a conversation hits its home cache.
+  EXPECT_GT(r.metrics.prefix_hits, 0);
+}
+
+TEST(Cluster, LeastLoadedSpreadsWork) {
+  const auto reqs = chat_trace(40, 0.01);  // arrival burst -> queues form
+  sim::TraceOptions opts;
+  ClusterOptions copts;
+  copts.replicas = 3;
+  copts.router = RouterPolicy::kLeastLoaded;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(r.ok());
+  for (const auto& rep : r.cluster.replicas) {
+    EXPECT_GT(rep.routed, 0) << "replica " << rep.id << " never used";
+    EXPECT_GT(rep.completed, 0);
+  }
+  EXPECT_DOUBLE_EQ(r.cluster.availability, 1.0);
+}
+
+TEST(Cluster, RouterPolicyParsing) {
+  RouterPolicy p;
+  EXPECT_TRUE(parse_router_policy("rr", &p));
+  EXPECT_EQ(p, RouterPolicy::kRoundRobin);
+  EXPECT_TRUE(parse_router_policy("least-loaded", &p));
+  EXPECT_EQ(p, RouterPolicy::kLeastLoaded);
+  EXPECT_TRUE(parse_router_policy("affinity", &p));
+  EXPECT_EQ(p, RouterPolicy::kAffinity);
+  EXPECT_FALSE(parse_router_policy("random", &p));
+  EXPECT_STREQ(router_policy_name(RouterPolicy::kLeastLoaded), "least-loaded");
+}
+
+// ---------------------------------------------------------------------------
+// Draining.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, DrainMigratesWaitingAndFinishesResidents) {
+  const auto reqs = chat_trace(40, 0.01);  // burst so a queue exists at drain
+  sim::TraceOptions opts;
+  ClusterOptions copts;
+  copts.replicas = 2;
+  copts.drain.replica = 0;
+  copts.drain.at_s = 0.15;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.cluster.replicas[0].draining);
+  EXPECT_GE(r.cluster.drain_migrated, 1);
+  // Graceful: nothing lost, nothing shed — residents finished, waiters moved.
+  EXPECT_DOUBLE_EQ(r.cluster.availability, 1.0);
+  EXPECT_EQ(r.cluster.lost_requests, 0);
+  // After the drain point every new arrival lands on replica 1.
+  EXPECT_GT(r.cluster.replicas[1].routed, r.cluster.replicas[0].routed);
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaling.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, AutoscalerAddsReplicaUnderQueuePressure) {
+  const auto reqs = chat_trace(80, 0.01);  // sustained burst on one replica
+  sim::TraceOptions opts;
+  ClusterOptions copts;
+  copts.replicas = 1;
+  copts.router = RouterPolicy::kLeastLoaded;  // fresh replica drains the glut
+  copts.autoscale.enabled = true;
+  copts.autoscale.max_replicas = 3;
+  copts.autoscale.cold_start_s = 0.1;
+  copts.autoscale.scale_up_queue_depth = 8;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.cluster.scale_up_events, 1);
+  EXPECT_GT(r.cluster.replicas_final, r.cluster.replicas_initial);
+  EXPECT_LE(r.cluster.replicas_final, 3);
+  ASSERT_GT(r.cluster.replicas.size(), 1u);
+  EXPECT_TRUE(r.cluster.replicas.back().autoscaled);
+  EXPECT_GT(r.cluster.replicas.back().routed, 0);  // it took real traffic
+  EXPECT_DOUBLE_EQ(r.cluster.availability, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot surface & validation.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, SnapshotCarriesClusterAndPerReplicaKeys) {
+  const auto reqs = chat_trace(24);
+  sim::TraceOptions opts;
+  ClusterOptions copts;
+  copts.replicas = 2;
+  const auto r = ClusterSimulator(core()).run_trace(a100_vllm(), reqs, opts, copts);
+  ASSERT_TRUE(r.ok());
+  auto snap = r.metrics.to_snapshot();
+  snap.merge(r.cluster.to_snapshot());
+  const auto csv = snap.to_csv();
+  EXPECT_NE(csv.find("cluster.availability"), std::string::npos);
+  EXPECT_NE(csv.find("cluster.replica0.routed"), std::string::npos);
+  EXPECT_NE(csv.find("cluster.replica1.routed"), std::string::npos);
+  EXPECT_NE(csv.find("serving.achieved_rps"), std::string::npos);
+}
+
+TEST(Cluster, RejectsBadOptions) {
+  const auto reqs = chat_trace(4);
+  const ClusterSimulator cs(core());
+  sim::TraceOptions opts;
+  ClusterOptions bad;
+  bad.replicas = 0;
+  EXPECT_THROW(cs.run_trace(a100_vllm(), reqs, opts, bad), ContractViolation);
+  ClusterOptions drain_oob;
+  drain_oob.replicas = 2;
+  drain_oob.drain.replica = 5;
+  EXPECT_THROW(cs.run_trace(a100_vllm(), reqs, opts, drain_oob), ContractViolation);
+  ClusterOptions scale_low;
+  scale_low.replicas = 4;
+  scale_low.autoscale.enabled = true;
+  scale_low.autoscale.max_replicas = 2;
+  EXPECT_THROW(cs.run_trace(a100_vllm(), reqs, opts, scale_low), ContractViolation);
+}
+
+}  // namespace

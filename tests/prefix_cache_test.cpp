@@ -389,6 +389,45 @@ TEST(EnginePrefix, PoolPressureEvictsCacheButNeverCorruptsBorrowers) {
             static_cast<std::int64_t>(cfg.pool_blocks) * cfg.block_size);
 }
 
+TEST(EnginePrefix, ShedBorrowersUnpinSoCacheStaysEvictable) {
+  const engine::MiniTransformer model(tiny_weights());
+  engine::ServingEngine::Config cfg;
+  cfg.pool_blocks = 12;  // 192 tokens: cache + two admissions cannot coexist
+  cfg.block_size = 16;
+  cfg.max_batch = 2;
+  cfg.prefix_caching = true;
+  engine::ServingEngine eng(model, cfg);
+
+  // Warm the cache: one completed request leaves a 4-block entry resident.
+  std::vector<TokenId> shared;
+  for (int i = 0; i < 64; ++i) shared.push_back(static_cast<TokenId>(i % 90 + 1));
+  eng.submit(shared, 8);
+  eng.run_to_completion();
+  ASSERT_GT(eng.prefix_stats().resident_tokens, 0);
+
+  // Storm of borrowers shed before admission. Each submit pinned the cached
+  // entry for its future fork; cancel() must drop every pin — a leaked pin
+  // would make the entry permanently unevictable.
+  for (int r = 0; r < 16; ++r) {
+    auto prompt = shared;
+    prompt.push_back(static_cast<TokenId>(r % 90 + 1));  // diverging turn
+    const auto id = eng.submit(prompt, 4);
+    ASSERT_TRUE(eng.cancel(id)) << "borrower " << r;
+  }
+
+  // Admission pressure that only fits once the entry is evicted: two
+  // distinct 80-token prompts (6 blocks each) against the 64-token cache.
+  for (int r = 0; r < 2; ++r) {
+    std::vector<TokenId> p;
+    for (int i = 0; i < 80; ++i)
+      p.push_back(static_cast<TokenId>((200 + r * 80 + i) % 90 + 1));
+    eng.submit(p, 8);
+  }
+  eng.run_to_completion();  // stalls on "no forward progress" if pins leaked
+  const auto st = eng.prefix_stats();
+  EXPECT_GT(st.evictions, 0);
+}
+
 // ---- scheduler: discounted footprints + external reservation --------------
 
 TEST(SchedulerPrefix, CachedPrefixShrinksAdmissionFootprint) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "core/insights.h"
 #include "engine/checkpoint.h"
 #include "engine/generator.h"
@@ -336,7 +337,38 @@ int cmd_serve(const Args& args) {
     wl.resilience.degradation.quantize_kv = true;
   }
 
+  // Multi-replica cluster serving: any topology flag switches the run into
+  // the cluster simulator (1 replica + defaults reproduces the single-engine
+  // path bit for bit, so --replicas 1 is safe to script unconditionally).
+  const bool cluster_mode = args.flag("replicas") || args.flag("router") ||
+                            args.flag("drain") || args.flag("autoscale");
+  cluster::ClusterOptions copts;
+  copts.replicas = static_cast<int>(args.get_long("replicas", 1));
+  util::require(cluster::parse_router_policy(args.get("router", "rr"), &copts.router),
+                "unknown --router policy (rr | least-loaded | affinity)");
+  if (args.flag("drain")) {
+    copts.drain.replica = static_cast<int>(args.get_long("drain", 0));
+    copts.drain.at_s = args.get_double("drain-at", 0.0);
+  }
+  copts.autoscale.enabled = args.flag("autoscale");
+  copts.autoscale.max_replicas = static_cast<int>(args.get_long("max-replicas", 8));
+  copts.autoscale.cold_start_s = args.get_double("cold-start", 10.0);
+  copts.autoscale.scale_up_queue_depth = args.get_long("scale-queue", 16);
+  copts.health.probe_interval_s = args.get_double("probe-interval", 0.25);
+  copts.health.miss_threshold = static_cast<int>(args.get_long("probe-misses", 2));
+  copts.health.cooldown_s = args.get_double("cooldown", 1.0);
+  const cluster::ClusterSimulator clustered(simulator);
+  cluster::ClusterMetrics cm;
+
   sim::ServingSimulator::Result r;
+  const auto run_cluster_trace = [&](const std::vector<sim::TraceRequest>& reqs,
+                                     const sim::TraceOptions& topts) {
+    auto cr = clustered.run_trace(cfg, reqs, topts, copts);
+    r.status = cr.status;
+    r.status_detail = cr.status_detail;
+    r.metrics = cr.metrics;
+    cm = std::move(cr.cluster);
+  };
   if (args.flag("chat") || args.flag("agent")) {
     // Conversation-chain scenarios (multi-turn chat / agent tool loops):
     // each turn replays the whole history, the regime prefix caching targets.
@@ -373,14 +405,26 @@ int cmd_serve(const Args& args) {
     topts.slo_ttft_s = wl.slo_ttft_s;
     topts.faults = wl.faults;
     topts.resilience = wl.resilience;
-    r = serving.run_trace(cfg, trace.requests(), topts);
+    if (cluster_mode) {
+      run_cluster_trace(trace.requests(), topts);
+    } else {
+      r = serving.run_trace(cfg, trace.requests(), topts);
+    }
   } else if (args.flag("trace")) {
     std::ifstream in(args.get("trace", ""));
     util::require(in.is_open(), "cannot open trace file");
     const auto trace = sim::RequestTrace::parse_csv(in);
     std::printf("replaying %zu-request trace (%.2f req/s offered)\n", trace.size(),
                 trace.offered_load_rps());
-    r = sim::replay_trace(serving, cfg, trace, wl.slo_ttft_s);
+    if (cluster_mode) {
+      sim::TraceOptions topts;
+      topts.slo_ttft_s = wl.slo_ttft_s;
+      topts.faults = wl.faults;
+      topts.resilience = wl.resilience;
+      run_cluster_trace(trace.requests(), topts);
+    } else {
+      r = sim::replay_trace(serving, cfg, trace, wl.slo_ttft_s);
+    }
   } else {
     if (args.flag("save-trace")) {
       std::ofstream out(args.get("save-trace", ""));
@@ -388,7 +432,15 @@ int cmd_serve(const Args& args) {
       sim::RequestTrace::from_workload(wl).write_csv(out);
       std::printf("trace saved to %s\n", args.get("save-trace", "").c_str());
     }
-    r = serving.run(cfg, wl);
+    if (cluster_mode) {
+      auto cr = clustered.run(cfg, wl, copts);
+      r.status = cr.status;
+      r.status_detail = cr.status_detail;
+      r.metrics = cr.metrics;
+      cm = std::move(cr.cluster);
+    } else {
+      r = serving.run(cfg, wl);
+    }
   }
   if (!r.ok()) {
     std::printf("cannot serve: %s\n", r.status_detail.c_str());
@@ -444,9 +496,54 @@ int cmd_serve(const Args& args) {
         static_cast<long long>(m.failed_requests),
         static_cast<long long>(m.degradation_activations));
   }
+  if (cluster_mode) {
+    std::printf("\ncluster: %lld -> %lld replicas (%s router)\n",
+                static_cast<long long>(cm.replicas_initial),
+                static_cast<long long>(cm.replicas_final),
+                cluster::router_policy_name(copts.router));
+    std::printf(
+        "  availability       : %.1f%%  (%lld lost, %lld recovered of %lld "
+        "fault-evicted)\n",
+        cm.availability * 100.0, static_cast<long long>(cm.lost_requests),
+        static_cast<long long>(cm.recovered_requests),
+        static_cast<long long>(m.fault_evictions));
+    std::printf(
+        "  failover           : %lld failovers, %lld re-routed, %lld drained, "
+        "%lld scale-ups\n",
+        static_cast<long long>(cm.failovers),
+        static_cast<long long>(cm.rerouted_requests),
+        static_cast<long long>(cm.drain_migrated),
+        static_cast<long long>(cm.scale_up_events));
+    if (cm.health_detections > 0) {
+      std::printf(
+          "  health checks      : %lld detections, %.2f s mean detection, "
+          "%.2f s mean failover\n",
+          static_cast<long long>(cm.health_detections),
+          cm.detection_latency_mean_s, cm.failover_latency_mean_s);
+    }
+    report::Table rt({"replica", "routed", "completed", "failures",
+                      "evictions", "wipes", "hits", "busy_s", "idle_s",
+                      "mttr_s", "state"});
+    for (const auto& rep : cm.replicas) {
+      std::string state = rep.draining ? "draining" : "up";
+      if (rep.autoscaled) state += " (scaled)";
+      rt.add_row({std::to_string(rep.id), std::to_string(rep.routed),
+                  std::to_string(rep.completed),
+                  std::to_string(rep.device_failures),
+                  std::to_string(rep.fault_evictions),
+                  std::to_string(rep.prefix_wipes),
+                  std::to_string(rep.prefix_hits),
+                  util::format_fixed(rep.busy_s, 2),
+                  util::format_fixed(rep.idle_s, 2),
+                  util::format_fixed(rep.mttr_s, 2), state});
+    }
+    std::printf("%s", rt.to_text().c_str());
+  }
   std::printf("\nwhere the makespan went:\n%s",
               phase_table(m.phases, m.makespan_s).to_text().c_str());
-  return write_artifacts(args, m.to_snapshot());
+  obs::Snapshot run_snap = m.to_snapshot();
+  if (cluster_mode) run_snap.merge(cm.to_snapshot());
+  return write_artifacts(args, run_snap);
 }
 
 void usage() {
@@ -465,6 +562,10 @@ void usage() {
       "              [--prefix-cache] [--shared-prefix N]\n"
       "              [--chat | --agent] [--conversations N] [--turns N]\n"
       "              [--system N]  (multi-turn scenarios; --rps = start rate)\n"
+      "              [--replicas N] [--router rr|least-loaded|affinity]\n"
+      "              [--probe-interval S] [--probe-misses N] [--cooldown S]\n"
+      "              [--drain R] [--drain-at S] [--autoscale] [--cold-start S]\n"
+      "              [--max-replicas N] [--scale-queue N]  (cluster serving)\n"
       "  llmib generate [--seed N] [--layers N] [--hidden N] [--vocab N]\n"
       "              [--prompt 1,2,3] [--tokens N] [--temperature T]\n"
       "              [--save file.bin | --load file.bin]\n"
