@@ -25,6 +25,7 @@
 #include "engine/kernels/kernels.h"
 #include "engine/kv_store.h"
 #include "engine/model.h"
+#include "engine/quantized_kv.h"
 #include "engine/tensor_ops.h"
 #include "engine/weights.h"
 #include "kv/paged_allocator.h"
@@ -141,13 +142,68 @@ void BM_DecodeAttention(benchmark::State& state, engine::AttnPath path, bool pag
   engine::AttnScratch& scratch = engine::AttnScratch::local();
   for (auto _ : state) {
     engine::attend(q, out, *store, /*layer=*/0, /*pos=*/ctx - 1,
-                   /*store_len=*/ctx, nullptr, nullptr, kv_dim, head_dim,
+                   /*store_len=*/ctx, /*chunk=*/nullptr, kv_dim, head_dim,
                    /*sliding_window=*/0, scratch);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(ctx));
   state.SetLabel(std::string(paged ? "paged" : "contig") + " attended-pos/s");
+}
+
+// ---- quantized decode attention: fused dequant vs per-position dequant --------
+// The PR-8 tentpole comparison: decode attention over a narrow-storage
+// (int8 / FP8-E4M3) KV slab. The runs path streams raw quantized bytes plus
+// the per-row scale stream through the fused attn_scores_q8/f8 kernels
+// (dequant-in-register); the per-position path dequantizes each cached row
+// into the store's fp32 scratch before the fp32 kernels see it. fp32 rows
+// give the unquantized baseline on the same harness. The CI Release gate
+// asserts int8 fused >= 1.5x over per-position dequant at ctx 1024.
+
+void BM_QuantDecodeAttention(benchmark::State& state, engine::KvQuant fmt,
+                             engine::AttnPath path, bool paged) {
+  const auto ctx = static_cast<std::size_t>(state.range(0));
+  const auto cfg = bench_config();
+  const auto head_dim = static_cast<std::size_t>(cfg.head_dim());
+  const std::size_t q_dim = static_cast<std::size_t>(cfg.n_heads) * head_dim;
+  const std::size_t kv_dim = static_cast<std::size_t>(cfg.n_kv_heads) * head_dim;
+
+  std::unique_ptr<engine::PagedKvPool> pool;
+  std::unique_ptr<engine::KvStore> store;
+  if (paged) {
+    pool = std::make_unique<engine::PagedKvPool>(
+        512, 16, std::vector<std::size_t>{kv_dim}, fmt);
+    store = std::make_unique<engine::PagedKvStore>(*pool, 1);
+  } else if (fmt == engine::KvQuant::kFp32) {
+    store = std::make_unique<engine::ContiguousKvStore>(
+        std::vector<std::size_t>{kv_dim});
+  } else {
+    store = std::make_unique<engine::QuantizedKvStore>(
+        std::vector<std::size_t>{kv_dim}, fmt);
+  }
+  util::Rng rng(13);
+  std::vector<float> k(kv_dim), v(kv_dim), q(q_dim), out(q_dim);
+  for (auto& x : q) x = static_cast<float>(rng.normal());
+  for (std::size_t p = 0; p < ctx; ++p) {
+    for (auto& x : k) x = static_cast<float>(rng.normal());
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    store->append(0, k, v);
+  }
+
+  engine::ScopedAttnPath forced(path);
+  engine::AttnScratch& scratch = engine::AttnScratch::local();
+  for (auto _ : state) {
+    engine::attend(q, out, *store, /*layer=*/0, /*pos=*/ctx - 1,
+                   /*store_len=*/ctx, /*chunk=*/nullptr, kv_dim, head_dim,
+                   /*sliding_window=*/0, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ctx));
+  state.SetLabel(std::string(paged ? "paged" : "contig") + " " +
+                 std::to_string(engine::kv_quant_bytes_per_token(
+                     std::vector<std::size_t>{kv_dim}, fmt)) +
+                 " KV bytes/token");
 }
 
 // ---- prefill vs token-by-token -------------------------------------------------
@@ -463,6 +519,29 @@ int main(int argc, char** argv) {
           ->Arg(512)
           ->Arg(1024)
           ->Arg(2048);
+    }
+  }
+  for (const auto& [fname, fmt] :
+       {std::pair<const char*, llmib::engine::KvQuant>{
+            "fp32", llmib::engine::KvQuant::kFp32},
+        {"int8", llmib::engine::KvQuant::kInt8},
+        {"fp8", llmib::engine::KvQuant::kFp8}}) {
+    for (const auto& [pname, path] :
+         {std::pair<const char*, llmib::engine::AttnPath>{
+              "runs", llmib::engine::AttnPath::kRuns},
+          {"perpos", llmib::engine::AttnPath::kPerPosition}}) {
+      for (const auto& [sname, paged] :
+           {std::pair<const char*, bool>{"contig", false}, {"paged", true}}) {
+        benchmark::RegisterBenchmark(
+            (std::string("BM_QuantDecodeAttention/") + fname + "/" + pname + "/" +
+             sname)
+                .c_str(),
+            BM_QuantDecodeAttention, fmt, path, paged)
+            ->Arg(128)
+            ->Arg(512)
+            ->Arg(1024)
+            ->Arg(2048);
+      }
     }
   }
   benchmark::RegisterBenchmark("BM_DecodeStep/TracingIdle", BM_DecodeStep_Tracing,

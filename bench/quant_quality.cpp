@@ -58,14 +58,13 @@ engine::TransformerWeights int4_weights(const engine::TransformerWeights& w,
   return q;
 }
 
-double fp8_kv_perplexity(const engine::MiniTransformer& model,
-                         const std::vector<std::vector<engine::TokenId>>& corpus) {
+double quant_kv_perplexity(const engine::MiniTransformer& model,
+                           const std::vector<std::vector<engine::TokenId>>& corpus,
+                           engine::KvQuant fmt) {
   double nll = 0;
   std::size_t predicted = 0;
   for (const auto& seq : corpus) {
-    engine::QuantizedKvStore kv(
-        std::make_unique<engine::ContiguousKvStore>(model.kv_dims()),
-        engine::QuantizedKvStore::CachePrecision::kFP8);
+    engine::QuantizedKvStore kv(model.kv_dims(), fmt);
     for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
       const auto logits = model.forward(seq[i], kv);
       float max_v = logits[0];
@@ -99,26 +98,45 @@ int main() {
   const double ppl_fp32 = eval::perplexity(fp32, corpus);
   const double ppl_int8 = eval::perplexity(int8, corpus);
   const double ppl_int4 = eval::perplexity(int4, corpus);
-  const double ppl_fp8kv = fp8_kv_perplexity(fp32, corpus);
+  const double ppl_int8kv =
+      quant_kv_perplexity(fp32, corpus, engine::KvQuant::kInt8);
+  const double ppl_fp8kv =
+      quant_kv_perplexity(fp32, corpus, engine::KvQuant::kFp8);
 
-  report::Table t({"configuration", "perplexity", "delta vs fp32 (%)"});
-  auto row = [&](const char* label, double ppl) {
-    t.add_row({label, util::format_fixed(ppl, 3),
-               util::format_fixed((ppl / ppl_fp32 - 1.0) * 100.0, 2)});
+  // KV footprint per cached token across all layers (the memory side of the
+  // ppl-vs-bytes tradeoff the narrow-storage cache buys).
+  const auto kv_bytes = [&](engine::KvQuant fmt) {
+    return engine::kv_quant_bytes_per_token(fp32.kv_dims(), fmt);
   };
-  row("fp32 weights", ppl_fp32);
-  row("int8 weights (per-channel W8)", ppl_int8);
-  row("int4 weights (group 32, GPTQ-style)", ppl_int4);
-  row("fp32 weights + FP8 KV cache", ppl_fp8kv);
+
+  report::Table t(
+      {"configuration", "perplexity", "delta vs fp32 (%)", "kv bytes/token"});
+  auto row = [&](const char* label, double ppl, engine::KvQuant kv_fmt) {
+    t.add_row({label, util::format_fixed(ppl, 3),
+               util::format_fixed((ppl / ppl_fp32 - 1.0) * 100.0, 2),
+               std::to_string(kv_bytes(kv_fmt))});
+  };
+  row("fp32 weights", ppl_fp32, engine::KvQuant::kFp32);
+  row("int8 weights (per-channel W8)", ppl_int8, engine::KvQuant::kFp32);
+  row("int4 weights (group 32, GPTQ-style)", ppl_int4, engine::KvQuant::kFp32);
+  row("fp32 weights + int8 KV cache", ppl_int8kv, engine::KvQuant::kInt8);
+  row("fp32 weights + FP8 KV cache", ppl_fp8kv, engine::KvQuant::kFp8);
 
   report::ShapeReport shapes("Quantization quality (extension)");
   shapes.check_ratio("int8 perplexity vs fp32", ppl_int8 / ppl_fp32, 1.0, 0.02);
+  shapes.check_ratio("int8-KV perplexity vs fp32", ppl_int8kv / ppl_fp32, 1.0,
+                     0.03);
   shapes.check_ratio("fp8-KV perplexity vs fp32", ppl_fp8kv / ppl_fp32, 1.0, 0.03);
   shapes.check_ratio("int4 perplexity vs fp32 (lossier but close)",
                      ppl_int4 / ppl_fp32, 1.0, 0.10);
   shapes.check_claim("precision order: |int4 delta| >= |int8 delta|",
                      std::abs(ppl_int4 - ppl_fp32) >=
                          std::abs(ppl_int8 - ppl_fp32) * 0.5);
+  shapes.check_claim("kv bytes/token strictly shrink: fp32 > int8 > fp8",
+                     kv_bytes(engine::KvQuant::kFp32) >
+                             kv_bytes(engine::KvQuant::kInt8) &&
+                         kv_bytes(engine::KvQuant::kInt8) >
+                             kv_bytes(engine::KvQuant::kFp8));
   return bench::finish("quant_quality",
                        "Measured perplexity under weight/KV quantization", t, shapes);
 }

@@ -149,8 +149,18 @@ ClusterSimulator::Result ClusterSimulator::run_trace(
   scfg.policy = fw.continuous_batching ? sched::BatchPolicy::kContinuous
                                        : sched::BatchPolicy::kStatic;
   scfg.max_batch = base.max_concurrent > 0 ? base.max_concurrent : 64;
-  scfg.kv_capacity_tokens =
+  // Byte-denominated KV pool (mirrors ServingSimulator): a mid-run FP8
+  // degradation switch shrinks bytes-per-token, widening the SAME pool.
+  const auto kv_cap_tokens =
       static_cast<std::int64_t>(sim_.kv_capacity_tokens(probe));
+  const std::int64_t kv_bpt =
+      std::llround(sim_.kv_bytes_per_token_device(probe));
+  if (kv_cap_tokens > 0 && kv_bpt > 0) {
+    scfg.kv_capacity_bytes = kv_cap_tokens * kv_bpt;
+    scfg.kv_bytes_per_token = kv_bpt;
+  } else {
+    scfg.kv_capacity_tokens = kv_cap_tokens;
+  }
   scfg.reservation_frac = fw.conservative_admission ? 1.0 : 0.25;
   scfg.order = opts.order;
   scfg.sjf_aging_tokens_per_round = opts.sjf_aging_tokens_per_round;
@@ -218,6 +228,10 @@ ClusterSimulator::Result ClusterSimulator::run_trace(
     rc.step_cfg_fp8 = step_cfg_fp8;
     rc.sched = scfg;
     rc.base_max_batch = scfg.max_batch;
+    rc.kv_bytes_per_token_fp8 = scfg.kv_capacity_bytes > 0
+                                    ? std::llround(sim_.kv_bytes_per_token_device(
+                                          step_cfg_fp8))
+                                    : 0;
     rc.faults = profile_for(id);
     rc.resilience = opts.resilience;
     rc.slo_ttft_s = opts.slo_ttft_s;

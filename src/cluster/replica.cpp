@@ -280,6 +280,12 @@ bool Replica::try_iteration() {
   process_failures();
   if (rp.degradation.enabled) {
     scheduler_.set_max_batch(degrade_.max_batch(cfg_.base_max_batch, now_));
+    // FP8 degradation shrinks bytes-per-token: same pool, more residents.
+    if (rp.degradation.quantize_kv && cfg_.kv_bytes_per_token_fp8 > 0) {
+      scheduler_.set_kv_bytes_per_token(degrade_.degraded_at(now_)
+                                            ? cfg_.kv_bytes_per_token_fp8
+                                            : cfg_.sched.kv_bytes_per_token);
+    }
   }
   sh_->sample_queue(cfg_.id, scheduler_.waiting_requests());
 

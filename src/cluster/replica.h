@@ -116,6 +116,8 @@ class Replica {
     sim::SimConfig step_cfg_fp8;  ///< degraded steps (FP8 KV)
     sched::Scheduler::Config sched;
     std::int64_t base_max_batch = 0;
+    /// KV bytes-per-token while FP8-degraded (0 = no byte budgeting).
+    std::int64_t kv_bytes_per_token_fp8 = 0;
     fault::FaultProfile faults;
     fault::ResiliencePolicy resilience;
     double slo_ttft_s = 0.0;

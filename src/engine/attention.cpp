@@ -26,9 +26,8 @@ AttnScratch& AttnScratch::local() {
 
 void attend(std::span<const float> q, std::span<float> out, const KvStore& kv,
             int layer, std::size_t pos, std::size_t store_len,
-            const float* chunk_k, const float* chunk_v, std::size_t kv_dim,
-            std::size_t head_dim, std::int64_t sliding_window,
-            AttnScratch& scratch) {
+            const KvRun* chunk, std::size_t kv_dim, std::size_t head_dim,
+            std::int64_t sliding_window, AttnScratch& scratch) {
   util::require(q.size() == out.size() && q.size() % head_dim == 0 &&
                     kv_dim % head_dim == 0,
                 "attend: bad head geometry");
@@ -58,18 +57,27 @@ void attend(std::span<const float> q, std::span<float> out, const KvStore& kv,
     if (first < store_end) kv.runs(layer, first, store_end - first, scratch.runs);
     const std::size_t cfirst = std::max(first, store_len);
     if (len > cfirst)
-      scratch.runs.push_back({chunk_k + (cfirst - store_len) * kv_dim,
-                              chunk_v + (cfirst - store_len) * kv_dim,
-                              len - cfirst});
+      scratch.runs.push_back(
+          chunk->slice(cfirst - store_len, len - cfirst, kv_dim));
   }
 
+  // Per-position reference reads. Quantized chunk rows dequantize into
+  // scratch — the store side already returns dequantized rows from its own
+  // scratch, and both produce exactly the in-register values of the fused
+  // kernels, so this path IS the bitwise reference for the runs path.
+  const auto chunk_row = [&](std::size_t p, bool value) -> const float* {
+    const std::size_t i = p - store_len;
+    if (chunk->fmt == KvQuant::kFp32)
+      return (value ? chunk->v : chunk->k) + i * kv_dim;
+    auto row = scratch_span(scratch.dq_row, kv_dim);
+    dequantize_run_row(*chunk, i, value, kv_dim, row);
+    return row.data();
+  };
   const auto key_at = [&](std::size_t p) -> const float* {
-    return p < store_len ? kv.key(layer, p).data()
-                         : chunk_k + (p - store_len) * kv_dim;
+    return p < store_len ? kv.key(layer, p).data() : chunk_row(p, false);
   };
   const auto value_at = [&](std::size_t p) -> const float* {
-    return p < store_len ? kv.value(layer, p).data()
-                         : chunk_v + (p - store_len) * kv_dim;
+    return p < store_len ? kv.value(layer, p).data() : chunk_row(p, true);
   };
 
   {
@@ -91,8 +99,22 @@ void attend(std::span<const float> q, std::span<float> out, const KvStore& kv,
         } else {
           std::size_t t = 0;
           for (const KvRun& r : scratch.runs) {
-            ks.attn_scores(q_head, r.k + kv_h * head_dim, head_dim, kv_dim,
-                           r.len, scale, row + t);
+            switch (r.fmt) {
+              case KvQuant::kFp32:
+                ks.attn_scores(q_head, r.k + kv_h * head_dim, head_dim, kv_dim,
+                               r.len, scale, row + t);
+                break;
+              case KvQuant::kInt8:
+                ks.attn_scores_q8(
+                    q_head,
+                    reinterpret_cast<const std::int8_t*>(r.kq) + kv_h * head_dim,
+                    r.k_scale, head_dim, kv_dim, r.len, scale, row + t);
+                break;
+              case KvQuant::kFp8:
+                ks.attn_scores_f8(q_head, r.kq + kv_h * head_dim, head_dim,
+                                  kv_dim, r.len, scale, row + t);
+                break;
+            }
             t += r.len;
           }
         }
@@ -116,8 +138,22 @@ void attend(std::span<const float> q, std::span<float> out, const KvStore& kv,
       } else {
         std::size_t t = 0;
         for (const KvRun& r : scratch.runs) {
-          ks.attn_av(row + t, r.v + kv_h * head_dim, head_dim, kv_dim, r.len,
-                     o_head);
+          switch (r.fmt) {
+            case KvQuant::kFp32:
+              ks.attn_av(row + t, r.v + kv_h * head_dim, head_dim, kv_dim,
+                         r.len, o_head);
+              break;
+            case KvQuant::kInt8:
+              ks.attn_av_q8(
+                  row + t,
+                  reinterpret_cast<const std::int8_t*>(r.vq) + kv_h * head_dim,
+                  r.v_scale, head_dim, kv_dim, r.len, o_head);
+              break;
+            case KvQuant::kFp8:
+              ks.attn_av_f8(row + t, r.vq + kv_h * head_dim, head_dim, kv_dim,
+                            r.len, o_head);
+              break;
+          }
           t += r.len;
         }
       }

@@ -49,6 +49,7 @@ struct AttnScratch {
   std::vector<float> q, k, v;  ///< rotated QKV projections (decode)
   std::vector<float> attn_out; ///< pre-Wo attention output
   std::vector<float> gate, up, down, xin;  ///< FFN / expert buffers
+  std::vector<float> dq_row;   ///< per-position dequant row (quantized chunk)
 
   /// This thread's scratch (thread_local; pool workers persist, so buffers
   /// are warm across steps).
@@ -69,15 +70,18 @@ inline std::span<float> scratch_span(std::vector<float>& buf, std::size_t n) {
 /// `q` holds n_heads = q.size()/head_dim rotated query heads; `out` (same
 /// size) receives the concatenated head outputs (overwritten, not
 /// accumulated). Positions [0, store_len) are read from `kv`; positions
-/// [store_len, pos] from the row-major chunk buffers `chunk_k`/`chunk_v`
-/// (may be null when pos < store_len — the pure decode case). GQA derives
+/// [store_len, pos] from `chunk` — a run describing the FULL row-major
+/// prefill chunk starting at position store_len (sliced per call; may be
+/// null when pos < store_len, the pure decode case). The chunk run may be
+/// fp32 or quantized; quantized stores and chunks dispatch to the fused
+/// dequant-in-register kernels run by run, so mixed-format histories (fp32
+/// prefix frozen before an FP8 switch) work transparently. GQA derives
 /// from kv_dim: group = n_heads / (kv_dim / head_dim); each kv head's K/V
 /// slabs are streamed once for its whole group of query heads.
 /// `sliding_window` <= 0 means full attention.
 void attend(std::span<const float> q, std::span<float> out, const KvStore& kv,
             int layer, std::size_t pos, std::size_t store_len,
-            const float* chunk_k, const float* chunk_v, std::size_t kv_dim,
-            std::size_t head_dim, std::int64_t sliding_window,
-            AttnScratch& scratch);
+            const KvRun* chunk, std::size_t kv_dim, std::size_t head_dim,
+            std::int64_t sliding_window, AttnScratch& scratch);
 
 }  // namespace llmib::engine

@@ -90,8 +90,8 @@ std::vector<std::vector<float>> BatchedTransformer::forward_batch(
       // stays warm across layers and steps — no per-token allocation.
       attend(std::span<const float>(q).subspan(b * q_dim, q_dim),
              std::span<float>(attn_out).subspan(b * q_dim, q_dim), kv, layer,
-             pos, pos + 1, nullptr, nullptr, kv_dim, head_dim,
-             cfg.sliding_window, AttnScratch::local());
+             pos, pos + 1, nullptr, kv_dim, head_dim, cfg.sliding_window,
+             AttnScratch::local());
     });
     batched_matmul(lw.wo, attn_out, proj, hidden, q_dim, batch);
     for (std::size_t i = 0; i < batch * hidden; ++i) x[i] += proj[i];

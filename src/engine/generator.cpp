@@ -86,7 +86,7 @@ obs::Counter& prefix_forked_blocks_counter() {
 ServingEngine::ServingEngine(const MiniTransformer& model, Config cfg)
     : model_(model),
       cfg_(cfg),
-      pool_(cfg.pool_blocks, cfg.block_size, model.kv_dims()),
+      pool_(cfg.pool_blocks, cfg.block_size, model.kv_dims(), cfg.kv_quant),
       scheduler_([&] {
         sched::Scheduler::Config sc;
         sc.policy = cfg.policy;

@@ -73,6 +73,13 @@ class ServingEngine {
     /// Bounded entry count for the radix index (capacity policy on top of
     /// memory-pressure eviction).
     std::size_t prefix_cache_entries = 32;
+    /// Storage format of the shared paged pool. Quantized pools store K/V
+    /// as int8 (per-vector scale) or FP8-E4M3 bytes; attention reads them
+    /// through the fused dequant-in-register kernels, and COW forks /
+    /// prefix-cache borrows copy bytes (never requantize). fp8 quarters the
+    /// per-token footprint vs fp32, so the same pool_blocks hold 4x the
+    /// context.
+    KvQuant kv_quant = KvQuant::kFp32;
   };
 
   /// Prefix-cache effectiveness counters (engine-level: hits count only

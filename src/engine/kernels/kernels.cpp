@@ -64,4 +64,37 @@ Backend set_backend(Backend b) {
   return previous;
 }
 
+namespace {
+
+float decode_e4m3(std::uint8_t byte) {
+  const bool neg = (byte & 0x80u) != 0;
+  const int exp_field = (byte >> 3) & 0xF;
+  const int mant = byte & 0x7;
+  float v;
+  if (exp_field == 0) {
+    // Subnormals: mant * 2^-9 (including +-0 at mant == 0).
+    v = static_cast<float>(mant) * 0.001953125f;
+  } else if (exp_field == 15 && mant == 7) {
+    v = __builtin_nanf("");  // E4M3 has no inf; 0x7F/0xFF are NaN
+  } else {
+    v = (1.0f + static_cast<float>(mant) / 8.0f) *
+        static_cast<float>(1u << exp_field) / 128.0f;  // 2^(exp_field - 7)
+  }
+  return neg ? -v : v;
+}
+
+struct Fp8Table {
+  float v[256];
+  Fp8Table() {
+    for (int b = 0; b < 256; ++b) v[b] = decode_e4m3(static_cast<std::uint8_t>(b));
+  }
+};
+
+}  // namespace
+
+const float* fp8_e4m3_table() {
+  static const Fp8Table table;
+  return table.v;
+}
+
 }  // namespace llmib::engine::kernels

@@ -75,7 +75,47 @@ struct KernelSet {
   /// segmentation is again invisible bitwise within a backend.
   void (*attn_av)(const float* scores, const float* v, std::size_t head_dim,
                   std::size_t stride, std::size_t count, float* out);
+
+  /// Fused int8-KV attention scores (dequant-in-register). K rows are int8
+  /// bytes `stride` apart with one fp32 scale per row (k_scale[t]). Every
+  /// element is dequantized as fl(float(k8) * scale) — rounded to fp32
+  /// BEFORE entering the dot — and then fed through the backend's fp32 dot
+  /// discipline, so the result is bitwise identical to attn_scores() on a
+  /// buffer holding exactly those dequantized values, and a count=n call is
+  /// bitwise identical to n count=1 calls.
+  void (*attn_scores_q8)(const float* q, const std::int8_t* k,
+                         const float* k_scale, std::size_t head_dim,
+                         std::size_t stride, std::size_t count, float scale,
+                         float* scores);
+
+  /// Fused int8-KV AV accumulation: out[d] += scores[t] * fl(float(v8) *
+  /// v_scale[t]). Same dequant-in-register rounding and per-element
+  /// accumulation order as attn_av() on the dequantized buffer.
+  void (*attn_av_q8)(const float* scores, const std::int8_t* v,
+                     const float* v_scale, std::size_t head_dim,
+                     std::size_t stride, std::size_t count, float* out);
+
+  /// Fused FP8-E4M3-KV attention scores: each byte dequantizes through the
+  /// shared fp8_e4m3_table() (exact, no rounding beyond the stored value)
+  /// then follows the fp32 dot discipline — bitwise identical to
+  /// attn_scores() on the table-decoded buffer.
+  void (*attn_scores_f8)(const float* q, const std::uint8_t* k,
+                         std::size_t head_dim, std::size_t stride,
+                         std::size_t count, float scale, float* scores);
+
+  /// Fused FP8-E4M3-KV AV accumulation, table-decoded in register.
+  void (*attn_av_f8)(const float* scores, const std::uint8_t* v,
+                     std::size_t head_dim, std::size_t stride,
+                     std::size_t count, float* out);
 };
+
+/// 256-entry FP8-E4M3 decode table: table[b] is the fp32 value of byte b
+/// (bias 7, 3-bit mantissa, subnormal step 2^-9, max normal 448; 0x7F/0xFF
+/// decode to NaN). table[0x00] is exactly +0.0f — AVX2 tail handling
+/// zero-pads byte lanes and relies on the padded lanes decoding to +0.
+/// Single source of truth for fp8 dequantization: quant::fp8_e4m3_decode
+/// and every f8 kernel read THIS table.
+const float* fp8_e4m3_table();
 
 /// True when this build/CPU can run `b` (kScalar/kPortable: always; kAvx2:
 /// x86-64 builds on CPUs with AVX2 and FMA).

@@ -289,6 +289,126 @@ void avx2_attn_av(const float* scores, const float* v, std::size_t head_dim,
   }
 }
 
+// Quantized-KV variants. Dequantization happens in register — int8 bytes
+// widen via cvtepi8_epi32 -> cvtepi32_ps then one mul_ps by the broadcast
+// row scale (the fp32 rounding of float(q8)*scale, per lane); fp8 bytes
+// widen via cvtepu8_epi32 then gather from the shared decode table. The
+// dequantized vector then enters the SAME fmadd sequence as the fp32
+// kernels, so results are bitwise identical to avx2_attn_scores/avx2_attn_av
+// on a buffer of dequantized values. Tails zero-pad the byte lanes: padded
+// int8 lanes dequantize to fl(0*s) == +0 and table[0x00] == +0, exactly the
+// contribution a masked fp32 load produces.
+inline __m256 dequant8_q8(const std::int8_t* p, __m256 sv) {
+  const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes)), sv);
+}
+
+inline __m256 dequant8_q8_tail(const std::int8_t* p, std::size_t n, __m256 sv) {
+  alignas(16) std::int8_t buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t j = 0; j < n; ++j) buf[j] = p[j];
+  return dequant8_q8(buf, sv);
+}
+
+inline __m256 dequant8_f8(const std::uint8_t* p, const float* table) {
+  const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_i32gather_ps(table, _mm256_cvtepu8_epi32(bytes), 4);
+}
+
+inline __m256 dequant8_f8_tail(const std::uint8_t* p, std::size_t n,
+                               const float* table) {
+  alignas(16) std::uint8_t buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t j = 0; j < n; ++j) buf[j] = p[j];
+  return dequant8_f8(buf, table);
+}
+
+void avx2_attn_scores_q8(const float* q, const std::int8_t* k,
+                         const float* k_scale, std::size_t head_dim,
+                         std::size_t stride, std::size_t count, float scale,
+                         float* scores) {
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::int8_t* kt = k + t * stride;
+    const __m256 sv = _mm256_broadcast_ss(k_scale + t);
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t c = 0;
+    for (; c + 8 <= head_dim; c += 8)
+      acc = _mm256_fmadd_ps(dequant8_q8(kt + c, sv), _mm256_loadu_ps(q + c), acc);
+    if (c < head_dim) {
+      const std::size_t n = head_dim - c;
+      acc = _mm256_fmadd_ps(dequant8_q8_tail(kt + c, n, sv),
+                            _mm256_maskload_ps(q + c, tail_mask(n)), acc);
+    }
+    scores[t] = reduce8(acc) * scale;
+  }
+}
+
+void avx2_attn_av_q8(const float* scores, const std::int8_t* v,
+                     const float* v_scale, std::size_t head_dim,
+                     std::size_t stride, std::size_t count, float* out) {
+  std::size_t d = 0;
+  for (; d + 8 <= head_dim; d += 8) {
+    __m256 acc = _mm256_loadu_ps(out + d);
+    for (std::size_t t = 0; t < count; ++t)
+      acc = _mm256_fmadd_ps(
+          _mm256_broadcast_ss(scores + t),
+          dequant8_q8(v + t * stride + d, _mm256_broadcast_ss(v_scale + t)), acc);
+    _mm256_storeu_ps(out + d, acc);
+  }
+  if (d < head_dim) {
+    const std::size_t n = head_dim - d;
+    const __m256i m = tail_mask(n);
+    __m256 acc = _mm256_maskload_ps(out + d, m);
+    for (std::size_t t = 0; t < count; ++t)
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(scores + t),
+                            dequant8_q8_tail(v + t * stride + d, n,
+                                             _mm256_broadcast_ss(v_scale + t)),
+                            acc);
+    _mm256_maskstore_ps(out + d, m, acc);
+  }
+}
+
+void avx2_attn_scores_f8(const float* q, const std::uint8_t* k,
+                         std::size_t head_dim, std::size_t stride,
+                         std::size_t count, float scale, float* scores) {
+  const float* table = fp8_e4m3_table();
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::uint8_t* kt = k + t * stride;
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t c = 0;
+    for (; c + 8 <= head_dim; c += 8)
+      acc = _mm256_fmadd_ps(dequant8_f8(kt + c, table), _mm256_loadu_ps(q + c),
+                            acc);
+    if (c < head_dim) {
+      const std::size_t n = head_dim - c;
+      acc = _mm256_fmadd_ps(dequant8_f8_tail(kt + c, n, table),
+                            _mm256_maskload_ps(q + c, tail_mask(n)), acc);
+    }
+    scores[t] = reduce8(acc) * scale;
+  }
+}
+
+void avx2_attn_av_f8(const float* scores, const std::uint8_t* v,
+                     std::size_t head_dim, std::size_t stride,
+                     std::size_t count, float* out) {
+  const float* table = fp8_e4m3_table();
+  std::size_t d = 0;
+  for (; d + 8 <= head_dim; d += 8) {
+    __m256 acc = _mm256_loadu_ps(out + d);
+    for (std::size_t t = 0; t < count; ++t)
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(scores + t),
+                            dequant8_f8(v + t * stride + d, table), acc);
+    _mm256_storeu_ps(out + d, acc);
+  }
+  if (d < head_dim) {
+    const std::size_t n = head_dim - d;
+    const __m256i m = tail_mask(n);
+    __m256 acc = _mm256_maskload_ps(out + d, m);
+    for (std::size_t t = 0; t < count; ++t)
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(scores + t),
+                            dequant8_f8_tail(v + t * stride + d, n, table), acc);
+    _mm256_maskstore_ps(out + d, m, acc);
+  }
+}
+
 bool runtime_supported() {
 #if defined(__GNUC__) || defined(__clang__)
   __builtin_cpu_init();
@@ -306,7 +426,9 @@ const KernelSet* avx2_kernels() {
   static const KernelSet k = {Backend::kAvx2, "avx2",       avx2_dot,
                               avx2_matvec,    avx2_matvec3, avx2_matmul_nt,
                               avx2_gemv_i8,   avx2_attn_scores,
-                              avx2_attn_av};
+                              avx2_attn_av,   avx2_attn_scores_q8,
+                              avx2_attn_av_q8, avx2_attn_scores_f8,
+                              avx2_attn_av_f8};
   return &k;
 }
 

@@ -154,6 +154,112 @@ LLMIB_NOINLINE void portable_attn_av(const float* scores, const float* v,
   }
 }
 
+// Quantized-KV variants: per-element dequant fl(float(b) * s) (resp. the
+// fp8 table value) rounds to fp32 in register, then enters the SAME lane
+// discipline as lanes_dot / portable_attn_av — bitwise identical to the
+// fp32 kernels on a buffer of dequantized values.
+LLMIB_NOINLINE float lanes_dot_q8(const float* a, const std::int8_t* b, float s,
+                                  std::size_t n) {
+  float acc[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t c = 0;
+  for (; c + kLanes <= n; c += kLanes)
+    for (std::size_t j = 0; j < kLanes; ++j)
+      acc[j] += a[c + j] * (static_cast<float>(b[c + j]) * s);
+  for (std::size_t j = 0; c + j < n; ++j)
+    acc[j] += a[c + j] * (static_cast<float>(b[c + j]) * s);
+  return reduce_lanes(acc);
+}
+
+void portable_attn_scores_q8(const float* q, const std::int8_t* k,
+                             const float* k_scale, std::size_t head_dim,
+                             std::size_t stride, std::size_t count, float scale,
+                             float* scores) {
+  std::size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    const std::int8_t* kt = k + t * stride;
+    scores[t + 0] = lanes_dot_q8(q, kt + 0 * stride, k_scale[t + 0], head_dim) * scale;
+    scores[t + 1] = lanes_dot_q8(q, kt + 1 * stride, k_scale[t + 1], head_dim) * scale;
+    scores[t + 2] = lanes_dot_q8(q, kt + 2 * stride, k_scale[t + 2], head_dim) * scale;
+    scores[t + 3] = lanes_dot_q8(q, kt + 3 * stride, k_scale[t + 3], head_dim) * scale;
+  }
+  for (; t < count; ++t)
+    scores[t] = lanes_dot_q8(q, k + t * stride, k_scale[t], head_dim) * scale;
+}
+
+LLMIB_NOINLINE void portable_attn_av_q8(const float* scores, const std::int8_t* v,
+                                        const float* v_scale, std::size_t head_dim,
+                                        std::size_t stride, std::size_t count,
+                                        float* out) {
+  std::size_t d = 0;
+  for (; d + kLanes <= head_dim; d += kLanes) {
+    float acc[kLanes];
+    for (std::size_t j = 0; j < kLanes; ++j) acc[j] = out[d + j];
+    for (std::size_t t = 0; t < count; ++t) {
+      const float w = scores[t];
+      const float s = v_scale[t];
+      const std::int8_t* vt = v + t * stride + d;
+      for (std::size_t j = 0; j < kLanes; ++j)
+        acc[j] += w * (static_cast<float>(vt[j]) * s);
+    }
+    for (std::size_t j = 0; j < kLanes; ++j) out[d + j] = acc[j];
+  }
+  for (; d < head_dim; ++d) {
+    float acc = out[d];
+    for (std::size_t t = 0; t < count; ++t)
+      acc += scores[t] * (static_cast<float>(v[t * stride + d]) * v_scale[t]);
+    out[d] = acc;
+  }
+}
+
+LLMIB_NOINLINE float lanes_dot_f8(const float* a, const std::uint8_t* b,
+                                  const float* table, std::size_t n) {
+  float acc[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t c = 0;
+  for (; c + kLanes <= n; c += kLanes)
+    for (std::size_t j = 0; j < kLanes; ++j) acc[j] += a[c + j] * table[b[c + j]];
+  for (std::size_t j = 0; c + j < n; ++j) acc[j] += a[c + j] * table[b[c + j]];
+  return reduce_lanes(acc);
+}
+
+void portable_attn_scores_f8(const float* q, const std::uint8_t* k,
+                             std::size_t head_dim, std::size_t stride,
+                             std::size_t count, float scale, float* scores) {
+  const float* table = fp8_e4m3_table();
+  std::size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    const std::uint8_t* kt = k + t * stride;
+    scores[t + 0] = lanes_dot_f8(q, kt + 0 * stride, table, head_dim) * scale;
+    scores[t + 1] = lanes_dot_f8(q, kt + 1 * stride, table, head_dim) * scale;
+    scores[t + 2] = lanes_dot_f8(q, kt + 2 * stride, table, head_dim) * scale;
+    scores[t + 3] = lanes_dot_f8(q, kt + 3 * stride, table, head_dim) * scale;
+  }
+  for (; t < count; ++t)
+    scores[t] = lanes_dot_f8(q, k + t * stride, table, head_dim) * scale;
+}
+
+LLMIB_NOINLINE void portable_attn_av_f8(const float* scores, const std::uint8_t* v,
+                                        std::size_t head_dim, std::size_t stride,
+                                        std::size_t count, float* out) {
+  const float* table = fp8_e4m3_table();
+  std::size_t d = 0;
+  for (; d + kLanes <= head_dim; d += kLanes) {
+    float acc[kLanes];
+    for (std::size_t j = 0; j < kLanes; ++j) acc[j] = out[d + j];
+    for (std::size_t t = 0; t < count; ++t) {
+      const float w = scores[t];
+      const std::uint8_t* vt = v + t * stride + d;
+      for (std::size_t j = 0; j < kLanes; ++j) acc[j] += w * table[vt[j]];
+    }
+    for (std::size_t j = 0; j < kLanes; ++j) out[d + j] = acc[j];
+  }
+  for (; d < head_dim; ++d) {
+    float acc = out[d];
+    for (std::size_t t = 0; t < count; ++t)
+      acc += scores[t] * table[v[t * stride + d]];
+    out[d] = acc;
+  }
+}
+
 }  // namespace
 
 const KernelSet& portable_kernels() {
@@ -161,7 +267,9 @@ const KernelSet& portable_kernels() {
                               lanes_dot,          portable_matvec,
                               portable_matvec3,   portable_matmul_nt,
                               portable_gemv_i8,   portable_attn_scores,
-                              portable_attn_av};
+                              portable_attn_av,   portable_attn_scores_q8,
+                              portable_attn_av_q8, portable_attn_scores_f8,
+                              portable_attn_av_f8};
   return k;
 }
 

@@ -79,13 +79,75 @@ LLMIB_NOINLINE void scalar_attn_av(const float* scores, const float* v,
   }
 }
 
+// Quantized-KV variants. Each element dequantizes in register — the inner
+// product fl(float(b) * s) rounds to fp32 before entering the accumulation
+// chain — and then follows the exact same order as the fp32 kernel above,
+// so results are bitwise identical to running the fp32 kernel on a buffer
+// of dequantized values. noinline keeps every call site's rounding uniform.
+LLMIB_NOINLINE float scalar_dot_q8(const float* a, const std::int8_t* b,
+                                   float s, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += a[i] * (static_cast<float>(b[i]) * s);
+  return acc;
+}
+
+void scalar_attn_scores_q8(const float* q, const std::int8_t* k,
+                           const float* k_scale, std::size_t head_dim,
+                           std::size_t stride, std::size_t count, float scale,
+                           float* scores) {
+  for (std::size_t t = 0; t < count; ++t)
+    scores[t] = scalar_dot_q8(q, k + t * stride, k_scale[t], head_dim) * scale;
+}
+
+LLMIB_NOINLINE void scalar_attn_av_q8(const float* scores, const std::int8_t* v,
+                                      const float* v_scale, std::size_t head_dim,
+                                      std::size_t stride, std::size_t count,
+                                      float* out) {
+  for (std::size_t t = 0; t < count; ++t) {
+    const float w = scores[t];
+    const float s = v_scale[t];
+    const std::int8_t* vt = v + t * stride;
+    for (std::size_t d = 0; d < head_dim; ++d)
+      out[d] += w * (static_cast<float>(vt[d]) * s);
+  }
+}
+
+LLMIB_NOINLINE float scalar_dot_f8(const float* a, const std::uint8_t* b,
+                                   const float* table, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * table[b[i]];
+  return acc;
+}
+
+void scalar_attn_scores_f8(const float* q, const std::uint8_t* k,
+                           std::size_t head_dim, std::size_t stride,
+                           std::size_t count, float scale, float* scores) {
+  const float* table = fp8_e4m3_table();
+  for (std::size_t t = 0; t < count; ++t)
+    scores[t] = scalar_dot_f8(q, k + t * stride, table, head_dim) * scale;
+}
+
+LLMIB_NOINLINE void scalar_attn_av_f8(const float* scores, const std::uint8_t* v,
+                                      std::size_t head_dim, std::size_t stride,
+                                      std::size_t count, float* out) {
+  const float* table = fp8_e4m3_table();
+  for (std::size_t t = 0; t < count; ++t) {
+    const float w = scores[t];
+    const std::uint8_t* vt = v + t * stride;
+    for (std::size_t d = 0; d < head_dim; ++d) out[d] += w * table[vt[d]];
+  }
+}
+
 }  // namespace
 
 const KernelSet& scalar_kernels() {
   static const KernelSet k = {Backend::kScalar, "scalar",      scalar_dot,
                               scalar_matvec,    scalar_matvec3, scalar_matmul_nt,
                               scalar_gemv_i8,   scalar_attn_scores,
-                              scalar_attn_av};
+                              scalar_attn_av,   scalar_attn_scores_q8,
+                              scalar_attn_av_q8, scalar_attn_scores_f8,
+                              scalar_attn_av_f8};
   return k;
 }
 

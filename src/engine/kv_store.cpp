@@ -1,13 +1,82 @@
 #include "engine/kv_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
+#include "engine/kernels/kernels.h"
+#include "quant/numeric.h"
 #include "util/check.h"
 
 namespace llmib::engine {
 
 using util::require;
+
+// ------------------------------------------------------------------ helpers
+
+KvRun KvRun::slice(std::size_t off, std::size_t n, std::size_t dim) const {
+  KvRun r = *this;
+  r.len = n;
+  if (r.k != nullptr) r.k += off * dim;
+  if (r.v != nullptr) r.v += off * dim;
+  if (r.kq != nullptr) r.kq += off * dim;
+  if (r.vq != nullptr) r.vq += off * dim;
+  if (r.k_scale != nullptr) r.k_scale += off;
+  if (r.v_scale != nullptr) r.v_scale += off;
+  return r;
+}
+
+float quantize_kv_row(KvQuant fmt, std::span<const float> row, std::uint8_t* out) {
+  if (fmt == KvQuant::kInt8) {
+    float amax = 0.0f;
+    for (const float x : row) amax = std::max(amax, std::fabs(x));
+    const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    const float inv = 1.0f / scale;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const float q = std::clamp(std::nearbyint(row[i] * inv), -127.0f, 127.0f);
+      out[i] = static_cast<std::uint8_t>(static_cast<std::int8_t>(q));
+    }
+    return scale;
+  }
+  require(fmt == KvQuant::kFp8, "quantize_kv_row: fp32 rows are not quantized");
+  for (std::size_t i = 0; i < row.size(); ++i)
+    out[i] = quant::fp8_e4m3_encode(row[i]);
+  return 1.0f;
+}
+
+void dequantize_kv_row(KvQuant fmt, const std::uint8_t* bytes, float scale,
+                       std::span<float> out) {
+  if (fmt == KvQuant::kInt8) {
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = static_cast<float>(static_cast<std::int8_t>(bytes[i])) * scale;
+    return;
+  }
+  require(fmt == KvQuant::kFp8, "dequantize_kv_row: fp32 rows are not quantized");
+  const float* table = kernels::fp8_e4m3_table();
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = table[bytes[i]];
+}
+
+void dequantize_run_row(const KvRun& r, std::size_t idx, bool value,
+                        std::size_t dim, std::span<float> out) {
+  require(r.fmt != KvQuant::kFp32, "dequantize_run_row: fp32 run");
+  require(idx < r.len && out.size() == dim, "dequantize_run_row: bad row");
+  const std::uint8_t* bytes = (value ? r.vq : r.kq) + idx * dim;
+  const float* scales = value ? r.v_scale : r.k_scale;
+  dequantize_kv_row(r.fmt, bytes, scales != nullptr ? scales[idx] : 1.0f, out);
+}
+
+std::size_t kv_quant_bytes_per_token(const std::vector<std::size_t>& kv_dims,
+                                     KvQuant fmt) {
+  std::size_t bytes = 0;
+  for (const std::size_t dim : kv_dims) {
+    switch (fmt) {
+      case KvQuant::kFp32: bytes += 2 * dim * sizeof(float); break;
+      case KvQuant::kInt8: bytes += 2 * dim + 2 * sizeof(float); break;
+      case KvQuant::kFp8: bytes += 2 * dim; break;
+    }
+  }
+  return bytes;
+}
 
 // --------------------------------------------------------------------- base
 
@@ -16,6 +85,12 @@ void KvStore::runs(int layer, std::size_t first, std::size_t len,
   // Fallback for stores without a native slab layout: one run per position.
   for (std::size_t p = first; p < first + len; ++p)
     out.push_back({key(layer, p).data(), value(layer, p).data(), 1});
+}
+
+bool KvStore::append_quantized(int, KvQuant, std::span<const std::uint8_t>,
+                               std::span<const std::uint8_t>, float, float) {
+  require(false, "KvStore: append_quantized needs a quantized store");
+  return false;
 }
 
 // ---------------------------------------------------------------- contiguous
@@ -80,23 +155,50 @@ std::size_t ContiguousKvStore::stored_floats() const {
 // --------------------------------------------------------------------- pool
 
 PagedKvPool::PagedKvPool(std::uint32_t total_blocks, std::uint32_t block_size,
-                         std::vector<std::size_t> kv_dims)
+                         std::vector<std::size_t> kv_dims, KvQuant fmt)
     : alloc_(total_blocks, block_size),
       block_size_(block_size),
-      kv_dims_(std::move(kv_dims)) {
+      kv_dims_(std::move(kv_dims)),
+      fmt_(fmt) {
   require(!kv_dims_.empty(), "PagedKvPool: need at least one layer");
-  keys_.resize(kv_dims_.size());
-  values_.resize(kv_dims_.size());
-  for (std::size_t l = 0; l < kv_dims_.size(); ++l) {
+  const std::size_t layers = kv_dims_.size();
+  if (fmt_ == KvQuant::kFp32) {
+    keys_.resize(layers);
+    values_.resize(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+      const std::size_t n =
+          static_cast<std::size_t>(total_blocks) * block_size * kv_dims_[l];
+      keys_[l].assign(n, 0.0f);
+      values_[l].assign(n, 0.0f);
+    }
+    return;
+  }
+  key_bytes_.resize(layers);
+  value_bytes_.resize(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
     const std::size_t n =
         static_cast<std::size_t>(total_blocks) * block_size * kv_dims_[l];
-    keys_[l].assign(n, 0.0f);
-    values_[l].assign(n, 0.0f);
+    key_bytes_[l].assign(n, 0);
+    value_bytes_[l].assign(n, 0);
   }
+  if (fmt_ == KvQuant::kInt8) {
+    const std::size_t slots = static_cast<std::size_t>(total_blocks) * block_size;
+    key_scales_.resize(layers);
+    value_scales_.resize(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+      key_scales_[l].assign(slots, 1.0f);
+      value_scales_[l].assign(slots, 1.0f);
+    }
+  }
+}
+
+std::size_t PagedKvPool::bytes_per_token() const {
+  return kv_quant_bytes_per_token(kv_dims_, fmt_);
 }
 
 std::span<float> PagedKvPool::key_slot(int layer, kv::BlockId block,
                                        std::uint32_t offset) {
+  require(fmt_ == KvQuant::kFp32, "PagedKvPool: fp32 slot on quantized pool");
   const auto l = static_cast<std::size_t>(layer);
   const std::size_t dim = kv_dims_[l];
   return {keys_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
@@ -105,6 +207,7 @@ std::span<float> PagedKvPool::key_slot(int layer, kv::BlockId block,
 
 std::span<float> PagedKvPool::value_slot(int layer, kv::BlockId block,
                                          std::uint32_t offset) {
+  require(fmt_ == KvQuant::kFp32, "PagedKvPool: fp32 slot on quantized pool");
   const auto l = static_cast<std::size_t>(layer);
   const std::size_t dim = kv_dims_[l];
   return {values_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
@@ -113,6 +216,7 @@ std::span<float> PagedKvPool::value_slot(int layer, kv::BlockId block,
 
 std::span<const float> PagedKvPool::key_slot(int layer, kv::BlockId block,
                                              std::uint32_t offset) const {
+  require(fmt_ == KvQuant::kFp32, "PagedKvPool: fp32 slot on quantized pool");
   const auto l = static_cast<std::size_t>(layer);
   const std::size_t dim = kv_dims_[l];
   return {keys_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
@@ -121,20 +225,102 @@ std::span<const float> PagedKvPool::key_slot(int layer, kv::BlockId block,
 
 std::span<const float> PagedKvPool::value_slot(int layer, kv::BlockId block,
                                                std::uint32_t offset) const {
+  require(fmt_ == KvQuant::kFp32, "PagedKvPool: fp32 slot on quantized pool");
   const auto l = static_cast<std::size_t>(layer);
   const std::size_t dim = kv_dims_[l];
   return {values_[l].data() + (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
           dim};
 }
 
+std::span<std::uint8_t> PagedKvPool::key_bytes(int layer, kv::BlockId block,
+                                               std::uint32_t offset) {
+  require(fmt_ != KvQuant::kFp32, "PagedKvPool: byte slot on fp32 pool");
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {key_bytes_[l].data() +
+              (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+std::span<std::uint8_t> PagedKvPool::value_bytes(int layer, kv::BlockId block,
+                                                 std::uint32_t offset) {
+  require(fmt_ != KvQuant::kFp32, "PagedKvPool: byte slot on fp32 pool");
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {value_bytes_[l].data() +
+              (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+std::span<const std::uint8_t> PagedKvPool::key_bytes(int layer, kv::BlockId block,
+                                                     std::uint32_t offset) const {
+  require(fmt_ != KvQuant::kFp32, "PagedKvPool: byte slot on fp32 pool");
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {key_bytes_[l].data() +
+              (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+std::span<const std::uint8_t> PagedKvPool::value_bytes(int layer, kv::BlockId block,
+                                                       std::uint32_t offset) const {
+  require(fmt_ != KvQuant::kFp32, "PagedKvPool: byte slot on fp32 pool");
+  const auto l = static_cast<std::size_t>(layer);
+  const std::size_t dim = kv_dims_[l];
+  return {value_bytes_[l].data() +
+              (static_cast<std::size_t>(block) * block_size_ + offset) * dim,
+          dim};
+}
+
+float* PagedKvPool::key_scale(int layer, kv::BlockId block, std::uint32_t offset) {
+  require(fmt_ == KvQuant::kInt8, "PagedKvPool: scales exist only for int8");
+  return key_scales_[static_cast<std::size_t>(layer)].data() +
+         static_cast<std::size_t>(block) * block_size_ + offset;
+}
+
+float* PagedKvPool::value_scale(int layer, kv::BlockId block, std::uint32_t offset) {
+  require(fmt_ == KvQuant::kInt8, "PagedKvPool: scales exist only for int8");
+  return value_scales_[static_cast<std::size_t>(layer)].data() +
+         static_cast<std::size_t>(block) * block_size_ + offset;
+}
+
+const float* PagedKvPool::key_scale(int layer, kv::BlockId block,
+                                    std::uint32_t offset) const {
+  require(fmt_ == KvQuant::kInt8, "PagedKvPool: scales exist only for int8");
+  return key_scales_[static_cast<std::size_t>(layer)].data() +
+         static_cast<std::size_t>(block) * block_size_ + offset;
+}
+
+const float* PagedKvPool::value_scale(int layer, kv::BlockId block,
+                                      std::uint32_t offset) const {
+  require(fmt_ == KvQuant::kInt8, "PagedKvPool: scales exist only for int8");
+  return value_scales_[static_cast<std::size_t>(layer)].data() +
+         static_cast<std::size_t>(block) * block_size_ + offset;
+}
+
 void PagedKvPool::copy_block(kv::BlockId src, kv::BlockId dst) {
   for (std::size_t l = 0; l < kv_dims_.size(); ++l) {
     const std::size_t dim = kv_dims_[l];
     const std::size_t span = static_cast<std::size_t>(block_size_) * dim;
-    std::copy_n(keys_[l].data() + static_cast<std::size_t>(src) * span, span,
-                keys_[l].data() + static_cast<std::size_t>(dst) * span);
-    std::copy_n(values_[l].data() + static_cast<std::size_t>(src) * span, span,
-                values_[l].data() + static_cast<std::size_t>(dst) * span);
+    if (fmt_ == KvQuant::kFp32) {
+      std::copy_n(keys_[l].data() + static_cast<std::size_t>(src) * span, span,
+                  keys_[l].data() + static_cast<std::size_t>(dst) * span);
+      std::copy_n(values_[l].data() + static_cast<std::size_t>(src) * span, span,
+                  values_[l].data() + static_cast<std::size_t>(dst) * span);
+      continue;
+    }
+    std::copy_n(key_bytes_[l].data() + static_cast<std::size_t>(src) * span, span,
+                key_bytes_[l].data() + static_cast<std::size_t>(dst) * span);
+    std::copy_n(value_bytes_[l].data() + static_cast<std::size_t>(src) * span, span,
+                value_bytes_[l].data() + static_cast<std::size_t>(dst) * span);
+    if (fmt_ == KvQuant::kInt8) {
+      std::copy_n(key_scales_[l].data() + static_cast<std::size_t>(src) * block_size_,
+                  block_size_,
+                  key_scales_[l].data() + static_cast<std::size_t>(dst) * block_size_);
+      std::copy_n(value_scales_[l].data() + static_cast<std::size_t>(src) * block_size_,
+                  block_size_,
+                  value_scales_[l].data() + static_cast<std::size_t>(dst) * block_size_);
+    }
   }
 }
 
@@ -166,13 +352,13 @@ PagedKvStore::PagedKvStore(PagedKvPool& pool, kv::SeqId id,
 
 PagedKvStore::~PagedKvStore() { pool_.allocator().free_sequence(id_); }
 
-bool PagedKvStore::append(int layer, std::span<const float> k,
-                          std::span<const float> v) {
+bool PagedKvStore::claim_slot(int layer, std::size_t dim, kv::BlockId& block,
+                              std::uint32_t& offset) {
   const auto& dims = pool_.kv_dims();
   const auto l = static_cast<std::size_t>(layer);
   require(l < dims.size(), "PagedKvStore: bad layer");
   require(layer == appended_layers_, "PagedKvStore: layers must append in order");
-  require(k.size() == dims[l] && v.size() == dims[l], "PagedKvStore: kv dim mismatch");
+  require(dim == dims[l], "PagedKvStore: kv dim mismatch");
 
   // Blocks are claimed when layer 0 of a new token arrives; later layers
   // reuse the same (block, offset) since token count advances only after
@@ -184,16 +370,62 @@ bool PagedKvStore::append(int layer, std::span<const float> k,
   }
   const auto& table = pool_.allocator().block_table(id_);
   const std::size_t pos = tokens_;
-  const kv::BlockId block = table[pos / pool_.block_size()];
-  const auto offset = static_cast<std::uint32_t>(pos % pool_.block_size());
-  auto kdst = pool_.key_slot(layer, block, offset);
-  auto vdst = pool_.value_slot(layer, block, offset);
-  std::copy(k.begin(), k.end(), kdst.begin());
-  std::copy(v.begin(), v.end(), vdst.begin());
-  if (++appended_layers_ == static_cast<int>(dims.size())) {
+  block = table[pos / pool_.block_size()];
+  offset = static_cast<std::uint32_t>(pos % pool_.block_size());
+  return true;
+}
+
+void PagedKvStore::advance_layer() {
+  if (++appended_layers_ == static_cast<int>(pool_.kv_dims().size())) {
     appended_layers_ = 0;
     ++tokens_;
   }
+}
+
+bool PagedKvStore::append(int layer, std::span<const float> k,
+                          std::span<const float> v) {
+  require(k.size() == v.size(), "PagedKvStore: kv dim mismatch");
+  kv::BlockId block = 0;
+  std::uint32_t offset = 0;
+  if (!claim_slot(layer, k.size(), block, offset)) return false;
+  if (pool_.quant() == KvQuant::kFp32) {
+    auto kdst = pool_.key_slot(layer, block, offset);
+    auto vdst = pool_.value_slot(layer, block, offset);
+    std::copy(k.begin(), k.end(), kdst.begin());
+    std::copy(v.begin(), v.end(), vdst.begin());
+  } else {
+    const float ks = quantize_kv_row(pool_.quant(), k,
+                                     pool_.key_bytes(layer, block, offset).data());
+    const float vs = quantize_kv_row(pool_.quant(), v,
+                                     pool_.value_bytes(layer, block, offset).data());
+    if (pool_.quant() == KvQuant::kInt8) {
+      *pool_.key_scale(layer, block, offset) = ks;
+      *pool_.value_scale(layer, block, offset) = vs;
+    }
+  }
+  advance_layer();
+  return true;
+}
+
+bool PagedKvStore::append_quantized(int layer, KvQuant fmt,
+                                    std::span<const std::uint8_t> k,
+                                    std::span<const std::uint8_t> v,
+                                    float k_scale, float v_scale) {
+  require(fmt == pool_.quant() && fmt != KvQuant::kFp32,
+          "PagedKvStore: append_quantized format mismatch");
+  require(k.size() == v.size(), "PagedKvStore: kv dim mismatch");
+  kv::BlockId block = 0;
+  std::uint32_t offset = 0;
+  if (!claim_slot(layer, k.size(), block, offset)) return false;
+  auto kdst = pool_.key_bytes(layer, block, offset);
+  auto vdst = pool_.value_bytes(layer, block, offset);
+  std::copy(k.begin(), k.end(), kdst.begin());
+  std::copy(v.begin(), v.end(), vdst.begin());
+  if (pool_.quant() == KvQuant::kInt8) {
+    *pool_.key_scale(layer, block, offset) = k_scale;
+    *pool_.value_scale(layer, block, offset) = v_scale;
+  }
+  advance_layer();
   return true;
 }
 
@@ -206,7 +438,15 @@ std::span<const float> PagedKvStore::key(int layer, std::size_t pos) const {
   const auto& table = pool_.allocator().block_table(id_);
   const kv::BlockId block = table[pos / pool_.block_size()];
   const auto offset = static_cast<std::uint32_t>(pos % pool_.block_size());
-  return pool_.key_slot(layer, block, offset);
+  if (pool_.quant() == KvQuant::kFp32) return pool_.key_slot(layer, block, offset);
+  auto bytes = pool_.key_bytes(layer, block, offset);
+  if (dq_key_.size() < bytes.size()) dq_key_.resize(bytes.size());
+  const float scale = pool_.quant() == KvQuant::kInt8
+                          ? *pool_.key_scale(layer, block, offset)
+                          : 1.0f;
+  dequantize_kv_row(pool_.quant(), bytes.data(), scale,
+                    {dq_key_.data(), bytes.size()});
+  return {dq_key_.data(), bytes.size()};
 }
 
 std::span<const float> PagedKvStore::value(int layer, std::size_t pos) const {
@@ -214,7 +454,15 @@ std::span<const float> PagedKvStore::value(int layer, std::size_t pos) const {
   const auto& table = pool_.allocator().block_table(id_);
   const kv::BlockId block = table[pos / pool_.block_size()];
   const auto offset = static_cast<std::uint32_t>(pos % pool_.block_size());
-  return pool_.value_slot(layer, block, offset);
+  if (pool_.quant() == KvQuant::kFp32) return pool_.value_slot(layer, block, offset);
+  auto bytes = pool_.value_bytes(layer, block, offset);
+  if (dq_value_.size() < bytes.size()) dq_value_.resize(bytes.size());
+  const float scale = pool_.quant() == KvQuant::kInt8
+                          ? *pool_.value_scale(layer, block, offset)
+                          : 1.0f;
+  dequantize_kv_row(pool_.quant(), bytes.data(), scale,
+                    {dq_value_.data(), bytes.size()});
+  return {dq_value_.data(), bytes.size()};
 }
 
 void PagedKvStore::runs(int layer, std::size_t first, std::size_t len,
@@ -223,6 +471,7 @@ void PagedKvStore::runs(int layer, std::size_t first, std::size_t len,
   require(first + len <= tokens_visible(layer), "PagedKvStore: bad run range");
   const auto& table = pool_.allocator().block_table(id_);
   const std::size_t bs = pool_.block_size();
+  const KvQuant fmt = pool_.quant();
   std::size_t p = first;
   const std::size_t end = first + len;
   while (p < end) {
@@ -236,9 +485,22 @@ void PagedKvStore::runs(int layer, std::size_t first, std::size_t len,
       ++block_idx;
     const std::size_t stop = std::min(end, (block_idx + 1) * bs);
     const auto offset = static_cast<std::uint32_t>(p % bs);
-    out.push_back({pool_.key_slot(layer, table[start_block], offset).data(),
-                   pool_.value_slot(layer, table[start_block], offset).data(),
-                   stop - p});
+    if (fmt == KvQuant::kFp32) {
+      out.push_back({pool_.key_slot(layer, table[start_block], offset).data(),
+                     pool_.value_slot(layer, table[start_block], offset).data(),
+                     stop - p});
+    } else {
+      KvRun r;
+      r.len = stop - p;
+      r.fmt = fmt;
+      r.kq = pool_.key_bytes(layer, table[start_block], offset).data();
+      r.vq = pool_.value_bytes(layer, table[start_block], offset).data();
+      if (fmt == KvQuant::kInt8) {
+        r.k_scale = pool_.key_scale(layer, table[start_block], offset);
+        r.v_scale = pool_.value_scale(layer, table[start_block], offset);
+      }
+      out.push_back(r);
+    }
     p = stop;
   }
 }

@@ -9,14 +9,62 @@
 
 namespace llmib::engine {
 
+/// Storage format of cached K/V rows. Quantized formats hold ONE byte per
+/// element (plus, for int8, one fp32 scale per row) — the capacity and
+/// bandwidth lever behind the paper's FP8-KV results (§IV-B.3, Fig. 10).
+enum class KvQuant : std::uint8_t {
+  kFp32,  ///< plain float rows (the default)
+  kInt8,  ///< symmetric per-row int8: q = clamp(nearbyint(x/s), -127, 127)
+  kFp8,   ///< FP8 E4M3 bytes (bias 7, saturating at +/-448)
+};
+
 /// One maximal contiguous slab of cached K/V rows: `len` consecutive token
 /// positions whose K (resp. V) vectors sit back to back, kv_dim(layer)
-/// floats apart. Produced by KvStore::runs().
+/// elements apart. Produced by KvStore::runs().
+///
+/// `fmt` tags the storage of THIS run (a store may report mixed-format runs,
+/// e.g. an fp32 prefix frozen before a mid-generation FP8 switch). For
+/// kFp32 only k/v are set. For kInt8/kFp8 the rows live in kq/vq (same
+/// kv_dim row pitch, one byte per element) and k/v are null; kInt8 runs
+/// additionally carry one fp32 scale per row in k_scale/v_scale (stride 1
+/// along positions).
 struct KvRun {
   const float* k = nullptr;
   const float* v = nullptr;
   std::size_t len = 0;
+  KvQuant fmt = KvQuant::kFp32;
+  const std::uint8_t* kq = nullptr;
+  const std::uint8_t* vq = nullptr;
+  const float* k_scale = nullptr;
+  const float* v_scale = nullptr;
+
+  /// Sub-run covering positions [off, off+n) of this run; `dim` is the
+  /// kv_dim row pitch.
+  KvRun slice(std::size_t off, std::size_t n, std::size_t dim) const;
 };
+
+/// Quantize one K or V row into `out` (row.size() bytes). kInt8 returns the
+/// per-row scale amax/127 (1.0 for an all-zero row); kFp8 encodes E4M3 and
+/// returns 1.0 (unused). kFp32 is invalid here.
+float quantize_kv_row(KvQuant fmt, std::span<const float> row, std::uint8_t* out);
+
+/// Dequantize one quantized row. Produces EXACTLY the per-element values the
+/// fused kernels compute in register — fl(float(int8) * scale) for kInt8,
+/// the shared E4M3 table entry for kFp8 — so a per-position read through
+/// this helper is the bitwise reference for the fused run kernels.
+void dequantize_kv_row(KvQuant fmt, const std::uint8_t* bytes, float scale,
+                       std::span<float> out);
+
+/// Dequantize row `idx` of a quantized run (K when value==false, V when
+/// true) into `out` (dim floats).
+void dequantize_run_row(const KvRun& r, std::size_t idx, bool value,
+                        std::size_t dim, std::span<float> out);
+
+/// Bytes one cached token actually occupies across all layers in format
+/// `fmt` (K + V planes; kInt8 includes the two per-row fp32 scales per
+/// layer). The ground truth byte-denominated admission must agree with.
+std::size_t kv_quant_bytes_per_token(const std::vector<std::size_t>& kv_dims,
+                                     KvQuant fmt);
 
 /// Abstract per-sequence KV storage for the mini engine. One instance holds
 /// the cache for ONE sequence across all layers. Both implementations must
@@ -28,23 +76,44 @@ class KvStore {
 
   /// Append one token's K and V vectors for `layer`. K and V each have
   /// kv_dim(layer) floats. Returns false if the backing pool is exhausted.
+  /// Quantized stores quantize in place (per-row int8 or E4M3 bytes).
   virtual bool append(int layer, std::span<const float> k,
                       std::span<const float> v) = 0;
 
-  /// Cached K (resp. V) for `layer` at token position `pos`.
+  /// Append one token's ALREADY-quantized K/V rows for `layer` (the chunked
+  /// prefill path: the caller quantized each row once and the exact same
+  /// bytes must land in storage, because int8 row quantization is not
+  /// idempotent — re-quantizing dequantized values could change bytes and
+  /// break the chunked==serial bit-identity). `k_scale`/`v_scale` are the
+  /// per-row scales (ignored for kFp8). Only valid when quant() matches
+  /// `fmt`; the base implementation rejects.
+  virtual bool append_quantized(int layer, KvQuant fmt,
+                                std::span<const std::uint8_t> k,
+                                std::span<const std::uint8_t> v, float k_scale,
+                                float v_scale);
+
+  /// Cached K (resp. V) for `layer` at token position `pos`. Quantized
+  /// stores return the dequantized row from a per-store scratch buffer —
+  /// the span is only valid until the next key()/value() call on this
+  /// store, and holds exactly the values the fused kernels see.
   virtual std::span<const float> key(int layer, std::size_t pos) const = 0;
   virtual std::span<const float> value(int layer, std::size_t pos) const = 0;
 
   /// Append maximal contiguous (K*, V*, count) slabs covering positions
   /// [first, first+len) of `layer` to `out`, in position order. `out` is NOT
   /// cleared — callers reuse a per-thread scratch vector. Concatenated run
-  /// data is byte-identical to reading key()/value() per position; the row
+  /// data is byte-identical to reading key()/value() per position (for
+  /// quantized runs: dequantize_run_row matches key()/value()); the row
   /// stride within a run is kv_dim(layer). Pointers stay valid only until
   /// the next append to this store (contiguous growth or copy-on-write
   /// relocation may move the rows). The base implementation degrades to one
   /// run per position; stores override with block- or whole-history slabs.
   virtual void runs(int layer, std::size_t first, std::size_t len,
                     std::vector<KvRun>& out) const;
+
+  /// Format NEW appends are stored in. Reads may still cover an fp32 prefix
+  /// frozen before a mid-generation switch — runs() tags each run.
+  virtual KvQuant quant() const { return KvQuant::kFp32; }
 
   /// Tokens cached so far (same for every layer by construction).
   virtual std::size_t size() const = 0;
@@ -75,23 +144,34 @@ class ContiguousKvStore final : public KvStore {
   int appended_layers_ = 0;  // tracks within-token append progress
 };
 
-/// Shared block pool behind paged stores (vLLM-style). Owns the float
-/// storage; PagedKvAllocator owns the block bookkeeping.
+/// Shared block pool behind paged stores (vLLM-style). Owns the payload
+/// storage — fp32 float planes, or byte planes (+ per-slot scale planes for
+/// int8) when constructed with a quantized format; PagedKvAllocator owns
+/// the block bookkeeping either way, so COW forks, prefix forks and the
+/// radix prefix cache work on quantized pools unchanged (blocks are copied
+/// byte-wise).
 class PagedKvPool {
  public:
   PagedKvPool(std::uint32_t total_blocks, std::uint32_t block_size,
-              std::vector<std::size_t> kv_dims);
+              std::vector<std::size_t> kv_dims, KvQuant fmt = KvQuant::kFp32);
 
   kv::PagedKvAllocator& allocator() { return alloc_; }
   const kv::PagedKvAllocator& allocator() const { return alloc_; }
   std::uint32_t block_size() const { return block_size_; }
   const std::vector<std::size_t>& kv_dims() const { return kv_dims_; }
+  KvQuant quant() const { return fmt_; }
 
-  /// Copy one block's payload (all layers, K and V planes) from src to dst
-  /// — the data half of a copy-on-write relocation.
+  /// Actual bytes one token slot occupies across all layers (K + V planes
+  /// plus int8 scale entries) — kv_quant_bytes_per_token(kv_dims(), quant()).
+  std::size_t bytes_per_token() const;
+
+  /// Copy one block's payload (all layers, K and V planes, scales when
+  /// quantized) from src to dst — the data half of a copy-on-write
+  /// relocation. Byte-wise: never requantizes.
   void copy_block(kv::BlockId src, kv::BlockId dst);
 
-  /// Raw slot for (layer, block, offset-in-block); K and V planes.
+  /// Raw fp32 slot for (layer, block, offset-in-block); K and V planes.
+  /// Only valid on fp32 pools.
   std::span<float> key_slot(int layer, kv::BlockId block, std::uint32_t offset);
   std::span<float> value_slot(int layer, kv::BlockId block, std::uint32_t offset);
   std::span<const float> key_slot(int layer, kv::BlockId block,
@@ -99,12 +179,32 @@ class PagedKvPool {
   std::span<const float> value_slot(int layer, kv::BlockId block,
                                     std::uint32_t offset) const;
 
+  /// Raw quantized slot (one byte per element); only valid on quantized
+  /// pools. The scale pointers address per-slot fp32 scale planes laid out
+  /// [block * block_size + offset], so physically adjacent blocks expose a
+  /// contiguous scale stream — the per-run scale stream runs() reports.
+  std::span<std::uint8_t> key_bytes(int layer, kv::BlockId block, std::uint32_t offset);
+  std::span<std::uint8_t> value_bytes(int layer, kv::BlockId block, std::uint32_t offset);
+  std::span<const std::uint8_t> key_bytes(int layer, kv::BlockId block,
+                                          std::uint32_t offset) const;
+  std::span<const std::uint8_t> value_bytes(int layer, kv::BlockId block,
+                                            std::uint32_t offset) const;
+  float* key_scale(int layer, kv::BlockId block, std::uint32_t offset);
+  float* value_scale(int layer, kv::BlockId block, std::uint32_t offset);
+  const float* key_scale(int layer, kv::BlockId block, std::uint32_t offset) const;
+  const float* value_scale(int layer, kv::BlockId block, std::uint32_t offset) const;
+
  private:
   kv::PagedKvAllocator alloc_;
   std::uint32_t block_size_;
   std::vector<std::size_t> kv_dims_;
-  // Per layer: [total_blocks * block_size * kv_dim] floats.
+  KvQuant fmt_;
+  // fp32 pools — per layer: [total_blocks * block_size * kv_dim] floats.
   std::vector<std::vector<float>> keys_, values_;
+  // Quantized pools — per layer: the same geometry in bytes, plus (int8)
+  // one fp32 scale per slot: [total_blocks * block_size].
+  std::vector<std::vector<std::uint8_t>> key_bytes_, value_bytes_;
+  std::vector<std::vector<float>> key_scales_, value_scales_;
 };
 
 /// Paged view of one sequence: block-table indirection on every access.
@@ -129,24 +229,37 @@ class PagedKvStore final : public KvStore {
   PagedKvStore& operator=(const PagedKvStore&) = delete;
 
   bool append(int layer, std::span<const float> k, std::span<const float> v) override;
+  bool append_quantized(int layer, KvQuant fmt, std::span<const std::uint8_t> k,
+                        std::span<const std::uint8_t> v, float k_scale,
+                        float v_scale) override;
   std::span<const float> key(int layer, std::size_t pos) const override;
   std::span<const float> value(int layer, std::size_t pos) const override;
   /// Block-granular slabs: one run per stretch of physically adjacent
   /// blocks (the allocator hands out ascending ids, so a freshly grown
   /// sequence coalesces; copy-on-write relocation breaks adjacency, so a
-  /// forked sequence splits exactly at relocated blocks).
+  /// forked sequence splits exactly at relocated blocks). On quantized
+  /// pools the runs carry byte slabs + scale streams instead of float rows.
   void runs(int layer, std::size_t first, std::size_t len,
             std::vector<KvRun>& out) const override;
+  KvQuant quant() const override { return pool_.quant(); }
   std::size_t size() const override { return tokens_; }
   kv::SeqId seq_id() const { return id_; }
 
  private:
   std::size_t tokens_visible(int layer) const;
+  /// Claim the block slot for the next append (COW at layer 0) and locate
+  /// it. Returns false on pool exhaustion.
+  bool claim_slot(int layer, std::size_t dim, kv::BlockId& block,
+                  std::uint32_t& offset);
+  void advance_layer();
 
   PagedKvPool& pool_;
   kv::SeqId id_;
   std::size_t tokens_ = 0;
   int appended_layers_ = 0;
+  // Dequantized-row scratch for key()/value() on quantized pools (grow-only;
+  // spans returned from those calls alias these buffers).
+  mutable std::vector<float> dq_key_, dq_value_;
 };
 
 }  // namespace llmib::engine

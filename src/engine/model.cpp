@@ -82,8 +82,8 @@ void MiniTransformer::attention(int layer, std::span<const float> normed,
 
   require(kv.append(layer, k, v), "MiniTransformer: KV pool exhausted");
   auto attn_out = scratch_span(scratch.attn_out, q_dim);
-  attend(q, attn_out, kv, layer, pos, pos + 1, nullptr, nullptr, kv_dim,
-         head_dim, cfg.sliding_window, scratch);
+  attend(q, attn_out, kv, layer, pos, pos + 1, nullptr, kv_dim, head_dim,
+         cfg.sliding_window, scratch);
 
   if (ql != nullptr) {
     ql->wo.gemv(attn_out, out);
@@ -218,6 +218,19 @@ std::vector<float> MiniTransformer::prefill(std::span<const TokenId> tokens,
   // t+1), so the layer-major sweep buffers here and appends at the end.
   const std::vector<std::size_t> dims = kv_dims();
   std::vector<std::vector<float>> chunk_k(dims.size()), chunk_v(dims.size());
+  // Quantized stores: each chunk row is quantized ONCE (int8 row
+  // quantization is not idempotent, so the bytes used for attention here
+  // must be the exact bytes appended below — that is what keeps chunked
+  // prefill bitwise identical to the serial token loop).
+  const KvQuant kfmt = kv.quant();
+  std::vector<std::vector<std::uint8_t>> chunk_kq, chunk_vq;
+  std::vector<std::vector<float>> chunk_ks, chunk_vs;
+  if (kfmt != KvQuant::kFp32) {
+    chunk_kq.resize(dims.size());
+    chunk_vq.resize(dims.size());
+    chunk_ks.resize(dims.size());
+    chunk_vs.resize(dims.size());
+  }
 
   for (int l = 0; l < cfg.n_layers; ++l) {
     obs::Span layer_span("engine.layer", obs::Cat::kEngine, l);
@@ -246,12 +259,34 @@ std::vector<float> MiniTransformer::prefill(std::span<const TokenId> tokens,
       for (std::size_t h = 0; h < n_kv_heads; ++h)
         rope(k_t.subspan(h * head_dim, head_dim), base + t, *rope_);
     }
+    KvRun chunk{k.data(), v.data(), T};
+    if (kfmt != KvQuant::kFp32) {
+      auto& kq = chunk_kq[static_cast<std::size_t>(l)];
+      auto& vq = chunk_vq[static_cast<std::size_t>(l)];
+      auto& ks = chunk_ks[static_cast<std::size_t>(l)];
+      auto& vs = chunk_vs[static_cast<std::size_t>(l)];
+      kq.resize(T * kv_dim);
+      vq.resize(T * kv_dim);
+      ks.resize(T);
+      vs.resize(T);
+      for (std::size_t t = 0; t < T; ++t) {
+        ks[t] = quantize_kv_row(
+            kfmt, std::span<const float>(k).subspan(t * kv_dim, kv_dim),
+            kq.data() + t * kv_dim);
+        vs[t] = quantize_kv_row(
+            kfmt, std::span<const float>(v).subspan(t * kv_dim, kv_dim),
+            vq.data() + t * kv_dim);
+      }
+      chunk = KvRun{nullptr,   nullptr,   T,
+                    kfmt,      kq.data(), vq.data(),
+                    kfmt == KvQuant::kInt8 ? ks.data() : nullptr,
+                    kfmt == KvQuant::kInt8 ? vs.data() : nullptr};
+    }
     AttnScratch& scratch = AttnScratch::local();
     for (std::size_t t = 0; t < T; ++t)
       attend(std::span<const float>(q).subspan(t * q_dim, q_dim),
              std::span<float>(attn).subspan(t * q_dim, q_dim), kv, l, base + t,
-             base, k.data(), v.data(), kv_dim, head_dim, cfg.sliding_window,
-             scratch);
+             base, &chunk, kv_dim, head_dim, cfg.sliding_window, scratch);
     batched_matmul(lw.wo, attn, delta, hidden, q_dim, T);
     for (std::size_t i = 0; i < T * hidden; ++i) x[i] += delta[i];
 
@@ -278,16 +313,29 @@ std::vector<float> MiniTransformer::prefill(std::span<const TokenId> tokens,
     }
   }
 
-  // Append the chunk's K/V in the stores' token-major order.
+  // Append the chunk's K/V in the stores' token-major order. Quantized
+  // stores receive the exact bytes attention just consumed.
   for (std::size_t t = 0; t < T; ++t)
     for (int l = 0; l < cfg.n_layers; ++l) {
       const std::size_t kv_dim = dims[static_cast<std::size_t>(l)];
-      require(kv.append(l,
-                        std::span<const float>(chunk_k[static_cast<std::size_t>(l)])
-                            .subspan(t * kv_dim, kv_dim),
-                        std::span<const float>(chunk_v[static_cast<std::size_t>(l)])
-                            .subspan(t * kv_dim, kv_dim)),
-              "MiniTransformer: KV pool exhausted");
+      const auto lz = static_cast<std::size_t>(l);
+      if (kfmt == KvQuant::kFp32) {
+        require(kv.append(l,
+                          std::span<const float>(chunk_k[lz])
+                              .subspan(t * kv_dim, kv_dim),
+                          std::span<const float>(chunk_v[lz])
+                              .subspan(t * kv_dim, kv_dim)),
+                "MiniTransformer: KV pool exhausted");
+      } else {
+        require(kv.append_quantized(
+                    l, kfmt,
+                    std::span<const std::uint8_t>(chunk_kq[lz])
+                        .subspan(t * kv_dim, kv_dim),
+                    std::span<const std::uint8_t>(chunk_vq[lz])
+                        .subspan(t * kv_dim, kv_dim),
+                    chunk_ks[lz][t], chunk_vs[lz][t]),
+                "MiniTransformer: KV pool exhausted");
+      }
     }
 
   // LM head on the last position only — prefill returns next-token logits

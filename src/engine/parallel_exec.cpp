@@ -154,7 +154,7 @@ void ShardedTransformer::attention_slice(int layer, std::size_t s,
   require(kv.append(layer, k, v), "ShardedTransformer: KV append failed");
   // Same sliding-window rule as the serial engine (equivalence invariant).
   attend(q, gathered.subspan(q_off, q_rows), kv, layer, pos, pos + 1, nullptr,
-         nullptr, kv_rows, head_dim, cfg.sliding_window, scratch);
+         kv_rows, head_dim, cfg.sliding_window, scratch);
 }
 
 void ShardedTransformer::ffn_inter_slice(int layer, std::size_t s,
@@ -360,11 +360,12 @@ void ShardedTransformer::attention_slice_prefill(int layer, std::size_t s,
   // accepts token-major appends, which happen after the whole chunk).
   const KvStore& kv = *shard_kv_[s];
   AttnScratch& scratch = AttnScratch::local();
+  const KvRun chunk{chunk_k.data(), chunk_v.data(), T};
   for (std::size_t t = 0; t < T; ++t)
     attend(std::span<const float>(q).subspan(t * q_rows, q_rows),
            gathered.subspan(t * q_dim_total + q_off, q_rows), kv, layer,
-           base + t, base, chunk_k.data(), chunk_v.data(), kv_rows, head_dim,
-           cfg.sliding_window, scratch);
+           base + t, base, &chunk, kv_rows, head_dim, cfg.sliding_window,
+           scratch);
 }
 
 std::vector<float> ShardedTransformer::prefill(std::span<const TokenId> tokens) {

@@ -1,44 +1,163 @@
 #include "engine/quantized_kv.h"
 
-#include <vector>
+#include <algorithm>
 
 #include "util/check.h"
 
 namespace llmib::engine {
 
-QuantizedKvStore::QuantizedKvStore(std::unique_ptr<KvStore> inner,
-                                   CachePrecision precision)
-    : inner_(std::move(inner)), precision_(precision) {
-  util::require(inner_ != nullptr, "QuantizedKvStore: needs a backing store");
+using util::require;
+
+QuantizedKvStore::QuantizedKvStore(std::vector<std::size_t> kv_dims, KvQuant fmt)
+    : kv_dims_(std::move(kv_dims)),
+      fmt_(fmt),
+      kq_(kv_dims_.size()),
+      vq_(kv_dims_.size()),
+      k_scale_(kv_dims_.size()),
+      v_scale_(kv_dims_.size()) {
+  require(!kv_dims_.empty(), "QuantizedKvStore: need at least one layer");
+  require(fmt_ != KvQuant::kFp32, "QuantizedKvStore: pick kInt8 or kFp8");
+}
+
+QuantizedKvStore::QuantizedKvStore(std::vector<std::size_t> kv_dims,
+                                   std::unique_ptr<KvStore> prefix, KvQuant fmt)
+    : QuantizedKvStore(std::move(kv_dims), fmt) {
+  require(prefix != nullptr, "QuantizedKvStore: null prefix store");
+  require(prefix->quant() == KvQuant::kFp32,
+          "QuantizedKvStore: prefix must be a full-precision store");
+  prefix_ = std::move(prefix);
+  prefix_len_ = prefix_->size();
+}
+
+void QuantizedKvStore::reserve(std::size_t tokens) {
+  for (std::size_t l = 0; l < kv_dims_.size(); ++l) {
+    kq_[l].reserve(tokens * kv_dims_[l]);
+    vq_[l].reserve(tokens * kv_dims_[l]);
+    if (fmt_ == KvQuant::kInt8) {
+      k_scale_[l].reserve(tokens);
+      v_scale_[l].reserve(tokens);
+    }
+  }
+}
+
+std::size_t QuantizedKvStore::stored_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < kv_dims_.size(); ++l) {
+    total += kq_[l].size() + vq_[l].size();
+    total += (k_scale_[l].size() + v_scale_[l].size()) * sizeof(float);
+  }
+  return total;
 }
 
 bool QuantizedKvStore::append(int layer, std::span<const float> k,
                               std::span<const float> v) {
-  std::vector<float> kq(k.begin(), k.end());
-  std::vector<float> vq(v.begin(), v.end());
-  if (precision_ == CachePrecision::kFP8) {
-    quant::round_span_fp8(kq);
-    quant::round_span_fp8(vq);
-  } else {
-    quant::round_span_fp16(kq);
-    quant::round_span_fp16(vq);
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "QuantizedKvStore: bad layer");
+  require(layer == appended_layers_, "QuantizedKvStore: layers must append in order");
+  require(k.size() == kv_dims_[l] && v.size() == kv_dims_[l],
+          "QuantizedKvStore: kv dim mismatch");
+  // Quantize straight into the grown tail — no per-token temporaries (the
+  // old decorator allocated two vectors per append; resize within reserved
+  // capacity never allocates).
+  const std::size_t old = kq_[l].size();
+  kq_[l].resize(old + k.size());
+  vq_[l].resize(old + v.size());
+  const float ks = quantize_kv_row(fmt_, k, kq_[l].data() + old);
+  const float vs = quantize_kv_row(fmt_, v, vq_[l].data() + old);
+  if (fmt_ == KvQuant::kInt8) {
+    k_scale_[l].push_back(ks);
+    v_scale_[l].push_back(vs);
   }
-  return inner_->append(layer, kq, vq);
+  if (++appended_layers_ == static_cast<int>(kv_dims_.size())) {
+    appended_layers_ = 0;
+    ++tokens_;
+  }
+  return true;
+}
+
+bool QuantizedKvStore::append_quantized(int layer, KvQuant fmt,
+                                        std::span<const std::uint8_t> k,
+                                        std::span<const std::uint8_t> v,
+                                        float k_scale, float v_scale) {
+  const auto l = static_cast<std::size_t>(layer);
+  require(fmt == fmt_, "QuantizedKvStore: append_quantized format mismatch");
+  require(l < kv_dims_.size(), "QuantizedKvStore: bad layer");
+  require(layer == appended_layers_, "QuantizedKvStore: layers must append in order");
+  require(k.size() == kv_dims_[l] && v.size() == kv_dims_[l],
+          "QuantizedKvStore: kv dim mismatch");
+  kq_[l].insert(kq_[l].end(), k.begin(), k.end());
+  vq_[l].insert(vq_[l].end(), v.begin(), v.end());
+  if (fmt_ == KvQuant::kInt8) {
+    k_scale_[l].push_back(k_scale);
+    v_scale_[l].push_back(v_scale);
+  }
+  if (++appended_layers_ == static_cast<int>(kv_dims_.size())) {
+    appended_layers_ = 0;
+    ++tokens_;
+  }
+  return true;
 }
 
 std::span<const float> QuantizedKvStore::key(int layer, std::size_t pos) const {
-  return inner_->key(layer, pos);
+  if (pos < prefix_len_) return prefix_->key(layer, pos);
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "QuantizedKvStore: bad layer");
+  const std::size_t dim = kv_dims_[l];
+  require(dim > 0, "QuantizedKvStore: layer holds no KV");
+  const std::size_t local = pos - prefix_len_;
+  require(local < kq_[l].size() / dim, "QuantizedKvStore: bad access");
+  if (dq_key_.size() < dim) dq_key_.resize(dim);
+  const float scale = fmt_ == KvQuant::kInt8 ? k_scale_[l][local] : 1.0f;
+  dequantize_kv_row(fmt_, kq_[l].data() + local * dim, scale,
+                    {dq_key_.data(), dim});
+  return {dq_key_.data(), dim};
 }
 
 std::span<const float> QuantizedKvStore::value(int layer, std::size_t pos) const {
-  return inner_->value(layer, pos);
+  if (pos < prefix_len_) return prefix_->value(layer, pos);
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "QuantizedKvStore: bad layer");
+  const std::size_t dim = kv_dims_[l];
+  require(dim > 0, "QuantizedKvStore: layer holds no KV");
+  const std::size_t local = pos - prefix_len_;
+  require(local < vq_[l].size() / dim, "QuantizedKvStore: bad access");
+  if (dq_value_.size() < dim) dq_value_.resize(dim);
+  const float scale = fmt_ == KvQuant::kInt8 ? v_scale_[l][local] : 1.0f;
+  dequantize_kv_row(fmt_, vq_[l].data() + local * dim, scale,
+                    {dq_value_.data(), dim});
+  return {dq_value_.data(), dim};
 }
 
 void QuantizedKvStore::runs(int layer, std::size_t first, std::size_t len,
                             std::vector<KvRun>& out) const {
-  inner_->runs(layer, first, len, out);
+  if (len == 0) return;
+  const auto l = static_cast<std::size_t>(layer);
+  require(l < kv_dims_.size(), "QuantizedKvStore: bad layer");
+  const std::size_t dim = kv_dims_[l];
+  require(dim > 0, "QuantizedKvStore: layer holds no KV");
+  const std::size_t end = first + len;
+  // Frozen fp32 prefix first (its own store reports its slabs)...
+  if (first < prefix_len_) {
+    const std::size_t pend = std::min(end, prefix_len_);
+    prefix_->runs(layer, first, pend - first, out);
+  }
+  // ...then the quantized tail as a single contiguous byte slab.
+  if (end > prefix_len_) {
+    const std::size_t tfirst = std::max(first, prefix_len_) - prefix_len_;
+    const std::size_t tlen = end - prefix_len_ - tfirst;
+    require(tfirst + tlen <= kq_[l].size() / dim,
+            "QuantizedKvStore: bad run range");
+    KvRun r;
+    r.len = tlen;
+    r.fmt = fmt_;
+    r.kq = kq_[l].data() + tfirst * dim;
+    r.vq = vq_[l].data() + tfirst * dim;
+    if (fmt_ == KvQuant::kInt8) {
+      r.k_scale = k_scale_[l].data() + tfirst;
+      r.v_scale = v_scale_[l].data() + tfirst;
+    }
+    out.push_back(r);
+  }
 }
-
-std::size_t QuantizedKvStore::size() const { return inner_->size(); }
 
 }  // namespace llmib::engine

@@ -3,35 +3,69 @@
 #include <memory>
 
 #include "engine/kv_store.h"
-#include "quant/numeric.h"
 
 namespace llmib::engine {
 
-/// Decorator that rounds K/V vectors through a reduced precision on append
-/// (FP8 E4M3 by default) before handing them to the wrapped store — the
-/// "FP8 KV cache" feature vLLM/TRT-LLM expose (paper §IV-B.3). Reads pass
-/// through untouched: the cache simply holds lossy values, exactly like a
-/// narrow on-device cache would.
+/// Contiguous narrow-storage quantized KV cache: K/V rows are held as int8
+/// bytes with one fp32 scale per row (symmetric per-vector quantization) or
+/// as FP8-E4M3 bytes — the actual small-and-fast cache the paper's §IV-B.3
+/// FP8-KV feature describes, not an fp32 round-trip. runs() exposes the
+/// byte slabs + scale streams directly; engine::attend() consumes them with
+/// the fused dequant-in-register kernels. key()/value() return dequantized
+/// rows from per-store scratch (exactly the values the kernels see), which
+/// doubles as the per-position reference path.
+///
+/// The prefix constructor freezes an existing fp32 store as read-only
+/// history — the mid-generation degradation switch: positions before the
+/// switch keep their full-precision values bitwise (runs() reports mixed
+/// fp32 + quantized runs), only new appends are narrow.
 class QuantizedKvStore final : public KvStore {
  public:
-  enum class CachePrecision { kFP8, kFP16 };
+  /// Fresh quantized store; `fmt` must be kInt8 or kFp8.
+  QuantizedKvStore(std::vector<std::size_t> kv_dims, KvQuant fmt);
 
-  QuantizedKvStore(std::unique_ptr<KvStore> inner, CachePrecision precision);
+  /// Freeze `prefix` (its current size) as read-only fp32 history and
+  /// append quantized from there on. The prefix store must hold complete
+  /// tokens (no mid-token append) and is owned from here.
+  QuantizedKvStore(std::vector<std::size_t> kv_dims,
+                   std::unique_ptr<KvStore> prefix, KvQuant fmt);
 
   bool append(int layer, std::span<const float> k, std::span<const float> v) override;
+  bool append_quantized(int layer, KvQuant fmt, std::span<const std::uint8_t> k,
+                        std::span<const std::uint8_t> v, float k_scale,
+                        float v_scale) override;
   std::span<const float> key(int layer, std::size_t pos) const override;
   std::span<const float> value(int layer, std::size_t pos) const override;
-  /// Runs come straight from the wrapped store (quantization happened at
-  /// append time, so the inner slabs already hold the lossy values).
+  /// Frozen-prefix runs (fp32, from the wrapped store) followed by ONE
+  /// quantized slab per layer for the tail — the tail is contiguous.
   void runs(int layer, std::size_t first, std::size_t len,
             std::vector<KvRun>& out) const override;
-  std::size_t size() const override;
+  KvQuant quant() const override { return fmt_; }
+  std::size_t size() const override { return prefix_len_ + tokens_; }
 
-  CachePrecision precision() const { return precision_; }
+  /// Pre-size the tail for `tokens` appended tokens so steady-state appends
+  /// never touch the allocator (pinned by tests/quantized_kv_test.cpp).
+  void reserve(std::size_t tokens);
+
+  /// Narrow bytes actually held by the quantized tail (byte planes + int8
+  /// scales, all layers) — the ground truth for byte-denominated capacity.
+  std::size_t stored_bytes() const;
+
+  /// Tokens frozen at full precision before the switch (0 for fresh stores).
+  std::size_t prefix_tokens() const { return prefix_len_; }
 
  private:
-  std::unique_ptr<KvStore> inner_;
-  CachePrecision precision_;
+  std::vector<std::size_t> kv_dims_;
+  KvQuant fmt_;
+  std::unique_ptr<KvStore> prefix_;
+  std::size_t prefix_len_ = 0;
+  std::vector<std::vector<std::uint8_t>> kq_, vq_;      // per layer, flat bytes
+  std::vector<std::vector<float>> k_scale_, v_scale_;   // per layer (kInt8)
+  std::size_t tokens_ = 0;  // quantized tail tokens
+  int appended_layers_ = 0;
+  // key()/value() dequant scratch (grow-only; spans alias these buffers and
+  // stay valid until the next key()/value() call).
+  mutable std::vector<float> dq_key_, dq_value_;
 };
 
 }  // namespace llmib::engine

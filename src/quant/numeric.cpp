@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "engine/kernels/kernels.h"
+
 namespace llmib::quant {
 
 namespace {
@@ -56,6 +58,29 @@ float round_fp8_e4m3(float x) {
     return std::copysign(std::nearbyint(ax / q) * q, x);
   }
   return truncate_mantissa_rne(x, 3);
+}
+
+std::uint8_t fp8_e4m3_encode(float x) {
+  if (std::isnan(x)) return 0x7F;
+  const float r = round_fp8_e4m3(x);  // saturates and snaps to the grid
+  const std::uint8_t sign = std::signbit(r) ? 0x80u : 0x00u;
+  const float ax = std::fabs(r);
+  if (ax == 0.0f) return sign;
+  if (ax < 0.015625f) {  // subnormal: exponent field 0, mantissa in 2^-9 steps
+    const auto mant = static_cast<std::uint8_t>(std::lrint(ax / 0.001953125f));
+    return sign | mant;
+  }
+  int e = 0;
+  const float frac = std::frexp(ax, &e);  // ax = frac * 2^e, frac in [0.5, 1)
+  // Stored form (1 + m/8) * 2^(e-1): after round_fp8_e4m3, frac*2 - 1 is an
+  // exact multiple of 1/8, so the mantissa packs without further rounding.
+  const auto exp_field = static_cast<std::uint8_t>((e - 1) + 7);
+  const auto mant = static_cast<std::uint8_t>(std::lrint((frac * 2.0f - 1.0f) * 8.0f));
+  return sign | static_cast<std::uint8_t>(exp_field << 3) | mant;
+}
+
+float fp8_e4m3_decode(std::uint8_t byte) {
+  return engine::kernels::fp8_e4m3_table()[byte];
 }
 
 void round_span_fp16(std::span<float> xs) {

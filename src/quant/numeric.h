@@ -24,6 +24,16 @@ void round_span_fp16(std::span<float> xs);
 void round_span_bf16(std::span<float> xs);
 void round_span_fp8(std::span<float> xs);
 
+/// Encode a float as an FP8-E4M3 byte (sign, 4-bit exponent bias 7, 3-bit
+/// mantissa; saturates at +/-448, subnormal step 2^-9, NaN -> 0x7F).
+/// Inverse of fp8_e4m3_decode on the representable set:
+/// fp8_e4m3_decode(fp8_e4m3_encode(x)) == round_fp8_e4m3(x) for finite x.
+std::uint8_t fp8_e4m3_encode(float x);
+
+/// Decode an FP8-E4M3 byte (the engine kernels' shared 256-entry table —
+/// byte 0x00 decodes to exactly +0.0f).
+float fp8_e4m3_decode(std::uint8_t byte);
+
 /// Error metrics between a reference vector and an approximation.
 struct QuantError {
   double max_abs = 0.0;

@@ -34,6 +34,9 @@ obs::Counter& plan_steps_counter() {
 Scheduler::Scheduler(Config cfg) : cfg_(cfg) {
   require(cfg.max_batch > 0, "Scheduler: max_batch must be positive");
   require(cfg.kv_capacity_tokens >= 0, "Scheduler: negative kv capacity");
+  require(cfg.kv_capacity_bytes >= 0, "Scheduler: negative kv byte capacity");
+  require(cfg.kv_capacity_bytes == 0 || cfg.kv_bytes_per_token > 0,
+          "Scheduler: kv_capacity_bytes requires kv_bytes_per_token > 0");
   require(cfg.reservation_frac > 0.0 && cfg.reservation_frac <= 1.0,
           "Scheduler: reservation_frac must be in (0, 1]");
   require(cfg.sjf_aging_tokens_per_round >= 0,
@@ -43,6 +46,17 @@ Scheduler::Scheduler(Config cfg) : cfg_(cfg) {
 void Scheduler::set_max_batch(std::int64_t max_batch) {
   require(max_batch > 0, "Scheduler: max_batch must be positive");
   cfg_.max_batch = max_batch;
+}
+
+void Scheduler::set_kv_bytes_per_token(std::int64_t bytes) {
+  require(bytes > 0, "Scheduler: kv_bytes_per_token must be positive");
+  cfg_.kv_bytes_per_token = bytes;
+}
+
+std::int64_t Scheduler::effective_kv_capacity_tokens() const {
+  if (cfg_.kv_capacity_bytes > 0)
+    return cfg_.kv_capacity_bytes / cfg_.kv_bytes_per_token;
+  return cfg_.kv_capacity_tokens;
 }
 
 std::int64_t Scheduler::footprint(const Request& req) const {
@@ -64,9 +78,9 @@ void Scheduler::submit(const Request& req) {
   require(live_.find(req.id) == live_.end(), "Scheduler: duplicate request id");
   require(queued_ids_.find(req.id) == queued_ids_.end(),
           "Scheduler: duplicate request id");
-  if (cfg_.kv_capacity_tokens > 0) {
+  if (const std::int64_t cap = effective_kv_capacity_tokens(); cap > 0) {
     require(req.prompt_tokens - req.cached_prefix_tokens + req.max_new_tokens <=
-                cfg_.kv_capacity_tokens,
+                cap,
             "Scheduler: request can never fit in KV capacity");
   }
   queue_.push_back(Queued{req, 0});
@@ -104,9 +118,9 @@ bool Scheduler::cancel(RequestId id) {
 
 bool Scheduler::can_admit(const Request& req) const {
   if (static_cast<std::int64_t>(live_.size()) >= cfg_.max_batch) return false;
-  if (cfg_.kv_capacity_tokens > 0 &&
-      reserved_tokens_ + external_reserved_ + footprint(req) >
-          cfg_.kv_capacity_tokens) {
+  const std::int64_t cap = effective_kv_capacity_tokens();
+  if (cap > 0 &&
+      reserved_tokens_ + external_reserved_ + footprint(req) > cap) {
     return false;
   }
   return true;

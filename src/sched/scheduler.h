@@ -62,6 +62,15 @@ class Scheduler {
     BatchPolicy policy = BatchPolicy::kContinuous;
     std::int64_t max_batch = 64;            ///< max concurrent sequences
     std::int64_t kv_capacity_tokens = 0;    ///< 0 => unlimited
+    /// Byte-denominated KV pool. When > 0 it overrides kv_capacity_tokens:
+    /// the effective token capacity is kv_capacity_bytes /
+    /// kv_bytes_per_token, recomputed whenever the per-token footprint
+    /// changes (set_kv_bytes_per_token). This is how quantized KV admits
+    /// more residents from the same pool: fp8 halves bytes-per-token vs
+    /// fp16 and quarters it vs fp32, so the SAME pool holds proportionally
+    /// more sequences. Requires kv_bytes_per_token > 0.
+    std::int64_t kv_capacity_bytes = 0;
+    std::int64_t kv_bytes_per_token = 0;
     /// Fraction of max_new_tokens reserved at admission. 1.0 models
     /// TRT-LLM-style conservative reservation; vLLM-style optimistic
     /// admission (~0.25) achieves higher steady-state concurrency by
@@ -105,6 +114,18 @@ class Scheduler {
   /// below the current live count only pauses admission — live sequences
   /// are never evicted by this.
   void set_max_batch(std::int64_t max_batch);
+
+  /// Change the KV bytes-per-token mid-run (mid-generation quantization
+  /// switch during degradation). Only meaningful with kv_capacity_bytes;
+  /// live reservations stay token-denominated, so shrinking bytes-per-token
+  /// immediately widens the effective token capacity and unblocks
+  /// admission without touching live sequences.
+  void set_kv_bytes_per_token(std::int64_t bytes);
+  std::int64_t kv_bytes_per_token() const { return cfg_.kv_bytes_per_token; }
+
+  /// Token capacity admission actually checks against: bytes / per-token
+  /// bytes when byte-denominated, else kv_capacity_tokens (0 = unlimited).
+  std::int64_t effective_kv_capacity_tokens() const;
 
   /// Tokens of KV held outside the scheduler's own reservations — the
   /// prefix cache's resident entries, charged ONCE here no matter how many

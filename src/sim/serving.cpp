@@ -148,8 +148,20 @@ ServingSimulator::Result ServingSimulator::run_trace(
   scfg.policy = fw.continuous_batching ? sched::BatchPolicy::kContinuous
                                        : sched::BatchPolicy::kStatic;
   scfg.max_batch = base.max_concurrent > 0 ? base.max_concurrent : 64;
-  scfg.kv_capacity_tokens =
+  // Byte-denominated KV pool: capacity is a fixed number of device bytes,
+  // and admission divides by the CURRENT bytes-per-token. This is what lets
+  // a mid-run FP8 degradation switch admit more residents from the same
+  // pool — the pool does not grow, each token just costs fewer bytes.
+  const auto kv_cap_tokens =
       static_cast<std::int64_t>(sim_.kv_capacity_tokens(probe));
+  const std::int64_t kv_bpt =
+      std::llround(sim_.kv_bytes_per_token_device(probe));
+  if (kv_cap_tokens > 0 && kv_bpt > 0) {
+    scfg.kv_capacity_bytes = kv_cap_tokens * kv_bpt;
+    scfg.kv_bytes_per_token = kv_bpt;
+  } else {
+    scfg.kv_capacity_tokens = kv_cap_tokens;
+  }
   scfg.reservation_frac = fw.conservative_admission ? 1.0 : 0.25;
   scfg.order = opts.order;
   scfg.sjf_aging_tokens_per_round = opts.sjf_aging_tokens_per_round;
@@ -235,6 +247,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
   // Degraded steps trade KV fidelity for memory traffic (fault pressure).
   SimConfig step_cfg_fp8 = step_cfg;
   step_cfg_fp8.kv_precision = hw::Precision::kFP8;
+  const std::int64_t kv_bpt_fp8 =
+      std::llround(sim_.kv_bytes_per_token_device(step_cfg_fp8));
 
   // ---- Fault environment & resilience policies ------------------------------
   const fault::FaultProfile& fp = opts.faults;
@@ -427,6 +441,13 @@ ServingSimulator::Result ServingSimulator::run_trace(
     // once the pressure window expires.
     if (rp.degradation.enabled) {
       scheduler.set_max_batch(degrade.max_batch(base_max_batch, now));
+      // Quantize-KV degradation shrinks each token's footprint, so the SAME
+      // byte pool admits more residents while the window is active.
+      if (rp.degradation.quantize_kv && scfg.kv_capacity_bytes > 0 &&
+          kv_bpt_fp8 > 0) {
+        scheduler.set_kv_bytes_per_token(degrade.degraded_at(now) ? kv_bpt_fp8
+                                                                  : kv_bpt);
+      }
     }
     peak_queue = std::max(peak_queue, scheduler.waiting_requests());
 

@@ -155,6 +155,10 @@ double InferenceSimulator::kv_capacity_tokens(const SimConfig& cfg) const {
   return resolve(cfg).kv_capacity_tokens;
 }
 
+double InferenceSimulator::kv_bytes_per_token_device(const SimConfig& cfg) const {
+  return resolve(cfg).kv_bytes_per_token_device;
+}
+
 StepBreakdown InferenceSimulator::prefill_step(const SimConfig& cfg,
                                                std::int64_t batch,
                                                std::int64_t seq_len) const {

@@ -51,6 +51,12 @@ class InferenceSimulator {
   /// weights), or 0 when weights alone do not fit.
   double kv_capacity_tokens(const SimConfig& cfg) const;
 
+  /// Per-device KV footprint of one cached token at this config's
+  /// kv_precision (bytes). kv_capacity_tokens * this = the KV byte pool,
+  /// which serving uses for byte-denominated admission: a mid-run
+  /// quantization switch changes bytes-per-token, not the pool.
+  double kv_bytes_per_token_device(const SimConfig& cfg) const;
+
   /// The registries this simulator resolves against (injected or builtin).
   const models::ModelRegistry& models() const { return models_; }
   const hw::AcceleratorRegistry& accelerators() const { return accels_; }

@@ -14,6 +14,14 @@ class ContractViolation : public std::invalid_argument {
 };
 
 /// Check a precondition on a public entry point; throws ContractViolation.
+/// The const char* overload exists so literal messages cost nothing until
+/// the condition actually fails — the std::string overload materializes its
+/// message (one heap allocation) even on the happy path, which is
+/// measurable in per-token loops like KvStore::append (the no-allocation
+/// steady-state test pins this).
+inline void require(bool condition, const char* message) {
+  if (!condition) throw ContractViolation(message);
+}
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw ContractViolation(message);
 }

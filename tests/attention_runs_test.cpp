@@ -196,15 +196,108 @@ TEST(KvRuns, CowForkSplitsAtRelocatedBlock) {
   expect_runs_match_reads(*parent, 0, 10, "cow parent");
 }
 
-TEST(KvRuns, QuantizedDelegation) {
-  PagedKvPool pool(16, 4, {kDim});
-  QuantizedKvStore kv(std::make_unique<PagedKvStore>(pool, 1),
-                      QuantizedKvStore::CachePrecision::kFP16);
-  fill_store(kv, 9, 3.0f);
-  expect_runs_match_reads(kv, 0, 9, "quantized");
+/// Quantized analogue of expect_runs_match_reads: dequantize each run row
+/// and compare bitwise against the store's per-position reads (which go
+/// through the same dequant helper, so equality must be exact).
+void expect_quant_runs_match_reads(const KvStore& kv, std::size_t first,
+                                   std::size_t len, const std::string& label) {
+  std::vector<KvRun> runs;
+  kv.runs(0, first, len, runs);
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.len;
+  ASSERT_EQ(total, len) << label << ": runs must cover the range exactly";
+  std::vector<float> k_row(kDim), v_row(kDim);
+  std::size_t p = first;
+  for (const auto& r : runs) {
+    ASSERT_NE(r.fmt, KvQuant::kFp32) << label;
+    ASSERT_NE(r.kq, nullptr) << label;
+    ASSERT_NE(r.vq, nullptr) << label;
+    for (std::size_t t = 0; t < r.len; ++t, ++p) {
+      dequantize_run_row(r, t, /*value=*/false, kDim, k_row);
+      // key() shares the store's scratch row, so copy before reading value().
+      const auto k_ref = kv.key(0, p);
+      for (std::size_t d = 0; d < kDim; ++d)
+        ASSERT_EQ(k_row[d], k_ref[d]) << label << " K at pos " << p;
+      dequantize_run_row(r, t, /*value=*/true, kDim, v_row);
+      const auto v_ref = kv.value(0, p);
+      for (std::size_t d = 0; d < kDim; ++d)
+        ASSERT_EQ(v_row[d], v_ref[d]) << label << " V at pos " << p;
+    }
+  }
+}
+
+TEST(KvRuns, QuantizedContiguousTailIsOneRun) {
+  for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+    QuantizedKvStore kv({kDim}, fmt);
+    fill_store(kv, 9, 3.0f);
+    expect_quant_runs_match_reads(kv, 0, 9, "quantized full");
+    expect_quant_runs_match_reads(kv, 3, 5, "quantized window");
+    std::vector<KvRun> runs;
+    kv.runs(0, 0, 9, runs);
+    ASSERT_EQ(runs.size(), 1u) << "contiguous slab stays one run";
+    EXPECT_EQ(runs[0].fmt, fmt);
+  }
+}
+
+TEST(KvRuns, QuantizedFrozenPrefixYieldsMixedFormatRuns) {
+  // fp32 history frozen at the FP8 switch: runs() must splice the fp32
+  // prefix runs ahead of the quantized tail, formats intact.
+  auto prefix = std::make_unique<ContiguousKvStore>(std::vector<std::size_t>{kDim});
+  fill_store(*prefix, 5, 7.0f);
+  QuantizedKvStore kv({kDim}, std::move(prefix), KvQuant::kFp8);
+  fill_store(kv, 4, 9.0f);
+  ASSERT_EQ(kv.size(), 9u);
+  EXPECT_EQ(kv.prefix_tokens(), 5u);
+
   std::vector<KvRun> runs;
   kv.runs(0, 0, 9, runs);
-  ASSERT_EQ(runs.size(), 1u) << "delegation preserves the inner slab layout";
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].fmt, KvQuant::kFp32);
+  EXPECT_EQ(runs[0].len, 5u);
+  EXPECT_EQ(runs[1].fmt, KvQuant::kFp8);
+  EXPECT_EQ(runs[1].len, 4u);
+  // fp32 prefix rows pass through bit-exactly.
+  expect_runs_match_reads(kv, 0, 5, "frozen prefix");
+  // Windows straddling the format boundary still cover exactly.
+  runs.clear();
+  kv.runs(0, 3, 5, runs);
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.len;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(KvRuns, QuantizedPagedPoolCoalescesAndForksBytewise) {
+  for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+    PagedKvPool pool(16, 4, {kDim}, fmt);
+    EXPECT_EQ(pool.quant(), fmt);
+    auto parent = std::make_unique<PagedKvStore>(pool, 1);
+    fill_store(*parent, 10, 3.0f);
+    expect_quant_runs_match_reads(*parent, 0, 10, "quant paged parent");
+
+    // COW fork: the child's first append relocates the shared tail block by
+    // copying BYTES (never requantizing), so the parent's reads are
+    // untouched and the child's history splits at the relocated block.
+    PagedKvStore child(pool, 2, *parent);
+    std::vector<float> k(kDim), v(kDim);
+    for (std::size_t d = 0; d < kDim; ++d) {
+      k[d] = 777.0f + static_cast<float>(d);
+      v[d] = -777.0f - static_cast<float>(d);
+    }
+    ASSERT_TRUE(child.append(0, k, v));
+    ASSERT_EQ(child.size(), 11u);
+    std::vector<KvRun> runs;
+    child.runs(0, 0, 11, runs);
+    ASSERT_EQ(runs.size(), 2u) << "child must split at the relocated block";
+    expect_quant_runs_match_reads(child, 0, 11, "quant cow child");
+    expect_quant_runs_match_reads(*parent, 0, 10, "quant cow parent");
+    // Shared prefix positions remain byte-identical between parent and child.
+    std::vector<float> a(kDim), b(kDim);
+    for (std::size_t p = 0; p < 10; ++p) {
+      std::copy_n(parent->key(0, p).data(), kDim, a.data());
+      std::copy_n(child.key(0, p).data(), kDim, b.data());
+      ASSERT_EQ(a, b) << "fork diverged at shared pos " << p;
+    }
+  }
 }
 
 TEST(KvRuns, BaseDefaultDegradesToOneRunPerPosition) {

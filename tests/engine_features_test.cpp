@@ -271,11 +271,10 @@ TEST(BeamSearch, RejectsBadArguments) {
 
 // ---- quantized KV cache ---------------------------------------------------------
 
-TEST(QuantizedKv, Fp16CacheNearlyExact) {
+TEST(QuantizedKv, Int8CacheNearlyExact) {
   const MiniTransformer model(weights());
   ContiguousKvStore ref(model.kv_dims());
-  QuantizedKvStore q(std::make_unique<ContiguousKvStore>(model.kv_dims()),
-                     QuantizedKvStore::CachePrecision::kFP16);
+  QuantizedKvStore q(model.kv_dims(), KvQuant::kInt8);
   std::vector<float> a, b;
   for (TokenId t : {3, 14, 15, 9, 2}) {
     a = model.forward(t, ref);
@@ -290,8 +289,7 @@ TEST(QuantizedKv, Fp16CacheNearlyExact) {
 TEST(QuantizedKv, Fp8CacheKeepsGreedyChoice) {
   const MiniTransformer model(weights());
   ContiguousKvStore ref(model.kv_dims());
-  QuantizedKvStore q(std::make_unique<ContiguousKvStore>(model.kv_dims()),
-                     QuantizedKvStore::CachePrecision::kFP8);
+  QuantizedKvStore q(model.kv_dims(), KvQuant::kFp8);
   std::vector<float> a, b;
   for (TokenId t : {3, 14, 15, 9, 2, 40, 41}) {
     a = model.forward(t, ref);
@@ -303,13 +301,17 @@ TEST(QuantizedKv, Fp8CacheKeepsGreedyChoice) {
   EXPECT_NE(a, b);  // but it IS lossy
 }
 
-TEST(QuantizedKv, SizePassesThrough) {
+TEST(QuantizedKv, SizeAndBytesTrackAppends) {
   const MiniTransformer model(weights());
-  QuantizedKvStore q(std::make_unique<ContiguousKvStore>(model.kv_dims()),
-                     QuantizedKvStore::CachePrecision::kFP8);
+  QuantizedKvStore q(model.kv_dims(), KvQuant::kFp8);
   model.forward(1, q);
   model.forward(2, q);
   EXPECT_EQ(q.size(), 2u);
+  // fp8 stores exactly one byte per K/V element: 2 tokens x 2 (K+V) x dim
+  // per layer, no scale side-band.
+  std::size_t expect = 0;
+  for (std::size_t dim : model.kv_dims()) expect += 2 * 2 * dim;
+  EXPECT_EQ(q.stored_bytes(), expect);
 }
 
 // ---- chunked prefill -------------------------------------------------------------

@@ -195,33 +195,43 @@ TEST(PrefixFork, SharedBlocksSurviveParentDestruction) {
   }
 }
 
-TEST(PrefixFork, QuantizedWrapperDelegatesOverForkedStore) {
-  engine::PagedKvPool pool(8, 4, {4});
+TEST(PrefixFork, QuantizedPoolPrefixForkBorrowsBytes) {
+  // Prefix fork on an fp8 pool: the child borrows the parent's QUANTIZED
+  // blocks byte-wise — reads through both stores are bit-identical, and the
+  // child's divergent appends land in fresh blocks.
+  engine::PagedKvPool pool(8, 4, {4}, engine::KvQuant::kFp8);
   engine::PagedKvStore parent(pool, 1);
   for (int t = 0; t < 8; ++t) {
     std::vector<float> k(4, 1.5f * static_cast<float>(t + 1));
     std::vector<float> v(4, -0.5f * static_cast<float>(t + 1));
     ASSERT_TRUE(parent.append(0, k, v));
   }
-  engine::QuantizedKvStore q(std::make_unique<engine::PagedKvStore>(pool, 2, parent, 4),
-                             engine::QuantizedKvStore::CachePrecision::kFP16);
-  EXPECT_EQ(q.size(), 4u);  // size() reports the forked prefix length
-  // Reads pass through to the shared blocks untouched.
-  for (std::size_t p = 0; p < 4; ++p)
-    EXPECT_EQ(q.key(0, p)[0], 1.5f * static_cast<float>(p + 1));
-  // Appends quantize then land in the wrapped fork (1.5 is fp16-exact).
+  engine::PagedKvStore child(pool, 2, parent, 4);
+  EXPECT_EQ(child.size(), 4u);  // size() reports the forked prefix length
+  std::vector<float> a(4), b(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    // key() dequantizes into per-store scratch; copy before comparing.
+    std::copy_n(parent.key(0, p).data(), 4, a.data());
+    std::copy_n(child.key(0, p).data(), 4, b.data());
+    EXPECT_EQ(a, b) << "borrowed prefix differs at pos " << p;
+  }
+  // Appends quantize then land in the fork (1.5 is fp8-e4m3-exact).
   std::vector<float> k(4, 1.5f), v(4, -1.5f);
-  ASSERT_TRUE(q.append(0, k, v));
-  EXPECT_EQ(q.size(), 5u);
-  EXPECT_EQ(q.key(0, 4)[0], 1.5f);
-  EXPECT_EQ(q.value(0, 4)[0], -1.5f);
-  // runs() delegates: slabs cover every position in order.
+  ASSERT_TRUE(child.append(0, k, v));
+  EXPECT_EQ(child.size(), 5u);
+  EXPECT_EQ(child.key(0, 4)[0], 1.5f);
+  EXPECT_EQ(child.value(0, 4)[0], -1.5f);
+  // Parent's own tail positions are untouched by the child's divergence.
+  EXPECT_EQ(parent.key(0, 4)[0], 1.5f * 5.0f);  // 7.5 is fp8-exact
+  // runs() covers every position, in format kFp8.
   std::vector<engine::KvRun> runs;
-  q.runs(0, 0, 5, runs);
+  child.runs(0, 0, 5, runs);
   std::size_t covered = 0;
-  for (const auto& r : runs) covered += r.len;
+  for (const auto& r : runs) {
+    covered += r.len;
+    EXPECT_EQ(r.fmt, engine::KvQuant::kFp8);
+  }
   EXPECT_EQ(covered, 5u);
-  EXPECT_EQ(runs.front().k[0], 1.5f);
 }
 
 // ---- engine: fork-then-diverge correctness --------------------------------

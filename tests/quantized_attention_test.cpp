@@ -1,0 +1,355 @@
+// Fused quantized-attention equivalence tests: for every kernel backend and
+// both quantized formats, the runs path over int8/fp8 byte slabs must be
+// BITWISE identical to the per-position dequant reference and to the
+// backend's fp32 kernels fed pre-dequantized values (the dequant-in-register
+// contract); scalar vs SIMD agree to 1e-5 against fp32 math; chunked prefill
+// equals serial decode on quantized stores (pinning the quantize-once
+// append_quantized path); a mid-generation FP8 switch preserves the frozen
+// prefix bitwise; and ServingEngine on a quantized pool is deterministic
+// across prefix-cache borrows.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/attention.h"
+#include "engine/generator.h"
+#include "engine/kernels/kernels.h"
+#include "engine/kv_store.h"
+#include "engine/model.h"
+#include "engine/quantized_kv.h"
+#include "engine/weights.h"
+
+namespace {
+
+using namespace llmib;
+using namespace llmib::engine;
+namespace ker = llmib::engine::kernels;
+using llmib::models::AttentionKind;
+using llmib::models::FfnKind;
+using llmib::models::ModelConfig;
+
+std::vector<ker::Backend> testable_backends() {
+  std::vector<ker::Backend> b{ker::Backend::kScalar, ker::Backend::kPortable};
+  if (ker::cpu_supports(ker::Backend::kAvx2)) b.push_back(ker::Backend::kAvx2);
+  return b;
+}
+
+ModelConfig tiny_cfg(std::int64_t sliding_window = 0) {
+  ModelConfig cfg;
+  cfg.name = "quant-attn-test";
+  cfg.n_layers = 2;
+  cfg.hidden_size = 48;
+  cfg.attention = AttentionKind::kGQA;
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = 2;
+  cfg.ffn = FfnKind::kDense;
+  cfg.ffn_intermediate = 64;
+  cfg.max_seq_len = 128;
+  cfg.vocab_size = 64;
+  cfg.sliding_window = sliding_window;
+  return cfg;
+}
+
+std::vector<TokenId> token_ramp(std::size_t n, std::int64_t vocab) {
+  std::vector<TokenId> t(n);
+  for (std::size_t i = 0; i < n; ++i)
+    t[i] = static_cast<TokenId>((i * 7 + 3) % static_cast<std::size_t>(vocab));
+  return t;
+}
+
+void expect_bitwise(const std::vector<float>& a, const std::vector<float>& b,
+                    const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << label << " differs at " << i;
+}
+
+std::vector<std::vector<float>> decode_all(const MiniTransformer& model,
+                                           KvStore& kv,
+                                           std::span<const TokenId> tokens) {
+  std::vector<std::vector<float>> out;
+  for (TokenId t : tokens) out.push_back(model.forward(t, kv));
+  return out;
+}
+
+const char* fmt_name(KvQuant fmt) {
+  return fmt == KvQuant::kInt8 ? "int8" : "fp8";
+}
+
+// ---- fused slab kernels == per-position dequant reference, bitwise -----------
+
+TEST(QuantAttnIdentity, RunsVsPerPositionSerialDecode) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 31);
+  const MiniTransformer model(weights);
+  const auto tokens = token_ramp(40, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+      const std::string label =
+          std::string(ker::get(backend).name) + "/" + fmt_name(fmt);
+      std::vector<std::vector<std::vector<float>>> per_path;
+      for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+        ScopedAttnPath forced_path(path);
+        QuantizedKvStore contig(model.kv_dims(), fmt);
+        auto contig_logits = decode_all(model, contig, tokens);
+
+        PagedKvPool pool(64, 4, model.kv_dims(), fmt);
+        PagedKvStore paged(pool, 1);
+        auto paged_logits = decode_all(model, paged, tokens);
+
+        // Paged quantized == contiguous quantized within a path: both hold
+        // identical bytes, block boundaries must not change the math.
+        for (std::size_t s = 0; s < tokens.size(); ++s)
+          expect_bitwise(contig_logits[s], paged_logits[s],
+                         label + " paged-vs-contig step " + std::to_string(s));
+        per_path.push_back(std::move(contig_logits));
+      }
+      for (std::size_t s = 0; s < tokens.size(); ++s)
+        expect_bitwise(per_path[0][s], per_path[1][s],
+                       label + " runs-vs-perpos step " + std::to_string(s));
+    }
+  }
+}
+
+TEST(QuantAttnIdentity, SlidingWindowDecode) {
+  // Window of 10 over block-size-4 quantized paged stores: scale-stream
+  // offsets start mid-block nearly every step.
+  const ModelConfig cfg = tiny_cfg(/*sliding_window=*/10);
+  const auto weights = TransformerWeights::random(cfg, 32);
+  const MiniTransformer model(weights);
+  const auto tokens = token_ramp(32, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+      std::vector<std::vector<std::vector<float>>> per_path;
+      for (AttnPath path : {AttnPath::kRuns, AttnPath::kPerPosition}) {
+        ScopedAttnPath forced_path(path);
+        PagedKvPool pool(64, 4, model.kv_dims(), fmt);
+        PagedKvStore paged(pool, 1);
+        per_path.push_back(decode_all(model, paged, tokens));
+      }
+      for (std::size_t s = 0; s < tokens.size(); ++s)
+        expect_bitwise(per_path[0][s], per_path[1][s],
+                       std::string(ker::get(backend).name) + "/" +
+                           fmt_name(fmt) + " sliding step " +
+                           std::to_string(s));
+    }
+  }
+}
+
+// ---- dequant-in-register == fp32 kernels on pre-dequantized values -----------
+
+TEST(QuantAttnIdentity, FusedKernelsMatchFp32OracleBitwise) {
+  // Mirror every row a quantized store holds into an fp32 store via the
+  // store's own dequantized reads, then run attend() against both. The
+  // fused q8/f8 kernels compute fl(dequant(byte)) per element before the
+  // SAME fp32 lane discipline, so the outputs must be bitwise equal — not
+  // merely close.
+  constexpr std::size_t kKvDim = 12;    // 2 kv heads of head_dim 6
+  constexpr std::size_t kHeadDim = 6;
+  constexpr std::size_t kQDim = 24;     // 4 query heads (GQA group 2)
+  constexpr std::size_t kLen = 33;      // odd length exercises SIMD tails
+
+  for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+    QuantizedKvStore quant({kKvDim}, fmt);
+    ContiguousKvStore oracle({kKvDim});
+    std::vector<float> k(kKvDim), v(kKvDim), row(kKvDim);
+    for (std::size_t p = 0; p < kLen; ++p) {
+      for (std::size_t d = 0; d < kKvDim; ++d) {
+        k[d] = 0.37f * static_cast<float>((p * 31 + d * 7) % 23) - 3.7f;
+        v[d] = 0.21f * static_cast<float>((p * 17 + d * 11) % 29) - 2.9f;
+      }
+      ASSERT_TRUE(quant.append(0, k, v));
+      // Mirror the dequantized bits (key/value share scratch: copy each).
+      row.assign(quant.key(0, p).begin(), quant.key(0, p).end());
+      std::vector<float> v_row(quant.value(0, p).begin(),
+                               quant.value(0, p).end());
+      ASSERT_TRUE(oracle.append(0, row, v_row));
+    }
+
+    std::vector<float> q(kQDim);
+    for (std::size_t i = 0; i < kQDim; ++i)
+      q[i] = 0.13f * static_cast<float>((i * 13) % 17) - 1.1f;
+
+    for (ker::Backend backend : testable_backends()) {
+      ker::ScopedBackend forced(backend);
+      ScopedAttnPath runs_path(AttnPath::kRuns);
+      const std::string label = std::string("oracle ") +
+                                ker::get(backend).name + "/" + fmt_name(fmt);
+      std::vector<float> out_q(kQDim), out_o(kQDim);
+      attend(q, out_q, quant, 0, kLen - 1, kLen, nullptr, kKvDim, kHeadDim,
+             /*sliding_window=*/0, AttnScratch::local());
+      attend(q, out_o, oracle, 0, kLen - 1, kLen, nullptr, kKvDim, kHeadDim,
+             /*sliding_window=*/0, AttnScratch::local());
+      expect_bitwise(out_q, out_o, label);
+    }
+  }
+}
+
+// ---- scalar vs SIMD (different lane math) stay within fp tolerance ----------
+
+TEST(QuantAttn, ScalarVsSimdWithinTolerance) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 34);
+  const MiniTransformer model(weights);
+  const auto tokens = token_ramp(24, cfg.vocab_size);
+
+  for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+    std::vector<std::vector<std::vector<float>>> per_backend;
+    for (ker::Backend backend : testable_backends()) {
+      ker::ScopedBackend forced(backend);
+      QuantizedKvStore kv(model.kv_dims(), fmt);
+      per_backend.push_back(decode_all(model, kv, tokens));
+    }
+    for (std::size_t b = 1; b < per_backend.size(); ++b) {
+      for (std::size_t s = 0; s < tokens.size(); ++s) {
+        ASSERT_EQ(per_backend[0][s].size(), per_backend[b][s].size());
+        for (std::size_t i = 0; i < per_backend[0][s].size(); ++i)
+          ASSERT_NEAR(per_backend[0][s][i], per_backend[b][s][i], 1e-5)
+              << fmt_name(fmt) << " backend " << b << " step " << s;
+      }
+    }
+  }
+}
+
+// ---- chunked prefill == serial decode on quantized stores --------------------
+
+TEST(QuantAttnIdentity, ChunkedPrefillEqualsSerialDecode) {
+  // Prefill quantizes each chunk row ONCE and commits those exact bytes via
+  // append_quantized; re-quantizing dequantized rows would break this
+  // (int8 row quantization is not idempotent).
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 35);
+  const MiniTransformer model(weights);
+  const auto prompt = token_ramp(23, cfg.vocab_size);
+
+  for (ker::Backend backend : testable_backends()) {
+    ker::ScopedBackend forced(backend);
+    for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+      const std::string label = std::string(ker::get(backend).name) + "/" +
+                                fmt_name(fmt);
+      // Serial: one forward per token.
+      QuantizedKvStore serial_kv(model.kv_dims(), fmt);
+      std::vector<float> serial_last;
+      for (TokenId t : prompt) serial_last = model.forward(t, serial_kv);
+
+      // Chunked: two prefill calls (9 + 14 tokens).
+      QuantizedKvStore chunked_kv(model.kv_dims(), fmt);
+      model.prefill(std::span<const TokenId>(prompt).first(9), chunked_kv);
+      const auto chunk_last =
+          model.prefill(std::span<const TokenId>(prompt).subspan(9), chunked_kv);
+      expect_bitwise(serial_last, chunk_last, label + " prefill-vs-serial");
+
+      // And the NEXT decode reads identical bytes from both stores.
+      expect_bitwise(model.forward(5, serial_kv), model.forward(5, chunked_kv),
+                     label + " post-prefill decode");
+    }
+  }
+}
+
+// ---- mid-generation FP8 switch ----------------------------------------------
+
+TEST(QuantAttn, MidGenerationFp8SwitchPreservesFrozenPrefix) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 36);
+  const MiniTransformer model(weights);
+  const auto tokens = token_ramp(20, cfg.vocab_size);
+
+  // Phase 1: 12 tokens at full precision.
+  auto fp32_kv = std::make_unique<ContiguousKvStore>(model.kv_dims());
+  for (std::size_t s = 0; s < 12; ++s) model.forward(tokens[s], *fp32_kv);
+
+  // Snapshot the fp32 rows, then switch: freeze the store as the prefix.
+  std::vector<std::vector<float>> snap_k, snap_v;
+  for (std::size_t s = 0; s < 12; ++s) {
+    const auto k = fp32_kv->key(0, s);
+    snap_k.emplace_back(k.begin(), k.end());
+    const auto v = fp32_kv->value(0, s);
+    snap_v.emplace_back(v.begin(), v.end());
+  }
+  QuantizedKvStore switched(model.kv_dims(), std::move(fp32_kv), KvQuant::kFp8);
+  EXPECT_EQ(switched.prefix_tokens(), 12u);
+
+  // Phase 2: keep generating; prior-context reads stay bitwise fp32.
+  for (std::size_t s = 12; s < tokens.size(); ++s) {
+    const auto logits = model.forward(tokens[s], switched);
+    ASSERT_EQ(logits.size(), static_cast<std::size_t>(cfg.vocab_size));
+    for (std::size_t p = 0; p < 12; ++p) {
+      const auto k = switched.key(0, p);
+      for (std::size_t d = 0; d < k.size(); ++d)
+        ASSERT_EQ(k[d], snap_k[p][d]) << "frozen K drifted at pos " << p;
+      const auto v = switched.value(0, p);
+      for (std::size_t d = 0; d < v.size(); ++d)
+        ASSERT_EQ(v[d], snap_v[p][d]) << "frozen V drifted at pos " << p;
+    }
+  }
+  EXPECT_EQ(switched.size(), tokens.size());
+  // Mixed-format history: runs() reports fp32 prefix + fp8 tail.
+  std::vector<KvRun> runs;
+  switched.runs(0, 0, switched.size(), runs);
+  ASSERT_GE(runs.size(), 2u);
+  EXPECT_EQ(runs.front().fmt, KvQuant::kFp32);
+  EXPECT_EQ(runs.back().fmt, KvQuant::kFp8);
+}
+
+// ---- serving engine on a quantized pool --------------------------------------
+
+TEST(QuantServing, Fp8PoolDeterministicAcrossPrefixBorrows) {
+  const ModelConfig cfg = tiny_cfg();
+  const auto weights = TransformerWeights::random(cfg, 37);
+  const MiniTransformer model(weights);
+
+  std::vector<TokenId> shared;
+  for (int i = 0; i < 32; ++i) shared.push_back(static_cast<TokenId>(i % 60 + 1));
+  auto prompt_a = shared, prompt_b = shared;
+  for (int i = 0; i < 6; ++i) {
+    prompt_a.push_back(static_cast<TokenId>(40 + i));
+    prompt_b.push_back(static_cast<TokenId>(50 + i));
+  }
+
+  const auto run = [&](bool caching, KvQuant fmt) {
+    ServingEngine::Config ecfg;
+    ecfg.pool_blocks = 64;
+    ecfg.block_size = 16;
+    ecfg.max_batch = 2;
+    ecfg.prefix_caching = caching;
+    ecfg.kv_quant = fmt;
+    ServingEngine eng(model, ecfg);
+    const auto a = eng.submit(prompt_a, 6);
+    eng.run_to_completion();
+    const auto b = eng.submit(prompt_b, 6);
+    eng.run_to_completion();
+    return std::pair{eng.output(a), eng.output(b)};
+  };
+
+  for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+    // Prefix-cache borrows fork QUANTIZED blocks byte-wise, so cached and
+    // cold runs must produce token-identical outputs.
+    const auto cold = run(/*caching=*/false, fmt);
+    const auto cached = run(/*caching=*/true, fmt);
+    EXPECT_EQ(cold.first, cached.first) << fmt_name(fmt);
+    EXPECT_EQ(cold.second, cached.second) << fmt_name(fmt);
+  }
+
+  // The cache actually fired on the second prompt.
+  ServingEngine::Config ecfg;
+  ecfg.pool_blocks = 64;
+  ecfg.block_size = 16;
+  ecfg.prefix_caching = true;
+  ecfg.kv_quant = KvQuant::kFp8;
+  ServingEngine eng(model, ecfg);
+  eng.submit(prompt_a, 6);
+  eng.run_to_completion();
+  eng.submit(prompt_b, 6);
+  eng.run_to_completion();
+  EXPECT_GT(eng.prefix_stats().hits, 0);
+  EXPECT_GT(eng.prefix_stats().hit_tokens, 0);
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// Quantized KV storage tests: FP8-E4M3 encode/decode bit behavior, int8
+// per-vector row quantization, narrow-storage accounting (stored_bytes,
+// kv_quant_bytes_per_token), append_quantized exact-byte pass-through, the
+// frozen fp32 prefix (mid-generation FP8 switch), and the
+// no-allocation-in-steady-state append contract.
+//
+// This binary deliberately carries NO tsan label: it overrides the global
+// operator new to count allocations, which is incompatible with sanitizer
+// interceptors.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "engine/kernels/kernels.h"
+#include "engine/kv_store.h"
+#include "engine/quantized_kv.h"
+#include "quant/numeric.h"
+#include "util/check.h"
+
+// ---- allocation counter -----------------------------------------------------
+// Counts every operator-new while armed. Kept process-global and branch-light
+// so the steady-state append loop measures the store, not the harness.
+
+namespace {
+std::atomic<std::int64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace llmib;
+using namespace llmib::engine;
+using llmib::util::ContractViolation;
+
+// ---- FP8 E4M3 ----------------------------------------------------------------
+
+TEST(Fp8E4m3, DecodeTableAnchors) {
+  const float* table = kernels::fp8_e4m3_table();
+  EXPECT_EQ(table[0x00], 0.0f);
+  EXPECT_FALSE(std::signbit(table[0x00]));  // +0: zero-padded tails add +0
+  EXPECT_EQ(table[0x80], -0.0f);
+  EXPECT_EQ(table[0x38], 1.0f);   // exp_field 7 (bias), mantissa 0
+  EXPECT_EQ(table[0xB8], -1.0f);
+  EXPECT_EQ(table[0x7E], 448.0f);  // max finite
+  EXPECT_EQ(table[0xFE], -448.0f);
+  EXPECT_TRUE(std::isnan(table[0x7F]));
+  EXPECT_TRUE(std::isnan(table[0xFF]));
+  // Smallest subnormal step: 2^-9.
+  EXPECT_EQ(table[0x01], 0.001953125f);
+}
+
+TEST(Fp8E4m3, EncodeDecodeRoundTripsEveryFiniteByte) {
+  // encode must be the exact left inverse of decode on all non-NaN bytes —
+  // this is what makes append_quantized()'s byte pass-through lossless.
+  for (int b = 0; b < 256; ++b) {
+    const auto byte = static_cast<std::uint8_t>(b);
+    const float v = quant::fp8_e4m3_decode(byte);
+    if (std::isnan(v)) continue;
+    if (v == 0.0f && byte == 0x80) continue;  // -0 encodes to +0's bit pattern
+    EXPECT_EQ(quant::fp8_e4m3_encode(v), byte)
+        << "byte 0x" << std::hex << b << " value " << v;
+  }
+}
+
+TEST(Fp8E4m3, EncodeSaturatesAndRounds) {
+  EXPECT_EQ(quant::fp8_e4m3_decode(quant::fp8_e4m3_encode(1e6f)), 448.0f);
+  EXPECT_EQ(quant::fp8_e4m3_decode(quant::fp8_e4m3_encode(-1e6f)), -448.0f);
+  // Round-to-nearest within a binade: 1.0 + 1/16 sits midway between 1.0
+  // and 1.125 (steps of 1/8) and rounds to even mantissa (1.0).
+  EXPECT_EQ(quant::fp8_e4m3_decode(quant::fp8_e4m3_encode(1.0625f)), 1.0f);
+  EXPECT_EQ(quant::fp8_e4m3_decode(quant::fp8_e4m3_encode(1.1f)), 1.125f);
+  EXPECT_EQ(quant::fp8_e4m3_encode(0.0f), 0x00);
+}
+
+TEST(Fp8E4m3, RoundTripErrorBounded) {
+  // Relative error of one E4M3 round trip is at most 2^-4 in the normal
+  // range (3 mantissa bits -> half-ulp 1/16).
+  for (float x : {0.017f, 0.3f, 1.7f, -2.9f, 55.0f, -300.0f}) {
+    const float r = quant::fp8_e4m3_decode(quant::fp8_e4m3_encode(x));
+    EXPECT_NEAR(r, x, std::fabs(x) / 16.0f) << "x=" << x;
+  }
+}
+
+// ---- int8 per-vector row quantization ---------------------------------------
+
+TEST(Int8Row, ScaleIsAmaxOver127AndZeroRowIsSafe) {
+  std::vector<float> row = {0.5f, -2.54f, 1.0f, 0.0f};
+  std::vector<std::uint8_t> q(row.size());
+  const float scale = quantize_kv_row(KvQuant::kInt8, row, q.data());
+  EXPECT_FLOAT_EQ(scale, 2.54f / 127.0f);
+  EXPECT_EQ(static_cast<std::int8_t>(q[1]), -127);
+  EXPECT_EQ(static_cast<std::int8_t>(q[3]), 0);
+  std::vector<float> dq(row.size());
+  dequantize_kv_row(KvQuant::kInt8, q.data(), scale, dq);
+  for (std::size_t i = 0; i < row.size(); ++i)
+    EXPECT_NEAR(dq[i], row[i], scale * 0.5f + 1e-7f) << "elem " << i;
+
+  // All-zero row: scale 1.0 (not 0), bytes all zero, dequant exact zeros.
+  std::vector<float> zero(4, 0.0f);
+  const float zscale = quantize_kv_row(KvQuant::kInt8, zero, q.data());
+  EXPECT_EQ(zscale, 1.0f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(q[i], 0u);
+}
+
+TEST(Int8Row, DequantMatchesPerElementExpression) {
+  // The contract the fused kernels rely on: dequantized element i is
+  // EXACTLY fl(float(int8) * scale).
+  std::vector<float> row = {0.11f, -0.07f, 0.251f, -0.9f, 0.33f};
+  std::vector<std::uint8_t> q(row.size());
+  const float scale = quantize_kv_row(KvQuant::kInt8, row, q.data());
+  std::vector<float> dq(row.size());
+  dequantize_kv_row(KvQuant::kInt8, q.data(), scale, dq);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const float expect =
+        static_cast<float>(static_cast<std::int8_t>(q[i])) * scale;
+    EXPECT_EQ(dq[i], expect);
+  }
+}
+
+// ---- footprint accounting ----------------------------------------------------
+
+TEST(KvBytes, PerTokenFootprintByFormat) {
+  const std::vector<std::size_t> dims = {8, 8, 4};
+  // fp32: K+V floats. int8: K+V bytes + two fp32 scales/layer. fp8: bytes.
+  EXPECT_EQ(kv_quant_bytes_per_token(dims, KvQuant::kFp32), 2u * 20u * 4u);
+  EXPECT_EQ(kv_quant_bytes_per_token(dims, KvQuant::kInt8),
+            2u * 20u + 3u * 2u * 4u);
+  EXPECT_EQ(kv_quant_bytes_per_token(dims, KvQuant::kFp8), 2u * 20u);
+}
+
+TEST(QuantizedStore, StoredBytesMatchFormula) {
+  const std::vector<std::size_t> dims = {8, 4};
+  for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+    QuantizedKvStore kv(dims, fmt);
+    std::vector<float> k(8), v(8);
+    for (std::size_t t = 0; t < 5; ++t) {
+      for (int l = 0; l < 2; ++l) {
+        const std::size_t d = dims[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i < d; ++i) {
+          k[i] = 0.1f * static_cast<float>(t + i + 1);
+          v[i] = -0.2f * static_cast<float>(t + i + 1);
+        }
+        ASSERT_TRUE(kv.append(l, {k.data(), d}, {v.data(), d}));
+      }
+    }
+    EXPECT_EQ(kv.stored_bytes(), 5u * kv_quant_bytes_per_token(dims, fmt));
+  }
+}
+
+TEST(QuantizedStore, AppendQuantizedIsExactBytePassThrough) {
+  // Chunked prefill quantizes a row ONCE and commits the exact bytes; the
+  // committed row must read back bit-identically (int8 quantization is not
+  // idempotent, so recomputing the quantization would break chunk==serial).
+  const std::vector<std::size_t> dims = {6};
+  QuantizedKvStore kv(dims, KvQuant::kInt8);
+  std::vector<float> k = {0.3f, -0.17f, 0.251f, 0.9f, -0.33f, 0.05f};
+  std::vector<float> v = {-0.4f, 0.27f, -0.151f, 0.8f, 0.13f, -0.06f};
+  std::vector<std::uint8_t> kq(6), vq(6);
+  const float ks = quantize_kv_row(KvQuant::kInt8, k, kq.data());
+  const float vs = quantize_kv_row(KvQuant::kInt8, v, vq.data());
+  ASSERT_TRUE(kv.append_quantized(0, KvQuant::kInt8, kq, vq, ks, vs));
+  ASSERT_EQ(kv.size(), 1u);
+
+  std::vector<float> want(6);
+  dequantize_kv_row(KvQuant::kInt8, kq.data(), ks, want);
+  const auto got_k = kv.key(0, 0);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(got_k[i], want[i]);
+  dequantize_kv_row(KvQuant::kInt8, vq.data(), vs, want);
+  const auto got_v = kv.value(0, 0);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(got_v[i], want[i]);
+
+  // Format mismatch is a contract violation, not silent coercion.
+  EXPECT_THROW(kv.append_quantized(0, KvQuant::kFp8, kq, vq, 1.0f, 1.0f),
+               ContractViolation);
+}
+
+// ---- frozen fp32 prefix (mid-generation switch) ------------------------------
+
+TEST(QuantizedStore, FrozenPrefixKeepsFp32BitsAndQuantizesTail) {
+  const std::vector<std::size_t> dims = {4};
+  auto prefix = std::make_unique<ContiguousKvStore>(dims);
+  std::vector<float> k = {0.123456f, -0.654321f, 0.111f, -0.222f};
+  std::vector<float> v = {1.23456f, -6.54321f, 1.11f, -2.22f};
+  ASSERT_TRUE(prefix->append(0, k, v));
+  const ContiguousKvStore* raw_prefix = prefix.get();
+
+  QuantizedKvStore kv(dims, std::move(prefix), KvQuant::kInt8);
+  EXPECT_EQ(kv.prefix_tokens(), 1u);
+  EXPECT_EQ(kv.size(), 1u);
+  // Prefix reads are bit-exact pass-throughs (no quantization applied).
+  const auto pk = kv.key(0, 0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(pk[i], k[i]);
+  (void)raw_prefix;
+
+  // Tail appends quantize; size spans both.
+  ASSERT_TRUE(kv.append(0, k, v));
+  EXPECT_EQ(kv.size(), 2u);
+  const auto tk = kv.key(0, 1);
+  EXPECT_NE(tk[0], k[0]);  // int8 is lossy on these values
+  // stored_bytes counts ONLY the narrow tail.
+  EXPECT_EQ(kv.stored_bytes(), kv_quant_bytes_per_token(dims, KvQuant::kInt8));
+}
+
+TEST(QuantizedStore, RejectsFp32FormatAndQuantizedPrefix) {
+  EXPECT_THROW(QuantizedKvStore({4}, KvQuant::kFp32), ContractViolation);
+  auto qprefix = std::make_unique<QuantizedKvStore>(
+      std::vector<std::size_t>{4}, KvQuant::kFp8);
+  EXPECT_THROW(QuantizedKvStore({4}, std::move(qprefix), KvQuant::kFp8),
+               ContractViolation);
+}
+
+// ---- steady-state allocation contract ---------------------------------------
+
+TEST(QuantizedStore, ReservedAppendsNeverAllocate) {
+  // The old wrapper allocated two fp32 staging vectors per append (per
+  // token, per layer). The narrow store appends into reserved planes:
+  // after reserve(), the append loop must not touch the allocator at all.
+  const std::vector<std::size_t> dims = {16, 16};
+  for (KvQuant fmt : {KvQuant::kInt8, KvQuant::kFp8}) {
+    QuantizedKvStore kv(dims, fmt);
+    constexpr std::size_t kTokens = 64;
+    kv.reserve(kTokens);
+    std::vector<float> k(16), v(16);
+
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    for (std::size_t t = 0; t < kTokens; ++t) {
+      for (int l = 0; l < 2; ++l) {
+        for (std::size_t i = 0; i < 16; ++i) {
+          k[i] = 0.01f * static_cast<float>(t * 16 + i);
+          v[i] = -0.02f * static_cast<float>(t * 16 + i);
+        }
+        kv.append(l, k, v);
+      }
+    }
+    g_counting.store(false, std::memory_order_relaxed);
+
+    EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0)
+        << "steady-state append allocated under "
+        << (fmt == KvQuant::kInt8 ? "int8" : "fp8");
+    EXPECT_EQ(kv.size(), kTokens);
+  }
+}
+
+}  // namespace

@@ -121,6 +121,53 @@ TEST(Scheduler, ImpossibleRequestRejectedAtSubmit) {
   EXPECT_THROW(s.submit(req(1, 8, 4)), ContractViolation);  // 12 > 10
 }
 
+TEST(Scheduler, ByteBudgetDividesByBytesPerToken) {
+  // 3000 bytes at 100 bytes/token = 30 tokens -> identical admission to the
+  // token-denominated KvCapacityLimitsConcurrency case.
+  Scheduler::Config c = cfg(BatchPolicy::kContinuous, 64);
+  c.kv_capacity_bytes = 3000;
+  c.kv_bytes_per_token = 100;
+  Scheduler s(c);
+  EXPECT_EQ(s.effective_kv_capacity_tokens(), 30);
+  for (RequestId i = 0; i < 4; ++i) s.submit(req(i, 8, 4));
+  EXPECT_EQ(s.plan_step().prefills.size(), 2u);
+  EXPECT_EQ(s.reserved_kv_tokens(), 24);
+}
+
+TEST(Scheduler, ShrinkingBytesPerTokenAdmitsMoreFromSamePool) {
+  // The FP8 degradation switch: same byte pool, quarter the bytes per
+  // token -> effective capacity quadruples and admission unblocks WITHOUT
+  // touching live sequences.
+  Scheduler::Config c = cfg(BatchPolicy::kContinuous, 64);
+  c.kv_capacity_bytes = 3000;
+  c.kv_bytes_per_token = 100;  // fp32-ish: 30 tokens
+  Scheduler s(c);
+  for (RequestId i = 0; i < 8; ++i) s.submit(req(i, 8, 4));  // 12 tokens each
+  EXPECT_EQ(s.plan_step().prefills.size(), 2u);
+  EXPECT_EQ(s.waiting_requests(), 6);
+
+  s.set_kv_bytes_per_token(25);  // fp8: 120 tokens
+  EXPECT_EQ(s.effective_kv_capacity_tokens(), 120);
+  const auto plan = s.plan_step();
+  EXPECT_EQ(plan.prefills.size(), 6u);  // everyone else fits now
+  EXPECT_EQ(s.live_sequences(), 8);
+
+  // Restoring the wide format only pauses admission; nothing is evicted.
+  s.set_kv_bytes_per_token(100);
+  EXPECT_EQ(s.live_sequences(), 8);
+}
+
+TEST(Scheduler, ByteBudgetContractErrors) {
+  Scheduler::Config c = cfg(BatchPolicy::kContinuous, 4);
+  c.kv_capacity_bytes = 1000;  // without bytes-per-token: invalid
+  EXPECT_THROW(Scheduler{c}, ContractViolation);
+  c.kv_bytes_per_token = 100;
+  Scheduler s(c);
+  EXPECT_THROW(s.set_kv_bytes_per_token(0), ContractViolation);
+  // Submit-time feasibility uses the effective (byte-derived) capacity.
+  EXPECT_THROW(s.submit(req(1, 8, 4)), ContractViolation);  // 12 > 10
+}
+
 TEST(Scheduler, CompletionFreesCapacityForWaiters) {
   Scheduler s(cfg(BatchPolicy::kContinuous, 64, 12));
   s.submit(req(0, 8, 4));
