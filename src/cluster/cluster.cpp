@@ -89,6 +89,7 @@ ClusterSimulator::Result ClusterSimulator::run(
   opts.shared_prefix = wl.shared_prefix_tokens;
   opts.order = wl.queue_order;
   opts.sjf_aging_tokens_per_round = wl.sjf_aging_tokens_per_round;
+  opts.tenancy = wl.tenancy;
   opts.faults = wl.faults;
   opts.resilience = wl.resilience;
   Result res = run_trace(base, reqs, opts, copts);
@@ -122,6 +123,7 @@ ClusterSimulator::Result ClusterSimulator::run_trace(
             "ClusterSimulator: negative per-request shared prefix");
     require(reqs[i].cacheable_tokens >= -1,
             "ClusterSimulator: cacheable_tokens must be >= -1");
+    require(reqs[i].tenant >= 0, "ClusterSimulator: negative tenant id");
     max_prompt = std::max(max_prompt, reqs[i].prompt_tokens);
     max_output = std::max(max_output, reqs[i].output_tokens);
   }
@@ -155,15 +157,13 @@ ClusterSimulator::Result ClusterSimulator::run_trace(
       static_cast<std::int64_t>(sim_.kv_capacity_tokens(probe));
   const std::int64_t kv_bpt =
       std::llround(sim_.kv_bytes_per_token_device(probe));
-  if (kv_cap_tokens > 0 && kv_bpt > 0) {
-    scfg.kv_capacity_bytes = kv_cap_tokens * kv_bpt;
-    scfg.kv_bytes_per_token = kv_bpt;
-  } else {
-    scfg.kv_capacity_tokens = kv_cap_tokens;
-  }
+  scfg.kv = kv_cap_tokens > 0 && kv_bpt > 0
+                ? sched::KvBudget::bytes(kv_cap_tokens * kv_bpt, kv_bpt)
+                : sched::KvBudget::tokens(kv_cap_tokens);
   scfg.reservation_frac = fw.conservative_admission ? 1.0 : 0.25;
   scfg.order = opts.order;
   scfg.sjf_aging_tokens_per_round = opts.sjf_aging_tokens_per_round;
+  scfg.tenancy = opts.tenancy;
 
   sim::SimConfig step_cfg = base;
   step_cfg.batch_size = 1;
@@ -228,7 +228,7 @@ ClusterSimulator::Result ClusterSimulator::run_trace(
     rc.step_cfg_fp8 = step_cfg_fp8;
     rc.sched = scfg;
     rc.base_max_batch = scfg.max_batch;
-    rc.kv_bytes_per_token_fp8 = scfg.kv_capacity_bytes > 0
+    rc.kv_bytes_per_token_fp8 = scfg.kv.byte_denominated()
                                     ? std::llround(sim_.kv_bytes_per_token_device(
                                           step_cfg_fp8))
                                     : 0;
@@ -460,6 +460,34 @@ ClusterSimulator::Result ClusterSimulator::run_trace(
   m.degradation_activations = degradation_activations;
   m.availability =
       static_cast<double>(sh.completed) / static_cast<double>(reqs.size());
+
+  if (opts.tenancy.multi_tenant()) {
+    std::vector<sim::TenantOutcome> outcomes(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const RequestState& t = sh.track[i];
+      sim::TenantOutcome& o = outcomes[i];
+      o.tenant = reqs[i].tenant;
+      o.completed = t.fate == Fate::kCompleted;
+      o.shed = t.fate == Fate::kShed;
+      o.timed_out = t.fate == Fate::kTimedOut;
+      o.failed = t.fate == Fate::kFailed;
+      o.ttft_recorded = t.ttft_recorded;
+      o.ttft_s = t.ttft_s;
+      o.e2e_s = t.e2e_s;
+    }
+    sim::finalize_tenant_metrics(reqs, outcomes, opts.tenancy, m.makespan_s,
+                                 opts.slo_ttft_s, &m);
+    // Credit accounts are per-replica; the cluster view is their sum.
+    for (sim::TenantMetrics& tm : m.tenants) {
+      for (const auto& r : reps) {
+        const sched::TenantCredit credit =
+            r->scheduler().tenant_allocator().credits(tm.id);
+        tm.credits_banked += credit.banked_total;
+        tm.credits_spent += credit.spent_total;
+      }
+    }
+  }
+
   bool any_faults = false;
   for (const auto& r : reps) any_faults = any_faults || r->faults_enabled();
   if (any_faults) {

@@ -151,7 +151,7 @@ void Replica::submit(std::size_t i, double t, bool retry) {
       {static_cast<sched::RequestId>(i), st.cur_prompt,
        retry ? std::max<std::int64_t>(1, r.output_tokens - st.progress)
              : r.output_tokens,
-       r.arrival_s, st.cached_prefix});
+       r.arrival_s, st.cached_prefix, r.tenant});
   st.in_scheduler = true;
   st.replica = cfg_.id;
   ++routed_;
@@ -261,7 +261,8 @@ void Replica::process_failures() {
 void Replica::on_completed(std::size_t id) {
   RequestState& t = sh_->track[id];
   const auto& r = (*sh_->reqs)[id];
-  sh_->e2es.push_back(now_ - r.arrival_s);
+  t.e2e_s = now_ - r.arrival_s;
+  sh_->e2es.push_back(t.e2e_s);
   sh_->total_tokens += static_cast<double>(r.prompt_tokens + r.output_tokens);
   t.fate = Fate::kCompleted;
   t.in_scheduler = false;
@@ -282,9 +283,14 @@ bool Replica::try_iteration() {
     scheduler_.set_max_batch(degrade_.max_batch(cfg_.base_max_batch, now_));
     // FP8 degradation shrinks bytes-per-token: same pool, more residents.
     if (rp.degradation.quantize_kv && cfg_.kv_bytes_per_token_fp8 > 0) {
-      scheduler_.set_kv_bytes_per_token(degrade_.degraded_at(now_)
-                                            ? cfg_.kv_bytes_per_token_fp8
-                                            : cfg_.sched.kv_bytes_per_token);
+      // The healthy rate comes from the budget when the config was built via
+      // Config::kv (the deprecated mirror field is unset in that form).
+      const std::int64_t healthy_bpt = cfg_.sched.kv.byte_denominated()
+                                           ? cfg_.sched.kv.bytes_per_token()
+                                           : cfg_.sched.kv_bytes_per_token;
+      scheduler_.set_kv_bytes_per_token(
+          degrade_.degraded_at(now_) ? cfg_.kv_bytes_per_token_fp8
+                                     : healthy_bpt);
     }
   }
   sh_->sample_queue(cfg_.id, scheduler_.waiting_requests());

@@ -28,6 +28,7 @@ struct RequestState {
   bool fault_evicted = false;  ///< ever lost progress to a replica death
   double retry_at = 0.0;
   double ttft_s = 0.0;
+  double e2e_s = 0.0;           ///< arrival -> last token (on completion)
   int attempts = 0;             ///< retries consumed so far
   std::int64_t progress = 0;    ///< tokens generated before eviction(s)
   std::int64_t cur_prompt = 0;  ///< prompt + recompute on the current attempt
@@ -143,6 +144,8 @@ class Replica {
   double mttr_sum() const { return mttr_sum_; }
   std::int64_t mttr_count() const { return mttr_count_; }
   std::uint32_t sim_track() const { return sim_track_; }
+  /// The replica's scheduler (read-only: per-tenant credit aggregation).
+  const sched::Scheduler& scheduler() const { return scheduler_; }
   ReplicaSummary summary() const;
 
   /// Would this replica shed an arrival right now? (Admission-control port;

@@ -94,13 +94,13 @@ ServingEngine::ServingEngine(const MiniTransformer& model, Config cfg)
         if (cfg.allow_preemption) {
           // Optimistic admission: pool pressure is handled by eviction +
           // recompute, not by conservative reservations.
-          sc.kv_capacity_tokens = 0;
+          sc.kv = sched::KvBudget();
         } else {
           // Discount the worst-case last-block slack per live sequence so
           // the admission decision never lets a forward hit an empty pool.
-          sc.kv_capacity_tokens =
+          sc.kv = sched::KvBudget::tokens(
               static_cast<std::int64_t>(cfg.pool_blocks) * cfg.block_size -
-              cfg.max_batch * (static_cast<std::int64_t>(cfg.block_size) - 1);
+              cfg.max_batch * (static_cast<std::int64_t>(cfg.block_size) - 1));
         }
         return sc;
       }()),
@@ -110,7 +110,7 @@ ServingEngine::ServingEngine(const MiniTransformer& model, Config cfg)
           "ServingEngine: batched_decode cannot be combined with preemption");
   require(cfg.prefix_cache_entries > 0,
           "ServingEngine: prefix_cache_entries must be positive");
-  kv_capacity_tokens_ = scheduler_.config().kv_capacity_tokens;
+  kv_capacity_tokens_ = scheduler_.kv_budget().effective_tokens();
 }
 
 sched::RequestId ServingEngine::submit(std::vector<TokenId> prompt,

@@ -1,0 +1,91 @@
+#include "sched/policy.h"
+
+#include "util/check.h"
+
+namespace llmib::sched {
+
+using util::require;
+
+// ---- KvBudget ---------------------------------------------------------------
+
+KvBudget KvBudget::tokens(std::int64_t capacity_tokens) {
+  require(capacity_tokens >= 0, "KvBudget: negative kv capacity");
+  KvBudget b;
+  b.capacity_tokens_ = capacity_tokens;
+  return b;
+}
+
+KvBudget KvBudget::bytes(std::int64_t capacity_bytes,
+                         std::int64_t bytes_per_token) {
+  require(capacity_bytes >= 0, "KvBudget: negative kv byte capacity");
+  require(capacity_bytes == 0 || bytes_per_token > 0,
+          "KvBudget: byte capacity requires bytes_per_token > 0");
+  KvBudget b;
+  b.capacity_bytes_ = capacity_bytes;
+  b.bytes_per_token_ = capacity_bytes > 0 ? bytes_per_token : 0;
+  return b;
+}
+
+void KvBudget::set_bytes_per_token(std::int64_t bytes) {
+  require(bytes > 0, "KvBudget: bytes_per_token must be positive");
+  require(byte_denominated(),
+          "KvBudget: set_bytes_per_token needs a byte-denominated budget");
+  bytes_per_token_ = bytes;
+}
+
+// ---- FcfsAdmissionPolicy ----------------------------------------------------
+
+std::size_t FcfsAdmissionPolicy::select(const std::deque<Request>& queue,
+                                        const Eligible& eligible) const {
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (!eligible || eligible(queue[i])) return i;
+  }
+  return npos;
+}
+
+// ---- SjfAdmissionPolicy -----------------------------------------------------
+
+SjfAdmissionPolicy::SjfAdmissionPolicy(std::int64_t aging_tokens_per_round)
+    : aging_(aging_tokens_per_round) {
+  require(aging_ >= 0, "Scheduler: negative SJF aging rate");
+}
+
+void SjfAdmissionPolicy::on_planning_round(const std::deque<Request>& queue) {
+  if (aging_ == 0) return;
+  for (const Request& r : queue) ++rounds_[r.id];
+}
+
+void SjfAdmissionPolicy::on_remove(RequestId id) { rounds_.erase(id); }
+
+std::int64_t SjfAdmissionPolicy::aged_rounds(RequestId id) const {
+  const auto it = rounds_.find(id);
+  return it == rounds_.end() ? 0 : it->second;
+}
+
+std::size_t SjfAdmissionPolicy::select(const std::deque<Request>& queue,
+                                       const Eligible& eligible) const {
+  // Effective work = total tokens minus an aging credit. Ties keep queue
+  // (arrival) order via strict less-than — the exact pre-refactor scan.
+  const auto rank = [&](const Request& r) {
+    return r.prompt_tokens + r.max_new_tokens - aged_rounds(r.id) * aging_;
+  };
+  std::size_t best = npos;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (eligible && !eligible(queue[i])) continue;
+    if (best == npos || rank(queue[i]) < rank(queue[best])) best = i;
+  }
+  return best;
+}
+
+// ---- Enum shim --------------------------------------------------------------
+
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    QueueOrder order, std::int64_t sjf_aging_tokens_per_round) {
+  if (order == QueueOrder::kShortestFirst) {
+    return std::make_unique<SjfAdmissionPolicy>(sjf_aging_tokens_per_round);
+  }
+  require(sjf_aging_tokens_per_round >= 0, "Scheduler: negative SJF aging rate");
+  return std::make_unique<FcfsAdmissionPolicy>();
+}
+
+}  // namespace llmib::sched

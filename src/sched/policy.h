@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sched/types.h"
+
+namespace llmib::sched {
+
+/// Unified KV-capacity model. Replaces the three overlapping
+/// `kv_capacity_tokens` / `kv_capacity_bytes` / `kv_bytes_per_token` knobs:
+/// a budget is either unlimited, token-denominated (a fixed token count), or
+/// byte-denominated (a fixed byte pool divided by the CURRENT bytes-per-token
+/// — the form quantized KV needs, where a mid-run FP8 switch shrinks each
+/// token's cost and the SAME pool admits more residents).
+class KvBudget {
+ public:
+  /// Unlimited capacity (admission never blocks on KV).
+  constexpr KvBudget() = default;
+
+  static KvBudget unlimited() { return KvBudget(); }
+  /// Token-denominated budget; 0 means unlimited.
+  static KvBudget tokens(std::int64_t capacity_tokens);
+  /// Byte-denominated budget: effective tokens = bytes / bytes_per_token,
+  /// recomputed whenever set_bytes_per_token changes the per-token cost.
+  static KvBudget bytes(std::int64_t capacity_bytes,
+                        std::int64_t bytes_per_token);
+
+  bool is_unlimited() const {
+    return capacity_tokens_ == 0 && capacity_bytes_ == 0;
+  }
+  bool byte_denominated() const { return capacity_bytes_ > 0; }
+
+  /// Token capacity admission checks against (0 = unlimited).
+  std::int64_t effective_tokens() const {
+    if (capacity_bytes_ > 0) return capacity_bytes_ / bytes_per_token_;
+    return capacity_tokens_;
+  }
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  std::int64_t bytes_per_token() const { return bytes_per_token_; }
+
+  /// Mid-run per-token cost change (quantization switch). Only meaningful on
+  /// a byte-denominated budget; throws otherwise.
+  void set_bytes_per_token(std::int64_t bytes);
+
+  friend bool operator==(const KvBudget&, const KvBudget&) = default;
+
+ private:
+  std::int64_t capacity_tokens_ = 0;
+  std::int64_t capacity_bytes_ = 0;
+  std::int64_t bytes_per_token_ = 0;
+};
+
+/// Admission-ordering policy: which waiting request is the next candidate,
+/// plus any per-request bookkeeping (aging) that ordering needs. The
+/// scheduler owns exactly one instance; state (e.g. the SJF aging map) lives
+/// here, so every policy instance must be private to one scheduler — that is
+/// why Scheduler::Config carries FACTORIES, not shared instances.
+class AdmissionPolicy {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  /// Optional eligibility filter (the tenant allocator restricts selection
+  /// to one tenant's requests). Empty function = everything eligible.
+  using Eligible = std::function<bool(const Request&)>;
+
+  virtual ~AdmissionPolicy() = default;
+  virtual const char* name() const = 0;
+
+  /// One planning round passed with these requests still waiting (called
+  /// once per admission round, BEFORE any select of that round).
+  virtual void on_planning_round(const std::deque<Request>& queue) {
+    (void)queue;
+  }
+
+  /// `id` left the waiting queue — admitted OR cancelled. Policies holding
+  /// per-request state (the aging map) MUST drop it here; missing the cancel
+  /// path is exactly the leak the pre-refactor scheduler made impossible by
+  /// keeping aging state inline in the queue entry.
+  virtual void on_remove(RequestId id) { (void)id; }
+
+  /// Index of the best admission candidate among eligible queued requests,
+  /// or npos when none is eligible. Must be deterministic: equal ranks keep
+  /// queue (arrival) order.
+  virtual std::size_t select(const std::deque<Request>& queue,
+                             const Eligible& eligible) const = 0;
+
+  std::size_t select(const std::deque<Request>& queue) const {
+    return select(queue, Eligible());
+  }
+};
+
+/// First-come first-served: the queue head (oldest eligible request).
+class FcfsAdmissionPolicy final : public AdmissionPolicy {
+ public:
+  using AdmissionPolicy::select;  // keep the 1-arg convenience visible
+  const char* name() const override { return "fcfs"; }
+  std::size_t select(const std::deque<Request>& queue,
+                     const Eligible& eligible) const override;
+};
+
+/// Shortest-job-first with optional aging: effective work = prompt +
+/// max_new_tokens minus rounds_waiting * aging_tokens_per_round, so a
+/// starved long request eventually outranks the stream of fresh short ones.
+/// Bitwise-identical to the pre-policy-object scheduler's inline SJF path.
+class SjfAdmissionPolicy final : public AdmissionPolicy {
+ public:
+  using AdmissionPolicy::select;  // keep the 1-arg convenience visible
+  explicit SjfAdmissionPolicy(std::int64_t aging_tokens_per_round);
+
+  const char* name() const override { return "sjf"; }
+  void on_planning_round(const std::deque<Request>& queue) override;
+  void on_remove(RequestId id) override;
+  std::size_t select(const std::deque<Request>& queue,
+                     const Eligible& eligible) const override;
+
+  std::int64_t aging_tokens_per_round() const { return aging_; }
+  /// Rounds of aging credit accrued by a waiting request (0 if untracked).
+  std::int64_t aged_rounds(RequestId id) const;
+  /// Number of requests with live aging entries — must always equal the
+  /// number of waiting requests that have seen a round (leak regression).
+  std::size_t tracked_requests() const { return rounds_.size(); }
+
+ private:
+  std::int64_t aging_ = 0;
+  std::unordered_map<RequestId, std::int64_t> rounds_;
+};
+
+/// Factory: constructs a fresh policy instance per scheduler.
+using AdmissionFactory = std::function<std::unique_ptr<AdmissionPolicy>()>;
+
+/// The enum shim: maps the legacy (QueueOrder, aging) knobs onto the policy
+/// objects that now implement them.
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    QueueOrder order, std::int64_t sjf_aging_tokens_per_round);
+
+}  // namespace llmib::sched

@@ -31,16 +31,47 @@ obs::Counter& plan_steps_counter() {
 }
 }  // namespace
 
-Scheduler::Scheduler(Config cfg) : cfg_(cfg) {
-  require(cfg.max_batch > 0, "Scheduler: max_batch must be positive");
-  require(cfg.kv_capacity_tokens >= 0, "Scheduler: negative kv capacity");
-  require(cfg.kv_capacity_bytes >= 0, "Scheduler: negative kv byte capacity");
-  require(cfg.kv_capacity_bytes == 0 || cfg.kv_bytes_per_token > 0,
+Scheduler::Scheduler(Config cfg) : cfg_(std::move(cfg)) {
+  require(cfg_.max_batch > 0, "Scheduler: max_batch must be positive");
+  require(cfg_.kv_capacity_tokens >= 0, "Scheduler: negative kv capacity");
+  require(cfg_.kv_capacity_bytes >= 0, "Scheduler: negative kv byte capacity");
+  require(cfg_.kv_capacity_bytes == 0 || cfg_.kv_bytes_per_token > 0,
           "Scheduler: kv_capacity_bytes requires kv_bytes_per_token > 0");
-  require(cfg.reservation_frac > 0.0 && cfg.reservation_frac <= 1.0,
+  // Resolve the capacity model: the deprecated aliases populate the KvBudget
+  // with the historical precedence (bytes override tokens); mixing them with
+  // an explicit budget is ambiguous and throws.
+  if (cfg_.kv_capacity_tokens > 0 || cfg_.kv_capacity_bytes > 0) {
+    require(cfg_.kv.is_unlimited(),
+            "Scheduler: set Config::kv or the deprecated kv_capacity_* "
+            "fields, not both");
+    cfg_.kv = cfg_.kv_capacity_bytes > 0
+                  ? KvBudget::bytes(cfg_.kv_capacity_bytes,
+                                    cfg_.kv_bytes_per_token)
+                  : KvBudget::tokens(cfg_.kv_capacity_tokens);
+  }
+  sync_legacy_kv_fields();
+  require(cfg_.reservation_frac > 0.0 && cfg_.reservation_frac <= 1.0,
           "Scheduler: reservation_frac must be in (0, 1]");
-  require(cfg.sjf_aging_tokens_per_round >= 0,
+  require(cfg_.sjf_aging_tokens_per_round >= 0,
           "Scheduler: negative SJF aging rate");
+  admission_ = cfg_.admission
+                   ? cfg_.admission()
+                   : make_admission_policy(cfg_.order,
+                                           cfg_.sjf_aging_tokens_per_round);
+  require(admission_ != nullptr, "Scheduler: admission factory returned null");
+  allocator_ =
+      cfg_.allocator ? cfg_.allocator() : make_tenant_allocator(cfg_.tenancy);
+  require(allocator_ != nullptr, "Scheduler: allocator factory returned null");
+}
+
+void Scheduler::sync_legacy_kv_fields() {
+  // config() readers of the pre-KvBudget fields must keep seeing truthful
+  // values whichever form the capacity was configured in.
+  cfg_.kv_capacity_bytes = cfg_.kv.capacity_bytes();
+  cfg_.kv_bytes_per_token = cfg_.kv.bytes_per_token();
+  if (!cfg_.kv.byte_denominated()) {
+    cfg_.kv_capacity_tokens = cfg_.kv.effective_tokens();
+  }
 }
 
 void Scheduler::set_max_batch(std::int64_t max_batch) {
@@ -50,13 +81,12 @@ void Scheduler::set_max_batch(std::int64_t max_batch) {
 
 void Scheduler::set_kv_bytes_per_token(std::int64_t bytes) {
   require(bytes > 0, "Scheduler: kv_bytes_per_token must be positive");
+  if (cfg_.kv.byte_denominated()) cfg_.kv.set_bytes_per_token(bytes);
   cfg_.kv_bytes_per_token = bytes;
 }
 
 std::int64_t Scheduler::effective_kv_capacity_tokens() const {
-  if (cfg_.kv_capacity_bytes > 0)
-    return cfg_.kv_capacity_bytes / cfg_.kv_bytes_per_token;
-  return cfg_.kv_capacity_tokens;
+  return cfg_.kv.effective_tokens();
 }
 
 std::int64_t Scheduler::footprint(const Request& req) const {
@@ -75,6 +105,7 @@ void Scheduler::submit(const Request& req) {
   require(req.cached_prefix_tokens >= 0 &&
               req.cached_prefix_tokens < req.prompt_tokens,
           "Scheduler: cached prefix must satisfy 0 <= cached < prompt");
+  require(req.tenant >= 0, "Scheduler: negative tenant id");
   require(live_.find(req.id) == live_.end(), "Scheduler: duplicate request id");
   require(queued_ids_.find(req.id) == queued_ids_.end(),
           "Scheduler: duplicate request id");
@@ -83,7 +114,7 @@ void Scheduler::submit(const Request& req) {
                 cap,
             "Scheduler: request can never fit in KV capacity");
   }
-  queue_.push_back(Queued{req, 0});
+  queue_.push_back(req);
   queued_ids_.insert(req.id);
   submitted_counter().add(1);
 }
@@ -95,14 +126,21 @@ void Scheduler::set_external_reserved_tokens(std::int64_t tokens) {
 
 std::int64_t Scheduler::next_waiting_footprint() const {
   if (queue_.empty()) return 0;
-  return footprint(next_candidate()->req);
+  // Allocator-independent preview: ordering only, so the prefix-cache
+  // eviction heuristic sees the same candidate the pre-tenancy code did.
+  const std::size_t idx = admission_->select(queue_);
+  return idx == AdmissionPolicy::npos ? 0 : footprint(queue_[idx]);
 }
 
 bool Scheduler::cancel(RequestId id) {
   if (queued_ids_.erase(id) > 0) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->req.id == id) {
+      if (it->id == id) {
         queue_.erase(it);
+        // Sweep the admission policy's per-request state (the SJF aging
+        // map): a cancelled waiting request must not leave an aged-work
+        // entry behind for a future reuse of its id to inherit.
+        admission_->on_remove(id);
         return true;
       }
     }
@@ -110,7 +148,9 @@ bool Scheduler::cancel(RequestId id) {
   }
   auto it = live_.find(id);
   if (it == live_.end()) return false;
-  reserved_tokens_ -= footprint(it->second.req);
+  const std::int64_t fp = footprint(it->second.req);
+  reserved_tokens_ -= fp;
+  allocator_->on_release(it->second.req, fp);
   live_.erase(it);
   cancelled_counter().add(1);
   return true;
@@ -126,40 +166,35 @@ bool Scheduler::can_admit(const Request& req) const {
   return true;
 }
 
-auto Scheduler::next_candidate() const -> std::deque<Queued>::const_iterator {
-  auto candidate = queue_.begin();
-  if (cfg_.order == QueueOrder::kShortestFirst) {
-    // Effective work = total tokens minus an aging credit, so a starved
-    // long request eventually wins over fresh short ones. Ties keep
-    // queue (arrival) order via strict less-than.
-    const auto rank = [&](const Queued& q) {
-      return q.req.prompt_tokens + q.req.max_new_tokens -
-             q.rounds_waiting * cfg_.sjf_aging_tokens_per_round;
-    };
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (rank(*it) < rank(*candidate)) candidate = it;
-    }
-  }
-  return candidate;
-}
-
 void Scheduler::admit_from_queue() {
   if (cfg_.policy == BatchPolicy::kStatic && !live_.empty()) return;
-  // One planning round of waiting ages every queued request (SJF aging).
-  if (cfg_.order == QueueOrder::kShortestFirst &&
-      cfg_.sjf_aging_tokens_per_round > 0) {
-    for (auto& q : queue_) ++q.rounds_waiting;
-  }
+  // One planning round of waiting ages every queued request (SJF aging),
+  // and the allocator settles per-tenant credits for the round.
+  admission_->on_planning_round(queue_);
+  allocator_->begin_round(effective_kv_capacity_tokens(), external_reserved_);
   const bool starting_wave = live_.empty() && !queue_.empty();
   bool admitted_any = false;
   for (;;) {
     if (queue_.empty()) break;
-    auto candidate = next_candidate();
-    if (!can_admit(candidate->req)) break;
-    Request req = candidate->req;
-    queue_.erase(candidate);
+    if (static_cast<std::int64_t>(live_.size()) >= cfg_.max_batch) break;
+    const std::size_t idx = allocator_->select(queue_, *admission_);
+    if (idx == AdmissionPolicy::npos) break;
+    const Request& cand = queue_[idx];
+    if (!can_admit(cand) || !allocator_->may_admit(cand, footprint(cand))) {
+      // FIFO semantics stop the whole round at the first non-fitting
+      // candidate (head-of-line blocking); tenant-aware allocators instead
+      // sideline the blocked tenant and keep the round work-conserving.
+      if (allocator_->head_of_line_blocking()) break;
+      allocator_->block_for_round(cand.tenant);
+      continue;
+    }
+    const Request req = cand;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
     queued_ids_.erase(req.id);
-    reserved_tokens_ += footprint(req);
+    admission_->on_remove(req.id);
+    const std::int64_t fp = footprint(req);
+    reserved_tokens_ += fp;
+    allocator_->on_admit(req, fp);
     live_.emplace(req.id, Live{req, 0, Phase::kNeedsPrefill});
     admitted_any = true;
     admitted_counter().add(1);
@@ -190,7 +225,9 @@ bool Scheduler::complete_decode_token(RequestId id) {
   require(live.phase == Phase::kDecoding, "Scheduler: request not decoding");
   ++live.generated;
   if (live.generated >= live.req.max_new_tokens) {
-    reserved_tokens_ -= footprint(live.req);
+    const std::int64_t fp = footprint(live.req);
+    reserved_tokens_ -= fp;
+    allocator_->on_release(live.req, fp);
     live_.erase(it);
     completed_counter().add(1);
     return true;

@@ -3,52 +3,15 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
+#include "sched/policy.h"
+#include "sched/tenant.h"
+#include "sched/types.h"
+
 namespace llmib::sched {
-
-using RequestId = std::uint64_t;
-
-/// One inference request: a prompt and a generation budget.
-struct Request {
-  RequestId id = 0;
-  std::int64_t prompt_tokens = 0;
-  std::int64_t max_new_tokens = 0;
-  double arrival_time_s = 0.0;
-  /// Tokens of the prompt already resident in a shared prefix-cache entry
-  /// (ref-counted blocks charged once, externally via
-  /// set_external_reserved_tokens). Admission discounts them from this
-  /// request's private KV footprint. Must satisfy 0 <= cached < prompt.
-  std::int64_t cached_prefix_tokens = 0;
-};
-
-/// Lifecycle of a request inside the scheduler.
-enum class Phase { kWaiting, kNeedsPrefill, kDecoding, kDone };
-
-/// Admission ordering for waiting requests.
-enum class QueueOrder {
-  kFcfs,           ///< first-come first-served (production default)
-  kShortestFirst,  ///< shortest total work first (SJF): better mean latency,
-                   ///< risks starving long requests under sustained load
-};
-
-/// Batching discipline (paper §IV-A.1).
-enum class BatchPolicy {
-  /// Whole batch admitted together; next wave starts only after every
-  /// sequence in the current wave finishes.
-  kStatic,
-  /// Orca-style continuous batching: free slots are refilled every
-  /// iteration as sequences complete.
-  kContinuous,
-};
-
-/// What the engine/simulator should run this iteration.
-struct StepPlan {
-  std::vector<RequestId> prefills;  ///< newly admitted; run their prompt
-  std::vector<RequestId> decodes;   ///< live sequences; generate one token
-  bool empty() const { return prefills.empty() && decodes.empty(); }
-};
 
 /// Iteration-level scheduler shared by the analytical simulator and the
 /// mini engine. Tracks KV-token occupancy so that admission respects device
@@ -56,37 +19,66 @@ struct StepPlan {
 /// (prompt + max_new_tokens) fits in the remaining KV capacity — the
 /// conservative reservation TRT-LLM-style engines make, which produces the
 /// "wave" behavior on capacity-squeezed devices (A100-40GB with 70B models).
+///
+/// Admission is composed from three policy objects (sched/policy.h,
+/// sched/tenant.h): a KvBudget (capacity model), an AdmissionPolicy
+/// (intra-tenant ordering + aging) and a TenantAllocator (cross-tenant
+/// arbitration, quotas, credits). The legacy Config enums remain as thin
+/// factory shims, so a default config is bitwise identical to the
+/// pre-policy-object scheduler.
 class Scheduler {
  public:
   struct Config {
     BatchPolicy policy = BatchPolicy::kContinuous;
-    std::int64_t max_batch = 64;            ///< max concurrent sequences
-    std::int64_t kv_capacity_tokens = 0;    ///< 0 => unlimited
-    /// Byte-denominated KV pool. When > 0 it overrides kv_capacity_tokens:
-    /// the effective token capacity is kv_capacity_bytes /
-    /// kv_bytes_per_token, recomputed whenever the per-token footprint
-    /// changes (set_kv_bytes_per_token). This is how quantized KV admits
-    /// more residents from the same pool: fp8 halves bytes-per-token vs
-    /// fp16 and quarters it vs fp32, so the SAME pool holds proportionally
-    /// more sequences. Requires kv_bytes_per_token > 0.
-    std::int64_t kv_capacity_bytes = 0;
-    std::int64_t kv_bytes_per_token = 0;
+    std::int64_t max_batch = 64;  ///< max concurrent sequences
+
+    // -- Deprecated capacity aliases ---------------------------------------
+    /// Pre-KvBudget fields, kept so every existing call site compiles: when
+    /// any is set (and `kv` is default) the scheduler builds the KvBudget
+    /// from them, with the historical precedence (bytes override tokens).
+    /// Setting both these and `kv` throws. New code should set `kv`.
+    std::int64_t kv_capacity_tokens = 0;  ///< 0 => unlimited
+    std::int64_t kv_capacity_bytes = 0;   ///< > 0 => byte-denominated pool
+    std::int64_t kv_bytes_per_token = 0;  ///< required with kv_capacity_bytes
+
+    /// Unified KV-capacity model (preferred API). After construction the
+    /// scheduler keeps the deprecated fields above mirrored from this, so
+    /// config() readers of either form stay truthful.
+    KvBudget kv;
+
     /// Fraction of max_new_tokens reserved at admission. 1.0 models
     /// TRT-LLM-style conservative reservation; vLLM-style optimistic
     /// admission (~0.25) achieves higher steady-state concurrency by
     /// relying on preemption for the rare overflow.
     double reservation_frac = 1.0;
+
+    // -- Admission ordering (enum shim + factory override) ------------------
     QueueOrder order = QueueOrder::kFcfs;
     /// Starvation mitigation for kShortestFirst: each planning round a
     /// waiting request's effective work shrinks by this many tokens, so a
     /// long request eventually outranks the stream of short ones that
     /// would otherwise starve it forever. 0 (default) = pure SJF.
     std::int64_t sjf_aging_tokens_per_round = 0;
+    /// Custom admission policy; overrides the (order, aging) shim when set.
+    /// A FACTORY, not an instance: policies are stateful and every
+    /// Scheduler (each cluster replica copies this Config) needs its own.
+    AdmissionFactory admission;
+
+    // -- Tenancy (enum shim + factory override) -----------------------------
+    /// Cross-tenant arbitration + declared tenants. Empty tenant list =
+    /// single-tenant fast path (FIFO allocator, zero overhead).
+    TenancyConfig tenancy;
+    /// Custom tenant allocator; overrides the tenancy.policy shim when set.
+    AllocatorFactory allocator;
   };
 
   explicit Scheduler(Config cfg);
 
   const Config& config() const { return cfg_; }
+  /// The live policy objects (introspection: metrics, tests).
+  const AdmissionPolicy& admission() const { return *admission_; }
+  const TenantAllocator& tenant_allocator() const { return *allocator_; }
+  const KvBudget& kv_budget() const { return cfg_.kv; }
 
   /// Enqueue a request. Throws on duplicate id or non-positive sizes.
   void submit(const Request& req);
@@ -116,15 +108,15 @@ class Scheduler {
   void set_max_batch(std::int64_t max_batch);
 
   /// Change the KV bytes-per-token mid-run (mid-generation quantization
-  /// switch during degradation). Only meaningful with kv_capacity_bytes;
-  /// live reservations stay token-denominated, so shrinking bytes-per-token
-  /// immediately widens the effective token capacity and unblocks
-  /// admission without touching live sequences.
+  /// switch during degradation). Only meaningful with a byte-denominated
+  /// budget; live reservations stay token-denominated, so shrinking
+  /// bytes-per-token immediately widens the effective token capacity and
+  /// unblocks admission without touching live sequences.
   void set_kv_bytes_per_token(std::int64_t bytes);
   std::int64_t kv_bytes_per_token() const { return cfg_.kv_bytes_per_token; }
 
   /// Token capacity admission actually checks against: bytes / per-token
-  /// bytes when byte-denominated, else kv_capacity_tokens (0 = unlimited).
+  /// bytes when byte-denominated, else the token budget (0 = unlimited).
   std::int64_t effective_kv_capacity_tokens() const;
 
   /// Tokens of KV held outside the scheduler's own reservations — the
@@ -163,18 +155,15 @@ class Scheduler {
     Phase phase = Phase::kNeedsPrefill;
   };
 
-  struct Queued {
-    Request req;
-    std::int64_t rounds_waiting = 0;  ///< planning rounds spent in the queue
-  };
-
   bool can_admit(const Request& req) const;
   void admit_from_queue();
   std::int64_t footprint(const Request& req) const;
-  std::deque<Queued>::const_iterator next_candidate() const;
+  void sync_legacy_kv_fields();
 
   Config cfg_;
-  std::deque<Queued> queue_;
+  std::unique_ptr<AdmissionPolicy> admission_;
+  std::unique_ptr<TenantAllocator> allocator_;
+  std::deque<Request> queue_;
   /// Ids currently in queue_, kept in sync on submit/admit so duplicate
   /// detection is O(1) instead of a linear queue scan per submit.
   std::unordered_set<RequestId> queued_ids_;

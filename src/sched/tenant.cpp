@@ -1,0 +1,273 @@
+#include "sched/tenant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llmib::sched {
+
+using util::require;
+
+const char* slo_class_name(SloClass c) {
+  switch (c) {
+    case SloClass::kLatencyBound:
+      return "latency";
+    case SloClass::kThroughputBound:
+      return "throughput";
+  }
+  return "?";
+}
+
+const char* fair_policy_name(FairPolicy p) {
+  switch (p) {
+    case FairPolicy::kFifo:
+      return "fifo";
+    case FairPolicy::kStrictPriority:
+      return "strict-priority";
+    case FairPolicy::kFairCredit:
+      return "fair-credit";
+  }
+  return "?";
+}
+
+bool parse_fair_policy(const std::string& name, FairPolicy* out) {
+  if (name == "fifo") {
+    *out = FairPolicy::kFifo;
+  } else if (name == "priority" || name == "strict" ||
+             name == "strict-priority") {
+    *out = FairPolicy::kStrictPriority;
+  } else if (name == "credit" || name == "fair-credit" || name == "karma") {
+    *out = FairPolicy::kFairCredit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const TenantSpec* TenancyConfig::find(TenantId id) const {
+  for (const TenantSpec& t : tenants) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+// ---- TenantTrackingAllocator ------------------------------------------------
+
+TenantTrackingAllocator::TenantTrackingAllocator(TenancyConfig cfg)
+    : cfg_(std::move(cfg)) {
+  require(!cfg_.tenants.empty(),
+          "TenantAllocator: tenant-aware policy needs declared tenants");
+  for (const TenantSpec& t : cfg_.tenants) {
+    require(t.id >= 0, "TenantAllocator: negative tenant id");
+    require(t.weight > 0, "TenantAllocator: tenant weight must be positive");
+    require(t.kv_quota_tokens >= 0 && t.slot_quota >= 0,
+            "TenantAllocator: negative tenant quota");
+    require(t.credit_init >= 0 && t.credit_cap >= 0,
+            "TenantAllocator: negative tenant credit");
+    require(t.credit_cap == 0 || t.credit_init <= t.credit_cap,
+            "TenantAllocator: credit_init exceeds credit_cap");
+    require(t.slo_ttft_s >= 0 && t.slo_e2e_s >= 0,
+            "TenantAllocator: negative tenant SLO");
+    require(states_.find(t.id) == states_.end(),
+            "TenantAllocator: duplicate tenant id");
+    State st;
+    st.spec = t;
+    st.credit.balance = t.credit_init;
+    states_.emplace(t.id, std::move(st));
+    weight_sum_ += t.weight;
+  }
+}
+
+TenantId TenantTrackingAllocator::bucket_id(TenantId tenant) const {
+  if (states_.find(tenant) != states_.end()) return tenant;
+  // Undeclared ids share the lowest declared tenant's accounting bucket.
+  return states_.begin()->first;
+}
+
+const TenantTrackingAllocator::State& TenantTrackingAllocator::bucket(
+    TenantId tenant) const {
+  return states_.at(bucket_id(tenant));
+}
+
+TenantTrackingAllocator::State& TenantTrackingAllocator::bucket(
+    TenantId tenant) {
+  return states_.at(bucket_id(tenant));
+}
+
+bool TenantTrackingAllocator::may_admit(const Request& req,
+                                        std::int64_t footprint) const {
+  const State& st = bucket(req.tenant);
+  if (st.spec.kv_quota_tokens > 0 &&
+      st.usage + footprint > st.spec.kv_quota_tokens) {
+    return false;
+  }
+  if (st.spec.slot_quota > 0 && st.slots >= st.spec.slot_quota) return false;
+  return true;
+}
+
+void TenantTrackingAllocator::on_admit(const Request& req,
+                                       std::int64_t footprint) {
+  State& st = bucket(req.tenant);
+  st.usage += footprint;
+  ++st.slots;
+}
+
+void TenantTrackingAllocator::on_release(const Request& req,
+                                         std::int64_t footprint) {
+  State& st = bucket(req.tenant);
+  st.usage -= footprint;
+  --st.slots;
+  require(st.usage >= 0 && st.slots >= 0,
+          "TenantAllocator: tenant usage accounting went negative");
+}
+
+TenantCredit TenantTrackingAllocator::credits(TenantId tenant) const {
+  const auto it = states_.find(tenant);
+  return it == states_.end() ? TenantCredit{} : it->second.credit;
+}
+
+std::int64_t TenantTrackingAllocator::usage_tokens(TenantId tenant) const {
+  const auto it = states_.find(tenant);
+  return it == states_.end() ? 0 : it->second.usage;
+}
+
+std::int64_t TenantTrackingAllocator::fair_share_tokens(TenantId tenant) const {
+  const auto it = states_.find(tenant);
+  return it == states_.end() ? 0 : it->second.fair;
+}
+
+// ---- StrictPriorityAllocator ------------------------------------------------
+
+void StrictPriorityAllocator::begin_round(std::int64_t capacity_tokens,
+                                          std::int64_t external_reserved) {
+  (void)capacity_tokens;
+  (void)external_reserved;
+  blocked_.clear();
+}
+
+std::size_t StrictPriorityAllocator::select(
+    const std::deque<Request>& queue, const AdmissionPolicy& admission) const {
+  std::set<TenantId> present;
+  for (const Request& r : queue) present.insert(bucket_id(r.tenant));
+  // Lowest (class, id) wins: latency-bound before throughput-bound, ties by
+  // tenant id. states_ is id-ordered, so a strict less-than keeps lower ids.
+  bool have = false;
+  int best_class = 0;
+  TenantId chosen = 0;
+  for (const auto& [id, st] : states_) {
+    if (present.find(id) == present.end() ||
+        blocked_.find(id) != blocked_.end()) {
+      continue;
+    }
+    const int cls = st.spec.slo == SloClass::kLatencyBound ? 0 : 1;
+    if (!have || cls < best_class) {
+      have = true;
+      best_class = cls;
+      chosen = id;
+    }
+  }
+  if (!have) return AdmissionPolicy::npos;
+  return admission.select(queue, [this, chosen](const Request& r) {
+    return bucket_id(r.tenant) == chosen;
+  });
+}
+
+// ---- KarmaAllocator ---------------------------------------------------------
+
+KarmaAllocator::KarmaAllocator(TenancyConfig cfg)
+    : TenantTrackingAllocator(std::move(cfg)) {}
+
+void KarmaAllocator::begin_round(std::int64_t capacity_tokens,
+                                 std::int64_t external_reserved) {
+  blocked_.clear();
+  const std::int64_t usable =
+      capacity_tokens > 0
+          ? std::max<std::int64_t>(0, capacity_tokens - external_reserved)
+          : 0;
+  for (auto& [id, st] : states_) {
+    st.fair = usable > 0
+                  ? static_cast<std::int64_t>(static_cast<double>(usable) *
+                                              st.spec.weight / weight_sum_)
+                  : 0;
+    if (usable <= 0) continue;  // unlimited pool: no credit flow
+    if (st.usage < st.fair) {
+      // One round of unused fair share banks one credit per token.
+      std::int64_t bank = st.fair - st.usage;
+      if (st.spec.credit_cap > 0) {
+        bank = std::min(bank, std::max<std::int64_t>(
+                                  0, st.spec.credit_cap - st.credit.balance));
+      }
+      st.credit.balance += bank;
+      st.credit.banked_total += bank;
+    } else if (st.usage > st.fair) {
+      // Holding KV beyond the fair share drains the bank every round; the
+      // balance may go negative (debt) if usage was admitted while cheaper.
+      const std::int64_t charge = st.usage - st.fair;
+      st.credit.balance -= charge;
+      st.credit.spent_total += charge;
+    }
+  }
+}
+
+std::size_t KarmaAllocator::select(const std::deque<Request>& queue,
+                                   const AdmissionPolicy& admission) const {
+  std::set<TenantId> present;
+  for (const Request& r : queue) present.insert(bucket_id(r.tenant));
+  // Weighted max-min: serve the tenant with the smallest normalized usage
+  // (usage / fair share; usage / weight when the pool is unlimited). Strict
+  // less-than over the id-ordered map keeps ties on the lower tenant id.
+  bool have = false;
+  double best_rank = 0.0;
+  TenantId chosen = 0;
+  for (const auto& [id, st] : states_) {
+    if (present.find(id) == present.end() ||
+        blocked_.find(id) != blocked_.end()) {
+      continue;
+    }
+    const double denom = st.fair > 0 ? static_cast<double>(st.fair)
+                                     : std::max(st.spec.weight, 1e-12);
+    const double rank = static_cast<double>(st.usage) / denom;
+    if (!have || rank < best_rank) {
+      have = true;
+      best_rank = rank;
+      chosen = id;
+    }
+  }
+  if (!have) return AdmissionPolicy::npos;
+  return admission.select(queue, [this, chosen](const Request& r) {
+    return bucket_id(r.tenant) == chosen;
+  });
+}
+
+bool KarmaAllocator::may_admit(const Request& req,
+                               std::int64_t footprint) const {
+  if (!TenantTrackingAllocator::may_admit(req, footprint)) return false;
+  const State& st = bucket(req.tenant);
+  if (st.fair > 0) {
+    // Bursting beyond the fair share spends banked credits: the projected
+    // overage must be covered by the balance, or the tenant waits for its
+    // own releases (or for banking to catch up).
+    const std::int64_t overage = st.usage + footprint - st.fair;
+    if (overage > 0 && st.credit.balance < overage) return false;
+  }
+  return true;
+}
+
+// ---- Enum shim --------------------------------------------------------------
+
+std::unique_ptr<TenantAllocator> make_tenant_allocator(
+    const TenancyConfig& tenancy) {
+  if (tenancy.tenants.empty()) return std::make_unique<FifoTenantAllocator>();
+  switch (tenancy.policy) {
+    case FairPolicy::kFifo:
+      return std::make_unique<FifoTenantAllocator>();
+    case FairPolicy::kStrictPriority:
+      return std::make_unique<StrictPriorityAllocator>(tenancy);
+    case FairPolicy::kFairCredit:
+      return std::make_unique<KarmaAllocator>(tenancy);
+  }
+  return std::make_unique<FifoTenantAllocator>();
+}
+
+}  // namespace llmib::sched

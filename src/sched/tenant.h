@@ -1,0 +1,245 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sched/types.h"
+
+namespace llmib::sched {
+
+/// What a tenant optimizes for — decides both its strict-priority rank and
+/// which SLO its welfare attainment is measured against.
+enum class SloClass {
+  kLatencyBound,     ///< interactive chat: TTFT SLO
+  kThroughputBound,  ///< offline batch: end-to-end completion SLO
+};
+
+/// Cross-tenant arbitration policy.
+enum class FairPolicy {
+  /// Tenant-blind arrival order — the pre-tenancy scheduler. A greedy batch
+  /// tenant's giant requests head-of-line block everyone behind them.
+  kFifo,
+  /// Latency-bound tenants always admit before throughput-bound ones
+  /// (tie: lower tenant id). Protects chat absolutely, starves batch
+  /// whenever chat has a backlog.
+  kStrictPriority,
+  /// Karma-style credit allocator: weighted fair shares of the KV pool;
+  /// tenants under their share bank the unused capacity as credits, and
+  /// spending banked credits is the only way to burst beyond the share.
+  kFairCredit,
+};
+
+const char* slo_class_name(SloClass c);
+const char* fair_policy_name(FairPolicy p);
+/// Parses "fifo", "priority"/"strict-priority" or "credit"/"fair-credit".
+bool parse_fair_policy(const std::string& name, FairPolicy* out);
+
+/// One tenant's declaration: SLO class, weight, quotas and credit account.
+struct TenantSpec {
+  TenantId id = 0;
+  std::string name;
+  SloClass slo = SloClass::kLatencyBound;
+  /// Relative share of capacity under kFairCredit (fair_t = C * w_t / sum w).
+  double weight = 1.0;
+  /// Hard per-tenant cap on reserved KV tokens (0 = none).
+  std::int64_t kv_quota_tokens = 0;
+  /// Hard per-tenant cap on concurrently live sequences (0 = none).
+  std::int64_t slot_quota = 0;
+  /// Starting credit balance, in token-rounds (one credit holds one KV token
+  /// one planning round beyond the fair share).
+  std::int64_t credit_init = 0;
+  /// Bank ceiling in token-rounds (0 = uncapped): bounds how long a tenant
+  /// can hoard unused capacity before using it.
+  std::int64_t credit_cap = 0;
+  /// Per-tenant TTFT SLO for latency-bound welfare (0 = the run's default).
+  double slo_ttft_s = 0.0;
+  /// Per-tenant end-to-end SLO for throughput-bound welfare (0 = none).
+  double slo_e2e_s = 0.0;
+};
+
+/// Tenancy of one scheduler: the arbitration policy plus the declared
+/// tenants. An empty tenant list is the single-tenant fast path — the
+/// allocator degenerates to FIFO and no per-tenant metrics are emitted.
+struct TenancyConfig {
+  FairPolicy policy = FairPolicy::kFifo;
+  std::vector<TenantSpec> tenants;
+
+  bool multi_tenant() const { return !tenants.empty(); }
+  /// Declared spec for `id`, or nullptr (undeclared ids share tenant 0's
+  /// accounting bucket).
+  const TenantSpec* find(TenantId id) const;
+};
+
+/// Credit-account snapshot of one tenant.
+struct TenantCredit {
+  std::int64_t balance = 0;       ///< current bank (may be negative: debt)
+  std::int64_t banked_total = 0;  ///< lifetime credits earned
+  std::int64_t spent_total = 0;   ///< lifetime credits spent borrowing
+};
+
+/// Cross-tenant admission arbiter. The scheduler consults it every admission
+/// round: the allocator picks WHICH tenant goes next (delegating intra-tenant
+/// ordering to the AdmissionPolicy), gates admissions on quotas/credits, and
+/// observes admissions/releases to track per-tenant usage. Stateful — one
+/// instance per scheduler, constructed via factory (Replica copies
+/// Scheduler::Config per replica, so instances must never be shared).
+class TenantAllocator {
+ public:
+  virtual ~TenantAllocator() = default;
+  virtual const char* name() const = 0;
+
+  /// Starts an admission round. `capacity_tokens` is the effective KV
+  /// capacity (0 = unlimited), `external_reserved` the prefix-cache share of
+  /// it. Credit banking/charging happens here, once per round.
+  virtual void begin_round(std::int64_t capacity_tokens,
+                           std::int64_t external_reserved) {
+    (void)capacity_tokens;
+    (void)external_reserved;
+  }
+
+  /// Next admission candidate across tenants (npos = none eligible). The
+  /// default is tenant-blind: exactly the admission policy's own choice.
+  virtual std::size_t select(const std::deque<Request>& queue,
+                             const AdmissionPolicy& admission) const {
+    return admission.select(queue);
+  }
+
+  /// Per-tenant admission gate (quota + credit checks) beyond the
+  /// scheduler's global capacity check. `footprint` is the KV reservation
+  /// the admission would take.
+  virtual bool may_admit(const Request& req, std::int64_t footprint) const {
+    (void)req;
+    (void)footprint;
+    return true;
+  }
+
+  /// When the chosen candidate does not fit: true = stop the whole round
+  /// (FIFO head-of-line semantics); false = the scheduler sidelines that
+  /// tenant via block_for_round and keeps admitting others
+  /// (work-conserving).
+  virtual bool head_of_line_blocking() const { return true; }
+  /// Sideline `tenant` for the remainder of this round.
+  virtual void block_for_round(TenantId tenant) { (void)tenant; }
+
+  virtual void on_admit(const Request& req, std::int64_t footprint) {
+    (void)req;
+    (void)footprint;
+  }
+  /// A live request released its reservation (completion or cancel).
+  virtual void on_release(const Request& req, std::int64_t footprint) {
+    (void)req;
+    (void)footprint;
+  }
+
+  virtual TenantCredit credits(TenantId tenant) const {
+    (void)tenant;
+    return {};
+  }
+  /// KV tokens currently reserved by `tenant`'s live requests.
+  virtual std::int64_t usage_tokens(TenantId tenant) const {
+    (void)tenant;
+    return 0;
+  }
+  /// This round's weighted fair share of `tenant` (0 when unlimited).
+  virtual std::int64_t fair_share_tokens(TenantId tenant) const {
+    (void)tenant;
+    return 0;
+  }
+};
+
+/// Tenant-blind arrival order: all TenantAllocator defaults. Bitwise
+/// identical to the pre-tenancy scheduler — the single-tenant pin.
+class FifoTenantAllocator final : public TenantAllocator {
+ public:
+  const char* name() const override { return "fifo"; }
+};
+
+/// Shared per-tenant usage/quota bookkeeping for the tenant-aware policies.
+class TenantTrackingAllocator : public TenantAllocator {
+ public:
+  explicit TenantTrackingAllocator(TenancyConfig cfg);
+
+  bool may_admit(const Request& req, std::int64_t footprint) const override;
+  /// Blocks the ACCOUNTING bucket, not the raw id: an undeclared tenant
+  /// shares tenant 0's bucket, and select() skips by bucket — blocking the
+  /// raw id would let the same candidate be re-selected forever.
+  void block_for_round(TenantId tenant) override {
+    blocked_.insert(bucket_id(tenant));
+  }
+  void on_admit(const Request& req, std::int64_t footprint) override;
+  void on_release(const Request& req, std::int64_t footprint) override;
+  TenantCredit credits(TenantId tenant) const override;
+  std::int64_t usage_tokens(TenantId tenant) const override;
+  std::int64_t fair_share_tokens(TenantId tenant) const override;
+
+ protected:
+  struct State {
+    TenantSpec spec;
+    std::int64_t usage = 0;  ///< KV tokens reserved by live requests
+    std::int64_t slots = 0;  ///< live sequence count
+    std::int64_t fair = 0;   ///< this round's fair share (kFairCredit only)
+    TenantCredit credit;
+  };
+
+  /// Accounting bucket of a request's tenant (undeclared ids -> tenant 0).
+  const State& bucket(TenantId tenant) const;
+  State& bucket(TenantId tenant);
+  TenantId bucket_id(TenantId tenant) const;
+
+  TenancyConfig cfg_;
+  std::map<TenantId, State> states_;  ///< ordered: deterministic iteration
+  std::set<TenantId> blocked_;        ///< sidelined for the current round
+  double weight_sum_ = 0.0;
+};
+
+/// Latency-bound tenants first, then throughput-bound; ties by tenant id.
+/// Head-of-line blocking within the winning tenant, like FIFO.
+class StrictPriorityAllocator final : public TenantTrackingAllocator {
+ public:
+  explicit StrictPriorityAllocator(TenancyConfig cfg)
+      : TenantTrackingAllocator(std::move(cfg)) {}
+
+  const char* name() const override { return "strict-priority"; }
+  void begin_round(std::int64_t capacity_tokens,
+                   std::int64_t external_reserved) override;
+  std::size_t select(const std::deque<Request>& queue,
+                     const AdmissionPolicy& admission) const override;
+};
+
+/// Karma-style credit allocator (NSDI '23). Every round each tenant's
+/// weighted fair share of the usable pool is computed; tenants below their
+/// share bank the gap as credits (capped by credit_cap), tenants above it
+/// are charged the overage — so holding KV beyond the fair share
+/// continuously drains the bank, and admission past the share requires a
+/// balance covering the projected overage. Blocked tenants are sidelined
+/// per-round rather than head-of-line blocking, which keeps the allocator
+/// work-conserving across tenants.
+class KarmaAllocator final : public TenantTrackingAllocator {
+ public:
+  explicit KarmaAllocator(TenancyConfig cfg);
+
+  const char* name() const override { return "fair-credit"; }
+  void begin_round(std::int64_t capacity_tokens,
+                   std::int64_t external_reserved) override;
+  std::size_t select(const std::deque<Request>& queue,
+                     const AdmissionPolicy& admission) const override;
+  bool may_admit(const Request& req, std::int64_t footprint) const override;
+  bool head_of_line_blocking() const override { return false; }
+};
+
+/// Factory: constructs a fresh allocator instance per scheduler.
+using AllocatorFactory = std::function<std::unique_ptr<TenantAllocator>()>;
+
+/// The enum shim: maps TenancyConfig onto the allocator objects. An empty
+/// tenant list always yields the FIFO allocator (single-tenant fast path).
+std::unique_ptr<TenantAllocator> make_tenant_allocator(
+    const TenancyConfig& tenancy);
+
+}  // namespace llmib::sched

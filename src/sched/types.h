@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace llmib::sched {
+
+using RequestId = std::uint64_t;
+
+/// Identifies the tenant a request belongs to. Tenant 0 is the implicit
+/// default tenant: requests that never set the field, and requests naming a
+/// tenant the scheduler's TenancyConfig does not declare, are accounted
+/// against it.
+using TenantId = std::int32_t;
+
+/// One inference request: a prompt and a generation budget.
+struct Request {
+  RequestId id = 0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t max_new_tokens = 0;
+  double arrival_time_s = 0.0;
+  /// Tokens of the prompt already resident in a shared prefix-cache entry
+  /// (ref-counted blocks charged once, externally via
+  /// set_external_reserved_tokens). Admission discounts them from this
+  /// request's private KV footprint. Must satisfy 0 <= cached < prompt.
+  std::int64_t cached_prefix_tokens = 0;
+  /// Owning tenant (quota/credit accounting). Default 0 keeps every
+  /// pre-tenancy call site compiling and behaving identically.
+  TenantId tenant = 0;
+};
+
+/// Lifecycle of a request inside the scheduler.
+enum class Phase { kWaiting, kNeedsPrefill, kDecoding, kDone };
+
+/// Admission ordering for waiting requests.
+enum class QueueOrder {
+  kFcfs,           ///< first-come first-served (production default)
+  kShortestFirst,  ///< shortest total work first (SJF): better mean latency,
+                   ///< risks starving long requests under sustained load
+};
+
+/// Batching discipline (paper §IV-A.1).
+enum class BatchPolicy {
+  /// Whole batch admitted together; next wave starts only after every
+  /// sequence in the current wave finishes.
+  kStatic,
+  /// Orca-style continuous batching: free slots are refilled every
+  /// iteration as sequences complete.
+  kContinuous,
+};
+
+/// What the engine/simulator should run this iteration.
+struct StepPlan {
+  std::vector<RequestId> prefills;  ///< newly admitted; run their prompt
+  std::vector<RequestId> decodes;   ///< live sequences; generate one token
+  bool empty() const { return prefills.empty() && decodes.empty(); }
+};
+
+}  // namespace llmib::sched

@@ -62,8 +62,105 @@ obs::Snapshot ServingMetrics::to_snapshot() const {
   snap.set_counter("serving.timed_out_requests", timed_out_requests);
   snap.set_counter("serving.failed_requests", failed_requests);
   snap.set_counter("serving.degradation_activations", degradation_activations);
+  // Per-tenant keys only exist on multi-tenant runs, so single-tenant
+  // snapshots stay deterministically equal to the pre-tenancy ones.
+  if (!tenants.empty()) {
+    snap.set_gauge("serving.welfare", welfare);
+    snap.set_gauge("serving.jain_fairness", jain_fairness);
+    for (const TenantMetrics& t : tenants) {
+      const std::string p = "serving.tenant" + std::to_string(t.id) + ".";
+      snap.set_counter(p + "submitted", t.submitted);
+      snap.set_counter(p + "completed", t.completed);
+      snap.set_counter(p + "shed", t.shed);
+      snap.set_counter(p + "timed_out", t.timed_out);
+      snap.set_counter(p + "failed", t.failed);
+      snap.set_counter(p + "service_tokens", t.service_tokens);
+      snap.set_counter(p + "credits_banked", t.credits_banked);
+      snap.set_counter(p + "credits_spent", t.credits_spent);
+      snap.set_gauge(p + "ttft_p50_s", t.ttft_p50_s);
+      snap.set_gauge(p + "ttft_p99_s", t.ttft_p99_s);
+      snap.set_gauge(p + "e2e_p50_s", t.e2e_p50_s);
+      snap.set_gauge(p + "e2e_p99_s", t.e2e_p99_s);
+      snap.set_gauge(p + "throughput_tps", t.throughput_tps);
+      snap.set_gauge(p + "utilization", t.utilization);
+      snap.set_gauge(p + "slo_attainment", t.slo_attainment);
+    }
+  }
   phases.export_into(snap, "serving.phase");
   return snap;
+}
+
+void finalize_tenant_metrics(const std::vector<TraceRequest>& reqs,
+                             const std::vector<TenantOutcome>& outcomes,
+                             const sched::TenancyConfig& tenancy,
+                             double makespan_s, double default_slo_ttft_s,
+                             ServingMetrics* metrics) {
+  if (tenancy.tenants.empty()) return;
+  require(reqs.size() == outcomes.size(),
+          "finalize_tenant_metrics: reqs/outcomes size mismatch");
+  metrics->tenants.clear();
+  std::int64_t all_service_tokens = 0;
+  for (const sched::TenantSpec& spec : tenancy.tenants) {
+    TenantMetrics tm;
+    tm.id = spec.id;
+    tm.name = spec.name;
+    tm.slo = spec.slo;
+    tm.weight = spec.weight;
+    const double slo_ttft =
+        spec.slo_ttft_s > 0 ? spec.slo_ttft_s : default_slo_ttft_s;
+    std::vector<double> ttfts, e2es;
+    std::int64_t met = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].tenant != spec.id) continue;
+      const TenantOutcome& o = outcomes[i];
+      ++tm.submitted;
+      tm.completed += o.completed;
+      tm.shed += o.shed;
+      tm.timed_out += o.timed_out;
+      tm.failed += o.failed;
+      if (o.ttft_recorded) ttfts.push_back(o.ttft_s);
+      if (o.completed) {
+        e2es.push_back(o.e2e_s);
+        tm.service_tokens += reqs[i].prompt_tokens + reqs[i].output_tokens;
+        if (spec.slo == sched::SloClass::kLatencyBound) {
+          met += slo_ttft <= 0 || (o.ttft_recorded && o.ttft_s <= slo_ttft);
+        } else {
+          met += spec.slo_e2e_s <= 0 || o.e2e_s <= spec.slo_e2e_s;
+        }
+      }
+    }
+    std::sort(ttfts.begin(), ttfts.end());
+    std::sort(e2es.begin(), e2es.end());
+    tm.ttft_p50_s = quantile_or_zero(ttfts, 0.50);
+    tm.ttft_p99_s = quantile_or_zero(ttfts, 0.99);
+    tm.e2e_p50_s = quantile_or_zero(e2es, 0.50);
+    tm.e2e_p99_s = quantile_or_zero(e2es, 0.99);
+    tm.throughput_tps =
+        makespan_s > 0 ? static_cast<double>(tm.service_tokens) / makespan_s
+                       : 0.0;
+    tm.slo_attainment =
+        tm.submitted > 0
+            ? static_cast<double>(met) / static_cast<double>(tm.submitted)
+            : 0.0;
+    all_service_tokens += tm.service_tokens;
+    metrics->tenants.push_back(std::move(tm));
+  }
+  double weight_sum = 0, welfare = 0, att_sum = 0, att_sq = 0;
+  for (TenantMetrics& tm : metrics->tenants) {
+    tm.utilization =
+        all_service_tokens > 0
+            ? static_cast<double>(tm.service_tokens) /
+                  static_cast<double>(all_service_tokens)
+            : 0.0;
+    weight_sum += tm.weight;
+    welfare += tm.weight * tm.slo_attainment;
+    att_sum += tm.slo_attainment;
+    att_sq += tm.slo_attainment * tm.slo_attainment;
+  }
+  metrics->welfare = weight_sum > 0 ? welfare / weight_sum : 1.0;
+  const auto n = static_cast<double>(metrics->tenants.size());
+  metrics->jain_fairness =
+      att_sq > 0 ? att_sum * att_sum / (n * att_sq) : 1.0;
 }
 
 ServingSimulator::ServingSimulator(const InferenceSimulator& simulator)
@@ -93,6 +190,7 @@ ServingSimulator::Result ServingSimulator::run(const SimConfig& base,
   opts.shared_prefix = wl.shared_prefix_tokens;
   opts.order = wl.queue_order;
   opts.sjf_aging_tokens_per_round = wl.sjf_aging_tokens_per_round;
+  opts.tenancy = wl.tenancy;
   opts.faults = wl.faults;
   opts.resilience = wl.resilience;
   Result res = run_trace(base, reqs, opts);
@@ -121,6 +219,7 @@ ServingSimulator::Result ServingSimulator::run_trace(
             "ServingSimulator: negative per-request shared prefix");
     require(reqs[i].cacheable_tokens >= -1,
             "ServingSimulator: cacheable_tokens must be >= -1");
+    require(reqs[i].tenant >= 0, "ServingSimulator: negative tenant id");
     max_prompt = std::max(max_prompt, reqs[i].prompt_tokens);
     max_output = std::max(max_output, reqs[i].output_tokens);
   }
@@ -156,15 +255,13 @@ ServingSimulator::Result ServingSimulator::run_trace(
       static_cast<std::int64_t>(sim_.kv_capacity_tokens(probe));
   const std::int64_t kv_bpt =
       std::llround(sim_.kv_bytes_per_token_device(probe));
-  if (kv_cap_tokens > 0 && kv_bpt > 0) {
-    scfg.kv_capacity_bytes = kv_cap_tokens * kv_bpt;
-    scfg.kv_bytes_per_token = kv_bpt;
-  } else {
-    scfg.kv_capacity_tokens = kv_cap_tokens;
-  }
+  scfg.kv = kv_cap_tokens > 0 && kv_bpt > 0
+                ? sched::KvBudget::bytes(kv_cap_tokens * kv_bpt, kv_bpt)
+                : sched::KvBudget::tokens(kv_cap_tokens);
   scfg.reservation_frac = fw.conservative_admission ? 1.0 : 0.25;
   scfg.order = opts.order;
   scfg.sjf_aging_tokens_per_round = opts.sjf_aging_tokens_per_round;
+  scfg.tenancy = opts.tenancy;
   const std::int64_t base_max_batch = scfg.max_batch;
   sched::Scheduler scheduler(scfg);
 
@@ -265,6 +362,7 @@ ServingSimulator::Result ServingSimulator::run_trace(
     bool awaiting_retry = false;
     double retry_at = 0.0;
     double ttft_s = 0.0;
+    double e2e_s = 0.0;            ///< arrival -> last token (on completion)
     int attempts = 0;              ///< retries consumed so far
     std::int64_t progress = 0;     ///< tokens generated before eviction(s)
     std::int64_t cur_prompt = 0;   ///< prompt + recompute on the current attempt
@@ -325,7 +423,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
         t.cached_prefix = current_match(i, t.cur_prompt);
         scheduler.submit({static_cast<sched::RequestId>(i), t.cur_prompt,
                           std::max<std::int64_t>(1, reqs[i].output_tokens - t.progress),
-                          reqs[i].arrival_s, t.cached_prefix});
+                          reqs[i].arrival_s, t.cached_prefix,
+                          reqs[i].tenant});
         t.in_scheduler = true;
       }
     }
@@ -362,7 +461,7 @@ ServingSimulator::Result ServingSimulator::run_trace(
         t.cached_prefix = current_match(next_submit, t.cur_prompt);
         scheduler.submit({static_cast<sched::RequestId>(next_submit),
                           r.prompt_tokens, r.output_tokens, r.arrival_s,
-                          t.cached_prefix});
+                          t.cached_prefix, r.tenant});
         t.in_scheduler = true;
       }
       ++next_submit;
@@ -443,7 +542,7 @@ ServingSimulator::Result ServingSimulator::run_trace(
       scheduler.set_max_batch(degrade.max_batch(base_max_batch, now));
       // Quantize-KV degradation shrinks each token's footprint, so the SAME
       // byte pool admits more residents while the window is active.
-      if (rp.degradation.quantize_kv && scfg.kv_capacity_bytes > 0 &&
+      if (rp.degradation.quantize_kv && scfg.kv.byte_denominated() &&
           kv_bpt_fp8 > 0) {
         scheduler.set_kv_bytes_per_token(degrade.degraded_at(now) ? kv_bpt_fp8
                                                                   : kv_bpt);
@@ -538,7 +637,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
         // same-group prefills never discount against each other.
         cache_populate(id, t.cur_prompt);
         if (scheduler.complete_decode_token(id)) {
-          e2es.push_back(now - reqs[id].arrival_s);
+          t.e2e_s = now - reqs[id].arrival_s;
+          e2es.push_back(t.e2e_s);
           total_tokens +=
               static_cast<double>(reqs[id].prompt_tokens + reqs[id].output_tokens);
           t.fate = Fate::kCompleted;
@@ -572,7 +672,8 @@ ServingSimulator::Result ServingSimulator::run_trace(
         Track& t = track[id];
         itls.push_back(dur);
         if (scheduler.complete_decode_token(id)) {
-          e2es.push_back(now - reqs[id].arrival_s);
+          t.e2e_s = now - reqs[id].arrival_s;
+          e2es.push_back(t.e2e_s);
           total_tokens +=
               static_cast<double>(reqs[id].prompt_tokens + reqs[id].output_tokens);
           t.fate = Fate::kCompleted;
@@ -658,6 +759,31 @@ ServingSimulator::Result ServingSimulator::run_trace(
   m.degradation_activations = degrade.activations();
   m.availability =
       static_cast<double>(completed) / static_cast<double>(reqs.size());
+
+  if (opts.tenancy.multi_tenant()) {
+    std::vector<TenantOutcome> outcomes(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Track& t = track[i];
+      TenantOutcome& o = outcomes[i];
+      o.tenant = reqs[i].tenant;
+      o.completed = t.fate == Fate::kCompleted;
+      o.shed = t.fate == Fate::kShed;
+      o.timed_out = t.fate == Fate::kTimedOut;
+      o.failed = t.fate == Fate::kFailed;
+      o.ttft_recorded = t.ttft_recorded;
+      o.ttft_s = t.ttft_s;
+      o.e2e_s = t.e2e_s;
+    }
+    finalize_tenant_metrics(reqs, outcomes, opts.tenancy, m.makespan_s,
+                            opts.slo_ttft_s, &m);
+    const sched::TenantAllocator& alloc = scheduler.tenant_allocator();
+    for (TenantMetrics& tm : m.tenants) {
+      const sched::TenantCredit credit = alloc.credits(tm.id);
+      tm.credits_banked = credit.banked_total;
+      tm.credits_spent = credit.spent_total;
+    }
+  }
+
   if (fp.enabled()) {
     m.device_failures = clock.device_failures();
     m.throttle_episodes = clock.throttle_episodes();

@@ -33,6 +33,8 @@ struct ServingWorkload {
   sched::QueueOrder queue_order = sched::QueueOrder::kFcfs;
   /// Starvation mitigation for kShortestFirst (see Scheduler::Config).
   std::int64_t sjf_aging_tokens_per_round = 0;
+  /// Multi-tenant scheduling (default: single-tenant, tenancy bypassed).
+  sched::TenancyConfig tenancy;
   /// Fault environment (default: none — fault machinery fully bypassed).
   fault::FaultProfile faults;
   /// Resilience policies (default: none — loop behaves as the policy-free
@@ -62,6 +64,10 @@ struct TraceRequest {
   /// prompt+output history; flat fleets: just the shared head). -1 = same as
   /// shared_prefix_tokens.
   std::int64_t cacheable_tokens = -1;
+
+  /// Issuing tenant (multi-tenant scheduling, sched/tenant.h). 0 = default
+  /// tenant; ignored unless the run declares tenants.
+  std::int32_t tenant = 0;
 };
 
 /// Achieved load below this fraction of the offered load means the system
@@ -73,6 +79,50 @@ inline constexpr double kSaturationHeadroom = 0.95;
 inline bool saturated_load(double achieved_rps, double offered_rps) {
   return offered_rps > 0 && achieved_rps < kSaturationHeadroom * offered_rps;
 }
+
+/// Per-tenant outcome of one request, fed to finalize_tenant_metrics. The
+/// serving and cluster loops both reduce their per-request tracking into
+/// this shape so the fairness metrics have a single definition.
+struct TenantOutcome {
+  std::int32_t tenant = 0;
+  bool completed = false;
+  bool shed = false;
+  bool timed_out = false;
+  bool failed = false;
+  bool ttft_recorded = false;
+  double ttft_s = 0.0;
+  double e2e_s = 0.0;  ///< arrival -> last token (completed requests only)
+};
+
+/// Aggregated per-tenant view of a multi-tenant run.
+struct TenantMetrics {
+  std::int32_t id = 0;
+  std::string name;
+  sched::SloClass slo = sched::SloClass::kLatencyBound;
+  double weight = 1.0;
+
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t failed = 0;
+
+  double ttft_p50_s = 0.0, ttft_p99_s = 0.0;
+  double e2e_p50_s = 0.0, e2e_p99_s = 0.0;
+  std::int64_t service_tokens = 0;  ///< completed prompt+output tokens
+  double throughput_tps = 0.0;      ///< service_tokens / makespan
+  double utilization = 0.0;         ///< share of all completed service tokens
+
+  /// Fraction of SUBMITTED requests that met the tenant's SLO: latency-bound
+  /// tenants need completion with TTFT within slo_ttft_s (falling back to
+  /// the run default); throughput-bound tenants need completion within
+  /// slo_e2e_s (no e2e SLO set => any completion counts).
+  double slo_attainment = 0.0;
+
+  // Credit-account totals (kFairCredit runs; zero otherwise).
+  std::int64_t credits_banked = 0;
+  std::int64_t credits_spent = 0;
+};
 
 /// Latency/throughput metrics of one online-serving run.
 struct ServingMetrics {
@@ -131,6 +181,15 @@ struct ServingMetrics {
   /// request (service-level MTTR; 0 when no failure occurred).
   double mttr_s = 0.0;
 
+  // ---- Multi-tenant fairness (empty / 1.0 on single-tenant runs) ----
+  /// Per-tenant breakdown, one row per declared tenant (declaration order).
+  std::vector<TenantMetrics> tenants;
+  /// Weight-averaged SLO attainment across tenants (1.0 single-tenant).
+  double welfare = 1.0;
+  /// Jain's fairness index over per-tenant SLO attainment:
+  /// J = (sum x)^2 / (N * sum x^2); 1.0 = perfectly fair.
+  double jain_fairness = 1.0;
+
   /// Where the simulated makespan went: prefill/decode/idle split plus the
   /// accumulated roofline terms of every step.
   obs::PhaseBreakdown phases;
@@ -140,6 +199,19 @@ struct ServingMetrics {
   obs::Snapshot to_snapshot() const;
 };
 
+/// Reduces per-request outcomes into ServingMetrics::tenants / welfare /
+/// jain_fairness. Shared by the serving simulator and the cluster loop so
+/// the fairness metrics have one definition. No-op when `tenancy` declares
+/// no tenants. `reqs` and `outcomes` are parallel arrays;
+/// `default_slo_ttft_s` is the run-level TTFT SLO a tenant's slo_ttft_s = 0
+/// falls back to. Credit fields are left zero — callers fill them from the
+/// scheduler's allocator afterwards.
+void finalize_tenant_metrics(const std::vector<TraceRequest>& reqs,
+                             const std::vector<TenantOutcome>& outcomes,
+                             const sched::TenancyConfig& tenancy,
+                             double makespan_s, double default_slo_ttft_s,
+                             ServingMetrics* metrics);
+
 /// Per-trace-run options beyond the request list itself. Defaults reproduce
 /// the historical `run_trace(base, reqs)` behavior exactly.
 struct TraceOptions {
@@ -147,6 +219,7 @@ struct TraceOptions {
   std::int64_t shared_prefix = 0;
   sched::QueueOrder order = sched::QueueOrder::kFcfs;
   std::int64_t sjf_aging_tokens_per_round = 0;
+  sched::TenancyConfig tenancy;
   fault::FaultProfile faults;
   fault::ResiliencePolicy resilience;
 };

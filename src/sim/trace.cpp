@@ -32,6 +32,7 @@ void RequestTrace::validate() const {
             "RequestTrace: shared_prefix_tokens exceeds prompt");
     require(r.cacheable_tokens >= -1,
             "RequestTrace: cacheable_tokens must be >= -1");
+    require(r.tenant >= 0, "RequestTrace: negative tenant id");
   }
 }
 
@@ -68,8 +69,8 @@ RequestTrace RequestTrace::parse_csv(std::istream& in) {
       continue;  // header
     }
     first = false;
-    require(fields.size() == 3 || fields.size() == 6,
-            "RequestTrace: expected 3 or 6 columns, got " +
+    require(fields.size() == 3 || fields.size() == 6 || fields.size() == 7,
+            "RequestTrace: expected 3, 6 or 7 columns, got " +
                 std::to_string(fields.size()));
     TraceRequest r;
     char* end = nullptr;
@@ -79,7 +80,7 @@ RequestTrace RequestTrace::parse_csv(std::istream& in) {
     require(end != fields[1].c_str(), "RequestTrace: bad prompt value");
     r.output_tokens = std::strtoll(fields[2].c_str(), &end, 10);
     require(end != fields[2].c_str(), "RequestTrace: bad output value");
-    if (fields.size() == 6) {
+    if (fields.size() >= 6) {
       r.prefix_group = std::strtoll(fields[3].c_str(), &end, 10);
       require(end != fields[3].c_str(), "RequestTrace: bad prefix_group value");
       r.shared_prefix_tokens = std::strtoll(fields[4].c_str(), &end, 10);
@@ -88,6 +89,11 @@ RequestTrace RequestTrace::parse_csv(std::istream& in) {
       r.cacheable_tokens = std::strtoll(fields[5].c_str(), &end, 10);
       require(end != fields[5].c_str(),
               "RequestTrace: bad cacheable_tokens value");
+    }
+    if (fields.size() == 7) {
+      r.tenant = static_cast<std::int32_t>(
+          std::strtol(fields[6].c_str(), &end, 10));
+      require(end != fields[6].c_str(), "RequestTrace: bad tenant value");
     }
     reqs.push_back(r);
   }
@@ -101,9 +107,15 @@ RequestTrace RequestTrace::parse_csv_text(const std::string& text) {
 
 void RequestTrace::write_csv(std::ostream& out) const {
   // Legacy traces stay byte-compatible: the three prefix columns are emitted
-  // only when some request actually carries prefix-sharing annotations.
-  const bool extended = std::any_of(
-      requests_.begin(), requests_.end(), [](const TraceRequest& r) {
+  // only when some request actually carries prefix-sharing annotations, and
+  // the tenant column only when some request names a non-default tenant
+  // (which forces the prefix columns too, to keep positions fixed).
+  const bool tenanted = std::any_of(
+      requests_.begin(), requests_.end(),
+      [](const TraceRequest& r) { return r.tenant != 0; });
+  const bool extended =
+      tenanted ||
+      std::any_of(requests_.begin(), requests_.end(), [](const TraceRequest& r) {
         return r.prefix_group != -1 || r.shared_prefix_tokens != 0 ||
                r.cacheable_tokens != -1;
       });
@@ -113,6 +125,7 @@ void RequestTrace::write_csv(std::ostream& out) const {
     header.insert(header.end(),
                   {"prefix_group", "shared_prefix_tokens", "cacheable_tokens"});
   }
+  if (tenanted) header.push_back("tenant");
   util::CsvWriter writer(out, header);
   char buf[64];
   for (const auto& r : requests_) {
@@ -124,6 +137,7 @@ void RequestTrace::write_csv(std::ostream& out) const {
       row.push_back(std::to_string(r.shared_prefix_tokens));
       row.push_back(std::to_string(r.cacheable_tokens));
     }
+    if (tenanted) row.push_back(std::to_string(r.tenant));
     writer.write_row(row);
   }
 }

@@ -56,6 +56,40 @@ std::vector<TraceRequest> conversation_chains(
 
 }  // namespace
 
+std::vector<TraceRequest> multi_tenant_trace(
+    const std::vector<TenantStream>& streams, std::uint64_t seed) {
+  require(!streams.empty(), "multi_tenant_trace: need at least one stream");
+  util::Rng root(seed);
+  std::vector<TraceRequest> reqs;
+  for (const TenantStream& s : streams) {
+    require(s.tenant >= 0, "multi_tenant_trace: negative tenant id");
+    require(s.rate_rps > 0, "multi_tenant_trace: rate must be positive");
+    require(s.num_requests > 0, "multi_tenant_trace: empty stream");
+    require(s.prompt_min > 0 && s.prompt_min <= s.prompt_max,
+            "multi_tenant_trace: bad prompt range");
+    require(s.output_min > 0 && s.output_min <= s.output_max,
+            "multi_tenant_trace: bad output range");
+    require(s.start_s >= 0, "multi_tenant_trace: negative start offset");
+    util::Rng rng = root.fork();
+    double t = s.start_s;
+    for (std::int64_t i = 0; i < s.num_requests; ++i) {
+      TraceRequest r;
+      t += rng.exponential(s.rate_rps);
+      r.arrival_s = t;
+      r.prompt_tokens = rng.uniform_int(s.prompt_min, s.prompt_max);
+      r.output_tokens = rng.uniform_int(s.output_min, s.output_max);
+      r.tenant = s.tenant;
+      reqs.push_back(r);
+    }
+  }
+  // stable_sort: same-arrival ties keep stream declaration order.
+  std::stable_sort(reqs.begin(), reqs.end(),
+                   [](const TraceRequest& a, const TraceRequest& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  return reqs;
+}
+
 RequestTrace chat_trace(const ChatScenario& sc) {
   require(sc.turns_min > 0 && sc.turns_min <= sc.turns_max,
           "chat_trace: bad turns range");

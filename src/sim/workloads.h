@@ -50,6 +50,25 @@ struct AgentLoopScenario {
   std::uint64_t seed = 4242;
 };
 
+/// One tenant's Poisson arrival stream within a multi-tenant mix. A tenant
+/// may own several streams (e.g. a steady baseline plus a burst window).
+struct TenantStream {
+  std::int32_t tenant = 0;
+  double rate_rps = 1.0;
+  std::int64_t num_requests = 32;
+  std::int64_t prompt_min = 64, prompt_max = 256;
+  std::int64_t output_min = 32, output_max = 128;
+  /// Arrivals begin at this offset (burst windows start late).
+  double start_s = 0.0;
+};
+
+/// Materialize a multi-tenant request mix: each stream draws its arrivals
+/// and lengths from its own decorrelated RNG (adding a stream never perturbs
+/// the others), then everything is merged by arrival time with a stable
+/// tie-break on stream order — fully deterministic for a given seed.
+std::vector<TraceRequest> multi_tenant_trace(
+    const std::vector<TenantStream>& streams, std::uint64_t seed);
+
 /// Materialize a chat scenario into a replayable trace. Each conversation is
 /// one prefix group; turn t claims the full prior context
 /// (prompt_{t-1} + output_{t-1}) and marks its own prompt+output cacheable.

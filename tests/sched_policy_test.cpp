@@ -1,0 +1,395 @@
+// Policy-object scheduler API: KvBudget unit semantics, the legacy enum-shim
+// equivalence suite (every QueueOrder x BatchPolicy x aging combo must produce
+// bitwise-identical StepPlan streams through the policy objects vs a reference
+// implementation of the pre-refactor scheduler), and the cancel-vs-aging-map
+// leak regression.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmib::sched;
+using llmib::util::ContractViolation;
+
+// ---- KvBudget ---------------------------------------------------------------
+
+TEST(KvBudget, DefaultIsUnlimited) {
+  KvBudget b;
+  EXPECT_TRUE(b.is_unlimited());
+  EXPECT_FALSE(b.byte_denominated());
+  EXPECT_EQ(b.effective_tokens(), 0);
+  EXPECT_EQ(b, KvBudget::unlimited());
+  EXPECT_EQ(b, KvBudget::tokens(0));
+}
+
+TEST(KvBudget, TokenDenominated) {
+  const KvBudget b = KvBudget::tokens(512);
+  EXPECT_FALSE(b.is_unlimited());
+  EXPECT_FALSE(b.byte_denominated());
+  EXPECT_EQ(b.effective_tokens(), 512);
+  EXPECT_THROW(KvBudget::tokens(-1), ContractViolation);
+}
+
+TEST(KvBudget, ByteDenominatedDividesByCurrentRate) {
+  KvBudget b = KvBudget::bytes(3000, 100);
+  EXPECT_TRUE(b.byte_denominated());
+  EXPECT_EQ(b.effective_tokens(), 30);
+  b.set_bytes_per_token(25);  // FP8 switch: same pool, more tokens
+  EXPECT_EQ(b.effective_tokens(), 120);
+  EXPECT_THROW(KvBudget::bytes(1000, 0), ContractViolation);
+  EXPECT_THROW(KvBudget::bytes(-1, 10), ContractViolation);
+  EXPECT_THROW(b.set_bytes_per_token(0), ContractViolation);
+  KvBudget tok = KvBudget::tokens(10);
+  EXPECT_THROW(tok.set_bytes_per_token(16), ContractViolation);
+}
+
+TEST(KvBudget, ZeroBytesIsUnlimitedAndIgnoresRate) {
+  const KvBudget b = KvBudget::bytes(0, 0);
+  EXPECT_TRUE(b.is_unlimited());
+  EXPECT_EQ(b.bytes_per_token(), 0);
+}
+
+// ---- Deprecated-alias migration --------------------------------------------
+
+TEST(SchedulerKv, LegacyTokenFieldPopulatesBudget) {
+  Scheduler::Config c;
+  c.kv_capacity_tokens = 256;
+  Scheduler s(c);
+  EXPECT_EQ(s.kv_budget(), KvBudget::tokens(256));
+  EXPECT_EQ(s.effective_kv_capacity_tokens(), 256);
+  // The mirror keeps legacy readers truthful.
+  EXPECT_EQ(s.config().kv_capacity_tokens, 256);
+}
+
+TEST(SchedulerKv, LegacyByteFieldsPopulateBudgetWithBytePrecedence) {
+  Scheduler::Config c;
+  c.kv_capacity_tokens = 9999;  // historical precedence: bytes override
+  c.kv_capacity_bytes = 3000;
+  c.kv_bytes_per_token = 100;
+  Scheduler s(c);
+  EXPECT_TRUE(s.kv_budget().byte_denominated());
+  EXPECT_EQ(s.effective_kv_capacity_tokens(), 30);
+  EXPECT_EQ(s.config().kv_capacity_bytes, 3000);
+  EXPECT_EQ(s.config().kv_bytes_per_token, 100);
+}
+
+TEST(SchedulerKv, NewBudgetFieldMirrorsIntoLegacyReaders) {
+  Scheduler::Config c;
+  c.kv = KvBudget::bytes(4000, 50);
+  Scheduler s(c);
+  EXPECT_EQ(s.effective_kv_capacity_tokens(), 80);
+  EXPECT_EQ(s.config().kv_capacity_bytes, 4000);
+  EXPECT_EQ(s.config().kv_bytes_per_token, 50);
+  EXPECT_EQ(s.kv_bytes_per_token(), 50);
+}
+
+TEST(SchedulerKv, MixingBudgetAndLegacyFieldsThrows) {
+  Scheduler::Config c;
+  c.kv = KvBudget::tokens(100);
+  c.kv_capacity_tokens = 200;
+  EXPECT_THROW(Scheduler{c}, ContractViolation);
+}
+
+TEST(SchedulerKv, SetBytesPerTokenWidensByteBudget) {
+  Scheduler::Config c;
+  c.kv = KvBudget::bytes(3000, 100);
+  Scheduler s(c);
+  EXPECT_EQ(s.effective_kv_capacity_tokens(), 30);
+  s.set_kv_bytes_per_token(25);
+  EXPECT_EQ(s.effective_kv_capacity_tokens(), 120);
+}
+
+// ---- Reference pre-refactor scheduler ---------------------------------------
+// A compact reimplementation of the monolithic scheduler's admission loop:
+// inline FCFS/SJF selection, inline aging counters carried on queue entries,
+// conservative KV reservation. The equivalence suite drives this and the real
+// Scheduler through identical scripts and compares every StepPlan.
+
+struct RefConfig {
+  BatchPolicy policy = BatchPolicy::kContinuous;
+  std::int64_t max_batch = 64;
+  std::int64_t kv_capacity_tokens = 0;
+  double reservation_frac = 1.0;
+  QueueOrder order = QueueOrder::kFcfs;
+  std::int64_t aging = 0;
+};
+
+class ReferenceScheduler {
+ public:
+  explicit ReferenceScheduler(RefConfig cfg) : cfg_(cfg) {}
+
+  void submit(const Request& req) { queue_.push_back({req, 0}); }
+
+  bool cancel(RequestId id) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->req.id == id) {
+        queue_.erase(it);
+        return true;
+      }
+    }
+    auto it = live_.find(id);
+    if (it == live_.end()) return false;
+    reserved_ -= footprint(it->second.req);
+    live_.erase(it);
+    return true;
+  }
+
+  StepPlan plan_step() {
+    admit();
+    StepPlan plan;
+    for (auto& [id, live] : live_) {
+      if (live.phase == Phase::kNeedsPrefill) {
+        plan.prefills.push_back(id);
+        live.phase = Phase::kDecoding;
+      } else if (live.phase == Phase::kDecoding) {
+        plan.decodes.push_back(id);
+      }
+    }
+    return plan;
+  }
+
+  bool complete_decode_token(RequestId id) {
+    auto it = live_.find(id);
+    if (it == live_.end()) ADD_FAILURE() << "reference: unknown id " << id;
+    if (++it->second.generated >= it->second.req.max_new_tokens) {
+      reserved_ -= footprint(it->second.req);
+      live_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
+  bool all_done() const { return queue_.empty() && live_.empty(); }
+
+ private:
+  struct Queued {
+    Request req;
+    std::int64_t aged_rounds = 0;
+  };
+  struct Live {
+    Request req;
+    std::int64_t generated = 0;
+    Phase phase = Phase::kNeedsPrefill;
+  };
+
+  std::int64_t footprint(const Request& req) const {
+    const auto reserved_new = static_cast<std::int64_t>(
+        cfg_.reservation_frac * static_cast<double>(req.max_new_tokens) +
+        0.999);
+    return req.prompt_tokens - req.cached_prefix_tokens +
+           std::max<std::int64_t>(1, reserved_new);
+  }
+
+  bool can_admit(const Request& req) const {
+    if (static_cast<std::int64_t>(live_.size()) >= cfg_.max_batch) return false;
+    if (cfg_.kv_capacity_tokens > 0 &&
+        reserved_ + footprint(req) > cfg_.kv_capacity_tokens) {
+      return false;
+    }
+    return true;
+  }
+
+  std::size_t pick() const {
+    if (cfg_.order == QueueOrder::kFcfs) return 0;
+    std::size_t best = 0;
+    const auto rank = [&](const Queued& q) {
+      return q.req.prompt_tokens + q.req.max_new_tokens -
+             q.aged_rounds * cfg_.aging;
+    };
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (rank(queue_[i]) < rank(queue_[best])) best = i;
+    }
+    return best;
+  }
+
+  void admit() {
+    if (cfg_.policy == BatchPolicy::kStatic && !live_.empty()) return;
+    if (cfg_.order == QueueOrder::kShortestFirst && cfg_.aging > 0) {
+      for (Queued& q : queue_) ++q.aged_rounds;
+    }
+    while (!queue_.empty()) {
+      const std::size_t idx = pick();
+      if (!can_admit(queue_[idx].req)) break;
+      const Request req = queue_[idx].req;
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+      reserved_ += footprint(req);
+      live_.emplace(req.id, Live{req, 0, Phase::kNeedsPrefill});
+    }
+  }
+
+  RefConfig cfg_;
+  std::deque<Queued> queue_;
+  std::map<RequestId, Live> live_;
+  std::int64_t reserved_ = 0;
+};
+
+void expect_same_plan(const StepPlan& a, const StepPlan& b, int step) {
+  EXPECT_EQ(a.prefills, b.prefills) << "prefills diverged at step " << step;
+  EXPECT_EQ(a.decodes, b.decodes) << "decodes diverged at step " << step;
+}
+
+// Drive both schedulers through an identical randomized submit / cancel /
+// decode script and require bitwise-identical StepPlan streams throughout.
+void run_equivalence_script(BatchPolicy policy, QueueOrder order,
+                            std::int64_t aging, std::uint64_t seed) {
+  RefConfig rc;
+  rc.policy = policy;
+  rc.max_batch = 4;
+  rc.kv_capacity_tokens = 160;
+  rc.order = order;
+  rc.aging = aging;
+
+  Scheduler::Config sc;
+  sc.policy = policy;
+  sc.max_batch = rc.max_batch;
+  sc.kv = KvBudget::tokens(rc.kv_capacity_tokens);
+  sc.order = order;
+  sc.sjf_aging_tokens_per_round = aging;
+
+  ReferenceScheduler ref(rc);
+  Scheduler real(sc);
+  llmib::util::Rng rng(seed);
+
+  RequestId next_id = 1;
+  std::vector<RequestId> known;  // submitted, possibly finished
+  for (int step = 0; step < 400; ++step) {
+    // A burst of submissions (sizes capped so every request can ever fit).
+    const std::int64_t n_submit = rng.uniform_int(0, 2);
+    for (std::int64_t k = 0; k < n_submit; ++k) {
+      Request r;
+      r.id = next_id++;
+      r.prompt_tokens = rng.uniform_int(4, 60);
+      r.max_new_tokens = rng.uniform_int(1, 12);
+      ref.submit(r);
+      real.submit(r);
+      known.push_back(r.id);
+    }
+    // Occasional cancel of a random known id (waiting, live, or stale —
+    // both sides must agree on the outcome).
+    if (!known.empty() && rng.uniform_int(0, 9) == 0) {
+      const RequestId victim = known[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(known.size()) - 1))];
+      EXPECT_EQ(ref.cancel(victim), real.cancel(victim))
+          << "cancel diverged at step " << step;
+    }
+    const StepPlan pr = ref.plan_step();
+    const StepPlan pl = real.plan_step();
+    expect_same_plan(pr, pl, step);
+    for (RequestId id : pl.prefills) {
+      EXPECT_EQ(ref.complete_decode_token(id), real.complete_decode_token(id));
+    }
+    for (RequestId id : pl.decodes) {
+      EXPECT_EQ(ref.complete_decode_token(id), real.complete_decode_token(id));
+    }
+    EXPECT_EQ(ref.all_done(), real.all_done());
+    if (::testing::Test::HasFailure()) return;  // stop at first divergence
+  }
+}
+
+TEST(PolicyShimEquivalence, FcfsContinuous) {
+  run_equivalence_script(BatchPolicy::kContinuous, QueueOrder::kFcfs, 0, 11);
+}
+TEST(PolicyShimEquivalence, FcfsStatic) {
+  run_equivalence_script(BatchPolicy::kStatic, QueueOrder::kFcfs, 0, 12);
+}
+TEST(PolicyShimEquivalence, SjfContinuous) {
+  run_equivalence_script(BatchPolicy::kContinuous, QueueOrder::kShortestFirst,
+                         0, 13);
+}
+TEST(PolicyShimEquivalence, SjfStatic) {
+  run_equivalence_script(BatchPolicy::kStatic, QueueOrder::kShortestFirst, 0,
+                         14);
+}
+TEST(PolicyShimEquivalence, SjfAgingContinuous) {
+  run_equivalence_script(BatchPolicy::kContinuous, QueueOrder::kShortestFirst,
+                         8, 15);
+}
+TEST(PolicyShimEquivalence, SjfAgingStatic) {
+  run_equivalence_script(BatchPolicy::kStatic, QueueOrder::kShortestFirst, 8,
+                         16);
+}
+TEST(PolicyShimEquivalence, ManySeeds) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    run_equivalence_script(BatchPolicy::kContinuous,
+                           QueueOrder::kShortestFirst, 4, seed);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// ---- Policy objects directly ------------------------------------------------
+
+TEST(AdmissionPolicy, ShimFactoryMapsEnums) {
+  EXPECT_STREQ(make_admission_policy(QueueOrder::kFcfs, 0)->name(), "fcfs");
+  EXPECT_STREQ(make_admission_policy(QueueOrder::kShortestFirst, 0)->name(),
+               "sjf");
+  EXPECT_THROW(make_admission_policy(QueueOrder::kFcfs, -1),
+               ContractViolation);
+}
+
+TEST(AdmissionPolicy, CustomFactoryOverridesEnum) {
+  Scheduler::Config c;
+  c.order = QueueOrder::kFcfs;  // shim would pick fcfs...
+  c.admission = [] { return std::make_unique<SjfAdmissionPolicy>(0); };
+  Scheduler s(c);
+  EXPECT_STREQ(s.admission().name(), "sjf");  // ...but the factory wins
+}
+
+TEST(AdmissionPolicy, EligibleFilterRestrictsSelection) {
+  std::deque<Request> queue;
+  queue.push_back({1, 50, 4, 0.0, 0, 0});
+  queue.push_back({2, 10, 4, 0.0, 0, 1});
+  queue.push_back({3, 20, 4, 0.0, 0, 1});
+  FcfsAdmissionPolicy fcfs;
+  SjfAdmissionPolicy sjf(0);
+  const auto only_t1 = [](const Request& r) { return r.tenant == 1; };
+  EXPECT_EQ(fcfs.select(queue), 0u);
+  EXPECT_EQ(fcfs.select(queue, only_t1), 1u);
+  EXPECT_EQ(sjf.select(queue), 1u);
+  EXPECT_EQ(sjf.select(queue, [](const Request& r) { return r.tenant == 0; }),
+            0u);
+  EXPECT_EQ(sjf.select(queue, [](const Request&) { return false; }),
+            AdmissionPolicy::npos);
+}
+
+// Regression: cancelling a WAITING request under SJF aging must sweep its
+// aged-work entry; the pre-refactor bug left the entry behind, so a reused
+// id inherited a stale aging credit.
+TEST(AdmissionPolicy, CancelSweepsAgingEntry) {
+  Scheduler::Config c;
+  c.max_batch = 1;
+  c.order = QueueOrder::kShortestFirst;
+  c.sjf_aging_tokens_per_round = 10;
+  Scheduler s(c);
+  s.submit({1, 8, 4, 0.0});    // will be admitted (only slot)
+  s.submit({2, 100, 4, 0.0});  // waits, accrues aging
+  s.submit({3, 90, 4, 0.0});   // waits, accrues aging
+  s.plan_step();
+  const auto* sjf = dynamic_cast<const SjfAdmissionPolicy*>(&s.admission());
+  ASSERT_NE(sjf, nullptr);
+  EXPECT_EQ(sjf->tracked_requests(), 2u);  // ids 2 and 3 aged one round
+  EXPECT_EQ(sjf->aged_rounds(2), 1);
+  ASSERT_TRUE(s.cancel(2));  // cancel a WAITING request
+  EXPECT_EQ(sjf->tracked_requests(), 1u)
+      << "cancel left the aged-work entry behind";
+  EXPECT_EQ(sjf->aged_rounds(2), 0);
+  // A reused id must start from zero aging credit.
+  s.submit({2, 100, 4, 0.0});
+  EXPECT_EQ(sjf->aged_rounds(2), 0);
+  // Admitted requests are swept too (the admit path).
+  EXPECT_EQ(sjf->aged_rounds(1), 0);
+}
+
+TEST(Scheduler, NegativeTenantRejected) {
+  Scheduler s(Scheduler::Config{});
+  EXPECT_THROW(s.submit({1, 8, 4, 0.0, 0, -1}), ContractViolation);
+}
+
+}  // namespace

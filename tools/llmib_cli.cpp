@@ -92,6 +92,136 @@ std::vector<std::int64_t> split_longs(const std::string& s) {
   return out;
 }
 
+/// "64-128" -> {64, 128}; a bare "64" -> {64, 64}.
+std::pair<std::int64_t, std::int64_t> parse_range(const std::string& s) {
+  const auto dash = s.find('-');
+  if (dash == std::string::npos) {
+    const std::int64_t v = std::atol(s.c_str());
+    return {v, v};
+  }
+  return {std::atol(s.substr(0, dash).c_str()),
+          std::atol(s.substr(dash + 1).c_str())};
+}
+
+/// --tenants grammar: ';'-separated tenant entries, each
+///   name:class[,key=val ...]
+/// class:  lat|latency|chat -> latency-bound, tput|throughput|batch ->
+///         throughput-bound.
+/// keys:   w= weight, rps= arrival rate, n= requests, p=min-max prompt
+///         tokens, o=min-max output tokens, start= arrival offset (s),
+///         slo= per-tenant SLO (TTFT for latency-bound, e2e for
+///         throughput-bound), quota= KV-token quota, slots= concurrency
+///         quota, credit= initial credits, cap= credit cap.
+/// Repeating a name adds a second arrival stream to the SAME tenant (e.g. a
+/// steady baseline plus a late burst window via start=).
+void parse_tenants(const std::string& text, std::int64_t default_quota,
+                   std::int64_t default_cap, sched::TenancyConfig* tenancy,
+                   std::vector<sim::TenantStream>* streams) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto semi = text.find(';', pos);
+    const std::string entry =
+        text.substr(pos, semi == std::string::npos ? semi : semi - pos);
+    util::require(!entry.empty(), "--tenants: empty tenant entry");
+    const auto fields = split_csv(entry);
+    const auto colon = fields[0].find(':');
+    util::require(colon != std::string::npos && colon > 0,
+                  "--tenants: tenant entry must start with name:class");
+    const std::string name = fields[0].substr(0, colon);
+    const std::string cls = fields[0].substr(colon + 1);
+
+    // A repeated name adds a stream to the existing tenant.
+    std::int32_t id = -1;
+    for (const auto& t : tenancy->tenants) {
+      if (t.name == name) id = t.id;
+    }
+    if (id < 0) {
+      sched::TenantSpec spec;
+      spec.id = static_cast<std::int32_t>(tenancy->tenants.size());
+      spec.name = name;
+      if (cls == "lat" || cls == "latency" || cls == "chat") {
+        spec.slo = sched::SloClass::kLatencyBound;
+      } else if (cls == "tput" || cls == "throughput" || cls == "batch") {
+        spec.slo = sched::SloClass::kThroughputBound;
+      } else {
+        util::require(false, "--tenants: unknown SLO class '" + cls +
+                                 "' (lat | tput)");
+      }
+      spec.kv_quota_tokens = default_quota;
+      spec.credit_cap = default_cap;
+      tenancy->tenants.push_back(spec);
+      id = spec.id;
+    }
+    sched::TenantSpec& spec = tenancy->tenants[static_cast<std::size_t>(id)];
+    sim::TenantStream stream;
+    stream.tenant = id;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const auto eq = fields[i].find('=');
+      util::require(eq != std::string::npos,
+                    "--tenants: expected key=value, got '" + fields[i] + "'");
+      const std::string key = fields[i].substr(0, eq);
+      const std::string val = fields[i].substr(eq + 1);
+      if (key == "w") {
+        spec.weight = std::atof(val.c_str());
+      } else if (key == "rps") {
+        stream.rate_rps = std::atof(val.c_str());
+      } else if (key == "n") {
+        stream.num_requests = std::atol(val.c_str());
+      } else if (key == "p") {
+        std::tie(stream.prompt_min, stream.prompt_max) = parse_range(val);
+      } else if (key == "o") {
+        std::tie(stream.output_min, stream.output_max) = parse_range(val);
+      } else if (key == "start") {
+        stream.start_s = std::atof(val.c_str());
+      } else if (key == "slo") {
+        if (spec.slo == sched::SloClass::kLatencyBound) {
+          spec.slo_ttft_s = std::atof(val.c_str());
+        } else {
+          spec.slo_e2e_s = std::atof(val.c_str());
+        }
+      } else if (key == "quota") {
+        spec.kv_quota_tokens = std::atol(val.c_str());
+      } else if (key == "slots") {
+        spec.slot_quota = std::atol(val.c_str());
+      } else if (key == "credit") {
+        spec.credit_init = std::atol(val.c_str());
+      } else if (key == "cap") {
+        spec.credit_cap = std::atol(val.c_str());
+      } else {
+        util::require(false, "--tenants: unknown key '" + key + "'");
+      }
+    }
+    streams->push_back(stream);
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  util::require(!tenancy->tenants.empty(), "--tenants: no tenants declared");
+}
+
+/// Per-tenant epilogue of a multi-tenant serve run.
+void print_tenant_metrics(const sim::ServingMetrics& m,
+                          sched::FairPolicy policy) {
+  std::printf("\ntenants (%s policy): welfare %.3f, Jain fairness %.3f\n",
+              sched::fair_policy_name(policy), m.welfare, m.jain_fairness);
+  report::Table tt({"tenant", "class", "w", "subm", "done", "ttft_p50",
+                    "ttft_p99", "e2e_p99", "tok/s", "util_pct", "slo_att",
+                    "banked", "spent"});
+  for (const auto& t : m.tenants) {
+    tt.add_row({t.name.empty() ? std::to_string(t.id) : t.name,
+                sched::slo_class_name(t.slo), util::format_fixed(t.weight, 1),
+                std::to_string(t.submitted), std::to_string(t.completed),
+                util::format_duration(t.ttft_p50_s),
+                util::format_duration(t.ttft_p99_s),
+                util::format_duration(t.e2e_p99_s),
+                util::format_fixed(t.throughput_tps, 0),
+                util::format_fixed(t.utilization * 100.0, 1),
+                util::format_fixed(t.slo_attainment, 3),
+                std::to_string(t.credits_banked),
+                std::to_string(t.credits_spent)});
+  }
+  std::printf("%s", tt.to_text().c_str());
+}
+
 /// Turn span recording on for this run when --trace-out was given (starting
 /// from an empty buffer so the file holds exactly this run).
 void start_tracing(const Args& args) {
@@ -315,6 +445,19 @@ int cmd_serve(const Args& args) {
   wl.slo_ttft_s = args.get_double("slo-ttft", 0.0);
   wl.shared_prefix_tokens = args.get_long("shared-prefix", 0);
 
+  // Multi-tenant fair scheduling: --tenants declares the tenants (and their
+  // arrival streams), --fair picks the arbitration policy, --quota /
+  // --credit-cap set defaults any tenant entry may override.
+  std::vector<sim::TenantStream> tenant_streams;
+  if (args.flag("tenants")) {
+    parse_tenants(args.get("tenants", ""), args.get_long("quota", 0),
+                  args.get_long("credit-cap", 0), &wl.tenancy,
+                  &tenant_streams);
+  }
+  util::require(
+      sched::parse_fair_policy(args.get("fair", "credit"), &wl.tenancy.policy),
+      "unknown --fair policy (fifo | priority | credit)");
+
   // Fault injection & resilience policies (everything off by default; a run
   // without these flags reproduces the fault-free simulator bit for bit).
   wl.faults.seed = static_cast<std::uint64_t>(args.get_long("fault-seed", 42));
@@ -403,6 +546,7 @@ int cmd_serve(const Args& args) {
     }
     sim::TraceOptions topts;
     topts.slo_ttft_s = wl.slo_ttft_s;
+    topts.tenancy = wl.tenancy;
     topts.faults = wl.faults;
     topts.resilience = wl.resilience;
     if (cluster_mode) {
@@ -416,14 +560,37 @@ int cmd_serve(const Args& args) {
     const auto trace = sim::RequestTrace::parse_csv(in);
     std::printf("replaying %zu-request trace (%.2f req/s offered)\n", trace.size(),
                 trace.offered_load_rps());
+    sim::TraceOptions topts;
+    topts.slo_ttft_s = wl.slo_ttft_s;
+    topts.tenancy = wl.tenancy;
+    topts.faults = wl.faults;
+    topts.resilience = wl.resilience;
     if (cluster_mode) {
-      sim::TraceOptions topts;
-      topts.slo_ttft_s = wl.slo_ttft_s;
-      topts.faults = wl.faults;
-      topts.resilience = wl.resilience;
       run_cluster_trace(trace.requests(), topts);
     } else {
-      r = sim::replay_trace(serving, cfg, trace, wl.slo_ttft_s);
+      r = serving.run_trace(cfg, trace.requests(), topts);
+    }
+  } else if (!tenant_streams.empty()) {
+    // --tenants without --chat/--agent/--trace: materialize the declared
+    // per-tenant arrival streams into one merged trace and replay it.
+    const auto trace = sim::multi_tenant_trace(tenant_streams, wl.seed);
+    std::printf("multi-tenant mix: %zu requests over %zu streams\n",
+                trace.size(), tenant_streams.size());
+    if (args.flag("save-trace")) {
+      std::ofstream out(args.get("save-trace", ""));
+      util::require(out.is_open(), "cannot open trace output file");
+      sim::RequestTrace(trace).write_csv(out);
+      std::printf("trace saved to %s\n", args.get("save-trace", "").c_str());
+    }
+    sim::TraceOptions topts;
+    topts.slo_ttft_s = wl.slo_ttft_s;
+    topts.tenancy = wl.tenancy;
+    topts.faults = wl.faults;
+    topts.resilience = wl.resilience;
+    if (cluster_mode) {
+      run_cluster_trace(trace, topts);
+    } else {
+      r = serving.run_trace(cfg, trace, topts);
     }
   } else {
     if (args.flag("save-trace")) {
@@ -539,6 +706,7 @@ int cmd_serve(const Args& args) {
     }
     std::printf("%s", rt.to_text().c_str());
   }
+  if (!m.tenants.empty()) print_tenant_metrics(m, wl.tenancy.policy);
   std::printf("\nwhere the makespan went:\n%s",
               phase_table(m.phases, m.makespan_s).to_text().c_str());
   obs::Snapshot run_snap = m.to_snapshot();
@@ -566,6 +734,11 @@ void usage() {
       "              [--probe-interval S] [--probe-misses N] [--cooldown S]\n"
       "              [--drain R] [--drain-at S] [--autoscale] [--cold-start S]\n"
       "              [--max-replicas N] [--scale-queue N]  (cluster serving)\n"
+      "              [--tenants SPEC] [--fair fifo|priority|credit]\n"
+      "              [--quota TOKENS] [--credit-cap N]  (multi-tenant fair\n"
+      "               scheduling; SPEC = name:class[,key=val..][;entry..],\n"
+      "               class lat|tput, keys w/rps/n/p/o/start/slo/quota/\n"
+      "               slots/credit/cap — see docs/SCHEDULING.md)\n"
       "  llmib generate [--seed N] [--layers N] [--hidden N] [--vocab N]\n"
       "              [--prompt 1,2,3] [--tokens N] [--temperature T]\n"
       "              [--save file.bin | --load file.bin]\n"
