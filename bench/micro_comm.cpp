@@ -1,0 +1,138 @@
+// Microbenchmarks of the collective-algorithm layer (src/parallel).
+//
+// BM_Collective evaluates one (algorithm, size) cell of the pricing model
+// on the A100 NVLink mesh at n=4 — wall time measures the schedule builder
+// itself (it sits on the simulator's per-step hot path under kStepped),
+// and the `modeled_us` counter records the modeled collective completion
+// time so CI can shape-check the model: the pipelined ring must beat the
+// plain ring at large payloads and lose at small ones. BM_SelectorChoose
+// prices the full table-lookup + schedule path the stepped backend runs.
+//
+// Writes bench_results/BENCH_comm.json as
+// {"name": {"ns_per_op": .., "modeled_us": ..}}.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "parallel/collectives.h"
+#include "parallel/selector.h"
+#include "parallel/topology.h"
+
+namespace {
+
+using namespace llmib;
+using parallel::CollectiveAlgo;
+using parallel::CollectiveOp;
+using parallel::Topology;
+
+const Topology& a100_topology() {
+  static const Topology t =
+      Topology::from_spec(hw::AcceleratorRegistry::builtin().get("A100"));
+  return t;
+}
+
+constexpr int kDevices = 4;  // one A100 node
+
+void BM_Collective(benchmark::State& state, CollectiveAlgo algo) {
+  const double bytes = static_cast<double>(state.range(0));
+  double modeled_s = 0.0;
+  for (auto _ : state) {
+    const auto sched = parallel::build_schedule(
+        algo, CollectiveOp::kAllReduce, bytes, kDevices, a100_topology());
+    modeled_s = sched.total_s();
+    benchmark::DoNotOptimize(modeled_s);
+  }
+  state.counters["modeled_us"] = modeled_s * 1e6;
+}
+
+void BM_SelectorChoose(benchmark::State& state) {
+  const double bytes = static_cast<double>(state.range(0));
+  const parallel::CollectiveSelector selector(a100_topology());
+  double modeled_s = 0.0;
+  for (auto _ : state) {
+    modeled_s = selector.cost_s(CollectiveOp::kAllReduce, bytes, kDevices);
+    benchmark::DoNotOptimize(modeled_s);
+  }
+  state.counters["modeled_us"] = modeled_s * 1e6;
+}
+
+/// Console reporter that also records every run so main() can write
+/// bench_results/BENCH_comm.json (name -> ns/op, modeled_us).
+class JsonRecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    double ns_per_op = 0.0;
+    double modeled_us = -1.0;  // < 0 => not reported for this benchmark
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      Entry e;
+      e.ns_per_op = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      const auto it = run.counters.find("modeled_us");
+      if (it != run.counters.end()) e.modeled_us = it->second;
+      results_[run.benchmark_name()] = e;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write_json(const std::string& path) const {
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    std::ofstream out(path);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [name, e] : results_) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "  \"" << name << "\": {\"ns_per_op\": " << e.ns_per_op;
+      if (e.modeled_us >= 0.0) out << ", \"modeled_us\": " << e.modeled_us;
+      out << "}";
+    }
+    out << "\n}\n";
+  }
+
+ private:
+  std::map<std::string, Entry> results_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& [name, algo] :
+       {std::pair<const char*, CollectiveAlgo>{"analytic",
+                                               CollectiveAlgo::kAnalytic},
+        {"ring", CollectiveAlgo::kRing},
+        {"recursive_doubling", CollectiveAlgo::kRecursiveDoubling},
+        {"binomial_tree", CollectiveAlgo::kBinomialTree},
+        {"pipelined_ring", CollectiveAlgo::kPipelinedRing}}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Collective/") + name).c_str(), BM_Collective, algo)
+        ->Arg(1 << 10)    // 1 KiB: latency-bound
+        ->Arg(64 << 10)   // 64 KiB
+        ->Arg(1 << 20)    // 1 MiB
+        ->Arg(64 << 20);  // 64 MiB: bandwidth-bound
+  }
+  benchmark::RegisterBenchmark("BM_SelectorChoose", BM_SelectorChoose)
+      ->Arg(1 << 10)
+      ->Arg(64 << 20);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonRecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  reporter.write_json("bench_results/BENCH_comm.json");
+  std::printf("wrote bench_results/BENCH_comm.json\n");
+  return 0;
+}

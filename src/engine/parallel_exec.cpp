@@ -13,6 +13,15 @@ namespace llmib::engine {
 
 using util::require;
 
+const char* gather_mode_name(GatherMode m) {
+  switch (m) {
+    case GatherMode::kAuto: return "auto";
+    case GatherMode::kDirect: return "direct";
+    case GatherMode::kChunked: return "chunked";
+  }
+  return "?";
+}
+
 ShardedTransformer::ShardedTransformer(const TransformerWeights& weights, int tp,
                                        int ep)
     : weights_(weights),
@@ -53,6 +62,21 @@ ShardedTransformer::ShardedTransformer(const TransformerWeights& weights, int tp
     inter_gather_.resize(static_cast<std::size_t>(cfg.ffn_intermediate));
   proj_.resize(hidden);
   delta_.resize(hidden);
+  gather_scratch_.resize(hidden);
+}
+
+GatherMode ShardedTransformer::gather_mode_for(std::size_t gathered_bytes) const {
+  if (gather_mode_ != GatherMode::kAuto) return gather_mode_;
+  if (tp_ * ep_ <= 1) return GatherMode::kDirect;
+  // Ring-family algorithms are exactly the chunk-and-rotate structure the
+  // two-stage projection mirrors; the latency-bound picks map to direct.
+  const parallel::CollectiveAlgo algo =
+      selector_.choose(parallel::CollectiveOp::kAllGather,
+                       static_cast<double>(gathered_bytes), tp_ * ep_);
+  return (algo == parallel::CollectiveAlgo::kRing ||
+          algo == parallel::CollectiveAlgo::kPipelinedRing)
+             ? GatherMode::kChunked
+             : GatherMode::kDirect;
 }
 
 std::vector<std::size_t> ShardedTransformer::shard_kv_dims(std::size_t s) const {
@@ -206,6 +230,62 @@ void ShardedTransformer::project_rows(std::span<const float> w,
     y[r] = dot(std::span<const float>(w).subspan(r * cols, cols), x.first(cols));
 }
 
+void ShardedTransformer::project_scheduled(std::span<const float> w,
+                                           std::span<const float> x,
+                                           std::size_t cols) {
+  const auto shards = static_cast<std::size_t>(tp_ * ep_);
+  const std::size_t hidden = proj_.size();
+  const std::size_t row_base = hidden / shards;
+  const std::size_t row_rem = hidden % shards;
+  auto row_range = [&](std::size_t s) {
+    const std::size_t begin = s * row_base + std::min(s, row_rem);
+    return std::pair<std::size_t, std::size_t>(
+        begin, begin + row_base + (s < row_rem ? 1 : 0));
+  };
+
+  if (shards > 1 &&
+      gather_mode_for(x.size() * sizeof(float)) == GatherMode::kChunked) {
+    // Ring reduce-scatter analog: each shard produces its owned row slice in
+    // ring-rotated sub-chunks (chunk (s+1+step) % shards at step `step`, the
+    // rotation a chunked ring walks) into the private scratch buffer. Rows
+    // are disjoint across shards and each row is the same full-width dot as
+    // the serial engine, so re-ordering is bitwise-free.
+    {
+      obs::Span rs("engine.gather.reduce_scatter", obs::Cat::kEngine,
+                   static_cast<std::int64_t>(shards));
+      dispatch([&](std::size_t s) {
+        const auto [r0, r1] = row_range(s);
+        const std::size_t n = r1 - r0;
+        if (n == 0) return;
+        const std::size_t chunk = (n + shards - 1) / shards;
+        for (std::size_t step = 0; step < shards; ++step) {
+          const std::size_t b = (s + 1 + step) % shards;
+          const std::size_t c0 = r0 + std::min(n, b * chunk);
+          const std::size_t c1 = r0 + std::min(n, (b + 1) * chunk);
+          if (c0 < c1) project_rows(w, x, gather_scratch_, c0, c1, cols);
+        }
+      });
+    }
+    // Allgather: every shard publishes its reduced slice to the shared
+    // destination in a second fork-join stage.
+    obs::Span ag("engine.gather.allgather", obs::Cat::kEngine,
+                 static_cast<std::int64_t>(shards));
+    dispatch([&](std::size_t s) {
+      const auto [r0, r1] = row_range(s);
+      std::copy(gather_scratch_.begin() + static_cast<std::ptrdiff_t>(r0),
+                gather_scratch_.begin() + static_cast<std::ptrdiff_t>(r1),
+                proj_.begin() + static_cast<std::ptrdiff_t>(r0));
+    });
+  } else {
+    // Direct gather: one stage, shards write the shared destination at
+    // disjoint row ranges.
+    dispatch([&](std::size_t s) {
+      const auto [r0, r1] = row_range(s);
+      project_rows(w, x, proj_, r0, r1, cols);
+    });
+  }
+}
+
 std::vector<float> ShardedTransformer::forward(TokenId token) {
   const auto& cfg = weights_.config;
   require(token >= 0 && token < cfg.vocab_size, "ShardedTransformer: token out of range");
@@ -219,18 +299,7 @@ std::vector<float> ShardedTransformer::forward(TokenId token) {
     dispatch([&](std::size_t s) { fault_hook_(s, step); });
   }
   const auto hidden = static_cast<std::size_t>(cfg.hidden_size);
-  const auto shards = static_cast<std::size_t>(tp_ * ep_);
   const std::size_t q_dim_total = attn_gather_.size();
-
-  // Output-row ranges of the hidden dimension, one per shard (row-parallel
-  // projections after the gather).
-  const std::size_t row_base = hidden / shards;
-  const std::size_t row_rem = hidden % shards;
-  auto row_range = [&](std::size_t s) {
-    const std::size_t begin = s * row_base + std::min(s, row_rem);
-    return std::pair<std::size_t, std::size_t>(
-        begin, begin + row_base + (s < row_rem ? 1 : 0));
-  };
 
   std::vector<float> x(
       weights_.embedding.begin() +
@@ -245,21 +314,14 @@ std::vector<float> ShardedTransformer::forward(TokenId token) {
     // ---- attention: slice stage, barrier, projection stage ----------------
     rmsnorm(x, lw.attn_norm, normed);
     dispatch([&](std::size_t s) { attention_slice(l, s, normed, attn_gather_); });
-    dispatch([&](std::size_t s) {
-      const auto [r0, r1] = row_range(s);
-      project_rows(lw.wo, attn_gather_, proj_, r0, r1, q_dim_total);
-    });
+    project_scheduled(lw.wo, attn_gather_, q_dim_total);
     for (std::size_t i = 0; i < hidden; ++i) x[i] += proj_[i];
 
     // ---- FFN ---------------------------------------------------------------
     rmsnorm(x, lw.ffn_norm, normed);
     if (cfg.ffn == models::FfnKind::kDense) {
       dispatch([&](std::size_t s) { ffn_inter_slice(l, s, normed, inter_gather_); });
-      dispatch([&](std::size_t s) {
-        const auto [r0, r1] = row_range(s);
-        project_rows(lw.w_down[0], inter_gather_, proj_, r0, r1,
-                     inter_gather_.size());
-      });
+      project_scheduled(lw.w_down[0], inter_gather_, inter_gather_.size());
       // Mirror the serial engine's zero-init + weighted accumulate exactly.
       for (std::size_t i = 0; i < hidden; ++i) {
         delta_[i] = 0.0f;
@@ -419,10 +481,12 @@ std::vector<float> ShardedTransformer::prefill(std::span<const TokenId> tokens) 
   // Row-parallel projection over the whole chunk: shard s computes its
   // output-row slice for every token (batched), then scatters into the
   // [T x hidden] destination. Per-element accumulation matches the serial
-  // engine's batched_matmul exactly.
+  // engine's batched_matmul exactly, so both gather schedules below are
+  // bitwise-identical to serial — they only change when slices land.
+  std::vector<float> chunk_scratch(T * hidden);
   auto project_chunk = [&](std::span<const float> w, std::span<const float> in,
                            std::span<float> out, std::size_t cols) {
-    dispatch([&](std::size_t s) {
+    auto compute = [&](std::size_t s, std::span<float> dest) {
       const auto [r0, r1] = row_range(s);
       const std::size_t rows = r1 - r0;
       if (rows == 0) return;
@@ -430,8 +494,30 @@ std::vector<float> ShardedTransformer::prefill(std::span<const TokenId> tokens) 
       batched_matmul(w.subspan(r0 * cols, rows * cols), in, slice, rows, cols, T);
       for (std::size_t t = 0; t < T; ++t)
         std::copy_n(slice.begin() + static_cast<std::ptrdiff_t>(t * rows), rows,
-                    out.begin() + static_cast<std::ptrdiff_t>(t * hidden + r0));
-    });
+                    dest.begin() + static_cast<std::ptrdiff_t>(t * hidden + r0));
+    };
+    if (shards > 1 &&
+        gather_mode_for(in.size() * sizeof(float)) == GatherMode::kChunked) {
+      // Reduce-scatter stage into private scratch, then an allgather stage
+      // publishes each shard's slice (the structure a ring collective runs).
+      {
+        obs::Span rs("engine.gather.reduce_scatter", obs::Cat::kEngine,
+                     static_cast<std::int64_t>(shards));
+        dispatch([&](std::size_t s) { compute(s, chunk_scratch); });
+      }
+      obs::Span ag("engine.gather.allgather", obs::Cat::kEngine,
+                   static_cast<std::int64_t>(shards));
+      dispatch([&](std::size_t s) {
+        const auto [r0, r1] = row_range(s);
+        if (r1 == r0) return;
+        for (std::size_t t = 0; t < T; ++t)
+          std::copy_n(
+              chunk_scratch.begin() + static_cast<std::ptrdiff_t>(t * hidden + r0),
+              r1 - r0, out.begin() + static_cast<std::ptrdiff_t>(t * hidden + r0));
+      });
+    } else {
+      dispatch([&](std::size_t s) { compute(s, out); });
+    }
   };
 
   for (int l = 0; l < cfg.n_layers; ++l) {

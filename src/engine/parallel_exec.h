@@ -5,9 +5,27 @@
 
 #include "engine/kv_store.h"
 #include "engine/model.h"
+#include "parallel/selector.h"
 #include "util/thread_pool.h"
 
 namespace llmib::engine {
+
+/// How ShardedTransformer runs the post-gather output projections:
+///  - kDirect: one fork-join stage — every shard projects its output rows
+///    straight into the shared destination (the seed behavior; cheapest for
+///    small activations, where an extra barrier costs more than it hides).
+///  - kChunked: two fork-join stages mirroring a ring reduce-scatter +
+///    allgather — shards compute ring-ordered row chunks into a private
+///    scratch slice, then a second stage publishes the slices. Worth it for
+///    large activations, and the structure collectives actually run.
+///  - kAuto (default): a CollectiveSelector over the host topology picks
+///    per call from the gathered-activation byte size.
+/// Every mode is bitwise-identical to the serial engine: the schedule only
+/// changes which shard computes which output row when; each row is always
+/// the same full-width dot kernel.
+enum class GatherMode { kAuto, kDirect, kChunked };
+
+const char* gather_mode_name(GatherMode m);
 
 /// Multi-device execution of the mini transformer on simulated devices,
 /// implementing the parallelism schemes of paper §IV-C on real tensors:
@@ -43,6 +61,14 @@ class ShardedTransformer {
   const models::ModelConfig& config() const { return weights_.config; }
   int tp() const { return tp_; }
   int ep() const { return ep_; }
+
+  /// Gather-schedule policy for the projection stages (default kAuto).
+  void set_gather_mode(GatherMode m) { gather_mode_ = m; }
+  GatherMode gather_mode() const { return gather_mode_; }
+  /// The mode a projection over `gathered_bytes` of activations resolves
+  /// to: kAuto consults the selector (ring-family choice => kChunked);
+  /// explicit modes pass through. Exposed so tests can pin the table.
+  GatherMode gather_mode_for(std::size_t gathered_bytes) const;
 
   /// Forward one token at the current cache position; grows each shard's
   /// KV store. Returns full logits.
@@ -104,6 +130,11 @@ class ShardedTransformer {
   void project_rows(std::span<const float> w, std::span<const float> x,
                     std::span<float> y, std::size_t row_begin, std::size_t row_end,
                     std::size_t cols) const;
+  /// Selector-scheduled output projection of one token: direct single-stage
+  /// gather, or chunked reduce-scatter + allgather into `gather_scratch_`
+  /// (see GatherMode). Writes `proj_`.
+  void project_scheduled(std::span<const float> w, std::span<const float> x,
+                         std::size_t cols);
 
   /// Dispatch fn(0..shards-1) on the pool (inline when there is none).
   void dispatch(const std::function<void(std::size_t)>& fn);
@@ -117,12 +148,16 @@ class ShardedTransformer {
   std::size_t tokens_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;  // null when tp*ep == 1
   FaultHook fault_hook_;                    // empty => no injection
+  GatherMode gather_mode_ = GatherMode::kAuto;
+  /// Size x shard-count decision table over the host fabric (thread pool).
+  parallel::CollectiveSelector selector_{parallel::Topology::host()};
 
   // Per-token scratch, sized once (no allocation churn across layers).
   std::vector<float> attn_gather_;  // n_heads * head_dim
   std::vector<float> inter_gather_;  // ffn_intermediate (dense models)
   std::vector<float> proj_;          // hidden
   std::vector<float> delta_;         // hidden
+  std::vector<float> gather_scratch_;  // hidden (chunked-mode private slices)
 };
 
 }  // namespace llmib::engine

@@ -250,6 +250,11 @@ void AcceleratorRegistry::register_spec(AcceleratorSpec spec) {
   require(spec.memory_gb > 0, spec.name + ": memory must be positive");
   require(spec.devices_per_node >= 1, spec.name + ": devices_per_node must be >= 1");
   require(!spec.peak_tflops.empty(), spec.name + ": needs at least one precision");
+  // The PCIe-default bandwidth is reserved for specs that declare kNone;
+  // naming a real fabric without a rate would silently model the fallback.
+  require(spec.interconnect == InterconnectKind::kNone || spec.interconnect_gbs > 0,
+          spec.name + ": " + interconnect_name(spec.interconnect) +
+              " interconnect needs interconnect_gbs > 0");
   const bool inserted = specs_.emplace(spec.name, std::move(spec)).second;
   require(inserted, "duplicate accelerator spec");
 }

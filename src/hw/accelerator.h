@@ -79,6 +79,20 @@ struct AcceleratorSpec {
   bool supports(Precision p) const { return peak_tflops.count(p) > 0; }
   double peak_for(Precision p) const;  ///< TFLOP/s; throws if unsupported
   double node_memory_gb() const { return memory_gb * devices_per_node; }
+
+  /// Host PCIe (gen4 x16 class) bandwidth assumed for kNone specs that do
+  /// not state an interconnect rate — the ONLY case the comm layer falls
+  /// back; specs naming a real fabric must state its bandwidth.
+  static constexpr double kFallbackInterconnectGbs = 16.0;
+
+  /// Aggregate per-device link bandwidth the comm layer should use:
+  /// `interconnect_gbs` when stated, else the documented kNone fallback.
+  double effective_interconnect_gbs() const {
+    return interconnect_gbs > 0 ? interconnect_gbs : kFallbackInterconnectGbs;
+  }
+  /// True when effective_interconnect_gbs() is the fallback default, so
+  /// sweeps can surface (gauge) rather than silently model PCIe.
+  bool interconnect_is_fallback() const { return interconnect_gbs <= 0; }
 };
 
 /// Registry of every platform evaluated in the paper (Table II).

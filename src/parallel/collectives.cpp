@@ -1,0 +1,344 @@
+#include "parallel/collectives.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace llmib::parallel {
+
+using util::require;
+
+const char* collective_op_name(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kAllReduce: return "allreduce";
+    case CollectiveOp::kAllGather: return "allgather";
+    case CollectiveOp::kReduceScatter: return "reduce_scatter";
+    case CollectiveOp::kAllToAll: return "alltoall";
+    case CollectiveOp::kP2P: return "p2p";
+  }
+  return "?";
+}
+
+const char* collective_algo_name(CollectiveAlgo a) {
+  switch (a) {
+    case CollectiveAlgo::kAnalytic: return "analytic";
+    case CollectiveAlgo::kRing: return "ring";
+    case CollectiveAlgo::kRecursiveDoubling: return "recursive_doubling";
+    case CollectiveAlgo::kBinomialTree: return "binomial_tree";
+    case CollectiveAlgo::kPipelinedRing: return "pipelined_ring";
+  }
+  return "?";
+}
+
+double CollectiveSchedule::total_s() const {
+  double t = 0.0;
+  for (const auto& p : phases) t += p.seconds;
+  return t;
+}
+
+const char* phase_span_name(const char* phase) {
+  if (std::strcmp(phase, "reduce_scatter") == 0) return "sim.comm.reduce_scatter";
+  if (std::strcmp(phase, "allgather") == 0) return "sim.comm.allgather";
+  if (std::strcmp(phase, "exchange") == 0) return "sim.comm.exchange";
+  if (std::strcmp(phase, "fold_in") == 0) return "sim.comm.fold_in";
+  if (std::strcmp(phase, "fold_out") == 0) return "sim.comm.fold_out";
+  if (std::strcmp(phase, "reduce") == 0) return "sim.comm.reduce";
+  if (std::strcmp(phase, "broadcast") == 0) return "sim.comm.broadcast";
+  if (std::strcmp(phase, "pairwise") == 0) return "sim.comm.pairwise";
+  if (std::strcmp(phase, "p2p") == 0) return "sim.comm.p2p";
+  if (std::strcmp(phase, "analytic") == 0) return "sim.comm.analytic";
+  return "sim.comm";
+}
+
+namespace {
+
+int ceil_log2(int n) {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+
+bool is_pow2(int n) { return (n & (n - 1)) == 0; }
+
+/// Segment count of the pipelined ring: more segments for bigger payloads
+/// (more overlap), bounded so the per-segment sync overhead stays sane.
+int pipeline_segments(double bytes) {
+  return std::clamp(static_cast<int>(bytes / 262144.0), 2, 8);
+}
+
+/// Fraction of a hop launch each extra pipeline segment costs (the
+/// segmentation overhead that makes plain ring win at small payloads).
+constexpr double kSegmentAlphaFrac = 0.25;
+
+/// Link parameters of one ring step: every rank sends concurrently, so the
+/// step is governed by the slowest link — the node boundary when the ring
+/// wraps across nodes.
+struct StepLink {
+  double alpha;
+  double bw;
+};
+
+StepLink ring_step_link(const Topology& t, int n) {
+  const bool multi_node =
+      t.kind == TopologyKind::kHierarchical && n > t.devices_per_node;
+  if (multi_node) return {t.inter_node_alpha, t.inter_node_bw};
+  return {t.hop_alpha(1), t.link_bw};
+}
+
+StepLink span_link(const Topology& t, int span) {
+  return {t.hop_alpha(span), t.hop_bw(span)};
+}
+
+void add_phase(CollectiveSchedule& s, const char* name, int steps,
+               double seconds, double bytes_per_step) {
+  if (steps <= 0 || seconds <= 0.0) return;
+  s.phases.push_back({name, steps, seconds, bytes_per_step});
+}
+
+// ---- Closed forms (the seed CommModel, preserved bit-for-bit) --------------
+
+double analytic_s(CollectiveOp op, double bytes, int n, const Topology& t) {
+  const double alpha_ = t.alpha;
+  const double link_bw_bytes_ = t.link_bw;
+  switch (op) {
+    case CollectiveOp::kAllReduce: {
+      // Ring all-reduce: 2(n-1)/n of the data crosses each link, 2(n-1) steps.
+      const double volume = 2.0 * (n - 1) / n * bytes;
+      return 2.0 * (n - 1) * alpha_ + volume / link_bw_bytes_;
+    }
+    case CollectiveOp::kAllGather:
+    case CollectiveOp::kReduceScatter:
+    case CollectiveOp::kAllToAll: {
+      const double volume = (n - 1.0) / n * bytes;
+      return (n - 1) * alpha_ + volume / link_bw_bytes_;
+    }
+    case CollectiveOp::kP2P:
+      return alpha_ + bytes / link_bw_bytes_;
+  }
+  return 0.0;
+}
+
+// ---- Ring family -----------------------------------------------------------
+
+void ring_allreduce(CollectiveSchedule& s, double m, int n, const Topology& t,
+                    bool pipelined) {
+  const StepLink l = ring_step_link(t, n);
+  const double c = m / n;
+  const double wire = c / l.bw;
+  const double red = c / t.reduce_bw;
+  if (pipelined) {
+    // Segmented chunks: the local reduction of segment k overlaps the wire
+    // transfer of segment k+1; each extra segment costs a sync fraction.
+    const int S = pipeline_segments(m);
+    const double seg_alpha = l.alpha + (S - 1) * kSegmentAlphaFrac * l.alpha;
+    const double rs_step =
+        seg_alpha + std::max(wire, red) + std::min(wire, red) / S;
+    const double ag_step = seg_alpha + wire;
+    add_phase(s, "reduce_scatter", n - 1, (n - 1) * rs_step, c);
+    add_phase(s, "allgather", n - 1, (n - 1) * ag_step, c);
+  } else {
+    // Plain ring: receive, then reduce, serialized per step.
+    const double rs_step = l.alpha + wire + red;
+    const double ag_step = l.alpha + wire;
+    add_phase(s, "reduce_scatter", n - 1, (n - 1) * rs_step, c);
+    add_phase(s, "allgather", n - 1, (n - 1) * ag_step, c);
+  }
+}
+
+void ring_allgather(CollectiveSchedule& s, double m, int n, const Topology& t,
+                    bool pipelined) {
+  const StepLink l = ring_step_link(t, n);
+  const double c = m / n;
+  const double wire = c / l.bw;
+  if (pipelined) {
+    const int S = pipeline_segments(m);
+    const double seg_alpha = (S - 1) * kSegmentAlphaFrac * l.alpha;
+    // Segmentation lets the hop launch hide under the previous segment's
+    // transfer; the per-segment sync overhead is what it costs.
+    const double step = std::max(l.alpha, wire) + seg_alpha;
+    add_phase(s, "allgather", n - 1, (n - 1) * step, c);
+  } else {
+    add_phase(s, "allgather", n - 1, (n - 1) * (l.alpha + wire), c);
+  }
+}
+
+void ring_reduce_scatter(CollectiveSchedule& s, double m, int n,
+                         const Topology& t, bool pipelined) {
+  const StepLink l = ring_step_link(t, n);
+  const double c = m / n;
+  const double wire = c / l.bw;
+  const double red = c / t.reduce_bw;
+  if (pipelined) {
+    const int S = pipeline_segments(m);
+    const double seg_alpha = l.alpha + (S - 1) * kSegmentAlphaFrac * l.alpha;
+    const double step = seg_alpha + std::max(wire, red) + std::min(wire, red) / S;
+    add_phase(s, "reduce_scatter", n - 1, (n - 1) * step, c);
+  } else {
+    add_phase(s, "reduce_scatter", n - 1, (n - 1) * (l.alpha + wire + red), c);
+  }
+}
+
+// ---- Recursive doubling / halving ------------------------------------------
+
+void rd_allreduce(CollectiveSchedule& s, double m, int n, const Topology& t) {
+  const int r = ceil_log2(is_pow2(n) ? n : n / 2 + n % 2);
+  const int pow2 = 1 << r;
+  if (n != pow2) {
+    // Fold the remainder ranks onto power-of-two partners first.
+    const StepLink l = span_link(t, 1);
+    add_phase(s, "fold_in", 1, l.alpha + m / l.bw + m / t.reduce_bw, m);
+  }
+  double total = 0.0;
+  for (int k = 0; k < r; ++k) {
+    const StepLink l = span_link(t, 1 << k);
+    total += l.alpha + m / l.bw + m / t.reduce_bw;
+  }
+  add_phase(s, "exchange", r, total, m);
+  if (n != pow2) {
+    const StepLink l = span_link(t, 1);
+    add_phase(s, "fold_out", 1, l.alpha + m / l.bw, m);
+  }
+}
+
+void rd_allgather(CollectiveSchedule& s, double m, int n, const Topology& t) {
+  // Bruck-style: step k exchanges 2^k blocks of m/n; total (n-1)/n * m.
+  const int r = ceil_log2(n);
+  double total = 0.0;
+  double remaining = static_cast<double>(n - 1);
+  for (int k = 0; k < r; ++k) {
+    const double blocks = std::min<double>(1 << k, remaining);
+    const StepLink l = span_link(t, 1 << k);
+    total += l.alpha + blocks * (m / n) / l.bw;
+    remaining -= blocks;
+  }
+  add_phase(s, "allgather", r, total, m / n);
+}
+
+void rd_reduce_scatter(CollectiveSchedule& s, double m, int n,
+                       const Topology& t) {
+  // Recursive halving: step k moves m/2^(k+1) and reduces it.
+  const int r = ceil_log2(n);
+  double total = 0.0;
+  for (int k = 0; k < r; ++k) {
+    const double part = m / static_cast<double>(2 << k);
+    const StepLink l = span_link(t, 1 << k);
+    total += l.alpha + part / l.bw + part / t.reduce_bw;
+  }
+  add_phase(s, "reduce_scatter", r, total, m / 2.0);
+}
+
+// ---- Binomial tree ---------------------------------------------------------
+
+void tree_allreduce(CollectiveSchedule& s, double m, int n, const Topology& t) {
+  const int r = ceil_log2(n);
+  double up = 0.0, down = 0.0;
+  for (int k = 0; k < r; ++k) {
+    const StepLink l = span_link(t, 1 << k);
+    up += l.alpha + m / l.bw + m / t.reduce_bw;
+    down += l.alpha + m / l.bw;
+  }
+  add_phase(s, "reduce", r, up, m);
+  add_phase(s, "broadcast", r, down, m);
+}
+
+void tree_allgather(CollectiveSchedule& s, double m, int n, const Topology& t) {
+  // Gather doubling blocks up the tree, then broadcast the full payload.
+  const int r = ceil_log2(n);
+  double up = 0.0, down = 0.0;
+  for (int k = 0; k < r; ++k) {
+    const StepLink l = span_link(t, 1 << k);
+    up += l.alpha + static_cast<double>(1 << k) * (m / n) / l.bw;
+    down += l.alpha + m / l.bw;
+  }
+  add_phase(s, "reduce", r, up, m / n);
+  add_phase(s, "broadcast", r, down, m);
+}
+
+void tree_reduce_scatter(CollectiveSchedule& s, double m, int n,
+                         const Topology& t) {
+  // Reduce to root, then scatter blocks back down.
+  const int r = ceil_log2(n);
+  double up = 0.0, down = 0.0;
+  for (int k = 0; k < r; ++k) {
+    const StepLink l = span_link(t, 1 << k);
+    up += l.alpha + m / l.bw + m / t.reduce_bw;
+    down += l.alpha + static_cast<double>(1 << k) * (m / n) / l.bw;
+  }
+  add_phase(s, "reduce", r, up, m);
+  add_phase(s, "reduce_scatter", r, down, m / n);
+}
+
+// ---- Pairwise / p2p --------------------------------------------------------
+
+void pairwise_alltoall(CollectiveSchedule& s, double m, int n,
+                       const Topology& t) {
+  const StepLink l = ring_step_link(t, n);
+  const double c = m / n;
+  add_phase(s, "pairwise", n - 1, (n - 1) * (l.alpha + c / l.bw), c);
+}
+
+void p2p(CollectiveSchedule& s, double m, const Topology& t) {
+  const StepLink l = span_link(t, 1);
+  add_phase(s, "p2p", 1, l.alpha + m / l.bw, m);
+}
+
+}  // namespace
+
+CollectiveSchedule build_schedule(CollectiveAlgo algo, CollectiveOp op,
+                                  double bytes, int n, const Topology& t) {
+  require(bytes >= 0, "collective: negative bytes");
+  require(n >= 1, "collective: need >= 1 device");
+  CollectiveSchedule s;
+  s.op = op;
+  s.algo = algo;
+  if (n == 1 || bytes == 0) return s;
+
+  if (algo == CollectiveAlgo::kAnalytic) {
+    add_phase(s, "analytic", 1, analytic_s(op, bytes, n, t), bytes);
+    return s;
+  }
+  // Alltoall only has the pairwise exchange; p2p is a single hop. The tag
+  // reflects what actually ran so tests and spans never lie.
+  if (op == CollectiveOp::kAllToAll) {
+    s.algo = CollectiveAlgo::kRing;
+    pairwise_alltoall(s, bytes, n, t);
+    return s;
+  }
+  if (op == CollectiveOp::kP2P) {
+    s.algo = CollectiveAlgo::kRing;
+    p2p(s, bytes, t);
+    return s;
+  }
+
+  const bool pipelined = algo == CollectiveAlgo::kPipelinedRing;
+  switch (algo) {
+    case CollectiveAlgo::kRing:
+    case CollectiveAlgo::kPipelinedRing:
+      if (op == CollectiveOp::kAllReduce) ring_allreduce(s, bytes, n, t, pipelined);
+      if (op == CollectiveOp::kAllGather) ring_allgather(s, bytes, n, t, pipelined);
+      if (op == CollectiveOp::kReduceScatter)
+        ring_reduce_scatter(s, bytes, n, t, pipelined);
+      break;
+    case CollectiveAlgo::kRecursiveDoubling:
+      if (op == CollectiveOp::kAllReduce) rd_allreduce(s, bytes, n, t);
+      if (op == CollectiveOp::kAllGather) rd_allgather(s, bytes, n, t);
+      if (op == CollectiveOp::kReduceScatter) rd_reduce_scatter(s, bytes, n, t);
+      break;
+    case CollectiveAlgo::kBinomialTree:
+      if (op == CollectiveOp::kAllReduce) tree_allreduce(s, bytes, n, t);
+      if (op == CollectiveOp::kAllGather) tree_allgather(s, bytes, n, t);
+      if (op == CollectiveOp::kReduceScatter) tree_reduce_scatter(s, bytes, n, t);
+      break;
+    case CollectiveAlgo::kAnalytic:
+      break;  // handled above
+  }
+  return s;
+}
+
+double collective_cost_s(CollectiveAlgo algo, CollectiveOp op, double bytes,
+                         int n, const Topology& t) {
+  return build_schedule(algo, op, bytes, n, t).total_s();
+}
+
+}  // namespace llmib::parallel

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "parallel/topology.h"
+
+namespace llmib::parallel {
+
+/// The collective operations the parallelism layer prices. kP2P is the
+/// pipeline-parallel activation handoff; the rest map onto TP/EP traffic.
+enum class CollectiveOp { kAllReduce, kAllGather, kReduceScatter, kAllToAll, kP2P };
+
+const char* collective_op_name(CollectiveOp op);
+
+/// The algorithms a collective can run as. kAnalytic is not an executed
+/// schedule: it is the closed alpha-beta form the seed comm model used,
+/// kept as its own "algorithm" so existing figures stay pinned bit-for-bit
+/// when it is selected (the default backend).
+enum class CollectiveAlgo {
+  kAnalytic,
+  kRing,               ///< chunked ring: bandwidth-optimal, 2(n-1) latency terms
+  kRecursiveDoubling,  ///< log2(n) exchanges of the full payload
+  kBinomialTree,       ///< reduce-to-root + broadcast, 2*ceil(log2 n) steps
+  kPipelinedRing,      ///< ring with segmented chunks: reduction overlaps the wire
+};
+
+const char* collective_algo_name(CollectiveAlgo a);
+
+/// One phase of an executed collective: `steps` serialized hops of
+/// `seconds / steps` each, moving `bytes_per_step` on the busiest link.
+struct CollectivePhase {
+  const char* name = "";  ///< static storage ("reduce_scatter", "allgather", ...)
+  int steps = 0;
+  double seconds = 0.0;
+  double bytes_per_step = 0.0;
+};
+
+/// A collective priced step-by-step over a topology. total_s() is the
+/// modeled completion time; phases carry enough structure for the sim to
+/// emit one obs span per phase so Perfetto timelines show link occupancy.
+struct CollectiveSchedule {
+  CollectiveOp op = CollectiveOp::kAllReduce;
+  CollectiveAlgo algo = CollectiveAlgo::kRing;
+  std::vector<CollectivePhase> phases;
+
+  double total_s() const;
+};
+
+/// Stable obs span name for a phase name ("reduce_scatter" ->
+/// "sim.comm.reduce_scatter"). Returns static storage, as spans require.
+const char* phase_span_name(const char* phase);
+
+/// Build the step-by-step schedule of `algo` executing `op` over `bytes`
+/// total payload across `n` devices of topology `t`. kAnalytic yields one
+/// closed-form phase (bit-equal to the seed CommModel's formulas).
+/// Throws util::ContractViolation for bytes < 0 or n < 1.
+CollectiveSchedule build_schedule(CollectiveAlgo algo, CollectiveOp op,
+                                  double bytes, int n, const Topology& t);
+
+/// Modeled completion seconds of build_schedule (convenience).
+double collective_cost_s(CollectiveAlgo algo, CollectiveOp op, double bytes,
+                         int n, const Topology& t);
+
+}  // namespace llmib::parallel

@@ -6,31 +6,26 @@ namespace llmib::parallel {
 
 using util::require;
 
-namespace {
-
-double latency_for(hw::InterconnectKind kind) {
-  switch (kind) {
-    case hw::InterconnectKind::kNVLink: return 3e-6;
-    case hw::InterconnectKind::kNVLinkC2C: return 2e-6;
-    case hw::InterconnectKind::kInfinityFabric: return 4e-6;
-    case hw::InterconnectKind::kRoCE: return 4e-6;  // HCCL over on-die NICs
-    case hw::InterconnectKind::kPCIeRDU: return 2e-6;  // dedicated RDU switch fabric
-    case hw::InterconnectKind::kNone: return 5e-6;
-  }
-  return 5e-6;
-}
-
-}  // namespace
-
-CommModel::CommModel(const hw::AcceleratorSpec& spec)
-    : link_bw_bytes_(spec.interconnect_gbs * 1e9), alpha_(latency_for(spec.interconnect)) {
-  if (link_bw_bytes_ <= 0) link_bw_bytes_ = 16e9;  // PCIe fallback
+CommModel::CommModel(const hw::AcceleratorSpec& spec, CommBackend backend)
+    : link_bw_bytes_(spec.effective_interconnect_gbs() * 1e9),
+      alpha_(interconnect_hop_latency_s(spec.interconnect)),
+      interconnect_(spec.interconnect),
+      fallback_(spec.interconnect_is_fallback()),
+      backend_(backend),
+      selector_(Topology::from_spec(spec)) {
+  // The PCIe default is the explicit kNone path only (satellite of PR 10):
+  // a spec naming a real fabric with no rate used to silently model 16 GB/s.
+  require(!fallback_ || spec.interconnect == hw::InterconnectKind::kNone,
+          spec.name + ": " + hw::interconnect_name(spec.interconnect) +
+              " spec must state interconnect_gbs (no silent PCIe fallback)");
 }
 
 double CommModel::allreduce_s(double bytes, int n) const {
   require(bytes >= 0, "allreduce: negative bytes");
   require(n >= 1, "allreduce: need >= 1 device");
   if (n == 1 || bytes == 0) return 0.0;
+  if (backend_ == CommBackend::kStepped)
+    return selector_.cost_s(CollectiveOp::kAllReduce, bytes, n);
   // Ring all-reduce: 2(n-1)/n of the data crosses each link, 2(n-1) steps.
   const double volume = 2.0 * (n - 1) / n * bytes;
   return 2.0 * (n - 1) * alpha_ + volume / link_bw_bytes_;
@@ -40,6 +35,18 @@ double CommModel::allgather_s(double bytes, int n) const {
   require(bytes >= 0, "allgather: negative bytes");
   require(n >= 1, "allgather: need >= 1 device");
   if (n == 1 || bytes == 0) return 0.0;
+  if (backend_ == CommBackend::kStepped)
+    return selector_.cost_s(CollectiveOp::kAllGather, bytes, n);
+  const double volume = (n - 1.0) / n * bytes;
+  return (n - 1) * alpha_ + volume / link_bw_bytes_;
+}
+
+double CommModel::reduce_scatter_s(double bytes, int n) const {
+  require(bytes >= 0, "reduce_scatter: negative bytes");
+  require(n >= 1, "reduce_scatter: need >= 1 device");
+  if (n == 1 || bytes == 0) return 0.0;
+  if (backend_ == CommBackend::kStepped)
+    return selector_.cost_s(CollectiveOp::kReduceScatter, bytes, n);
   const double volume = (n - 1.0) / n * bytes;
   return (n - 1) * alpha_ + volume / link_bw_bytes_;
 }
@@ -48,6 +55,8 @@ double CommModel::alltoall_s(double bytes, int n) const {
   require(bytes >= 0, "alltoall: negative bytes");
   require(n >= 1, "alltoall: need >= 1 device");
   if (n == 1 || bytes == 0) return 0.0;
+  if (backend_ == CommBackend::kStepped)
+    return selector_.cost_s(CollectiveOp::kAllToAll, bytes, n);
   const double volume = (n - 1.0) / n * bytes;
   return (n - 1) * alpha_ + volume / link_bw_bytes_;
 }
@@ -55,7 +64,15 @@ double CommModel::alltoall_s(double bytes, int n) const {
 double CommModel::p2p_s(double bytes) const {
   require(bytes >= 0, "p2p: negative bytes");
   if (bytes == 0) return 0.0;
+  if (backend_ == CommBackend::kStepped)
+    return selector_.cost_s(CollectiveOp::kP2P, bytes, 2);
   return alpha_ + bytes / link_bw_bytes_;
+}
+
+CollectiveSchedule CommModel::schedule(CollectiveOp op, double bytes,
+                                       int n) const {
+  if (backend_ == CommBackend::kStepped) return selector_.schedule(op, bytes, n);
+  return selector_.schedule(CollectiveAlgo::kAnalytic, op, bytes, n);
 }
 
 }  // namespace llmib::parallel

@@ -1,28 +1,52 @@
 #pragma once
 
 #include "hw/accelerator.h"
+#include "parallel/selector.h"
 
 namespace llmib::parallel {
 
 /// Collective communication cost model over a node's interconnect.
 ///
-/// Uses the classic alpha-beta model: time = hops * alpha + bytes / beta,
-/// with ring algorithms for the collectives. `beta` is the per-device link
-/// bandwidth from the accelerator spec; `alpha` depends on the interconnect
-/// family (NVLink ~ a few microseconds, RoCE tens of microseconds, PCIe
-/// in between).
+/// Two backends (CommBackend):
+///  - kAnalytic (default): the classic alpha-beta closed forms the seed
+///    shipped — time = hops * alpha + bytes / beta with ring volumes.
+///    Bit-for-bit identical to the original CommModel, so every existing
+///    figure stays pinned.
+///  - kStepped: a CollectiveSelector picks ring / recursive-doubling /
+///    binomial-tree / pipelined-ring per (size, n, topology) and prices the
+///    chosen algorithm's step-by-step schedule over the fabric derived from
+///    the accelerator spec (NVLink mesh, PCIe switch, RoCE hierarchy).
+///
+/// Bandwidth comes from AcceleratorSpec::effective_interconnect_gbs():
+/// specs declaring InterconnectKind::kNone without a rate get the
+/// documented host-PCIe default (and interconnect_is_fallback() reports
+/// it); specs naming a real fabric must state a rate — the constructor
+/// throws instead of silently modeling PCIe.
 class CommModel {
  public:
-  explicit CommModel(const hw::AcceleratorSpec& spec);
+  explicit CommModel(const hw::AcceleratorSpec& spec,
+                     CommBackend backend = CommBackend::kAnalytic);
+
+  CommBackend backend() const { return backend_; }
+  const CollectiveSelector& selector() const { return selector_; }
+  const Topology& topology() const { return selector_.topology(); }
+
+  hw::InterconnectKind interconnect() const { return interconnect_; }
+  /// True when the bandwidth is the documented kNone PCIe default rather
+  /// than a stated rate (surfaced as an obs gauge by the simulator).
+  bool bandwidth_is_fallback() const { return fallback_; }
 
   double link_bandwidth_bytes_s() const { return link_bw_bytes_; }
   double link_latency_s() const { return alpha_; }
 
-  /// Ring all-reduce of `bytes` across `n` devices.
+  /// All-reduce of `bytes` across `n` devices.
   double allreduce_s(double bytes, int n) const;
 
-  /// Ring all-gather where each device contributes bytes/n.
+  /// All-gather where each device contributes bytes/n.
   double allgather_s(double bytes, int n) const;
+
+  /// Reduce-scatter leaving bytes/n reduced on each device.
+  double reduce_scatter_s(double bytes, int n) const;
 
   /// All-to-all exchange of `bytes` total per device across `n` devices.
   double alltoall_s(double bytes, int n) const;
@@ -30,9 +54,18 @@ class CommModel {
   /// Point-to-point transfer of `bytes` between adjacent devices.
   double p2p_s(double bytes) const;
 
+  /// Step-by-step schedule of the op under this backend (the analytic
+  /// backend yields one closed-form phase). Consumers emit one obs span
+  /// per phase so traces show per-step link occupancy.
+  CollectiveSchedule schedule(CollectiveOp op, double bytes, int n) const;
+
  private:
   double link_bw_bytes_ = 0.0;
   double alpha_ = 0.0;
+  hw::InterconnectKind interconnect_ = hw::InterconnectKind::kNone;
+  bool fallback_ = false;
+  CommBackend backend_ = CommBackend::kAnalytic;
+  CollectiveSelector selector_;
 };
 
 }  // namespace llmib::parallel

@@ -1,0 +1,57 @@
+#include "parallel/selector.h"
+
+namespace llmib::parallel {
+
+const char* comm_backend_name(CommBackend b) {
+  switch (b) {
+    case CommBackend::kAnalytic: return "analytic";
+    case CommBackend::kStepped: return "stepped";
+  }
+  return "?";
+}
+
+CollectiveAlgo CollectiveSelector::choose(CollectiveOp op, double bytes,
+                                          int n) const {
+  // Alltoall and p2p have one canonical execution each.
+  if (op == CollectiveOp::kAllToAll || op == CollectiveOp::kP2P)
+    return CollectiveAlgo::kRing;
+
+  // Two ranks: one exchange beats any ring walk at every size.
+  if (n <= 2) return CollectiveAlgo::kRecursiveDoubling;
+
+  if (op == CollectiveOp::kAllReduce) {
+    if (bytes <= kSmallBytes) {
+      // Latency-bound: log2(n) hops. On a switch every concurrent exchange
+      // contends for the crossbar, so the tree's rooted pattern wins there.
+      return topo_.kind == TopologyKind::kSwitch
+                 ? CollectiveAlgo::kBinomialTree
+                 : CollectiveAlgo::kRecursiveDoubling;
+    }
+    return bytes <= kLargeBytes ? CollectiveAlgo::kRing
+                                : CollectiveAlgo::kPipelinedRing;
+  }
+
+  // Allgather / reduce-scatter: the doubling variants already move the
+  // bandwidth-optimal (n-1)/n volume, so they win until the payload is
+  // large enough that segmented overlap pays.
+  if (bytes <= 2.0 * kSmallBytes) return CollectiveAlgo::kRecursiveDoubling;
+  return bytes <= 4.0 * kLargeBytes ? CollectiveAlgo::kRing
+                                    : CollectiveAlgo::kPipelinedRing;
+}
+
+CollectiveSchedule CollectiveSelector::schedule(CollectiveOp op, double bytes,
+                                                int n) const {
+  return build_schedule(choose(op, bytes, n), op, bytes, n, topo_);
+}
+
+CollectiveSchedule CollectiveSelector::schedule(CollectiveAlgo algo,
+                                                CollectiveOp op, double bytes,
+                                                int n) const {
+  return build_schedule(algo, op, bytes, n, topo_);
+}
+
+double CollectiveSelector::cost_s(CollectiveOp op, double bytes, int n) const {
+  return schedule(op, bytes, n).total_s();
+}
+
+}  // namespace llmib::parallel

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "parallel/collectives.h"
+#include "parallel/topology.h"
+
+namespace llmib::parallel {
+
+/// Which comm backend prices the collectives.
+///  - kAnalytic: the seed's closed alpha-beta forms (bit-for-bit the old
+///    CommModel — the default, so every existing figure stays pinned).
+///  - kStepped: the selector picks an algorithm per (size, n, topology)
+///    and prices its step-by-step schedule over the fabric.
+enum class CommBackend { kAnalytic, kStepped };
+
+const char* comm_backend_name(CommBackend b);
+
+/// OpenMPI-style decision tables: pick the collective algorithm from the
+/// payload size, the participant count, and the fabric shape (the same
+/// structure as SMPI's tuned-module selector). The table is deliberately
+/// small and fully pinned by tests/collectives_test.cpp.
+class CollectiveSelector {
+ public:
+  explicit CollectiveSelector(Topology topo) : topo_(topo) {}
+
+  const Topology& topology() const { return topo_; }
+
+  /// Table lookup: the algorithm the stepped backend runs for this cell.
+  CollectiveAlgo choose(CollectiveOp op, double bytes, int n) const;
+
+  /// Schedule of the table-chosen algorithm.
+  CollectiveSchedule schedule(CollectiveOp op, double bytes, int n) const;
+
+  /// Schedule of a forced algorithm (benches and equivalence tests).
+  CollectiveSchedule schedule(CollectiveAlgo algo, CollectiveOp op,
+                              double bytes, int n) const;
+
+  /// Modeled seconds of the table-chosen algorithm.
+  double cost_s(CollectiveOp op, double bytes, int n) const;
+
+  // Size class boundaries of the decision table (bytes).
+  static constexpr double kSmallBytes = 16.0 * 1024;   ///< latency-bound
+  static constexpr double kLargeBytes = 1024.0 * 1024; ///< pipeline pays off
+
+ private:
+  Topology topo_;
+};
+
+}  // namespace llmib::parallel

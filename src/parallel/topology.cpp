@@ -1,0 +1,88 @@
+#include "parallel/topology.h"
+
+namespace llmib::parallel {
+
+const char* topology_kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kFullMesh: return "full-mesh";
+    case TopologyKind::kSwitch: return "switch";
+    case TopologyKind::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+double interconnect_hop_latency_s(hw::InterconnectKind kind) {
+  switch (kind) {
+    case hw::InterconnectKind::kNVLink: return 3e-6;
+    case hw::InterconnectKind::kNVLinkC2C: return 2e-6;
+    case hw::InterconnectKind::kInfinityFabric: return 4e-6;
+    case hw::InterconnectKind::kRoCE: return 4e-6;  // HCCL over on-die NICs
+    case hw::InterconnectKind::kPCIeRDU: return 2e-6;  // dedicated RDU switch fabric
+    case hw::InterconnectKind::kNone: return 5e-6;
+  }
+  return 5e-6;
+}
+
+double Topology::hop_alpha(int span) const {
+  switch (kind) {
+    case TopologyKind::kFullMesh:
+      return alpha;
+    case TopologyKind::kSwitch:
+      // Every hop is two link traversals: device -> switch -> device.
+      return 2.0 * alpha;
+    case TopologyKind::kHierarchical:
+      return crosses_node(span) ? inter_node_alpha : alpha;
+  }
+  return alpha;
+}
+
+double Topology::hop_bw(int span) const {
+  if (kind == TopologyKind::kHierarchical && crosses_node(span))
+    return inter_node_bw;
+  return link_bw;
+}
+
+bool Topology::crosses_node(int span) const {
+  return kind == TopologyKind::kHierarchical && span >= devices_per_node;
+}
+
+Topology Topology::from_spec(const hw::AcceleratorSpec& spec) {
+  Topology t;
+  t.link_bw = spec.effective_interconnect_gbs() * 1e9;
+  t.alpha = interconnect_hop_latency_s(spec.interconnect);
+  // A local reduction streams two operands in and one result out of HBM.
+  t.reduce_bw = spec.hbm_bandwidth_gbs > 0 ? spec.hbm_bandwidth_gbs * 1e9 / 3.0
+                                           : t.link_bw;
+  t.devices_per_node = spec.devices_per_node;
+  switch (spec.interconnect) {
+    case hw::InterconnectKind::kNVLink:
+    case hw::InterconnectKind::kNVLinkC2C:
+    case hw::InterconnectKind::kInfinityFabric:
+      t.kind = TopologyKind::kFullMesh;
+      break;
+    case hw::InterconnectKind::kPCIeRDU:
+    case hw::InterconnectKind::kNone:
+      t.kind = TopologyKind::kSwitch;
+      break;
+    case hw::InterconnectKind::kRoCE:
+      // Intra-node RoCE is all-to-all through on-die NICs; crossing the
+      // node boundary means ToR links: 4x the latency, half the bandwidth.
+      t.kind = TopologyKind::kHierarchical;
+      t.inter_node_alpha = 4.0 * t.alpha;
+      t.inter_node_bw = 0.5 * t.link_bw;
+      break;
+  }
+  return t;
+}
+
+Topology Topology::host(double mem_bw_bytes_s, double dispatch_s) {
+  Topology t;
+  t.kind = TopologyKind::kFullMesh;
+  t.link_bw = mem_bw_bytes_s;
+  t.alpha = dispatch_s;
+  t.reduce_bw = mem_bw_bytes_s / 3.0;
+  t.devices_per_node = 1 << 10;  // one shared-memory domain
+  return t;
+}
+
+}  // namespace llmib::parallel

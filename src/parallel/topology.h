@@ -1,0 +1,59 @@
+#pragma once
+
+#include "hw/accelerator.h"
+
+namespace llmib::parallel {
+
+/// Fabric shapes the collective algorithms execute over. Derived from the
+/// accelerator's interconnect family (Table II): the shape decides how many
+/// link traversals one hop costs and where a ring/tree step crosses a
+/// slower boundary.
+enum class TopologyKind {
+  kFullMesh,      ///< direct per-pair links (NVLink, NVLink-C2C, Infinity Fabric)
+  kSwitch,        ///< all traffic through a central switch (PCIe, inter-RDU)
+  kHierarchical,  ///< nodes of full-mesh devices joined by a slower tier (RoCE)
+};
+
+const char* topology_kind_name(TopologyKind k);
+
+/// Per-link parameters of a device fabric, independent of how many devices
+/// participate in a given collective (that is per call). All bandwidths are
+/// bytes/s per direction; latencies are per link traversal.
+struct Topology {
+  TopologyKind kind = TopologyKind::kFullMesh;
+  double link_bw = 0.0;        ///< intra-node per-device link bandwidth
+  double alpha = 0.0;          ///< intra-node per-hop launch latency (s)
+  double reduce_bw = 0.0;      ///< local elementwise-reduce stream rate
+  int devices_per_node = 1;    ///< node boundary for kHierarchical
+  double inter_node_bw = 0.0;  ///< boundary link bandwidth (kHierarchical)
+  double inter_node_alpha = 0.0;
+
+  /// Effective latency of one hop between devices `span` ranks apart on
+  /// this fabric (switch: two traversals; hierarchical: boundary crossings
+  /// pay the inter-node latency).
+  double hop_alpha(int span) const;
+
+  /// Effective bandwidth of the slowest link a hop of `span` ranks uses.
+  double hop_bw(int span) const;
+
+  /// Whether a hop spanning `span` ranks crosses a node boundary.
+  bool crosses_node(int span) const;
+
+  /// Derive the fabric from an accelerator spec. Uses the spec's effective
+  /// interconnect bandwidth (the documented PCIe default for kNone specs)
+  /// and the per-family launch latencies the analytic CommModel has always
+  /// used, so the analytic backend stays bit-for-bit.
+  static Topology from_spec(const hw::AcceleratorSpec& spec);
+
+  /// Shared-memory "fabric" of one host: what ShardedTransformer's gather
+  /// schedule runs over (memcpy-class bandwidth, dispatch-class latency).
+  static Topology host(double mem_bw_bytes_s = 30e9,
+                       double dispatch_s = 2e-6);
+};
+
+/// Per-hop launch latency of an interconnect family (the alpha of the
+/// classic alpha-beta model). Shared by the analytic closed forms and the
+/// stepped schedules so both backends price a hop identically.
+double interconnect_hop_latency_s(hw::InterconnectKind kind);
+
+}  // namespace llmib::parallel

@@ -8,6 +8,7 @@
 #include "models/config.h"
 #include "obs/snapshot.h"
 #include "parallel/plan.h"
+#include "parallel/selector.h"
 
 namespace llmib::sim {
 
@@ -33,6 +34,10 @@ struct SimConfig {
   hw::Precision precision = hw::Precision::kFP16;       ///< weights + math
   hw::Precision kv_precision = hw::Precision::kFP16;
   parallel::ParallelPlan plan;
+  /// How TP/PP/EP collectives are priced: kAnalytic keeps the seed's closed
+  /// alpha-beta forms (every published figure stays pinned); kStepped runs
+  /// the topology-aware CollectiveSelector's per-algorithm step schedules.
+  parallel::CommBackend comm_backend = parallel::CommBackend::kAnalytic;
 
   std::int64_t batch_size = 1;
   std::int64_t input_tokens = 128;

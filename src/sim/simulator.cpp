@@ -90,8 +90,8 @@ struct InferenceSimulator::Resolved {
   Resolved(const models::ModelConfig& m, const hw::AcceleratorSpec& a,
            const frameworks::FrameworkTraits& f, const SimConfig& c,
            const models::CostOptions& copt)
-      : model(m), accel(a), fw(f), device(a, c.precision), comm(a),
-        costs(m, copt), cfg(c) {}
+      : model(m), accel(a), fw(f), device(a, c.precision),
+        comm(a, c.comm_backend), costs(m, copt), cfg(c) {}
 };
 
 InferenceSimulator::InferenceSimulator()
@@ -186,12 +186,49 @@ double combine_roofline(const hw::DeviceModel& dev, double compute_s,
 
 }  // namespace
 
+void InferenceSimulator::add_collective_costs(const Resolved& r,
+                                              double act_bytes,
+                                              StepBreakdown& s) const {
+  const auto& plan = r.cfg.plan;
+  const auto& m = r.model;
+  const bool stepped = r.comm.backend() == parallel::CommBackend::kStepped;
+  // Under kStepped, keep the per-phase decomposition (scaled by how many
+  // times the step runs the collective) so the sim loop can emit one span
+  // per phase. The analytic backend records nothing: its closed forms have
+  // no internal structure and existing traces stay byte-identical.
+  auto record = [&](parallel::CollectiveOp op, double bytes, int n,
+                    double scale) {
+    if (!stepped) return;
+    for (parallel::CollectivePhase ph : r.comm.schedule(op, bytes, n).phases) {
+      ph.seconds *= scale;
+      s.comm_phases.push_back(ph);
+    }
+  };
+  if (plan.tp > 1) {
+    const double per_collective =
+        r.comm.allreduce_s(act_bytes, plan.tp) + r.fw.tp_sync_s;
+    // Two all-reduces per layer along the serial path, regardless of PP.
+    s.comm_s += 2.0 * m.n_layers * per_collective * (1.0 - r.fw.tp_comm_overlap);
+    record(parallel::CollectiveOp::kAllReduce, act_bytes, plan.tp,
+           2.0 * m.n_layers * (1.0 - r.fw.tp_comm_overlap));
+  }
+  if (plan.pp > 1) {
+    s.comm_s += (plan.pp - 1.0) * r.comm.p2p_s(act_bytes);
+    record(parallel::CollectiveOp::kP2P, act_bytes, 2, plan.pp - 1.0);
+  }
+  if (plan.ep > 1) {
+    s.comm_s += 2.0 * m.n_layers * r.comm.alltoall_s(act_bytes, plan.ep);
+    record(parallel::CollectiveOp::kAllToAll, act_bytes, plan.ep,
+           2.0 * m.n_layers);
+  }
+}
+
 StepBreakdown InferenceSimulator::decode_step_resolved(const Resolved& r,
                                                        std::int64_t batch,
                                                        double ctx) const {
   require(batch > 0, "decode batch must be positive");
   const auto& plan = r.cfg.plan;
-  const double tp = plan.tp, pp = plan.pp, ep = plan.ep;
+  const double tp = plan.tp, ep = plan.ep;
   const auto& m = r.model;
   const auto& c = r.costs;
 
@@ -256,18 +293,7 @@ StepBreakdown InferenceSimulator::decode_step_resolved(const Resolved& r,
 
   // --- Collectives -------------------------------------------------------
   const double token_act_bytes = batch * m.hidden_size * r.act_bytes;
-  if (plan.tp > 1) {
-    const double per_collective =
-        r.comm.allreduce_s(token_act_bytes, plan.tp) + r.fw.tp_sync_s;
-    // Two all-reduces per layer along the serial path, regardless of PP.
-    s.comm_s += 2.0 * m.n_layers * per_collective * (1.0 - r.fw.tp_comm_overlap);
-  }
-  if (plan.pp > 1) {
-    s.comm_s += (pp - 1.0) * r.comm.p2p_s(token_act_bytes);
-  }
-  if (plan.ep > 1) {
-    s.comm_s += 2.0 * m.n_layers * r.comm.alltoall_s(token_act_bytes, plan.ep);
-  }
+  add_collective_costs(r, token_act_bytes, s);
 
   // --- Host-side work ------------------------------------------------------
   const double host_passes =
@@ -299,7 +325,7 @@ StepBreakdown InferenceSimulator::prefill_step_resolved(const Resolved& r,
   require(batch > 0, "prefill batch must be positive");
   require(seq_len > 0, "prefill seq_len must be positive");
   const auto& plan = r.cfg.plan;
-  const double tp = plan.tp, pp = plan.pp, ep = plan.ep;
+  const double tp = plan.tp, ep = plan.ep;
   const auto& m = r.model;
   const auto& c = r.costs;
   const double tokens = static_cast<double>(batch) * seq_len;
@@ -324,13 +350,7 @@ StepBreakdown InferenceSimulator::prefill_step_resolved(const Resolved& r,
   }
 
   const double act_transfer = tokens * m.hidden_size * r.act_bytes;
-  if (plan.tp > 1) {
-    const double per_collective =
-        r.comm.allreduce_s(act_transfer, plan.tp) + r.fw.tp_sync_s;
-    s.comm_s += 2.0 * m.n_layers * per_collective * (1.0 - r.fw.tp_comm_overlap);
-  }
-  if (plan.pp > 1) s.comm_s += (pp - 1.0) * r.comm.p2p_s(act_transfer);
-  if (plan.ep > 1) s.comm_s += 2.0 * m.n_layers * r.comm.alltoall_s(act_transfer, plan.ep);
+  add_collective_costs(r, act_transfer, s);
 
   s.host_s = r.fw.per_step_overhead_s;
 
@@ -391,6 +411,22 @@ SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& c
   // interleave their sim-clock spans (only claimed when tracing is live).
   const std::uint32_t track = obs::tracing_enabled() ? obs::claim_sim_track() : 0;
   res.weight_bytes_per_device = r.weight_bytes_per_device;
+
+  // Surface the comm model's resolution (satellite of the collective-layer
+  // PR): which fabric was priced, at what rate, whether the documented kNone
+  // PCIe default kicked in, and which backend is live. Gauges are
+  // last-writer-wins — they describe the most recent point.
+  {
+    static obs::Gauge& g_bw = obs::Registry::global().gauge("sim.comm.link_gbs");
+    static obs::Gauge& g_fb = obs::Registry::global().gauge("sim.comm.fallback");
+    static obs::Gauge& g_ic =
+        obs::Registry::global().gauge("sim.comm.interconnect");
+    static obs::Gauge& g_st = obs::Registry::global().gauge("sim.comm.stepped");
+    g_bw.set(r.comm.link_bandwidth_bytes_s() / 1e9);
+    g_fb.set(r.comm.bandwidth_is_fallback() ? 1.0 : 0.0);
+    g_ic.set(static_cast<double>(r.comm.interconnect()));
+    g_st.set(r.comm.backend() == parallel::CommBackend::kStepped ? 1.0 : 0.0);
+  }
 
   // ---- Capacity checks ---------------------------------------------------
   if (r.weight_spill_bytes > 0 && r.device.tier3_memory_bytes() == 0) {
@@ -477,6 +513,21 @@ SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& c
     energy += pmodel.instantaneous_watts(cu, mu) * devices * step.total_s;
   };
 
+  // Stepped-backend comm phases, laid back-to-back at the tail of the step
+  // window (collectives close each serial pass): one span per phase so the
+  // Perfetto track shows reduce-scatter/allgather/exchange link occupancy.
+  auto emit_comm_phases = [&](const StepBreakdown& step, double start) {
+    if (!obs::tracing_enabled() || step.comm_phases.empty()) return;
+    double dur = 0.0;
+    for (const auto& ph : step.comm_phases) dur += ph.seconds;
+    double t = std::max(start, start + step.total_s - dur);
+    for (const auto& ph : step.comm_phases) {
+      obs::emit_span(parallel::phase_span_name(ph.name), obs::Cat::kSim, t,
+                     ph.seconds, track, ph.steps);
+      t += ph.seconds;
+    }
+  };
+
   while (!scheduler.all_done()) {
     require(++iterations <= max_iterations, "simulator failed to converge");
     const sched::StepPlan plan = scheduler.plan_step();
@@ -486,6 +537,7 @@ SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& c
       const auto nprefill = static_cast<std::int64_t>(plan.prefills.size());
       const StepBreakdown p = prefill_step_resolved(r, nprefill, cfg.input_tokens);
       obs::emit_span("sim.prefill", obs::Cat::kSim, now, p.total_s, track, nprefill);
+      emit_comm_phases(p, now);
       res.phases.prefill_s += p.total_s;
       res.phases.compute_s += p.compute_s;
       res.phases.memory_s += p.memory_s;
@@ -550,6 +602,7 @@ SimResult InferenceSimulator::run_resolved(const Resolved& r, const SimConfig& c
       }
       d.total_s /= speedup;
       obs::emit_span("sim.decode", obs::Cat::kSim, now, d.total_s, track, ndecode);
+      emit_comm_phases(d, now);
       res.phases.decode_s += d.total_s;
       res.phases.compute_s += d.compute_s;
       res.phases.memory_s += d.memory_s;

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <vector>
+
 #include "frameworks/traits.h"
 #include "hw/device_model.h"
 #include "models/config.h"
 #include "models/costs.h"
+#include "parallel/collectives.h"
 #include "sim/config.h"
 
 namespace llmib::sim {
@@ -16,6 +19,11 @@ struct StepBreakdown {
   double comm_s = 0.0;      ///< TP/PP/EP collectives
   double host_s = 0.0;      ///< per-step + per-token host work
   double total_s = 0.0;
+  /// Per-phase decomposition of comm_s under CommBackend::kStepped (empty
+  /// on the analytic backend): one entry per phase of each collective the
+  /// step ran, seconds already scaled by layer count and overlap. The sim
+  /// loop emits one obs span per entry so traces show link occupancy.
+  std::vector<parallel::CollectivePhase> comm_phases;
 };
 
 /// The analytical inference simulator (DESIGN.md substrate #1).
@@ -66,6 +74,11 @@ class InferenceSimulator {
   struct Resolved;  // internal: looked-up specs + derived quantities
 
   Resolved resolve(const SimConfig& cfg) const;
+  /// Shared TP/PP/EP collective costing for decode and prefill steps:
+  /// accumulates into s.comm_s (and s.comm_phases under kStepped).
+  /// `act_bytes` is the activation payload of one serial-path collective.
+  void add_collective_costs(const Resolved& r, double act_bytes,
+                            StepBreakdown& s) const;
   StepBreakdown decode_step_resolved(const Resolved& r, std::int64_t batch,
                                      double ctx) const;
   StepBreakdown prefill_step_resolved(const Resolved& r, std::int64_t batch,

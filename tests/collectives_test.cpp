@@ -1,0 +1,416 @@
+// Tests for the collective-algorithm layer: topology derivation from
+// accelerator specs, per-algorithm step schedules, the selector's decision
+// table, and the bit-equality contract that keeps the analytic backend (and
+// therefore every existing figure) pinned to the seed closed forms.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "parallel/collectives.h"
+#include "parallel/comm.h"
+#include "parallel/selector.h"
+#include "parallel/topology.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace llmib::parallel;
+using llmib::hw::AcceleratorSpec;
+using llmib::hw::InterconnectKind;
+using llmib::util::ContractViolation;
+
+const AcceleratorSpec& accel(const std::string& name) {
+  return llmib::hw::AcceleratorRegistry::builtin().get(name);
+}
+
+AcceleratorSpec pcie_spec() {
+  AcceleratorSpec s;
+  s.name = "pcie-box";
+  s.peak_tflops = {{llmib::hw::Precision::kFP16, 100}};
+  s.hbm_bandwidth_gbs = 2000;
+  s.memory_gb = 80;
+  s.devices_per_node = 8;
+  s.interconnect = InterconnectKind::kNone;  // no stated rate => PCIe default
+  return s;
+}
+
+// ---- Topology derivation ----------------------------------------------------
+
+TEST(Topology, NvlinkIsFullMesh) {
+  const Topology t = Topology::from_spec(accel("A100"));
+  EXPECT_EQ(t.kind, TopologyKind::kFullMesh);
+  EXPECT_DOUBLE_EQ(t.link_bw, 600e9);
+  EXPECT_DOUBLE_EQ(t.alpha, interconnect_hop_latency_s(InterconnectKind::kNVLink));
+  EXPECT_DOUBLE_EQ(t.hop_alpha(1), t.alpha);  // direct per-pair links
+  // Local reduction streams 2 reads + 1 write through HBM.
+  EXPECT_DOUBLE_EQ(t.reduce_bw, accel("A100").hbm_bandwidth_gbs * 1e9 / 3.0);
+}
+
+TEST(Topology, RduAndPcieAreSwitch) {
+  const Topology rdu = Topology::from_spec(accel("SN40L"));
+  EXPECT_EQ(rdu.kind, TopologyKind::kSwitch);
+  // Every hop is device -> switch -> device: two traversals.
+  EXPECT_DOUBLE_EQ(rdu.hop_alpha(1), 2.0 * rdu.alpha);
+
+  const Topology pcie = Topology::from_spec(pcie_spec());
+  EXPECT_EQ(pcie.kind, TopologyKind::kSwitch);
+  EXPECT_DOUBLE_EQ(pcie.link_bw, AcceleratorSpec::kFallbackInterconnectGbs * 1e9);
+}
+
+TEST(Topology, RoceIsHierarchical) {
+  const Topology t = Topology::from_spec(accel("Gaudi2"));
+  EXPECT_EQ(t.kind, TopologyKind::kHierarchical);
+  EXPECT_EQ(t.devices_per_node, accel("Gaudi2").devices_per_node);
+  EXPECT_DOUBLE_EQ(t.inter_node_alpha, 4.0 * t.alpha);
+  EXPECT_DOUBLE_EQ(t.inter_node_bw, 0.5 * t.link_bw);
+  // Hops inside the node use the fast tier; node-crossing spans do not.
+  EXPECT_FALSE(t.crosses_node(1));
+  EXPECT_TRUE(t.crosses_node(t.devices_per_node));
+  EXPECT_LT(t.hop_bw(t.devices_per_node), t.hop_bw(1));
+  EXPECT_GT(t.hop_alpha(t.devices_per_node), t.hop_alpha(1));
+}
+
+TEST(Topology, HostFabricIsSharedMemory) {
+  const Topology t = Topology::host();
+  EXPECT_EQ(t.kind, TopologyKind::kFullMesh);
+  EXPECT_GT(t.link_bw, 0);
+  EXPECT_GT(t.alpha, 0);
+  EXPECT_FALSE(t.crosses_node(64));  // one shared-memory domain
+}
+
+// ---- Explicit kNone fallback (no silent 16 GB/s for real fabrics) ----------
+
+TEST(Fallback, KnoneSpecGetsDocumentedDefault) {
+  const AcceleratorSpec s = pcie_spec();
+  EXPECT_TRUE(s.interconnect_is_fallback());
+  EXPECT_DOUBLE_EQ(s.effective_interconnect_gbs(),
+                   AcceleratorSpec::kFallbackInterconnectGbs);
+  const CommModel c(s);
+  EXPECT_TRUE(c.bandwidth_is_fallback());
+  EXPECT_DOUBLE_EQ(c.link_bandwidth_bytes_s(),
+                   AcceleratorSpec::kFallbackInterconnectGbs * 1e9);
+}
+
+TEST(Fallback, RealFabricWithoutRateThrows) {
+  AcceleratorSpec s = pcie_spec();
+  s.interconnect = InterconnectKind::kNVLink;  // names a fabric, no rate
+  s.interconnect_gbs = 0.0;
+  EXPECT_THROW(CommModel{s}, ContractViolation);
+
+  llmib::hw::AcceleratorRegistry reg;
+  EXPECT_THROW(reg.register_spec(s), ContractViolation);
+  s.interconnect_gbs = 300.0;
+  EXPECT_NO_THROW(reg.register_spec(s));
+}
+
+TEST(Fallback, BuiltinSpecsAllStateTheirRate) {
+  for (const auto& name : llmib::hw::AcceleratorRegistry::builtin().names()) {
+    const CommModel c(accel(name));
+    EXPECT_FALSE(c.bandwidth_is_fallback()) << name;
+  }
+}
+
+// ---- Schedule structure -----------------------------------------------------
+
+TEST(Schedule, DegenerateCasesAreEmpty) {
+  const Topology t = Topology::from_spec(accel("A100"));
+  EXPECT_TRUE(build_schedule(CollectiveAlgo::kRing, CollectiveOp::kAllReduce,
+                             1e6, 1, t)
+                  .phases.empty());
+  EXPECT_TRUE(build_schedule(CollectiveAlgo::kRing, CollectiveOp::kAllReduce,
+                             0, 8, t)
+                  .phases.empty());
+  EXPECT_THROW(build_schedule(CollectiveAlgo::kRing, CollectiveOp::kAllReduce,
+                              -1, 4, t),
+               ContractViolation);
+  EXPECT_THROW(build_schedule(CollectiveAlgo::kRing, CollectiveOp::kAllReduce,
+                              1e6, 0, t),
+               ContractViolation);
+}
+
+TEST(Schedule, RingAllreduceIsReduceScatterPlusAllgather) {
+  const Topology t = Topology::from_spec(accel("A100"));
+  const auto s = build_schedule(CollectiveAlgo::kRing,
+                                CollectiveOp::kAllReduce, 1e7, 4, t);
+  ASSERT_EQ(s.phases.size(), 2u);
+  EXPECT_STREQ(s.phases[0].name, "reduce_scatter");
+  EXPECT_STREQ(s.phases[1].name, "allgather");
+  EXPECT_EQ(s.phases[0].steps, 3);  // n-1 hops each
+  EXPECT_EQ(s.phases[1].steps, 3);
+  EXPECT_DOUBLE_EQ(s.phases[0].bytes_per_step, 1e7 / 4);
+  // The reduce-scatter half also pays the local reduction.
+  EXPECT_GT(s.phases[0].seconds, s.phases[1].seconds);
+  EXPECT_DOUBLE_EQ(s.total_s(), s.phases[0].seconds + s.phases[1].seconds);
+}
+
+TEST(Schedule, RecursiveDoublingFoldsForNonPow2) {
+  const Topology t = Topology::from_spec(accel("A100"));
+  const auto pow2 = build_schedule(CollectiveAlgo::kRecursiveDoubling,
+                                   CollectiveOp::kAllReduce, 1e6, 4, t);
+  ASSERT_EQ(pow2.phases.size(), 1u);
+  EXPECT_STREQ(pow2.phases[0].name, "exchange");
+  EXPECT_EQ(pow2.phases[0].steps, 2);  // log2(4)
+
+  const auto odd = build_schedule(CollectiveAlgo::kRecursiveDoubling,
+                                  CollectiveOp::kAllReduce, 1e6, 6, t);
+  ASSERT_EQ(odd.phases.size(), 3u);
+  EXPECT_STREQ(odd.phases[0].name, "fold_in");
+  EXPECT_STREQ(odd.phases[1].name, "exchange");
+  EXPECT_STREQ(odd.phases[2].name, "fold_out");
+  EXPECT_GT(odd.total_s(), pow2.total_s());  // folding is not free
+}
+
+TEST(Schedule, BinomialTreeReducesThenBroadcasts) {
+  const Topology t = Topology::from_spec(accel("SN40L"));
+  const auto s = build_schedule(CollectiveAlgo::kBinomialTree,
+                                CollectiveOp::kAllReduce, 1e6, 8, t);
+  ASSERT_EQ(s.phases.size(), 2u);
+  EXPECT_STREQ(s.phases[0].name, "reduce");
+  EXPECT_STREQ(s.phases[1].name, "broadcast");
+  EXPECT_EQ(s.phases[0].steps, 3);  // ceil(log2 8)
+}
+
+TEST(Schedule, AlltoallAndP2pRetagToTheirCanonicalForm) {
+  const Topology t = Topology::from_spec(accel("A100"));
+  const auto a2a = build_schedule(CollectiveAlgo::kPipelinedRing,
+                                  CollectiveOp::kAllToAll, 1e6, 4, t);
+  EXPECT_EQ(a2a.algo, CollectiveAlgo::kRing);
+  ASSERT_EQ(a2a.phases.size(), 1u);
+  EXPECT_STREQ(a2a.phases[0].name, "pairwise");
+
+  const auto p = build_schedule(CollectiveAlgo::kBinomialTree,
+                                CollectiveOp::kP2P, 1e6, 2, t);
+  EXPECT_EQ(p.algo, CollectiveAlgo::kRing);
+  ASSERT_EQ(p.phases.size(), 1u);
+  EXPECT_STREQ(p.phases[0].name, "p2p");
+}
+
+TEST(Schedule, HierarchicalRingPaysTheNodeBoundary) {
+  const Topology t = Topology::from_spec(accel("Gaudi2"));
+  const int inside = t.devices_per_node;      // ring stays intra-node
+  const int across = 2 * t.devices_per_node;  // ring wraps over RoCE ToR
+  const double per_in =
+      collective_cost_s(CollectiveAlgo::kRing, CollectiveOp::kAllReduce, 1e8,
+                        inside, t) /
+      (inside - 1);
+  const double per_across =
+      collective_cost_s(CollectiveAlgo::kRing, CollectiveOp::kAllReduce, 1e8,
+                        across, t) /
+      (across - 1);
+  // Per-hop cost is strictly worse once the ring crosses nodes (the whole
+  // ring runs at the boundary link's rate).
+  EXPECT_GT(per_across, per_in);
+}
+
+TEST(Schedule, PhaseSpanNamesAreStableStatics) {
+  const char* a = phase_span_name("reduce_scatter");
+  EXPECT_STREQ(a, "sim.comm.reduce_scatter");
+  EXPECT_EQ(a, phase_span_name("reduce_scatter"));  // same pointer: static
+  EXPECT_STREQ(phase_span_name("unknown-phase"), "sim.comm");
+}
+
+// ---- Per-algorithm cost properties -----------------------------------------
+
+class AlgoMonotone
+    : public ::testing::TestWithParam<std::tuple<CollectiveAlgo, std::string>> {};
+
+TEST_P(AlgoMonotone, CostNondecreasingInBytes) {
+  const auto [algo, hw] = GetParam();
+  const Topology t = Topology::from_spec(accel(hw));
+  for (const CollectiveOp op :
+       {CollectiveOp::kAllReduce, CollectiveOp::kAllGather,
+        CollectiveOp::kReduceScatter}) {
+    double prev = 0.0;
+    for (double bytes = 1024; bytes <= 256.0 * 1024 * 1024; bytes *= 2) {
+      const double cost = collective_cost_s(algo, op, bytes, 8, t);
+      EXPECT_GE(cost, prev) << collective_algo_name(algo) << " "
+                            << collective_op_name(op) << " at " << bytes;
+      EXPECT_GT(cost, 0.0);
+      prev = cost;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, AlgoMonotone,
+    ::testing::Combine(::testing::Values(CollectiveAlgo::kRing,
+                                         CollectiveAlgo::kRecursiveDoubling,
+                                         CollectiveAlgo::kBinomialTree,
+                                         CollectiveAlgo::kPipelinedRing,
+                                         CollectiveAlgo::kAnalytic),
+                       ::testing::Values("A100", "SN40L", "Gaudi2")));
+
+TEST(AlgoCost, PipelinedRingWinsOnlyAtLargePayloads) {
+  const Topology t = Topology::from_spec(accel("A100"));
+  const auto cost = [&](CollectiveAlgo a, double bytes) {
+    return collective_cost_s(a, CollectiveOp::kAllReduce, bytes, 4, t);
+  };
+  // Small: segmentation overhead makes the pipeline a pure loss.
+  EXPECT_LT(cost(CollectiveAlgo::kRing, 64e3),
+            cost(CollectiveAlgo::kPipelinedRing, 64e3));
+  // Large: overlapping the local reduction with the wire wins.
+  EXPECT_GT(cost(CollectiveAlgo::kRing, 64e6),
+            cost(CollectiveAlgo::kPipelinedRing, 64e6));
+}
+
+// ---- Selector decision table ------------------------------------------------
+
+struct TableCell {
+  CollectiveOp op;
+  double bytes;
+  int n;
+  std::string hw;
+  CollectiveAlgo expect;
+};
+
+class SelectorTable : public ::testing::TestWithParam<TableCell> {};
+
+TEST_P(SelectorTable, ChoosesTheTabledAlgorithm) {
+  const TableCell& c = GetParam();
+  const CollectiveSelector sel(Topology::from_spec(accel(c.hw)));
+  EXPECT_EQ(sel.choose(c.op, c.bytes, c.n), c.expect)
+      << collective_op_name(c.op) << " " << c.bytes << "B n=" << c.n << " on "
+      << c.hw;
+  // The schedule must be tagged with what actually ran.
+  const auto s = sel.schedule(c.op, c.bytes, c.n);
+  if (c.op != CollectiveOp::kAllToAll && c.op != CollectiveOp::kP2P) {
+    EXPECT_EQ(s.algo, c.expect);
+  }
+}
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+INSTANTIATE_TEST_SUITE_P(
+    DecisionTable, SelectorTable,
+    ::testing::Values(
+        // Latency-bound allreduce: doubling on meshes, tree on switches.
+        TableCell{CollectiveOp::kAllReduce, 4 * kKiB, 8, "A100",
+                  CollectiveAlgo::kRecursiveDoubling},
+        TableCell{CollectiveOp::kAllReduce, 16 * kKiB, 8, "A100",
+                  CollectiveAlgo::kRecursiveDoubling},
+        TableCell{CollectiveOp::kAllReduce, 4 * kKiB, 8, "SN40L",
+                  CollectiveAlgo::kBinomialTree},
+        // Mid-size: plain chunked ring.
+        TableCell{CollectiveOp::kAllReduce, 256 * kKiB, 8, "A100",
+                  CollectiveAlgo::kRing},
+        TableCell{CollectiveOp::kAllReduce, 1 * kMiB, 8, "Gaudi2",
+                  CollectiveAlgo::kRing},
+        // Large: segmented pipeline.
+        TableCell{CollectiveOp::kAllReduce, 16 * kMiB, 8, "A100",
+                  CollectiveAlgo::kPipelinedRing},
+        TableCell{CollectiveOp::kAllReduce, 16 * kMiB, 8, "SN40L",
+                  CollectiveAlgo::kPipelinedRing},
+        // Two ranks: one exchange beats any ring at every size.
+        TableCell{CollectiveOp::kAllReduce, 64 * kMiB, 2, "A100",
+                  CollectiveAlgo::kRecursiveDoubling},
+        // Allgather / reduce-scatter bands.
+        TableCell{CollectiveOp::kAllGather, 16 * kKiB, 8, "A100",
+                  CollectiveAlgo::kRecursiveDoubling},
+        TableCell{CollectiveOp::kAllGather, 1 * kMiB, 8, "A100",
+                  CollectiveAlgo::kRing},
+        TableCell{CollectiveOp::kAllGather, 64 * kMiB, 8, "A100",
+                  CollectiveAlgo::kPipelinedRing},
+        TableCell{CollectiveOp::kReduceScatter, 16 * kKiB, 8, "SN40L",
+                  CollectiveAlgo::kRecursiveDoubling},
+        TableCell{CollectiveOp::kReduceScatter, 64 * kMiB, 8, "Gaudi2",
+                  CollectiveAlgo::kPipelinedRing},
+        // Fixed-form ops.
+        TableCell{CollectiveOp::kAllToAll, 1 * kMiB, 8, "A100",
+                  CollectiveAlgo::kRing},
+        TableCell{CollectiveOp::kP2P, 1 * kMiB, 2, "A100",
+                  CollectiveAlgo::kRing}));
+
+TEST(Selector, SelectedCostNondecreasingInBytes) {
+  for (const char* hw : {"A100", "SN40L", "Gaudi2"}) {
+    const CollectiveSelector sel(Topology::from_spec(accel(hw)));
+    for (const CollectiveOp op :
+         {CollectiveOp::kAllReduce, CollectiveOp::kAllGather,
+          CollectiveOp::kReduceScatter, CollectiveOp::kAllToAll}) {
+      double prev = 0.0;
+      for (double bytes = 512; bytes <= 256 * kMiB; bytes *= 2) {
+        const double cost = sel.cost_s(op, bytes, 8);
+        EXPECT_GE(cost, prev)
+            << hw << " " << collective_op_name(op) << " at " << bytes;
+        prev = cost;
+      }
+    }
+  }
+}
+
+// ---- Analytic backend: bit-for-bit the seed closed forms -------------------
+
+class AnalyticPinned : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AnalyticPinned, MatchesSeedClosedFormsExactly) {
+  const AcceleratorSpec& spec = accel(GetParam());
+  const CommModel c(spec);  // default backend: kAnalytic
+  ASSERT_EQ(c.backend(), CommBackend::kAnalytic);
+
+  // The seed expressions, verbatim.
+  const double alpha = c.link_latency_s();
+  const double bw = c.link_bandwidth_bytes_s();
+  for (double bytes : {512.0, 65536.0, 8.0 * kMiB, 1e9}) {
+    for (int n : {2, 3, 4, 8}) {
+      const double ar = 2.0 * (n - 1) * alpha + (2.0 * (n - 1) / n * bytes) / bw;
+      const double ag = (n - 1) * alpha + ((n - 1.0) / n * bytes) / bw;
+      // EXPECT_EQ, not NEAR: the pinned-figures contract is bitwise.
+      EXPECT_EQ(c.allreduce_s(bytes, n), ar);
+      EXPECT_EQ(c.allgather_s(bytes, n), ag);
+      EXPECT_EQ(c.reduce_scatter_s(bytes, n), ag);
+      EXPECT_EQ(c.alltoall_s(bytes, n), ag);
+      // The kAnalytic "algorithm" of the collectives layer reproduces the
+      // same numbers through the schedule path.
+      const Topology t = Topology::from_spec(spec);
+      EXPECT_EQ(collective_cost_s(CollectiveAlgo::kAnalytic,
+                                  CollectiveOp::kAllReduce, bytes, n, t),
+                ar);
+      EXPECT_EQ(collective_cost_s(CollectiveAlgo::kAnalytic,
+                                  CollectiveOp::kAllGather, bytes, n, t),
+                ag);
+    }
+    EXPECT_EQ(c.p2p_s(bytes), alpha + bytes / bw);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAccelerators, AnalyticPinned,
+                         ::testing::Values("A100", "H100", "GH200", "MI250",
+                                           "MI300X", "Gaudi2", "SN40L"));
+
+// ---- Stepped backend through CommModel -------------------------------------
+
+TEST(SteppedBackend, PricesViaSelectorSchedules) {
+  const CommModel a(accel("A100"), CommBackend::kAnalytic);
+  const CommModel s(accel("A100"), CommBackend::kStepped);
+  EXPECT_EQ(s.backend(), CommBackend::kStepped);
+  EXPECT_STREQ(comm_backend_name(s.backend()), "stepped");
+
+  for (double bytes : {2048.0, 1e6, 64e6}) {
+    const double stepped = s.allreduce_s(bytes, 4);
+    EXPECT_GT(stepped, 0.0);
+    EXPECT_EQ(stepped, s.selector().cost_s(CollectiveOp::kAllReduce, bytes, 4));
+    // Same alpha-beta inputs: the backends agree within a small factor even
+    // though the stepped path models more structure.
+    const double analytic = a.allreduce_s(bytes, 4);
+    EXPECT_LT(stepped, analytic * 4.0);
+    EXPECT_GT(stepped, analytic * 0.1);
+  }
+  // Degenerate cases stay free on both backends.
+  EXPECT_EQ(s.allreduce_s(1e6, 1), 0.0);
+  EXPECT_EQ(s.allreduce_s(0, 8), 0.0);
+  EXPECT_THROW(s.allreduce_s(-1, 2), ContractViolation);
+
+  const auto sched = s.schedule(CollectiveOp::kAllReduce, 64e6, 4);
+  EXPECT_EQ(sched.algo, CollectiveAlgo::kPipelinedRing);
+  EXPECT_FALSE(sched.phases.empty());
+  const auto analytic_sched = a.schedule(CollectiveOp::kAllReduce, 64e6, 4);
+  ASSERT_EQ(analytic_sched.phases.size(), 1u);
+  EXPECT_STREQ(analytic_sched.phases[0].name, "analytic");
+  EXPECT_EQ(analytic_sched.total_s(), a.allreduce_s(64e6, 4));
+}
+
+}  // namespace

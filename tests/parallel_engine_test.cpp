@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <tuple>
 #include <vector>
 
 #include "engine/kv_store.h"
@@ -159,6 +160,88 @@ TEST(PoolLifecycle, PoolPersistsAndAccumulatesAcrossTokens) {
   std::uint64_t tasks_six = 0;
   for (const auto& s : sharded.pool_stats()) tasks_six += s.tasks;
   EXPECT_EQ(tasks_six, 6 * tasks_one);
+}
+
+// ---- gather schedule (selector-driven reduce-scatter + allgather) ----------
+
+TEST(GatherMode, AutoFollowsTheSelectorTable) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  ShardedTransformer sharded(w, 4, 1);
+  EXPECT_EQ(sharded.gather_mode(), GatherMode::kAuto);
+  // Tiny activations are latency-bound: one-stage direct gather.
+  EXPECT_EQ(sharded.gather_mode_for(1024), GatherMode::kDirect);
+  // Large activations resolve to the ring family: chunked two-stage.
+  EXPECT_EQ(sharded.gather_mode_for(std::size_t{1} << 20), GatherMode::kChunked);
+  EXPECT_EQ(sharded.gather_mode_for(std::size_t{64} << 20), GatherMode::kChunked);
+  // Forced modes bypass the table.
+  sharded.set_gather_mode(GatherMode::kChunked);
+  EXPECT_EQ(sharded.gather_mode_for(1024), GatherMode::kChunked);
+  sharded.set_gather_mode(GatherMode::kDirect);
+  EXPECT_EQ(sharded.gather_mode_for(std::size_t{64} << 20), GatherMode::kDirect);
+}
+
+TEST(GatherMode, SingleShardIsAlwaysDirect) {
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  ShardedTransformer sharded(w, 1, 1);
+  EXPECT_EQ(sharded.gather_mode_for(std::size_t{64} << 20), GatherMode::kDirect);
+}
+
+TEST(GatherMode, TwoShardsResolveToOneExchange) {
+  // The table maps n <= 2 to recursive doubling (one exchange), which the
+  // engine runs as the direct single-stage gather.
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  ShardedTransformer sharded(w, 2, 1);
+  EXPECT_EQ(sharded.gather_mode_for(std::size_t{64} << 20), GatherMode::kDirect);
+}
+
+class BitwiseGather
+    : public ::testing::TestWithParam<std::tuple<GatherMode, int>> {};
+
+TEST_P(BitwiseGather, DecodeBitwiseIdenticalToSerial) {
+  const auto [mode, tp] = GetParam();
+  const auto w = TransformerWeights::random(mhsa_config(), 42);
+  const MiniTransformer serial(w);
+  ShardedTransformer sharded(w, tp, 1);
+  sharded.set_gather_mode(mode);
+  ContiguousKvStore kv(serial.kv_dims());
+  for (TokenId t : {5, 9, 13, 2, 77}) {
+    const auto a = serial.forward(t, kv);
+    const auto b = sharded.forward(t);
+    expect_bitwise_equal(a, b, gather_mode_name(mode));
+  }
+}
+
+TEST_P(BitwiseGather, PrefillBitwiseIdenticalToSerial) {
+  const auto [mode, tp] = GetParam();
+  const auto w = TransformerWeights::random(mhsa_config(), 7);
+  const MiniTransformer serial(w);
+  ShardedTransformer sharded(w, tp, 1);
+  sharded.set_gather_mode(mode);
+  ContiguousKvStore kv(serial.kv_dims());
+  const std::vector<TokenId> prompt{3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<float> want;
+  for (TokenId t : prompt) want = serial.forward(t, kv);
+  expect_bitwise_equal(want, sharded.prefill(prompt), gather_mode_name(mode));
+  // The decode step after the chunk stays bitwise too (KV landed right).
+  expect_bitwise_equal(serial.forward(8, kv), sharded.forward(8),
+                       "post-prefill decode");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesByTp, BitwiseGather,
+    ::testing::Combine(::testing::Values(GatherMode::kAuto, GatherMode::kDirect,
+                                         GatherMode::kChunked),
+                       ::testing::Values(2, 4)));
+
+TEST(GatherMode, MoeChunkedDecodeBitwise) {
+  const auto w = TransformerWeights::random(moe_config(), 21);
+  const MiniTransformer serial(w);
+  ShardedTransformer sharded(w, 1, 2);
+  sharded.set_gather_mode(GatherMode::kChunked);
+  ContiguousKvStore kv(serial.kv_dims());
+  for (TokenId t : {11, 22, 33, 44})
+    expect_bitwise_equal(serial.forward(t, kv), sharded.forward(t),
+                         "moe chunked decode");
 }
 
 TEST(PoolLifecycle, ResetPreservesBitwiseReplay) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 
@@ -505,6 +506,75 @@ TEST(Simulator, PrefillStepComputeBound) {
 
 TEST(Simulator, KvCapacityPositiveFor7B) {
   EXPECT_GT(sim().kv_capacity_tokens(base()), 10000);
+}
+
+// ---- Collective comm backend (tentpole: topology-aware stepped pricing) ------
+
+TEST(CommBackend, AnalyticIsTheDefaultAndHasNoPhases) {
+  SimConfig c = base();
+  c.plan.tp = 4;
+  EXPECT_EQ(c.comm_backend, llmib::parallel::CommBackend::kAnalytic);
+  const auto d = sim().decode_step(c, 16, 512);
+  EXPECT_GT(d.comm_s, 0);
+  EXPECT_TRUE(d.comm_phases.empty());
+}
+
+TEST(CommBackend, SteppedFillsPhasesThatStayWithinCommTime) {
+  SimConfig c = base();
+  c.plan.tp = 4;
+  c.comm_backend = llmib::parallel::CommBackend::kStepped;
+  const auto d = sim().decode_step(c, 16, 512);
+  ASSERT_FALSE(d.comm_phases.empty());
+  double phase_sum = 0.0;
+  for (const auto& ph : d.comm_phases) {
+    EXPECT_GE(ph.seconds, 0.0) << ph.name;
+    EXPECT_GE(ph.steps, 1) << ph.name;
+    phase_sum += ph.seconds;
+  }
+  // Phases decompose the collective portion of comm_s; the framework's
+  // per-sync launch overhead rides on top, so the sum can't exceed comm_s.
+  EXPECT_GT(phase_sum, 0.0);
+  EXPECT_LE(phase_sum, d.comm_s * (1.0 + 1e-9));
+}
+
+TEST(CommBackend, SteppedEndToEndRunDiffersFromAnalyticOnlyUnderParallelism) {
+  SimConfig c = base();
+  c.input_tokens = c.output_tokens = 512;
+
+  // tp == 1: no collectives are priced, so the backends agree exactly.
+  const auto serial_analytic = sim().run(c);
+  c.comm_backend = llmib::parallel::CommBackend::kStepped;
+  const auto serial_stepped = sim().run(c);
+  ASSERT_TRUE(serial_analytic.ok());
+  ASSERT_TRUE(serial_stepped.ok());
+  EXPECT_EQ(serial_analytic.e2e_latency_s, serial_stepped.e2e_latency_s);
+
+  // tp == 4: the selector's stepped schedules price the allreduce
+  // differently from the closed form, but stay the same order of magnitude.
+  c.plan.tp = 4;
+  c.comm_backend = llmib::parallel::CommBackend::kAnalytic;
+  const auto tp_analytic = sim().run(c);
+  c.comm_backend = llmib::parallel::CommBackend::kStepped;
+  const auto tp_stepped = sim().run(c);
+  ASSERT_TRUE(tp_analytic.ok());
+  ASSERT_TRUE(tp_stepped.ok());
+  EXPECT_NE(tp_analytic.e2e_latency_s, tp_stepped.e2e_latency_s);
+  EXPECT_GT(tp_stepped.phases.comm_s, 0.0);
+  EXPECT_NEAR(tp_stepped.phases.comm_s, tp_analytic.phases.comm_s,
+              tp_analytic.phases.comm_s);  // within 2x either way
+}
+
+TEST(CommBackend, RunSurfacesLinkGaugesForTheResolvedFabric) {
+  auto& reg = llmib::obs::Registry::global();
+  SimConfig c = base();  // A100: NVLink 600 GB/s, no fallback
+  ASSERT_TRUE(sim().run(c).ok());
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.comm.link_gbs").value(), 600.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.comm.fallback").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.comm.stepped").value(), 0.0);
+
+  c.comm_backend = llmib::parallel::CommBackend::kStepped;
+  ASSERT_TRUE(sim().run(c).ok());
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.comm.stepped").value(), 1.0);
 }
 
 // Parameterized sanity sweep: every supported (hw, fw) pair runs 7B cleanly.

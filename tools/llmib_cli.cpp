@@ -343,6 +343,13 @@ int cmd_point(const Args& args) {
                                                 cfg.framework, cfg.precision)) {
     cfg.plan = *plan;
   }
+  const std::string backend = args.get("comm-backend", "analytic");
+  if (backend == "stepped") {
+    cfg.comm_backend = parallel::CommBackend::kStepped;
+  } else {
+    util::require(backend == "analytic",
+                  "--comm-backend must be analytic or stepped");
+  }
 
   const auto row = runner.run_point(cfg);
   core::ResultSet set;
@@ -720,6 +727,7 @@ void usage() {
       "  llmib list\n"
       "  llmib point --model M --hw H --fw F [--batch N] [--len N] [--out N]\n"
       "              [--tp N] [--precision fp16|fp8|int8|int4] [--csv]\n"
+      "              [--comm-backend analytic|stepped]  (collective pricing)\n"
       "  llmib sweep --model M[,M..] --hw H[,H..] --fw F[,F..]\n"
       "              [--batches 1,16,..] [--lens 128,..] [--csv]\n"
       "  llmib serve --model M --hw H --fw F [--rps R] [--requests N]\n"
